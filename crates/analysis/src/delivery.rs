@@ -1,0 +1,130 @@
+//! Guaranteed-packet-delivery analysis (paper section 2.1).
+//!
+//! Under the assumption that the underlying network is reliable, a
+//! program guarantees delivery if:
+//!
+//! 1. packets do not cycle (the [termination](crate::termination) proof);
+//! 2. the program handles all exceptions — no channel body can terminate
+//!    with an unhandled exception;
+//! 3. on every execution path of every channel, the packet is forwarded
+//!    (`OnRemote`/`OnNeighbor`) or delivered (`deliver`) at least once —
+//!    i.e. the program never silently drops a packet.
+
+use crate::summary::ProgramSummary;
+use crate::termination::{check_termination, Outcome};
+use planp_lang::error::LangError;
+use planp_lang::tast::TProgram;
+
+/// Checks guaranteed delivery.
+pub fn check_delivery(prog: &TProgram, sum: &ProgramSummary) -> Outcome {
+    let mut errors = Vec::new();
+
+    if let Outcome::Rejected(errs) = check_termination(prog, sum) {
+        errors.extend(errs);
+    }
+
+    for (c, s) in sum.channels.iter().enumerate() {
+        let ch = &prog.channels[c];
+        if !s.raises.is_empty() {
+            let names: Vec<&str> = s
+                .raises
+                .iter()
+                .map(|&i| prog.exns[i as usize].as_str())
+                .collect();
+            errors.push(LangError::verify(
+                format!(
+                    "channel `{}` may terminate with unhandled exception(s): {}",
+                    ch.name,
+                    names.join(", ")
+                ),
+                ch.span,
+            ));
+        }
+        if s.min_out == 0 {
+            errors.push(LangError::verify(
+                format!(
+                    "channel `{}` has an execution path that neither forwards nor delivers the packet",
+                    ch.name
+                ),
+                ch.span,
+            ));
+        }
+    }
+
+    if errors.is_empty() {
+        Outcome::Proved
+    } else {
+        Outcome::Rejected(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::summarize;
+    use planp_lang::compile_front;
+
+    fn run(src: &str) -> Outcome {
+        let tp = compile_front(src).unwrap_or_else(|e| panic!("front: {e}\n{src}"));
+        let sum = summarize(&tp);
+        check_delivery(&tp, &sum)
+    }
+
+    #[test]
+    fn forward_on_all_paths_proved() {
+        assert!(run(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             if ps > 0 then (OnRemote(network, p); (ps, ss))\n\
+             else (deliver(p); (ps, ss))"
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn silent_drop_rejected() {
+        let out = run(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             if ps > 0 then (OnRemote(network, p); (ps, ss)) else (ps, ss)",
+        );
+        let Outcome::Rejected(errs) = out else { panic!() };
+        assert!(errs[0].message.contains("neither forwards nor delivers"));
+    }
+
+    #[test]
+    fn unhandled_exception_rejected() {
+        let out = run(
+            "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob) is\n\
+             (print(tblGet(ss, ipSrc(#1 p))); OnRemote(network, p); (ps, ss))",
+        );
+        let Outcome::Rejected(errs) = out else { panic!() };
+        assert!(errs[0].message.contains("NotFound"), "{}", errs[0].message);
+    }
+
+    #[test]
+    fn handled_exception_proved() {
+        assert!(run(
+            "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob) is\n\
+             (print(tblGet(ss, ipSrc(#1 p)) handle NotFound => 0);\n\
+              OnRemote(network, p); (ps, ss))"
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn cycle_also_breaks_delivery() {
+        let out = run(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, (ipDestSet(#1 p, ipSrc(#1 p)), #2 p, #3 p)); (ps, ss))",
+        );
+        assert!(!out.is_proved());
+    }
+
+    #[test]
+    fn deliver_alone_satisfies_delivery() {
+        assert!(run(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (deliver(p); (ps, ss))"
+        )
+        .is_proved());
+    }
+}

@@ -1,0 +1,44 @@
+//! # planp-analysis — static safety analyses for PLAN-P programs
+//!
+//! Implements the verification story of section 2.1 of *"Adapting
+//! Distributed Applications Using Extensible Networks"*:
+//!
+//! * **local termination** — holds by construction (the front end rules
+//!   out recursion and unbounded loops);
+//! * **[global termination](termination)** — packets cannot cycle through
+//!   the network, proved by state exploration over channels × abstract
+//!   destinations, under the assumption that IP routing is acyclic;
+//! * **[guaranteed delivery](delivery)** — no cycles, no escaping
+//!   exceptions, and every path forwards or delivers;
+//! * **[linear duplication](duplication)** — a fix-point proof that
+//!   packet copies do not compound exponentially.
+//!
+//! The [`verifier`] module packages these behind a download [`Policy`],
+//! as the paper's late-checking router component does: unverifiable
+//! programs are rejected unless the download is authenticated.
+//!
+//! ## Example
+//!
+//! ```
+//! use planp_analysis::{verify, Policy};
+//!
+//! let prog = planp_lang::compile_front(
+//!     "channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+//!        (OnRemote(network, p); (ps, ss))",
+//! ).unwrap();
+//! let report = verify(&prog, Policy::strict());
+//! assert!(report.accepted());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod delivery;
+pub mod duplication;
+pub mod summary;
+pub mod termination;
+pub mod verifier;
+
+pub use duplication::{compute_may_copy, DuplicationInfo};
+pub use summary::{summarize, DestAbs, ProgramSummary, SendKind, SendSite};
+pub use termination::Outcome;
+pub use verifier::{verify, verify_with_summary, AnalysisStats, Policy, VerifyReport};

@@ -1,0 +1,935 @@
+//! Path-sensitive effect summaries of channel bodies.
+//!
+//! Every safety analysis in this crate is driven by the same abstract walk
+//! over the typed AST. For each channel (and each function, inlined at
+//! call sites) we compute:
+//!
+//! * the set of **send sites** — every `OnRemote`/`OnNeighbor` that might
+//!   execute, with an abstraction of the packet's destination address;
+//! * `min_out` — the minimum number of outputs (sends **or** `deliver`
+//!   calls) over all execution paths (for the guaranteed-delivery check);
+//! * `max_sends` — the maximum number of network sends over all paths
+//!   (for the duplication fix-point), saturating at 3;
+//! * the set of exceptions that may **escape** (for the all-exceptions-
+//!   handled check).
+//!
+//! The destination abstraction mirrors the paper's observation that for
+//! most protocols the only addresses available are the source and
+//! destination of the IP header plus program constants (section 2.1).
+
+use planp_lang::ast::BinOp;
+use planp_lang::prims::{self, PrimId};
+use planp_lang::span::Span;
+use planp_lang::tast::*;
+use planp_lang::types::Type;
+use std::collections::{BTreeSet, HashMap};
+
+/// Abstraction of a packet's destination address at a send site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestAbs {
+    /// The destination is the arriving packet's destination, unchanged.
+    /// Under the acyclic-routing assumption such a send makes progress:
+    /// the packet strictly approaches its destination and is delivered on
+    /// arrival.
+    Unchanged,
+    /// The destination was set to the arriving packet's *source*.
+    OrigSrc,
+    /// The destination was set to a program constant.
+    Const(u32),
+    /// The analysis cannot bound the destination.
+    Unknown,
+}
+
+impl DestAbs {
+    /// Joins two abstractions (used at `if`/`handle` merges).
+    pub fn join(self, other: DestAbs) -> DestAbs {
+        if self == other {
+            self
+        } else {
+            DestAbs::Unknown
+        }
+    }
+
+    /// True if the destination is a known IPv4 multicast group
+    /// (`224.0.0.0/4`) — such a send is inherently copying.
+    pub fn is_multicast_const(self) -> bool {
+        matches!(self, DestAbs::Const(a) if (a >> 28) == 0xE)
+    }
+}
+
+/// Whether a send site forwards toward the packet destination or jumps to
+/// an explicit neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendKind {
+    /// `OnRemote` — routed toward the packet's IP destination.
+    Remote,
+    /// `OnNeighbor` — handed to an explicit neighbor node.
+    Neighbor,
+}
+
+/// One potential send, as seen by the analyses.
+#[derive(Debug, Clone)]
+pub struct SendSite {
+    /// Target channel name.
+    pub chan: String,
+    /// Resolved index of the target channel in [`TProgram::channels`].
+    pub target: usize,
+    /// Destination abstraction (for `Neighbor` sends this abstracts the
+    /// neighbor host argument).
+    pub dest: DestAbs,
+    /// Send flavor.
+    pub kind: SendKind,
+    /// Source location, for diagnostics.
+    pub span: Span,
+}
+
+impl SendSite {
+    /// True if this send is a *progress* send: an `OnRemote` that keeps
+    /// the packet's destination unchanged. Progress sends terminate under
+    /// the acyclic-routing assumption.
+    pub fn is_progress(&self) -> bool {
+        self.kind == SendKind::Remote && self.dest == DestAbs::Unchanged
+    }
+}
+
+/// The effect summary of one channel body or function body.
+#[derive(Debug, Clone, Default)]
+pub struct ExprSummary {
+    /// All send sites that might execute (including sites inside called
+    /// functions).
+    pub sites: Vec<SendSite>,
+    /// Minimum number of outputs (sends + delivers) over all paths.
+    pub min_out: u32,
+    /// Maximum number of network sends over all paths (saturating at 3).
+    pub max_sends: u32,
+    /// Exceptions ([`ExnId`] indices) that may escape.
+    pub raises: BTreeSet<u32>,
+}
+
+/// Summaries for a whole program.
+#[derive(Debug, Clone)]
+pub struct ProgramSummary {
+    /// Parallel to [`TProgram::funs`].
+    pub funs: Vec<ExprSummary>,
+    /// Parallel to [`TProgram::channels`].
+    pub channels: Vec<ExprSummary>,
+}
+
+/// Computes summaries for every function and channel of `prog`.
+pub fn summarize(prog: &TProgram) -> ProgramSummary {
+    let mut cx = Cx::new(prog);
+    let mut funs = Vec::with_capacity(prog.funs.len());
+    for f in &prog.funs {
+        // Parameters are opaque.
+        let mut env = HashMap::new();
+        for (slot, _) in f.params.iter().enumerate() {
+            env.insert(slot as u32, AbsVal::Opaque);
+        }
+        let sum = cx.walk_root(&f.body, env);
+        cx.fun_sums.push(sum.clone());
+        funs.push(sum);
+    }
+    let mut channels = Vec::with_capacity(prog.channels.len());
+    for ch in &prog.channels {
+        let mut env = HashMap::new();
+        env.insert(0, AbsVal::Opaque); // protocol state
+        env.insert(1, AbsVal::Opaque); // channel state
+        env.insert(2, AbsVal::Pkt); // the packet parameter
+        channels.push(cx.walk_root(&ch.body, env));
+    }
+    ProgramSummary { funs, channels }
+}
+
+/// Saturating cap for send counts; 3 is enough to distinguish 0, 1, and
+/// "2 or more".
+const CAP: u32 = 3;
+
+/// Abstract values tracked by the destination analysis.
+#[derive(Debug, Clone, PartialEq)]
+enum AbsVal {
+    /// The channel's packet parameter, untouched.
+    Pkt,
+    /// An IP header value.
+    Ip {
+        /// Destination abstraction.
+        dest: DestAbs,
+        /// True if the source field is still the original packet's source.
+        src_orig: bool,
+    },
+    /// A host address.
+    HostA(DestAbs),
+    /// A tuple of abstract values.
+    Tup(Vec<AbsVal>),
+    /// Anything else.
+    Opaque,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Pkt, Pkt) => Pkt,
+            (Ip { dest: d1, src_orig: s1 }, Ip { dest: d2, src_orig: s2 }) => Ip {
+                dest: d1.join(d2),
+                src_orig: s1 && s2,
+            },
+            (HostA(a), HostA(b)) => HostA(a.join(b)),
+            (Tup(a), Tup(b)) if a.len() == b.len() => {
+                Tup(a.into_iter().zip(b).map(|(x, y)| x.join(y)).collect())
+            }
+            // The original packet joined with a rebuilt packet tuple:
+            // the packet's header is `Ip { Unchanged, original src }`, so
+            // the merged destination is still trackable. This is what
+            // lets `if … then p else (iph, hdr, transformed)` keep its
+            // progress-send classification.
+            (Pkt, Tup(parts)) | (Tup(parts), Pkt) => {
+                let mut out = vec![AbsVal::Opaque; parts.len()];
+                if let Some(first) = parts.into_iter().next() {
+                    out[0] = first.join(Ip { dest: DestAbs::Unchanged, src_orig: true });
+                }
+                Tup(out)
+            }
+            _ => Opaque,
+        }
+    }
+}
+
+/// Result of walking one expression.
+struct Node {
+    min_out: u32,
+    max_sends: u32,
+    raises: BTreeSet<u32>,
+    abs: AbsVal,
+}
+
+impl Node {
+    fn pure(abs: AbsVal) -> Node {
+        Node { min_out: 0, max_sends: 0, raises: BTreeSet::new(), abs }
+    }
+
+    fn then(mut self, next: Node) -> Node {
+        self.min_out += next.min_out;
+        self.max_sends = (self.max_sends + next.max_sends).min(CAP);
+        self.raises.extend(next.raises);
+        self.abs = next.abs;
+        self
+    }
+}
+
+struct Cx<'p> {
+    prog: &'p TProgram,
+    fun_sums: Vec<ExprSummary>,
+    sites: Vec<SendSite>,
+    div_exn: u32,
+    prim_raise_cache: HashMap<PrimId, Vec<u32>>,
+}
+
+impl<'p> Cx<'p> {
+    fn new(prog: &'p TProgram) -> Self {
+        let div_exn = prog.exn_id("Div").expect("Div is predeclared").0;
+        Cx {
+            prog,
+            fun_sums: Vec::new(),
+            sites: Vec::new(),
+            div_exn,
+            prim_raise_cache: HashMap::new(),
+        }
+    }
+
+    fn walk_root(&mut self, body: &TExpr, env: HashMap<u32, AbsVal>) -> ExprSummary {
+        self.sites.clear();
+        let mut env = env;
+        let node = self.walk(body, &mut env);
+        ExprSummary {
+            sites: std::mem::take(&mut self.sites),
+            min_out: node.min_out,
+            max_sends: node.max_sends,
+            raises: node.raises,
+        }
+    }
+
+    fn prim_raises(&mut self, id: PrimId) -> Vec<u32> {
+        if let Some(v) = self.prim_raise_cache.get(&id) {
+            return v.clone();
+        }
+        let sig = prims::table().sig(id);
+        let v: Vec<u32> = sig
+            .raises
+            .iter()
+            .filter_map(|n| self.prog.exn_id(n).map(|e| e.0))
+            .collect();
+        self.prim_raise_cache.insert(id, v.clone());
+        v
+    }
+
+    fn resolve_target(&self, chan: &str, overload: u32) -> usize {
+        self.prog.chan_groups[chan][overload as usize]
+    }
+
+    fn walk(&mut self, e: &TExpr, env: &mut HashMap<u32, AbsVal>) -> Node {
+        use TExprKind::*;
+        match &e.kind {
+            Int(_) | Bool(_) | Str(_) | Char(_) | Unit => Node::pure(AbsVal::Opaque),
+            Host(a) => Node::pure(AbsVal::HostA(DestAbs::Const(*a))),
+            Local { slot, .. } => {
+                Node::pure(env.get(slot).cloned().unwrap_or(AbsVal::Opaque))
+            }
+            Global { index, .. } => {
+                let g = &self.prog.globals[*index as usize];
+                let abs = if g.ty == Type::Host {
+                    if let TExprKind::Host(a) = g.init.kind {
+                        AbsVal::HostA(DestAbs::Const(a))
+                    } else {
+                        AbsVal::HostA(DestAbs::Unknown)
+                    }
+                } else {
+                    AbsVal::Opaque
+                };
+                Node::pure(abs)
+            }
+            Tuple(items) => {
+                let mut node = Node::pure(AbsVal::Opaque);
+                let mut parts = Vec::with_capacity(items.len());
+                for item in items {
+                    let n = self.walk(item, env);
+                    parts.push(n.abs.clone());
+                    node = node.then(n);
+                }
+                node.abs = AbsVal::Tup(parts);
+                node
+            }
+            Proj(i, inner) => {
+                let n = self.walk(inner, env);
+                let abs = match &n.abs {
+                    AbsVal::Pkt if *i == 0 => AbsVal::Ip {
+                        dest: DestAbs::Unchanged,
+                        src_orig: true,
+                    },
+                    AbsVal::Tup(parts) => {
+                        parts.get(*i as usize).cloned().unwrap_or(AbsVal::Opaque)
+                    }
+                    _ => AbsVal::Opaque,
+                };
+                Node { abs, ..n }
+            }
+            CallFun { index, args } => {
+                let mut node = Node::pure(AbsVal::Opaque);
+                for a in args {
+                    node = node.then(self.walk(a, env));
+                }
+                let fs = self.fun_sums[*index as usize].clone();
+                node.min_out += fs.min_out;
+                node.max_sends = (node.max_sends + fs.max_sends).min(CAP);
+                node.raises.extend(fs.raises.iter().copied());
+                self.sites.extend(fs.sites.iter().cloned());
+                node.abs = AbsVal::Opaque;
+                node
+            }
+            CallPrim { prim, args } => {
+                let mut node = Node::pure(AbsVal::Opaque);
+                let mut arg_abs = Vec::with_capacity(args.len());
+                for a in args {
+                    let n = self.walk(a, env);
+                    arg_abs.push(n.abs.clone());
+                    node = node.then(n);
+                }
+                for r in self.prim_raises(*prim) {
+                    node.raises.insert(r);
+                }
+                let name = prims::table().sig(*prim).name;
+                if name == "deliver" {
+                    node.min_out += 1;
+                }
+                node.abs = prim_abs(name, &arg_abs);
+                node
+            }
+            If(c, t, f) => {
+                let cn = self.walk(c, env);
+                let tn = self.walk(t, env);
+                let fn_ = self.walk(f, env);
+                Node {
+                    min_out: cn.min_out + tn.min_out.min(fn_.min_out),
+                    max_sends: (cn.max_sends + tn.max_sends.max(fn_.max_sends)).min(CAP),
+                    raises: {
+                        let mut r = cn.raises;
+                        r.extend(tn.raises);
+                        r.extend(fn_.raises);
+                        r
+                    },
+                    abs: tn.abs.join(fn_.abs),
+                }
+            }
+            Let { slot, init, body, .. } => {
+                let init_n = self.walk(init, env);
+                let saved = env.insert(*slot, init_n.abs.clone());
+                let body_n = self.walk(body, env);
+                match saved {
+                    Some(v) => {
+                        env.insert(*slot, v);
+                    }
+                    None => {
+                        env.remove(slot);
+                    }
+                }
+                Node {
+                    min_out: init_n.min_out + body_n.min_out,
+                    max_sends: (init_n.max_sends + body_n.max_sends).min(CAP),
+                    raises: {
+                        let mut r = init_n.raises;
+                        r.extend(body_n.raises);
+                        r
+                    },
+                    abs: body_n.abs,
+                }
+            }
+            Seq(items) => {
+                let mut node = Node::pure(AbsVal::Opaque);
+                for item in items {
+                    node = node.then(self.walk(item, env));
+                }
+                node
+            }
+            Binop(op, a, b) => {
+                let mut node = self.walk(a, env).then(self.walk(b, env));
+                // Division by a nonzero constant cannot raise `Div`.
+                let const_nonzero =
+                    matches!(b.kind, TExprKind::Int(n) if n != 0);
+                if matches!(op, BinOp::Div | BinOp::Mod) && !const_nonzero {
+                    node.raises.insert(self.div_exn);
+                }
+                node.abs = AbsVal::Opaque;
+                node
+            }
+            Unop(_, a) => {
+                let mut node = self.walk(a, env);
+                node.abs = AbsVal::Opaque;
+                node
+            }
+            Raise(id) => {
+                let mut raises = BTreeSet::new();
+                raises.insert(id.0);
+                Node { min_out: 0, max_sends: 0, raises, abs: AbsVal::Opaque }
+            }
+            Handle(body, pat, handler) => {
+                let bn = self.walk(body, env);
+                let hn = self.walk(handler, env);
+                let mut caught = bn.raises.clone();
+                match pat {
+                    None => caught.clear(),
+                    Some(exn) => {
+                        caught.remove(&exn.0);
+                    }
+                }
+                let body_may_raise = !bn.raises.is_empty();
+                let mut raises = caught;
+                raises.extend(hn.raises.clone());
+                Node {
+                    // If the body cannot raise, the handler is dead code.
+                    min_out: if body_may_raise {
+                        bn.min_out.min(hn.min_out)
+                    } else {
+                        bn.min_out
+                    },
+                    max_sends: (bn.max_sends
+                        + if body_may_raise { hn.max_sends } else { 0 })
+                    .min(CAP),
+                    raises,
+                    abs: bn.abs.join(hn.abs),
+                }
+            }
+            List(items) => {
+                let mut node = Node::pure(AbsVal::Opaque);
+                for item in items {
+                    node = node.then(self.walk(item, env));
+                }
+                node.abs = AbsVal::Opaque;
+                node
+            }
+            OnRemote { chan, overload, pkt } => {
+                let pn = self.walk(pkt, env);
+                let dest = dest_of(&pn.abs);
+                self.sites.push(SendSite {
+                    chan: chan.clone(),
+                    target: self.resolve_target(chan, *overload),
+                    dest,
+                    kind: SendKind::Remote,
+                    span: e.span,
+                });
+                Node {
+                    min_out: pn.min_out + 1,
+                    max_sends: (pn.max_sends + 1).min(CAP),
+                    raises: pn.raises,
+                    abs: AbsVal::Opaque,
+                }
+            }
+            OnNeighbor { chan, overload, host, pkt } => {
+                let hn = self.walk(host, env);
+                let pn = self.walk(pkt, env);
+                let dest = match &hn.abs {
+                    AbsVal::HostA(d) => *d,
+                    _ => DestAbs::Unknown,
+                };
+                self.sites.push(SendSite {
+                    chan: chan.clone(),
+                    target: self.resolve_target(chan, *overload),
+                    dest,
+                    kind: SendKind::Neighbor,
+                    span: e.span,
+                });
+                Node {
+                    min_out: hn.min_out + pn.min_out + 1,
+                    max_sends: (hn.max_sends + pn.max_sends + 1).min(CAP),
+                    raises: {
+                        let mut r = hn.raises;
+                        r.extend(pn.raises);
+                        r
+                    },
+                    abs: AbsVal::Opaque,
+                }
+            }
+        }
+    }
+}
+
+/// Destination abstraction of a sent packet expression.
+fn dest_of(abs: &AbsVal) -> DestAbs {
+    match abs {
+        AbsVal::Pkt => DestAbs::Unchanged,
+        AbsVal::Tup(parts) => match parts.first() {
+            Some(AbsVal::Ip { dest, .. }) => *dest,
+            _ => DestAbs::Unknown,
+        },
+        AbsVal::Ip { dest, .. } => *dest,
+        _ => DestAbs::Unknown,
+    }
+}
+
+/// Abstract transfer functions for header-manipulating primitives.
+fn prim_abs(name: &str, args: &[AbsVal]) -> AbsVal {
+    match name {
+        "ipSrc" => match &args[0] {
+            AbsVal::Ip { src_orig: true, .. } => AbsVal::HostA(DestAbs::OrigSrc),
+            _ => AbsVal::HostA(DestAbs::Unknown),
+        },
+        "ipDst" => match &args[0] {
+            AbsVal::Ip { dest, .. } => AbsVal::HostA(*dest),
+            _ => AbsVal::HostA(DestAbs::Unknown),
+        },
+        "ipDestSet" => {
+            let dest = match &args[1] {
+                AbsVal::HostA(d) => *d,
+                _ => DestAbs::Unknown,
+            };
+            let src_orig = matches!(&args[0], AbsVal::Ip { src_orig: true, .. });
+            AbsVal::Ip { dest, src_orig }
+        }
+        "ipSrcSet" => {
+            let dest = match &args[0] {
+                AbsVal::Ip { dest, .. } => *dest,
+                _ => DestAbs::Unknown,
+            };
+            AbsVal::Ip { dest, src_orig: false }
+        }
+        // Payload/header transformations preserve nothing we track.
+        _ => AbsVal::Opaque,
+    }
+}
+
+/// Computes the maximum, over all execution paths of `body`, of the total
+/// *weight* of executed send sites, where `weigh` assigns each send site a
+/// weight. Function calls contribute `fun_weights[f]`. Saturates at `CAP`.
+///
+/// This is the workhorse of the duplication fix-point: with weight 1 for
+/// every send it computes the plain maximum send count; with weight 2 for
+/// sends targeting duplicating channels it computes the paper's "at most
+/// one copying send per path" measure.
+pub fn max_path_weight(
+    prog: &TProgram,
+    body: &TExpr,
+    fun_weights: &[u32],
+    weigh: &dyn Fn(usize, DestAbs) -> u32,
+) -> u32 {
+    // Destination abstractions depend on the environment; rather than
+    // re-threading the abstract env, we reuse `summarize`-style analysis
+    // conservatively: recompute locally with a fresh env each call.
+    let mut env: HashMap<u32, AbsVal> = HashMap::new();
+    env.insert(2, AbsVal::Pkt);
+    wmax(prog, body, fun_weights, weigh, &mut env).min(CAP)
+}
+
+fn wmax(
+    prog: &TProgram,
+    e: &TExpr,
+    fw: &[u32],
+    weigh: &dyn Fn(usize, DestAbs) -> u32,
+    env: &mut HashMap<u32, AbsVal>,
+) -> u32 {
+    use TExprKind::*;
+    match &e.kind {
+        Int(_) | Bool(_) | Str(_) | Char(_) | Unit | Host(_) | Local { .. }
+        | Global { .. } | Raise(_) => 0,
+        Tuple(items) | Seq(items) | List(items) => items
+            .iter()
+            .map(|i| wmax(prog, i, fw, weigh, env))
+            .sum::<u32>()
+            .min(CAP),
+        Proj(_, inner) | Unop(_, inner) => wmax(prog, inner, fw, weigh, env),
+        CallFun { index, args } => {
+            let argw: u32 = args.iter().map(|a| wmax(prog, a, fw, weigh, env)).sum();
+            (argw + fw[*index as usize]).min(CAP)
+        }
+        CallPrim { args, .. } => args
+            .iter()
+            .map(|a| wmax(prog, a, fw, weigh, env))
+            .sum::<u32>()
+            .min(CAP),
+        If(c, t, f) => {
+            let cw = wmax(prog, c, fw, weigh, env);
+            let tw = wmax(prog, t, fw, weigh, env);
+            let fw_ = wmax(prog, f, fw, weigh, env);
+            (cw + tw.max(fw_)).min(CAP)
+        }
+        Let { slot, init, body, .. } => {
+            let iw = wmax(prog, init, fw, weigh, env);
+            // Track the abstract value for destination resolution.
+            let abs = abs_only(prog, init, env);
+            let saved = env.insert(*slot, abs);
+            let bw = wmax(prog, body, fw, weigh, env);
+            match saved {
+                Some(v) => {
+                    env.insert(*slot, v);
+                }
+                None => {
+                    env.remove(slot);
+                }
+            }
+            (iw + bw).min(CAP)
+        }
+        Binop(_, a, b) => {
+            (wmax(prog, a, fw, weigh, env) + wmax(prog, b, fw, weigh, env)).min(CAP)
+        }
+        Handle(body, _, handler) => (wmax(prog, body, fw, weigh, env)
+            + wmax(prog, handler, fw, weigh, env))
+        .min(CAP),
+        OnRemote { chan, overload, pkt } => {
+            let pw = wmax(prog, pkt, fw, weigh, env);
+            let abs = abs_only(prog, pkt, env);
+            let dest = dest_of(&abs);
+            let target = prog.chan_groups[chan][*overload as usize];
+            (pw + weigh(target, dest)).min(CAP)
+        }
+        OnNeighbor { chan, overload, host, pkt } => {
+            let hw = wmax(prog, host, fw, weigh, env);
+            let pw = wmax(prog, pkt, fw, weigh, env);
+            let abs = abs_only(prog, host, env);
+            let dest = match abs {
+                AbsVal::HostA(d) => d,
+                _ => DestAbs::Unknown,
+            };
+            let target = prog.chan_groups[chan][*overload as usize];
+            (hw + pw + weigh(target, dest)).min(CAP)
+        }
+    }
+}
+
+/// Effect-free abstract evaluation (destination tracking only).
+fn abs_only(prog: &TProgram, e: &TExpr, env: &mut HashMap<u32, AbsVal>) -> AbsVal {
+    use TExprKind::*;
+    match &e.kind {
+        Host(a) => AbsVal::HostA(DestAbs::Const(*a)),
+        Local { slot, .. } => env.get(slot).cloned().unwrap_or(AbsVal::Opaque),
+        Global { index, .. } => {
+            let g = &prog.globals[*index as usize];
+            if g.ty == Type::Host {
+                if let TExprKind::Host(a) = g.init.kind {
+                    return AbsVal::HostA(DestAbs::Const(a));
+                }
+                return AbsVal::HostA(DestAbs::Unknown);
+            }
+            AbsVal::Opaque
+        }
+        Tuple(items) => {
+            AbsVal::Tup(items.iter().map(|i| abs_only(prog, i, env)).collect())
+        }
+        Proj(i, inner) => match abs_only(prog, inner, env) {
+            AbsVal::Pkt if *i == 0 => AbsVal::Ip { dest: DestAbs::Unchanged, src_orig: true },
+            AbsVal::Tup(parts) => parts.get(*i as usize).cloned().unwrap_or(AbsVal::Opaque),
+            _ => AbsVal::Opaque,
+        },
+        CallPrim { prim, args } => {
+            let arg_abs: Vec<AbsVal> =
+                args.iter().map(|a| abs_only(prog, a, env)).collect();
+            prim_abs(prims::table().sig(*prim).name, &arg_abs)
+        }
+        If(_, t, f) => abs_only(prog, t, env).join(abs_only(prog, f, env)),
+        Let { slot, init, body, .. } => {
+            let abs = abs_only(prog, init, env);
+            let saved = env.insert(*slot, abs);
+            let out = abs_only(prog, body, env);
+            match saved {
+                Some(v) => {
+                    env.insert(*slot, v);
+                }
+                None => {
+                    env.remove(slot);
+                }
+            }
+            out
+        }
+        Seq(items) => items
+            .last()
+            .map(|l| abs_only(prog, l, env))
+            .unwrap_or(AbsVal::Opaque),
+        Handle(body, _, handler) => {
+            abs_only(prog, body, env).join(abs_only(prog, handler, env))
+        }
+        _ => AbsVal::Opaque,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planp_lang::compile_front;
+
+    fn summarize_src(src: &str) -> (TProgram, ProgramSummary) {
+        let tp = compile_front(src).unwrap_or_else(|e| panic!("front: {e}\n{src}"));
+        let sum = summarize(&tp);
+        (tp, sum)
+    }
+
+    #[test]
+    fn forward_unchanged_is_progress() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, p); (ps, ss))",
+        );
+        let s = &sum.channels[0];
+        assert_eq!(s.sites.len(), 1);
+        assert!(s.sites[0].is_progress());
+        assert_eq!(s.min_out, 1);
+        assert_eq!(s.max_sends, 1);
+        assert!(s.raises.is_empty());
+    }
+
+    #[test]
+    fn dest_set_to_constant() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, (ipDestSet(#1 p, 10.0.0.9), #2 p, #3 p)); (ps, ss))",
+        );
+        let a = (10u32 << 24) | 9;
+        assert_eq!(sum.channels[0].sites[0].dest, DestAbs::Const(a));
+        assert!(!sum.channels[0].sites[0].is_progress());
+    }
+
+    #[test]
+    fn dest_set_to_source() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, (ipDestSet(#1 p, ipSrc(#1 p)), #2 p, #3 p)); (ps, ss))",
+        );
+        assert_eq!(sum.channels[0].sites[0].dest, DestAbs::OrigSrc);
+    }
+
+    #[test]
+    fn dest_set_to_own_dst_is_unchanged() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, (ipDestSet(#1 p, ipDst(#1 p)), #2 p, #3 p)); (ps, ss))",
+        );
+        assert_eq!(sum.channels[0].sites[0].dest, DestAbs::Unchanged);
+        assert!(sum.channels[0].sites[0].is_progress());
+    }
+
+    #[test]
+    fn let_bound_header_tracked() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             let val iph : ip = #1 p in\n\
+               (OnRemote(network, (ipDestSet(iph, 10.1.1.1), #2 p, #3 p)); (ps, ss))\n\
+             end",
+        );
+        let a = (10u32 << 24) | (1 << 16) | (1 << 8) | 1;
+        assert_eq!(sum.channels[0].sites[0].dest, DestAbs::Const(a));
+    }
+
+    #[test]
+    fn global_host_constant_resolves() {
+        let (_, sum) = summarize_src(
+            "val srv : host = 10.2.2.2\n\
+             channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, (ipDestSet(#1 p, srv), #2 p, #3 p)); (ps, ss))",
+        );
+        assert!(matches!(sum.channels[0].sites[0].dest, DestAbs::Const(_)));
+    }
+
+    #[test]
+    fn branch_min_and_max() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             if ps > 0 then (OnRemote(network, p); (ps, ss)) else (ps, ss)",
+        );
+        let s = &sum.channels[0];
+        assert_eq!(s.min_out, 0);
+        assert_eq!(s.max_sends, 1);
+    }
+
+    #[test]
+    fn deliver_counts_for_min_out_not_sends() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (deliver(p); (ps, ss))",
+        );
+        let s = &sum.channels[0];
+        assert_eq!(s.min_out, 1);
+        assert_eq!(s.max_sends, 0);
+    }
+
+    #[test]
+    fn raises_escape_and_are_caught() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob) is\n\
+             ((tblGet(ss, ipSrc(#1 p)), ss) handle NotFound => (0, ss))",
+        );
+        assert!(sum.channels[0].raises.is_empty());
+        let (tp, sum) = summarize_src(
+            "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob) is\n\
+             (tblGet(ss, ipSrc(#1 p)), ss)",
+        );
+        let nf = tp.exn_id("NotFound").unwrap().0;
+        assert_eq!(sum.channels[0].raises, BTreeSet::from([nf]));
+    }
+
+    #[test]
+    fn wildcard_handle_catches_everything() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             ((ps div 0, ss) handle _ => (0, ss))",
+        );
+        assert!(sum.channels[0].raises.is_empty());
+    }
+
+    #[test]
+    fn div_may_raise_unless_divisor_is_constant() {
+        // Non-constant divisor: may raise.
+        let (tp, sum) = summarize_src(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is (ps div blobLen(#3 p), ss)",
+        );
+        let div = tp.exn_id("Div").unwrap().0;
+        assert!(sum.channels[0].raises.contains(&div));
+        // Constant nonzero divisor: provably safe.
+        let (_, sum) = summarize_src(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is (ps div 2, ss)",
+        );
+        assert!(sum.channels[0].raises.is_empty());
+    }
+
+    #[test]
+    fn function_sends_inlined() {
+        let (_, sum) = summarize_src(
+            "channel relay(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)\n\
+             channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(relay, p); OnRemote(relay, p); (ps, ss))",
+        );
+        // find the network channel summary (index 1)
+        let s = &sum.channels[1];
+        assert_eq!(s.sites.len(), 2);
+        assert_eq!(s.max_sends, 2);
+        assert_eq!(s.min_out, 2);
+    }
+
+    #[test]
+    fn multicast_constant_detected() {
+        let d = DestAbs::Const((224u32 << 24) | 5);
+        assert!(d.is_multicast_const());
+        assert!(!DestAbs::Const(10 << 24).is_multicast_const());
+    }
+
+    #[test]
+    fn max_path_weight_counts_sends() {
+        let (tp, _) = summarize_src(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             (if ps > 0 then OnRemote(network, p) else (OnRemote(network, p); OnRemote(network, p));\n\
+              (ps, ss))",
+        );
+        let w = max_path_weight(&tp, &tp.channels[0].body, &[], &|_, _| 1);
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn src_rewrite_defeats_orig_src_tracking() {
+        // After ipSrcSet, ipSrc no longer returns the original source —
+        // the abstraction must not claim OrigSrc.
+        let (_, sum) = summarize_src(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+             let val iph2 : ip = ipSrcSet(#1 p, 10.0.0.9) in
+               (OnRemote(network, (ipDestSet(iph2, ipSrc(iph2)), #2 p, #3 p)); (ps, ss))
+             end",
+        );
+        assert_eq!(sum.channels[0].sites[0].dest, DestAbs::Unknown);
+    }
+
+    #[test]
+    fn src_rewrite_preserves_dest_tracking() {
+        // ipSrcSet does not touch the destination: still a progress send.
+        let (_, sum) = summarize_src(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+             (OnRemote(network, (ipSrcSet(#1 p, 10.0.0.9), #2 p, #3 p)); (ps, ss))",
+        );
+        assert!(sum.channels[0].sites[0].is_progress());
+    }
+
+    #[test]
+    fn branch_join_of_packet_and_rebuilt_tuple_stays_tracked() {
+        // `if c then p else (iph, udph, transformed)` — the audio router
+        // shape — keeps the Unchanged classification through the join.
+        let (_, sum) = summarize_src(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is
+             let val out : ip*udp*blob =
+               if ps > 0 then p else (#1 p, #2 p, audio16to8(#3 p))
+             in (OnRemote(network, out); (ps, ss)) end",
+        );
+        assert!(sum.channels[0].sites[0].is_progress());
+    }
+
+    #[test]
+    fn branch_join_of_diverging_destinations_is_unknown() {
+        let (_, sum) = summarize_src(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is
+             let val out : ip*udp*blob =
+               if ps > 0 then (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)
+               else (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)
+             in (OnRemote(network, out); (ps, ss)) end",
+        );
+        assert_eq!(sum.channels[0].sites[0].dest, DestAbs::Unknown);
+    }
+
+    #[test]
+    fn sends_inside_functions_have_unknown_destinations() {
+        // Function parameters are opaque, so a destination-changing send
+        // inside a function cannot be tracked — conservative Unknown.
+        let (_, sum) = summarize_src(
+            "channel sink(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))
+             fun fwd(q : ip*udp*blob) : unit = OnRemote(sink, q)
+             channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+             (fwd(p); (ps, ss))",
+        );
+        let s = &sum.channels[1];
+        assert_eq!(s.sites.len(), 1);
+        assert_eq!(s.sites[0].dest, DestAbs::Unknown);
+    }
+
+    #[test]
+    fn on_neighbor_dest_abstraction() {
+        let (_, sum) = summarize_src(
+            "channel mon(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)\n\
+             channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnNeighbor(mon, 10.0.0.3, p); (ps, ss))",
+        );
+        let s = &sum.channels[1];
+        assert_eq!(s.sites[0].kind, SendKind::Neighbor);
+        assert!(matches!(s.sites[0].dest, DestAbs::Const(_)));
+        assert!(!s.sites[0].is_progress());
+    }
+}

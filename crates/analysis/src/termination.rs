@@ -1,0 +1,247 @@
+//! Global-termination analysis (paper section 2.1).
+//!
+//! Local termination holds by construction (no recursion, no unbounded
+//! loops — re-verified cheaply here). Global termination is about packets
+//! cycling *through the network*: every `OnRemote` is a recursive call on
+//! a remote machine.
+//!
+//! The argument, following the paper: assume IP routing tables are
+//! acyclic. Then an `OnRemote` that leaves the packet's destination
+//! **unchanged** makes progress — each hop strictly approaches the
+//! destination, and on arrival the packet is delivered rather than
+//! re-forwarded. The only way to loop forever is through sends that
+//! *change* the destination (or `OnNeighbor` jumps, which restart
+//! processing at another node).
+//!
+//! We therefore build a graph whose nodes are channels and whose edges are
+//! send sites, and reject the program iff some cycle contains at least one
+//! **restart** edge (a non-progress send). Pure-progress cycles are fine:
+//! the packet is making monotone progress toward a fixed destination the
+//! whole time. This explores the same (channel × destination) state space
+//! the paper describes (size ~ r·d·2^d), collapsed onto channels with a
+//! progress/restart edge labelling.
+
+use crate::summary::ProgramSummary;
+use planp_lang::error::LangError;
+use planp_lang::tast::TProgram;
+
+/// Outcome of one analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The property is proved.
+    Proved,
+    /// The property could not be proved; diagnostics explain why.
+    Rejected(Vec<LangError>),
+}
+
+impl Outcome {
+    /// True if the property was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Outcome::Proved)
+    }
+}
+
+/// Checks global termination.
+pub fn check_termination(prog: &TProgram, sum: &ProgramSummary) -> Outcome {
+    let n = prog.channels.len();
+
+    // Edges: (from, to, is_restart, span).
+    let mut edges = Vec::new();
+    for (c, s) in sum.channels.iter().enumerate() {
+        for site in &s.sites {
+            edges.push((c, site.target, !site.is_progress(), site.span));
+        }
+    }
+
+    // Immediate self-restart is a cycle of length one.
+    // General case: strongly connected components over *all* edges; a
+    // restart edge inside an SCC closes a cycle containing it.
+    let mut adj = vec![Vec::new(); n];
+    for &(u, v, _, _) in &edges {
+        adj[u].push(v);
+    }
+    let comp = scc(&adj);
+
+    let mut errors = Vec::new();
+    for &(u, v, restart, span) in &edges {
+        if restart && comp[u] == comp[v] {
+            let from = &prog.channels[u].name;
+            let to = &prog.channels[v].name;
+            errors.push(LangError::verify(
+                format!(
+                    "possible packet cycle: destination-changing send from channel `{from}` reaches `{to}` which can send back to `{from}`"
+                ),
+                span,
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Outcome::Proved
+    } else {
+        Outcome::Rejected(errors)
+    }
+}
+
+/// Kosaraju strongly-connected components; returns the component id of
+/// each node. A node is in the same component as another iff they lie on
+/// a common cycle (or are the same node). Self-loops put `u` on a cycle
+/// with itself, which the edge check above captures because
+/// `comp[u] == comp[u]`.
+fn scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        // Iterative post-order DFS.
+        let mut stack = vec![(s, 0usize)];
+        seen[s] = true;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < adj[u].len() {
+                let v = adj[u][*i];
+                *i += 1;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Transpose.
+    let mut radj = vec![Vec::new(); n];
+    for (u, vs) in adj.iter().enumerate() {
+        for &v in vs {
+            radj[v].push(u);
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut c = 0;
+    for &s in order.iter().rev() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        comp[s] = c;
+        while let Some(u) = stack.pop() {
+            for &v in &radj[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = c;
+                    stack.push(v);
+                }
+            }
+        }
+        c += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::summarize;
+    use planp_lang::compile_front;
+
+    fn run(src: &str) -> Outcome {
+        let tp = compile_front(src).unwrap_or_else(|e| panic!("front: {e}\n{src}"));
+        let sum = summarize(&tp);
+        check_termination(&tp, &sum)
+    }
+
+    #[test]
+    fn plain_forwarding_terminates() {
+        assert!(run(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, p); (ps, ss))"
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn one_shot_redirect_terminates() {
+        // The gateway redirects to a constant server; the `relay` channel
+        // it targets only forwards unchanged — no cycle.
+        assert!(run(
+            "channel relay(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
+             (OnRemote(relay, p); (ps, ss))\n\
+             channel network(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
+             (OnRemote(relay, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))"
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn self_redirect_rejected() {
+        // `network` changes the destination and sends back to itself: the
+        // packet could bounce between constants forever.
+        let out = run(
+            "channel network(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
+             (OnRemote(network, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))",
+        );
+        let Outcome::Rejected(errs) = out else { panic!("expected rejection") };
+        assert!(errs[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn bounce_to_source_rejected() {
+        let out = run(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, (ipDestSet(#1 p, ipSrc(#1 p)), #2 p, #3 p)); (ps, ss))",
+        );
+        assert!(!out.is_proved());
+    }
+
+    #[test]
+    fn two_channel_ping_pong_rejected() {
+        let out = run(
+            "channel a(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(b, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))\n\
+             channel b(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(a, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps, ss))",
+        );
+        assert!(!out.is_proved());
+    }
+
+    #[test]
+    fn redirect_chain_terminates() {
+        // a --change--> b --unchanged--> b: no cycle through the restart.
+        assert!(run(
+            "channel b(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(b, p); (ps, ss))\n\
+             channel a(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(b, (ipDestSet(#1 p, 10.0.0.7), #2 p, #3 p)); (ps, ss))"
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn neighbor_self_loop_rejected() {
+        let out = run(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnNeighbor(network, 10.0.0.2, p); (ps, ss))",
+        );
+        assert!(!out.is_proved());
+    }
+
+    #[test]
+    fn neighbor_to_terminal_channel_ok() {
+        assert!(run(
+            "channel mon(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))\n\
+             channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnNeighbor(mon, 10.0.0.3, p); (ps, ss))"
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn non_sending_channel_trivially_terminates() {
+        assert!(run(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)"
+        )
+        .is_proved());
+    }
+}

@@ -1,0 +1,233 @@
+//! The verifier façade: runs the configured analyses and produces a
+//! structured report.
+//!
+//! This is the component the paper describes as running *in the router*
+//! when a program is downloaded (late checking): programs that cannot be
+//! proved safe are rejected, unless the download is authenticated — the
+//! paper's escape hatch for legitimate protocols (e.g. multicast) that
+//! the conservative analyses cannot prove.
+
+use crate::delivery::check_delivery;
+use crate::duplication::{check_duplication, compute_may_copy};
+use crate::summary::{summarize, ProgramSummary};
+use crate::termination::{check_termination, Outcome};
+use planp_lang::error::LangError;
+use planp_lang::tast::TProgram;
+use std::fmt;
+
+/// Size of the analysis problem — the paper's back-of-envelope
+/// `r·d·2^d` discussion made concrete (section 2.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisStats {
+    /// Channels analyzed.
+    pub channels: usize,
+    /// Send sites found (the paper's `r`).
+    pub send_sites: usize,
+    /// Destination-changing (restart) sites among them.
+    pub restart_sites: usize,
+    /// Iterations the duplication fix-point needed (bounded by
+    /// channels + 1; the paper's bound is `2^c`).
+    pub dup_iterations: usize,
+}
+
+/// Which properties a node demands before accepting a program.
+///
+/// Network providers may require different properties (section 4); the
+/// default demands everything the paper's analyses can prove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// Require the global-termination proof.
+    pub require_termination: bool,
+    /// Require the guaranteed-delivery proof (implies termination).
+    pub require_delivery: bool,
+    /// Require the linear-duplication proof.
+    pub require_linear_duplication: bool,
+}
+
+impl Policy {
+    /// The strictest policy: all three properties.
+    pub fn strict() -> Self {
+        Policy {
+            require_termination: true,
+            require_delivery: true,
+            require_linear_duplication: true,
+        }
+    }
+
+    /// Termination and linear duplication, but programs may drop packets
+    /// intentionally (e.g. filters and monitors).
+    pub fn no_delivery() -> Self {
+        Policy {
+            require_termination: true,
+            require_delivery: false,
+            require_linear_duplication: true,
+        }
+    }
+
+    /// An authenticated (privileged) download: nothing is required, the
+    /// report is informational.
+    pub fn authenticated() -> Self {
+        Policy {
+            require_termination: false,
+            require_delivery: false,
+            require_linear_duplication: false,
+        }
+    }
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::strict()
+    }
+}
+
+/// The verifier's findings for one program.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Global-termination outcome.
+    pub termination: Outcome,
+    /// Guaranteed-delivery outcome.
+    pub delivery: Outcome,
+    /// Linear-duplication outcome.
+    pub duplication: Outcome,
+    /// The policy the report was evaluated against.
+    pub policy: Policy,
+    /// Problem-size statistics.
+    pub stats: AnalysisStats,
+}
+
+impl VerifyReport {
+    /// True if the program satisfies the policy.
+    pub fn accepted(&self) -> bool {
+        (!self.policy.require_termination || self.termination.is_proved())
+            && (!self.policy.require_delivery || self.delivery.is_proved())
+            && (!self.policy.require_linear_duplication || self.duplication.is_proved())
+    }
+
+    /// All diagnostics from analyses the policy requires.
+    pub fn errors(&self) -> Vec<LangError> {
+        let mut out = Vec::new();
+        let mut push = |required: bool, outcome: &Outcome| {
+            if required {
+                if let Outcome::Rejected(errs) = outcome {
+                    out.extend(errs.iter().cloned());
+                }
+            }
+        };
+        push(self.policy.require_termination, &self.termination);
+        push(self.policy.require_delivery, &self.delivery);
+        push(self.policy.require_linear_duplication, &self.duplication);
+        // Delivery subsumes termination diagnostics; dedup.
+        out.dedup_by(|a, b| a == b);
+        out
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = |o: &Outcome| if o.is_proved() { "proved" } else { "NOT PROVED" };
+        writeln!(f, "termination:  {}", s(&self.termination))?;
+        writeln!(f, "delivery:     {}", s(&self.delivery))?;
+        writeln!(f, "duplication:  {}", s(&self.duplication))?;
+        writeln!(
+            f,
+            "verdict:      {}",
+            if self.accepted() { "ACCEPTED" } else { "REJECTED" }
+        )?;
+        write!(
+            f,
+            "problem size: {} channel(s), {} send site(s) ({} destination-changing), {} fix-point iteration(s)",
+            self.stats.channels,
+            self.stats.send_sites,
+            self.stats.restart_sites,
+            self.stats.dup_iterations
+        )
+    }
+}
+
+/// Runs all analyses against `prog` and evaluates them under `policy`.
+pub fn verify(prog: &TProgram, policy: Policy) -> VerifyReport {
+    let sum = summarize(prog);
+    verify_with_summary(prog, &sum, policy)
+}
+
+/// Like [`verify`], reusing a precomputed summary.
+pub fn verify_with_summary(
+    prog: &TProgram,
+    sum: &ProgramSummary,
+    policy: Policy,
+) -> VerifyReport {
+    let send_sites: usize = sum.channels.iter().map(|s| s.sites.len()).sum();
+    let restart_sites: usize = sum
+        .channels
+        .iter()
+        .flat_map(|s| s.sites.iter())
+        .filter(|site| !site.is_progress())
+        .count();
+    let stats = AnalysisStats {
+        channels: prog.channels.len(),
+        send_sites,
+        restart_sites,
+        dup_iterations: compute_may_copy(prog, sum).iterations,
+    };
+    VerifyReport {
+        termination: check_termination(prog, sum),
+        delivery: check_delivery(prog, sum),
+        duplication: check_duplication(prog, sum),
+        policy,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planp_lang::compile_front;
+
+    fn report(src: &str, policy: Policy) -> VerifyReport {
+        let tp = compile_front(src).unwrap_or_else(|e| panic!("front: {e}\n{src}"));
+        verify(&tp, policy)
+    }
+
+    const GOOD: &str = "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+                        (OnRemote(network, p); (ps, ss))";
+
+    const DROPPER: &str = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                           if ps > 0 then (OnRemote(network, p); (ps, ss)) else (ps, ss)";
+
+    #[test]
+    fn good_program_accepted_under_strict() {
+        let r = report(GOOD, Policy::strict());
+        assert!(r.accepted(), "{r}");
+        assert!(r.errors().is_empty());
+    }
+
+    #[test]
+    fn dropper_rejected_under_strict_but_ok_without_delivery() {
+        let r = report(DROPPER, Policy::strict());
+        assert!(!r.accepted());
+        assert!(!r.errors().is_empty());
+        let r = report(DROPPER, Policy::no_delivery());
+        assert!(r.accepted(), "{r}");
+    }
+
+    #[test]
+    fn authenticated_accepts_anything() {
+        let bouncer = "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+                       (OnRemote(network, (ipDestSet(#1 p, ipSrc(#1 p)), #2 p, #3 p)); (ps, ss))";
+        let r = report(bouncer, Policy::authenticated());
+        assert!(r.accepted());
+        // The analyses still ran and report the problem informationally.
+        assert!(!r.termination.is_proved());
+        assert!(r.errors().is_empty());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let r = report(GOOD, Policy::strict());
+        let s = r.to_string();
+        assert!(s.contains("ACCEPTED"));
+        assert!(s.contains("termination:  proved"));
+        assert!(s.contains("problem size: 1 channel(s), 1 send site(s)"), "{s}");
+    }
+}

@@ -1,0 +1,18 @@
+//! # planp-apps — the paper's three ASP applications
+//!
+//! Each of the experiments of section 3, complete with the PLAN-P
+//! sources, the simulated legacy applications they adapt, native
+//! ("built-in C") baselines, and scenario harnesses:
+//!
+//! * [`audio`] — audio broadcasting with bandwidth adaptation in
+//!   routers (section 3.1, figures 5–7);
+//! * [`http`] — an extensible HTTP server with load balancing over a
+//!   cluster (section 3.2, figure 8);
+//! * [`mpeg`] — a multipoint MPEG service derived from a point-to-point
+//!   server (section 3.3).
+
+#![warn(missing_docs)]
+
+pub mod audio;
+pub mod http;
+pub mod mpeg;

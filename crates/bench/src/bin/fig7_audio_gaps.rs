@@ -1,0 +1,77 @@
+//! Regenerates the paper's **figure 7**: the number of silent periods
+//! in audio playback, with and without adaptation, across load levels.
+//!
+//! ```text
+//! cargo run --release -p planp-bench --bin fig7_audio_gaps
+//! ```
+
+use planp_apps::audio::{run_audio, Adaptation, AudioConfig, LoadPhase};
+use planp_bench::render_table;
+
+fn run(adaptation: Adaptation, kbps: u64) -> (u64, u64, f64) {
+    let cfg = AudioConfig {
+        adaptation,
+        phases: if kbps == 0 {
+            vec![]
+        } else {
+            vec![LoadPhase { from_s: 5.0, to_s: 120.0, kbps }]
+        },
+        jitter_pct: 4,
+        duration_s: 120,
+        seed: 7,
+        router_src: None,
+        dual_segment: false,
+    };
+    let r = run_audio(&cfg);
+    (r.stats.gaps, r.segment_drops, r.avg_kbps(10.0, 120.0))
+}
+
+fn main() {
+    println!("Figure 7 — silent periods during 120 s of playback");
+    println!("(paper: adaptation greatly reduces gaps under load)\n");
+
+    // Load levels paralleling the paper's configurations. The \"large\"
+    // level oversubscribes the segment once full-quality audio is added,
+    // which is the regime where adaptation pays off.
+    let levels = [
+        ("no load", 0u64),
+        ("small load", 6200),
+        ("medium load", 7750),
+        ("large load", 9560),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, kbps) in levels {
+        let (gaps_on, drops_on, bw_on) = run(Adaptation::AspJit, kbps);
+        let (gaps_native, _, _) = run(Adaptation::Native, kbps);
+        let (gaps_off, drops_off, bw_off) = run(Adaptation::Off, kbps);
+        rows.push(vec![
+            name.to_string(),
+            gaps_on.to_string(),
+            gaps_native.to_string(),
+            gaps_off.to_string(),
+            format!("{bw_on:.0}"),
+            format!("{bw_off:.0}"),
+            drops_on.to_string(),
+            drops_off.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "load",
+                "gaps ASP",
+                "gaps native",
+                "gaps off",
+                "kb/s ASP",
+                "kb/s off",
+                "drops ASP",
+                "drops off",
+            ],
+            &rows
+        )
+    );
+    println!("expected shape: gaps(ASP) ≈ gaps(native) << gaps(off) at large load;");
+    println!("ASP bandwidth drops to the degraded rate under load, no-adaptation stays at ~177 kb/s.");
+}

@@ -1,0 +1,116 @@
+//! # planp-bench — the evaluation harness
+//!
+//! One target per table/figure of the paper's evaluation:
+//!
+//! | paper | target |
+//! |---|---|
+//! | Fig. 3 (code generation time) | `benches/fig3_codegen.rs`, `bin/fig3_codegen_table` |
+//! | §2.4 / bridge claim: "ASP as fast as built-in C" | `benches/jit_vs_native.rs` |
+//! | Fig. 6 (audio bandwidth adaptation) | `bin/fig6_audio_bandwidth` |
+//! | Fig. 7 (silent periods) | `bin/fig7_audio_gaps` |
+//! | Fig. 8 (HTTP cluster throughput) | `bin/fig8_http_perf` |
+//! | §3.3 (multipoint MPEG) | `bin/mpeg_sharing_table` |
+
+#![warn(missing_docs)]
+
+use planp_analysis::Policy;
+
+/// The five PLAN-P programs measured by the paper's figure 3, with the
+/// verification policy each loads under.
+pub fn paper_programs() -> Vec<(&'static str, &'static str, Policy)> {
+    vec![
+        (
+            "Audio Broadcasting (router)",
+            planp_apps::audio::AUDIO_ROUTER_ASP,
+            Policy::strict(),
+        ),
+        (
+            "Audio Broadcasting (client)",
+            planp_apps::audio::AUDIO_CLIENT_ASP,
+            Policy::strict(),
+        ),
+        (
+            "Extensible Web Server",
+            planp_apps::http::HTTP_GATEWAY_ASP,
+            Policy::strict(),
+        ),
+        (
+            "MPEG (monitor)",
+            planp_apps::mpeg::MPEG_MONITOR_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "MPEG (client)",
+            planp_apps::mpeg::MPEG_CAPTURE_ASP,
+            Policy::no_delivery(),
+        ),
+    ]
+}
+
+/// The paper's figure 3 reference values: (lines, codegen milliseconds)
+/// on a 1998 SPARC with Tempo's template assembler.
+pub const PAPER_FIG3: [(&str, u32, f64); 5] = [
+    ("Audio Broadcasting (router)", 68, 11.0),
+    ("Audio Broadcasting (client)", 28, 6.2),
+    ("Extensible Web Server", 91, 15.3),
+    ("MPEG (monitor)", 161, 33.9),
+    ("MPEG (client)", 53, 6.1),
+];
+
+/// Renders an aligned text table (simple two-space separation).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planp_runtime::load;
+
+    #[test]
+    fn all_five_paper_programs_load() {
+        for (name, src, policy) in paper_programs() {
+            let lp = load(src, policy).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(lp.lines > 10, "{name} suspiciously short");
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "n"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("long-name"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Diagnostic type shared by all front-end phases.
+
+use crate::span::{line_col, Span};
+use std::fmt;
+
+/// Which phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking.
+    Type,
+    /// Static safety verification.
+    Verify,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Type => "type",
+            Phase::Verify => "verify",
+        })
+    }
+}
+
+/// An error pointing at a span of PLAN-P source.
+///
+/// All front-end phases (lexer, parser, type checker, verifier) report this
+/// type so that tooling can render uniform diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// The phase that rejected the program.
+    pub phase: Phase,
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+    /// Location of the problem.
+    pub span: Span,
+}
+
+impl LangError {
+    /// Creates a lexing error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Lex, message: message.into(), span }
+    }
+
+    /// Creates a parse error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Parse, message: message.into(), span }
+    }
+
+    /// Creates a type error.
+    pub fn ty(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Type, message: message.into(), span }
+    }
+
+    /// Creates a verification error.
+    pub fn verify(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Verify, message: message.into(), span }
+    }
+
+    /// Renders the error with a line:column position resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let lc = line_col(src, self.span.start);
+        format!("{} error at {}: {}", self.phase, lc, self.message)
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line_and_column() {
+        let src = "val x : int = true";
+        let err = LangError::ty("expected int, found bool", Span::new(14, 18));
+        assert_eq!(err.render(src), "type error at 1:15: expected int, found bool");
+    }
+
+    #[test]
+    fn display_includes_phase() {
+        let err = LangError::parse("expected `)`", Span::new(2, 3));
+        assert!(err.to_string().starts_with("parse error"));
+    }
+}

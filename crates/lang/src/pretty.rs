@@ -1,0 +1,296 @@
+//! Pretty-printer producing re-parseable PLAN-P source.
+//!
+//! The printer fully parenthesizes compound expressions, so its output is
+//! unambiguous regardless of operator precedence. The round-trip property
+//! `pretty(parse(pretty(e))) == pretty(e)` is checked by property tests.
+
+use crate::ast::*;
+use crate::types::Type;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        decl_into(d, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one declaration.
+pub fn decl(d: &Decl) -> String {
+    let mut out = String::new();
+    decl_into(d, &mut out);
+    out
+}
+
+/// Renders one expression (fully parenthesized).
+pub fn expr(e: &Expr) -> String {
+    let mut out = String::new();
+    expr_into(e, &mut out);
+    out
+}
+
+fn decl_into(d: &Decl, out: &mut String) {
+    match d {
+        Decl::Val(v) => {
+            let _ = write!(out, "val {} : {} = ", v.name, v.ty);
+            expr_into(&v.init, out);
+        }
+        Decl::Fun(f) => {
+            let _ = write!(out, "fun {}(", f.name);
+            for (i, (n, t)) in f.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{n} : {t}");
+            }
+            let _ = write!(out, ") : {} = ", f.ret);
+            expr_into(&f.body, out);
+        }
+        Decl::Exception(e) => {
+            let _ = write!(out, "exception {}", e.name);
+        }
+        Decl::Proto(p) => {
+            out.push_str("proto ");
+            expr_into(&p.init, out);
+        }
+        Decl::Channel(c) => {
+            let _ = write!(
+                out,
+                "channel {}({} : {}, {} : {}, {} : {})",
+                c.name, c.ps.0, c.ps.1, c.ss.0, c.ss.1, c.pkt.0, c.pkt.1
+            );
+            if let Some(init) = &c.initstate {
+                out.push_str("\ninitstate ");
+                expr_into(init, out);
+            }
+            out.push_str(" is\n  ");
+            expr_into(&c.body, out);
+        }
+    }
+}
+
+fn host_str(a: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (a >> 24) & 0xff,
+        (a >> 16) & 0xff,
+        (a >> 8) & 0xff,
+        a & 0xff
+    )
+}
+
+fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn expr_into(e: &Expr, out: &mut String) {
+    match &e.kind {
+        ExprKind::Int(n) => {
+            if *n < 0 {
+                let _ = write!(out, "(-{})", n.unsigned_abs());
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        ExprKind::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        ExprKind::Str(s) => escape_str(s, out),
+        ExprKind::Char(c) => match c {
+            '\n' => out.push_str("#\"\\n\""),
+            '\t' => out.push_str("#\"\\t\""),
+            '\\' => out.push_str("#\"\\\\\""),
+            '"' => out.push_str("#\"\\\"\""),
+            c => {
+                let _ = write!(out, "#\"{c}\"");
+            }
+        },
+        ExprKind::Unit => out.push_str("()"),
+        ExprKind::Host(a) => out.push_str(&host_str(*a)),
+        ExprKind::Var(n) => out.push_str(n),
+        ExprKind::Tuple(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(item, out);
+            }
+            out.push(')');
+        }
+        ExprKind::Proj(n, inner) => {
+            let _ = write!(out, "(#{n} ");
+            expr_into(inner, out);
+            out.push(')');
+        }
+        ExprKind::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(a, out);
+            }
+            out.push(')');
+        }
+        ExprKind::If(c, t, f) => {
+            out.push_str("(if ");
+            expr_into(c, out);
+            out.push_str(" then ");
+            expr_into(t, out);
+            out.push_str(" else ");
+            expr_into(f, out);
+            out.push(')');
+        }
+        ExprKind::Let(binds, body) => {
+            out.push_str("(let");
+            for b in binds {
+                let _ = write!(out, " val {} : {} = ", b.name, b.ty);
+                expr_into(&b.init, out);
+            }
+            out.push_str(" in ");
+            expr_into(body, out);
+            out.push_str(" end)");
+        }
+        ExprKind::Seq(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                expr_into(item, out);
+            }
+            out.push(')');
+        }
+        ExprKind::Binop(op, a, b) => {
+            out.push('(');
+            expr_into(a, out);
+            let _ = write!(out, " {} ", op.symbol());
+            expr_into(b, out);
+            out.push(')');
+        }
+        ExprKind::Unop(op, a) => {
+            out.push('(');
+            out.push_str(op.symbol());
+            out.push(' ');
+            expr_into(a, out);
+            out.push(')');
+        }
+        ExprKind::Raise(n) => {
+            out.push_str("(raise ");
+            out.push_str(n);
+            out.push(')');
+        }
+        ExprKind::Handle(body, pat, handler) => {
+            out.push('(');
+            expr_into(body, out);
+            out.push_str(" handle ");
+            match pat {
+                ExnPat::Name(n) => out.push_str(n),
+                ExnPat::Wild => out.push('_'),
+            }
+            out.push_str(" => ");
+            expr_into(handler, out);
+            out.push(')');
+        }
+        ExprKind::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(item, out);
+            }
+            out.push(']');
+        }
+        ExprKind::OnRemote(chan, pkt) => {
+            let _ = write!(out, "OnRemote({chan}, ");
+            expr_into(pkt, out);
+            out.push(')');
+        }
+        ExprKind::OnNeighbor(chan, host, pkt) => {
+            let _ = write!(out, "OnNeighbor({chan}, ");
+            expr_into(host, out);
+            out.push_str(", ");
+            expr_into(pkt, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a type (used by diagnostics and the printer itself via
+/// [`Type`]'s `Display`). Exposed for symmetry.
+pub fn ty(t: &Type) -> String {
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn round_trip_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let p1 = expr(&e1);
+        let e2 = parse_expr(&p1).unwrap_or_else(|err| panic!("reparse of {p1:?}: {err}"));
+        let p2 = expr(&e2);
+        assert_eq!(p1, p2, "printer not a fixed point for {src:?}");
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        for src in [
+            "1 + 2 * 3",
+            "(1, 2, (3; 4))",
+            "#1 p",
+            "f(a, b) handle NotFound => 0",
+            "let val x : int = 1 in x end",
+            "if a then raise E else g()",
+            "[1, 2, 3]",
+            "OnRemote(network, (ipDestSet(iph, 10.0.0.1), tcph, body))",
+            "OnNeighbor(c, 10.0.0.2, p)",
+            "-5",
+            "not (a andalso b orelse c)",
+            "\"quote \\\" and newline \\n\"",
+            "#\"x\" = #\"\\n\"",
+        ] {
+            round_trip_expr(src);
+        }
+    }
+
+    #[test]
+    fn round_trips_programs() {
+        let src = r#"
+val s0 : host = 10.0.0.1
+exception Busy
+fun inc(x : int) : int = x + 1
+proto 0
+channel network(ps : int, ss : (host, int) hash_table, p : ip*tcp*blob)
+initstate mkTable(8) is
+  (OnRemote(network, p); (inc(ps), ss))
+"#;
+        let p1 = program(&parse_program(src).unwrap());
+        let p2 = program(&parse_program(&p1).unwrap());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn negative_int_prints_parenthesized() {
+        let e = parse_expr("0 - 5").unwrap();
+        assert_eq!(expr(&e), "(0 - 5)");
+    }
+}

@@ -1,0 +1,255 @@
+//! Tokens of the PLAN-P surface syntax.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is (and its payload, for literals).
+    pub kind: TokenKind,
+    /// Where the token appears in the source.
+    pub span: Span,
+}
+
+/// The kinds of tokens produced by the [lexer](crate::lexer).
+///
+/// PLAN-P keeps most of the SML-like surface of PLAN: keywords such as
+/// `val`, `fun`, `channel`, `let … in … end`, `handle`, and operator
+/// spellings like `andalso`, `orelse`, `div`, `mod`, `<>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier: `network`, `getSetS`, `ipSrc`, …
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// Character literal, written `#"c"` as in SML.
+    Char(char),
+    /// IPv4 host literal, written `131.254.60.81`.
+    Host(u32),
+    /// Tuple projection `#1`, `#2`, … (1-based, as in SML).
+    Proj(u32),
+
+    // Keywords.
+    /// `val`
+    Val,
+    /// `fun`
+    Fun,
+    /// `channel`
+    Channel,
+    /// `initstate`
+    Initstate,
+    /// `is`
+    Is,
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `end`
+    End,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `raise`
+    Raise,
+    /// `handle`
+    Handle,
+    /// `exception`
+    Exception,
+    /// `proto` (initial protocol state — a documented extension of ours)
+    Proto,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `not`
+    Not,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// `andalso`
+    Andalso,
+    /// `orelse`
+    Orelse,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `*` (multiplication and product types)
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `^` (string concatenation)
+    Caret,
+    /// `=` (binding and equality)
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=>` (in `handle Exn => e`)
+    DArrow,
+    /// `_` (wildcard exception pattern)
+    Underscore,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if `word` is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "val" => Val,
+            "fun" => Fun,
+            "channel" => Channel,
+            "initstate" => Initstate,
+            "is" => Is,
+            "let" => Let,
+            "in" => In,
+            "end" => End,
+            "if" => If,
+            "then" => Then,
+            "else" => Else,
+            "raise" => Raise,
+            "handle" => Handle,
+            "exception" => Exception,
+            "proto" => Proto,
+            "true" => True,
+            "false" => False,
+            "not" => Not,
+            "div" => Div,
+            "mod" => Mod,
+            "andalso" => Andalso,
+            "orelse" => Orelse,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => format!("identifier `{s}`"),
+            Int(n) => format!("integer `{n}`"),
+            Str(_) => "string literal".to_string(),
+            Char(c) => format!("character literal `#\"{c}\"`"),
+            Host(a) => format!(
+                "host literal `{}.{}.{}.{}`",
+                (a >> 24) & 0xff,
+                (a >> 16) & 0xff,
+                (a >> 8) & 0xff,
+                a & 0xff
+            ),
+            Proj(n) => format!("projection `#{n}`"),
+            Val => "`val`".into(),
+            Fun => "`fun`".into(),
+            Channel => "`channel`".into(),
+            Initstate => "`initstate`".into(),
+            Is => "`is`".into(),
+            Let => "`let`".into(),
+            In => "`in`".into(),
+            End => "`end`".into(),
+            If => "`if`".into(),
+            Then => "`then`".into(),
+            Else => "`else`".into(),
+            Raise => "`raise`".into(),
+            Handle => "`handle`".into(),
+            Exception => "`exception`".into(),
+            Proto => "`proto`".into(),
+            True => "`true`".into(),
+            False => "`false`".into(),
+            Not => "`not`".into(),
+            Div => "`div`".into(),
+            Mod => "`mod`".into(),
+            Andalso => "`andalso`".into(),
+            Orelse => "`orelse`".into(),
+            LParen => "`(`".into(),
+            RParen => "`)`".into(),
+            LBracket => "`[`".into(),
+            RBracket => "`]`".into(),
+            Comma => "`,`".into(),
+            Semi => "`;`".into(),
+            Colon => "`:`".into(),
+            Star => "`*`".into(),
+            Plus => "`+`".into(),
+            Minus => "`-`".into(),
+            Caret => "`^`".into(),
+            Eq => "`=`".into(),
+            Ne => "`<>`".into(),
+            Lt => "`<`".into(),
+            Gt => "`>`".into(),
+            Le => "`<=`".into(),
+            Ge => "`>=`".into(),
+            DArrow => "`=>`".into(),
+            Underscore => "`_`".into(),
+            Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("val"), Some(TokenKind::Val));
+        assert_eq!(TokenKind::keyword("andalso"), Some(TokenKind::Andalso));
+        assert_eq!(TokenKind::keyword("network"), None);
+    }
+
+    #[test]
+    fn describe_host_literal() {
+        let a = (131u32 << 24) | (254 << 16) | (60 << 8) | 81;
+        assert_eq!(
+            TokenKind::Host(a).describe(),
+            "host literal `131.254.60.81`"
+        );
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_simple_tokens() {
+        for k in [
+            TokenKind::Val,
+            TokenKind::Eof,
+            TokenKind::DArrow,
+            TokenKind::Proj(3),
+        ] {
+            assert!(!k.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Diagnostics catalog: every class of front-end error produces a
+//! message that names the problem and points at the right line.
+//!
+//! ASPs are written by application developers and verified in routers;
+//! actionable rejections are part of the system's usability story.
+
+use planp_lang::{compile_front, parse_program};
+
+/// Asserts the error message contains `needle` and points at `line`.
+fn expect_error(src: &str, needle: &str, line: u32) {
+    let err = parse_program(src)
+        .and_then(|ast| planp_lang::typecheck(&ast).map(|_| ()))
+        .expect_err(&format!("expected an error for:\n{src}"));
+    assert!(
+        err.message.contains(needle),
+        "message {:?} missing {:?}",
+        err.message,
+        needle
+    );
+    let rendered = err.render(src);
+    let at = planp_lang::span::line_col(src, err.span.start);
+    assert_eq!(at.line, line, "wrong line in: {rendered}");
+}
+
+#[test]
+fn lexer_errors_are_located() {
+    expect_error("val x : int = 1 ?", "unexpected character `?`", 1);
+    expect_error("val s : string = \"unterminated", "unterminated string", 1);
+    expect_error("val h : host = 10.20.30", "malformed host literal", 1);
+    expect_error("val h : host = 10.20.300.4", "octets in 0..=255", 1);
+    expect_error("(* never closed", "unterminated block comment", 1);
+    expect_error("val c : char = #\"ab\"", "exactly one character", 1);
+}
+
+#[test]
+fn parser_errors_name_the_expected_token() {
+    expect_error("val x int = 1", "expected `:`", 1);
+    expect_error("channel c(ps : int) is (ps, ())", "expected `,`", 1);
+    expect_error("val x : int = (1 + ", "expected expression", 1);
+    expect_error("fun f(x : int) = x", "expected `:`", 1);
+    expect_error("val t : (int, int) = 1", "hash_table", 1);
+    expect_error("val x : frob = 1", "unknown type name `frob`", 1);
+}
+
+#[test]
+fn type_errors_show_both_types() {
+    expect_error(
+        "val one : int = 1\nval x : int = true\nchannel c(a : unit, b : unit, p : ip*udp*blob) is (a, b)",
+        "expected int, found bool",
+        2,
+    );
+    expect_error(
+        "channel c(a : unit, b : unit, p : ip*udp*blob) is\n(print(1 + \"x\"); (a, b))",
+        "expected int, found string",
+        2,
+    );
+}
+
+#[test]
+fn scoping_errors_name_the_identifier() {
+    expect_error(
+        "channel c(a : unit, b : unit, p : ip*udp*blob) is (print(zorp); (a, b))",
+        "unbound variable `zorp`",
+        1,
+    );
+    expect_error(
+        "channel c(a : unit, b : unit, p : ip*udp*blob) is (frob(1); (a, b))",
+        "unknown function or primitive `frob`",
+        1,
+    );
+    expect_error(
+        "channel c(a : unit, b : unit, p : ip*udp*blob) is (OnRemote(nochan, p); (a, b))",
+        "unknown channel `nochan`",
+        1,
+    );
+}
+
+#[test]
+fn arity_and_argument_errors() {
+    expect_error(
+        "channel c(a : unit, b : unit, p : ip*udp*blob) is (print(ipSrc(#1 p, 2)); (a, b))",
+        "`ipSrc` takes 1 argument(s), 2 given",
+        1,
+    );
+    expect_error(
+        "fun f(x : int) : int = x\nchannel c(a : unit, b : unit, p : ip*udp*blob) is (print(f()); (a, b))",
+        "`f` takes 1 argument(s), 0 given",
+        2,
+    );
+    expect_error(
+        "channel c(a : unit, b : unit, p : ip*udp*blob) is (print(ipSrc(42)); (a, b))",
+        "argument 1 of `ipSrc` has type int, expected ip",
+        1,
+    );
+}
+
+#[test]
+fn channel_shape_errors() {
+    expect_error(
+        "channel c(a : unit, b : unit, p : blob) is (a, b)",
+        "invalid packet type",
+        1,
+    );
+    expect_error(
+        "channel c(a : int, b : unit, p : ip*udp*blob) is (a, b)\n\
+         channel d(a : bool, b : unit, p : ip*tcp*blob) is (a, b)",
+        "protocol state is shared by all channels",
+        2,
+    );
+    expect_error(
+        "channel c(a : unit, b : ip, p : ip*udp*blob) is (a, b)",
+        "needs `initstate`",
+        1,
+    );
+}
+
+#[test]
+fn recursion_is_explained_as_unknown_name() {
+    // Self-reference fails because the name is not yet in scope — the
+    // mechanism that guarantees local termination.
+    expect_error(
+        "fun f(x : int) : int = f(x)\nchannel c(a : unit, b : unit, p : ip*udp*blob) is (a, b)",
+        "unknown function or primitive `f`",
+        1,
+    );
+}
+
+#[test]
+fn good_programs_have_no_diagnostics() {
+    // A sanity complement: the diagnostics harness itself must not
+    // reject valid programs.
+    for src in [
+        "channel network(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))",
+        "val limit : int = 10 * 1024\n\
+         channel network(ps : int, ss : unit, p : ip*tcp*blob) is\n\
+         (if blobLen(#3 p) > limit then deliver(p) else OnRemote(network, p); (ps, ss))",
+    ] {
+        compile_front(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    }
+}
+
+#[test]
+fn render_includes_phase_line_and_column() {
+    let src = "val x : int =\n  true\nchannel c(a : unit, b : unit, p : ip*udp*blob) is (a, b)";
+    let err = compile_front(src).unwrap_err();
+    let rendered = err.render(src);
+    assert!(rendered.starts_with("type error at 2:3:"), "{rendered}");
+}

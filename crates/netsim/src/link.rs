@@ -1,0 +1,209 @@
+//! Links: shared half-duplex media with bandwidth, propagation delay,
+//! and a bounded drop-tail queue.
+//!
+//! A link connects two or more nodes. Two-node links model point-to-point
+//! wires; multi-node links model a shared Ethernet **segment** — exactly
+//! the setting of the paper's audio experiment, where the audio client
+//! and the load generator sit on the same segment and compete for its
+//! capacity. All transmissions on a link serialize through one shared
+//! medium (1990s half-duplex Ethernet).
+//!
+//! Each link keeps a windowed throughput measurement; this is what the
+//! PLAN-P `linkLoad` primitive reports to router programs (the paper's
+//! "monitoring the bandwidth of outgoing links", section 3.1).
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Identifies a link within a [`Sim`](crate::sim::Sim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Identifies a node within a [`Sim`](crate::sim::Sim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Capacity in kilobits per second (e.g. `10_000` for 10 Mb/s).
+    pub kbps: u64,
+    /// Propagation delay.
+    pub delay: Duration,
+    /// Maximum queued packets before tail drop.
+    pub queue_pkts: usize,
+}
+
+impl LinkSpec {
+    /// A 10 Mb/s Ethernet-segment-like link.
+    pub fn ethernet_10() -> Self {
+        LinkSpec { kbps: 10_000, delay: Duration::from_micros(100), queue_pkts: 64 }
+    }
+
+    /// A 100 Mb/s Ethernet-like link.
+    pub fn ethernet_100() -> Self {
+        LinkSpec { kbps: 100_000, delay: Duration::from_micros(50), queue_pkts: 128 }
+    }
+}
+
+/// A packet queued for transmission.
+#[derive(Debug, Clone)]
+pub(crate) struct Queued {
+    pub pkt: Packet,
+    /// Sending node.
+    pub from: NodeId,
+    /// Addressed receiver; `None` broadcasts to every other attached node
+    /// (multicast on a segment).
+    pub next_hop: Option<NodeId>,
+}
+
+/// Throughput measurement window.
+const WINDOW: Duration = Duration::from_millis(500);
+
+/// A link instance.
+#[derive(Debug)]
+pub struct Link {
+    /// Static parameters.
+    pub spec: LinkSpec,
+    /// Attached nodes.
+    pub nodes: Vec<NodeId>,
+    pub(crate) queue: VecDeque<Queued>,
+    pub(crate) transmitting: Option<Queued>,
+    // --- statistics ---
+    /// Packets dropped at the queue tail.
+    pub drops: u64,
+    /// Total packets transmitted.
+    pub tx_packets: u64,
+    /// Total bytes transmitted.
+    pub tx_bytes: u64,
+    window_start: SimTime,
+    window_bytes: u64,
+    last_window_kbps: i64,
+}
+
+impl Link {
+    pub(crate) fn new(spec: LinkSpec, nodes: Vec<NodeId>) -> Self {
+        Link {
+            spec,
+            nodes,
+            queue: VecDeque::new(),
+            transmitting: None,
+            drops: 0,
+            tx_packets: 0,
+            tx_bytes: 0,
+            window_start: SimTime::ZERO,
+            window_bytes: 0,
+            last_window_kbps: 0,
+        }
+    }
+
+    /// Serialization time of `bytes` at this link's capacity.
+    pub fn tx_time(&self, bytes: usize) -> Duration {
+        Duration::from_nanos((bytes as u64 * 8).saturating_mul(1_000_000) / self.spec.kbps)
+    }
+
+    /// True if the link is a multi-node broadcast segment.
+    pub fn is_segment(&self) -> bool {
+        self.nodes.len() > 2
+    }
+
+    /// Accounts transmitted bytes into the measurement window.
+    pub(crate) fn account(&mut self, now: SimTime, bytes: usize) {
+        self.roll_window(now);
+        self.tx_packets += 1;
+        self.tx_bytes += bytes as u64;
+        self.window_bytes += bytes as u64;
+    }
+
+    fn roll_window(&mut self, now: SimTime) {
+        let elapsed = now.saturating_sub(self.window_start);
+        if elapsed >= WINDOW {
+            // Rate of the completed window. If more than one window passed
+            // idle, the measured rate decays to zero.
+            let full_windows = (elapsed.as_nanos() / WINDOW.as_nanos()) as u64;
+            self.last_window_kbps = if full_windows == 1 {
+                (self.window_bytes * 8) as i64 / WINDOW.as_millis() as i64
+            } else {
+                0
+            };
+            self.window_bytes = 0;
+            self.window_start += Duration::from_nanos((WINDOW.as_nanos() as u64) * full_windows);
+        }
+    }
+
+    /// Measured throughput (kb/s) over the last completed window — the
+    /// `linkLoad` reading.
+    pub fn measured_kbps(&mut self, now: SimTime) -> i64 {
+        self.roll_window(now);
+        // Blend the completed window with the current partial one so the
+        // reading reacts upward within ~100 ms of a load increase and
+        // decays within one or two windows of the load stopping.
+        let elapsed = now.saturating_sub(self.window_start);
+        let ms = elapsed.as_millis() as i64;
+        let partial = if ms >= 100 {
+            (self.window_bytes * 8) as i64 / ms
+        } else {
+            0
+        };
+        partial.max(self.last_window_kbps)
+    }
+
+    /// Current queue length in packets (including the one in flight).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + usize::from(self.transmitting.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_scales_with_size_and_capacity() {
+        let l = Link::new(LinkSpec { kbps: 10_000, delay: Duration::ZERO, queue_pkts: 8 }, vec![]);
+        // 1250 bytes = 10_000 bits at 10 Mb/s = 1 ms.
+        assert_eq!(l.tx_time(1250), Duration::from_millis(1));
+        let fast = Link::new(LinkSpec::ethernet_100(), vec![]);
+        assert_eq!(fast.tx_time(1250), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn throughput_window_measures_rate() {
+        let mut l = Link::new(LinkSpec::ethernet_10(), vec![]);
+        // Send 125 kB over the first 500 ms window → 2000 kb/s.
+        for i in 0..100 {
+            l.account(SimTime::from_ms(i * 5), 1250);
+        }
+        let rate = l.measured_kbps(SimTime::from_ms(600));
+        assert!((1500..=2500).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn idle_link_decays_to_zero() {
+        let mut l = Link::new(LinkSpec::ethernet_10(), vec![]);
+        l.account(SimTime::from_ms(0), 10_000);
+        // Far in the future with no traffic: rate is 0.
+        assert_eq!(l.measured_kbps(SimTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn partial_window_reacts_quickly() {
+        let mut l = Link::new(LinkSpec::ethernet_10(), vec![]);
+        // A burst within the first 200 ms should already register.
+        for i in 0..40 {
+            l.account(SimTime::from_ms(i * 5), 1250);
+        }
+        let rate = l.measured_kbps(SimTime::from_ms(210));
+        assert!(rate > 1000, "rate {rate}");
+    }
+
+    #[test]
+    fn segment_detection() {
+        let l = Link::new(LinkSpec::ethernet_10(), vec![NodeId(0), NodeId(1)]);
+        assert!(!l.is_segment());
+        let s = Link::new(LinkSpec::ethernet_10(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(s.is_segment());
+    }
+}

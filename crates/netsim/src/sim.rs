@@ -1,0 +1,1168 @@
+//! The discrete-event simulation engine.
+//!
+//! Deterministic: events are ordered by `(time, sequence number)`, and
+//! all randomness flows from the seed given to [`Sim::new`].
+
+use crate::link::{Link, LinkId, LinkSpec, NodeId, Queued};
+use crate::node::{App, ArrivalMeta, HookVerdict, Node, PacketHook};
+use crate::packet::Packet;
+use crate::stats::SeriesStore;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Duration;
+
+/// A pending event.
+#[derive(Debug)]
+struct Ev {
+    at: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+#[derive(Debug)]
+enum EvKind {
+    Arrive {
+        node: NodeId,
+        pkt: Packet,
+        via: Option<LinkId>,
+        overheard: bool,
+    },
+    TxDone {
+        link: LinkId,
+    },
+    Timer {
+        node: NodeId,
+        app: usize,
+        key: u64,
+    },
+    CpuDone {
+        node: NodeId,
+    },
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulator: nodes, links, the event queue, and measurement series.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Ev>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+    addr_map: HashMap<u32, NodeId>,
+    /// Named measurement series recorded during the run.
+    pub series: SeriesStore,
+    started: bool,
+    seed: u64,
+    /// Total packets dropped at link queues (convenience aggregate).
+    pub total_link_drops: u64,
+}
+
+impl Sim {
+    /// A fresh simulator with the given randomness seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            addr_map: HashMap::new(),
+            series: SeriesStore::default(),
+            started: false,
+            seed,
+            total_link_drops: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    // ---- topology construction -----------------------------------------
+
+    /// Adds a host (non-forwarding node).
+    pub fn add_host(&mut self, name: &str, addr: u32) -> NodeId {
+        self.add_node_inner(name, addr, false)
+    }
+
+    /// Adds a router (forwarding node).
+    pub fn add_router(&mut self, name: &str, addr: u32) -> NodeId {
+        self.add_node_inner(name, addr, true)
+    }
+
+    fn add_node_inner(&mut self, name: &str, addr: u32, forwarding: bool) -> NodeId {
+        assert!(
+            !self.addr_map.contains_key(&addr),
+            "duplicate node address {}",
+            crate::packet::addr_to_string(addr)
+        );
+        let id = NodeId(self.nodes.len());
+        let seed = self.seed ^ (0xA5A5_0000_0000_0000 | id.0 as u64);
+        self.nodes.push(Node::new(name.to_string(), addr, forwarding, seed));
+        self.addr_map.insert(addr, id);
+        id
+    }
+
+    /// Connects two or more nodes with a link; more than two nodes makes
+    /// a shared broadcast segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two nodes are given.
+    pub fn add_link(&mut self, spec: LinkSpec, nodes: &[NodeId]) -> LinkId {
+        assert!(nodes.len() >= 2, "a link needs at least two endpoints");
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(spec, nodes.to_vec()));
+        for &n in nodes {
+            self.nodes[n.0].ifaces.push(id);
+        }
+        id
+    }
+
+    /// Computes shortest-path unicast routes between every pair of nodes
+    /// (hop-count BFS over the node/link graph). Call after the topology
+    /// is complete.
+    pub fn compute_routes(&mut self) {
+        let n = self.nodes.len();
+        // Adjacency: node → (link, neighbor).
+        let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); n];
+        for (li, link) in self.links.iter().enumerate() {
+            for &a in &link.nodes {
+                for &b in &link.nodes {
+                    if a != b {
+                        adj[a.0].push((LinkId(li), b));
+                    }
+                }
+            }
+        }
+        for src in 0..n {
+            // BFS from src recording the first hop toward each node.
+            let mut first_hop: Vec<Option<(LinkId, NodeId)>> = vec![None; n];
+            let mut visited = vec![false; n];
+            let mut q = std::collections::VecDeque::new();
+            visited[src] = true;
+            q.push_back(src);
+            while let Some(u) = q.pop_front() {
+                for &(l, v) in &adj[u] {
+                    if !visited[v.0] {
+                        visited[v.0] = true;
+                        first_hop[v.0] = if u == src {
+                            Some((l, v))
+                        } else {
+                            first_hop[u]
+                        };
+                        q.push_back(v.0);
+                    }
+                }
+            }
+            for (dst, hop) in first_hop.iter().enumerate() {
+                if dst != src {
+                    if let Some(hop) = hop {
+                        let dst_addr = self.nodes[dst].addr;
+                        self.nodes[src].routes.insert(dst_addr, *hop);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds an explicit route: at `node`, packets for `dst_addr` go
+    /// toward the directly connected `toward` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes do not share a link.
+    pub fn add_route(&mut self, node: NodeId, dst_addr: u32, toward: NodeId) {
+        let link = self
+            .common_link(node, toward)
+            .expect("add_route: nodes are not directly connected");
+        self.nodes[node.0].routes.insert(dst_addr, (link, toward));
+    }
+
+    /// Routes `alias` exactly like traffic toward `target`'s address, at
+    /// every node except `target` itself. Used for virtual-server
+    /// addresses that a gateway rewrites (section 3.2).
+    pub fn alias_route_all(&mut self, alias: u32, target: NodeId) {
+        let target_addr = self.nodes[target.0].addr;
+        for i in 0..self.nodes.len() {
+            if i != target.0 {
+                if let Some(&hop) = self.nodes[i].routes.get(&target_addr) {
+                    self.nodes[i].routes.insert(alias, hop);
+                }
+            }
+        }
+    }
+
+    /// Subscribes a node to a multicast group.
+    pub fn subscribe(&mut self, node: NodeId, group: u32) {
+        self.nodes[node.0].subscriptions.insert(group);
+    }
+
+    /// Adds a multicast route: at `node`, packets for `group` are
+    /// forwarded on `link`.
+    pub fn add_mcast_route(&mut self, node: NodeId, group: u32, link: LinkId) {
+        self.nodes[node.0]
+            .mcast_routes
+            .entry(group)
+            .or_default()
+            .push(link);
+    }
+
+    /// Installs an application on a node; returns its index. An app
+    /// added after the simulation has started is started immediately.
+    pub fn add_app(&mut self, node: NodeId, app: Box<dyn App>) -> usize {
+        let idx = self.nodes[node.0].apps.len();
+        self.nodes[node.0].apps.push(Some(app));
+        if self.started {
+            if let Some(mut a) = self.nodes[node.0].apps[idx].take() {
+                let mut api = NodeApi { sim: self, node, app: Some(idx) };
+                a.on_start(&mut api);
+                self.nodes[node.0].apps[idx] = Some(a);
+            }
+        }
+        idx
+    }
+
+    /// Installs (or replaces) the node's packet hook — the PLAN-P layer
+    /// or a native baseline.
+    pub fn install_hook(&mut self, node: NodeId, hook: Box<dyn PacketHook>) {
+        self.nodes[node.0].hook = Some(hook);
+    }
+
+    /// Gives the node a CPU model: every non-overheard arriving packet
+    /// queues for `per_packet` of processing before the node handles it.
+    pub fn set_cpu(&mut self, node: NodeId, cpu: crate::node::CpuModel) {
+        self.nodes[node.0].cpu = Some(cpu);
+    }
+
+    /// Fails or revives a node. A failed node drops every arriving
+    /// packet and its applications' timers do not fire (fault
+    /// injection; crash-stop semantics).
+    pub fn set_down(&mut self, node: NodeId, down: bool) {
+        self.nodes[node.0].down = down;
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Immutable access to a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// The node owning `addr`, if any.
+    pub fn node_by_addr(&self, addr: u32) -> Option<NodeId> {
+        self.addr_map.get(&addr).copied()
+    }
+
+    // ---- event engine ----------------------------------------------------
+
+    fn push_event(&mut self, at: SimTime, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Ev { at, seq, kind });
+    }
+
+    /// Runs until simulated time `t` (events at exactly `t` included).
+    pub fn run_until(&mut self, t: SimTime) {
+        self.ensure_started();
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > t {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.process(ev.kind);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Drains every remaining event (use with care — load generators that
+    /// re-arm forever will never drain).
+    pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        self.ensure_started();
+        let mut n = 0;
+        while n < max_events {
+            let Some(ev) = self.queue.pop() else { break };
+            self.now = ev.at;
+            self.process(ev.kind);
+            n += 1;
+        }
+        n
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.nodes.len() {
+            for app in 0..self.nodes[node].apps.len() {
+                if let Some(mut a) = self.nodes[node].apps[app].take() {
+                    let mut api = NodeApi { sim: self, node: NodeId(node), app: Some(app) };
+                    a.on_start(&mut api);
+                    self.nodes[node].apps[app] = Some(a);
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, kind: EvKind) {
+        match kind {
+            EvKind::Arrive { node, pkt, via, overheard } => {
+                self.arrive(node, pkt, via, overheard)
+            }
+            EvKind::CpuDone { node } => self.cpu_done(node),
+            EvKind::TxDone { link } => self.tx_done(link),
+            EvKind::Timer { node, app, key } => {
+                if self.nodes[node.0].down {
+                    return;
+                }
+                if let Some(mut a) = self.nodes[node.0].apps[app].take() {
+                    let mut api = NodeApi { sim: self, node, app: Some(app) };
+                    a.on_timer(&mut api, key);
+                    self.nodes[node.0].apps[app] = Some(a);
+                }
+            }
+        }
+    }
+
+    fn arrive(&mut self, node: NodeId, pkt: Packet, via: Option<LinkId>, overheard: bool) {
+        if self.nodes[node.0].down {
+            self.nodes[node.0].dropped += 1;
+            return;
+        }
+        // CPU model: non-overheard packets queue for processing time.
+        // Overheard traffic is filtered in the NIC and costs nothing.
+        if let Some(cpu) = self.nodes[node.0].cpu {
+            if !overheard {
+                let n = &mut self.nodes[node.0];
+                if n.cpu_queue.len() >= cpu.queue_cap {
+                    n.cpu_drops += 1;
+                    return;
+                }
+                n.cpu_queue.push_back((pkt, via, overheard));
+                if !n.cpu_busy {
+                    n.cpu_busy = true;
+                    self.push_event(self.now + cpu.per_packet, EvKind::CpuDone { node });
+                }
+                return;
+            }
+        }
+        self.process_arrival(node, pkt, via, overheard);
+    }
+
+    fn cpu_done(&mut self, node: NodeId) {
+        let Some((pkt, via, overheard)) = self.nodes[node.0].cpu_queue.pop_front() else {
+            self.nodes[node.0].cpu_busy = false;
+            return;
+        };
+        if self.nodes[node.0].cpu_queue.is_empty() {
+            self.nodes[node.0].cpu_busy = false;
+        } else {
+            let cpu = self.nodes[node.0].cpu.expect("cpu_done without cpu");
+            self.push_event(self.now + cpu.per_packet, EvKind::CpuDone { node });
+        }
+        self.process_arrival(node, pkt, via, overheard);
+    }
+
+    fn process_arrival(&mut self, node: NodeId, pkt: Packet, via: Option<LinkId>, overheard: bool) {
+        // 1. The extensible layer sees everything first.
+        let pkt = if let Some(mut hook) = self.nodes[node.0].hook.take() {
+            let meta = ArrivalMeta { via, overheard };
+            let mut api = NodeApi { sim: self, node, app: None };
+            let verdict = hook.on_packet(&mut api, pkt, &meta);
+            self.nodes[node.0].hook = Some(hook);
+            match verdict {
+                HookVerdict::Handled => return,
+                HookVerdict::Pass(p) => p,
+            }
+        } else {
+            pkt
+        };
+
+        // 2. Overheard traffic is only for hooks.
+        if overheard {
+            return;
+        }
+
+        // 3. Standard IP processing.
+        if pkt.ip.is_multicast() {
+            let group = pkt.ip.dst;
+            if self.nodes[node.0].subscriptions.contains(&group) {
+                self.deliver_local(node, pkt.clone());
+            }
+            if self.nodes[node.0].forwarding {
+                let mut fwd = pkt;
+                if fwd.ip.ttl <= 1 {
+                    self.nodes[node.0].dropped += 1;
+                    return;
+                }
+                fwd.ip.ttl -= 1;
+                let links = self.nodes[node.0]
+                    .mcast_routes
+                    .get(&group)
+                    .cloned()
+                    .unwrap_or_default();
+                for l in links {
+                    if Some(l) != via {
+                        self.enqueue_on_link(l, node, None, fwd.clone());
+                    }
+                }
+            }
+            return;
+        }
+
+        if pkt.ip.dst == self.nodes[node.0].addr {
+            self.deliver_local(node, pkt);
+        } else if self.nodes[node.0].forwarding {
+            let mut fwd = pkt;
+            if fwd.ip.ttl <= 1 {
+                self.nodes[node.0].dropped += 1;
+                return;
+            }
+            fwd.ip.ttl -= 1;
+            match self.nodes[node.0].routes.get(&fwd.ip.dst).copied() {
+                Some((link, next_hop)) => {
+                    self.enqueue_on_link(link, node, Some(next_hop), fwd)
+                }
+                None => self.nodes[node.0].dropped += 1,
+            }
+        } else {
+            self.nodes[node.0].dropped += 1;
+        }
+    }
+
+    pub(crate) fn deliver_local(&mut self, node: NodeId, pkt: Packet) {
+        self.nodes[node.0].delivered += 1;
+        for app in 0..self.nodes[node.0].apps.len() {
+            if let Some(mut a) = self.nodes[node.0].apps[app].take() {
+                let mut api = NodeApi { sim: self, node, app: Some(app) };
+                a.on_packet(&mut api, pkt.clone());
+                self.nodes[node.0].apps[app] = Some(a);
+            }
+        }
+    }
+
+    /// Sends `pkt` from `node`, routing by destination address.
+    pub(crate) fn dispatch_send(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.ip.ttl == 0 {
+            self.nodes[node.0].dropped += 1;
+            return;
+        }
+        if pkt.ip.is_multicast() {
+            let links = self.nodes[node.0]
+                .mcast_routes
+                .get(&pkt.ip.dst)
+                .cloned()
+                .unwrap_or_default();
+            if links.is_empty() {
+                self.nodes[node.0].dropped += 1;
+            }
+            for l in links {
+                self.enqueue_on_link(l, node, None, pkt.clone());
+            }
+            return;
+        }
+        if pkt.ip.dst == self.nodes[node.0].addr {
+            // Self-send: loop back locally.
+            self.push_event(
+                self.now,
+                EvKind::Arrive { node, pkt, via: None, overheard: false },
+            );
+            return;
+        }
+        match self.nodes[node.0].routes.get(&pkt.ip.dst).copied() {
+            Some((link, next_hop)) => self.enqueue_on_link(link, node, Some(next_hop), pkt),
+            None => self.nodes[node.0].dropped += 1,
+        }
+    }
+
+    pub(crate) fn send_to_neighbor(
+        &mut self,
+        node: NodeId,
+        neighbor_addr: u32,
+        pkt: Packet,
+    ) {
+        let Some(&neighbor) = self.addr_map.get(&neighbor_addr) else {
+            self.nodes[node.0].dropped += 1;
+            return;
+        };
+        match self.common_link(node, neighbor) {
+            Some(link) => self.enqueue_on_link(link, node, Some(neighbor), pkt),
+            None => self.nodes[node.0].dropped += 1,
+        }
+    }
+
+    fn common_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.nodes[a.0]
+            .ifaces
+            .iter()
+            .copied()
+            .find(|l| self.links[l.0].nodes.contains(&b))
+    }
+
+    fn enqueue_on_link(
+        &mut self,
+        link_id: LinkId,
+        from: NodeId,
+        next_hop: Option<NodeId>,
+        pkt: Packet,
+    ) {
+        let q = Queued { pkt, from, next_hop };
+        let now = self.now;
+        let link = &mut self.links[link_id.0];
+        if link.transmitting.is_none() {
+            let dur = link.tx_time(q.pkt.wire_size());
+            link.transmitting = Some(q);
+            self.push_event(now + dur, EvKind::TxDone { link: link_id });
+        } else if link.queue.len() < link.spec.queue_pkts {
+            link.queue.push_back(q);
+        } else {
+            link.drops += 1;
+            self.total_link_drops += 1;
+        }
+    }
+
+    fn tx_done(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[link_id.0];
+        let q = link.transmitting.take().expect("TxDone without transmission");
+        link.account(now, q.pkt.wire_size());
+        let delay = link.spec.delay;
+        let receivers: Vec<(NodeId, bool)> = match q.next_hop {
+            Some(nh) => {
+                if link.is_segment() {
+                    link.nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != q.from)
+                        .map(|n| (n, n != nh))
+                        .collect()
+                } else {
+                    vec![(nh, false)]
+                }
+            }
+            // Broadcast (multicast on a segment): all other nodes receive
+            // it for real; subscription filtering happens at arrival.
+            None => link
+                .nodes
+                .iter()
+                .copied()
+                .filter(|&n| n != q.from)
+                .map(|n| (n, false))
+                .collect(),
+        };
+        // Start the next queued transmission.
+        if let Some(next) = link.queue.pop_front() {
+            let dur = link.tx_time(next.pkt.wire_size());
+            link.transmitting = Some(next);
+            self.push_event(now + dur, EvKind::TxDone { link: link_id });
+        }
+        for (n, overheard) in receivers {
+            self.push_event(
+                now + delay,
+                EvKind::Arrive {
+                    node: n,
+                    pkt: q.pkt.clone(),
+                    via: Some(link_id),
+                    overheard,
+                },
+            );
+        }
+    }
+}
+
+/// The API a node's applications and hooks use to act on the world.
+///
+/// Created by the simulator for the duration of one callback.
+pub struct NodeApi<'a> {
+    pub(crate) sim: &'a mut Sim,
+    pub(crate) node: NodeId,
+    pub(crate) app: Option<usize>,
+}
+
+impl NodeApi<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> u32 {
+        self.sim.nodes[self.node.0].addr
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends a packet, routed by its destination address.
+    pub fn send(&mut self, pkt: Packet) {
+        self.sim.dispatch_send(self.node, pkt);
+    }
+
+    /// Sends a packet directly to a neighboring node (shared link),
+    /// regardless of the packet's IP destination.
+    pub fn send_to_neighbor(&mut self, neighbor_addr: u32, pkt: Packet) {
+        self.sim.send_to_neighbor(self.node, neighbor_addr, pkt);
+    }
+
+    /// Delivers a packet to this node's local applications.
+    pub fn deliver_local(&mut self, pkt: Packet) {
+        self.sim.deliver_local(self.node, pkt);
+    }
+
+    /// Arms a timer for the calling application.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from a packet hook (hooks are packet-driven).
+    pub fn set_timer(&mut self, delay: Duration, key: u64) {
+        let app = self.app.expect("set_timer requires an application context");
+        let at = self.sim.now + delay;
+        self.sim
+            .push_event(at, EvKind::Timer { node: self.node, app, key });
+    }
+
+    /// Deterministic per-node randomness.
+    pub fn rand_u64(&mut self) -> u64 {
+        self.sim.nodes[self.node.0].rng.next_u64()
+    }
+
+    /// Uniform integer in `0..bound`.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.sim.nodes[self.node.0].rng.next_below(bound)
+    }
+
+    /// Subscribes this node to a multicast group.
+    pub fn subscribe(&mut self, group: u32) {
+        self.sim.nodes[self.node.0].subscriptions.insert(group);
+    }
+
+    /// Measured throughput (kb/s) of the outgoing link toward `dst` —
+    /// everything on that medium, including competing traffic.
+    pub fn measured_kbps_toward(&mut self, dst: u32) -> i64 {
+        let now = self.sim.now;
+        match self.route_link(dst) {
+            Some(l) => self.sim.links[l.0].measured_kbps(now),
+            None => 0,
+        }
+    }
+
+    /// Capacity (kb/s) of the outgoing link toward `dst`.
+    pub fn capacity_kbps_toward(&mut self, dst: u32) -> i64 {
+        match self.route_link(dst) {
+            Some(l) => self.sim.links[l.0].spec.kbps as i64,
+            None => 0,
+        }
+    }
+
+    /// Queue length of the outgoing link toward `dst`.
+    pub fn queue_len_toward(&mut self, dst: u32) -> i64 {
+        match self.route_link(dst) {
+            Some(l) => self.sim.links[l.0].queue_len() as i64,
+            None => 0,
+        }
+    }
+
+    fn route_link(&self, dst: u32) -> Option<LinkId> {
+        let node = &self.sim.nodes[self.node.0];
+        if let Some(&(l, _)) = node.routes.get(&dst) {
+            return Some(l);
+        }
+        // Multicast groups route via the multicast table.
+        node.mcast_routes
+            .get(&dst)
+            .and_then(|ls| ls.first())
+            .copied()
+            // Fall back to the first interface (hosts with one NIC).
+            .or_else(|| node.ifaces.first().copied())
+    }
+
+    /// Records a measurement point under `name` at the current time.
+    pub fn record(&mut self, name: &str, value: f64) {
+        let t = self.sim.now.as_secs_f64();
+        self.sim.series.record(name, t, value);
+    }
+
+    /// Installs (or replaces) this node's packet hook — the mechanism
+    /// behind in-band program deployment: a management application
+    /// receives a program over the network and activates it locally.
+    pub fn install_hook(&mut self, hook: Box<dyn crate::node::PacketHook>) {
+        self.sim.nodes[self.node.0].hook = Some(hook);
+    }
+
+    /// Removes this node's packet hook, returning to standard IP
+    /// processing.
+    pub fn remove_hook(&mut self) {
+        self.sim.nodes[self.node.0].hook = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{addr, Packet};
+    use bytes::Bytes;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// An app that counts deliveries and can echo.
+    struct Sink {
+        got: Rc<RefCell<Vec<Packet>>>,
+    }
+
+    impl App for Sink {
+        fn on_packet(&mut self, _api: &mut NodeApi<'_>, pkt: Packet) {
+            self.got.borrow_mut().push(pkt);
+        }
+    }
+
+    /// An app that sends `n` packets to `dst` at start.
+    struct Source {
+        dst: u32,
+        n: usize,
+        size: usize,
+    }
+
+    impl App for Source {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            for _ in 0..self.n {
+                let pkt = Packet::udp(
+                    api.addr(),
+                    self.dst,
+                    1000,
+                    2000,
+                    Bytes::from(vec![0u8; self.size]),
+                );
+                api.send(pkt);
+            }
+        }
+
+        fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+    }
+
+    fn two_hosts_one_router() -> (Sim, NodeId, NodeId, NodeId) {
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", addr(10, 0, 0, 1));
+        let r = sim.add_router("r", addr(10, 0, 0, 254));
+        let b = sim.add_host("b", addr(10, 0, 1, 1));
+        sim.add_link(LinkSpec::ethernet_10(), &[a, r]);
+        sim.add_link(LinkSpec::ethernet_10(), &[r, b]);
+        sim.compute_routes();
+        (sim, a, r, b)
+    }
+
+    #[test]
+    fn routed_delivery_across_router() {
+        let (mut sim, a, _r, b) = two_hosts_one_router();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(
+            a,
+            Box::new(Source { dst: addr(10, 0, 1, 1), n: 3, size: 100 }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 3);
+        // TTL decremented once by the router.
+        assert_eq!(got.borrow()[0].ip.ttl, 63);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        sim.add_link(
+            LinkSpec { kbps: 100, delay: Duration::from_millis(1), queue_pkts: 4 },
+            &[a, b],
+        );
+        sim.compute_routes();
+        sim.add_app(a, Box::new(Source { dst: 2, n: 50, size: 1000 }));
+        sim.run_until(SimTime::from_ms(10));
+        assert!(sim.total_link_drops > 0);
+        // 1 transmitting + 4 queued accepted; rest dropped.
+        assert_eq!(sim.total_link_drops, 45);
+    }
+
+    #[test]
+    fn no_route_increments_drop_counter() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+        // No compute_routes.
+        sim.add_app(a, Box::new(Source { dst: 99, n: 1, size: 10 }));
+        sim.run_until(SimTime::from_ms(10));
+        assert_eq!(sim.node(a).dropped, 1);
+    }
+
+    #[test]
+    fn hosts_do_not_forward() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", 1);
+        let h = sim.add_host("h", 3); // host in the middle
+        let b = sim.add_host("b", 2);
+        sim.add_link(LinkSpec::ethernet_10(), &[a, h]);
+        sim.add_link(LinkSpec::ethernet_10(), &[h, b]);
+        sim.compute_routes();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(a, Box::new(Source { dst: 2, n: 1, size: 10 }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 0);
+        assert_eq!(sim.node(h).dropped, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_drops_in_long_chains() {
+        let mut sim = Sim::new(1);
+        // Chain of 70 routers exceeds the default TTL of 64.
+        let mut ids = vec![sim.add_host("h0", 1000)];
+        for i in 1..=70 {
+            ids.push(sim.add_router(&format!("r{i}"), 1000 + i));
+        }
+        let last = sim.add_host("end", 2000);
+        ids.push(last);
+        for w in ids.windows(2) {
+            sim.add_link(LinkSpec::ethernet_100(), &[w[0], w[1]]);
+        }
+        sim.compute_routes();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(last, Box::new(Sink { got: got.clone() }));
+        sim.add_app(ids[0], Box::new(Source { dst: 2000, n: 1, size: 10 }));
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(got.borrow().len(), 0, "packet should die of TTL");
+    }
+
+    #[test]
+    fn segment_broadcast_overhears() {
+        // a, b, c share a segment; a → b unicast is overheard by c's hook
+        // but not delivered to c's apps.
+        struct Spy {
+            overheard: Rc<RefCell<u32>>,
+        }
+        impl PacketHook for Spy {
+            fn on_packet(
+                &mut self,
+                _api: &mut NodeApi<'_>,
+                pkt: Packet,
+                meta: &ArrivalMeta,
+            ) -> HookVerdict {
+                if meta.overheard {
+                    *self.overheard.borrow_mut() += 1;
+                }
+                HookVerdict::Pass(pkt)
+            }
+        }
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        let c = sim.add_host("c", 3);
+        sim.add_link(LinkSpec::ethernet_10(), &[a, b, c]);
+        sim.compute_routes();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let heard = Rc::new(RefCell::new(0));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        let got_c = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(c, Box::new(Sink { got: got_c.clone() }));
+        sim.install_hook(c, Box::new(Spy { overheard: heard.clone() }));
+        sim.add_app(a, Box::new(Source { dst: 2, n: 2, size: 10 }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 2);
+        assert_eq!(got_c.borrow().len(), 0);
+        assert_eq!(*heard.borrow(), 2);
+    }
+
+    #[test]
+    fn multicast_on_segment_reaches_subscribers() {
+        let group = addr(224, 0, 0, 5);
+        let mut sim = Sim::new(1);
+        let src = sim.add_host("src", 1);
+        let b = sim.add_host("b", 2);
+        let c = sim.add_host("c", 3);
+        let d = sim.add_host("d", 4);
+        let seg = sim.add_link(LinkSpec::ethernet_10(), &[src, b, c, d]);
+        sim.compute_routes();
+        sim.add_mcast_route(src, group, seg);
+        sim.subscribe(b, group);
+        sim.subscribe(c, group);
+        let gb = Rc::new(RefCell::new(Vec::new()));
+        let gc = Rc::new(RefCell::new(Vec::new()));
+        let gd = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: gb.clone() }));
+        sim.add_app(c, Box::new(Sink { got: gc.clone() }));
+        sim.add_app(d, Box::new(Sink { got: gd.clone() }));
+        sim.add_app(src, Box::new(Source { dst: group, n: 1, size: 100 }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(gb.borrow().len(), 1);
+        assert_eq!(gc.borrow().len(), 1);
+        assert_eq!(gd.borrow().len(), 0, "non-subscriber ignores multicast");
+    }
+
+    #[test]
+    fn multicast_forwarding_through_router() {
+        let group = addr(224, 1, 1, 1);
+        let mut sim = Sim::new(1);
+        let src = sim.add_host("src", 1);
+        let r = sim.add_router("r", 2);
+        let dst = sim.add_host("dst", 3);
+        let l1 = sim.add_link(LinkSpec::ethernet_10(), &[src, r]);
+        let l2 = sim.add_link(LinkSpec::ethernet_10(), &[r, dst]);
+        sim.compute_routes();
+        sim.add_mcast_route(src, group, l1);
+        sim.add_mcast_route(r, group, l2);
+        sim.subscribe(dst, group);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(dst, Box::new(Sink { got: got.clone() }));
+        sim.add_app(src, Box::new(Source { dst: group, n: 4, size: 50 }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 4);
+    }
+
+    #[test]
+    fn hook_can_consume_and_rewrite() {
+        struct Redirect {
+            to: u32,
+        }
+        impl PacketHook for Redirect {
+            fn on_packet(
+                &mut self,
+                api: &mut NodeApi<'_>,
+                mut pkt: Packet,
+                meta: &ArrivalMeta,
+            ) -> HookVerdict {
+                if meta.overheard {
+                    return HookVerdict::Pass(pkt);
+                }
+                pkt.ip.dst = self.to;
+                pkt.ip.ttl -= 1;
+                api.send(pkt);
+                HookVerdict::Handled
+            }
+        }
+        let (mut sim, a, r, b) = two_hosts_one_router();
+        // Add a third host; the router rewrites everything toward it.
+        let c = sim.add_host("c", addr(10, 0, 2, 1));
+        sim.add_link(LinkSpec::ethernet_10(), &[r, c]);
+        sim.compute_routes();
+        sim.install_hook(r, Box::new(Redirect { to: addr(10, 0, 2, 1) }));
+        let got_b = Rc::new(RefCell::new(Vec::new()));
+        let got_c = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got_b.clone() }));
+        sim.add_app(c, Box::new(Sink { got: got_c.clone() }));
+        sim.add_app(a, Box::new(Source { dst: addr(10, 0, 1, 1), n: 2, size: 10 }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got_b.borrow().len(), 0);
+        assert_eq!(got_c.borrow().len(), 2);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerApp {
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl App for TimerApp {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                api.set_timer(Duration::from_millis(20), 2);
+                api.set_timer(Duration::from_millis(10), 1);
+                api.set_timer(Duration::from_millis(30), 3);
+            }
+            fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, api: &mut NodeApi<'_>, key: u64) {
+                self.log.borrow_mut().push(key);
+                if key == 1 {
+                    api.set_timer(Duration::from_millis(5), 4);
+                }
+            }
+        }
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(a, Box::new(TimerApp { log: log.clone() }));
+        sim.run_until(SimTime::from_ms(100));
+        assert_eq!(*log.borrow(), vec![1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn cpu_model_serializes_processing() {
+        // 100 packets, 1 ms of CPU each: the last one is handled ~100 ms
+        // after the first arrival, far later than wire time alone.
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        sim.add_link(LinkSpec::ethernet_100(), &[a, b]);
+        sim.compute_routes();
+        sim.set_cpu(
+            b,
+            crate::node::CpuModel { per_packet: Duration::from_millis(1), queue_cap: 1000 },
+        );
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(a, Box::new(Source { dst: 2, n: 100, size: 100 }));
+        sim.run_until(SimTime::from_ms(50));
+        let at_50ms = got.borrow().len();
+        assert!(at_50ms < 60, "CPU should pace deliveries, got {at_50ms}");
+        sim.run_until(SimTime::from_ms(200));
+        assert_eq!(got.borrow().len(), 100);
+    }
+
+    #[test]
+    fn cpu_queue_overflow_drops() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        sim.add_link(LinkSpec::ethernet_100(), &[a, b]);
+        sim.compute_routes();
+        sim.set_cpu(
+            b,
+            crate::node::CpuModel { per_packet: Duration::from_millis(10), queue_cap: 5 },
+        );
+        sim.add_app(a, Box::new(Source { dst: 2, n: 50, size: 50 }));
+        sim.run_until(SimTime::from_secs(2));
+        assert!(sim.node(b).cpu_drops > 0);
+        assert_eq!(sim.node(b).cpu_drops + sim.node(b).delivered, 50);
+    }
+
+    #[test]
+    fn alias_routes_follow_their_target() {
+        // Traffic to the alias address takes the same path as traffic
+        // to the target node, at every node except the target.
+        let (mut sim, a, _r, b) = two_hosts_one_router();
+        let alias = addr(99, 9, 9, 9);
+        sim.alias_route_all(alias, b);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(a, Box::new(Source { dst: alias, n: 2, size: 10 }));
+        sim.run_until(SimTime::from_ms(200));
+        // The packets reach b's router; b itself has no alias route and,
+        // being a host, drops traffic not addressed to it — but the
+        // router forwarded it onto b's link, so b *received* it.
+        assert_eq!(got.borrow().len(), 0); // not addressed to b
+        assert_eq!(sim.node(b).dropped, 2); // but it arrived at b
+    }
+
+    #[test]
+    fn run_to_idle_drains_everything() {
+        let (mut sim, a, _r, b) = two_hosts_one_router();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(a, Box::new(Source { dst: addr(10, 0, 1, 1), n: 5, size: 10 }));
+        let processed = sim.run_to_idle(100_000);
+        assert!(processed > 0);
+        assert_eq!(got.borrow().len(), 5);
+    }
+
+    #[test]
+    fn failed_node_drops_and_revives() {
+        let (mut sim, a, r, b) = two_hosts_one_router();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(a, Box::new(Source { dst: addr(10, 0, 1, 1), n: 3, size: 50 }));
+        sim.set_down(r, true);
+        sim.run_until(SimTime::from_ms(100));
+        assert_eq!(got.borrow().len(), 0, "router down: nothing arrives");
+        assert_eq!(sim.node(r).dropped, 3);
+        // Revive and send again.
+        sim.set_down(r, false);
+        sim.add_app(a, Box::new(Source { dst: addr(10, 0, 1, 1), n: 2, size: 50 }));
+        sim.run_until(SimTime::from_ms(200));
+        assert_eq!(got.borrow().len(), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_host("a", 1);
+            let b = sim.add_host("b", 2);
+            sim.add_link(
+                LinkSpec { kbps: 500, delay: Duration::from_millis(1), queue_pkts: 5 },
+                &[a, b],
+            );
+            sim.compute_routes();
+            sim.add_app(a, Box::new(Source { dst: 2, n: 40, size: 300 }));
+            sim.run_until(SimTime::from_secs(10));
+            (sim.node(b).delivered, sim.total_link_drops)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn measured_kbps_visible_from_api() {
+        struct Probe {
+            out: Rc<RefCell<i64>>,
+            dst: u32,
+        }
+        impl App for Probe {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                api.set_timer(Duration::from_millis(900), 0);
+            }
+            fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, api: &mut NodeApi<'_>, _key: u64) {
+                *self.out.borrow_mut() = api.measured_kbps_toward(self.dst);
+            }
+        }
+        let mut sim = Sim::new(1);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+        sim.compute_routes();
+        // ~2 Mb/s of traffic.
+        struct Pacer {
+            dst: u32,
+        }
+        impl App for Pacer {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                api.set_timer(Duration::from_millis(5), 0);
+            }
+            fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, api: &mut NodeApi<'_>, _key: u64) {
+                let pkt =
+                    Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from(vec![0u8; 1250]));
+                api.send(pkt);
+                api.set_timer(Duration::from_millis(5), 0);
+            }
+        }
+        let reading = Rc::new(RefCell::new(0));
+        sim.add_app(a, Box::new(Pacer { dst: 2 }));
+        sim.add_app(a, Box::new(Probe { out: reading.clone(), dst: 2 }));
+        sim.run_until(SimTime::from_secs(1));
+        let r = *reading.borrow();
+        assert!((1500..=2600).contains(&r), "measured {r} kb/s");
+    }
+}

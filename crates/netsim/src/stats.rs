@@ -1,0 +1,180 @@
+//! Measurement helpers: time series and derived statistics for the
+//! experiment harnesses.
+
+use std::collections::BTreeMap;
+
+/// A `(seconds, value)` time series.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    /// Recorded points in insertion order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Sum of all values.
+    pub fn sum(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Mean of the values recorded in `[t0, t1)`.
+    pub fn avg_between(&self, t0: f64, t1: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= t0 && t < t1)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Sum of values recorded in `[t0, t1)`.
+    pub fn sum_between(&self, t0: f64, t1: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|&&(t, _)| t >= t0 && t < t1)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// The `q`-quantile (0.0–1.0) of values recorded in `[t0, t1)`.
+    pub fn percentile_between(&self, t0: f64, t1: f64, q: f64) -> Option<f64> {
+        let mut vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= t0 && t < t1)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(f64::total_cmp);
+        let idx = ((vals.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(vals[idx])
+    }
+
+    /// Buckets the series into fixed-width intervals of `width` seconds
+    /// over `[0, horizon)`, summing values per bucket. Useful for
+    /// bandwidth-over-time plots (figure 6).
+    pub fn bucket_sums(&self, width: f64, horizon: f64) -> Vec<(f64, f64)> {
+        let n = (horizon / width).ceil() as usize;
+        let mut out = vec![0.0; n];
+        for &(t, v) in &self.points {
+            if t < horizon && t >= 0.0 {
+                out[(t / width) as usize] += v;
+            }
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(i, v)| (i as f64 * width, v))
+            .collect()
+    }
+}
+
+/// A named collection of series (owned by the simulator).
+#[derive(Debug, Clone, Default)]
+pub struct SeriesStore {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl SeriesStore {
+    /// Records `(t, v)` under `name`.
+    pub fn record(&mut self, name: &str, t: f64, v: f64) {
+        self.series.entry(name.to_string()).or_default().push(t, v);
+    }
+
+    /// Returns a series by name.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Iterates over `(name, series)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        s.push(2.0, 5.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last(), Some(5.0));
+        assert_eq!(s.sum(), 9.0);
+        assert_eq!(s.avg_between(0.0, 2.0), Some(2.0));
+        assert_eq!(s.avg_between(10.0, 20.0), None);
+        assert_eq!(s.sum_between(1.0, 3.0), 8.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            s.push(i as f64 / 100.0, i as f64);
+        }
+        assert_eq!(s.percentile_between(0.0, 1.0, 0.5), Some(50.0));
+        assert_eq!(s.percentile_between(0.0, 1.0, 0.0), Some(0.0));
+        assert_eq!(s.percentile_between(0.0, 1.0, 1.0), Some(99.0));
+        assert_eq!(s.percentile_between(5.0, 6.0, 0.5), None);
+    }
+
+    #[test]
+    fn bucket_sums_bins_correctly() {
+        let mut s = TimeSeries::new();
+        s.push(0.1, 1.0);
+        s.push(0.9, 2.0);
+        s.push(1.5, 4.0);
+        s.push(9.9, 8.0);
+        s.push(10.5, 100.0); // beyond horizon
+        let b = s.bucket_sums(1.0, 10.0);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b[0], (0.0, 3.0));
+        assert_eq!(b[1], (1.0, 4.0));
+        assert_eq!(b[9], (9.0, 8.0));
+    }
+
+    #[test]
+    fn store_groups_by_name() {
+        let mut st = SeriesStore::default();
+        st.record("a", 0.0, 1.0);
+        st.record("a", 1.0, 2.0);
+        st.record("b", 0.0, 9.0);
+        assert_eq!(st.get("a").unwrap().len(), 2);
+        assert_eq!(st.get("b").unwrap().sum(), 9.0);
+        assert_eq!(st.iter().count(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Simulated time: nanosecond ticks from the start of the run.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Builds a time from milliseconds.
+    pub fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds a time from microseconds.
+    pub fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// This time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This time as whole milliseconds.
+    pub fn as_ms(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, other: SimTime) -> Duration {
+        Duration::from_nanos(self.0 - other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_secs(2).0, 2_000_000_000);
+        assert_eq!(SimTime::from_ms(5).as_ms(), 5);
+        assert_eq!(SimTime::from_us(7).0, 7_000);
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(10) + Duration::from_millis(5);
+        assert_eq!(t.as_ms(), 15);
+        assert_eq!(t - SimTime::from_ms(10), Duration::from_millis(5));
+        assert_eq!(
+            SimTime::from_ms(1).saturating_sub(SimTime::from_ms(5)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ms(1500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests over the simulator core: conservation, determinism,
+//! and mini-TCP integrity under arbitrary loss patterns.
+
+use bytes::Bytes;
+use netsim::packet::{addr, Packet};
+use netsim::tcp::{TcpConfig, TcpSocket};
+use netsim::{App, LinkSpec, NodeApi, Sim, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+struct Counter {
+    got: Rc<RefCell<u64>>,
+}
+impl App for Counter {
+    fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {
+        *self.got.borrow_mut() += 1;
+    }
+}
+
+struct Blaster {
+    dst: u32,
+    n: u32,
+    size: usize,
+    gap_us: u64,
+}
+impl App for Blaster {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        api.set_timer(Duration::from_micros(self.gap_us), 0);
+    }
+    fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, api: &mut NodeApi<'_>, _key: u64) {
+        if self.n == 0 {
+            return;
+        }
+        self.n -= 1;
+        api.send(Packet::udp(
+            api.addr(),
+            self.dst,
+            1,
+            2,
+            Bytes::from(vec![0u8; self.size]),
+        ));
+        api.set_timer(Duration::from_micros(self.gap_us), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every packet sent is either delivered, dropped at a queue, or
+    /// dropped at a node — never duplicated, never lost silently.
+    #[test]
+    fn packet_conservation_on_a_chain(
+        n in 1u32..120,
+        size in 16usize..1400,
+        gap_us in 50u64..5000,
+        kbps in 200u64..20_000,
+        queue in 2usize..32,
+        hops in 1usize..4,
+    ) {
+        let mut sim = Sim::new(42);
+        let src = sim.add_host("src", addr(10, 0, 0, 1));
+        let mut prev = src;
+        for h in 0..hops {
+            let r = sim.add_router(&format!("r{h}"), addr(10, 0, 1, h as u8 + 1));
+            sim.add_link(
+                LinkSpec { kbps, delay: Duration::from_micros(100), queue_pkts: queue },
+                &[prev, r],
+            );
+            prev = r;
+        }
+        let dst = sim.add_host("dst", addr(10, 0, 2, 1));
+        sim.add_link(
+            LinkSpec { kbps, delay: Duration::from_micros(100), queue_pkts: queue },
+            &[prev, dst],
+        );
+        sim.compute_routes();
+        let got = Rc::new(RefCell::new(0u64));
+        sim.add_app(dst, Box::new(Counter { got: got.clone() }));
+        sim.add_app(src, Box::new(Blaster { dst: addr(10, 0, 2, 1), n, size, gap_us }));
+        sim.run_until(SimTime::from_secs(600));
+
+        let node_drops: u64 = (0..hops + 2)
+            .map(|i| sim.node(netsim::NodeId(i)).dropped)
+            .sum();
+        let delivered = *got.borrow();
+        prop_assert_eq!(
+            delivered + sim.total_link_drops + node_drops,
+            n as u64,
+            "delivered {} + link drops {} + node drops {} != sent {}",
+            delivered, sim.total_link_drops, node_drops, n
+        );
+    }
+
+    /// Identical seeds and parameters give identical outcomes.
+    #[test]
+    fn determinism(seed in any::<u64>(), n in 1u32..60) {
+        let run = || {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_host("a", 1);
+            let b = sim.add_host("b", 2);
+            sim.add_link(
+                LinkSpec { kbps: 900, delay: Duration::from_millis(1), queue_pkts: 4 },
+                &[a, b],
+            );
+            sim.compute_routes();
+            let got = Rc::new(RefCell::new(0u64));
+            sim.add_app(b, Box::new(Counter { got: got.clone() }));
+            sim.add_app(a, Box::new(Blaster { dst: 2, n, size: 700, gap_us: 300 }));
+            sim.run_until(SimTime::from_secs(60));
+            let delivered = *got.borrow();
+            (delivered, sim.total_link_drops)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Mini-TCP delivers the exact byte stream whatever subset of
+    /// segments the wire drops (as long as it is finite).
+    #[test]
+    fn tcp_survives_arbitrary_loss(
+        len in 1usize..20_000,
+        drops in proptest::collection::btree_set(1usize..200, 0..12),
+    ) {
+        let mut now = SimTime::ZERO;
+        let cfg = TcpConfig { max_retries: 50, ..TcpConfig::default() };
+        let (mut c, syn) = TcpSocket::connect(cfg, (1, 5000), (2, 80), now);
+        let (mut s, synack) = TcpSocket::accept(cfg, (2, 80), &syn, now).unwrap();
+        let ev = c.on_segment(&synack, now);
+        let mut wire: Vec<(bool, Packet)> = ev.to_send.into_iter().map(|p| (true, p)).collect();
+
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let ev = c.send(&data, now);
+        wire.extend(ev.to_send.into_iter().map(|p| (true, p)));
+
+        let mut received = Vec::new();
+        let mut count = 0usize;
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            prop_assert!(steps < 100_000, "did not converge");
+            if let Some((to_s, pkt)) = wire.first().cloned() {
+                wire.remove(0);
+                count += 1;
+                if drops.contains(&count) {
+                    continue; // eaten by the wire
+                }
+                let ev = if to_s {
+                    let ev = s.on_segment(&pkt, now);
+                    received.extend(s.take_received());
+                    ev
+                } else {
+                    c.on_segment(&pkt, now)
+                };
+                wire.extend(ev.to_send.into_iter().map(|p| (!to_s, p)));
+            } else {
+                if received.len() >= data.len() && c.in_flight() == 0 {
+                    break;
+                }
+                now += Duration::from_millis(250);
+                let e1 = c.on_tick(now);
+                let e2 = s.on_tick(now);
+                prop_assert!(!e1.failed && !e2.failed, "connection died");
+                wire.extend(e1.to_send.into_iter().map(|p| (true, p)));
+                wire.extend(e2.to_send.into_iter().map(|p| (false, p)));
+            }
+        }
+        prop_assert_eq!(received, data);
+    }
+}

@@ -1,0 +1,163 @@
+//! Conversions between simulator packets and PLAN-P packet values.
+//!
+//! A channel whose packet parameter has shape `ip * tcp * c1 * … * cn`
+//! receives the tuple `(ip-header, tcp-header, v1, …, vn)` where the
+//! `vi` are decoded from the payload bytes per the wire encodings in
+//! [`planp_vm::pkthdr`]. Overload dispatch (section 2.3) works by trying
+//! these decodes in declaration order.
+
+use netsim::packet::{ChannelTag, Packet, Transport};
+use planp_lang::types::{PacketShape, TransportKind};
+use planp_vm::pkthdr::{decode_payload, encode_payload};
+use planp_vm::value::{Value, VmError};
+
+/// Converts an arriving packet into the tuple value a channel of the
+/// given shape expects. `None` if the transport or payload does not
+/// match (the overload does not apply).
+pub fn packet_to_value(pkt: &Packet, shape: &PacketShape) -> Option<Value> {
+    let mut parts: Vec<Value> = Vec::with_capacity(2 + shape.payload.len());
+    parts.push(Value::Ip(pkt.ip));
+    match (shape.transport, &pkt.transport) {
+        (TransportKind::Tcp, Transport::Tcp(h)) => parts.push(Value::Tcp(*h)),
+        (TransportKind::Udp, Transport::Udp(h)) => parts.push(Value::Udp(*h)),
+        (TransportKind::None, Transport::None) => {}
+        _ => return None,
+    }
+    let decoded = decode_payload(&shape.payload, &pkt.payload)?;
+    parts.extend(decoded);
+    Some(Value::tuple(parts))
+}
+
+/// Converts a packet value produced by a PLAN-P program back into a
+/// simulator packet, carrying `tag` if the send targeted a user-defined
+/// channel.
+///
+/// # Errors
+///
+/// Traps on values that are not packet tuples (unreachable for checked
+/// programs).
+pub fn value_to_packet(v: &Value, tag: Option<ChannelTag>) -> Result<Packet, VmError> {
+    let Value::Tuple(parts) = v else {
+        return Err(VmError::trap(format!("sent value is not a packet tuple: {v:?}")));
+    };
+    let mut it = parts.iter();
+    let ip = match it.next() {
+        Some(Value::Ip(h)) => *h,
+        other => {
+            return Err(VmError::trap(format!(
+                "packet tuple must start with an ip header, got {other:?}"
+            )))
+        }
+    };
+    let mut rest: Vec<Value> = Vec::new();
+    let mut transport = Transport::None;
+    for (i, part) in it.enumerate() {
+        match part {
+            Value::Tcp(h) if i == 0 => transport = Transport::Tcp(*h),
+            Value::Udp(h) if i == 0 => transport = Transport::Udp(*h),
+            other => rest.push(other.clone()),
+        }
+    }
+    let payload = encode_payload(&rest);
+    Ok(Packet { ip, transport, payload, tag })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netsim::packet::{IpHdr, TcpHdr, UdpHdr};
+
+    fn shape(src: &str) -> PacketShape {
+        // Parse a packet type via a tiny program.
+        let prog = planp_lang::compile_front(&format!(
+            "channel network(ps : unit, ss : unit, p : {src}) is (ps, ss)"
+        ))
+        .unwrap();
+        prog.channels[0].shape.clone()
+    }
+
+    #[test]
+    fn round_trip_udp_blob() {
+        let pkt = Packet::udp(1, 2, 10, 20, Bytes::from_static(b"payload"));
+        let v = packet_to_value(&pkt, &shape("ip*udp*blob")).unwrap();
+        let back = value_to_packet(&v, None).unwrap();
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn transport_mismatch_is_none() {
+        let pkt = Packet::udp(1, 2, 10, 20, Bytes::new());
+        assert!(packet_to_value(&pkt, &shape("ip*tcp*blob")).is_none());
+        let t = Packet::tcp(1, 2, TcpHdr::data(1, 2, 0), Bytes::new());
+        assert!(packet_to_value(&t, &shape("ip*udp*blob")).is_none());
+    }
+
+    #[test]
+    fn typed_payload_decodes_or_rejects() {
+        // char*int payload: 1 + 8 bytes.
+        let mut raw = vec![b'A'];
+        raw.extend_from_slice(&42i64.to_be_bytes());
+        let pkt = Packet::tcp(1, 2, TcpHdr::data(1, 2, 0), Bytes::from(raw));
+        let sh = shape("ip*tcp*char*int");
+        let v = packet_to_value(&pkt, &sh).unwrap();
+        let Value::Tuple(parts) = &v else { panic!() };
+        assert_eq!(parts[2], Value::Char('A'));
+        assert_eq!(parts[3], Value::Int(42));
+        // A 3-byte payload does not decode as char*int.
+        let bad = Packet::tcp(1, 2, TcpHdr::data(1, 2, 0), Bytes::from_static(b"abc"));
+        assert!(packet_to_value(&bad, &sh).is_none());
+    }
+
+    #[test]
+    fn value_to_packet_carries_tag() {
+        let v = Value::tuple(vec![
+            Value::Ip(IpHdr::new(1, 2, IpHdr::PROTO_UDP)),
+            Value::Udp(UdpHdr::new(5, 6)),
+            Value::Blob(Bytes::from_static(b"x")),
+        ]);
+        let tag = ChannelTag { chan: "audio".into(), overload: 0 };
+        let pkt = value_to_packet(&v, Some(tag.clone())).unwrap();
+        assert_eq!(pkt.tag, Some(tag));
+        assert!(matches!(pkt.transport, Transport::Udp(_)));
+    }
+
+    #[test]
+    fn non_packet_value_traps() {
+        assert!(value_to_packet(&Value::Int(1), None).is_err());
+        let v = Value::tuple(vec![Value::Int(1), Value::Int(2)]);
+        assert!(value_to_packet(&v, None).is_err());
+    }
+
+    #[test]
+    fn raw_ip_shape_round_trips() {
+        let pkt = Packet {
+            ip: IpHdr::new(3, 4, 0),
+            transport: Transport::None,
+            payload: Bytes::from_static(b"raw"),
+            tag: None,
+        };
+        let sh = shape("ip*blob");
+        let v = packet_to_value(&pkt, &sh).unwrap();
+        let back = value_to_packet(&v, None).unwrap();
+        assert_eq!(back, pkt);
+        // A UDP packet does not match a raw-IP channel.
+        let udp = Packet::udp(1, 2, 3, 4, Bytes::new());
+        assert!(packet_to_value(&udp, &sh).is_none());
+    }
+
+    #[test]
+    fn rewritten_header_survives_round_trip() {
+        let pkt = Packet::tcp(7, 8, TcpHdr::data(1000, 80, 5), Bytes::from_static(b"GET /"));
+        let sh = shape("ip*tcp*blob");
+        let v = packet_to_value(&pkt, &sh).unwrap();
+        // Simulate what an ASP does: rebuild with a new destination.
+        let Value::Tuple(parts) = &v else { panic!() };
+        let Value::Ip(mut ip) = parts[0] else { panic!() };
+        ip.dst = 99;
+        let rewritten = Value::tuple(vec![Value::Ip(ip), parts[1].clone(), parts[2].clone()]);
+        let back = value_to_packet(&rewritten, None).unwrap();
+        assert_eq!(back.ip.dst, 99);
+        assert_eq!(back.payload, pkt.payload);
+    }
+}

@@ -1,0 +1,640 @@
+//! The IP/PLAN-P layer: a [`PacketHook`] that dispatches arriving
+//! packets to the installed program's channels and applies their
+//! effects (figure 1 of the paper).
+//!
+//! Dispatch follows section 2.3: packets sent on user-defined channels
+//! carry a tag and go straight to the tagged overload; untagged traffic
+//! is offered to the `network` channel overloads in declaration order,
+//! and the first whose packet type matches (transport layer + payload
+//! decode) runs. If nothing matches, standard IP processing continues —
+//! a PLAN-P router "operates seamlessly within existing networks".
+
+use crate::convert::{packet_to_value, value_to_packet};
+use crate::loader::LoadedProgram;
+use netsim::packet::{ChannelTag, Packet};
+use netsim::{ArrivalMeta, HookVerdict, NodeApi, PacketHook, Sim};
+use planp_lang::tast::TProgram;
+use planp_vm::env::NetEnv;
+use planp_vm::interp::Interp;
+use planp_vm::jit::CompiledProgram;
+use planp_vm::value::{Value, VmError};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which evaluator executes channel bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The JIT-compiled program (production mode).
+    #[default]
+    Jit,
+    /// The portable interpreter (the paper's debug/evolution mode).
+    Interp,
+}
+
+/// Counters exposed by an installed layer.
+#[derive(Debug, Default, Clone)]
+pub struct LayerStats {
+    /// Packets handled by a channel.
+    pub matched: u64,
+    /// Packets passed through to standard IP processing.
+    pub passed: u64,
+    /// Channel executions that failed (uncaught exception or trap);
+    /// the packet falls back to standard processing.
+    pub errors: u64,
+}
+
+/// UDP port reserved for the management plane (program deployment);
+/// traffic on it bypasses the installed program so that a buggy or
+/// packet-dropping ASP can always be replaced (see
+/// [`crate::deploy`]).
+pub const MANAGEMENT_PORT: u16 = 99;
+
+/// Installation options.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerConfig {
+    /// Evaluator choice.
+    pub engine: Engine,
+    /// Offer *overheard* segment traffic to channels (promiscuous mode;
+    /// needed by the MPEG capture ASP of section 3.3).
+    pub process_overheard: bool,
+    /// Pass UDP traffic on [`MANAGEMENT_PORT`] straight to standard
+    /// processing, keeping the deployment plane out of the program's
+    /// reach (default: true).
+    pub bypass_management: bool,
+}
+
+impl Default for LayerConfig {
+    fn default() -> Self {
+        LayerConfig {
+            engine: Engine::default(),
+            process_overheard: false,
+            bypass_management: true,
+        }
+    }
+}
+
+/// Handle returned by [`install_planp`]: shared views of the layer's
+/// counters and `print` output.
+#[derive(Debug, Clone)]
+pub struct PlanpHandle {
+    /// Dispatch counters.
+    pub stats: Rc<RefCell<LayerStats>>,
+    /// Accumulated `print`/`println` output.
+    pub output: Rc<RefCell<String>>,
+}
+
+/// The installed PLAN-P layer for one node.
+pub struct PlanpLayer {
+    prog: Rc<TProgram>,
+    compiled: Rc<CompiledProgram>,
+    config: LayerConfig,
+    globals: Vec<Value>,
+    proto: Value,
+    chan_states: Vec<Value>,
+    stats: Rc<RefCell<LayerStats>>,
+    output: Rc<RefCell<String>>,
+}
+
+impl PlanpLayer {
+    /// Instantiates the layer: evaluates globals, protocol state, and
+    /// every channel's initial state (the "download" moment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates load-time evaluation failures.
+    pub fn new(image: &LoadedProgram, config: LayerConfig, node_addr: u32) -> Result<Self, VmError> {
+        // Initializers are pure (enforced by the checker); a mock
+        // environment satisfies the interface.
+        let mut env = planp_vm::env::MockEnv::new(node_addr);
+        let compiled = image.compiled.clone();
+        let globals = compiled.eval_globals(&mut env)?;
+        let proto = compiled.init_proto(&globals, &mut env)?;
+        let mut chan_states = Vec::with_capacity(image.prog.channels.len());
+        for i in 0..image.prog.channels.len() {
+            chan_states.push(compiled.init_channel_state(i, &globals, &mut env)?);
+        }
+        Ok(PlanpLayer {
+            prog: image.prog.clone(),
+            compiled,
+            config,
+            globals,
+            proto,
+            chan_states,
+            stats: Rc::new(RefCell::new(LayerStats::default())),
+            output: Rc::new(RefCell::new(String::new())),
+        })
+    }
+
+    /// The shared handle (counters + print output).
+    pub fn handle(&self) -> PlanpHandle {
+        PlanpHandle { stats: self.stats.clone(), output: self.output.clone() }
+    }
+
+    /// Finds the channel that should process `pkt`, with its decoded
+    /// packet value.
+    fn dispatch(&self, pkt: &Packet) -> Option<(usize, Value)> {
+        match &pkt.tag {
+            Some(tag) => {
+                let group = self.prog.chan_groups.get(tag.chan.as_ref())?;
+                let &idx = group.get(tag.overload as usize)?;
+                let v = packet_to_value(pkt, &self.prog.channels[idx].shape)?;
+                Some((idx, v))
+            }
+            None => {
+                let group = self.prog.chan_groups.get("network")?;
+                for &idx in group {
+                    if let Some(v) = packet_to_value(pkt, &self.prog.channels[idx].shape) {
+                        return Some((idx, v));
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+impl PacketHook for PlanpLayer {
+    fn on_packet(
+        &mut self,
+        api: &mut NodeApi<'_>,
+        pkt: Packet,
+        meta: &ArrivalMeta,
+    ) -> HookVerdict {
+        if meta.overheard && !self.config.process_overheard {
+            return HookVerdict::Pass(pkt);
+        }
+        if self.config.bypass_management
+            && pkt.udp_hdr().is_some_and(|u| u.dport == MANAGEMENT_PORT)
+        {
+            return HookVerdict::Pass(pkt);
+        }
+        let Some((idx, value)) = self.dispatch(&pkt) else {
+            self.stats.borrow_mut().passed += 1;
+            return HookVerdict::Pass(pkt);
+        };
+        self.stats.borrow_mut().matched += 1;
+
+        let ps = self.proto.clone();
+        let ss = self.chan_states[idx].clone();
+        let mut env = SimNetEnv {
+            api,
+            prog: &self.prog,
+            output: &self.output,
+            emitted: 0,
+        };
+        let result = match self.config.engine {
+            Engine::Jit => {
+                self.compiled
+                    .run_channel(idx, &self.globals, ps, ss, value, &mut env)
+            }
+            Engine::Interp => Interp::new(&self.prog)
+                .run_channel(idx, &self.globals, ps, ss, value, &mut env),
+        };
+        match result {
+            Ok((ps, ss)) => {
+                self.proto = ps;
+                self.chan_states[idx] = ss;
+                HookVerdict::Handled
+            }
+            Err(_) => {
+                self.stats.borrow_mut().errors += 1;
+                if env.emitted > 0 {
+                    // The program already re-sent or delivered something;
+                    // passing the original through as well would duplicate
+                    // the packet. Treat it as handled.
+                    HookVerdict::Handled
+                } else {
+                    // Fail open: a misbehaving program must not take the
+                    // router down; the packet gets standard processing.
+                    HookVerdict::Pass(pkt)
+                }
+            }
+        }
+    }
+}
+
+/// The [`NetEnv`] a PLAN-P program sees while running on a simulated
+/// node.
+struct SimNetEnv<'a, 'b> {
+    api: &'a mut NodeApi<'b>,
+    prog: &'a TProgram,
+    output: &'a Rc<RefCell<String>>,
+    /// Sends/deliveries performed by the current channel run (used to
+    /// decide whether a failed run may still fall back to standard
+    /// processing without duplicating the packet).
+    emitted: u32,
+}
+
+impl SimNetEnv<'_, '_> {
+    fn tag_for(&self, chan: &str, overload: u32) -> Option<ChannelTag> {
+        // `network` traffic stays untagged so PLAN-P routers interoperate
+        // with plain IP; user-defined channels tag their packets.
+        if chan == "network" {
+            None
+        } else {
+            Some(ChannelTag { chan: chan.into(), overload })
+        }
+    }
+
+    fn outgoing(&mut self, chan: &str, overload: u32, pkt: Value) -> Option<Packet> {
+        let tag = self.tag_for(chan, overload);
+        match value_to_packet(&pkt, tag) {
+            Ok(mut p) => {
+                // Run-time safety net mirroring IP's TTL, as discussed in
+                // section 2.1 (the static proof makes this a backstop).
+                if p.ip.ttl == 0 {
+                    return None;
+                }
+                p.ip.ttl -= 1;
+                Some(p)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+impl NetEnv for SimNetEnv<'_, '_> {
+    fn this_host(&self) -> u32 {
+        self.api.addr()
+    }
+
+    fn time_ms(&mut self) -> i64 {
+        self.api.now().as_ms() as i64
+    }
+
+    fn link_load(&mut self, dst: u32) -> i64 {
+        self.api.measured_kbps_toward(dst)
+    }
+
+    fn link_capacity(&mut self, dst: u32) -> i64 {
+        self.api.capacity_kbps_toward(dst)
+    }
+
+    fn queue_len(&mut self, dst: u32) -> i64 {
+        self.api.queue_len_toward(dst)
+    }
+
+    fn rand_int(&mut self, bound: i64) -> i64 {
+        if bound <= 0 {
+            0
+        } else {
+            self.api.rand_below(bound as u64) as i64
+        }
+    }
+
+    fn send_remote(&mut self, chan: &str, overload: u32, pkt: Value) {
+        let _ = self.prog;
+        if let Some(p) = self.outgoing(chan, overload, pkt) {
+            self.emitted += 1;
+            if p.ip.dst == self.api.addr() {
+                // Arrived: OnRemote at the destination delivers locally
+                // (this is what makes progress sends terminate).
+                self.api.deliver_local(p);
+            } else {
+                self.api.send(p);
+            }
+        }
+    }
+
+    fn send_neighbor(&mut self, chan: &str, overload: u32, host: u32, pkt: Value) {
+        if let Some(p) = self.outgoing(chan, overload, pkt) {
+            self.emitted += 1;
+            if host == self.api.addr() {
+                self.api.deliver_local(p);
+            } else {
+                self.api.send_to_neighbor(host, p);
+            }
+        }
+    }
+
+    fn deliver(&mut self, pkt: Value) {
+        if let Ok(p) = value_to_packet(&pkt, None) {
+            self.emitted += 1;
+            self.api.deliver_local(p);
+        }
+    }
+
+    fn print(&mut self, text: &str) {
+        self.output.borrow_mut().push_str(text);
+    }
+}
+
+/// Loads an already-verified program onto a node of the simulator.
+///
+/// # Errors
+///
+/// Propagates load-time evaluation failures (e.g. an initializer
+/// dividing by zero).
+pub fn install_planp(
+    sim: &mut Sim,
+    node: netsim::NodeId,
+    image: &LoadedProgram,
+    config: LayerConfig,
+) -> Result<PlanpHandle, VmError> {
+    let addr = sim.node(node).addr;
+    let layer = PlanpLayer::new(image, config, addr)?;
+    let handle = layer.handle();
+    sim.install_hook(node, Box::new(layer));
+    Ok(handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load;
+    use bytes::Bytes;
+    use netsim::packet::addr;
+    use netsim::{LinkSpec, SimTime};
+    use planp_analysis::Policy;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Sink {
+        got: Rc<RefCell<Vec<Packet>>>,
+    }
+    impl netsim::App for Sink {
+        fn on_packet(&mut self, _api: &mut NodeApi<'_>, pkt: Packet) {
+            self.got.borrow_mut().push(pkt);
+        }
+    }
+
+    struct Blast {
+        dst: u32,
+        n: usize,
+    }
+    impl netsim::App for Blast {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            for i in 0..self.n {
+                let pkt = Packet::udp(
+                    api.addr(),
+                    self.dst,
+                    1000,
+                    2000,
+                    Bytes::from(vec![i as u8; 64]),
+                );
+                api.send(pkt);
+            }
+        }
+        fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+    }
+
+    /// host A — router R — host B, program installed on R.
+    fn triangle(
+        src: &str,
+        config: LayerConfig,
+    ) -> (Sim, PlanpHandle, Rc<RefCell<Vec<Packet>>>) {
+        let image = load(src, Policy::no_delivery()).expect("program loads");
+        let mut sim = Sim::new(3);
+        let a = sim.add_host("a", addr(10, 0, 0, 1));
+        let r = sim.add_router("r", addr(10, 0, 0, 254));
+        let b = sim.add_host("b", addr(10, 0, 1, 1));
+        sim.add_link(LinkSpec::ethernet_10(), &[a, r]);
+        sim.add_link(LinkSpec::ethernet_10(), &[r, b]);
+        sim.compute_routes();
+        let handle = install_planp(&mut sim, r, &image, config).expect("install");
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(a, Box::new(Blast { dst: addr(10, 0, 1, 1), n: 5 }));
+        (sim, handle, got)
+    }
+
+    #[test]
+    fn asp_forwarder_passes_traffic() {
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(network, p); (ps + 1, ss))";
+        let (mut sim, handle, got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 5);
+        assert_eq!(handle.stats.borrow().matched, 5);
+        assert_eq!(handle.stats.borrow().errors, 0);
+    }
+
+    #[test]
+    fn interp_engine_behaves_identically() {
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(network, p); (ps + 1, ss))";
+        let cfg = LayerConfig { engine: Engine::Interp, ..LayerConfig::default() };
+        let (mut sim, handle, got) = triangle(src, cfg);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 5);
+        assert_eq!(handle.stats.borrow().matched, 5);
+    }
+
+    #[test]
+    fn asp_filter_drops_matching_packets() {
+        // Drop everything with an odd first payload byte.
+        let src = "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+                   if blobByte(#3 p, 0) mod 2 = 0 then\n\
+                     (OnRemote(network, p); (ps, ss))\n\
+                   else (ps, ss)";
+        let (mut sim, _handle, got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        // Bytes 0..5 → 0, 2, 4 pass.
+        assert_eq!(got.borrow().len(), 3);
+    }
+
+    #[test]
+    fn state_accumulates_across_packets() {
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (println(ps); OnRemote(network, p); (ps + 1, ss))";
+        let (mut sim, handle, _got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(&*handle.output.borrow(), "0\n1\n2\n3\n4\n");
+    }
+
+    #[test]
+    fn non_matching_traffic_passes_through() {
+        // Program only handles TCP; UDP traffic uses standard forwarding.
+        let src = "channel network(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
+                   (OnRemote(network, p); (ps, ss))";
+        let (mut sim, handle, got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 5, "UDP forwarded by plain IP");
+        assert_eq!(handle.stats.borrow().matched, 0);
+        assert_eq!(handle.stats.borrow().passed, 5);
+    }
+
+    #[test]
+    fn runtime_error_fails_open() {
+        // Uncaught Div on every packet: layer must pass packets through.
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(network, p); (ps div 0, ss))";
+        let image = load(src, Policy::authenticated()).unwrap();
+        let mut sim = Sim::new(3);
+        let a = sim.add_host("a", addr(10, 0, 0, 1));
+        let r = sim.add_router("r", addr(10, 0, 0, 254));
+        let b = sim.add_host("b", addr(10, 0, 1, 1));
+        sim.add_link(LinkSpec::ethernet_10(), &[a, r]);
+        sim.add_link(LinkSpec::ethernet_10(), &[r, b]);
+        sim.compute_routes();
+        let handle = install_planp(&mut sim, r, &image, LayerConfig::default()).unwrap();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(a, Box::new(Blast { dst: addr(10, 0, 1, 1), n: 2 }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(handle.stats.borrow().errors, 2);
+        assert_eq!(got.borrow().len(), 2, "fail-open forwarding");
+    }
+
+    #[test]
+    fn tagged_packet_for_unknown_channel_passes_through() {
+        // A packet tagged for a channel this node's program does not
+        // define uses standard IP processing (tags are opaque elsewhere).
+        let src = "channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)";
+        let image = load(src, Policy::authenticated()).unwrap();
+        let mut sim = Sim::new(3);
+        let a = sim.add_host("a", addr(10, 0, 0, 1));
+        let r = sim.add_router("r", addr(10, 0, 0, 254));
+        let b = sim.add_host("b", addr(10, 0, 1, 1));
+        sim.add_link(LinkSpec::ethernet_10(), &[a, r]);
+        sim.add_link(LinkSpec::ethernet_10(), &[r, b]);
+        sim.compute_routes();
+        let handle = install_planp(&mut sim, r, &image, LayerConfig::default()).unwrap();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+
+        struct Tagged {
+            dst: u32,
+        }
+        impl netsim::App for Tagged {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                let mut pkt = Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from_static(b"x"));
+                pkt.tag = Some(netsim::packet::ChannelTag { chan: "elsewhere".into(), overload: 0 });
+                api.send(pkt);
+            }
+            fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+        }
+        sim.add_app(a, Box::new(Tagged { dst: addr(10, 0, 1, 1) }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 1, "tagged packet forwarded normally");
+        assert_eq!(handle.stats.borrow().matched, 0);
+        assert_eq!(handle.stats.borrow().passed, 1);
+    }
+
+    #[test]
+    fn overloaded_channels_dispatch_by_payload() {
+        // Figure 4: one overload prints ints, the other bools.
+        let src = r#"
+val CmdA : int = 65
+channel network(ps : unit, ss : unit, p : ip*udp*char*int) is
+  (print("int:"); print(#4 p); OnRemote(network, p); (ps, ss))
+channel network(ps : unit, ss : unit, p : ip*udp*char*bool) is
+  (print("bool:"); print(#4 p); OnRemote(network, p); (ps, ss))
+"#;
+        let image = load(src, Policy::no_delivery()).unwrap();
+        let mut sim = Sim::new(3);
+        let a = sim.add_host("a", addr(10, 0, 0, 1));
+        let r = sim.add_router("r", addr(10, 0, 0, 254));
+        let b = sim.add_host("b", addr(10, 0, 1, 1));
+        sim.add_link(LinkSpec::ethernet_10(), &[a, r]);
+        sim.add_link(LinkSpec::ethernet_10(), &[r, b]);
+        sim.compute_routes();
+        let handle = install_planp(&mut sim, r, &image, LayerConfig::default()).unwrap();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+
+        struct Two {
+            dst: u32,
+        }
+        impl netsim::App for Two {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                // char + 8-byte int
+                let mut p1 = vec![b'A'];
+                p1.extend_from_slice(&7i64.to_be_bytes());
+                api.send(Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from(p1)));
+                // char + bool
+                let p2 = vec![b'B', 1u8];
+                api.send(Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from(p2)));
+            }
+            fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+        }
+        sim.add_app(a, Box::new(Two { dst: addr(10, 0, 1, 1) }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(&*handle.output.borrow(), "int:7bool:true");
+        assert_eq!(got.borrow().len(), 2);
+        assert_eq!(handle.stats.borrow().matched, 2);
+    }
+
+    #[test]
+    fn gateway_rewrites_connections() {
+        // Minimal load-balancer shape: TCP to port 80 alternates between
+        // two servers by connection (keyed on client ip*port).
+        let src = r#"
+val srv0 : host = 10.0.1.1
+val srv1 : host = 10.0.2.1
+
+channel network(ps : int, ss : ((host*int), host) hash_table, p : ip*tcp*blob)
+initstate mkTable(64) is
+  let
+    val iph : ip = #1 p
+    val tcph : tcp = #2 p
+  in
+    if tcpDst(tcph) = 80 then
+      if tblHas(ss, (ipSrc(iph), tcpSrc(tcph))) then
+        let val chosen : host = tblGet(ss, (ipSrc(iph), tcpSrc(tcph))) handle NotFound => srv0 in
+          (OnRemote(network, (ipDestSet(iph, chosen), tcph, #3 p)); (ps, ss))
+        end
+      else
+        -- new connection: assign by modulo on the connection count
+        let val c : host = if ps mod 2 = 0 then srv0 else srv1 in
+          (tblSet(ss, (ipSrc(iph), tcpSrc(tcph)), c);
+           OnRemote(network, (ipDestSet(iph, c), tcph, #3 p));
+           (ps + 1, ss))
+        end
+    else
+      (OnRemote(network, p); (ps, ss))
+  end
+"#;
+        // A destination-rewriting gateway cannot be *proved* to terminate
+        // by the conservative analysis (the rewritten packet could match
+        // the channel again) — exactly the class of legitimate protocols
+        // the paper downloads with authentication (section 2.1).
+        let image = load(src, Policy::authenticated()).unwrap();
+        assert!(!image.report.termination.is_proved());
+
+        let mut sim = Sim::new(9);
+        let client = sim.add_host("client", addr(10, 0, 0, 1));
+        let gw = sim.add_router("gw", addr(10, 0, 0, 254));
+        let s0 = sim.add_host("s0", addr(10, 0, 1, 1));
+        let s1 = sim.add_host("s1", addr(10, 0, 2, 1));
+        sim.add_link(LinkSpec::ethernet_10(), &[client, gw]);
+        sim.add_link(LinkSpec::ethernet_100(), &[gw, s0]);
+        sim.add_link(LinkSpec::ethernet_100(), &[gw, s1]);
+        sim.compute_routes();
+        // Virtual address routed toward the gateway.
+        let virt = addr(10, 9, 9, 9);
+        sim.add_route(client, virt, gw);
+        install_planp(&mut sim, gw, &image, LayerConfig::default()).unwrap();
+
+        let got0 = Rc::new(RefCell::new(Vec::new()));
+        let got1 = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(s0, Box::new(Sink { got: got0.clone() }));
+        sim.add_app(s1, Box::new(Sink { got: got1.clone() }));
+
+        struct Conns {
+            virt: u32,
+        }
+        impl netsim::App for Conns {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                for port in 0..4u16 {
+                    let hdr = netsim::packet::TcpHdr::data(5000 + port, 80, 1);
+                    let pkt = Packet::tcp(api.addr(), self.virt, hdr, Bytes::from_static(b"GET /"));
+                    api.send(pkt);
+                    // Second packet on the same connection must follow it.
+                    let hdr2 = netsim::packet::TcpHdr::data(5000 + port, 80, 6);
+                    api.send(Packet::tcp(api.addr(), self.virt, hdr2, Bytes::from_static(b"more!")));
+                }
+            }
+            fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+        }
+        sim.add_app(client, Box::new(Conns { virt }));
+        sim.run_until(SimTime::from_secs(1));
+
+        // 4 connections × 2 packets, alternating servers per connection.
+        assert_eq!(got0.borrow().len(), 4);
+        assert_eq!(got1.borrow().len(), 4);
+        // Both packets of one connection landed on the same server.
+        let ports0: Vec<u16> = got0.borrow().iter().map(|p| p.tcp_hdr().unwrap().sport).collect();
+        assert_eq!(ports0[0], ports0[1]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # planp-runtime — the extensible network layer
+//!
+//! Binds the PLAN-P front end, verifier, and execution engines into the
+//! simulated network: the equivalent of the paper's Solaris loadable
+//! kernel module sitting at the IP layer of routers and hosts.
+//!
+//! * [`loader`] — the download path: parse → type check → verify
+//!   (late checking, section 2.1) → JIT compile (section 2.2);
+//! * [`layer`] — the [`netsim::PacketHook`] implementation: channel
+//!   dispatch (including overloaded channels), protocol/channel state,
+//!   and the `OnRemote`/`OnNeighbor`/`deliver` effects;
+//! * [`convert`] — packet ↔ PLAN-P value conversions.
+//!
+//! ## Example
+//!
+//! ```
+//! use planp_runtime::{load, install_planp, LayerConfig};
+//! use planp_analysis::Policy;
+//! use netsim::{Sim, LinkSpec, packet::addr};
+//!
+//! let image = load(
+//!     "channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+//!        (OnRemote(network, p); (ps, ss))",
+//!     Policy::strict(),
+//! ).unwrap();
+//!
+//! let mut sim = Sim::new(1);
+//! let router = sim.add_router("r", addr(10, 0, 0, 254));
+//! let host = sim.add_host("h", addr(10, 0, 0, 1));
+//! sim.add_link(LinkSpec::ethernet_10(), &[host, router]);
+//! sim.compute_routes();
+//! let handle = install_planp(&mut sim, router, &image, LayerConfig::default()).unwrap();
+//! assert_eq!(handle.stats.borrow().matched, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod deploy;
+pub mod layer;
+pub mod loader;
+
+pub use deploy::{deploy_packets, uninstall_packet, DeployLog, DeployService, DEPLOY_PORT};
+pub use layer::{
+    install_planp, Engine, LayerConfig, LayerStats, PlanpHandle, PlanpLayer, MANAGEMENT_PORT,
+};
+pub use loader::{load, LoadError, LoadedProgram};

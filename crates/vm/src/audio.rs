@@ -1,0 +1,127 @@
+//! PCM audio transformations backing the audio-degradation primitives
+//! (paper section 3.1: three quality levels — 16-bit stereo, 16-bit
+//! monaural, 8-bit monaural).
+//!
+//! Samples are 16-bit little-endian signed PCM; stereo frames interleave
+//! left/right. Degradation halves the bit rate at each step:
+//!
+//! * stereo → mono: average the channel pair (16-bit samples);
+//! * 16 → 8 bit: keep the high byte of each sample;
+//! * the inverse transformations reconstruct the original *format* (the
+//!   client ASP's job) with the inherent precision loss.
+
+use bytes::Bytes;
+
+/// Averages stereo 16-bit frames into mono 16-bit samples (halves size).
+///
+/// A trailing partial frame (fewer than 4 bytes) is dropped.
+pub fn stereo_to_mono(pcm: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(pcm.len() / 2);
+    for frame in pcm.chunks_exact(4) {
+        let l = i16::from_le_bytes([frame[0], frame[1]]) as i32;
+        let r = i16::from_le_bytes([frame[2], frame[3]]) as i32;
+        let m = ((l + r) / 2) as i16;
+        out.extend_from_slice(&m.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Duplicates mono 16-bit samples into stereo frames (doubles size).
+pub fn mono_to_stereo(pcm: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(pcm.len() * 2);
+    for s in pcm.chunks_exact(2) {
+        out.extend_from_slice(s);
+        out.extend_from_slice(s);
+    }
+    Bytes::from(out)
+}
+
+/// Truncates 16-bit samples to their signed high byte (halves size).
+pub fn pcm16_to_8(pcm: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(pcm.len() / 2);
+    for s in pcm.chunks_exact(2) {
+        let v = i16::from_le_bytes([s[0], s[1]]);
+        out.push(((v >> 8) as i8) as u8);
+    }
+    Bytes::from(out)
+}
+
+/// Expands signed 8-bit samples back to 16-bit (doubles size; the low
+/// byte is zero — precision lost by [`pcm16_to_8`] is gone for good).
+pub fn pcm8_to_16(pcm: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(pcm.len() * 2);
+    for &b in pcm {
+        let v = ((b as i8) as i16) << 8;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcm16(samples: &[i16]) -> Vec<u8> {
+        samples.iter().flat_map(|s| s.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn stereo_to_mono_averages() {
+        let stereo = pcm16(&[1000, 2000, -500, 500]);
+        let mono = stereo_to_mono(&stereo);
+        assert_eq!(&mono[..], &pcm16(&[1500, 0])[..]);
+    }
+
+    #[test]
+    fn mono_to_stereo_duplicates() {
+        let mono = pcm16(&[123, -456]);
+        let stereo = mono_to_stereo(&mono);
+        assert_eq!(&stereo[..], &pcm16(&[123, 123, -456, -456])[..]);
+    }
+
+    #[test]
+    fn bit_depth_round_trip_loses_low_byte() {
+        let orig = pcm16(&[0x1234, -0x1234, 0x00ff]);
+        let narrow = pcm16_to_8(&orig);
+        assert_eq!(narrow.len(), 3);
+        let wide = pcm8_to_16(&narrow);
+        let restored: Vec<i16> = wide
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        assert_eq!(restored, vec![0x1200, -0x1300, 0x0000]);
+    }
+
+    #[test]
+    fn sizes_halve_and_double() {
+        let stereo = vec![0u8; 400];
+        assert_eq!(stereo_to_mono(&stereo).len(), 200);
+        assert_eq!(pcm16_to_8(&stereo).len(), 200);
+        assert_eq!(mono_to_stereo(&stereo).len(), 800);
+        assert_eq!(pcm8_to_16(&stereo).len(), 800);
+    }
+
+    #[test]
+    fn full_degradation_chain_preserves_loudness_scale() {
+        // 16-bit stereo → mono → 8-bit → back up; signal should stay in
+        // the same ballpark (no overflow artifacts).
+        let stereo = pcm16(&[12000, 12000, -12000, -12000]);
+        let m = stereo_to_mono(&stereo);
+        let d = pcm16_to_8(&m);
+        let up = mono_to_stereo(&pcm8_to_16(&d));
+        let restored: Vec<i16> = up
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        assert_eq!(restored.len(), 4);
+        assert!((restored[0] - 12000).abs() < 256);
+        assert!((restored[2] + 12000).abs() < 256);
+    }
+
+    #[test]
+    fn trailing_partial_frames_dropped() {
+        let odd = vec![1u8, 2, 3];
+        assert_eq!(stereo_to_mono(&odd).len(), 0);
+        assert_eq!(pcm16_to_8(&odd).len(), 2 / 2);
+    }
+}

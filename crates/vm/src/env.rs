@@ -1,0 +1,205 @@
+//! The node environment a PLAN-P program executes against.
+//!
+//! The environment primitives (`thisHost`, `linkLoad`, …) and the output
+//! effects (`OnRemote`, `OnNeighbor`, `deliver`, `print`) are mediated by
+//! the [`NetEnv`] trait. The real implementation lives in
+//! `planp-runtime`, backed by a simulated node; [`MockEnv`] here supports
+//! unit tests and micro-benchmarks.
+
+use crate::value::Value;
+
+/// What a PLAN-P program can observe and effect on its node.
+pub trait NetEnv {
+    /// The address of the node the program runs on.
+    fn this_host(&self) -> u32;
+    /// Milliseconds since an arbitrary epoch (simulated time).
+    fn time_ms(&mut self) -> i64;
+    /// Measured traffic (kb/s) on the outgoing link toward `dst` —
+    /// including competing traffic on a shared segment. This is the
+    /// router-local bandwidth monitor of section 3.1.
+    fn link_load(&mut self, dst: u32) -> i64;
+    /// Capacity (kb/s) of the outgoing link toward `dst`.
+    fn link_capacity(&mut self, dst: u32) -> i64;
+    /// Packets currently queued on the outgoing link toward `dst`.
+    fn queue_len(&mut self, dst: u32) -> i64;
+    /// A uniform random integer in `0..bound` (`0` when `bound <= 0`).
+    fn rand_int(&mut self, bound: i64) -> i64;
+    /// Effect of `OnRemote(chan, pkt)`.
+    fn send_remote(&mut self, chan: &str, overload: u32, pkt: Value);
+    /// Effect of `OnNeighbor(chan, host, pkt)`.
+    fn send_neighbor(&mut self, chan: &str, overload: u32, host: u32, pkt: Value);
+    /// Effect of `deliver(pkt)` — hand the packet to the local
+    /// application above the PLAN-P layer.
+    fn deliver(&mut self, pkt: Value);
+    /// Effect of `print`/`println`.
+    fn print(&mut self, text: &str);
+}
+
+/// A recorded output effect (used by [`MockEnv`] and by tests).
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// An `OnRemote` send.
+    Remote {
+        /// Target channel.
+        chan: String,
+        /// Target overload index.
+        overload: u32,
+        /// The packet value.
+        pkt: Value,
+    },
+    /// An `OnNeighbor` send.
+    Neighbor {
+        /// Target channel.
+        chan: String,
+        /// Target overload index.
+        overload: u32,
+        /// The neighbor address.
+        host: u32,
+        /// The packet value.
+        pkt: Value,
+    },
+    /// A local delivery.
+    Deliver(Value),
+}
+
+/// A deterministic in-memory environment for tests and benchmarks.
+#[derive(Debug)]
+pub struct MockEnv {
+    /// Node address reported by `thisHost`.
+    pub host: u32,
+    /// Value reported by `timeMs` (advance manually).
+    pub now_ms: i64,
+    /// Value reported by `linkLoad` for every destination.
+    pub load: i64,
+    /// Value reported by `linkCapacity` for every destination.
+    pub capacity: i64,
+    /// Value reported by `queueLen` for every destination.
+    pub queue: i64,
+    /// Recorded sends and deliveries, in order.
+    pub effects: Vec<Effect>,
+    /// Recorded print output (concatenated).
+    pub output: String,
+    rng_state: u64,
+}
+
+impl MockEnv {
+    /// A mock node at `host` with quiet links.
+    pub fn new(host: u32) -> Self {
+        MockEnv {
+            host,
+            now_ms: 0,
+            load: 0,
+            capacity: 10_000,
+            queue: 0,
+            effects: Vec::new(),
+            output: String::new(),
+            rng_state: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Number of recorded `OnRemote` effects.
+    pub fn remote_count(&self) -> usize {
+        self.effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Remote { .. }))
+            .count()
+    }
+
+    /// Number of recorded deliveries.
+    pub fn deliver_count(&self) -> usize {
+        self.effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Deliver(_)))
+            .count()
+    }
+}
+
+impl NetEnv for MockEnv {
+    fn this_host(&self) -> u32 {
+        self.host
+    }
+
+    fn time_ms(&mut self) -> i64 {
+        self.now_ms
+    }
+
+    fn link_load(&mut self, _dst: u32) -> i64 {
+        self.load
+    }
+
+    fn link_capacity(&mut self, _dst: u32) -> i64 {
+        self.capacity
+    }
+
+    fn queue_len(&mut self, _dst: u32) -> i64 {
+        self.queue
+    }
+
+    fn rand_int(&mut self, bound: i64) -> i64 {
+        if bound <= 0 {
+            return 0;
+        }
+        // SplitMix64 — deterministic and independent of external crates.
+        self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z % bound as u64) as i64
+    }
+
+    fn send_remote(&mut self, chan: &str, overload: u32, pkt: Value) {
+        self.effects.push(Effect::Remote {
+            chan: chan.to_string(),
+            overload,
+            pkt,
+        });
+    }
+
+    fn send_neighbor(&mut self, chan: &str, overload: u32, host: u32, pkt: Value) {
+        self.effects.push(Effect::Neighbor {
+            chan: chan.to_string(),
+            overload,
+            host,
+            pkt,
+        });
+    }
+
+    fn deliver(&mut self, pkt: Value) {
+        self.effects.push(Effect::Deliver(pkt));
+    }
+
+    fn print(&mut self, text: &str) {
+        self.output.push_str(text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_records_effects() {
+        let mut env = MockEnv::new(7);
+        env.send_remote("network", 0, Value::Unit);
+        env.deliver(Value::Int(1));
+        env.print("hi");
+        assert_eq!(env.remote_count(), 1);
+        assert_eq!(env.deliver_count(), 1);
+        assert_eq!(env.output, "hi");
+        assert_eq!(env.this_host(), 7);
+    }
+
+    #[test]
+    fn rand_int_is_deterministic_and_bounded() {
+        let mut a = MockEnv::new(0);
+        let mut b = MockEnv::new(0);
+        for _ in 0..100 {
+            let x = a.rand_int(10);
+            assert_eq!(x, b.rand_int(10));
+            assert!((0..10).contains(&x));
+        }
+        assert_eq!(a.rand_int(0), 0);
+        assert_eq!(a.rand_int(-5), 0);
+    }
+}

@@ -1,0 +1,637 @@
+//! The **JIT specializer** — the run-time compiler "generated from" the
+//! portable interpreter (paper section 2.2).
+//!
+//! Tempo turned the PLAN-P C interpreter into a run-time specializer that
+//! assembles and patches pre-compiled machine-code templates. The honest
+//! Rust analog is closure threading — the first Futamura projection
+//! applied by hand: for each AST node we *specialize* the interpreter's
+//! evaluation case with respect to the program, producing a closure
+//! ("template") with its immediates patched in:
+//!
+//! * variable references become direct slot loads (no name lookup);
+//! * primitive calls become pre-resolved function pointers;
+//! * constant subexpressions are folded at compile time;
+//! * user-function calls bind directly to the callee's compiled body
+//!   (call graphs are acyclic, so callees are always compiled first).
+//!
+//! The semantics is shared with the interpreter — both dispatch operators
+//! through [`crate::ops`] and primitives through [`crate::prims`] — so a
+//! change to the interpreter *is* a change to the JIT, which is the
+//! maintainability property the paper's framework is about.
+//!
+//! [`compile`] also reports [`CodegenStats`], the "code generation time"
+//! metric of the paper's figure 3.
+
+use crate::env::NetEnv;
+use crate::ops::{eval_binop, eval_unop};
+use crate::prims::{self, PrimFn};
+use crate::value::{Value, VmError};
+use planp_lang::ast::BinOp;
+use planp_lang::tast::{TExpr, TExprKind, TProgram};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// The execution frame a compiled closure runs against.
+pub struct Frame<'a> {
+    /// Local slots (parameters + lets), sized by the owner's `nlocals`.
+    pub slots: &'a mut [Value],
+    /// The program's evaluated `val` globals.
+    pub globals: &'a [Value],
+    /// The node environment.
+    pub net: &'a mut (dyn NetEnv + 'a),
+}
+
+/// A compiled expression: a specialized closure.
+pub type Code = Rc<dyn for<'a> Fn(&mut Frame<'a>) -> Result<Value, VmError>>;
+
+/// A compiled user function.
+struct CompiledFun {
+    nlocals: u32,
+    arity: usize,
+    code: Code,
+}
+
+/// A compiled channel overload.
+pub struct CompiledChannel {
+    /// Channel name.
+    pub name: String,
+    nlocals: u32,
+    code: Code,
+    initstate: Option<(u32, Code)>,
+}
+
+/// A fully compiled program, ready to be installed on a node.
+pub struct CompiledProgram {
+    global_inits: Vec<(u32, Code)>,
+    proto_init: Option<(u32, Code)>,
+    /// Compiled channels, parallel to [`TProgram::channels`].
+    pub channels: Vec<CompiledChannel>,
+    /// The typed program (kept for state types and dispatch metadata).
+    pub prog: Rc<TProgram>,
+}
+
+/// Statistics from one compilation — the figure 3 measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct CodegenStats {
+    /// Number of typed AST nodes compiled.
+    pub nodes: usize,
+    /// Wall-clock code generation time.
+    pub elapsed: Duration,
+}
+
+/// Compiles a typed program.
+pub fn compile(prog: Rc<TProgram>) -> (CompiledProgram, CodegenStats) {
+    let start = Instant::now();
+    let mut cx = Cx { funs: Vec::new(), nodes: 0 };
+
+    let global_inits: Vec<(u32, Code)> = prog
+        .globals
+        .iter()
+        .map(|g| (count_let_depth(&g.init), cx.compile(&g.init)))
+        .collect();
+
+    for f in &prog.funs {
+        let code = cx.compile(&f.body);
+        cx.funs.push(Rc::new(CompiledFun {
+            nlocals: f.nlocals,
+            arity: f.params.len(),
+            code,
+        }));
+    }
+
+    let proto_init = prog
+        .proto_init
+        .as_ref()
+        .map(|e| (count_let_depth(e), cx.compile(e)));
+
+    let channels = prog
+        .channels
+        .iter()
+        .map(|ch| CompiledChannel {
+            name: ch.name.clone(),
+            nlocals: ch.nlocals,
+            code: cx.compile(&ch.body),
+            initstate: ch
+                .initstate
+                .as_ref()
+                .map(|e| (count_let_depth(e), cx.compile(e))),
+        })
+        .collect();
+
+    let stats = CodegenStats { nodes: cx.nodes, elapsed: start.elapsed() };
+    (
+        CompiledProgram { global_inits, proto_init, channels, prog },
+        stats,
+    )
+}
+
+/// Number of local slots an initializer expression needs (initializers
+/// have no parameters, so this is just the peak `let` nesting).
+fn count_let_depth(e: &TExpr) -> u32 {
+    let mut max = 0;
+    e.walk(&mut |n| {
+        if let TExprKind::Let { slot, .. } = &n.kind {
+            max = max.max(slot + 1);
+        }
+    });
+    max
+}
+
+impl CompiledProgram {
+    /// Evaluates the `val` globals in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load-time evaluation failures.
+    pub fn eval_globals(&self, net: &mut dyn NetEnv) -> Result<Vec<Value>, VmError> {
+        let mut globals: Vec<Value> = Vec::with_capacity(self.global_inits.len());
+        for (nlocals, code) in &self.global_inits {
+            let mut slots = vec![Value::Unit; *nlocals as usize];
+            let v = {
+                let mut frame = Frame { slots: &mut slots, globals: &globals, net };
+                code(&mut frame)?
+            };
+            globals.push(v);
+        }
+        Ok(globals)
+    }
+
+    /// Evaluates the initial protocol state.
+    pub fn init_proto(
+        &self,
+        globals: &[Value],
+        net: &mut dyn NetEnv,
+    ) -> Result<Value, VmError> {
+        match &self.proto_init {
+            Some((nlocals, code)) => {
+                let mut slots = vec![Value::Unit; *nlocals as usize];
+                let mut frame = Frame { slots: &mut slots, globals, net };
+                code(&mut frame)
+            }
+            None => Ok(Value::default_of(&self.prog.proto_ty)),
+        }
+    }
+
+    /// Evaluates the initial state of channel `idx`.
+    pub fn init_channel_state(
+        &self,
+        idx: usize,
+        globals: &[Value],
+        net: &mut dyn NetEnv,
+    ) -> Result<Value, VmError> {
+        match &self.channels[idx].initstate {
+            Some((nlocals, code)) => {
+                let mut slots = vec![Value::Unit; *nlocals as usize];
+                let mut frame = Frame { slots: &mut slots, globals, net };
+                code(&mut frame)
+            }
+            None => Ok(Value::default_of(&self.prog.channels[idx].ss_ty)),
+        }
+    }
+
+    /// Runs channel `idx` on a packet, returning `(ps', ss')`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates uncaught PLAN-P exceptions and traps.
+    pub fn run_channel(
+        &self,
+        idx: usize,
+        globals: &[Value],
+        ps: Value,
+        ss: Value,
+        pkt: Value,
+        net: &mut dyn NetEnv,
+    ) -> Result<(Value, Value), VmError> {
+        let ch = &self.channels[idx];
+        let mut slots = vec![Value::Unit; ch.nlocals as usize];
+        slots[0] = ps;
+        slots[1] = ss;
+        slots[2] = pkt;
+        let out = {
+            let mut frame = Frame { slots: &mut slots, globals, net };
+            (ch.code)(&mut frame)?
+        };
+        match out {
+            Value::Tuple(pair) if pair.len() == 2 => Ok((pair[0].clone(), pair[1].clone())),
+            other => Err(VmError::trap(format!(
+                "channel body returned non-pair {other:?}"
+            ))),
+        }
+    }
+}
+
+struct Cx {
+    funs: Vec<Rc<CompiledFun>>,
+    nodes: usize,
+}
+
+impl Cx {
+    /// Attempts compile-time evaluation of a constant expression.
+    fn const_of(&self, e: &TExpr) -> Option<Value> {
+        match &e.kind {
+            TExprKind::Int(n) => Some(Value::Int(*n)),
+            TExprKind::Bool(b) => Some(Value::Bool(*b)),
+            TExprKind::Str(s) => Some(Value::Str(s.as_str().into())),
+            TExprKind::Char(c) => Some(Value::Char(*c)),
+            TExprKind::Unit => Some(Value::Unit),
+            TExprKind::Host(a) => Some(Value::Host(*a)),
+            TExprKind::Binop(op, a, b)
+                if !matches!(op, BinOp::And | BinOp::Or) =>
+            {
+                let va = self.const_of(a)?;
+                let vb = self.const_of(b)?;
+                eval_binop(*op, &va, &vb).ok()
+            }
+            TExprKind::Unop(op, a) => {
+                let va = self.const_of(a)?;
+                eval_unop(*op, &va).ok()
+            }
+            _ => None,
+        }
+    }
+
+    fn compile(&mut self, e: &TExpr) -> Code {
+        self.nodes += 1;
+        if let Some(v) = self.const_of(e) {
+            return Rc::new(move |_| Ok(v.clone()));
+        }
+        match &e.kind {
+            TExprKind::Int(n) => {
+                let n = *n;
+                Rc::new(move |_| Ok(Value::Int(n)))
+            }
+            TExprKind::Bool(b) => {
+                let b = *b;
+                Rc::new(move |_| Ok(Value::Bool(b)))
+            }
+            TExprKind::Str(s) => {
+                let v = Value::Str(s.as_str().into());
+                Rc::new(move |_| Ok(v.clone()))
+            }
+            TExprKind::Char(c) => {
+                let c = *c;
+                Rc::new(move |_| Ok(Value::Char(c)))
+            }
+            TExprKind::Unit => Rc::new(|_| Ok(Value::Unit)),
+            TExprKind::Host(a) => {
+                let a = *a;
+                Rc::new(move |_| Ok(Value::Host(a)))
+            }
+            TExprKind::Local { slot, .. } => {
+                let slot = *slot as usize;
+                Rc::new(move |f| Ok(f.slots[slot].clone()))
+            }
+            TExprKind::Global { index, .. } => {
+                let index = *index as usize;
+                Rc::new(move |f| Ok(f.globals[index].clone()))
+            }
+            TExprKind::Tuple(items) => {
+                let codes: Vec<Code> = items.iter().map(|i| self.compile(i)).collect();
+                Rc::new(move |f| {
+                    let mut out = Vec::with_capacity(codes.len());
+                    for c in &codes {
+                        out.push(c(f)?);
+                    }
+                    Ok(Value::tuple(out))
+                })
+            }
+            TExprKind::Proj(i, inner) => {
+                let i = *i as usize;
+                let inner = self.compile(inner);
+                Rc::new(move |f| match inner(f)? {
+                    Value::Tuple(items) => items
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| VmError::trap("projection out of range")),
+                    other => Err(VmError::trap(format!("projection on {other:?}"))),
+                })
+            }
+            TExprKind::CallFun { index, args } => {
+                let callee = self.funs[*index as usize].clone();
+                let arg_codes: Vec<Code> = args.iter().map(|a| self.compile(a)).collect();
+                debug_assert_eq!(callee.arity, arg_codes.len());
+                Rc::new(move |f| {
+                    let mut slots = vec![Value::Unit; callee.nlocals as usize];
+                    for (i, c) in arg_codes.iter().enumerate() {
+                        slots[i] = c(f)?;
+                    }
+                    let mut frame = Frame {
+                        slots: &mut slots,
+                        globals: f.globals,
+                        net: &mut *f.net,
+                    };
+                    (callee.code)(&mut frame)
+                })
+            }
+            TExprKind::CallPrim { prim, args } => {
+                // Pre-resolved dispatch: the template is patched with the
+                // primitive's function pointer at compile time. Small
+                // arities get allocation-free templates.
+                let pf: PrimFn = prims::impls()[prim.0 as usize];
+                let mut arg_codes: Vec<Code> = args.iter().map(|a| self.compile(a)).collect();
+                match arg_codes.len() {
+                    0 => Rc::new(move |f| pf(&[], f.net)),
+                    1 => {
+                        let a = arg_codes.pop().expect("arity 1");
+                        Rc::new(move |f| {
+                            let va = a(f)?;
+                            pf(&[va], f.net)
+                        })
+                    }
+                    2 => {
+                        let b = arg_codes.pop().expect("arity 2");
+                        let a = arg_codes.pop().expect("arity 2");
+                        Rc::new(move |f| {
+                            let va = a(f)?;
+                            let vb = b(f)?;
+                            pf(&[va, vb], f.net)
+                        })
+                    }
+                    3 => {
+                        let c3 = arg_codes.pop().expect("arity 3");
+                        let b = arg_codes.pop().expect("arity 3");
+                        let a = arg_codes.pop().expect("arity 3");
+                        Rc::new(move |f| {
+                            let va = a(f)?;
+                            let vb = b(f)?;
+                            let vc = c3(f)?;
+                            pf(&[va, vb, vc], f.net)
+                        })
+                    }
+                    _ => Rc::new(move |f| {
+                        let mut vals = Vec::with_capacity(arg_codes.len());
+                        for c in &arg_codes {
+                            vals.push(c(f)?);
+                        }
+                        pf(&vals, f.net)
+                    }),
+                }
+            }
+            TExprKind::If(c, t, els) => {
+                let c = self.compile(c);
+                let t = self.compile(t);
+                let e2 = self.compile(els);
+                Rc::new(move |f| match c(f)? {
+                    Value::Bool(true) => t(f),
+                    Value::Bool(false) => e2(f),
+                    other => Err(VmError::trap(format!("if condition {other:?}"))),
+                })
+            }
+            TExprKind::Let { slot, init, body, .. } => {
+                let slot = *slot as usize;
+                let init = self.compile(init);
+                let body = self.compile(body);
+                Rc::new(move |f| {
+                    let v = init(f)?;
+                    f.slots[slot] = v;
+                    body(f)
+                })
+            }
+            TExprKind::Seq(items) => {
+                let codes: Vec<Code> = items.iter().map(|i| self.compile(i)).collect();
+                Rc::new(move |f| {
+                    let mut last = Value::Unit;
+                    for c in &codes {
+                        last = c(f)?;
+                    }
+                    Ok(last)
+                })
+            }
+            TExprKind::Binop(op, a, b) => {
+                let a = self.compile(a);
+                let b = self.compile(b);
+                match op {
+                    BinOp::And => Rc::new(move |f| match a(f)? {
+                        Value::Bool(false) => Ok(Value::Bool(false)),
+                        Value::Bool(true) => b(f),
+                        other => Err(VmError::trap(format!("andalso on {other:?}"))),
+                    }),
+                    BinOp::Or => Rc::new(move |f| match a(f)? {
+                        Value::Bool(true) => Ok(Value::Bool(true)),
+                        Value::Bool(false) => b(f),
+                        other => Err(VmError::trap(format!("orelse on {other:?}"))),
+                    }),
+                    strict => {
+                        let op = *strict;
+                        Rc::new(move |f| {
+                            let va = a(f)?;
+                            let vb = b(f)?;
+                            eval_binop(op, &va, &vb)
+                        })
+                    }
+                }
+            }
+            TExprKind::Unop(op, a) => {
+                let op = *op;
+                let a = self.compile(a);
+                Rc::new(move |f| {
+                    let v = a(f)?;
+                    eval_unop(op, &v)
+                })
+            }
+            TExprKind::Raise(id) => {
+                let id = *id;
+                Rc::new(move |_| Err(VmError::Exn(id)))
+            }
+            TExprKind::Handle(body, pat, handler) => {
+                let body = self.compile(body);
+                let handler = self.compile(handler);
+                let pat = *pat;
+                Rc::new(move |f| match body(f) {
+                    Err(VmError::Exn(id)) if pat.is_none() || pat == Some(id) => handler(f),
+                    other => other,
+                })
+            }
+            TExprKind::List(items) => {
+                let codes: Vec<Code> = items.iter().map(|i| self.compile(i)).collect();
+                Rc::new(move |f| {
+                    let mut out = Vec::with_capacity(codes.len());
+                    for c in &codes {
+                        out.push(c(f)?);
+                    }
+                    Ok(Value::List(Rc::new(out)))
+                })
+            }
+            TExprKind::OnRemote { chan, overload, pkt } => {
+                let chan = chan.clone();
+                let overload = *overload;
+                let pkt = self.compile(pkt);
+                Rc::new(move |f| {
+                    let v = pkt(f)?;
+                    f.net.send_remote(&chan, overload, v);
+                    Ok(Value::Unit)
+                })
+            }
+            TExprKind::OnNeighbor { chan, overload, host, pkt } => {
+                let chan = chan.clone();
+                let overload = *overload;
+                let host = self.compile(host);
+                let pkt = self.compile(pkt);
+                Rc::new(move |f| {
+                    let h = match host(f)? {
+                        Value::Host(h) => h,
+                        other => {
+                            return Err(VmError::trap(format!(
+                                "OnNeighbor host {other:?}"
+                            )))
+                        }
+                    };
+                    let v = pkt(f)?;
+                    f.net.send_neighbor(&chan, overload, h, v);
+                    Ok(Value::Unit)
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MockEnv;
+    use crate::interp::Interp;
+    use crate::pkthdr::{addr, IpHdr, UdpHdr};
+    use bytes::Bytes;
+    use planp_lang::compile_front;
+
+    fn both(src: &str) -> (Rc<TProgram>, CompiledProgram) {
+        let tp = Rc::new(compile_front(src).unwrap_or_else(|e| panic!("front: {e}\n{src}")));
+        let (cp, stats) = compile(tp.clone());
+        assert!(stats.nodes > 0);
+        (tp, cp)
+    }
+
+    fn udp_packet(src: u32, dst: u32, payload: &'static [u8]) -> Value {
+        Value::tuple(vec![
+            Value::Ip(IpHdr::new(src, dst, IpHdr::PROTO_UDP)),
+            Value::Udp(UdpHdr::new(1000, 2000)),
+            Value::Blob(Bytes::from_static(payload)),
+        ])
+    }
+
+    /// Runs channel 0 through both evaluators and checks they agree on
+    /// the new protocol state (displayed) and the effect count.
+    fn differential(src: &str, ps: Value) {
+        let (tp, cp) = both(src);
+        let interp = Interp::new(&tp);
+
+        let mut env_i = MockEnv::new(addr(10, 0, 0, 1));
+        let mut env_j = MockEnv::new(addr(10, 0, 0, 1));
+        let gi = interp.eval_globals(&mut env_i).unwrap();
+        let gj = cp.eval_globals(&mut env_j).unwrap();
+        assert_eq!(gi.len(), gj.len());
+
+        let ssi = interp.init_channel_state(0, &gi, &mut env_i).unwrap();
+        let ssj = cp.init_channel_state(0, &gj, &mut env_j).unwrap();
+        let pkt = udp_packet(addr(1, 1, 1, 1), addr(2, 2, 2, 2), b"payload");
+
+        let ri = interp.run_channel(0, &gi, ps.clone(), ssi, pkt.clone(), &mut env_i);
+        let rj = cp.run_channel(0, &gj, ps, ssj, pkt, &mut env_j);
+        match (ri, rj) {
+            (Ok((pi, _)), Ok((pj, _))) => {
+                assert_eq!(pi.display(), pj.display(), "state mismatch in {src}")
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("interp={a:?} jit={b:?} for {src}"),
+        }
+        assert_eq!(env_i.effects.len(), env_j.effects.len());
+        assert_eq!(env_i.output, env_j.output);
+    }
+
+    #[test]
+    fn differential_simple_programs() {
+        differential(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, p); (ps + 1, ss))",
+            Value::Int(41),
+        );
+        differential(
+            "val k : int = 6 * 7\n\
+             channel network(ps : int, ss : unit, p : ip*udp*blob) is (ps + k, ss)",
+            Value::Int(0),
+        );
+        differential(
+            "fun dbl(x : int) : int = x * 2\n\
+             channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             (println(dbl(ps)); (dbl(dbl(ps)), ss))",
+            Value::Int(5),
+        );
+        differential(
+            "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob)\n\
+             initstate mkTable(8) is\n\
+             let val n : int = tblGet(ss, ipSrc(#1 p)) handle NotFound => 0 in\n\
+               (tblSet(ss, ipSrc(#1 p), n + 1); (n, ss))\n\
+             end",
+            Value::Int(0),
+        );
+        differential(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             (if blobLen(#3 p) > 3 andalso ps < 100 then (ps * 2, ss) else (ps, ss))",
+            Value::Int(7),
+        );
+    }
+
+    #[test]
+    fn constant_folding_produces_constant() {
+        let (_, cp) = both(
+            "val k : int = 2 + 3 * 4\n\
+             channel network(ps : int, ss : unit, p : ip*udp*blob) is (ps + k, ss)",
+        );
+        let mut env = MockEnv::new(0);
+        let globals = cp.eval_globals(&mut env).unwrap();
+        assert_eq!(globals[0].display(), "14");
+    }
+
+    #[test]
+    fn folding_does_not_hide_division_by_zero() {
+        let (_, cp) = both(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             ((ps + (1 div 0), ss) handle Div => (0 - 1, ss))",
+        );
+        let mut env = MockEnv::new(0);
+        let (ps, _) = cp
+            .run_channel(0, &[], Value::Int(5), Value::Unit, udp_packet(1, 2, b""), &mut env)
+            .unwrap();
+        assert_eq!(ps.display(), "-1");
+    }
+
+    #[test]
+    fn codegen_stats_scale_with_program_size() {
+        let small = "channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)";
+        let big = format!(
+            "{}\nchannel other(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
+             let val a : int = 1 val b : int = a + 2 val c : int = b * b in\n\
+               (println(a + b + c); (ps, ss))\n\
+             end",
+            small
+        );
+        let tp1 = Rc::new(compile_front(small).unwrap());
+        let tp2 = Rc::new(compile_front(&big).unwrap());
+        let (_, s1) = compile(tp1);
+        let (_, s2) = compile(tp2);
+        assert!(s2.nodes > s1.nodes);
+    }
+
+    #[test]
+    fn jit_runs_overloaded_channels_independently() {
+        let (_, cp) = both(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is (ps + 1, ss)\n\
+             channel network(ps : int, ss : unit, p : ip*tcp*blob) is (ps + 100, ss)",
+        );
+        let mut env = MockEnv::new(0);
+        let (ps, _) = cp
+            .run_channel(0, &[], Value::Int(0), Value::Unit, udp_packet(1, 2, b""), &mut env)
+            .unwrap();
+        assert_eq!(ps.display(), "1");
+        let tcp_pkt = Value::tuple(vec![
+            Value::Ip(IpHdr::new(1, 2, IpHdr::PROTO_TCP)),
+            Value::Tcp(crate::pkthdr::TcpHdr::data(5, 80, 0)),
+            Value::Blob(Bytes::new()),
+        ]);
+        let (ps, _) = cp
+            .run_channel(1, &[], Value::Int(0), Value::Unit, tcp_pkt, &mut env)
+            .unwrap();
+        assert_eq!(ps.display(), "100");
+    }
+}

@@ -1,0 +1,567 @@
+//! Implementations of the PLAN-P primitives.
+//!
+//! Each entry of the declarative signature table in
+//! [`planp_lang::prims`] is paired here with exactly one evaluation
+//! function, indexed by [`PrimId`]. Both the portable interpreter and the
+//! JIT dispatch through this table — the "generate the JIT from the
+//! interpreter" architecture of section 2.2: the semantics is written
+//! once, and the JIT merely pre-resolves the dispatch.
+
+use crate::audio;
+use crate::env::NetEnv;
+use crate::pkthdr::{IpHdr, TcpHdr, UdpHdr};
+use crate::value::{exn, new_table, Key, Value, VmError};
+use bytes::Bytes;
+use planp_lang::prims::{table as sig_table, PrimId};
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// The type of a primitive's evaluation function.
+pub type PrimFn = fn(&[Value], &mut dyn NetEnv) -> Result<Value, VmError>;
+
+/// Returns the evaluation functions, indexed by [`PrimId`].
+pub fn impls() -> &'static [PrimFn] {
+    static IMPLS: OnceLock<Vec<PrimFn>> = OnceLock::new();
+    IMPLS.get_or_init(|| {
+        sig_table()
+            .iter()
+            .map(|(_, sig)| impl_for(sig.name))
+            .collect()
+    })
+}
+
+/// Evaluates primitive `id` on `args`.
+///
+/// # Errors
+///
+/// Returns [`VmError::Exn`] for PLAN-P exceptions the primitive's
+/// signature declares, and [`VmError::Trap`] on type confusion (ruled out
+/// for checked programs).
+pub fn eval(id: PrimId, args: &[Value], env: &mut dyn NetEnv) -> Result<Value, VmError> {
+    impls()[id.0 as usize](args, env)
+}
+
+// ---- argument helpers ---------------------------------------------------
+
+fn want_int(v: &Value) -> Result<i64, VmError> {
+    match v {
+        Value::Int(n) => Ok(*n),
+        other => Err(VmError::trap(format!("expected int, got {other:?}"))),
+    }
+}
+
+fn want_host(v: &Value) -> Result<u32, VmError> {
+    match v {
+        Value::Host(a) => Ok(*a),
+        other => Err(VmError::trap(format!("expected host, got {other:?}"))),
+    }
+}
+
+fn want_char(v: &Value) -> Result<char, VmError> {
+    match v {
+        Value::Char(c) => Ok(*c),
+        other => Err(VmError::trap(format!("expected char, got {other:?}"))),
+    }
+}
+
+fn want_str(v: &Value) -> Result<&Rc<str>, VmError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(VmError::trap(format!("expected string, got {other:?}"))),
+    }
+}
+
+fn want_blob(v: &Value) -> Result<&Bytes, VmError> {
+    match v {
+        Value::Blob(b) => Ok(b),
+        other => Err(VmError::trap(format!("expected blob, got {other:?}"))),
+    }
+}
+
+fn want_ip(v: &Value) -> Result<IpHdr, VmError> {
+    match v {
+        Value::Ip(h) => Ok(*h),
+        other => Err(VmError::trap(format!("expected ip header, got {other:?}"))),
+    }
+}
+
+fn want_tcp(v: &Value) -> Result<TcpHdr, VmError> {
+    match v {
+        Value::Tcp(h) => Ok(*h),
+        other => Err(VmError::trap(format!("expected tcp header, got {other:?}"))),
+    }
+}
+
+fn want_udp(v: &Value) -> Result<UdpHdr, VmError> {
+    match v {
+        Value::Udp(h) => Ok(*h),
+        other => Err(VmError::trap(format!("expected udp header, got {other:?}"))),
+    }
+}
+
+fn want_list(v: &Value) -> Result<&Rc<Vec<Value>>, VmError> {
+    match v {
+        Value::List(l) => Ok(l),
+        other => Err(VmError::trap(format!("expected list, got {other:?}"))),
+    }
+}
+
+fn want_port(n: i64) -> Result<u16, VmError> {
+    u16::try_from(n).map_err(|_| VmError::Exn(exn::OUT_OF_RANGE))
+}
+
+fn index(n: i64, len: usize) -> Result<usize, VmError> {
+    if n < 0 || n as usize >= len {
+        Err(VmError::Exn(exn::OUT_OF_RANGE))
+    } else {
+        Ok(n as usize)
+    }
+}
+
+fn range(off: i64, len: i64, total: usize) -> Result<(usize, usize), VmError> {
+    if off < 0 || len < 0 {
+        return Err(VmError::Exn(exn::OUT_OF_RANGE));
+    }
+    let (off, len) = (off as usize, len as usize);
+    if off.checked_add(len).is_none_or(|end| end > total) {
+        return Err(VmError::Exn(exn::OUT_OF_RANGE));
+    }
+    Ok((off, len))
+}
+
+// ---- dispatch -----------------------------------------------------------
+
+fn impl_for(name: &'static str) -> PrimFn {
+    match name {
+        // IP header
+        "ipSrc" => |a, _| Ok(Value::Host(want_ip(&a[0])?.src)),
+        "ipDst" => |a, _| Ok(Value::Host(want_ip(&a[0])?.dst)),
+        "ipSrcSet" => |a, _| {
+            let mut h = want_ip(&a[0])?;
+            h.src = want_host(&a[1])?;
+            Ok(Value::Ip(h))
+        },
+        "ipDestSet" => |a, _| {
+            let mut h = want_ip(&a[0])?;
+            h.dst = want_host(&a[1])?;
+            Ok(Value::Ip(h))
+        },
+        "ipTtl" => |a, _| Ok(Value::Int(want_ip(&a[0])?.ttl as i64)),
+        "ipProto" => |a, _| Ok(Value::Int(want_ip(&a[0])?.proto as i64)),
+        // TCP header
+        "tcpSrc" => |a, _| Ok(Value::Int(want_tcp(&a[0])?.sport as i64)),
+        "tcpDst" => |a, _| Ok(Value::Int(want_tcp(&a[0])?.dport as i64)),
+        "tcpSrcSet" => |a, _| {
+            let mut h = want_tcp(&a[0])?;
+            h.sport = want_port(want_int(&a[1])?)?;
+            Ok(Value::Tcp(h))
+        },
+        "tcpDstSet" => |a, _| {
+            let mut h = want_tcp(&a[0])?;
+            h.dport = want_port(want_int(&a[1])?)?;
+            Ok(Value::Tcp(h))
+        },
+        "tcpSeq" => |a, _| Ok(Value::Int(want_tcp(&a[0])?.seq as i64)),
+        "tcpAck" => |a, _| Ok(Value::Int(want_tcp(&a[0])?.ack as i64)),
+        "tcpIsSyn" => |a, _| Ok(Value::Bool(want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::SYN))),
+        "tcpIsFin" => |a, _| Ok(Value::Bool(want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::FIN))),
+        "tcpIsAck" => |a, _| Ok(Value::Bool(want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::ACK))),
+        "tcpIsRst" => |a, _| Ok(Value::Bool(want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::RST))),
+        // UDP header
+        "udpSrc" => |a, _| Ok(Value::Int(want_udp(&a[0])?.sport as i64)),
+        "udpDst" => |a, _| Ok(Value::Int(want_udp(&a[0])?.dport as i64)),
+        "udpSrcSet" => |a, _| {
+            let mut h = want_udp(&a[0])?;
+            h.sport = want_port(want_int(&a[1])?)?;
+            Ok(Value::Udp(h))
+        },
+        "udpDstSet" => |a, _| {
+            let mut h = want_udp(&a[0])?;
+            h.dport = want_port(want_int(&a[1])?)?;
+            Ok(Value::Udp(h))
+        },
+        // Blobs
+        "blobLen" => |a, _| Ok(Value::Int(want_blob(&a[0])?.len() as i64)),
+        "blobSub" => |a, _| {
+            let b = want_blob(&a[0])?;
+            let (off, len) = range(want_int(&a[1])?, want_int(&a[2])?, b.len())?;
+            Ok(Value::Blob(b.slice(off..off + len)))
+        },
+        "blobCat" => |a, _| {
+            let x = want_blob(&a[0])?;
+            let y = want_blob(&a[1])?;
+            let mut out = Vec::with_capacity(x.len() + y.len());
+            out.extend_from_slice(x);
+            out.extend_from_slice(y);
+            Ok(Value::Blob(Bytes::from(out)))
+        },
+        "blobByte" => |a, _| {
+            let b = want_blob(&a[0])?;
+            let i = index(want_int(&a[1])?, b.len())?;
+            Ok(Value::Int(b[i] as i64))
+        },
+        "blobSetByte" => |a, _| {
+            let b = want_blob(&a[0])?;
+            let i = index(want_int(&a[1])?, b.len())?;
+            let v = want_int(&a[2])?;
+            if !(0..=255).contains(&v) {
+                return Err(VmError::Exn(exn::OUT_OF_RANGE));
+            }
+            let mut out = b.to_vec();
+            out[i] = v as u8;
+            Ok(Value::Blob(Bytes::from(out)))
+        },
+        "blobInt" => |a, _| {
+            let b = want_blob(&a[0])?;
+            let (off, _) = range(want_int(&a[1])?, 8, b.len())?;
+            let bytes: [u8; 8] = b[off..off + 8].try_into().expect("len checked");
+            Ok(Value::Int(i64::from_be_bytes(bytes)))
+        },
+        "blobSetInt" => |a, _| {
+            let b = want_blob(&a[0])?;
+            let (off, _) = range(want_int(&a[1])?, 8, b.len())?;
+            let mut out = b.to_vec();
+            out[off..off + 8].copy_from_slice(&want_int(&a[2])?.to_be_bytes());
+            Ok(Value::Blob(Bytes::from(out)))
+        },
+        "mkBlob" => |a, _| {
+            let len = want_int(&a[0])?;
+            let fill = want_int(&a[1])?;
+            if !(0..=1 << 24).contains(&len) || !(0..=255).contains(&fill) {
+                return Err(VmError::Exn(exn::OUT_OF_RANGE));
+            }
+            Ok(Value::Blob(Bytes::from(vec![fill as u8; len as usize])))
+        },
+        "blobFromString" => |a, _| {
+            Ok(Value::Blob(Bytes::copy_from_slice(want_str(&a[0])?.as_bytes())))
+        },
+        "blobToString" => |a, _| {
+            let b = want_blob(&a[0])?;
+            Ok(Value::Str(String::from_utf8_lossy(b).into_owned().into()))
+        },
+        // Strings / chars
+        "strLen" => |a, _| Ok(Value::Int(want_str(&a[0])?.chars().count() as i64)),
+        "strSub" => |a, _| {
+            let s = want_str(&a[0])?;
+            let chars: Vec<char> = s.chars().collect();
+            let (off, len) = range(want_int(&a[1])?, want_int(&a[2])?, chars.len())?;
+            Ok(Value::Str(chars[off..off + len].iter().collect::<String>().into()))
+        },
+        "strChar" => |a, _| {
+            let s = want_str(&a[0])?;
+            let i = want_int(&a[1])?;
+            s.chars()
+                .nth(usize::try_from(i).map_err(|_| VmError::Exn(exn::OUT_OF_RANGE))?)
+                .map(Value::Char)
+                .ok_or(VmError::Exn(exn::OUT_OF_RANGE))
+        },
+        "strFind" => |a, _| {
+            let hay = want_str(&a[0])?;
+            let needle = want_str(&a[1])?;
+            match hay.find(needle.as_ref()) {
+                Some(byte_pos) => {
+                    let char_pos = hay[..byte_pos].chars().count();
+                    Ok(Value::Int(char_pos as i64))
+                }
+                None => Ok(Value::Int(-1)),
+            }
+        },
+        "intToString" => |a, _| Ok(Value::Str(want_int(&a[0])?.to_string().into())),
+        "strToInt" => |a, _| {
+            want_str(&a[0])?
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| VmError::Exn(exn::FORMAT))
+        },
+        "charPos" => |a, _| Ok(Value::Int(want_char(&a[0])? as i64)),
+        "chr" => |a, _| {
+            let n = want_int(&a[0])?;
+            u32::try_from(n)
+                .ok()
+                .and_then(char::from_u32)
+                .map(Value::Char)
+                .ok_or(VmError::Exn(exn::OUT_OF_RANGE))
+        },
+        // Hosts
+        "isMulticast" => |a, _| Ok(Value::Bool((want_host(&a[0])? >> 28) == 0xE)),
+        "thisHost" => |_, env| Ok(Value::Host(env.this_host())),
+        // Environment
+        "timeMs" => |_, env| Ok(Value::Int(env.time_ms())),
+        "linkLoad" => |a, env| Ok(Value::Int(env.link_load(want_host(&a[0])?))),
+        "linkCapacity" => |a, env| Ok(Value::Int(env.link_capacity(want_host(&a[0])?))),
+        "queueLen" => |a, env| Ok(Value::Int(env.queue_len(want_host(&a[0])?))),
+        "randInt" => |a, env| Ok(Value::Int(env.rand_int(want_int(&a[0])?))),
+        // Audio
+        "audio16to8" => |a, _| Ok(Value::Blob(audio::pcm16_to_8(want_blob(&a[0])?))),
+        "audio8to16" => |a, _| Ok(Value::Blob(audio::pcm8_to_16(want_blob(&a[0])?))),
+        "audioStereoToMono" => |a, _| Ok(Value::Blob(audio::stereo_to_mono(want_blob(&a[0])?))),
+        "audioMonoToStereo" => |a, _| Ok(Value::Blob(audio::mono_to_stereo(want_blob(&a[0])?))),
+        // Tables
+        "mkTable" => |a, _| {
+            let hint = want_int(&a[0])?.clamp(0, 1 << 20) as usize;
+            Ok(Value::Table(new_table(hint)))
+        },
+        "tblGet" => |a, _| {
+            let Value::Table(t) = &a[0] else {
+                return Err(VmError::trap("tblGet on non-table"));
+            };
+            t.borrow()
+                .get(&Key(a[1].clone()))
+                .cloned()
+                .ok_or(VmError::Exn(exn::NOT_FOUND))
+        },
+        "tblSet" => |a, _| {
+            let Value::Table(t) = &a[0] else {
+                return Err(VmError::trap("tblSet on non-table"));
+            };
+            t.borrow_mut().insert(Key(a[1].clone()), a[2].clone());
+            Ok(Value::Unit)
+        },
+        "tblHas" => |a, _| {
+            let Value::Table(t) = &a[0] else {
+                return Err(VmError::trap("tblHas on non-table"));
+            };
+            Ok(Value::Bool(t.borrow().contains_key(&Key(a[1].clone()))))
+        },
+        "tblDel" => |a, _| {
+            let Value::Table(t) = &a[0] else {
+                return Err(VmError::trap("tblDel on non-table"));
+            };
+            t.borrow_mut().remove(&Key(a[1].clone()));
+            Ok(Value::Unit)
+        },
+        "tblSize" => |a, _| {
+            let Value::Table(t) = &a[0] else {
+                return Err(VmError::trap("tblSize on non-table"));
+            };
+            Ok(Value::Int(t.borrow().len() as i64))
+        },
+        // Lists
+        "listLen" => |a, _| Ok(Value::Int(want_list(&a[0])?.len() as i64)),
+        "listGet" => |a, _| {
+            let l = want_list(&a[0])?;
+            let i = index(want_int(&a[1])?, l.len())?;
+            Ok(l[i].clone())
+        },
+        "cons" => |a, _| {
+            let l = want_list(&a[1])?;
+            let mut out = Vec::with_capacity(l.len() + 1);
+            out.push(a[0].clone());
+            out.extend(l.iter().cloned());
+            Ok(Value::List(Rc::new(out)))
+        },
+        "append" => |a, _| {
+            let x = want_list(&a[0])?;
+            let y = want_list(&a[1])?;
+            let mut out = Vec::with_capacity(x.len() + y.len());
+            out.extend(x.iter().cloned());
+            out.extend(y.iter().cloned());
+            Ok(Value::List(Rc::new(out)))
+        },
+        "listRev" => |a, _| {
+            let l = want_list(&a[0])?;
+            Ok(Value::List(Rc::new(l.iter().rev().cloned().collect())))
+        },
+        // I/O
+        "print" => |a, env| {
+            env.print(&a[0].display());
+            Ok(Value::Unit)
+        },
+        "println" => |a, env| {
+            env.print(&a[0].display());
+            env.print("\n");
+            Ok(Value::Unit)
+        },
+        "deliver" => |a, env| {
+            env.deliver(a[0].clone());
+            Ok(Value::Unit)
+        },
+        other => panic!("primitive `{other}` has a signature but no implementation"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MockEnv;
+    use crate::pkthdr::addr;
+
+    fn run(name: &str, args: Vec<Value>) -> Result<Value, VmError> {
+        let (id, _) = sig_table().lookup(name).unwrap_or_else(|| panic!("{name}?"));
+        let mut env = MockEnv::new(addr(10, 0, 0, 1));
+        eval(id, &args, &mut env)
+    }
+
+    #[test]
+    fn every_signature_has_an_implementation() {
+        // Forces construction of the whole table; a missing arm panics.
+        assert_eq!(impls().len(), sig_table().len());
+    }
+
+    #[test]
+    fn ip_header_ops() {
+        let h = Value::Ip(IpHdr::new(addr(1, 2, 3, 4), addr(5, 6, 7, 8), 17));
+        assert!(matches!(run("ipSrc", vec![h.clone()]), Ok(Value::Host(a)) if a == addr(1,2,3,4)));
+        let set = run("ipDestSet", vec![h.clone(), Value::Host(addr(9, 9, 9, 9))]).unwrap();
+        let Value::Ip(newh) = set else { panic!() };
+        assert_eq!(newh.dst, addr(9, 9, 9, 9));
+        assert_eq!(newh.src, addr(1, 2, 3, 4));
+        assert!(matches!(run("ipTtl", vec![h]), Ok(Value::Int(64))));
+    }
+
+    #[test]
+    fn tcp_udp_ops() {
+        let t = Value::Tcp(TcpHdr::data(1234, 80, 7));
+        assert!(matches!(run("tcpDst", vec![t.clone()]), Ok(Value::Int(80))));
+        assert!(matches!(run("tcpIsAck", vec![t.clone()]), Ok(Value::Bool(true))));
+        assert!(matches!(run("tcpIsSyn", vec![t.clone()]), Ok(Value::Bool(false))));
+        let t2 = run("tcpDstSet", vec![t, Value::Int(8080)]).unwrap();
+        assert!(matches!(run("tcpDst", vec![t2]), Ok(Value::Int(8080))));
+        let u = Value::Udp(UdpHdr::new(5000, 6000));
+        assert!(matches!(run("udpSrc", vec![u.clone()]), Ok(Value::Int(5000))));
+        // Port out of range raises.
+        let u2 = run("udpDstSet", vec![u, Value::Int(70000)]);
+        assert_eq!(u2, Err(VmError::Exn(exn::OUT_OF_RANGE)));
+    }
+
+    #[test]
+    fn blob_ops() {
+        let b = Value::Blob(Bytes::from_static(b"hello world"));
+        assert!(matches!(run("blobLen", vec![b.clone()]), Ok(Value::Int(11))));
+        let sub = run("blobSub", vec![b.clone(), Value::Int(6), Value::Int(5)]).unwrap();
+        let Value::Blob(s) = &sub else { panic!() };
+        assert_eq!(&s[..], b"world");
+        assert!(matches!(run("blobByte", vec![b.clone(), Value::Int(0)]), Ok(Value::Int(104))));
+        assert_eq!(
+            run("blobByte", vec![b.clone(), Value::Int(99)]),
+            Err(VmError::Exn(exn::OUT_OF_RANGE))
+        );
+        let cat = run("blobCat", vec![sub, b]).unwrap();
+        assert!(matches!(run("blobLen", vec![cat]), Ok(Value::Int(16))));
+    }
+
+    #[test]
+    fn blob_int_round_trip() {
+        let b = run("mkBlob", vec![Value::Int(16), Value::Int(0)]).unwrap();
+        let b = run("blobSetInt", vec![b, Value::Int(8), Value::Int(-12345)]).unwrap();
+        assert!(matches!(
+            run("blobInt", vec![b, Value::Int(8)]),
+            Ok(Value::Int(-12345))
+        ));
+    }
+
+    #[test]
+    fn string_ops() {
+        let s = Value::str("GET /index.html HTTP/1.0");
+        assert!(matches!(run("strLen", vec![s.clone()]), Ok(Value::Int(24))));
+        assert!(matches!(
+            run("strFind", vec![s.clone(), Value::str("index")]),
+            Ok(Value::Int(5))
+        ));
+        assert!(matches!(
+            run("strFind", vec![s.clone(), Value::str("zzz")]),
+            Ok(Value::Int(-1))
+        ));
+        let sub = run("strSub", vec![s, Value::Int(4), Value::Int(11)]).unwrap();
+        assert!(matches!(&sub, Value::Str(x) if x.as_ref() == "/index.html"));
+        assert_eq!(run("strToInt", vec![Value::str("42")]), Ok(Value::Int(42)));
+        assert_eq!(
+            run("strToInt", vec![Value::str("nope")]),
+            Err(VmError::Exn(exn::FORMAT))
+        );
+        assert_eq!(run("charPos", vec![Value::Char('A')]), Ok(Value::Int(65)));
+        assert_eq!(run("chr", vec![Value::Int(66)]), Ok(Value::Char('B')));
+        assert_eq!(run("chr", vec![Value::Int(-1)]), Err(VmError::Exn(exn::OUT_OF_RANGE)));
+    }
+
+    #[test]
+    fn table_ops() {
+        let t = run("mkTable", vec![Value::Int(8)]).unwrap();
+        let k = Value::tuple(vec![Value::Host(1), Value::Int(80)]);
+        assert_eq!(
+            run("tblGet", vec![t.clone(), k.clone()]),
+            Err(VmError::Exn(exn::NOT_FOUND))
+        );
+        run("tblSet", vec![t.clone(), k.clone(), Value::Int(1)]).unwrap();
+        assert_eq!(run("tblGet", vec![t.clone(), k.clone()]), Ok(Value::Int(1)));
+        assert_eq!(run("tblHas", vec![t.clone(), k.clone()]), Ok(Value::Bool(true)));
+        assert_eq!(run("tblSize", vec![t.clone()]), Ok(Value::Int(1)));
+        run("tblDel", vec![t.clone(), k.clone()]).unwrap();
+        assert_eq!(run("tblHas", vec![t, k]), Ok(Value::Bool(false)));
+    }
+
+    #[test]
+    fn list_ops() {
+        let l = Value::List(Rc::new(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(run("listLen", vec![l.clone()]), Ok(Value::Int(2)));
+        assert_eq!(run("listGet", vec![l.clone(), Value::Int(1)]), Ok(Value::Int(2)));
+        assert_eq!(
+            run("listGet", vec![l.clone(), Value::Int(5)]),
+            Err(VmError::Exn(exn::OUT_OF_RANGE))
+        );
+        let l2 = run("cons", vec![Value::Int(0), l.clone()]).unwrap();
+        assert_eq!(run("listLen", vec![l2.clone()]), Ok(Value::Int(3)));
+        let r = run("listRev", vec![l2]).unwrap();
+        assert_eq!(run("listGet", vec![r, Value::Int(0)]), Ok(Value::Int(2)));
+        let cat = run("append", vec![l.clone(), l]).unwrap();
+        assert_eq!(run("listLen", vec![cat]), Ok(Value::Int(4)));
+    }
+
+    #[test]
+    fn env_and_io_ops() {
+        let (print_id, _) = sig_table().lookup("println").unwrap();
+        let (host_id, _) = sig_table().lookup("thisHost").unwrap();
+        let (deliver_id, _) = sig_table().lookup("deliver").unwrap();
+        let mut env = MockEnv::new(addr(10, 0, 0, 9));
+        env.load = 123;
+        assert_eq!(
+            eval(host_id, &[], &mut env),
+            Ok(Value::Host(addr(10, 0, 0, 9)))
+        );
+        let (load_id, _) = sig_table().lookup("linkLoad").unwrap();
+        assert_eq!(
+            eval(load_id, &[Value::Host(1)], &mut env),
+            Ok(Value::Int(123))
+        );
+        eval(print_id, &[Value::Int(5)], &mut env).unwrap();
+        assert_eq!(env.output, "5\n");
+        eval(deliver_id, &[Value::Unit], &mut env).unwrap();
+        assert_eq!(env.deliver_count(), 1);
+    }
+
+    #[test]
+    fn audio_prims_change_sizes() {
+        let pcm = Value::Blob(Bytes::from(vec![0u8; 400]));
+        let m = run("audioStereoToMono", vec![pcm.clone()]).unwrap();
+        assert!(matches!(run("blobLen", vec![m]), Ok(Value::Int(200))));
+        let d = run("audio16to8", vec![pcm]).unwrap();
+        assert!(matches!(run("blobLen", vec![d.clone()]), Ok(Value::Int(200))));
+        let u = run("audio8to16", vec![d]).unwrap();
+        assert!(matches!(run("blobLen", vec![u]), Ok(Value::Int(400))));
+    }
+
+    #[test]
+    fn type_confusion_traps() {
+        assert!(matches!(
+            run("ipSrc", vec![Value::Int(1)]),
+            Err(VmError::Trap(_))
+        ));
+        assert!(matches!(
+            run("tblGet", vec![Value::Int(1), Value::Int(2)]),
+            Err(VmError::Trap(_))
+        ));
+    }
+
+    #[test]
+    fn is_multicast_prim() {
+        assert_eq!(
+            run("isMulticast", vec![Value::Host(addr(224, 0, 0, 1))]),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            run("isMulticast", vec![Value::Host(addr(10, 0, 0, 1))]),
+            Ok(Value::Bool(false))
+        );
+    }
+}

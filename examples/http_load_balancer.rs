@@ -1,0 +1,32 @@
+//! The extensible HTTP server (paper section 3.2) at reduced scale:
+//! a gateway ASP balances a virtual server over two physical servers.
+//!
+//! ```text
+//! cargo run --release --example http_load_balancer
+//! ```
+
+use planp::analysis::Policy;
+use planp::apps::http::{run_http, ClusterMode, HttpConfig, HTTP_GATEWAY_ASP};
+use planp::runtime::load;
+
+fn main() {
+    // Show the verifier accepting the shipped gateway.
+    let image = load(HTTP_GATEWAY_ASP, Policy::strict()).expect("gateway verifies");
+    println!("gateway ASP ({} lines):\n{}\n", image.lines, image.report);
+
+    for (name, mode) in [
+        ("single server", ClusterMode::Single),
+        ("ASP gateway over 2 servers", ClusterMode::AspGateway),
+        ("built-in gateway over 2 servers", ClusterMode::NativeGateway),
+        ("2 servers, disjoint clients", ClusterMode::Disjoint),
+    ] {
+        let mut cfg = HttpConfig::new(mode, 16);
+        cfg.duration_s = 15;
+        cfg.warmup_s = 5.0;
+        let r = run_http(&cfg);
+        println!(
+            "{name:>32}: {:6.0} req/s   mean latency {:5.0} ms",
+            r.req_per_sec, r.mean_latency_ms
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! The multipoint MPEG service (paper section 3.3) at reduced scale:
+//! three viewers of the same live stream, one real server connection.
+//!
+//! ```text
+//! cargo run --release --example mpeg_multipoint
+//! ```
+
+use planp::apps::mpeg::{run_mpeg, MpegConfig};
+
+fn main() {
+    for use_asps in [false, true] {
+        let r = run_mpeg(&MpegConfig::new(3, use_asps));
+        println!(
+            "{}: server opened {} stream(s), sent {:.1} MB of video",
+            if use_asps { "with ASPs   " } else { "without ASPs" },
+            r.server.streams,
+            r.server.video_bytes as f64 / 1e6
+        );
+        for (i, c) in r.clients.iter().enumerate() {
+            println!(
+                "  viewer {i}: {} frames ({}) setup={:?}",
+                c.frames,
+                if c.shared { "captured from a neighbor's stream" } else { "own connection" },
+                c.setup
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests asserting the *shape* of each reproduced
+//! experiment at reduced scale: who wins, by roughly what factor, and
+//! where the crossovers fall — the claims EXPERIMENTS.md documents.
+
+use planp::apps::audio::{run_audio, Adaptation, AudioConfig, LoadPhase};
+use planp::apps::http::{run_http, ClusterMode, HttpConfig};
+use planp::apps::mpeg::{run_mpeg, MpegConfig};
+
+/// Figure 6 shape at reduced horizon: the three-level staircase
+/// 176 → 44 → 88 kb/s, reacting within a couple of measurement windows
+/// (no end-to-end feedback).
+#[test]
+fn fig6_shape_bandwidth_staircase() {
+    let cfg = AudioConfig {
+        adaptation: Adaptation::AspJit,
+        phases: vec![
+            LoadPhase { from_s: 20.0, to_s: 45.0, kbps: 9450 },
+            LoadPhase { from_s: 45.0, to_s: 70.0, kbps: 6200 },
+        ],
+        jitter_pct: 0,
+        duration_s: 90,
+        seed: 7,
+        router_src: None,
+        dual_segment: false,
+    };
+    let r = run_audio(&cfg);
+    let quiet = r.avg_kbps(5.0, 20.0);
+    let large = r.avg_kbps(25.0, 45.0);
+    let small = r.avg_kbps(50.0, 70.0);
+    let recovered = r.avg_kbps(78.0, 90.0);
+    assert!(quiet > 160.0, "quiet {quiet}");
+    assert!(large < 60.0, "large-load {large}");
+    assert!((70.0..110.0).contains(&small), "small-load {small}");
+    assert!(recovered > 160.0, "recovered {recovered}");
+    // Reaction is fast: within 3 s of load onset, the rate already fell.
+    let onset = r.avg_kbps(21.0, 24.0);
+    assert!(onset < 120.0, "reaction too slow: {onset} kb/s right after onset");
+}
+
+/// Figure 7 shape: under the overload level, adaptation eliminates
+/// nearly all silent periods; without it the stream is choppy.
+#[test]
+fn fig7_shape_gaps_reduced_by_adaptation() {
+    let mk = |adaptation| {
+        run_audio(&AudioConfig {
+            adaptation,
+            phases: vec![LoadPhase { from_s: 5.0, to_s: 60.0, kbps: 9560 }],
+            jitter_pct: 0,
+            duration_s: 60,
+            seed: 7,
+            router_src: None,
+            dual_segment: false,
+        })
+    };
+    let asp = mk(Adaptation::AspJit);
+    let native = mk(Adaptation::Native);
+    let off = mk(Adaptation::Off);
+    assert!(off.stats.gaps >= 20, "no-adaptation gaps {}", off.stats.gaps);
+    assert!(asp.stats.gaps * 5 < off.stats.gaps, "asp {} vs off {}", asp.stats.gaps, off.stats.gaps);
+    // The ASP and the built-in C adaptation behave alike.
+    let diff = asp.stats.gaps.abs_diff(native.stats.gaps);
+    assert!(diff <= off.stats.gaps / 5, "asp {} native {}", asp.stats.gaps, native.stats.gaps);
+}
+
+/// Figure 8 shape: ASP gateway == built-in gateway; the cluster beats
+/// one server by well over 1.5x and lands within 80-95% of the
+/// two-server upper bound.
+#[test]
+fn fig8_shape_cluster_throughput() {
+    let quick = |mode| {
+        let mut cfg = HttpConfig::new(mode, 16);
+        cfg.duration_s = 15;
+        cfg.warmup_s = 5.0;
+        run_http(&cfg).req_per_sec
+    };
+    let single = quick(ClusterMode::Single);
+    let asp = quick(ClusterMode::AspGateway);
+    let native = quick(ClusterMode::NativeGateway);
+    let disjoint = quick(ClusterMode::Disjoint);
+
+    assert!((asp - native).abs() / native < 0.08, "asp {asp} vs native {native}");
+    let speedup = asp / single;
+    assert!((1.4..2.0).contains(&speedup), "cluster speedup {speedup}");
+    let efficiency = asp / disjoint;
+    assert!((0.75..0.97).contains(&efficiency), "gateway efficiency {efficiency}");
+}
+
+/// Section 3.3 shape: server egress is flat in viewers with ASPs and
+/// linear without.
+#[test]
+fn mpeg_shape_server_egress() {
+    let shared2 = run_mpeg(&MpegConfig::new(2, true));
+    let shared4 = run_mpeg(&MpegConfig::new(4, true));
+    let direct2 = run_mpeg(&MpegConfig::new(2, false));
+    let direct4 = run_mpeg(&MpegConfig::new(4, false));
+
+    // Flat vs linear.
+    let flat = shared4.server.video_bytes as f64 / shared2.server.video_bytes as f64;
+    let linear = direct4.server.video_bytes as f64 / direct2.server.video_bytes as f64;
+    assert!(flat < 1.15, "ASP egress should be flat, grew {flat}x");
+    assert!(linear > 1.7, "direct egress should scale, grew {linear}x");
+
+    // Everyone still watches.
+    for c in shared4.clients.iter() {
+        assert!(c.frames > 150, "viewer starved: {c:?}");
+    }
+    assert_eq!(shared4.server.streams, 1);
+    assert_eq!(direct4.server.streams, 4);
+}
+
+/// The reproduction is deterministic: the same seed gives the same
+/// figures.
+#[test]
+fn experiments_are_reproducible() {
+    let a = run_mpeg(&MpegConfig::new(2, true));
+    let b = run_mpeg(&MpegConfig::new(2, true));
+    assert_eq!(a.server.video_bytes, b.server.video_bytes);
+    assert_eq!(
+        a.clients.iter().map(|c| c.frames).collect::<Vec<_>>(),
+        b.clients.iter().map(|c| c.frames).collect::<Vec<_>>()
+    );
+
+    let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 8);
+    cfg.duration_s = 8;
+    let x = run_http(&cfg);
+    let y = run_http(&cfg);
+    assert_eq!(x.completed, y.completed);
+}

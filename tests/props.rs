@@ -1,0 +1,235 @@
+//! Property-based tests over the language front end and the two
+//! execution engines.
+//!
+//! The central property is **interpreter ≡ JIT**: for generated
+//! well-typed programs, the portable interpreter and its specialization
+//! must agree on results, printed output, and emitted effects — the
+//! paper's whole implementation story rests on this equivalence.
+
+use planp::analysis::{verify, Policy};
+use planp::lang::{parse_expr, parse_program, pretty};
+use planp::vm::pkthdr::{addr, IpHdr, UdpHdr};
+use planp::vm::{Interp, MockEnv, Value};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+// ---- generators --------------------------------------------------------
+
+/// Well-typed integer expressions over the channel scope
+/// (`ps : int`, `p : ip*udp*blob`).
+fn int_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(|n| n.to_string()),
+        (1i64..50).prop_map(|n| format!("(0 - {n})")),
+        Just("ps".to_string()),
+        Just("blobLen(#3 p)".to_string()),
+        Just("charPos(#\"A\")".to_string()),
+        Just("strLen(\"hello\")".to_string()),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} div {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} mod {b})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| format!("(if {c} < {a} then {a} else {b})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(c, a)| format!("(if {c} = {a} then {c} else {a})")),
+            inner
+                .clone()
+                .prop_map(|a| format!("(let val x : int = {a} in (x + x) end)")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!(
+                "(let val x : int = {a} val y : int = {b} in (x - y) end)"
+            )),
+            inner
+                .clone()
+                .prop_map(|a| format!("(({a}) handle Div => 777)")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("(if {a} < 5 andalso {b} > 2 then {a} else {b})")),
+        ]
+    })
+}
+
+fn channel_program(body_expr: &str) -> String {
+    format!(
+        "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+         ((println({body_expr}); ({body_expr}, ss)) handle _ => (0 - 99, ss))"
+    )
+}
+
+fn udp_packet() -> Value {
+    Value::tuple(vec![
+        Value::Ip(IpHdr::new(addr(10, 0, 0, 1), addr(10, 0, 0, 2), IpHdr::PROTO_UDP)),
+        Value::Udp(UdpHdr::new(1, 2)),
+        Value::Blob(bytes::Bytes::from_static(b"twelve bytes")),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The lexer and parser never panic, whatever the input.
+    #[test]
+    fn frontend_never_panics(src in "\\PC{0,200}") {
+        let _ = planp::lang::lexer::lex(&src);
+        let _ = parse_program(&src);
+    }
+
+    /// The pretty-printer is a fixed point under reparsing.
+    #[test]
+    fn pretty_print_round_trips(e in int_expr()) {
+        let ast = parse_expr(&e).expect("generated expressions parse");
+        let printed = pretty::expr(&ast);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?}: {err}"));
+        prop_assert_eq!(printed.clone(), pretty::expr(&reparsed));
+    }
+
+    /// Interpreter and JIT agree on every generated program: same
+    /// result (or same exception), same printed output.
+    #[test]
+    fn interp_equals_jit(e in int_expr(), ps in -1000i64..1000) {
+        let src = channel_program(&e);
+        let prog = Rc::new(
+            planp::lang::compile_front(&src)
+                .unwrap_or_else(|err| panic!("front end rejected {src}: {err}")),
+        );
+        let (compiled, _) = planp::vm::jit::compile(prog.clone());
+        let interp = Interp::new(&prog);
+
+        let mut env_i = MockEnv::new(7);
+        let mut env_j = MockEnv::new(7);
+        let ri = interp.run_channel(0, &[], Value::Int(ps), Value::Unit, udp_packet(), &mut env_i);
+        let rj = compiled.run_channel(0, &[], Value::Int(ps), Value::Unit, udp_packet(), &mut env_j);
+        match (ri, rj) {
+            (Ok((pi, _)), Ok((pj, _))) => prop_assert_eq!(pi.display(), pj.display()),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "divergence: interp={a:?} jit={b:?} for {e}"),
+        }
+        prop_assert_eq!(env_i.output, env_j.output);
+    }
+
+    /// Generated single-channel programs without sends never upset the
+    /// verifier's termination/duplication analyses (no sends = nothing
+    /// to prove wrong), and the verdict is deterministic.
+    #[test]
+    fn verifier_is_deterministic(e in int_expr()) {
+        let src = channel_program(&e);
+        let prog = planp::lang::compile_front(&src).expect("front end");
+        let r1 = verify(&prog, Policy::no_delivery());
+        let r2 = verify(&prog, Policy::no_delivery());
+        prop_assert!(r1.termination.is_proved());
+        prop_assert!(r1.duplication.is_proved());
+        prop_assert_eq!(r1.accepted(), r2.accepted());
+    }
+
+    /// Stateful programs (hash-table channel state, protocol-state
+    /// threading) stay equivalent across engines over a whole packet
+    /// sequence.
+    #[test]
+    fn interp_equals_jit_stateful(
+        e in int_expr(),
+        srcs in proptest::collection::vec(1u32..6, 1..12),
+    ) {
+        let src_prog = format!(
+            "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob)\n\
+             initstate mkTable(8) is\n\
+             let\n\
+               val k : host = ipSrc(#1 p)\n\
+               val n : int = (tblGet(ss, k) handle NotFound => 0) + (({e}) handle _ => 3)\n\
+             in\n\
+               (tblSet(ss, k, n); println(n); (ps + n, ss))\n\
+             end"
+        );
+        let prog = Rc::new(planp::lang::compile_front(&src_prog).expect("front end"));
+        let (compiled, _) = planp::vm::jit::compile(prog.clone());
+        let interp = Interp::new(&prog);
+
+        let mut env_i = MockEnv::new(7);
+        let mut env_j = MockEnv::new(7);
+        let mut ps_i = Value::Int(0);
+        let mut ps_j = Value::Int(0);
+        let mut ss_i = compiled.init_channel_state(0, &[], &mut env_i).expect("state");
+        let mut ss_j = interp.init_channel_state(0, &[], &mut env_j).expect("state");
+        for &src_host in &srcs {
+            let pkt = |h: u32| {
+                Value::tuple(vec![
+                    Value::Ip(IpHdr::new(h, 99, IpHdr::PROTO_UDP)),
+                    Value::Udp(UdpHdr::new(1, 2)),
+                    Value::Blob(bytes::Bytes::from_static(b"abcdefgh")),
+                ])
+            };
+            let ri = interp.run_channel(0, &[], ps_i.clone(), ss_i.clone(), pkt(src_host), &mut env_i);
+            let rj = compiled.run_channel(0, &[], ps_j.clone(), ss_j.clone(), pkt(src_host), &mut env_j);
+            match (ri, rj) {
+                (Ok((pi, si)), Ok((pj, sj))) => {
+                    prop_assert_eq!(pi.display(), pj.display());
+                    ps_i = pi; ss_i = si; ps_j = pj; ss_j = sj;
+                }
+                (Err(a), Err(b)) => { prop_assert_eq!(a, b); break; }
+                (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+            }
+        }
+        prop_assert_eq!(env_i.output, env_j.output);
+    }
+
+    /// The verifier never panics on generated programs *with sends*, and
+    /// its easy implications hold: a program whose only sends keep the
+    /// destination unchanged always proves termination; a program with a
+    /// self-directed destination-changing send never does.
+    #[test]
+    fn verifier_fuzz_with_sends(
+        e in int_expr(),
+        pattern in 0u8..4,
+    ) {
+        let send = match pattern {
+            0 => "OnRemote(network, p)",
+            1 => "OnRemote(network, (ipSrcSet(#1 p, 10.0.0.9), #2 p, #3 p))",
+            2 => "OnRemote(network, (ipDestSet(#1 p, 10.0.0.9), #2 p, #3 p))",
+            _ => "OnRemote(network, (ipDestSet(#1 p, ipSrc(#1 p)), #2 p, #3 p))",
+        };
+        let src = format!(
+            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             (if (({e}) handle _ => 0) > 0 then {send} else {send}; (ps, ss))"
+        );
+        let prog = planp::lang::compile_front(&src).expect("front end");
+        let report = verify(&prog, Policy::strict());
+        let dest_preserving = pattern <= 1;
+        prop_assert_eq!(
+            report.termination.is_proved(),
+            dest_preserving,
+            "pattern {} gave {:?}",
+            pattern,
+            report.termination
+        );
+        // One send per path: always linear.
+        prop_assert!(report.duplication.is_proved());
+        prop_assert!(report.stats.send_sites >= 2);
+    }
+
+    /// Payload codec round-trips for arbitrary scalar payloads.
+    #[test]
+    fn payload_codec_round_trips(
+        c in proptest::char::range('a', 'z'),
+        n in any::<i64>(),
+        h in any::<u32>(),
+        b in any::<bool>(),
+        s in "[a-zA-Z0-9 ]{0,40}",
+    ) {
+        use planp::lang::types::Type;
+        use planp::vm::pkthdr::{decode_payload, encode_payload};
+        let vals = vec![
+            Value::Char(c),
+            Value::Int(n),
+            Value::Host(h),
+            Value::Bool(b),
+            Value::Str(s.as_str().into()),
+        ];
+        let types = vec![Type::Char, Type::Int, Type::Host, Type::Bool, Type::Str];
+        let bytes = encode_payload(&vals);
+        let decoded = decode_payload(&types, &bytes).expect("decodes");
+        prop_assert_eq!(decoded, vals);
+    }
+}
