@@ -72,21 +72,21 @@ mod tests {
 
     #[test]
     fn forward_on_all_paths_proved() {
-        assert!(run(
-            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+        assert!(
+            run("channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
              if ps > 0 then (OnRemote(network, p); (ps, ss))\n\
-             else (deliver(p); (ps, ss))"
-        )
-        .is_proved());
+             else (deliver(p); (ps, ss))")
+            .is_proved()
+        );
     }
 
     #[test]
     fn silent_drop_rejected() {
-        let out = run(
-            "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
-             if ps > 0 then (OnRemote(network, p); (ps, ss)) else (ps, ss)",
-        );
-        let Outcome::Rejected(errs) = out else { panic!() };
+        let out = run("channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+             if ps > 0 then (OnRemote(network, p); (ps, ss)) else (ps, ss)");
+        let Outcome::Rejected(errs) = out else {
+            panic!()
+        };
         assert!(errs[0].message.contains("neither forwards nor delivers"));
     }
 
@@ -96,7 +96,9 @@ mod tests {
             "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob) is\n\
              (print(tblGet(ss, ipSrc(#1 p))); OnRemote(network, p); (ps, ss))",
         );
-        let Outcome::Rejected(errs) = out else { panic!() };
+        let Outcome::Rejected(errs) = out else {
+            panic!()
+        };
         assert!(errs[0].message.contains("NotFound"), "{}", errs[0].message);
     }
 

@@ -72,10 +72,16 @@ pub fn compute_may_copy(prog: &TProgram, _sum: &ProgramSummary) -> DuplicationIn
             break;
         }
         // Monotone over a finite lattice; n + 1 iterations suffice.
-        assert!(iterations <= n + 1, "duplication fix-point failed to converge");
+        assert!(
+            iterations <= n + 1,
+            "duplication fix-point failed to converge"
+        );
     }
 
-    DuplicationInfo { may_copy, iterations }
+    DuplicationInfo {
+        may_copy,
+        iterations,
+    }
 }
 
 /// Checks linear duplication: at most one *copying* send per execution
@@ -174,7 +180,9 @@ mod tests {
         let info = compute_may_copy(&tp, &sum);
         assert!(info.may_copy[1] && info.may_copy[2]);
         let out = check_duplication(&tp, &sum);
-        let Outcome::Rejected(errs) = out else { panic!("expected rejection") };
+        let Outcome::Rejected(errs) = out else {
+            panic!("expected rejection")
+        };
         assert!(errs[0].message.contains("exponential"));
     }
 

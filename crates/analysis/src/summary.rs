@@ -169,7 +169,16 @@ impl AbsVal {
         use AbsVal::*;
         match (self, other) {
             (Pkt, Pkt) => Pkt,
-            (Ip { dest: d1, src_orig: s1 }, Ip { dest: d2, src_orig: s2 }) => Ip {
+            (
+                Ip {
+                    dest: d1,
+                    src_orig: s1,
+                },
+                Ip {
+                    dest: d2,
+                    src_orig: s2,
+                },
+            ) => Ip {
                 dest: d1.join(d2),
                 src_orig: s1 && s2,
             },
@@ -185,7 +194,10 @@ impl AbsVal {
             (Pkt, Tup(parts)) | (Tup(parts), Pkt) => {
                 let mut out = vec![AbsVal::Opaque; parts.len()];
                 if let Some(first) = parts.into_iter().next() {
-                    out[0] = first.join(Ip { dest: DestAbs::Unchanged, src_orig: true });
+                    out[0] = first.join(Ip {
+                        dest: DestAbs::Unchanged,
+                        src_orig: true,
+                    });
                 }
                 Tup(out)
             }
@@ -204,7 +216,12 @@ struct Node {
 
 impl Node {
     fn pure(abs: AbsVal) -> Node {
-        Node { min_out: 0, max_sends: 0, raises: BTreeSet::new(), abs }
+        Node {
+            min_out: 0,
+            max_sends: 0,
+            raises: BTreeSet::new(),
+            abs,
+        }
     }
 
     fn then(mut self, next: Node) -> Node {
@@ -271,9 +288,7 @@ impl<'p> Cx<'p> {
         match &e.kind {
             Int(_) | Bool(_) | Str(_) | Char(_) | Unit => Node::pure(AbsVal::Opaque),
             Host(a) => Node::pure(AbsVal::HostA(DestAbs::Const(*a))),
-            Local { slot, .. } => {
-                Node::pure(env.get(slot).cloned().unwrap_or(AbsVal::Opaque))
-            }
+            Local { slot, .. } => Node::pure(env.get(slot).cloned().unwrap_or(AbsVal::Opaque)),
             Global { index, .. } => {
                 let g = &self.prog.globals[*index as usize];
                 let abs = if g.ty == Type::Host {
@@ -305,9 +320,7 @@ impl<'p> Cx<'p> {
                         dest: DestAbs::Unchanged,
                         src_orig: true,
                     },
-                    AbsVal::Tup(parts) => {
-                        parts.get(*i as usize).cloned().unwrap_or(AbsVal::Opaque)
-                    }
+                    AbsVal::Tup(parts) => parts.get(*i as usize).cloned().unwrap_or(AbsVal::Opaque),
                     _ => AbsVal::Opaque,
                 };
                 Node { abs, ..n }
@@ -359,7 +372,9 @@ impl<'p> Cx<'p> {
                     abs: tn.abs.join(fn_.abs),
                 }
             }
-            Let { slot, init, body, .. } => {
+            Let {
+                slot, init, body, ..
+            } => {
                 let init_n = self.walk(init, env);
                 let saved = env.insert(*slot, init_n.abs.clone());
                 let body_n = self.walk(body, env);
@@ -392,8 +407,7 @@ impl<'p> Cx<'p> {
             Binop(op, a, b) => {
                 let mut node = self.walk(a, env).then(self.walk(b, env));
                 // Division by a nonzero constant cannot raise `Div`.
-                let const_nonzero =
-                    matches!(b.kind, TExprKind::Int(n) if n != 0);
+                let const_nonzero = matches!(b.kind, TExprKind::Int(n) if n != 0);
                 if matches!(op, BinOp::Div | BinOp::Mod) && !const_nonzero {
                     node.raises.insert(self.div_exn);
                 }
@@ -408,7 +422,12 @@ impl<'p> Cx<'p> {
             Raise(id) => {
                 let mut raises = BTreeSet::new();
                 raises.insert(id.0);
-                Node { min_out: 0, max_sends: 0, raises, abs: AbsVal::Opaque }
+                Node {
+                    min_out: 0,
+                    max_sends: 0,
+                    raises,
+                    abs: AbsVal::Opaque,
+                }
             }
             Handle(body, pat, handler) => {
                 let bn = self.walk(body, env);
@@ -430,9 +449,8 @@ impl<'p> Cx<'p> {
                     } else {
                         bn.min_out
                     },
-                    max_sends: (bn.max_sends
-                        + if body_may_raise { hn.max_sends } else { 0 })
-                    .min(CAP),
+                    max_sends: (bn.max_sends + if body_may_raise { hn.max_sends } else { 0 })
+                        .min(CAP),
                     raises,
                     abs: bn.abs.join(hn.abs),
                 }
@@ -445,7 +463,11 @@ impl<'p> Cx<'p> {
                 node.abs = AbsVal::Opaque;
                 node
             }
-            OnRemote { chan, overload, pkt } => {
+            OnRemote {
+                chan,
+                overload,
+                pkt,
+            } => {
                 let pn = self.walk(pkt, env);
                 let dest = dest_of(&pn.abs);
                 self.sites.push(SendSite {
@@ -462,7 +484,12 @@ impl<'p> Cx<'p> {
                     abs: AbsVal::Opaque,
                 }
             }
-            OnNeighbor { chan, overload, host, pkt } => {
+            OnNeighbor {
+                chan,
+                overload,
+                host,
+                pkt,
+            } => {
                 let hn = self.walk(host, env);
                 let pn = self.walk(pkt, env);
                 let dest = match &hn.abs {
@@ -528,7 +555,10 @@ fn prim_abs(name: &str, args: &[AbsVal]) -> AbsVal {
                 AbsVal::Ip { dest, .. } => *dest,
                 _ => DestAbs::Unknown,
             };
-            AbsVal::Ip { dest, src_orig: false }
+            AbsVal::Ip {
+                dest,
+                src_orig: false,
+            }
         }
         // Payload/header transformations preserve nothing we track.
         _ => AbsVal::Opaque,
@@ -566,8 +596,15 @@ fn wmax(
 ) -> u32 {
     use TExprKind::*;
     match &e.kind {
-        Int(_) | Bool(_) | Str(_) | Char(_) | Unit | Host(_) | Local { .. }
-        | Global { .. } | Raise(_) => 0,
+        Int(_)
+        | Bool(_)
+        | Str(_)
+        | Char(_)
+        | Unit
+        | Host(_)
+        | Local { .. }
+        | Global { .. }
+        | Raise(_) => 0,
         Tuple(items) | Seq(items) | List(items) => items
             .iter()
             .map(|i| wmax(prog, i, fw, weigh, env))
@@ -589,7 +626,9 @@ fn wmax(
             let fw_ = wmax(prog, f, fw, weigh, env);
             (cw + tw.max(fw_)).min(CAP)
         }
-        Let { slot, init, body, .. } => {
+        Let {
+            slot, init, body, ..
+        } => {
             let iw = wmax(prog, init, fw, weigh, env);
             // Track the abstract value for destination resolution.
             let abs = abs_only(prog, init, env);
@@ -605,20 +644,27 @@ fn wmax(
             }
             (iw + bw).min(CAP)
         }
-        Binop(_, a, b) => {
-            (wmax(prog, a, fw, weigh, env) + wmax(prog, b, fw, weigh, env)).min(CAP)
+        Binop(_, a, b) => (wmax(prog, a, fw, weigh, env) + wmax(prog, b, fw, weigh, env)).min(CAP),
+        Handle(body, _, handler) => {
+            (wmax(prog, body, fw, weigh, env) + wmax(prog, handler, fw, weigh, env)).min(CAP)
         }
-        Handle(body, _, handler) => (wmax(prog, body, fw, weigh, env)
-            + wmax(prog, handler, fw, weigh, env))
-        .min(CAP),
-        OnRemote { chan, overload, pkt } => {
+        OnRemote {
+            chan,
+            overload,
+            pkt,
+        } => {
             let pw = wmax(prog, pkt, fw, weigh, env);
             let abs = abs_only(prog, pkt, env);
             let dest = dest_of(&abs);
             let target = prog.chan_groups[chan][*overload as usize];
             (pw + weigh(target, dest)).min(CAP)
         }
-        OnNeighbor { chan, overload, host, pkt } => {
+        OnNeighbor {
+            chan,
+            overload,
+            host,
+            pkt,
+        } => {
             let hw = wmax(prog, host, fw, weigh, env);
             let pw = wmax(prog, pkt, fw, weigh, env);
             let abs = abs_only(prog, host, env);
@@ -648,21 +694,23 @@ fn abs_only(prog: &TProgram, e: &TExpr, env: &mut HashMap<u32, AbsVal>) -> AbsVa
             }
             AbsVal::Opaque
         }
-        Tuple(items) => {
-            AbsVal::Tup(items.iter().map(|i| abs_only(prog, i, env)).collect())
-        }
+        Tuple(items) => AbsVal::Tup(items.iter().map(|i| abs_only(prog, i, env)).collect()),
         Proj(i, inner) => match abs_only(prog, inner, env) {
-            AbsVal::Pkt if *i == 0 => AbsVal::Ip { dest: DestAbs::Unchanged, src_orig: true },
+            AbsVal::Pkt if *i == 0 => AbsVal::Ip {
+                dest: DestAbs::Unchanged,
+                src_orig: true,
+            },
             AbsVal::Tup(parts) => parts.get(*i as usize).cloned().unwrap_or(AbsVal::Opaque),
             _ => AbsVal::Opaque,
         },
         CallPrim { prim, args } => {
-            let arg_abs: Vec<AbsVal> =
-                args.iter().map(|a| abs_only(prog, a, env)).collect();
+            let arg_abs: Vec<AbsVal> = args.iter().map(|a| abs_only(prog, a, env)).collect();
             prim_abs(prims::table().sig(*prim).name, &arg_abs)
         }
         If(_, t, f) => abs_only(prog, t, env).join(abs_only(prog, f, env)),
-        Let { slot, init, body, .. } => {
+        Let {
+            slot, init, body, ..
+        } => {
             let abs = abs_only(prog, init, env);
             let saved = env.insert(*slot, abs);
             let out = abs_only(prog, body, env);
@@ -680,9 +728,7 @@ fn abs_only(prog: &TProgram, e: &TExpr, env: &mut HashMap<u32, AbsVal>) -> AbsVa
             .last()
             .map(|l| abs_only(prog, l, env))
             .unwrap_or(AbsVal::Opaque),
-        Handle(body, _, handler) => {
-            abs_only(prog, body, env).join(abs_only(prog, handler, env))
-        }
+        Handle(body, _, handler) => abs_only(prog, body, env).join(abs_only(prog, handler, env)),
         _ => AbsVal::Opaque,
     }
 }

@@ -165,13 +165,13 @@ mod tests {
     fn one_shot_redirect_terminates() {
         // The gateway redirects to a constant server; the `relay` channel
         // it targets only forwards unchanged — no cycle.
-        assert!(run(
-            "channel relay(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
+        assert!(
+            run("channel relay(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
              (OnRemote(relay, p); (ps, ss))\n\
              channel network(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
-             (OnRemote(relay, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))"
-        )
-        .is_proved());
+             (OnRemote(relay, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))")
+            .is_proved()
+        );
     }
 
     #[test]
@@ -182,7 +182,9 @@ mod tests {
             "channel network(ps : unit, ss : unit, p : ip*tcp*blob) is\n\
              (OnRemote(network, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))",
         );
-        let Outcome::Rejected(errs) = out else { panic!("expected rejection") };
+        let Outcome::Rejected(errs) = out else {
+            panic!("expected rejection")
+        };
         assert!(errs[0].message.contains("cycle"));
     }
 
@@ -197,24 +199,20 @@ mod tests {
 
     #[test]
     fn two_channel_ping_pong_rejected() {
-        let out = run(
-            "channel a(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+        let out = run("channel a(ps : unit, ss : unit, p : ip*udp*blob) is\n\
              (OnRemote(b, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))\n\
              channel b(ps : unit, ss : unit, p : ip*udp*blob) is\n\
-             (OnRemote(a, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps, ss))",
-        );
+             (OnRemote(a, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps, ss))");
         assert!(!out.is_proved());
     }
 
     #[test]
     fn redirect_chain_terminates() {
         // a --change--> b --unchanged--> b: no cycle through the restart.
-        assert!(run(
-            "channel b(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+        assert!(run("channel b(ps : unit, ss : unit, p : ip*udp*blob) is\n\
              (OnRemote(b, p); (ps, ss))\n\
              channel a(ps : unit, ss : unit, p : ip*udp*blob) is\n\
-             (OnRemote(b, (ipDestSet(#1 p, 10.0.0.7), #2 p, #3 p)); (ps, ss))"
-        )
+             (OnRemote(b, (ipDestSet(#1 p, 10.0.0.7), #2 p, #3 p)); (ps, ss))")
         .is_proved());
     }
 
@@ -239,9 +237,8 @@ mod tests {
 
     #[test]
     fn non_sending_channel_trivially_terminates() {
-        assert!(run(
-            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)"
-        )
-        .is_proved());
+        assert!(
+            run("channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)").is_proved()
+        );
     }
 }

@@ -125,14 +125,24 @@ impl VerifyReport {
 
 impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = |o: &Outcome| if o.is_proved() { "proved" } else { "NOT PROVED" };
+        let s = |o: &Outcome| {
+            if o.is_proved() {
+                "proved"
+            } else {
+                "NOT PROVED"
+            }
+        };
         writeln!(f, "termination:  {}", s(&self.termination))?;
         writeln!(f, "delivery:     {}", s(&self.delivery))?;
         writeln!(f, "duplication:  {}", s(&self.duplication))?;
         writeln!(
             f,
             "verdict:      {}",
-            if self.accepted() { "ACCEPTED" } else { "REJECTED" }
+            if self.accepted() {
+                "ACCEPTED"
+            } else {
+                "REJECTED"
+            }
         )?;
         write!(
             f,
@@ -152,11 +162,7 @@ pub fn verify(prog: &TProgram, policy: Policy) -> VerifyReport {
 }
 
 /// Like [`verify`], reusing a precomputed summary.
-pub fn verify_with_summary(
-    prog: &TProgram,
-    sum: &ProgramSummary,
-    policy: Policy,
-) -> VerifyReport {
+pub fn verify_with_summary(prog: &TProgram, sum: &ProgramSummary, policy: Policy) -> VerifyReport {
     let send_sites: usize = sum.channels.iter().map(|s| s.sites.len()).sum();
     let restart_sites: usize = sum
         .channels
@@ -228,6 +234,9 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("ACCEPTED"));
         assert!(s.contains("termination:  proved"));
-        assert!(s.contains("problem size: 1 channel(s), 1 send site(s)"), "{s}");
+        assert!(
+            s.contains("problem size: 1 channel(s), 1 send site(s)"),
+            "{s}"
+        );
     }
 }

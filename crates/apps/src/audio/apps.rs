@@ -214,7 +214,11 @@ const BURST_INTERVAL: Duration = Duration::from_millis(10);
 impl LoadGen {
     /// A generator sending to `target` following `phases`.
     pub fn new(target: u32, phases: Vec<LoadPhase>, jitter_pct: u64) -> Self {
-        LoadGen { target, phases, jitter_pct }
+        LoadGen {
+            target,
+            phases,
+            jitter_pct,
+        }
     }
 
     fn current_kbps(&self, t: f64) -> u64 {
@@ -244,7 +248,13 @@ impl App for LoadGen {
         let mut bytes = (kbps as usize * BURST_INTERVAL.as_millis() as usize) / 8;
         while bytes > 0 {
             let take = bytes.min(1250);
-            let pkt = Packet::udp(api.addr(), self.target, 9999, 9999, Bytes::from(vec![0u8; take]));
+            let pkt = Packet::udp(
+                api.addr(),
+                self.target,
+                9999,
+                9999,
+                Bytes::from(vec![0u8; take]),
+            );
             api.send(pkt);
             bytes -= take;
         }
@@ -283,8 +293,16 @@ mod tests {
         let lg = LoadGen::new(
             1,
             vec![
-                LoadPhase { from_s: 0.0, to_s: 10.0, kbps: 0 },
-                LoadPhase { from_s: 10.0, to_s: 20.0, kbps: 9000 },
+                LoadPhase {
+                    from_s: 0.0,
+                    to_s: 10.0,
+                    kbps: 0,
+                },
+                LoadPhase {
+                    from_s: 10.0,
+                    to_s: 20.0,
+                    kbps: 9000,
+                },
             ],
             0,
         );

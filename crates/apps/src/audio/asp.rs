@@ -239,8 +239,7 @@ mod tests {
             ("queue", AUDIO_ROUTER_QUEUE_ASP),
             ("hysteresis", AUDIO_ROUTER_HYSTERESIS_ASP),
         ] {
-            let lp = load(src, Policy::strict())
-                .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+            let lp = load(src, Policy::strict()).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
             assert!(lp.report.accepted(), "{name}");
         }
     }

@@ -49,9 +49,7 @@ impl PacketHook for NativeAudioRouter {
         if meta.overheard {
             return HookVerdict::Pass(pkt);
         }
-        let is_audio = pkt
-            .udp_hdr()
-            .is_some_and(|u| u.dport == AUDIO_PORT)
+        let is_audio = pkt.udp_hdr().is_some_and(|u| u.dport == AUDIO_PORT)
             && pkt.payload.len() > 9
             && pkt.payload[0] == format::STEREO16;
         if !is_audio {

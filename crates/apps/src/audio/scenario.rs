@@ -19,6 +19,7 @@ use netsim::packet::addr;
 use netsim::{LinkSpec, Sim, SimTime};
 use planp_analysis::Policy;
 use planp_runtime::{install_planp, load, Engine, LayerConfig};
+use planp_telemetry::{MetricsSnapshot, Telemetry, TraceConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
@@ -66,9 +67,21 @@ impl AudioConfig {
         AudioConfig {
             adaptation,
             phases: vec![
-                LoadPhase { from_s: 100.0, to_s: 220.0, kbps: 9450 },
-                LoadPhase { from_s: 220.0, to_s: 340.0, kbps: 7750 },
-                LoadPhase { from_s: 340.0, to_s: 460.0, kbps: 6200 },
+                LoadPhase {
+                    from_s: 100.0,
+                    to_s: 220.0,
+                    kbps: 9450,
+                },
+                LoadPhase {
+                    from_s: 220.0,
+                    to_s: 340.0,
+                    kbps: 7750,
+                },
+                LoadPhase {
+                    from_s: 340.0,
+                    to_s: 460.0,
+                    kbps: 6200,
+                },
             ],
             jitter_pct: 6,
             duration_s: 460,
@@ -82,7 +95,11 @@ impl AudioConfig {
     pub fn constant_load(adaptation: Adaptation, kbps: u64, duration_s: u64) -> Self {
         AudioConfig {
             adaptation,
-            phases: vec![LoadPhase { from_s: 5.0, to_s: duration_s as f64, kbps }],
+            phases: vec![LoadPhase {
+                from_s: 5.0,
+                to_s: duration_s as f64,
+                kbps,
+            }],
             jitter_pct: 6,
             duration_s,
             seed: 7,
@@ -109,18 +126,20 @@ pub struct AudioResult {
 }
 
 impl AudioResult {
-    /// Mean received bandwidth in a time window (kb/s).
+    /// Mean received bandwidth over the half-open window `[t0, t1)`
+    /// (kb/s). Single pass, no intermediate allocation.
     pub fn avg_kbps(&self, t0: f64, t1: f64) -> f64 {
-        let pts: Vec<f64> = self
-            .rx_kbps
-            .iter()
-            .filter(|&&(t, _)| t >= t0 && t < t1)
-            .map(|&(_, v)| v)
-            .collect();
-        if pts.is_empty() {
+        let (mut sum, mut n) = (0.0, 0u64);
+        for &(t, v) in &self.rx_kbps {
+            if t >= t0 && t < t1 {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
             0.0
         } else {
-            pts.iter().sum::<f64>() / pts.len() as f64
+            sum / n as f64
         }
     }
 }
@@ -131,8 +150,19 @@ impl AudioResult {
 ///
 /// Panics if the shipped ASPs fail verification (they must not).
 pub fn run_audio(cfg: &AudioConfig) -> AudioResult {
+    run_audio_traced(cfg, TraceConfig::default()).0
+}
+
+/// Like [`run_audio`], with event tracing enabled per `trace`. Also
+/// returns the telemetry bundle (event log + raw metrics) and the final
+/// metrics snapshot, both deterministic for a given seed.
+pub fn run_audio_traced(
+    cfg: &AudioConfig,
+    trace: TraceConfig,
+) -> (AudioResult, Telemetry, MetricsSnapshot) {
     let group = addr(224, 1, 2, 3);
     let mut sim = Sim::new(cfg.seed);
+    sim.telemetry.trace.configure(trace);
 
     let source = sim.add_host("source", addr(10, 0, 0, 1));
     let router = sim.add_router("router", addr(10, 0, 0, 254));
@@ -141,7 +171,11 @@ pub fn run_audio(cfg: &AudioConfig) -> AudioResult {
     let sink = sim.add_host("sink", addr(10, 0, 1, 3));
 
     let segment = sim.add_link(
-        LinkSpec { kbps: 10_000, delay: Duration::from_micros(100), queue_pkts: 200 },
+        LinkSpec {
+            kbps: 10_000,
+            delay: Duration::from_micros(100),
+            queue_pkts: 200,
+        },
         &[router, client, loadgen, sink],
     );
     sim.subscribe(client, group);
@@ -159,7 +193,11 @@ pub fn run_audio(cfg: &AudioConfig) -> AudioResult {
         let trunk_a = sim.add_link(LinkSpec::ethernet_100(), &[fanout, router]);
         let trunk_b = sim.add_link(LinkSpec::ethernet_100(), &[fanout, router_b]);
         let segment_b = sim.add_link(
-            LinkSpec { kbps: 10_000, delay: Duration::from_micros(100), queue_pkts: 200 },
+            LinkSpec {
+                kbps: 10_000,
+                delay: Duration::from_micros(100),
+                queue_pkts: 200,
+            },
             &[router_b, client_b],
         );
         sim.compute_routes();
@@ -185,16 +223,16 @@ pub fn run_audio(cfg: &AudioConfig) -> AudioResult {
             };
             let router_asp = load(cfg.router_src.unwrap_or(AUDIO_ROUTER_ASP), Policy::strict())
                 .expect("router ASP verifies");
-            let client_asp =
-                load(AUDIO_CLIENT_ASP, Policy::strict()).expect("client ASP verifies");
-            let lc = LayerConfig { engine, ..LayerConfig::default() };
+            let client_asp = load(AUDIO_CLIENT_ASP, Policy::strict()).expect("client ASP verifies");
+            let lc = LayerConfig {
+                engine,
+                ..LayerConfig::default()
+            };
             install_planp(&mut sim, router, &router_asp, lc).expect("install router ASP");
             install_planp(&mut sim, client, &client_asp, lc).expect("install client ASP");
             if let Some((router_b, client_b)) = quiet {
-                install_planp(&mut sim, router_b, &router_asp, lc)
-                    .expect("install router_b ASP");
-                install_planp(&mut sim, client_b, &client_asp, lc)
-                    .expect("install client_b ASP");
+                install_planp(&mut sim, router_b, &router_asp, lc).expect("install router_b ASP");
+                install_planp(&mut sim, client_b, &client_asp, lc).expect("install client_b ASP");
             }
         }
         Adaptation::Native => {
@@ -211,12 +249,19 @@ pub fn run_audio(cfg: &AudioConfig) -> AudioResult {
     let stats = Rc::new(RefCell::new(AudioClientStats::default()));
     sim.add_app(source, Box::new(AudioSource::new(group)));
     let expect_restored = cfg.adaptation != Adaptation::Off;
-    sim.add_app(client, Box::new(AudioClient::new(stats.clone(), expect_restored)));
+    sim.add_app(
+        client,
+        Box::new(AudioClient::new(stats.clone(), expect_restored)),
+    );
     let stats_b = quiet.map(|(_, client_b)| {
         let sb = Rc::new(RefCell::new(AudioClientStats::default()));
         sim.add_app(
             client_b,
-            Box::new(AudioClient::with_series(sb.clone(), expect_restored, "audio_rx_kbps_b")),
+            Box::new(AudioClient::with_series(
+                sb.clone(),
+                expect_restored,
+                "audio_rx_kbps_b",
+            )),
         );
         sb
     });
@@ -245,7 +290,19 @@ pub fn run_audio(cfg: &AudioConfig) -> AudioResult {
     let segment_drops = sim.link(segment).drops;
     let stats = stats.borrow().clone();
     let stats_b = stats_b.map(|s| s.borrow().clone());
-    AudioResult { rx_kbps, stats, segment_drops, stats_b, rx_kbps_b }
+    let metrics = sim.metrics_snapshot();
+    let telemetry = std::mem::take(&mut sim.telemetry);
+    (
+        AudioResult {
+            rx_kbps,
+            stats,
+            segment_drops,
+            stats_b,
+            rx_kbps_b,
+        },
+        telemetry,
+        metrics,
+    )
 }
 
 #[cfg(test)]
@@ -258,7 +315,11 @@ mod tests {
     fn adaptation_reacts_to_load() {
         let cfg = AudioConfig {
             adaptation: Adaptation::AspJit,
-            phases: vec![LoadPhase { from_s: 10.0, to_s: 30.0, kbps: 9450 }],
+            phases: vec![LoadPhase {
+                from_s: 10.0,
+                to_s: 30.0,
+                kbps: 9450,
+            }],
             jitter_pct: 0,
             duration_s: 30,
             seed: 3,
@@ -272,9 +333,17 @@ mod tests {
         assert!(quiet > 150.0, "quiet bandwidth {quiet} kb/s");
         assert!(loaded < 90.0, "loaded bandwidth {loaded} kb/s");
         // Most frames during the loaded phase were carried as 8-bit mono.
-        assert!(r.stats.by_format[2] > 150, "by_format {:?}", r.stats.by_format);
+        assert!(
+            r.stats.by_format[2] > 150,
+            "by_format {:?}",
+            r.stats.by_format
+        );
         // The quiet phase was carried at full quality.
-        assert!(r.stats.by_format[0] > 100, "by_format {:?}", r.stats.by_format);
+        assert!(
+            r.stats.by_format[0] > 100,
+            "by_format {:?}",
+            r.stats.by_format
+        );
         assert!(r.stats.frames > 520, "frames {}", r.stats.frames);
     }
 
@@ -283,7 +352,11 @@ mod tests {
         let mk = |adaptation| {
             let cfg = AudioConfig {
                 adaptation,
-                phases: vec![LoadPhase { from_s: 5.0, to_s: 20.0, kbps: 9450 }],
+                phases: vec![LoadPhase {
+                    from_s: 5.0,
+                    to_s: 20.0,
+                    kbps: 9450,
+                }],
                 jitter_pct: 0,
                 duration_s: 20,
                 seed: 3,
@@ -307,7 +380,11 @@ mod tests {
         let mk = |adaptation| {
             run_audio(&AudioConfig {
                 adaptation,
-                phases: vec![LoadPhase { from_s: 5.0, to_s: 40.0, kbps: 9560 }],
+                phases: vec![LoadPhase {
+                    from_s: 5.0,
+                    to_s: 40.0,
+                    kbps: 9560,
+                }],
                 jitter_pct: 0,
                 duration_s: 40,
                 seed: 7,
@@ -331,7 +408,11 @@ mod tests {
         let mk = |router_src| {
             run_audio(&AudioConfig {
                 adaptation: Adaptation::AspJit,
-                phases: vec![LoadPhase { from_s: 5.0, to_s: 60.0, kbps: 7750 }],
+                phases: vec![LoadPhase {
+                    from_s: 5.0,
+                    to_s: 60.0,
+                    kbps: 7750,
+                }],
                 jitter_pct: 6,
                 duration_s: 60,
                 seed: 7,
@@ -361,7 +442,11 @@ mod tests {
         // client keeps full 16-bit stereo.
         let r = run_audio(&AudioConfig {
             adaptation: Adaptation::AspJit,
-            phases: vec![LoadPhase { from_s: 5.0, to_s: 30.0, kbps: 9450 }],
+            phases: vec![LoadPhase {
+                from_s: 5.0,
+                to_s: 30.0,
+                kbps: 9450,
+            }],
             jitter_pct: 0,
             duration_s: 30,
             seed: 3,
@@ -379,7 +464,11 @@ mod tests {
         let quiet = quiet_pts.iter().sum::<f64>() / quiet_pts.len() as f64;
         assert!(loaded < 90.0, "loaded segment {loaded} kb/s");
         assert!(quiet > 160.0, "quiet segment {quiet} kb/s");
-        assert!(b.by_format[0] > 400, "quiet client stays 16-bit stereo: {:?}", b.by_format);
+        assert!(
+            b.by_format[0] > 400,
+            "quiet client stays 16-bit stereo: {:?}",
+            b.by_format
+        );
         assert_eq!(b.gaps, 0);
     }
 
@@ -387,7 +476,11 @@ mod tests {
     fn queue_policy_also_adapts_under_load() {
         let r = run_audio(&AudioConfig {
             adaptation: Adaptation::AspJit,
-            phases: vec![LoadPhase { from_s: 5.0, to_s: 30.0, kbps: 9560 }],
+            phases: vec![LoadPhase {
+                from_s: 5.0,
+                to_s: 30.0,
+                kbps: 9560,
+            }],
             jitter_pct: 0,
             duration_s: 30,
             seed: 7,

@@ -243,8 +243,7 @@ mod tests {
             ("porthash", HTTP_GATEWAY_PORTHASH_ASP),
             ("failover", HTTP_GATEWAY_FAILOVER_ASP),
         ] {
-            let lp = load(src, Policy::strict())
-                .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+            let lp = load(src, Policy::strict()).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
             assert!(lp.report.accepted(), "{name}");
         }
     }
@@ -261,7 +260,8 @@ mod tests {
         // The figure-2 shape (re-sending rewritten requests on `network`)
         // is NOT provable — the paper's own fragment would need an
         // authenticated download.
-        let fig2 = HTTP_GATEWAY_ASP.replace("OnRemote(relay, (ipDestSet", "OnRemote(network, (ipDestSet");
+        let fig2 =
+            HTTP_GATEWAY_ASP.replace("OnRemote(relay, (ipDestSet", "OnRemote(network, (ipDestSet");
         let fig2 = fig2.replace(
             "channel relay(ps : int, ss : unit, p : ip*tcp*blob) is\n  (OnRemote(relay, p); (ps, ss))",
             "",

@@ -68,8 +68,12 @@ impl HttpClientApp {
     fn start_request(&mut self, api: &mut NodeApi<'_>) {
         let port = self.port_base + self.port_next % 1000;
         self.port_next = self.port_next.wrapping_add(1);
-        let (sock, syn) =
-            TcpSocket::connect(self.tcp, (api.addr(), port), (self.server, HTTP_PORT), api.now());
+        let (sock, syn) = TcpSocket::connect(
+            self.tcp,
+            (api.addr(), port),
+            (self.server, HTTP_PORT),
+            api.now(),
+        );
         self.sock = Some(sock);
         self.expected = None;
         self.buf.clear();
@@ -81,8 +85,7 @@ impl HttpClientApp {
     fn finish(&mut self, api: &mut NodeApi<'_>, ok: bool) {
         if ok {
             self.completed += 1;
-            let latency_ms =
-                api.now().saturating_sub(self.started).as_secs_f64() * 1000.0;
+            let latency_ms = api.now().saturating_sub(self.started).as_secs_f64() * 1000.0;
             api.record("http_done", 1.0);
             api.record("http_latency_ms", latency_ms);
         } else {
@@ -117,7 +120,9 @@ impl App for HttpClientApp {
     }
 
     fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: Packet) {
-        let Some(hdr) = pkt.tcp_hdr().copied() else { return };
+        let Some(hdr) = pkt.tcp_hdr().copied() else {
+            return;
+        };
         let current = self
             .sock
             .as_ref()
@@ -140,11 +145,18 @@ impl App for HttpClientApp {
                     flags: netsim::packet::tcp_flags::ACK,
                     wnd: 0,
                 };
-                api.send(Packet::tcp(api.addr(), pkt.ip.src, reply, bytes::Bytes::new()));
+                api.send(Packet::tcp(
+                    api.addr(),
+                    pkt.ip.src,
+                    reply,
+                    bytes::Bytes::new(),
+                ));
             }
             return;
         }
-        let Some(sock) = self.sock.as_mut() else { return };
+        let Some(sock) = self.sock.as_mut() else {
+            return;
+        };
         let now = api.now();
         let ev = sock.on_segment(&pkt, now);
         let established = ev.established;

@@ -10,12 +10,11 @@ pub mod server;
 pub mod trace;
 
 pub use asp::{
-    HTTP_GATEWAY_3SRV_ASP, HTTP_GATEWAY_ASP, HTTP_GATEWAY_FAILOVER_ASP,
-    HTTP_GATEWAY_PORTHASH_ASP, HTTP_GATEWAY_RANDOM_ASP, SERVER0_ADDR, SERVER1_ADDR,
-    SERVER2_ADDR, VIRTUAL_ADDR,
+    HTTP_GATEWAY_3SRV_ASP, HTTP_GATEWAY_ASP, HTTP_GATEWAY_FAILOVER_ASP, HTTP_GATEWAY_PORTHASH_ASP,
+    HTTP_GATEWAY_RANDOM_ASP, SERVER0_ADDR, SERVER1_ADDR, SERVER2_ADDR, VIRTUAL_ADDR,
 };
 pub use client::HttpClientApp;
 pub use native::NativeHttpGateway;
-pub use scenario::{run_http, ClusterMode, HttpConfig, HttpResult};
+pub use scenario::{run_http, run_http_traced, ClusterMode, HttpConfig, HttpResult};
 pub use server::{HttpServerApp, ServerCfg, HTTP_PORT};
 pub use trace::{Trace, TraceSpec};

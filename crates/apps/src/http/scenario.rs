@@ -19,9 +19,7 @@
 //! share it because the JIT-vs-native microbenchmark shows the compiled
 //! ASP matches native code.
 
-use super::asp::{
-    HTTP_GATEWAY_ASP, SERVER0_ADDR, SERVER1_ADDR, SERVER2_ADDR, VIRTUAL_ADDR,
-};
+use super::asp::{HTTP_GATEWAY_ASP, SERVER0_ADDR, SERVER1_ADDR, SERVER2_ADDR, VIRTUAL_ADDR};
 use super::client::HttpClientApp;
 use super::native::NativeHttpGateway;
 use super::server::{HttpServerApp, ServerCfg};
@@ -30,6 +28,7 @@ use netsim::packet::addr;
 use netsim::{CpuModel, LinkSpec, Sim, SimTime};
 use planp_analysis::Policy;
 use planp_runtime::{install_planp, load, Engine, LayerConfig};
+use planp_telemetry::{MetricsSnapshot, Telemetry, TraceConfig};
 use std::time::Duration;
 
 /// Which cluster configuration to run (the figure 8 curves).
@@ -130,7 +129,18 @@ pub struct HttpResult {
 ///
 /// Panics if the shipped gateway ASP fails verification.
 pub fn run_http(cfg: &HttpConfig) -> HttpResult {
+    run_http_traced(cfg, TraceConfig::default()).0
+}
+
+/// Like [`run_http`], with event tracing enabled per `trace`. Also
+/// returns the telemetry bundle (event log + raw metrics) and the final
+/// metrics snapshot, both deterministic for a given seed.
+pub fn run_http_traced(
+    cfg: &HttpConfig,
+    trace: TraceConfig,
+) -> (HttpResult, Telemetry, MetricsSnapshot) {
     let mut sim = Sim::new(cfg.seed);
+    sim.telemetry.trace.configure(trace);
 
     let n_hosts = cfg.clients.clamp(1, 8);
     let mut client_hosts = Vec::with_capacity(n_hosts);
@@ -145,7 +155,11 @@ pub fn run_http(cfg: &HttpConfig) -> HttpResult {
     let mut seg_nodes = client_hosts.clone();
     seg_nodes.push(gw);
     sim.add_link(
-        LinkSpec { kbps: 10_000, delay: Duration::from_micros(100), queue_pkts: 128 },
+        LinkSpec {
+            kbps: 10_000,
+            delay: Duration::from_micros(100),
+            queue_pkts: 128,
+        },
         &seg_nodes,
     );
     sim.add_link(LinkSpec::ethernet_100(), &[gw, s0]);
@@ -168,7 +182,13 @@ pub fn run_http(cfg: &HttpConfig) -> HttpResult {
         _ if hooked => Duration::from_micros(cfg.gw_cpu_us),
         _ => Duration::from_micros(cfg.plain_cpu_us),
     };
-    sim.set_cpu(gw, CpuModel { per_packet, queue_cap: 256 });
+    sim.set_cpu(
+        gw,
+        CpuModel {
+            per_packet,
+            queue_cap: 256,
+        },
+    );
 
     match cfg.mode {
         ClusterMode::AspGateway | ClusterMode::InterpGateway => {
@@ -183,7 +203,10 @@ pub fn run_http(cfg: &HttpConfig) -> HttpResult {
                 &mut sim,
                 gw,
                 &image,
-                LayerConfig { engine, ..LayerConfig::default() },
+                LayerConfig {
+                    engine,
+                    ..LayerConfig::default()
+                },
             )
             .expect("install gateway ASP");
         }
@@ -222,9 +245,7 @@ pub fn run_http(cfg: &HttpConfig) -> HttpResult {
             }
             fn on_packet(&mut self, _api: &mut netsim::NodeApi<'_>, _pkt: netsim::Packet) {}
             fn on_timer(&mut self, api: &mut netsim::NodeApi<'_>, _key: u64) {
-                for pkt in
-                    planp_runtime::deploy_packets(api.addr(), self.target, 7, self.src)
-                {
+                for pkt in planp_runtime::deploy_packets(api.addr(), self.target, 7, self.src) {
                     api.send(pkt);
                 }
             }
@@ -254,7 +275,10 @@ pub fn run_http(cfg: &HttpConfig) -> HttpResult {
             }
             _ => VIRTUAL_ADDR,
         };
-        sim.add_app(host, Box::new(HttpClientApp::new(target, trace.clone(), port_base)));
+        sim.add_app(
+            host,
+            Box::new(HttpClientApp::new(target, trace.clone(), port_base)),
+        );
     }
 
     match cfg.fail_server1_at_s {
@@ -294,16 +318,22 @@ pub fn run_http(cfg: &HttpConfig) -> HttpResult {
             (label, count)
         })
         .collect();
-    HttpResult {
-        req_per_sec: in_window / window,
-        completed,
-        mean_latency_ms,
-        p50_latency_ms,
-        p95_latency_ms,
-        failed: 0,
-        gw_cpu_drops: sim.node(gw).cpu_drops,
-        per_server,
-    }
+    let metrics = sim.metrics_snapshot();
+    let telemetry = std::mem::take(&mut sim.telemetry);
+    (
+        HttpResult {
+            req_per_sec: in_window / window,
+            completed,
+            mean_latency_ms,
+            p50_latency_ms,
+            p95_latency_ms,
+            failed: 0,
+            gw_cpu_drops: sim.node(gw).cpu_drops,
+            per_server,
+        },
+        telemetry,
+        metrics,
+    )
 }
 
 #[cfg(test)]
@@ -382,9 +412,17 @@ mod tests {
             let s0 = r.per_server[0].1;
             let s1 = r.per_server[1].1;
             assert!(r.req_per_sec > 100.0, "{name}: {} req/s", r.req_per_sec);
-            assert!(s0 > 0.0 && s1 > 0.0, "{name}: both servers used: {:?}", r.per_server);
+            assert!(
+                s0 > 0.0 && s1 > 0.0,
+                "{name}: both servers used: {:?}",
+                r.per_server
+            );
             let skew = (s0 - s1).abs() / (s0 + s1);
-            assert!(skew < 0.35, "{name}: distribution skew {skew} ({:?})", r.per_server);
+            assert!(
+                skew < 0.35,
+                "{name}: distribution skew {skew} ({:?})",
+                r.per_server
+            );
         }
     }
 
@@ -399,7 +437,11 @@ mod tests {
         cfg.redeploy_at = Some((8.0, crate::http::HTTP_GATEWAY_3SRV_ASP));
         let r = run_http(&cfg);
         let s2 = r.per_server[2].1;
-        assert!(s2 > 20.0, "server2 should serve after growth: {:?}", r.per_server);
+        assert!(
+            s2 > 20.0,
+            "server2 should serve after growth: {:?}",
+            r.per_server
+        );
         // Throughput did not collapse across the swap.
         assert!(r.req_per_sec > 150.0, "{} req/s", r.req_per_sec);
 

@@ -107,14 +107,19 @@ impl HttpServerApp {
     /// Starts queued requests while children are free.
     fn schedule(&mut self, api: &mut NodeApi<'_>) {
         while self.active < self.cfg.children {
-            let Some(key) = self.backlog.pop_front() else { break };
-            let Some(conn) = self.conns.get_mut(&key) else { continue };
-            let ConnState::Queued(doc) = conn.state else { continue };
+            let Some(key) = self.backlog.pop_front() else {
+                break;
+            };
+            let Some(conn) = self.conns.get_mut(&key) else {
+                continue;
+            };
+            let ConnState::Queued(doc) = conn.state else {
+                continue;
+            };
             conn.state = ConnState::Serving;
             self.active += 1;
             let size = self.trace.doc_size(doc);
-            let service = self.cfg.base
-                + Duration::from_secs_f64(size as f64 / self.cfg.byte_rate);
+            let service = self.cfg.base + Duration::from_secs_f64(size as f64 / self.cfg.byte_rate);
             let token = self.next_token;
             self.next_token += 1;
             self.tokens.insert(token, key);
@@ -144,21 +149,22 @@ impl App for HttpServerApp {
         let now = api.now();
 
         // New (or replacing a dead) connection on SYN.
-        let is_syn = hdr.has(netsim::packet::tcp_flags::SYN)
-            && !hdr.has(netsim::packet::tcp_flags::ACK);
+        let is_syn =
+            hdr.has(netsim::packet::tcp_flags::SYN) && !hdr.has(netsim::packet::tcp_flags::ACK);
         if is_syn {
             let fresh = !self.conns.contains_key(&key)
-                || matches!(
-                    self.conns[&key].sock.state,
-                    netsim::tcp::TcpState::Closed
-                );
+                || matches!(self.conns[&key].sock.state, netsim::tcp::TcpState::Closed);
             if fresh {
                 if let Some((sock, synack)) =
                     TcpSocket::accept(self.cfg.tcp, (api.addr(), HTTP_PORT), &pkt, now)
                 {
                     self.conns.insert(
                         key,
-                        Conn { sock, state: ConnState::Receiving, buf: Vec::new() },
+                        Conn {
+                            sock,
+                            state: ConnState::Receiving,
+                            buf: Vec::new(),
+                        },
                     );
                     api.send(synack);
                 }
@@ -166,7 +172,9 @@ impl App for HttpServerApp {
             }
         }
 
-        let Some(conn) = self.conns.get_mut(&key) else { return };
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
         let ev = conn.sock.on_segment(&pkt, now);
         let finished_sending =
             conn.state == ConnState::Sending && conn.sock.state == netsim::tcp::TcpState::Closed;
@@ -217,13 +225,17 @@ impl App for HttpServerApp {
             return;
         }
         // A child finished preparing a response.
-        let Some(conn_key) = self.tokens.remove(&key) else { return };
+        let Some(conn_key) = self.tokens.remove(&key) else {
+            return;
+        };
         let now = api.now();
         let Some(conn) = self.conns.get_mut(&conn_key) else {
             self.active -= 1;
             return;
         };
-        let ConnState::Serving = conn.state else { return };
+        let ConnState::Serving = conn.state else {
+            return;
+        };
         let doc = Self::parse_request(&conn.buf).unwrap_or(0);
         let size = self.trace.doc_size(doc);
         let mut resp = format!("LEN {size}\n").into_bytes();

@@ -78,15 +78,16 @@ impl Trace {
             let idx = cdf.partition_point(|&c| c < u).min(spec.n_docs - 1);
             requests.push(idx as u32);
         }
-        Rc::new(Trace { sizes, requests, cursor: Cell::new(0) })
+        Rc::new(Trace {
+            sizes,
+            requests,
+            cursor: Cell::new(0),
+        })
     }
 
     /// Size of document `id` (bytes).
     pub fn doc_size(&self, id: u32) -> usize {
-        self.sizes
-            .get(id as usize)
-            .copied()
-            .unwrap_or(1024)
+        self.sizes.get(id as usize).copied().unwrap_or(1024)
     }
 
     /// The next request in the shared replay (wraps around).
@@ -164,7 +165,10 @@ mod tests {
 
     #[test]
     fn cursor_wraps() {
-        let spec = TraceSpec { n_requests: 3, ..TraceSpec::default() };
+        let spec = TraceSpec {
+            n_requests: 3,
+            ..TraceSpec::default()
+        };
         let t = Trace::generate(&spec, 1);
         let seq: Vec<u32> = (0..7).map(|_| t.next_request()).collect();
         assert_eq!(seq[0], seq[3]);

@@ -92,14 +92,16 @@ impl App for MpegServerApp {
     }
 
     fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: Packet) {
-        let Some(hdr) = pkt.tcp_hdr().copied() else { return };
+        let Some(hdr) = pkt.tcp_hdr().copied() else {
+            return;
+        };
         if hdr.dport != MPEG_CTL_PORT {
             return;
         }
         let Some(key) = ConnKey::of(&pkt) else { return };
         let now = api.now();
-        let is_syn = hdr.has(netsim::packet::tcp_flags::SYN)
-            && !hdr.has(netsim::packet::tcp_flags::ACK);
+        let is_syn =
+            hdr.has(netsim::packet::tcp_flags::SYN) && !hdr.has(netsim::packet::tcp_flags::ACK);
         if is_syn && !self.conns.contains_key(&key) {
             if let Some((sock, synack)) =
                 TcpSocket::accept(TcpConfig::default(), (api.addr(), MPEG_CTL_PORT), &pkt, now)
@@ -109,7 +111,9 @@ impl App for MpegServerApp {
             }
             return;
         }
-        let Some((sock, buf)) = self.conns.get_mut(&key) else { return };
+        let Some((sock, buf)) = self.conns.get_mut(&key) else {
+            return;
+        };
         let ev = sock.on_segment(&pkt, now);
         buf.extend_from_slice(&sock.take_received());
         // Parse "PLAY <file> <port>\n".
@@ -178,6 +182,7 @@ impl App for MpegServerApp {
                 transport: netsim::Transport::Udp(UdpHdr::new(MPEG_CTL_PORT, s.port)),
                 payload,
                 tag: None,
+                id: 0,
             };
             api.send(pkt);
         }
@@ -297,9 +302,10 @@ impl App for MpegClientApp {
                         i64::from_be_bytes(pkt.payload[4..12].try_into().expect("len")) as u16;
                     let slen =
                         u16::from_be_bytes(pkt.payload[12..14].try_into().expect("len")) as usize;
-                    let setup =
-                        String::from_utf8_lossy(&pkt.payload[14..14 + slen.min(pkt.payload.len() - 14)])
-                            .into_owned();
+                    let setup = String::from_utf8_lossy(
+                        &pkt.payload[14..14 + slen.min(pkt.payload.len() - 14)],
+                    )
+                    .into_owned();
                     if host == 0 {
                         self.connect_direct(api);
                     } else {
@@ -309,7 +315,13 @@ impl App for MpegClientApp {
                         cap.put_u32(host);
                         cap.put_i64(port as i64);
                         let me = api.addr();
-                        api.send(Packet::udp(me, me, CAPTURE_CTL_PORT, CAPTURE_CTL_PORT, cap.freeze()));
+                        api.send(Packet::udp(
+                            me,
+                            me,
+                            CAPTURE_CTL_PORT,
+                            CAPTURE_CTL_PORT,
+                            cap.freeze(),
+                        ));
                         let mut st = self.stats.borrow_mut();
                         st.shared = true;
                         st.setup = setup;
@@ -350,7 +362,9 @@ impl App for MpegClientApp {
         }
         // Video frames (direct or captured): identified by the file id.
         if let Some(_u) = pkt.udp_hdr() {
-            if pkt.payload.len() >= 9 && pkt.payload[0] == self.file && self.phase == ClientPhase::Watching
+            if pkt.payload.len() >= 9
+                && pkt.payload[0] == self.file
+                && self.phase == ClientPhase::Watching
             {
                 let seq = i64::from_be_bytes(pkt.payload[1..9].try_into().expect("len"));
                 if seq > self.watched_seq {
@@ -366,29 +380,26 @@ impl App for MpegClientApp {
     fn on_timer(&mut self, api: &mut NodeApi<'_>, key: u64) {
         let now = api.now();
         match key {
-            START_KEY => {
-                match self.monitor {
-                    Some(mon) => {
-                        self.phase = ClientPhase::Querying;
-                        self.query_sent = now;
-                        let q = format!("Q {}\n", self.file);
-                        api.send(Packet::udp(
-                            api.addr(),
-                            mon,
-                            MONITOR_QUERY_PORT,
-                            MONITOR_QUERY_PORT,
-                            Bytes::from(q.into_bytes()),
-                        ));
-                        api.set_timer(Duration::from_millis(300), QUERY_TIMEOUT_KEY);
-                    }
-                    None => self.connect_direct(api),
+            START_KEY => match self.monitor {
+                Some(mon) => {
+                    self.phase = ClientPhase::Querying;
+                    self.query_sent = now;
+                    let q = format!("Q {}\n", self.file);
+                    api.send(Packet::udp(
+                        api.addr(),
+                        mon,
+                        MONITOR_QUERY_PORT,
+                        MONITOR_QUERY_PORT,
+                        Bytes::from(q.into_bytes()),
+                    ));
+                    api.set_timer(Duration::from_millis(300), QUERY_TIMEOUT_KEY);
                 }
+                None => self.connect_direct(api),
+            },
+            QUERY_TIMEOUT_KEY if self.phase == ClientPhase::Querying => {
+                // No monitor answer: fall back to a direct connection.
+                self.connect_direct(api);
             }
-            QUERY_TIMEOUT_KEY
-                if self.phase == ClientPhase::Querying => {
-                    // No monitor answer: fall back to a direct connection.
-                    self.connect_direct(api);
-                }
             CLIENT_TICK_KEY => {
                 if let Some(sock) = self.ctl.as_mut() {
                     let ev = sock.on_tick(now);

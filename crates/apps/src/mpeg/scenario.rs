@@ -17,6 +17,7 @@ use netsim::packet::addr;
 use netsim::{LinkSpec, Sim, SimTime};
 use planp_analysis::Policy;
 use planp_runtime::{install_planp, load, LayerConfig};
+use planp_telemetry::{MetricsSnapshot, Telemetry, TraceConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
@@ -70,7 +71,18 @@ pub struct MpegResult {
 ///
 /// Panics if the shipped ASPs fail verification.
 pub fn run_mpeg(cfg: &MpegConfig) -> MpegResult {
+    run_mpeg_traced(cfg, TraceConfig::default()).0
+}
+
+/// Like [`run_mpeg`], with event tracing enabled per `trace`. Also
+/// returns the telemetry bundle (event log + raw metrics) and the final
+/// metrics snapshot, both deterministic for a given seed.
+pub fn run_mpeg_traced(
+    cfg: &MpegConfig,
+    trace: TraceConfig,
+) -> (MpegResult, Telemetry, MetricsSnapshot) {
     let mut sim = Sim::new(cfg.seed);
+    sim.telemetry.trace.configure(trace);
 
     let server = sim.add_host("server", addr(10, 0, 0, 1));
     let router = sim.add_router("router", addr(10, 0, 0, 254));
@@ -84,7 +96,11 @@ pub fn run_mpeg(cfg: &MpegConfig) -> MpegResult {
     let mut seg = vec![router, monitor];
     seg.extend(&clients);
     sim.add_link(
-        LinkSpec { kbps: 10_000, delay: Duration::from_micros(100), queue_pkts: 128 },
+        LinkSpec {
+            kbps: 10_000,
+            delay: Duration::from_micros(100),
+            queue_pkts: 128,
+        },
         &seg,
     );
     sim.compute_routes();
@@ -94,16 +110,21 @@ pub fn run_mpeg(cfg: &MpegConfig) -> MpegResult {
             load(MPEG_MONITOR_ASP, Policy::no_delivery()).expect("monitor ASP verifies");
         let capture_asp =
             load(MPEG_CAPTURE_ASP, Policy::no_delivery()).expect("capture ASP verifies");
-        let promiscuous = LayerConfig { process_overheard: true, ..LayerConfig::default() };
-        install_planp(&mut sim, monitor, &monitor_asp, promiscuous)
-            .expect("install monitor");
+        let promiscuous = LayerConfig {
+            process_overheard: true,
+            ..LayerConfig::default()
+        };
+        install_planp(&mut sim, monitor, &monitor_asp, promiscuous).expect("install monitor");
         for &c in &clients {
             install_planp(&mut sim, c, &capture_asp, promiscuous).expect("install capture");
         }
     }
 
     let server_stats = Rc::new(RefCell::new(MpegServerStats::default()));
-    sim.add_app(server, Box::new(MpegServerApp::new(server_stats.clone(), cfg.stream_len)));
+    sim.add_app(
+        server,
+        Box::new(MpegServerApp::new(server_stats.clone(), cfg.stream_len)),
+    );
 
     let monitor_addr = cfg.use_asps.then_some(addr(10, 0, 1, 100));
     let mut client_stats = Vec::new();
@@ -131,7 +152,9 @@ pub fn run_mpeg(cfg: &MpegConfig) -> MpegResult {
         clients: client_stats.iter().map(|s| s.borrow().clone()).collect(),
         uplink_bytes: sim.link(uplink).tx_bytes,
     };
-    result
+    let metrics = sim.metrics_snapshot();
+    let telemetry = std::mem::take(&mut sim.telemetry);
+    (result, telemetry, metrics)
 }
 
 #[cfg(test)]

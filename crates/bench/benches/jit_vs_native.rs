@@ -23,7 +23,11 @@ fn audio_packet() -> Value {
     payload.extend_from_slice(&5i64.to_be_bytes());
     payload.extend_from_slice(&vec![0x11u8; 1100]);
     Value::tuple(vec![
-        Value::Ip(IpHdr::new(addr(10, 0, 0, 1), addr(224, 1, 2, 3), IpHdr::PROTO_UDP)),
+        Value::Ip(IpHdr::new(
+            addr(10, 0, 0, 1),
+            addr(224, 1, 2, 3),
+            IpHdr::PROTO_UDP,
+        )),
         Value::Udp(UdpHdr::new(7777, 7777)),
         Value::Blob(Bytes::from(payload)),
     ])
@@ -31,7 +35,11 @@ fn audio_packet() -> Value {
 
 fn http_packet() -> Value {
     Value::tuple(vec![
-        Value::Ip(IpHdr::new(addr(10, 0, 1, 10), addr(10, 9, 9, 9), IpHdr::PROTO_TCP)),
+        Value::Ip(IpHdr::new(
+            addr(10, 0, 1, 10),
+            addr(10, 9, 9, 9),
+            IpHdr::PROTO_TCP,
+        )),
         Value::Tcp(TcpHdr::data(12345, 80, 7)),
         Value::Blob(Bytes::from_static(b"GET /doc/1\n")),
     ])
@@ -40,8 +48,12 @@ fn http_packet() -> Value {
 /// The native ("built-in C") audio degradation, equivalent to the ASP
 /// body under high load.
 fn native_audio(pkt: &Value, env: &mut MockEnv) -> Value {
-    let Value::Tuple(parts) = pkt else { unreachable!() };
-    let Value::Blob(body) = &parts[2] else { unreachable!() };
+    let Value::Tuple(parts) = pkt else {
+        unreachable!()
+    };
+    let Value::Blob(body) = &parts[2] else {
+        unreachable!()
+    };
     let util = env.load * 100 / (env.capacity + 1);
     if util > 80 && body.len() > 9 && body[0] == 0 {
         let pcm = audio::pcm16_to_8(&audio::stereo_to_mono(&body[9..]));
@@ -74,7 +86,14 @@ fn bench_engines(c: &mut Criterion) {
             env.effects.clear();
             let r = lp
                 .compiled
-                .run_channel(0, &globals, Value::Int(0), Value::Unit, black_box(pkt.clone()), &mut env)
+                .run_channel(
+                    0,
+                    &globals,
+                    Value::Int(0),
+                    Value::Unit,
+                    black_box(pkt.clone()),
+                    &mut env,
+                )
                 .expect("runs");
             black_box(r)
         })
@@ -84,7 +103,14 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| {
             env.effects.clear();
             let r = interp
-                .run_channel(0, &globals, Value::Int(0), Value::Unit, black_box(pkt.clone()), &mut env)
+                .run_channel(
+                    0,
+                    &globals,
+                    Value::Int(0),
+                    Value::Unit,
+                    black_box(pkt.clone()),
+                    &mut env,
+                )
                 .expect("runs");
             black_box(r)
         })
@@ -117,7 +143,14 @@ fn bench_engines(c: &mut Criterion) {
             env.effects.clear();
             let r = lp
                 .compiled
-                .run_channel(net_idx, &globals, Value::Int(0), ss0.clone(), black_box(pkt.clone()), &mut env)
+                .run_channel(
+                    net_idx,
+                    &globals,
+                    Value::Int(0),
+                    ss0.clone(),
+                    black_box(pkt.clone()),
+                    &mut env,
+                )
                 .expect("runs");
             black_box(r)
         })
@@ -127,7 +160,14 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| {
             env.effects.clear();
             let r = interp
-                .run_channel(net_idx, &globals, Value::Int(0), ss0.clone(), black_box(pkt.clone()), &mut env)
+                .run_channel(
+                    net_idx,
+                    &globals,
+                    Value::Int(0),
+                    ss0.clone(),
+                    black_box(pkt.clone()),
+                    &mut env,
+                )
                 .expect("runs");
             black_box(r)
         })
@@ -136,7 +176,9 @@ fn bench_engines(c: &mut Criterion) {
     let mut table: std::collections::HashMap<(u32, u16), u32> = std::collections::HashMap::new();
     group.bench_function("native", |b| {
         b.iter(|| {
-            let Value::Tuple(parts) = black_box(&pkt) else { unreachable!() };
+            let Value::Tuple(parts) = black_box(&pkt) else {
+                unreachable!()
+            };
             let (Value::Ip(ip), Value::Tcp(tcp)) = (&parts[0], &parts[1]) else {
                 unreachable!()
             };

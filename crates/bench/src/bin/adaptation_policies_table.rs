@@ -7,24 +7,37 @@
 //! ```
 
 use planp_apps::audio::{
-    run_audio, Adaptation, AudioConfig, LoadPhase, AUDIO_ROUTER_ASP,
+    run_audio_traced, Adaptation, AudioConfig, LoadPhase, AUDIO_ROUTER_ASP,
     AUDIO_ROUTER_HYSTERESIS_ASP, AUDIO_ROUTER_QUEUE_ASP,
 };
-use planp_bench::render_table;
+use planp_bench::{emit_bench, render_table, BenchOpts};
+use planp_telemetry::{MetricsSnapshot, TraceConfig};
 
-fn run(router_src: Option<&'static str>, kbps: u64) -> planp_apps::audio::AudioResult {
-    run_audio(&AudioConfig {
-        adaptation: Adaptation::AspJit,
-        phases: vec![LoadPhase { from_s: 5.0, to_s: 90.0, kbps }],
-        jitter_pct: 6,
-        duration_s: 90,
-        seed: 7,
-        router_src,
-        dual_segment: false,
-    })
+fn run(
+    router_src: Option<&'static str>,
+    kbps: u64,
+) -> (planp_apps::audio::AudioResult, MetricsSnapshot) {
+    let (r, _telemetry, metrics) = run_audio_traced(
+        &AudioConfig {
+            adaptation: Adaptation::AspJit,
+            phases: vec![LoadPhase {
+                from_s: 5.0,
+                to_s: 90.0,
+                kbps,
+            }],
+            jitter_pct: 6,
+            duration_s: 90,
+            seed: 7,
+            router_src,
+            dual_segment: false,
+        },
+        TraceConfig::default(),
+    );
+    (r, metrics)
 }
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("Audio adaptation policies under medium (7750 kb/s) and large (9560 kb/s) load\n");
 
     let policies: [(&str, Option<&'static str>); 3] = [
@@ -33,10 +46,21 @@ fn main() {
         ("queue length", Some(AUDIO_ROUTER_QUEUE_ASP)),
     ];
 
+    let mut scalars: Vec<(String, f64)> = Vec::new();
+    let mut paper_metrics = MetricsSnapshot::default();
     for (label, kbps) in [("medium", 7750u64), ("large", 9560)] {
         let mut rows = Vec::new();
         for (name, src) in policies {
-            let r = run(src, kbps);
+            let (r, metrics) = run(src, kbps);
+            let key = name.split_whitespace().next().unwrap_or(name);
+            scalars.push((format!("{key}_{label}_kbps"), r.avg_kbps(10.0, 90.0)));
+            scalars.push((
+                format!("{key}_{label}_flaps"),
+                r.stats.format_changes as f64,
+            ));
+            if src.is_none() && kbps == 9560 {
+                paper_metrics = metrics;
+            }
             rows.push(vec![
                 name.to_string(),
                 format!("{:.0}", r.avg_kbps(10.0, 90.0)),
@@ -66,4 +90,12 @@ fn main() {
     ] {
         println!("  {name}: {} lines of PLAN-P", planp_lang::count_lines(src));
     }
+
+    let scalar_refs: Vec<(&str, f64)> = scalars.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_bench(
+        opts,
+        "adaptation_policies_table",
+        &scalar_refs,
+        &paper_metrics,
+    );
 }

@@ -5,8 +5,9 @@
 //! cargo run --release -p planp-bench --bin fig3_codegen_table
 //! ```
 
-use planp_bench::{paper_programs, render_table, PAPER_FIG3};
+use planp_bench::{emit_bench, paper_programs, render_table, BenchOpts, PAPER_FIG3};
 use planp_lang::{compile_front, count_lines};
+use planp_telemetry::MetricsSnapshot;
 use planp_vm::jit;
 use std::rc::Rc;
 use std::time::Instant;
@@ -17,6 +18,7 @@ fn median(mut samples: Vec<f64>) -> f64 {
 }
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("Figure 3 — code generation time for PLAN-P programs");
     println!("(paper: Tempo template assembly on a 1998 SPARC; ours: closure-threading JIT)\n");
 
@@ -80,11 +82,33 @@ fn main() {
     // Shape check: generation time should grow with program size, as in
     // the paper (the correlation of lines vs time should be positive).
     let n = ours.len() as f64;
-    let (sx, sy): (f64, f64) = ours.iter().fold((0.0, 0.0), |a, &(x, y)| (a.0 + x, a.1 + y));
+    let (sx, sy): (f64, f64) = ours
+        .iter()
+        .fold((0.0, 0.0), |a, &(x, y)| (a.0 + x, a.1 + y));
     let (mx, my) = (sx / n, sy / n);
     let cov: f64 = ours.iter().map(|&(x, y)| (x - mx) * (y - my)).sum();
     let vx: f64 = ours.iter().map(|&(x, _)| (x - mx) * (x - mx)).sum();
     let vy: f64 = ours.iter().map(|&(_, y)| (y - my) * (y - my)).sum();
     let corr = cov / (vx.sqrt() * vy.sqrt());
     println!("lines-vs-time correlation: {corr:.2} (paper's table implies strong positive)");
+
+    // No simulator runs here — only wall-clock codegen scalars (which
+    // vary by machine; the JSON is for trend tracking, not determinism).
+    let scalars: Vec<(String, f64)> = paper_programs()
+        .iter()
+        .zip(&ours)
+        .map(|((name, _, _), &(_lines, us))| {
+            let key = name
+                .to_lowercase()
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+            (format!("{key}_codegen_us"), us)
+        })
+        .collect();
+    let scalar_refs: Vec<(&str, f64)> = scalars.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_bench(
+        opts,
+        "fig3_codegen_table",
+        &scalar_refs,
+        &MetricsSnapshot::default(),
+    );
 }

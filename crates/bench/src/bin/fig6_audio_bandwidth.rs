@@ -6,15 +6,17 @@
 //! cargo run --release -p planp-bench --bin fig6_audio_bandwidth
 //! ```
 
-use planp_apps::audio::{run_audio, Adaptation, AudioConfig, LoadPhase};
-use planp_bench::render_table;
+use planp_apps::audio::{run_audio, run_audio_traced, Adaptation, AudioConfig, LoadPhase};
+use planp_bench::{emit_bench, render_table, BenchOpts};
+use planp_telemetry::TraceConfig;
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("Figure 6 — measured audio bandwidth vs time (ASP adaptation in the router)");
     println!("paper: 176 kb/s -> 44 kb/s at t=100s -> 44-88 kb/s at t=220s -> 88 kb/s at t=340s\n");
 
     let cfg = AudioConfig::figure6(Adaptation::AspJit);
-    let r = run_audio(&cfg);
+    let (r, _telemetry, metrics) = run_audio_traced(&cfg, TraceConfig::default());
 
     // Ten-second buckets of the per-second series.
     let mut rows = Vec::new();
@@ -57,6 +59,7 @@ fn main() {
         "frames by wire format [16-bit stereo, 16-bit mono, 8-bit mono]: {:?}",
         r.stats.by_format
     );
+    let (frames, gaps, segment_drops) = (r.stats.frames, r.stats.gaps, r.segment_drops);
 
     // Figure 5's per-segment claim: while one segment is overloaded and
     // its audio degraded, a quiet segment behind another router keeps
@@ -65,7 +68,11 @@ fn main() {
     println!("\nper-segment adaptation (figure 5):");
     let r = run_audio(&AudioConfig {
         adaptation: Adaptation::AspJit,
-        phases: vec![LoadPhase { from_s: 10.0, to_s: 60.0, kbps: 9450 }],
+        phases: vec![LoadPhase {
+            from_s: 10.0,
+            to_s: 60.0,
+            kbps: 9450,
+        }],
         jitter_pct: 0,
         duration_s: 60,
         seed: 3,
@@ -86,5 +93,20 @@ fn main() {
     println!(
         "  quiet segment client : {:>5.0} kb/s   (untouched 16-bit stereo)",
         quiet_avg
+    );
+
+    emit_bench(
+        opts,
+        "fig6_audio_bandwidth",
+        &[
+            ("no_load_kbps", phases[0].1),
+            ("large_load_kbps", phases[1].1),
+            ("medium_load_kbps", phases[2].1),
+            ("small_load_kbps", phases[3].1),
+            ("frames", frames as f64),
+            ("gaps", gaps as f64),
+            ("segment_drops", segment_drops as f64),
+        ],
+        &metrics,
     );
 }

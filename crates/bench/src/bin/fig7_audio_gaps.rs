@@ -5,16 +5,21 @@
 //! cargo run --release -p planp-bench --bin fig7_audio_gaps
 //! ```
 
-use planp_apps::audio::{run_audio, Adaptation, AudioConfig, LoadPhase};
-use planp_bench::render_table;
+use planp_apps::audio::{run_audio_traced, Adaptation, AudioConfig, LoadPhase};
+use planp_bench::{emit_bench, render_table, BenchOpts};
+use planp_telemetry::{MetricsSnapshot, TraceConfig};
 
-fn run(adaptation: Adaptation, kbps: u64) -> (u64, u64, f64) {
+fn run(adaptation: Adaptation, kbps: u64) -> (u64, u64, f64, MetricsSnapshot) {
     let cfg = AudioConfig {
         adaptation,
         phases: if kbps == 0 {
             vec![]
         } else {
-            vec![LoadPhase { from_s: 5.0, to_s: 120.0, kbps }]
+            vec![LoadPhase {
+                from_s: 5.0,
+                to_s: 120.0,
+                kbps,
+            }]
         },
         jitter_pct: 4,
         duration_s: 120,
@@ -22,11 +27,17 @@ fn run(adaptation: Adaptation, kbps: u64) -> (u64, u64, f64) {
         router_src: None,
         dual_segment: false,
     };
-    let r = run_audio(&cfg);
-    (r.stats.gaps, r.segment_drops, r.avg_kbps(10.0, 120.0))
+    let (r, _telemetry, metrics) = run_audio_traced(&cfg, TraceConfig::default());
+    (
+        r.stats.gaps,
+        r.segment_drops,
+        r.avg_kbps(10.0, 120.0),
+        metrics,
+    )
 }
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("Figure 7 — silent periods during 120 s of playback");
     println!("(paper: adaptation greatly reduces gaps under load)\n");
 
@@ -41,10 +52,19 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut scalars: Vec<(String, f64)> = Vec::new();
+    let mut large_load_metrics = MetricsSnapshot::default();
     for (name, kbps) in levels {
-        let (gaps_on, drops_on, bw_on) = run(Adaptation::AspJit, kbps);
-        let (gaps_native, _, _) = run(Adaptation::Native, kbps);
-        let (gaps_off, drops_off, bw_off) = run(Adaptation::Off, kbps);
+        let (gaps_on, drops_on, bw_on, metrics) = run(Adaptation::AspJit, kbps);
+        let (gaps_native, _, _, _) = run(Adaptation::Native, kbps);
+        let (gaps_off, drops_off, bw_off, _) = run(Adaptation::Off, kbps);
+        let key = name.replace(' ', "_");
+        scalars.push((format!("{key}_gaps_asp"), gaps_on as f64));
+        scalars.push((format!("{key}_gaps_native"), gaps_native as f64));
+        scalars.push((format!("{key}_gaps_off"), gaps_off as f64));
+        if kbps == 9560 {
+            large_load_metrics = metrics;
+        }
         rows.push(vec![
             name.to_string(),
             gaps_on.to_string(),
@@ -73,5 +93,10 @@ fn main() {
         )
     );
     println!("expected shape: gaps(ASP) ≈ gaps(native) << gaps(off) at large load;");
-    println!("ASP bandwidth drops to the degraded rate under load, no-adaptation stays at ~177 kb/s.");
+    println!(
+        "ASP bandwidth drops to the degraded rate under load, no-adaptation stays at ~177 kb/s."
+    );
+
+    let scalar_refs: Vec<(&str, f64)> = scalars.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_bench(opts, "fig7_audio_gaps", &scalar_refs, &large_load_metrics);
 }

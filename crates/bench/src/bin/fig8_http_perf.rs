@@ -8,10 +8,12 @@
 //! cargo run --release -p planp-bench --bin fig8_http_perf
 //! ```
 
-use planp_apps::http::{run_http, ClusterMode, HttpConfig};
-use planp_bench::render_table;
+use planp_apps::http::{run_http, run_http_traced, ClusterMode, HttpConfig};
+use planp_bench::{emit_bench, render_table, BenchOpts};
+use planp_telemetry::TraceConfig;
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("Figure 8 — HTTP server performance (requests/second)");
     println!("(paper: ASP == built-in C; cluster = 1.75 x single server = 85% of two servers)\n");
 
@@ -43,13 +45,18 @@ fn main() {
         .collect();
     println!("{}", render_table(&headers, &rows));
 
-    // Latency distribution at the 16-client point (the knee).
+    // Latency distribution at the 16-client point (the knee). The ASP
+    // gateway run also supplies the metrics snapshot for --json/--report.
     println!("latency at 16 clients (ms):");
+    let mut knee_metrics = None;
     for (name, mode) in modes.iter().take(4) {
         let mut cfg = HttpConfig::new(*mode, 16);
         cfg.duration_s = 20;
         cfg.warmup_s = 5.0;
-        let r = run_http(&cfg);
+        let (r, _telemetry, metrics) = run_http_traced(&cfg, TraceConfig::default());
+        if *mode == ClusterMode::AspGateway {
+            knee_metrics = Some(metrics);
+        }
         println!(
             "  {name:>20}: mean {:>4.0}  p50 {:>4.0}  p95 {:>4.0}",
             r.mean_latency_ms, r.p50_latency_ms, r.p95_latency_ms
@@ -60,7 +67,30 @@ fn main() {
     let peak = |i: usize| -> f64 { results[i].iter().cloned().fold(0.0, f64::max) };
     let (a, b, c, d) = (peak(0), peak(1), peak(2), peak(3));
     println!("peak throughput: single {a:.0}, ASP gw {b:.0}, C gw {c:.0}, disjoint {d:.0} req/s");
-    println!("  ASP vs built-in C gateway : {:+.1}%  (paper: ~0%)", (b - c) / c * 100.0);
-    println!("  cluster vs single server  : {:.2}x   (paper: 1.75x)", b / a);
-    println!("  cluster vs two servers    : {:.0}%   (paper: 85%)", b / d * 100.0);
+    println!(
+        "  ASP vs built-in C gateway : {:+.1}%  (paper: ~0%)",
+        (b - c) / c * 100.0
+    );
+    println!(
+        "  cluster vs single server  : {:.2}x   (paper: 1.75x)",
+        b / a
+    );
+    println!(
+        "  cluster vs two servers    : {:.0}%   (paper: 85%)",
+        b / d * 100.0
+    );
+
+    emit_bench(
+        opts,
+        "fig8_http_perf",
+        &[
+            ("peak_single_rps", a),
+            ("peak_asp_gateway_rps", b),
+            ("peak_native_gateway_rps", c),
+            ("peak_disjoint_rps", d),
+            ("asp_vs_native_pct", (b - c) / c * 100.0),
+            ("cluster_vs_single_x", b / a),
+        ],
+        &knee_metrics.unwrap_or_default(),
+    );
 }

@@ -7,12 +7,14 @@
 //! ```
 
 use planp_apps::http::{
-    run_http, ClusterMode, HttpConfig, HTTP_GATEWAY_ASP, HTTP_GATEWAY_PORTHASH_ASP,
+    run_http_traced, ClusterMode, HttpConfig, HTTP_GATEWAY_ASP, HTTP_GATEWAY_PORTHASH_ASP,
     HTTP_GATEWAY_RANDOM_ASP,
 };
-use planp_bench::render_table;
+use planp_bench::{emit_bench, render_table, BenchOpts};
+use planp_telemetry::{MetricsSnapshot, TraceConfig};
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("Load-balancing strategies (swap the gateway ASP, nothing else changes)\n");
 
     let strategies = [
@@ -22,12 +24,21 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut scalars: Vec<(String, f64)> = Vec::new();
+    let mut modulo_metrics = MetricsSnapshot::default();
     for (name, src) in strategies {
         let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 16);
         cfg.duration_s = 20;
         cfg.warmup_s = 5.0;
         cfg.gateway_src = Some(src);
-        let r = run_http(&cfg);
+        let (r, _telemetry, metrics) = run_http_traced(&cfg, TraceConfig::default());
+        if std::ptr::eq(src, HTTP_GATEWAY_ASP) {
+            modulo_metrics = metrics;
+        }
+        scalars.push((
+            format!("{}_rps", name.split_whitespace().next().unwrap_or(name)),
+            r.req_per_sec,
+        ));
         let s0 = r.per_server[0].1;
         let s1 = r.per_server[1].1;
         let skew = if s0 + s1 > 0.0 {
@@ -47,10 +58,20 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["strategy", "req/s", "latency ms", "server0", "server1", "skew"],
+            &[
+                "strategy",
+                "req/s",
+                "latency ms",
+                "server0",
+                "server1",
+                "skew"
+            ],
             &rows
         )
     );
     println!("expected shape: all strategies reach the same gateway-bound throughput;");
     println!("modulo splits connections most evenly, random shows mild skew.");
+
+    let scalar_refs: Vec<(&str, f64)> = scalars.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_bench(opts, "lb_strategies_table", &scalar_refs, &modulo_metrics);
 }

@@ -7,16 +7,30 @@
 //! cargo run --release -p planp-bench --bin mpeg_sharing_table
 //! ```
 
-use planp_apps::mpeg::{run_mpeg, MpegConfig};
-use planp_bench::render_table;
+use planp_apps::mpeg::{run_mpeg_traced, MpegConfig};
+use planp_bench::{emit_bench, render_table, BenchOpts};
+use planp_telemetry::{MetricsSnapshot, TraceConfig};
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("Section 3.3 — multipoint MPEG delivery from a point-to-point server\n");
 
     let mut rows = Vec::new();
+    let mut scalars: Vec<(String, f64)> = Vec::new();
+    let mut last_asp_metrics = MetricsSnapshot::default();
     for clients in 1..=4usize {
         for use_asps in [false, true] {
-            let r = run_mpeg(&MpegConfig::new(clients, use_asps));
+            let (r, _telemetry, metrics) =
+                run_mpeg_traced(&MpegConfig::new(clients, use_asps), TraceConfig::default());
+            let mode = if use_asps { "asps" } else { "direct" };
+            scalars.push((format!("{mode}_{clients}_streams"), r.server.streams as f64));
+            scalars.push((
+                format!("{mode}_{clients}_uplink_mb"),
+                r.uplink_bytes as f64 / 1e6,
+            ));
+            if use_asps {
+                last_asp_metrics = metrics;
+            }
             let min_frames = r.clients.iter().map(|c| c.frames).min().unwrap_or(0);
             let shared = r.clients.iter().filter(|c| c.shared).count();
             rows.push(vec![
@@ -47,4 +61,7 @@ fn main() {
     );
     println!("expected shape: with ASPs the server always opens exactly 1 stream and its");
     println!("egress is flat in the number of viewers; direct mode scales linearly.");
+
+    let scalar_refs: Vec<(&str, f64)> = scalars.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_bench(opts, "mpeg_sharing_table", &scalar_refs, &last_asp_metrics);
 }

@@ -1,0 +1,183 @@
+//! `planp-trace` — replay a scenario deterministically and dump its
+//! structured event log.
+//!
+//! ```text
+//! cargo run --release -p planp-bench --bin planp_trace -- \
+//!     --scenario audio --seed 7 --categories drop,dispatch --limit 50
+//! ```
+//!
+//! Options:
+//!
+//! * `--scenario audio|http|mpeg` — which experiment to replay
+//!   (default `audio`, a short constant-load run).
+//! * `--seed N` — simulation seed (default: the scenario's default).
+//! * `--duration N` — simulated seconds (default 20; mpeg always 22).
+//! * `--categories LIST` — comma-separated event categories to record
+//!   (`link,hop,deliver,drop,dispatch,exception,timer` or `all`;
+//!   default `all`).
+//! * `--limit N` — print at most the last N events (default: all held).
+//! * `--jsonl` — machine form: one JSON object per line instead of the
+//!   human table.
+//! * `--metrics` — after the events, dump the metrics snapshot as JSON.
+//!
+//! Same seed ⇒ byte-identical output; the workspace determinism tests
+//! assert this property on the underlying log.
+
+use planp_apps::audio::{run_audio_traced, Adaptation, AudioConfig};
+use planp_apps::http::{run_http_traced, ClusterMode, HttpConfig};
+use planp_apps::mpeg::{run_mpeg_traced, MpegConfig};
+use planp_telemetry::{Category, MetricsSnapshot, Telemetry, TraceConfig};
+
+struct Args {
+    scenario: String,
+    seed: Option<u64>,
+    duration_s: u64,
+    categories: Category,
+    limit: Option<usize>,
+    jsonl: bool,
+    metrics: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "audio".to_string(),
+        seed: None,
+        duration_s: 20,
+        categories: Category::ALL,
+        limit: None,
+        jsonl: false,
+        metrics: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scenario" => {
+                args.scenario = value(&argv, i, "--scenario")?;
+                i += 1;
+            }
+            "--seed" => {
+                let v = value(&argv, i, "--seed")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+                i += 1;
+            }
+            "--duration" => {
+                let v = value(&argv, i, "--duration")?;
+                args.duration_s = v.parse().map_err(|_| format!("bad duration {v:?}"))?;
+                i += 1;
+            }
+            "--categories" => {
+                args.categories = Category::from_list(&value(&argv, i, "--categories")?)?;
+                i += 1;
+            }
+            "--limit" => {
+                let v = value(&argv, i, "--limit")?;
+                args.limit = Some(v.parse().map_err(|_| format!("bad limit {v:?}"))?);
+                i += 1;
+            }
+            "--jsonl" => args.jsonl = true,
+            "--metrics" => args.metrics = true,
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+const HELP: &str = "\
+planp-trace: replay a scenario and dump its structured event log
+  --scenario audio|http|mpeg   experiment to replay (default audio)
+  --seed N                     simulation seed
+  --duration N                 simulated seconds (default 20)
+  --categories LIST            link,hop,deliver,drop,dispatch,exception,timer|all
+  --limit N                    print at most the last N events
+  --jsonl                      one JSON object per line (machine form)
+  --metrics                    also dump the metrics snapshot as JSON
+";
+
+fn replay(args: &Args) -> Result<(Telemetry, MetricsSnapshot), String> {
+    let trace = TraceConfig {
+        categories: args.categories,
+        ..TraceConfig::default()
+    };
+    match args.scenario.as_str() {
+        "audio" => {
+            let mut cfg = AudioConfig::constant_load(Adaptation::AspJit, 9450, args.duration_s);
+            if let Some(seed) = args.seed {
+                cfg.seed = seed;
+            }
+            let (_, telemetry, metrics) = run_audio_traced(&cfg, trace);
+            Ok((telemetry, metrics))
+        }
+        "http" => {
+            let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 8);
+            cfg.duration_s = args.duration_s;
+            if let Some(seed) = args.seed {
+                cfg.seed = seed;
+            }
+            let (_, telemetry, metrics) = run_http_traced(&cfg, trace);
+            Ok((telemetry, metrics))
+        }
+        "mpeg" => {
+            let mut cfg = MpegConfig::new(3, true);
+            if let Some(seed) = args.seed {
+                cfg.seed = seed;
+            }
+            let (_, telemetry, metrics) = run_mpeg_traced(&cfg, trace);
+            Ok((telemetry, metrics))
+        }
+        other => Err(format!("unknown scenario {other:?} (audio, http, mpeg)")),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("planp-trace: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (telemetry, metrics) = match replay(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("planp-trace: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let held = telemetry.trace.len();
+    let skip = match args.limit {
+        Some(n) => held.saturating_sub(n),
+        None => 0,
+    };
+    let mut line = String::new();
+    for ev in telemetry.trace.events().skip(skip) {
+        if args.jsonl {
+            line.clear();
+            ev.write_json(&mut line);
+            println!("{line}");
+        } else {
+            println!("{ev}");
+        }
+    }
+    eprintln!(
+        "{} events recorded, {} evicted, {} held, {} printed",
+        telemetry.trace.recorded(),
+        telemetry.trace.evicted(),
+        held,
+        held - skip
+    );
+    if args.metrics {
+        println!("{}", metrics.to_json());
+    }
+}

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 use planp_analysis::Policy;
+use planp_telemetry::MetricsSnapshot;
 
 /// The five PLAN-P programs measured by the paper's figure 3, with the
 /// verification policy each loads under.
@@ -56,6 +57,71 @@ pub const PAPER_FIG3: [(&str, u32, f64); 5] = [
     ("MPEG (monitor)", 161, 33.9),
     ("MPEG (client)", 53, 6.1),
 ];
+
+/// Telemetry output options shared by every bench bin.
+///
+/// * `--report` prints the run's metrics snapshot as a table after the
+///   figure itself.
+/// * `--json` (or `PLANP_BENCH_JSON=1`) writes a deterministic
+///   `BENCH_<name>.json` file — headline scalars plus the full metrics
+///   snapshot — in the current directory, for machine consumption (the
+///   CI workflow uploads these as artifacts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchOpts {
+    /// Write `BENCH_<name>.json`.
+    pub json: bool,
+    /// Print the metrics table on stdout.
+    pub report: bool,
+}
+
+impl BenchOpts {
+    /// Parses `--json` / `--report` from the process arguments; the
+    /// `PLANP_BENCH_JSON=1` environment variable also enables `json`.
+    pub fn from_args() -> Self {
+        let mut opts = BenchOpts::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--json" => opts.json = true,
+                "--report" => opts.report = true,
+                _ => {}
+            }
+        }
+        if std::env::var("PLANP_BENCH_JSON").as_deref() == Ok("1") {
+            opts.json = true;
+        }
+        opts
+    }
+}
+
+/// Emits a bench bin's telemetry per `opts`: the metrics table on
+/// stdout (`--report`) and/or a `BENCH_<name>.json` snapshot in the
+/// current directory (`--json`). Returns the path written, if any.
+pub fn emit_bench(
+    opts: BenchOpts,
+    name: &str,
+    scalars: &[(&str, f64)],
+    metrics: &MetricsSnapshot,
+) -> Option<std::path::PathBuf> {
+    if opts.report {
+        println!("--- metrics: {name} ---");
+        print!("{}", metrics.render_table());
+    }
+    if !opts.json {
+        return None;
+    }
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    let body = planp_telemetry::metrics::bench_json(name, scalars, metrics);
+    match std::fs::write(&path, body) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
 
 /// Renders an aligned text table (simple two-space separation).
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -293,14 +293,20 @@ mod tests {
             name: "network".into(),
             ps: ("ps".into(), Type::Unit),
             ss: ("ss".into(), Type::Unit),
-            pkt: ("p".into(), Type::Tuple(vec![Type::Ip, Type::Tcp, Type::Blob])),
+            pkt: (
+                "p".into(),
+                Type::Tuple(vec![Type::Ip, Type::Tcp, Type::Blob]),
+            ),
             initstate: None,
             body: Expr::new(ExprKind::Unit, Span::dummy()),
             span: Span::dummy(),
         };
         let prog = Program {
             decls: vec![
-                Decl::Exception(ExnDecl { name: "E".into(), span: Span::dummy() }),
+                Decl::Exception(ExnDecl {
+                    name: "E".into(),
+                    span: Span::dummy(),
+                }),
                 Decl::Channel(ch.clone()),
             ],
         };

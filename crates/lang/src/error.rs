@@ -44,22 +44,38 @@ pub struct LangError {
 impl LangError {
     /// Creates a lexing error.
     pub fn lex(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Lex, message: message.into(), span }
+        LangError {
+            phase: Phase::Lex,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a parse error.
     pub fn parse(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Parse, message: message.into(), span }
+        LangError {
+            phase: Phase::Parse,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a type error.
     pub fn ty(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Type, message: message.into(), span }
+        LangError {
+            phase: Phase::Type,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a verification error.
     pub fn verify(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Verify, message: message.into(), span }
+        LangError {
+            phase: Phase::Verify,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Renders the error with a line:column position resolved against `src`.
@@ -85,7 +101,10 @@ mod tests {
     fn render_points_at_line_and_column() {
         let src = "val x : int = true";
         let err = LangError::ty("expected int, found bool", Span::new(14, 18));
-        assert_eq!(err.render(src), "type error at 1:15: expected int, found bool");
+        assert_eq!(
+            err.render(src),
+            "type error at 1:15: expected int, found bool"
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(src: &'s str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, tokens: Vec::new() }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, LangError> {
@@ -97,7 +102,10 @@ impl<'s> Lexer<'s> {
             }
         }
         let end = self.src.len() as u32;
-        self.tokens.push(Token { kind: TokenKind::Eof, span: Span::new(end, end) });
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end),
+        });
         Ok(self.tokens)
     }
 
@@ -106,7 +114,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn push(&mut self, kind: TokenKind, start: usize, end: usize) {
-        self.tokens.push(Token { kind, span: Span::new(start as u32, end as u32) });
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, end as u32),
+        });
     }
 
     fn punct(&mut self, start: usize, len: usize, kind: TokenKind) {
@@ -363,7 +374,10 @@ mod tests {
     #[test]
     fn lexes_host_literal() {
         let a = (131u32 << 24) | (254 << 16) | (60 << 8) | 81;
-        assert_eq!(kinds("131.254.60.81"), vec![TokenKind::Host(a), TokenKind::Eof]);
+        assert_eq!(
+            kinds("131.254.60.81"),
+            vec![TokenKind::Host(a), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -401,7 +415,10 @@ mod tests {
 
     #[test]
     fn block_comments_nest() {
-        assert_eq!(kinds("(* a (* b *) c *) 7"), vec![TokenKind::Int(7), TokenKind::Eof]);
+        assert_eq!(
+            kinds("(* a (* b *) c *) 7"),
+            vec![TokenKind::Int(7), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -426,16 +443,16 @@ mod tests {
     #[test]
     fn multichar_operators() {
         use TokenKind::*;
-        assert_eq!(kinds("<> <= >= => < > ="), vec![Ne, Le, Ge, DArrow, Lt, Gt, Eq, Eof]);
+        assert_eq!(
+            kinds("<> <= >= => < > ="),
+            vec![Ne, Le, Ge, DArrow, Lt, Gt, Eq, Eof]
+        );
     }
 
     #[test]
     fn wildcard_vs_identifier() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("_ _x"),
-            vec![Underscore, Ident("_x".into()), Eof]
-        );
+        assert_eq!(kinds("_ _x"), vec![Underscore, Ident("_x".into()), Eof]);
     }
 
     #[test]
@@ -448,7 +465,10 @@ mod tests {
 
     #[test]
     fn primed_identifiers() {
-        assert_eq!(kinds("ss'"), vec![TokenKind::Ident("ss'".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("ss'"),
+            vec![TokenKind::Ident("ss'".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

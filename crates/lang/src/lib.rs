@@ -83,10 +83,9 @@ mod tests {
 
     #[test]
     fn compile_front_pipeline() {
-        let tp = compile_front(
-            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)",
-        )
-        .unwrap();
+        let tp =
+            compile_front("channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)")
+                .unwrap();
         assert_eq!(tp.channels.len(), 1);
     }
 

@@ -107,7 +107,9 @@ impl Parser {
         match &self.peek().kind {
             TokenKind::Ident(_) => {
                 let t = self.bump();
-                let TokenKind::Ident(name) = t.kind else { unreachable!() };
+                let TokenKind::Ident(name) = t.kind else {
+                    unreachable!()
+                };
                 Ok((name, t.span))
             }
             _ => Err(self.unexpected("expected identifier")),
@@ -127,7 +129,12 @@ impl Parser {
                 self.expect(TokenKind::Eq)?;
                 let init = self.expr()?;
                 let span = start.merge(init.span);
-                Ok(Decl::Val(ValDecl { name, ty, init, span }))
+                Ok(Decl::Val(ValDecl {
+                    name,
+                    ty,
+                    init,
+                    span,
+                }))
             }
             TokenKind::Fun => {
                 self.bump();
@@ -151,12 +158,21 @@ impl Parser {
                 self.expect(TokenKind::Eq)?;
                 let body = self.expr()?;
                 let span = start.merge(body.span);
-                Ok(Decl::Fun(FunDecl { name, params, ret, body, span }))
+                Ok(Decl::Fun(FunDecl {
+                    name,
+                    params,
+                    ret,
+                    body,
+                    span,
+                }))
             }
             TokenKind::Exception => {
                 self.bump();
                 let (name, nspan) = self.ident()?;
-                Ok(Decl::Exception(ExnDecl { name, span: start.merge(nspan) }))
+                Ok(Decl::Exception(ExnDecl {
+                    name,
+                    span: start.merge(nspan),
+                }))
             }
             TokenKind::Proto => {
                 self.bump();
@@ -182,7 +198,15 @@ impl Parser {
                 self.expect(TokenKind::Is)?;
                 let body = self.expr()?;
                 let span = start.merge(body.span);
-                Ok(Decl::Channel(ChannelDecl { name, ps, ss, pkt, initstate, body, span }))
+                Ok(Decl::Channel(ChannelDecl {
+                    name,
+                    ps,
+                    ss,
+                    pkt,
+                    initstate,
+                    body,
+                    span,
+                }))
             }
             _ => Err(self.unexpected(
                 "expected declaration (`val`, `fun`, `exception`, `proto`, or `channel`)",
@@ -309,7 +333,10 @@ impl Parser {
         self.expect(TokenKind::Else)?;
         let els = self.expr()?;
         let span = start.merge(els.span);
-        Ok(Expr::new(ExprKind::If(Box::new(cond), Box::new(then), Box::new(els)), span))
+        Ok(Expr::new(
+            ExprKind::If(Box::new(cond), Box::new(then), Box::new(els)),
+            span,
+        ))
     }
 
     fn let_expr(&mut self) -> Result<Expr, LangError> {
@@ -323,7 +350,12 @@ impl Parser {
             self.expect(TokenKind::Eq)?;
             let init = self.expr()?;
             let span = bstart.merge(init.span);
-            binds.push(LetBind { name, ty, init, span });
+            binds.push(LetBind {
+                name,
+                ty,
+                init,
+                span,
+            });
         }
         if binds.is_empty() {
             return Err(self.unexpected("expected at least one `val` binding in `let`"));
@@ -331,7 +363,10 @@ impl Parser {
         self.expect(TokenKind::In)?;
         let body = self.expr()?;
         let end = self.expect(TokenKind::End)?.span;
-        Ok(Expr::new(ExprKind::Let(binds, Box::new(body)), start.merge(end)))
+        Ok(Expr::new(
+            ExprKind::Let(binds, Box::new(body)),
+            start.merge(end),
+        ))
     }
 
     fn raise_expr(&mut self) -> Result<Expr, LangError> {
@@ -357,7 +392,10 @@ impl Parser {
             self.bump();
             let rhs = self.cmp_expr()?;
             let span = e.span.merge(rhs.span);
-            e = Expr::new(ExprKind::Binop(BinOp::And, Box::new(e), Box::new(rhs)), span);
+            e = Expr::new(
+                ExprKind::Binop(BinOp::And, Box::new(e), Box::new(rhs)),
+                span,
+            );
         }
         Ok(e)
     }
@@ -376,7 +414,10 @@ impl Parser {
         self.bump();
         let rhs = self.add_expr()?;
         let span = lhs.span.merge(rhs.span);
-        Ok(Expr::new(ExprKind::Binop(op, Box::new(lhs), Box::new(rhs)), span))
+        Ok(Expr::new(
+            ExprKind::Binop(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        ))
     }
 
     fn add_expr(&mut self) -> Result<Expr, LangError> {
@@ -625,7 +666,9 @@ mod tests {
     #[test]
     fn andalso_orelse_precedence() {
         let e = expr("a orelse b andalso c");
-        let ExprKind::Binop(BinOp::Or, _, rhs) = e.kind else { panic!() };
+        let ExprKind::Binop(BinOp::Or, _, rhs) = e.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Binop(BinOp::And, _, _)));
     }
 
@@ -641,21 +684,27 @@ mod tests {
     fn projection_binds_tight() {
         // #1 p = 2  parses as  (#1 p) = 2
         let e = expr("#1 p = 2");
-        let ExprKind::Binop(BinOp::Eq, lhs, _) = e.kind else { panic!() };
+        let ExprKind::Binop(BinOp::Eq, lhs, _) = e.kind else {
+            panic!()
+        };
         assert!(matches!(lhs.kind, ExprKind::Proj(1, _)));
     }
 
     #[test]
     fn call_and_var() {
         assert!(matches!(expr("f(1, 2)").kind, ExprKind::Call(n, a) if n == "f" && a.len() == 2));
-        assert!(matches!(expr("thisHost()").kind, ExprKind::Call(n, a) if n == "thisHost" && a.is_empty()));
+        assert!(
+            matches!(expr("thisHost()").kind, ExprKind::Call(n, a) if n == "thisHost" && a.is_empty())
+        );
         assert!(matches!(expr("x").kind, ExprKind::Var(n) if n == "x"));
     }
 
     #[test]
     fn on_remote_takes_channel_name() {
         let e = expr("OnRemote(network, (iph, tcp, body))");
-        let ExprKind::OnRemote(chan, pkt) = e.kind else { panic!("{e:?}") };
+        let ExprKind::OnRemote(chan, pkt) = e.kind else {
+            panic!("{e:?}")
+        };
         assert_eq!(chan, "network");
         assert!(matches!(pkt.kind, ExprKind::Tuple(_)));
     }
@@ -663,7 +712,9 @@ mod tests {
     #[test]
     fn on_neighbor_takes_host_expr() {
         let e = expr("OnNeighbor(audio, 10.0.0.1, p)");
-        let ExprKind::OnNeighbor(chan, host, _) = e.kind else { panic!() };
+        let ExprKind::OnNeighbor(chan, host, _) = e.kind else {
+            panic!()
+        };
         assert_eq!(chan, "audio");
         assert!(matches!(host.kind, ExprKind::Host(_)));
     }
@@ -671,7 +722,9 @@ mod tests {
     #[test]
     fn let_with_multiple_bindings() {
         let e = expr("let val x : int = 1 val y : int = 2 in x + y end");
-        let ExprKind::Let(binds, _) = e.kind else { panic!() };
+        let ExprKind::Let(binds, _) = e.kind else {
+            panic!()
+        };
         assert_eq!(binds.len(), 2);
         assert_eq!(binds[0].name, "x");
         assert_eq!(binds[1].ty, Type::Int);
@@ -685,10 +738,14 @@ mod tests {
     #[test]
     fn handle_attaches_to_expression() {
         let e = expr("f(x) handle NotFound => 0");
-        let ExprKind::Handle(_, pat, _) = e.kind else { panic!() };
+        let ExprKind::Handle(_, pat, _) = e.kind else {
+            panic!()
+        };
         assert_eq!(pat, ExnPat::Name("NotFound".into()));
         let e = expr("f(x) handle _ => 0");
-        let ExprKind::Handle(_, pat, _) = e.kind else { panic!() };
+        let ExprKind::Handle(_, pat, _) = e.kind else {
+            panic!()
+        };
         assert_eq!(pat, ExnPat::Wild);
     }
 
@@ -697,7 +754,9 @@ mod tests {
         // As in SML, a handler body extends as far right as possible, so
         // the second `handle` guards the first handler's body.
         let e = expr("f(x) handle A => 1 handle B => 2");
-        let ExprKind::Handle(_, pat, handler) = e.kind else { panic!() };
+        let ExprKind::Handle(_, pat, handler) = e.kind else {
+            panic!()
+        };
         assert_eq!(pat, ExnPat::Name("A".into()));
         assert!(matches!(handler.kind, ExprKind::Handle(..)));
     }
@@ -705,7 +764,9 @@ mod tests {
     #[test]
     fn if_as_operand_requires_parens_but_works_nested() {
         let e = expr("if a then 1 else if b then 2 else 3");
-        let ExprKind::If(_, _, els) = e.kind else { panic!() };
+        let ExprKind::If(_, _, els) = e.kind else {
+            panic!()
+        };
         assert!(matches!(els.kind, ExprKind::If(..)));
     }
 
@@ -724,7 +785,9 @@ mod tests {
     fn type_product_and_table_sugar() {
         let src = "channel network(ps : int, ss : (int*host*host) hash_table, p : ip*tcp*blob) is (ps, ss)";
         let prog = parse_program(src).unwrap();
-        let Decl::Channel(ch) = &prog.decls[0] else { panic!() };
+        let Decl::Channel(ch) = &prog.decls[0] else {
+            panic!()
+        };
         assert_eq!(
             ch.ss.1,
             Type::Table(
@@ -739,7 +802,9 @@ mod tests {
     fn type_pair_table_form() {
         let src = "val t : (host, int) hash_table = mkTable(16)";
         let prog = parse_program(src).unwrap();
-        let Decl::Val(v) = &prog.decls[0] else { panic!() };
+        let Decl::Val(v) = &prog.decls[0] else {
+            panic!()
+        };
         assert_eq!(v.ty, Type::Table(Box::new(Type::Host), Box::new(Type::Int)));
     }
 
@@ -756,7 +821,9 @@ mod tests {
     #[test]
     fn list_type_postfix() {
         let prog = parse_program("val l : int list = []").unwrap();
-        let Decl::Val(v) = &prog.decls[0] else { panic!() };
+        let Decl::Val(v) = &prog.decls[0] else {
+            panic!()
+        };
         assert_eq!(v.ty, Type::List(Box::new(Type::Int)));
     }
 
@@ -764,7 +831,9 @@ mod tests {
     fn fun_decl_parses() {
         let src = "fun add(a : int, b : int) : int = a + b";
         let prog = parse_program(src).unwrap();
-        let Decl::Fun(f) = &prog.decls[0] else { panic!() };
+        let Decl::Fun(f) = &prog.decls[0] else {
+            panic!()
+        };
         assert_eq!(f.name, "add");
         assert_eq!(f.params.len(), 2);
         assert_eq!(f.ret, Type::Int);
@@ -781,7 +850,9 @@ mod tests {
     fn channel_with_initstate() {
         let src = "channel c(ps : unit, ss : int, p : ip*udp*blob) initstate 5 is (ps, ss + 1)";
         let prog = parse_program(src).unwrap();
-        let Decl::Channel(ch) = &prog.decls[0] else { panic!() };
+        let Decl::Channel(ch) = &prog.decls[0] else {
+            panic!()
+        };
         assert!(ch.initstate.is_some());
     }
 

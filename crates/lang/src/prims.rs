@@ -132,10 +132,7 @@ impl PrimSig {
                     return Err(format!("`{}` takes a hash_table first", self.name));
                 };
                 if &args[1] != k.as_ref() {
-                    return Err(format!(
-                        "table key has type {}, expected {}",
-                        args[1], k
-                    ));
+                    return Err(format!("table key has type {}, expected {}", args[1], k));
                 }
                 Ok(match self.name {
                     "tblGet" => v.as_ref().clone(),
@@ -185,10 +182,7 @@ impl PrimSig {
                     return Err("`cons` takes a list second".into());
                 };
                 if &args[0] != t.as_ref() {
-                    return Err(format!(
-                        "cannot cons a {} onto a {} list",
-                        args[0], t
-                    ));
+                    return Err(format!("cannot cons a {} onto a {} list", args[0], t));
                 }
                 Ok(Type::List(t.clone()))
             }
@@ -447,7 +441,9 @@ mod tests {
     #[test]
     fn print_rejects_tables() {
         let (_, p) = table().lookup("print").unwrap();
-        assert!(p.check(&[Table(Box::new(Int), Box::new(Int))], None).is_err());
+        assert!(p
+            .check(&[Table(Box::new(Int), Box::new(Int))], None)
+            .is_err());
         assert_eq!(p.check(&[Str], None).unwrap(), Unit);
     }
 

@@ -39,7 +39,8 @@ impl Span {
     /// Returns an empty string if the span is out of bounds (e.g. a dummy
     /// span against unrelated source).
     pub fn slice<'s>(&self, src: &'s str) -> &'s str {
-        src.get(self.start as usize..self.end as usize).unwrap_or("")
+        src.get(self.start as usize..self.end as usize)
+            .unwrap_or("")
     }
 }
 

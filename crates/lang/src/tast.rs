@@ -270,7 +270,11 @@ mod tests {
     use super::*;
 
     fn leaf(kind: TExprKind, ty: Type) -> TExpr {
-        TExpr { kind, ty, span: Span::dummy() }
+        TExpr {
+            kind,
+            ty,
+            span: Span::dummy(),
+        }
     }
 
     #[test]

@@ -77,7 +77,12 @@ struct Scope {
 
 impl Scope {
     fn new(ctx: Ctx) -> Self {
-        Scope { locals: Vec::new(), next: 0, max: 0, ctx }
+        Scope {
+            locals: Vec::new(),
+            next: 0,
+            max: 0,
+            ctx,
+        }
     }
 
     fn push(&mut self, name: &str, ty: Type) -> u32 {
@@ -156,7 +161,10 @@ impl<'a> Checker<'a> {
                     ch.span,
                 ));
             }
-            group.push(ChanSig { pkt_ty: ch.pkt.1.clone(), span: ch.span });
+            group.push(ChanSig {
+                pkt_ty: ch.pkt.1.clone(),
+                span: ch.span,
+            });
         }
 
         Ok(Checker {
@@ -227,10 +235,7 @@ impl<'a> Checker<'a> {
                 }
                 Decl::Proto(p) => {
                     if proto_span.is_some() {
-                        return Err(LangError::ty(
-                            "duplicate `proto` declaration",
-                            p.span,
-                        ));
+                        return Err(LangError::ty("duplicate `proto` declaration", p.span));
                     }
                     let mut scope = Scope::new(Ctx::StateInit);
                     proto_init = Some(self.check(&p.init, &proto_ty, &mut scope)?);
@@ -312,10 +317,7 @@ impl<'a> Checker<'a> {
 
     fn check_fresh_global(&self, name: &str, span: Span) -> Result<(), LangError> {
         if self.global_map.contains_key(name) || self.fun_map.contains_key(name) {
-            return Err(LangError::ty(
-                format!("`{name}` is already declared"),
-                span,
-            ));
+            return Err(LangError::ty(format!("`{name}` is already declared"), span));
         }
         if self.prims.lookup(name).is_some() {
             return Err(LangError::ty(
@@ -436,7 +438,12 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn check_via_synth(&self, e: &Expr, want: &Type, scope: &mut Scope) -> Result<TExpr, LangError> {
+    fn check_via_synth(
+        &self,
+        e: &Expr,
+        want: &Type,
+        scope: &mut Scope,
+    ) -> Result<TExpr, LangError> {
         let t = self.synth(e, scope)?;
         if &t.ty != want {
             return Err(LangError::ty(
@@ -654,9 +661,7 @@ impl<'a> Checker<'a> {
             .map(|i| i as u32)
             .ok_or_else(|| {
                 LangError::ty(
-                    format!(
-                        "channel `{chan}` has no overload for packet type {pkt_ty}"
-                    ),
+                    format!("channel `{chan}` has no overload for packet type {pkt_ty}"),
                     span,
                 )
             })
@@ -776,7 +781,10 @@ impl<'a> Checker<'a> {
                 .check(&arg_tys, expected)
                 .map_err(|msg| LangError::ty(msg, span))?;
             return Ok(TExpr {
-                kind: TExprKind::CallPrim { prim: id, args: targs },
+                kind: TExprKind::CallPrim {
+                    prim: id,
+                    args: targs,
+                },
                 ty,
                 span,
             });
@@ -858,8 +866,7 @@ mod tests {
         typecheck(&prog).expect_err("expected a type error")
     }
 
-    const TRIVIAL_CH: &str =
-        "channel network(ps : int, ss : int, p : ip*udp*blob) is (ps, ss)";
+    const TRIVIAL_CH: &str = "channel network(ps : int, ss : int, p : ip*udp*blob) is (ps, ss)";
 
     #[test]
     fn trivial_channel_checks() {
@@ -891,17 +898,13 @@ mod tests {
     #[test]
     fn use_before_declaration_rejected() {
         // `y` references `z` declared later: no recursion, no forward refs.
-        let err = check_err(&format!(
-            "val y : int = z\nval z : int = 1\n{TRIVIAL_CH}"
-        ));
+        let err = check_err(&format!("val y : int = z\nval z : int = 1\n{TRIVIAL_CH}"));
         assert!(err.message.contains("unbound variable `z`"));
     }
 
     #[test]
     fn fun_cannot_call_itself() {
-        let err = check_err(&format!(
-            "fun f(x : int) : int = f(x - 1)\n{TRIVIAL_CH}"
-        ));
+        let err = check_err(&format!("fun f(x : int) : int = f(x - 1)\n{TRIVIAL_CH}"));
         assert!(err.message.contains("unknown function"));
     }
 
@@ -965,9 +968,7 @@ mod tests {
     #[test]
     fn table_without_initstate_defaults() {
         // hash_table is defaultable (empty table).
-        check_ok(
-            "channel a(ps : unit, ss : (host, int) hash_table, p : ip*udp*blob) is (ps, ss)",
-        );
+        check_ok("channel a(ps : unit, ss : (host, int) hash_table, p : ip*udp*blob) is (ps, ss)");
     }
 
     #[test]
@@ -1202,19 +1203,14 @@ channel network(ps : unit, ss : unit, p : ip*tcp*char*bool) is
 
     #[test]
     fn empty_list_needs_annotation() {
-        let err = check_err(
-            "channel a(ps : unit, ss : unit, p : ip*udp*blob) is (print([]); (ps, ss))",
-        );
+        let err =
+            check_err("channel a(ps : unit, ss : unit, p : ip*udp*blob) is (print([]); (ps, ss))");
         assert!(err.message.contains("cannot infer"));
-        check_ok(
-            "channel a(ps : unit, ss : int list, p : ip*udp*blob) initstate [] is (ps, ss)",
-        );
+        check_ok("channel a(ps : unit, ss : int list, p : ip*udp*blob) initstate [] is (ps, ss)");
     }
 
     #[test]
     fn deliver_accepts_packet() {
-        check_ok(
-            "channel a(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))",
-        );
+        check_ok("channel a(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))");
     }
 }

@@ -63,7 +63,12 @@ impl Type {
     /// (there are no function values).
     pub fn is_equality(&self) -> bool {
         match self {
-            Type::Int | Type::Bool | Type::Str | Type::Char | Type::Unit | Type::Host
+            Type::Int
+            | Type::Bool
+            | Type::Str
+            | Type::Char
+            | Type::Unit
+            | Type::Host
             | Type::Blob => true,
             Type::Tuple(parts) => parts.iter().all(Type::is_equality),
             Type::List(t) => t.is_equality(),
@@ -91,7 +96,12 @@ impl Type {
     /// protocol state when no `proto` declaration is given.
     pub fn is_defaultable(&self) -> bool {
         match self {
-            Type::Int | Type::Bool | Type::Str | Type::Char | Type::Unit | Type::Host
+            Type::Int
+            | Type::Bool
+            | Type::Str
+            | Type::Char
+            | Type::Unit
+            | Type::Host
             | Type::Blob => true,
             Type::Tuple(parts) => parts.iter().all(Type::is_defaultable),
             Type::List(_) | Type::Table(..) => true,
@@ -107,7 +117,9 @@ impl Type {
     /// non-empty sequence of decodable scalar components (`int`, `bool`,
     /// `char`, `host`, `string`) optionally ending in a `blob`.
     pub fn packet_shape(&self) -> Option<PacketShape> {
-        let Type::Tuple(parts) = self else { return None };
+        let Type::Tuple(parts) = self else {
+            return None;
+        };
         if parts.first() != Some(&Type::Ip) {
             return None;
         }
@@ -124,13 +136,18 @@ impl Type {
         // scalar; the last may also be a blob (the uninterpreted rest).
         for (i, t) in payload.iter().enumerate() {
             let last = i + 1 == payload.len();
-            let ok = matches!(t, Type::Int | Type::Bool | Type::Char | Type::Host | Type::Str)
-                || (last && *t == Type::Blob);
+            let ok = matches!(
+                t,
+                Type::Int | Type::Bool | Type::Char | Type::Host | Type::Str
+            ) || (last && *t == Type::Blob);
             if !ok {
                 return None;
             }
         }
-        Some(PacketShape { transport, payload: payload.to_vec() })
+        Some(PacketShape {
+            transport,
+            payload: payload.to_vec(),
+        })
     }
 }
 
@@ -209,10 +226,7 @@ mod tests {
 
     #[test]
     fn nested_tuple_display_parenthesizes() {
-        let t = Type::Tuple(vec![
-            Type::Int,
-            Type::Tuple(vec![Type::Bool, Type::Char]),
-        ]);
+        let t = Type::Tuple(vec![Type::Int, Type::Tuple(vec![Type::Bool, Type::Char])]);
         assert_eq!(t.to_string(), "int*(bool*char)");
     }
 
@@ -244,7 +258,9 @@ mod tests {
     #[test]
     fn packet_shape_rejects_non_packets() {
         assert!(Type::Int.packet_shape().is_none());
-        assert!(Type::Tuple(vec![Type::Tcp, Type::Blob]).packet_shape().is_none());
+        assert!(Type::Tuple(vec![Type::Tcp, Type::Blob])
+            .packet_shape()
+            .is_none());
         // blob must come last
         let t = Type::Tuple(vec![Type::Ip, Type::Udp, Type::Blob, Type::Int]);
         assert!(t.packet_shape().is_none());

@@ -39,12 +39,20 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// A 10 Mb/s Ethernet-segment-like link.
     pub fn ethernet_10() -> Self {
-        LinkSpec { kbps: 10_000, delay: Duration::from_micros(100), queue_pkts: 64 }
+        LinkSpec {
+            kbps: 10_000,
+            delay: Duration::from_micros(100),
+            queue_pkts: 64,
+        }
     }
 
     /// A 100 Mb/s Ethernet-like link.
     pub fn ethernet_100() -> Self {
-        LinkSpec { kbps: 100_000, delay: Duration::from_micros(50), queue_pkts: 128 }
+        LinkSpec {
+            kbps: 100_000,
+            delay: Duration::from_micros(50),
+            queue_pkts: 128,
+        }
     }
 }
 
@@ -162,7 +170,14 @@ mod tests {
 
     #[test]
     fn tx_time_scales_with_size_and_capacity() {
-        let l = Link::new(LinkSpec { kbps: 10_000, delay: Duration::ZERO, queue_pkts: 8 }, vec![]);
+        let l = Link::new(
+            LinkSpec {
+                kbps: 10_000,
+                delay: Duration::ZERO,
+                queue_pkts: 8,
+            },
+            vec![],
+        );
         // 1250 bytes = 10_000 bits at 10 Mb/s = 1 ms.
         assert_eq!(l.tx_time(1250), Duration::from_millis(1));
         let fast = Link::new(LinkSpec::ethernet_100(), vec![]);
@@ -203,7 +218,10 @@ mod tests {
     fn segment_detection() {
         let l = Link::new(LinkSpec::ethernet_10(), vec![NodeId(0), NodeId(1)]);
         assert!(!l.is_segment());
-        let s = Link::new(LinkSpec::ethernet_10(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let s = Link::new(
+            LinkSpec::ethernet_10(),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+        );
         assert!(s.is_segment());
     }
 }

@@ -139,10 +139,5 @@ pub enum HookVerdict {
 /// Rust.
 pub trait PacketHook {
     /// Inspects an arriving packet before normal IP processing.
-    fn on_packet(
-        &mut self,
-        api: &mut NodeApi<'_>,
-        pkt: Packet,
-        meta: &ArrivalMeta,
-    ) -> HookVerdict;
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: Packet, meta: &ArrivalMeta) -> HookVerdict;
 }

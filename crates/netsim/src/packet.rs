@@ -31,7 +31,12 @@ impl IpHdr {
 
     /// A fresh header with the default TTL.
     pub fn new(src: u32, dst: u32, proto: u8) -> Self {
-        IpHdr { src, dst, ttl: Self::DEFAULT_TTL, proto }
+        IpHdr {
+            src,
+            dst,
+            ttl: Self::DEFAULT_TTL,
+            proto,
+        }
     }
 
     /// True if the destination is an IPv4 multicast group (224.0.0.0/4).
@@ -74,7 +79,14 @@ pub struct TcpHdr {
 impl TcpHdr {
     /// A data segment header with the given ports and sequence number.
     pub fn data(sport: u16, dport: u16, seq: u32) -> Self {
-        TcpHdr { sport, dport, seq, ack: 0, flags: tcp_flags::ACK, wnd: 0 }
+        TcpHdr {
+            sport,
+            dport,
+            seq,
+            ack: 0,
+            flags: tcp_flags::ACK,
+            wnd: 0,
+        }
     }
 
     /// Tests a flag bit.
@@ -133,7 +145,7 @@ pub struct ChannelTag {
 }
 
 /// A simulated packet.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Packet {
     /// Network header.
     pub ip: IpHdr,
@@ -143,6 +155,23 @@ pub struct Packet {
     pub payload: Bytes,
     /// PLAN-P channel tag, if sent on a user-defined channel.
     pub tag: Option<ChannelTag>,
+    /// Telemetry identity: assigned monotonically by the simulator the
+    /// first time the packet enters a send path (`0` = not yet
+    /// assigned). Clones keep the id, so hop-by-hop trace events for one
+    /// packet share it. Ignored by `PartialEq`.
+    pub id: u64,
+}
+
+/// Packet equality compares wire content (headers, payload, tag) and
+/// ignores the telemetry id, so a forwarded clone still equals the
+/// original.
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.ip == other.ip
+            && self.transport == other.transport
+            && self.payload == other.payload
+            && self.tag == other.tag
+    }
 }
 
 impl Packet {
@@ -153,6 +182,7 @@ impl Packet {
             transport: Transport::Udp(UdpHdr::new(sport, dport)),
             payload,
             tag: None,
+            id: 0,
         }
     }
 
@@ -163,6 +193,7 @@ impl Packet {
             transport: Transport::Tcp(hdr),
             payload,
             tag: None,
+            id: 0,
         }
     }
 
@@ -261,7 +292,10 @@ mod tests {
 
     #[test]
     fn tcp_flags_work() {
-        let h = TcpHdr { flags: tcp_flags::SYN | tcp_flags::ACK, ..TcpHdr::data(1, 2, 0) };
+        let h = TcpHdr {
+            flags: tcp_flags::SYN | tcp_flags::ACK,
+            ..TcpHdr::data(1, 2, 0)
+        };
         assert!(h.has(tcp_flags::SYN) && h.has(tcp_flags::ACK) && !h.has(tcp_flags::FIN));
     }
 }

@@ -8,8 +8,12 @@ use crate::node::{App, ArrivalMeta, HookVerdict, Node, PacketHook};
 use crate::packet::Packet;
 use crate::stats::SeriesStore;
 use crate::time::SimTime;
+use planp_telemetry::{
+    Category, DispatchOutcome, DropReason, Histogram, MetricsSnapshot, Telemetry, TraceEvent,
+};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 use std::time::Duration;
 
 /// A pending event.
@@ -76,6 +80,17 @@ pub struct Sim {
     seed: u64,
     /// Total packets dropped at link queues (convenience aggregate).
     pub total_link_drops: u64,
+    /// Structured event log and metrics registry. Trace categories are
+    /// off by default; enable with `telemetry.trace.configure(..)`.
+    pub telemetry: Telemetry,
+    /// Last assigned packet id (ids start at 1; 0 = unassigned).
+    next_pkt_id: u64,
+    /// Events popped from the queue so far.
+    events_processed: u64,
+    /// Per-link queue-depth samples (indexed like `links`), taken at
+    /// every enqueue. Kept out of the registry so the hot path never
+    /// formats a metric name.
+    link_qdepth: Vec<Histogram>,
 }
 
 impl Sim {
@@ -92,6 +107,31 @@ impl Sim {
             started: false,
             seed,
             total_link_drops: 0,
+            telemetry: Telemetry::default(),
+            next_pkt_id: 0,
+            events_processed: 0,
+            link_qdepth: Vec::new(),
+        }
+    }
+
+    /// Assigns the packet a fresh id on its first entry into a send
+    /// path; clones made later (forwarding, multicast fan-out) keep it.
+    fn stamp(&mut self, pkt: &mut Packet) {
+        if pkt.id == 0 {
+            self.next_pkt_id += 1;
+            pkt.id = self.next_pkt_id;
+        }
+    }
+
+    #[inline]
+    fn trace_node_drop(&mut self, node: NodeId, pkt: u64, reason: DropReason) {
+        if self.telemetry.trace.wants(Category::DROP) {
+            self.telemetry.trace.push(TraceEvent::NodeDrop {
+                t_ns: self.now.as_nanos(),
+                node: node.0 as u32,
+                pkt,
+                reason,
+            });
         }
     }
 
@@ -120,7 +160,8 @@ impl Sim {
         );
         let id = NodeId(self.nodes.len());
         let seed = self.seed ^ (0xA5A5_0000_0000_0000 | id.0 as u64);
-        self.nodes.push(Node::new(name.to_string(), addr, forwarding, seed));
+        self.nodes
+            .push(Node::new(name.to_string(), addr, forwarding, seed));
         self.addr_map.insert(addr, id);
         id
     }
@@ -135,6 +176,7 @@ impl Sim {
         assert!(nodes.len() >= 2, "a link needs at least two endpoints");
         let id = LinkId(self.links.len());
         self.links.push(Link::new(spec, nodes.to_vec()));
+        self.link_qdepth.push(Histogram::new());
         for &n in nodes {
             self.nodes[n.0].ifaces.push(id);
         }
@@ -168,11 +210,7 @@ impl Sim {
                 for &(l, v) in &adj[u] {
                     if !visited[v.0] {
                         visited[v.0] = true;
-                        first_hop[v.0] = if u == src {
-                            Some((l, v))
-                        } else {
-                            first_hop[u]
-                        };
+                        first_hop[v.0] = if u == src { Some((l, v)) } else { first_hop[u] };
                         q.push_back(v.0);
                     }
                 }
@@ -237,7 +275,11 @@ impl Sim {
         self.nodes[node.0].apps.push(Some(app));
         if self.started {
             if let Some(mut a) = self.nodes[node.0].apps[idx].take() {
-                let mut api = NodeApi { sim: self, node, app: Some(idx) };
+                let mut api = NodeApi {
+                    sim: self,
+                    node,
+                    app: Some(idx),
+                };
                 a.on_start(&mut api);
                 self.nodes[node.0].apps[idx] = Some(a);
             }
@@ -329,7 +371,11 @@ impl Sim {
         for node in 0..self.nodes.len() {
             for app in 0..self.nodes[node].apps.len() {
                 if let Some(mut a) = self.nodes[node].apps[app].take() {
-                    let mut api = NodeApi { sim: self, node: NodeId(node), app: Some(app) };
+                    let mut api = NodeApi {
+                        sim: self,
+                        node: NodeId(node),
+                        app: Some(app),
+                    };
                     a.on_start(&mut api);
                     self.nodes[node].apps[app] = Some(a);
                 }
@@ -338,18 +384,34 @@ impl Sim {
     }
 
     fn process(&mut self, kind: EvKind) {
+        self.events_processed += 1;
         match kind {
-            EvKind::Arrive { node, pkt, via, overheard } => {
-                self.arrive(node, pkt, via, overheard)
-            }
+            EvKind::Arrive {
+                node,
+                pkt,
+                via,
+                overheard,
+            } => self.arrive(node, pkt, via, overheard),
             EvKind::CpuDone { node } => self.cpu_done(node),
             EvKind::TxDone { link } => self.tx_done(link),
             EvKind::Timer { node, app, key } => {
                 if self.nodes[node.0].down {
                     return;
                 }
+                if self.telemetry.trace.wants(Category::TIMER) {
+                    self.telemetry.trace.push(TraceEvent::TimerFire {
+                        t_ns: self.now.as_nanos(),
+                        node: node.0 as u32,
+                        app: app as u32,
+                        key,
+                    });
+                }
                 if let Some(mut a) = self.nodes[node.0].apps[app].take() {
-                    let mut api = NodeApi { sim: self, node, app: Some(app) };
+                    let mut api = NodeApi {
+                        sim: self,
+                        node,
+                        app: Some(app),
+                    };
                     a.on_timer(&mut api, key);
                     self.nodes[node.0].apps[app] = Some(a);
                 }
@@ -360,6 +422,7 @@ impl Sim {
     fn arrive(&mut self, node: NodeId, pkt: Packet, via: Option<LinkId>, overheard: bool) {
         if self.nodes[node.0].down {
             self.nodes[node.0].dropped += 1;
+            self.trace_node_drop(node, pkt.id, DropReason::NodeDown);
             return;
         }
         // CPU model: non-overheard packets queue for processing time.
@@ -369,6 +432,8 @@ impl Sim {
                 let n = &mut self.nodes[node.0];
                 if n.cpu_queue.len() >= cpu.queue_cap {
                     n.cpu_drops += 1;
+                    let pkt_id = pkt.id;
+                    self.trace_node_drop(node, pkt_id, DropReason::CpuOverflow);
                     return;
                 }
                 n.cpu_queue.push_back((pkt, via, overheard));
@@ -400,7 +465,11 @@ impl Sim {
         // 1. The extensible layer sees everything first.
         let pkt = if let Some(mut hook) = self.nodes[node.0].hook.take() {
             let meta = ArrivalMeta { via, overheard };
-            let mut api = NodeApi { sim: self, node, app: None };
+            let mut api = NodeApi {
+                sim: self,
+                node,
+                app: None,
+            };
             let verdict = hook.on_packet(&mut api, pkt, &meta);
             self.nodes[node.0].hook = Some(hook);
             match verdict {
@@ -426,6 +495,7 @@ impl Sim {
                 let mut fwd = pkt;
                 if fwd.ip.ttl <= 1 {
                     self.nodes[node.0].dropped += 1;
+                    self.trace_node_drop(node, fwd.id, DropReason::TtlExpired);
                     return;
                 }
                 fwd.ip.ttl -= 1;
@@ -436,6 +506,7 @@ impl Sim {
                     .unwrap_or_default();
                 for l in links {
                     if Some(l) != via {
+                        self.trace_forward(node, &fwd, l);
                         self.enqueue_on_link(l, node, None, fwd.clone());
                     }
                 }
@@ -449,35 +520,69 @@ impl Sim {
             let mut fwd = pkt;
             if fwd.ip.ttl <= 1 {
                 self.nodes[node.0].dropped += 1;
+                self.trace_node_drop(node, fwd.id, DropReason::TtlExpired);
                 return;
             }
             fwd.ip.ttl -= 1;
             match self.nodes[node.0].routes.get(&fwd.ip.dst).copied() {
                 Some((link, next_hop)) => {
+                    self.trace_forward(node, &fwd, link);
                     self.enqueue_on_link(link, node, Some(next_hop), fwd)
                 }
-                None => self.nodes[node.0].dropped += 1,
+                None => {
+                    self.nodes[node.0].dropped += 1;
+                    self.trace_node_drop(node, fwd.id, DropReason::NoRoute);
+                }
             }
         } else {
             self.nodes[node.0].dropped += 1;
+            self.trace_node_drop(node, pkt.id, DropReason::NotAddressed);
         }
     }
 
-    pub(crate) fn deliver_local(&mut self, node: NodeId, pkt: Packet) {
+    pub(crate) fn deliver_local(&mut self, node: NodeId, mut pkt: Packet) {
+        self.stamp(&mut pkt);
         self.nodes[node.0].delivered += 1;
         for app in 0..self.nodes[node.0].apps.len() {
             if let Some(mut a) = self.nodes[node.0].apps[app].take() {
-                let mut api = NodeApi { sim: self, node, app: Some(app) };
+                if self.telemetry.trace.wants(Category::DELIVER) {
+                    self.telemetry.trace.push(TraceEvent::Deliver {
+                        t_ns: self.now.as_nanos(),
+                        node: node.0 as u32,
+                        pkt: pkt.id,
+                        app: app as u32,
+                    });
+                }
+                let mut api = NodeApi {
+                    sim: self,
+                    node,
+                    app: Some(app),
+                };
                 a.on_packet(&mut api, pkt.clone());
                 self.nodes[node.0].apps[app] = Some(a);
             }
         }
     }
 
+    #[inline]
+    fn trace_forward(&mut self, node: NodeId, pkt: &Packet, link: LinkId) {
+        if self.telemetry.trace.wants(Category::HOP) {
+            self.telemetry.trace.push(TraceEvent::Forward {
+                t_ns: self.now.as_nanos(),
+                node: node.0 as u32,
+                pkt: pkt.id,
+                link: link.0 as u32,
+                ttl: pkt.ip.ttl,
+            });
+        }
+    }
+
     /// Sends `pkt` from `node`, routing by destination address.
-    pub(crate) fn dispatch_send(&mut self, node: NodeId, pkt: Packet) {
+    pub(crate) fn dispatch_send(&mut self, node: NodeId, mut pkt: Packet) {
+        self.stamp(&mut pkt);
         if pkt.ip.ttl == 0 {
             self.nodes[node.0].dropped += 1;
+            self.trace_node_drop(node, pkt.id, DropReason::TtlExpired);
             return;
         }
         if pkt.ip.is_multicast() {
@@ -488,6 +593,7 @@ impl Sim {
                 .unwrap_or_default();
             if links.is_empty() {
                 self.nodes[node.0].dropped += 1;
+                self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
             }
             for l in links {
                 self.enqueue_on_link(l, node, None, pkt.clone());
@@ -498,29 +604,37 @@ impl Sim {
             // Self-send: loop back locally.
             self.push_event(
                 self.now,
-                EvKind::Arrive { node, pkt, via: None, overheard: false },
+                EvKind::Arrive {
+                    node,
+                    pkt,
+                    via: None,
+                    overheard: false,
+                },
             );
             return;
         }
         match self.nodes[node.0].routes.get(&pkt.ip.dst).copied() {
             Some((link, next_hop)) => self.enqueue_on_link(link, node, Some(next_hop), pkt),
-            None => self.nodes[node.0].dropped += 1,
+            None => {
+                self.nodes[node.0].dropped += 1;
+                self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
+            }
         }
     }
 
-    pub(crate) fn send_to_neighbor(
-        &mut self,
-        node: NodeId,
-        neighbor_addr: u32,
-        pkt: Packet,
-    ) {
+    pub(crate) fn send_to_neighbor(&mut self, node: NodeId, neighbor_addr: u32, mut pkt: Packet) {
+        self.stamp(&mut pkt);
         let Some(&neighbor) = self.addr_map.get(&neighbor_addr) else {
             self.nodes[node.0].dropped += 1;
+            self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
             return;
         };
         match self.common_link(node, neighbor) {
             Some(link) => self.enqueue_on_link(link, node, Some(neighbor), pkt),
-            None => self.nodes[node.0].dropped += 1,
+            None => {
+                self.nodes[node.0].dropped += 1;
+                self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
+            }
         }
     }
 
@@ -539,9 +653,16 @@ impl Sim {
         next_hop: Option<NodeId>,
         pkt: Packet,
     ) {
-        let q = Queued { pkt, from, next_hop };
+        let bytes = pkt.wire_size() as u32;
+        let pid = pkt.id;
+        let q = Queued {
+            pkt,
+            from,
+            next_hop,
+        };
         let now = self.now;
         let link = &mut self.links[link_id.0];
+        let mut link_dropped = false;
         if link.transmitting.is_none() {
             let dur = link.tx_time(q.pkt.wire_size());
             link.transmitting = Some(q);
@@ -551,13 +672,38 @@ impl Sim {
         } else {
             link.drops += 1;
             self.total_link_drops += 1;
+            link_dropped = true;
+        }
+        let qlen = self.links[link_id.0].queue_len() as u64;
+        self.link_qdepth[link_id.0].observe(qlen);
+        if link_dropped {
+            if self.telemetry.trace.wants(Category::DROP) {
+                self.telemetry.trace.push(TraceEvent::LinkDrop {
+                    t_ns: now.as_nanos(),
+                    link: link_id.0 as u32,
+                    from: from.0 as u32,
+                    pkt: pid,
+                });
+            }
+        } else if self.telemetry.trace.wants(Category::LINK) {
+            self.telemetry.trace.push(TraceEvent::LinkEnqueue {
+                t_ns: now.as_nanos(),
+                link: link_id.0 as u32,
+                from: from.0 as u32,
+                pkt: pid,
+                bytes,
+                qlen: qlen as u32,
+            });
         }
     }
 
     fn tx_done(&mut self, link_id: LinkId) {
         let now = self.now;
         let link = &mut self.links[link_id.0];
-        let q = link.transmitting.take().expect("TxDone without transmission");
+        let q = link
+            .transmitting
+            .take()
+            .expect("TxDone without transmission");
         link.account(now, q.pkt.wire_size());
         let delay = link.spec.delay;
         let receivers: Vec<(NodeId, bool)> = match q.next_hop {
@@ -589,6 +735,15 @@ impl Sim {
             link.transmitting = Some(next);
             self.push_event(now + dur, EvKind::TxDone { link: link_id });
         }
+        if self.telemetry.trace.wants(Category::LINK) {
+            self.telemetry.trace.push(TraceEvent::LinkTx {
+                t_ns: now.as_nanos(),
+                link: link_id.0 as u32,
+                from: q.from.0 as u32,
+                pkt: q.pkt.id,
+                bytes: q.pkt.wire_size() as u32,
+            });
+        }
         for (n, overheard) in receivers {
             self.push_event(
                 now + delay,
@@ -600,6 +755,44 @@ impl Sim {
                 },
             );
         }
+    }
+
+    // ---- telemetry -------------------------------------------------------
+
+    /// A deterministic snapshot of every metric the simulator tracks:
+    /// per-node delivery/drop counters, per-link transmit/drop counters
+    /// and queue-depth histograms, engine totals, and everything
+    /// applications or hooks recorded in `telemetry.metrics`.
+    ///
+    /// Key layout (all counters unless noted):
+    ///
+    /// - `node.<name>.delivered` / `.dropped` / `.cpu_drops`
+    /// - `link<i>.tx_packets` / `.tx_bytes` / `.drops`
+    /// - `link<i>.queue_depth` — histogram of queue length at enqueue
+    /// - `sim.link_drops_total`, `sim.events_processed`, `sim.packets`
+    /// - `sim.trace_recorded`, `sim.trace_evicted`
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.telemetry.metrics.snapshot();
+        for node in &self.nodes {
+            snap.set_counter(format!("node.{}.delivered", node.name), node.delivered);
+            snap.set_counter(format!("node.{}.dropped", node.name), node.dropped);
+            snap.set_counter(format!("node.{}.cpu_drops", node.name), node.cpu_drops);
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            snap.set_counter(format!("link{i}.tx_packets"), link.tx_packets);
+            snap.set_counter(format!("link{i}.tx_bytes"), link.tx_bytes);
+            snap.set_counter(format!("link{i}.drops"), link.drops);
+            let h = &self.link_qdepth[i];
+            if h.count() > 0 {
+                snap.set_histogram(format!("link{i}.queue_depth"), h);
+            }
+        }
+        snap.set_counter("sim.link_drops_total", self.total_link_drops);
+        snap.set_counter("sim.events_processed", self.events_processed);
+        snap.set_counter("sim.packets", self.next_pkt_id);
+        snap.set_counter("sim.trace_recorded", self.telemetry.trace.recorded());
+        snap.set_counter("sim.trace_evicted", self.telemetry.trace.evicted());
+        snap
     }
 }
 
@@ -628,6 +821,52 @@ impl NodeApi<'_> {
         self.node
     }
 
+    /// This node's name.
+    pub fn node_name(&self) -> &str {
+        &self.sim.nodes[self.node.0].name
+    }
+
+    /// The simulator's telemetry (event log and metrics registry), for
+    /// hooks and applications that record their own counters or events.
+    pub fn telemetry(&mut self) -> &mut Telemetry {
+        &mut self.sim.telemetry
+    }
+
+    /// Emits a [`TraceEvent::Dispatch`] for this node (cheap no-op when
+    /// the `dispatch` category is disabled).
+    pub fn trace_dispatch(
+        &mut self,
+        pkt: &Packet,
+        chan: Option<Rc<str>>,
+        outcome: DispatchOutcome,
+    ) {
+        if self.sim.telemetry.trace.wants(Category::DISPATCH) {
+            let ev = TraceEvent::Dispatch {
+                t_ns: self.sim.now.as_nanos(),
+                node: self.node.0 as u32,
+                pkt: pkt.id,
+                chan,
+                outcome,
+            };
+            self.sim.telemetry.trace.push(ev);
+        }
+    }
+
+    /// Emits a [`TraceEvent::Exception`] for this node (cheap no-op when
+    /// the `exception` category is disabled).
+    pub fn trace_exception(&mut self, pkt: &Packet, chan: Rc<str>, exn: Rc<str>) {
+        if self.sim.telemetry.trace.wants(Category::EXCEPTION) {
+            let ev = TraceEvent::Exception {
+                t_ns: self.sim.now.as_nanos(),
+                node: self.node.0 as u32,
+                pkt: pkt.id,
+                chan,
+                exn,
+            };
+            self.sim.telemetry.trace.push(ev);
+        }
+    }
+
     /// Sends a packet, routed by its destination address.
     pub fn send(&mut self, pkt: Packet) {
         self.sim.dispatch_send(self.node, pkt);
@@ -652,8 +891,14 @@ impl NodeApi<'_> {
     pub fn set_timer(&mut self, delay: Duration, key: u64) {
         let app = self.app.expect("set_timer requires an application context");
         let at = self.sim.now + delay;
-        self.sim
-            .push_event(at, EvKind::Timer { node: self.node, app, key });
+        self.sim.push_event(
+            at,
+            EvKind::Timer {
+                node: self.node,
+                app,
+                key,
+            },
+        );
     }
 
     /// Deterministic per-node randomness.
@@ -792,7 +1037,11 @@ mod tests {
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
         sim.add_app(
             a,
-            Box::new(Source { dst: addr(10, 0, 1, 1), n: 3, size: 100 }),
+            Box::new(Source {
+                dst: addr(10, 0, 1, 1),
+                n: 3,
+                size: 100,
+            }),
         );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got.borrow().len(), 3);
@@ -806,11 +1055,22 @@ mod tests {
         let a = sim.add_host("a", 1);
         let b = sim.add_host("b", 2);
         sim.add_link(
-            LinkSpec { kbps: 100, delay: Duration::from_millis(1), queue_pkts: 4 },
+            LinkSpec {
+                kbps: 100,
+                delay: Duration::from_millis(1),
+                queue_pkts: 4,
+            },
             &[a, b],
         );
         sim.compute_routes();
-        sim.add_app(a, Box::new(Source { dst: 2, n: 50, size: 1000 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 50,
+                size: 1000,
+            }),
+        );
         sim.run_until(SimTime::from_ms(10));
         assert!(sim.total_link_drops > 0);
         // 1 transmitting + 4 queued accepted; rest dropped.
@@ -824,7 +1084,14 @@ mod tests {
         let b = sim.add_host("b", 2);
         sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
         // No compute_routes.
-        sim.add_app(a, Box::new(Source { dst: 99, n: 1, size: 10 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 99,
+                n: 1,
+                size: 10,
+            }),
+        );
         sim.run_until(SimTime::from_ms(10));
         assert_eq!(sim.node(a).dropped, 1);
     }
@@ -840,7 +1107,14 @@ mod tests {
         sim.compute_routes();
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
-        sim.add_app(a, Box::new(Source { dst: 2, n: 1, size: 10 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 1,
+                size: 10,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got.borrow().len(), 0);
         assert_eq!(sim.node(h).dropped, 1);
@@ -862,7 +1136,14 @@ mod tests {
         sim.compute_routes();
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(last, Box::new(Sink { got: got.clone() }));
-        sim.add_app(ids[0], Box::new(Source { dst: 2000, n: 1, size: 10 }));
+        sim.add_app(
+            ids[0],
+            Box::new(Source {
+                dst: 2000,
+                n: 1,
+                size: 10,
+            }),
+        );
         sim.run_until(SimTime::from_secs(5));
         assert_eq!(got.borrow().len(), 0, "packet should die of TTL");
     }
@@ -898,8 +1179,20 @@ mod tests {
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
         let got_c = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(c, Box::new(Sink { got: got_c.clone() }));
-        sim.install_hook(c, Box::new(Spy { overheard: heard.clone() }));
-        sim.add_app(a, Box::new(Source { dst: 2, n: 2, size: 10 }));
+        sim.install_hook(
+            c,
+            Box::new(Spy {
+                overheard: heard.clone(),
+            }),
+        );
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 2,
+                size: 10,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got.borrow().len(), 2);
         assert_eq!(got_c.borrow().len(), 0);
@@ -925,7 +1218,14 @@ mod tests {
         sim.add_app(b, Box::new(Sink { got: gb.clone() }));
         sim.add_app(c, Box::new(Sink { got: gc.clone() }));
         sim.add_app(d, Box::new(Sink { got: gd.clone() }));
-        sim.add_app(src, Box::new(Source { dst: group, n: 1, size: 100 }));
+        sim.add_app(
+            src,
+            Box::new(Source {
+                dst: group,
+                n: 1,
+                size: 100,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(gb.borrow().len(), 1);
         assert_eq!(gc.borrow().len(), 1);
@@ -947,7 +1247,14 @@ mod tests {
         sim.subscribe(dst, group);
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(dst, Box::new(Sink { got: got.clone() }));
-        sim.add_app(src, Box::new(Source { dst: group, n: 4, size: 50 }));
+        sim.add_app(
+            src,
+            Box::new(Source {
+                dst: group,
+                n: 4,
+                size: 50,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got.borrow().len(), 4);
     }
@@ -978,12 +1285,24 @@ mod tests {
         let c = sim.add_host("c", addr(10, 0, 2, 1));
         sim.add_link(LinkSpec::ethernet_10(), &[r, c]);
         sim.compute_routes();
-        sim.install_hook(r, Box::new(Redirect { to: addr(10, 0, 2, 1) }));
+        sim.install_hook(
+            r,
+            Box::new(Redirect {
+                to: addr(10, 0, 2, 1),
+            }),
+        );
         let got_b = Rc::new(RefCell::new(Vec::new()));
         let got_c = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Sink { got: got_b.clone() }));
         sim.add_app(c, Box::new(Sink { got: got_c.clone() }));
-        sim.add_app(a, Box::new(Source { dst: addr(10, 0, 1, 1), n: 2, size: 10 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: addr(10, 0, 1, 1),
+                n: 2,
+                size: 10,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got_b.borrow().len(), 0);
         assert_eq!(got_c.borrow().len(), 2);
@@ -1029,11 +1348,21 @@ mod tests {
         sim.compute_routes();
         sim.set_cpu(
             b,
-            crate::node::CpuModel { per_packet: Duration::from_millis(1), queue_cap: 1000 },
+            crate::node::CpuModel {
+                per_packet: Duration::from_millis(1),
+                queue_cap: 1000,
+            },
         );
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
-        sim.add_app(a, Box::new(Source { dst: 2, n: 100, size: 100 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 100,
+                size: 100,
+            }),
+        );
         sim.run_until(SimTime::from_ms(50));
         let at_50ms = got.borrow().len();
         assert!(at_50ms < 60, "CPU should pace deliveries, got {at_50ms}");
@@ -1050,9 +1379,19 @@ mod tests {
         sim.compute_routes();
         sim.set_cpu(
             b,
-            crate::node::CpuModel { per_packet: Duration::from_millis(10), queue_cap: 5 },
+            crate::node::CpuModel {
+                per_packet: Duration::from_millis(10),
+                queue_cap: 5,
+            },
         );
-        sim.add_app(a, Box::new(Source { dst: 2, n: 50, size: 50 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 50,
+                size: 50,
+            }),
+        );
         sim.run_until(SimTime::from_secs(2));
         assert!(sim.node(b).cpu_drops > 0);
         assert_eq!(sim.node(b).cpu_drops + sim.node(b).delivered, 50);
@@ -1067,7 +1406,14 @@ mod tests {
         sim.alias_route_all(alias, b);
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
-        sim.add_app(a, Box::new(Source { dst: alias, n: 2, size: 10 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: alias,
+                n: 2,
+                size: 10,
+            }),
+        );
         sim.run_until(SimTime::from_ms(200));
         // The packets reach b's router; b itself has no alias route and,
         // being a host, drops traffic not addressed to it — but the
@@ -1081,7 +1427,14 @@ mod tests {
         let (mut sim, a, _r, b) = two_hosts_one_router();
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
-        sim.add_app(a, Box::new(Source { dst: addr(10, 0, 1, 1), n: 5, size: 10 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: addr(10, 0, 1, 1),
+                n: 5,
+                size: 10,
+            }),
+        );
         let processed = sim.run_to_idle(100_000);
         assert!(processed > 0);
         assert_eq!(got.borrow().len(), 5);
@@ -1092,14 +1445,28 @@ mod tests {
         let (mut sim, a, r, b) = two_hosts_one_router();
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
-        sim.add_app(a, Box::new(Source { dst: addr(10, 0, 1, 1), n: 3, size: 50 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: addr(10, 0, 1, 1),
+                n: 3,
+                size: 50,
+            }),
+        );
         sim.set_down(r, true);
         sim.run_until(SimTime::from_ms(100));
         assert_eq!(got.borrow().len(), 0, "router down: nothing arrives");
         assert_eq!(sim.node(r).dropped, 3);
         // Revive and send again.
         sim.set_down(r, false);
-        sim.add_app(a, Box::new(Source { dst: addr(10, 0, 1, 1), n: 2, size: 50 }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: addr(10, 0, 1, 1),
+                n: 2,
+                size: 50,
+            }),
+        );
         sim.run_until(SimTime::from_ms(200));
         assert_eq!(got.borrow().len(), 2);
     }
@@ -1111,11 +1478,22 @@ mod tests {
             let a = sim.add_host("a", 1);
             let b = sim.add_host("b", 2);
             sim.add_link(
-                LinkSpec { kbps: 500, delay: Duration::from_millis(1), queue_pkts: 5 },
+                LinkSpec {
+                    kbps: 500,
+                    delay: Duration::from_millis(1),
+                    queue_pkts: 5,
+                },
                 &[a, b],
             );
             sim.compute_routes();
-            sim.add_app(a, Box::new(Source { dst: 2, n: 40, size: 300 }));
+            sim.add_app(
+                a,
+                Box::new(Source {
+                    dst: 2,
+                    n: 40,
+                    size: 300,
+                }),
+            );
             sim.run_until(SimTime::from_secs(10));
             (sim.node(b).delivered, sim.total_link_drops)
         };
@@ -1152,15 +1530,20 @@ mod tests {
             }
             fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
             fn on_timer(&mut self, api: &mut NodeApi<'_>, _key: u64) {
-                let pkt =
-                    Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from(vec![0u8; 1250]));
+                let pkt = Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from(vec![0u8; 1250]));
                 api.send(pkt);
                 api.set_timer(Duration::from_millis(5), 0);
             }
         }
         let reading = Rc::new(RefCell::new(0));
         sim.add_app(a, Box::new(Pacer { dst: 2 }));
-        sim.add_app(a, Box::new(Probe { out: reading.clone(), dst: 2 }));
+        sim.add_app(
+            a,
+            Box::new(Probe {
+                out: reading.clone(),
+                dst: 2,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         let r = *reading.borrow();
         assert!((1500..=2600).contains(&r), "measured {r} kb/s");

@@ -41,18 +41,20 @@ impl TimeSeries {
         self.points.iter().map(|&(_, v)| v).sum()
     }
 
-    /// Mean of the values recorded in `[t0, t1)`.
+    /// Mean of the values recorded in `[t0, t1)`. Single pass, no
+    /// intermediate allocation.
     pub fn avg_between(&self, t0: f64, t1: f64) -> Option<f64> {
-        let vals: Vec<f64> = self
-            .points
-            .iter()
-            .filter(|&&(t, _)| t >= t0 && t < t1)
-            .map(|&(_, v)| v)
-            .collect();
-        if vals.is_empty() {
+        let (mut sum, mut n) = (0.0, 0u64);
+        for &(t, v) in &self.points {
+            if t >= t0 && t < t1 {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
             None
         } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            Some(sum / n as f64)
         }
     }
 
@@ -107,6 +109,12 @@ pub struct SeriesStore {
 
 impl SeriesStore {
     /// Records `(t, v)` under `name`.
+    ///
+    /// Windowed queries over the store's series (`avg_between`,
+    /// `sum_between`, `percentile_between`) use **half-open** windows
+    /// `[t0, t1)`: a point recorded exactly at `t1` belongs to the
+    /// *next* window. Record at the start of each measurement interval
+    /// so adjacent windows never double-count.
     pub fn record(&mut self, name: &str, t: f64, v: f64) {
         self.series.entry(name.to_string()).or_default().push(t, v);
     }

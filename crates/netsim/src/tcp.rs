@@ -206,7 +206,9 @@ impl TcpSocket {
     /// Feeds an arriving segment addressed to this socket.
     pub fn on_segment(&mut self, pkt: &Packet, now: SimTime) -> TcpEvents {
         let mut ev = TcpEvents::default();
-        let Some(hdr) = pkt.tcp_hdr().copied() else { return ev };
+        let Some(hdr) = pkt.tcp_hdr().copied() else {
+            return ev;
+        };
         self.last_activity = now;
         self.retries = 0;
 
@@ -224,8 +226,12 @@ impl TcpSocket {
                     self.snd_una = hdr.ack;
                     self.state = TcpState::Established;
                     ev.established = true;
-                    ev.to_send
-                        .push(self.segment(self.snd_next, self.rcv_next, tcp_flags::ACK, Bytes::new()));
+                    ev.to_send.push(self.segment(
+                        self.snd_next,
+                        self.rcv_next,
+                        tcp_flags::ACK,
+                        Bytes::new(),
+                    ));
                     self.pump(now, &mut ev);
                 }
             }
@@ -289,17 +295,22 @@ impl TcpSocket {
             // Duplicate (< rcv_next): just re-ACK below.
         }
         if hdr.has(tcp_flags::FIN)
-            && (hdr.seq == self.rcv_next || (advanced && hdr.seq.wrapping_add(pkt.payload.len() as u32) == self.rcv_next))
-            {
-                // In-order FIN (possibly after its own payload); it
-                // occupies one sequence number.
-                self.rcv_next = self.rcv_next.wrapping_add(1);
-                self.peer_fin = true;
-                ev.closed = true;
-            }
+            && (hdr.seq == self.rcv_next
+                || (advanced && hdr.seq.wrapping_add(pkt.payload.len() as u32) == self.rcv_next))
+        {
+            // In-order FIN (possibly after its own payload); it
+            // occupies one sequence number.
+            self.rcv_next = self.rcv_next.wrapping_add(1);
+            self.peer_fin = true;
+            ev.closed = true;
+        }
         if !pkt.payload.is_empty() || hdr.has(tcp_flags::FIN) {
-            ev.to_send
-                .push(self.segment(self.snd_next, self.rcv_next, tcp_flags::ACK, Bytes::new()));
+            ev.to_send.push(self.segment(
+                self.snd_next,
+                self.rcv_next,
+                tcp_flags::ACK,
+                Bytes::new(),
+            ));
         }
     }
 
@@ -363,12 +374,8 @@ impl TcpSocket {
         self.last_activity = now;
         match self.state {
             TcpState::SynSent => {
-                ev.to_send.push(self.segment(
-                    self.snd_una,
-                    0,
-                    tcp_flags::SYN,
-                    Bytes::new(),
-                ));
+                ev.to_send
+                    .push(self.segment(self.snd_una, 0, tcp_flags::SYN, Bytes::new()));
             }
             TcpState::SynRcvd => {
                 ev.to_send.push(self.segment(
@@ -423,7 +430,11 @@ impl ConnKey {
     /// Builds the key for an arriving packet.
     pub fn of(pkt: &Packet) -> Option<ConnKey> {
         let h = pkt.tcp_hdr()?;
-        Some(ConnKey { raddr: pkt.ip.src, rport: h.sport, lport: h.dport })
+        Some(ConnKey {
+            raddr: pkt.ip.src,
+            rport: h.sport,
+            lport: h.dport,
+        })
     }
 }
 
@@ -555,17 +566,17 @@ mod tests {
     #[test]
     fn window_limits_in_flight_bytes() {
         let now = SimTime::ZERO;
-        let cfg = TcpConfig { window_segs: 2, mss: 100, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            window_segs: 2,
+            mss: 100,
+            ..TcpConfig::default()
+        };
         let (mut c, syn) = TcpSocket::connect(cfg, (1, 5000), (2, 80), now);
         let (_s, synack) = TcpSocket::accept(cfg, (2, 80), &syn, now).unwrap();
         c.on_segment(&synack, now);
         let ev = c.send(&vec![0u8; 1000], now);
         // Only window_segs * mss = 200 bytes may be in flight.
-        let sent: usize = ev
-            .to_send
-            .iter()
-            .map(|p| p.payload.len())
-            .sum();
+        let sent: usize = ev.to_send.iter().map(|p| p.payload.len()).sum();
         assert_eq!(sent, 200);
         assert_eq!(c.in_flight(), 200);
     }
@@ -573,7 +584,10 @@ mod tests {
     #[test]
     fn retry_exhaustion_fails_connection() {
         let mut now = SimTime::ZERO;
-        let cfg = TcpConfig { max_retries: 2, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            max_retries: 2,
+            ..TcpConfig::default()
+        };
         let (mut c, _syn) = TcpSocket::connect(cfg, (1, 5000), (2, 80), now);
         // Nobody answers; tick past the RTO repeatedly.
         let mut failed = false;
@@ -593,7 +607,14 @@ mod tests {
     fn conn_key_from_packet() {
         let pkt = Packet::tcp(9, 2, TcpHdr::data(5000, 80, 1), Bytes::new());
         let k = ConnKey::of(&pkt).unwrap();
-        assert_eq!(k, ConnKey { raddr: 9, rport: 5000, lport: 80 });
+        assert_eq!(
+            k,
+            ConnKey {
+                raddr: 9,
+                rport: 5000,
+                lport: 80
+            }
+        );
     }
 
     #[test]

@@ -32,6 +32,11 @@ impl SimTime {
         self.0 as f64 / 1e9
     }
 
+    /// This time as whole nanoseconds (the native resolution).
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
     /// This time as whole milliseconds.
     pub fn as_ms(self) -> u64 {
         self.0 / 1_000_000

@@ -1,12 +1,16 @@
 //! Property tests over the simulator core: conservation, determinism,
 //! and mini-TCP integrity under arbitrary loss patterns.
+//!
+//! Cases are generated from fixed seeds with the simulator's own
+//! deterministic RNG, so a failing case is reproducible from its index.
 
 use bytes::Bytes;
 use netsim::packet::{addr, Packet};
+use netsim::rng::SplitMix64;
 use netsim::tcp::{TcpConfig, TcpSocket};
 use netsim::{App, LinkSpec, NodeApi, Sim, SimTime};
-use proptest::prelude::*;
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -46,85 +50,128 @@ impl App for Blaster {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Every packet sent is either delivered, dropped at a queue, or
+/// dropped at a node — never duplicated, never lost silently.
+#[test]
+fn packet_conservation_on_a_chain() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xC0DE_0000 + case);
+        let n = 1 + rng.next_below(119) as u32;
+        let size = 16 + rng.next_below(1384) as usize;
+        let gap_us = 50 + rng.next_below(4950);
+        let kbps = 200 + rng.next_below(19_800);
+        let queue = 2 + rng.next_below(30) as usize;
+        let hops = 1 + rng.next_below(3) as usize;
 
-    /// Every packet sent is either delivered, dropped at a queue, or
-    /// dropped at a node — never duplicated, never lost silently.
-    #[test]
-    fn packet_conservation_on_a_chain(
-        n in 1u32..120,
-        size in 16usize..1400,
-        gap_us in 50u64..5000,
-        kbps in 200u64..20_000,
-        queue in 2usize..32,
-        hops in 1usize..4,
-    ) {
         let mut sim = Sim::new(42);
         let src = sim.add_host("src", addr(10, 0, 0, 1));
         let mut prev = src;
         for h in 0..hops {
             let r = sim.add_router(&format!("r{h}"), addr(10, 0, 1, h as u8 + 1));
             sim.add_link(
-                LinkSpec { kbps, delay: Duration::from_micros(100), queue_pkts: queue },
+                LinkSpec {
+                    kbps,
+                    delay: Duration::from_micros(100),
+                    queue_pkts: queue,
+                },
                 &[prev, r],
             );
             prev = r;
         }
         let dst = sim.add_host("dst", addr(10, 0, 2, 1));
         sim.add_link(
-            LinkSpec { kbps, delay: Duration::from_micros(100), queue_pkts: queue },
+            LinkSpec {
+                kbps,
+                delay: Duration::from_micros(100),
+                queue_pkts: queue,
+            },
             &[prev, dst],
         );
         sim.compute_routes();
         let got = Rc::new(RefCell::new(0u64));
         sim.add_app(dst, Box::new(Counter { got: got.clone() }));
-        sim.add_app(src, Box::new(Blaster { dst: addr(10, 0, 2, 1), n, size, gap_us }));
+        sim.add_app(
+            src,
+            Box::new(Blaster {
+                dst: addr(10, 0, 2, 1),
+                n,
+                size,
+                gap_us,
+            }),
+        );
         sim.run_until(SimTime::from_secs(600));
 
         let node_drops: u64 = (0..hops + 2)
             .map(|i| sim.node(netsim::NodeId(i)).dropped)
             .sum();
         let delivered = *got.borrow();
-        prop_assert_eq!(
+        assert_eq!(
             delivered + sim.total_link_drops + node_drops,
-            n as u64,
-            "delivered {} + link drops {} + node drops {} != sent {}",
-            delivered, sim.total_link_drops, node_drops, n
+            u64::from(n),
+            "case {case}: delivered {} + link drops {} + node drops {} != sent {}",
+            delivered,
+            sim.total_link_drops,
+            node_drops,
+            n
         );
     }
+}
 
-    /// Identical seeds and parameters give identical outcomes.
-    #[test]
-    fn determinism(seed in any::<u64>(), n in 1u32..60) {
+/// Identical seeds and parameters give identical outcomes.
+#[test]
+fn determinism() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xC0DE_1000 + case);
+        let seed = rng.next_u64();
+        let n = 1 + rng.next_below(59) as u32;
         let run = || {
             let mut sim = Sim::new(seed);
             let a = sim.add_host("a", 1);
             let b = sim.add_host("b", 2);
             sim.add_link(
-                LinkSpec { kbps: 900, delay: Duration::from_millis(1), queue_pkts: 4 },
+                LinkSpec {
+                    kbps: 900,
+                    delay: Duration::from_millis(1),
+                    queue_pkts: 4,
+                },
                 &[a, b],
             );
             sim.compute_routes();
             let got = Rc::new(RefCell::new(0u64));
             sim.add_app(b, Box::new(Counter { got: got.clone() }));
-            sim.add_app(a, Box::new(Blaster { dst: 2, n, size: 700, gap_us: 300 }));
+            sim.add_app(
+                a,
+                Box::new(Blaster {
+                    dst: 2,
+                    n,
+                    size: 700,
+                    gap_us: 300,
+                }),
+            );
             sim.run_until(SimTime::from_secs(60));
             let delivered = *got.borrow();
             (delivered, sim.total_link_drops)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    /// Mini-TCP delivers the exact byte stream whatever subset of
-    /// segments the wire drops (as long as it is finite).
-    #[test]
-    fn tcp_survives_arbitrary_loss(
-        len in 1usize..20_000,
-        drops in proptest::collection::btree_set(1usize..200, 0..12),
-    ) {
+/// Mini-TCP delivers the exact byte stream whatever subset of segments
+/// the wire drops (as long as it is finite).
+#[test]
+fn tcp_survives_arbitrary_loss() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xC0DE_2000 + case);
+        let len = 1 + rng.next_below(19_999) as usize;
+        let drops: BTreeSet<usize> = (0..rng.next_below(12))
+            .map(|_| 1 + rng.next_below(199) as usize)
+            .collect();
+
         let mut now = SimTime::ZERO;
-        let cfg = TcpConfig { max_retries: 50, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            max_retries: 50,
+            ..TcpConfig::default()
+        };
         let (mut c, syn) = TcpSocket::connect(cfg, (1, 5000), (2, 80), now);
         let (mut s, synack) = TcpSocket::accept(cfg, (2, 80), &syn, now).unwrap();
         let ev = c.on_segment(&synack, now);
@@ -139,7 +186,7 @@ proptest! {
         let mut steps = 0;
         loop {
             steps += 1;
-            prop_assert!(steps < 100_000, "did not converge");
+            assert!(steps < 100_000, "case {case}: did not converge");
             if let Some((to_s, pkt)) = wire.first().cloned() {
                 wire.remove(0);
                 count += 1;
@@ -161,11 +208,11 @@ proptest! {
                 now += Duration::from_millis(250);
                 let e1 = c.on_tick(now);
                 let e2 = s.on_tick(now);
-                prop_assert!(!e1.failed && !e2.failed, "connection died");
+                assert!(!e1.failed && !e2.failed, "case {case}: connection died");
                 wire.extend(e1.to_send.into_iter().map(|p| (true, p)));
                 wire.extend(e2.to_send.into_iter().map(|p| (false, p)));
             }
         }
-        prop_assert_eq!(received, data);
+        assert_eq!(received, data, "case {case}");
     }
 }

@@ -38,7 +38,9 @@ pub fn packet_to_value(pkt: &Packet, shape: &PacketShape) -> Option<Value> {
 /// programs).
 pub fn value_to_packet(v: &Value, tag: Option<ChannelTag>) -> Result<Packet, VmError> {
     let Value::Tuple(parts) = v else {
-        return Err(VmError::trap(format!("sent value is not a packet tuple: {v:?}")));
+        return Err(VmError::trap(format!(
+            "sent value is not a packet tuple: {v:?}"
+        )));
     };
     let mut it = parts.iter();
     let ip = match it.next() {
@@ -59,7 +61,13 @@ pub fn value_to_packet(v: &Value, tag: Option<ChannelTag>) -> Result<Packet, VmE
         }
     }
     let payload = encode_payload(&rest);
-    Ok(Packet { ip, transport, payload, tag })
+    Ok(Packet {
+        ip,
+        transport,
+        payload,
+        tag,
+        id: 0,
+    })
 }
 
 #[cfg(test)]
@@ -116,7 +124,10 @@ mod tests {
             Value::Udp(UdpHdr::new(5, 6)),
             Value::Blob(Bytes::from_static(b"x")),
         ]);
-        let tag = ChannelTag { chan: "audio".into(), overload: 0 };
+        let tag = ChannelTag {
+            chan: "audio".into(),
+            overload: 0,
+        };
         let pkt = value_to_packet(&v, Some(tag.clone())).unwrap();
         assert_eq!(pkt.tag, Some(tag));
         assert!(matches!(pkt.transport, Transport::Udp(_)));
@@ -136,6 +147,7 @@ mod tests {
             transport: Transport::None,
             payload: Bytes::from_static(b"raw"),
             tag: None,
+            id: 0,
         };
         let sh = shape("ip*blob");
         let v = packet_to_value(&pkt, &sh).unwrap();
@@ -148,12 +160,19 @@ mod tests {
 
     #[test]
     fn rewritten_header_survives_round_trip() {
-        let pkt = Packet::tcp(7, 8, TcpHdr::data(1000, 80, 5), Bytes::from_static(b"GET /"));
+        let pkt = Packet::tcp(
+            7,
+            8,
+            TcpHdr::data(1000, 80, 5),
+            Bytes::from_static(b"GET /"),
+        );
         let sh = shape("ip*tcp*blob");
         let v = packet_to_value(&pkt, &sh).unwrap();
         // Simulate what an ASP does: rebuild with a new destination.
         let Value::Tuple(parts) = &v else { panic!() };
-        let Value::Ip(mut ip) = parts[0] else { panic!() };
+        let Value::Ip(mut ip) = parts[0] else {
+            panic!()
+        };
         ip.dst = 99;
         let rewritten = Value::tuple(vec![Value::Ip(ip), parts[1].clone(), parts[2].clone()]);
         let back = value_to_packet(&rewritten, None).unwrap();

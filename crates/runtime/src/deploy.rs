@@ -135,8 +135,9 @@ impl DeployService {
 
     fn try_install(&mut self, api: &mut NodeApi<'_>, source: &str) -> Result<usize, String> {
         let image = load(source, self.policy).map_err(|e| e.to_string())?;
+        let name = api.node_name().to_string();
         let layer =
-            PlanpLayer::new(&image, self.config, api.addr()).map_err(|e| e.to_string())?;
+            PlanpLayer::new(&image, self.config, api.addr(), &name).map_err(|e| e.to_string())?;
         let handle = layer.handle();
         api.install_hook(Box::new(layer));
         self.log.borrow_mut().handle = Some(handle);
@@ -175,7 +176,9 @@ impl App for DeployService {
         }
 
         // Complete when the final chunk is known and all indices are in.
-        let Some(&last) = self.last_chunk.get(&key) else { return };
+        let Some(&last) = self.last_chunk.get(&key) else {
+            return;
+        };
         let chunks = &self.transfers[&key];
         if (0..=last).any(|i| !chunks.contains_key(&i)) {
             return;
@@ -266,7 +269,13 @@ mod tests {
 
     fn setup(
         policy: Policy,
-    ) -> (Sim, netsim::NodeId, netsim::NodeId, netsim::NodeId, Rc<RefCell<DeployLog>>) {
+    ) -> (
+        Sim,
+        netsim::NodeId,
+        netsim::NodeId,
+        netsim::NodeId,
+        Rc<RefCell<DeployLog>>,
+    ) {
         let mut sim = Sim::new(8);
         let op = sim.add_host("operator", addr(10, 0, 0, 1));
         let r = sim.add_router("router", addr(10, 0, 0, 254));
@@ -286,7 +295,13 @@ mod tests {
         let replies = Rc::new(RefCell::new(Vec::new()));
         let packets = deploy_packets(addr(10, 0, 0, 1), addr(10, 0, 0, 254), 1, FORWARDER);
         assert_eq!(packets.len(), 1, "small program fits one chunk");
-        sim.add_app(op, Box::new(Operator { packets, replies: replies.clone() }));
+        sim.add_app(
+            op,
+            Box::new(Operator {
+                packets,
+                replies: replies.clone(),
+            }),
+        );
         // Traffic that should be counted by the deployed program.
         sim.add_app(
             op,
@@ -315,8 +330,18 @@ mod tests {
         let (mut sim, op, _r, _b, log) = setup(Policy::strict());
         let replies = Rc::new(RefCell::new(Vec::new()));
         let packets = deploy_packets(addr(10, 0, 0, 1), addr(10, 0, 0, 254), 2, &big);
-        assert!(packets.len() >= 3, "expected several chunks, got {}", packets.len());
-        sim.add_app(op, Box::new(Operator { packets, replies: replies.clone() }));
+        assert!(
+            packets.len() >= 3,
+            "expected several chunks, got {}",
+            packets.len()
+        );
+        sim.add_app(
+            op,
+            Box::new(Operator {
+                packets,
+                replies: replies.clone(),
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(log.borrow().installed, 1);
         assert_eq!(replies.borrow().as_slice(), ["OK 2\n"]);
@@ -329,7 +354,13 @@ mod tests {
         let (mut sim, op, r, b, log) = setup(Policy::strict());
         let replies = Rc::new(RefCell::new(Vec::new()));
         let packets = deploy_packets(addr(10, 0, 0, 1), addr(10, 0, 0, 254), 3, bouncer);
-        sim.add_app(op, Box::new(Operator { packets, replies: replies.clone() }));
+        sim.add_app(
+            op,
+            Box::new(Operator {
+                packets,
+                replies: replies.clone(),
+            }),
+        );
         sim.add_app(
             op,
             Box::new(Blast {
@@ -354,8 +385,19 @@ mod tests {
         // First a dropper, then a forwarder, then uninstall.
         let dropper = "channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)";
         let mut packets = deploy_packets(addr(10, 0, 0, 1), addr(10, 0, 0, 254), 1, dropper);
-        packets.extend(deploy_packets(addr(10, 0, 0, 1), addr(10, 0, 0, 254), 2, FORWARDER));
-        sim.add_app(op, Box::new(Operator { packets, replies: replies.clone() }));
+        packets.extend(deploy_packets(
+            addr(10, 0, 0, 1),
+            addr(10, 0, 0, 254),
+            2,
+            FORWARDER,
+        ));
+        sim.add_app(
+            op,
+            Box::new(Operator {
+                packets,
+                replies: replies.clone(),
+            }),
+        );
         sim.add_app(
             op,
             Box::new(Blast {
@@ -381,7 +423,9 @@ mod tests {
         }
         sim.add_app(
             op,
-            Box::new(One { pkt: Some(uninstall_packet(addr(10, 0, 0, 1), addr(10, 0, 0, 254))) }),
+            Box::new(One {
+                pkt: Some(uninstall_packet(addr(10, 0, 0, 1), addr(10, 0, 0, 254))),
+            }),
         );
         sim.run_until(SimTime::from_secs(2));
         assert_eq!(log.borrow().uninstalled, 1);

@@ -14,6 +14,7 @@ use crate::loader::LoadedProgram;
 use netsim::packet::{ChannelTag, Packet};
 use netsim::{ArrivalMeta, HookVerdict, NodeApi, PacketHook, Sim};
 use planp_lang::tast::TProgram;
+use planp_telemetry::DispatchOutcome;
 use planp_vm::env::NetEnv;
 use planp_vm::interp::Interp;
 use planp_vm::jit::CompiledProgram;
@@ -41,6 +42,13 @@ pub struct LayerStats {
     /// Channel executions that failed (uncaught exception or trap);
     /// the packet falls back to standard processing.
     pub errors: u64,
+    /// Packets a channel consumed without forwarding or delivering
+    /// anything — the ASP intentionally ate the packet (filters,
+    /// discard policies).
+    pub dropped: u64,
+    /// Total VM execution steps charged by channel runs (interpreter
+    /// nodes evaluated or JIT templates executed).
+    pub vm_steps: u64,
 }
 
 /// UDP port reserved for the management plane (program deployment);
@@ -83,6 +91,17 @@ pub struct PlanpHandle {
     pub output: Rc<RefCell<String>>,
 }
 
+/// Per-channel telemetry names, precomputed at install time so the
+/// packet path never formats a string. Channel overloads sharing a name
+/// share the same metric keys (per-channel = per channel *name*).
+struct ChanMeta {
+    name: Rc<str>,
+    m_dispatch: String,
+    m_errors: String,
+    m_dropped: String,
+    m_vm_steps: String,
+}
+
 /// The installed PLAN-P layer for one node.
 pub struct PlanpLayer {
     prog: Rc<TProgram>,
@@ -93,6 +112,9 @@ pub struct PlanpLayer {
     chan_states: Vec<Value>,
     stats: Rc<RefCell<LayerStats>>,
     output: Rc<RefCell<String>>,
+    chan_meta: Vec<ChanMeta>,
+    /// Metric key for packets falling back to standard IP processing.
+    m_fallback: String,
 }
 
 impl PlanpLayer {
@@ -102,7 +124,12 @@ impl PlanpLayer {
     /// # Errors
     ///
     /// Propagates load-time evaluation failures.
-    pub fn new(image: &LoadedProgram, config: LayerConfig, node_addr: u32) -> Result<Self, VmError> {
+    pub fn new(
+        image: &LoadedProgram,
+        config: LayerConfig,
+        node_addr: u32,
+        node_name: &str,
+    ) -> Result<Self, VmError> {
         // Initializers are pure (enforced by the checker); a mock
         // environment satisfies the interface.
         let mut env = planp_vm::env::MockEnv::new(node_addr);
@@ -113,6 +140,18 @@ impl PlanpLayer {
         for i in 0..image.prog.channels.len() {
             chan_states.push(compiled.init_channel_state(i, &globals, &mut env)?);
         }
+        let chan_meta = image
+            .prog
+            .channels
+            .iter()
+            .map(|ch| ChanMeta {
+                name: ch.name.as_str().into(),
+                m_dispatch: format!("node.{node_name}.chan.{}.dispatch", ch.name),
+                m_errors: format!("node.{node_name}.chan.{}.errors", ch.name),
+                m_dropped: format!("node.{node_name}.chan.{}.dropped", ch.name),
+                m_vm_steps: format!("node.{node_name}.chan.{}.vm_steps", ch.name),
+            })
+            .collect();
         Ok(PlanpLayer {
             prog: image.prog.clone(),
             compiled,
@@ -122,12 +161,17 @@ impl PlanpLayer {
             chan_states,
             stats: Rc::new(RefCell::new(LayerStats::default())),
             output: Rc::new(RefCell::new(String::new())),
+            chan_meta,
+            m_fallback: format!("node.{node_name}.planp.fallback_ip"),
         })
     }
 
     /// The shared handle (counters + print output).
     pub fn handle(&self) -> PlanpHandle {
-        PlanpHandle { stats: self.stats.clone(), output: self.output.clone() }
+        PlanpHandle {
+            stats: self.stats.clone(),
+            output: self.output.clone(),
+        }
     }
 
     /// Finds the channel that should process `pkt`, with its decoded
@@ -154,25 +198,25 @@ impl PlanpLayer {
 }
 
 impl PacketHook for PlanpLayer {
-    fn on_packet(
-        &mut self,
-        api: &mut NodeApi<'_>,
-        pkt: Packet,
-        meta: &ArrivalMeta,
-    ) -> HookVerdict {
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: Packet, meta: &ArrivalMeta) -> HookVerdict {
         if meta.overheard && !self.config.process_overheard {
             return HookVerdict::Pass(pkt);
         }
         if self.config.bypass_management
             && pkt.udp_hdr().is_some_and(|u| u.dport == MANAGEMENT_PORT)
         {
+            api.trace_dispatch(&pkt, None, DispatchOutcome::Bypass);
             return HookVerdict::Pass(pkt);
         }
         let Some((idx, value)) = self.dispatch(&pkt) else {
             self.stats.borrow_mut().passed += 1;
+            api.trace_dispatch(&pkt, None, DispatchOutcome::NoMatch);
+            api.telemetry().metrics.inc(&self.m_fallback);
             return HookVerdict::Pass(pkt);
         };
         self.stats.borrow_mut().matched += 1;
+        let cm = &self.chan_meta[idx];
+        api.telemetry().metrics.inc(&cm.m_dispatch);
 
         let ps = self.proto.clone();
         let ss = self.chan_states[idx].clone();
@@ -181,24 +225,48 @@ impl PacketHook for PlanpLayer {
             prog: &self.prog,
             output: &self.output,
             emitted: 0,
+            vm_steps: 0,
         };
         let result = match self.config.engine {
-            Engine::Jit => {
-                self.compiled
-                    .run_channel(idx, &self.globals, ps, ss, value, &mut env)
-            }
-            Engine::Interp => Interp::new(&self.prog)
+            Engine::Jit => self
+                .compiled
                 .run_channel(idx, &self.globals, ps, ss, value, &mut env),
+            Engine::Interp => {
+                Interp::new(&self.prog).run_channel(idx, &self.globals, ps, ss, value, &mut env)
+            }
         };
+        let emitted = env.emitted;
+        let vm_steps = env.vm_steps;
+        self.stats.borrow_mut().vm_steps += vm_steps;
+        api.telemetry().metrics.add(&cm.m_vm_steps, vm_steps);
         match result {
             Ok((ps, ss)) => {
                 self.proto = ps;
                 self.chan_states[idx] = ss;
+                if emitted == 0 {
+                    // The channel ate the packet without re-emitting or
+                    // delivering anything: an intentional drop.
+                    self.stats.borrow_mut().dropped += 1;
+                    api.telemetry().metrics.inc(&cm.m_dropped);
+                    api.trace_dispatch(&pkt, Some(cm.name.clone()), DispatchOutcome::Consumed);
+                } else {
+                    api.trace_dispatch(&pkt, Some(cm.name.clone()), DispatchOutcome::Matched);
+                }
                 HookVerdict::Handled
             }
-            Err(_) => {
+            Err(e) => {
                 self.stats.borrow_mut().errors += 1;
-                if env.emitted > 0 {
+                api.telemetry().metrics.inc(&cm.m_errors);
+                api.trace_dispatch(&pkt, Some(cm.name.clone()), DispatchOutcome::Error);
+                let exn: Rc<str> = match &e {
+                    VmError::Exn(id) => match self.prog.exns.get(id.0 as usize) {
+                        Some(name) => name.as_str().into(),
+                        None => format!("exn#{}", id.0).into(),
+                    },
+                    VmError::Trap(m) => format!("trap: {m}").into(),
+                };
+                api.trace_exception(&pkt, cm.name.clone(), exn);
+                if emitted > 0 {
                     // The program already re-sent or delivered something;
                     // passing the original through as well would duplicate
                     // the packet. Treat it as handled.
@@ -206,6 +274,7 @@ impl PacketHook for PlanpLayer {
                 } else {
                     // Fail open: a misbehaving program must not take the
                     // router down; the packet gets standard processing.
+                    api.telemetry().metrics.inc(&self.m_fallback);
                     HookVerdict::Pass(pkt)
                 }
             }
@@ -223,6 +292,8 @@ struct SimNetEnv<'a, 'b> {
     /// decide whether a failed run may still fall back to standard
     /// processing without duplicating the packet).
     emitted: u32,
+    /// VM steps charged by the current channel run.
+    vm_steps: u64,
 }
 
 impl SimNetEnv<'_, '_> {
@@ -232,7 +303,10 @@ impl SimNetEnv<'_, '_> {
         if chan == "network" {
             None
         } else {
-            Some(ChannelTag { chan: chan.into(), overload })
+            Some(ChannelTag {
+                chan: chan.into(),
+                overload,
+            })
         }
     }
 
@@ -317,6 +391,10 @@ impl NetEnv for SimNetEnv<'_, '_> {
     fn print(&mut self, text: &str) {
         self.output.borrow_mut().push_str(text);
     }
+
+    fn charge_steps(&mut self, n: u64) {
+        self.vm_steps += n;
+    }
 }
 
 /// Loads an already-verified program onto a node of the simulator.
@@ -332,7 +410,8 @@ pub fn install_planp(
     config: LayerConfig,
 ) -> Result<PlanpHandle, VmError> {
     let addr = sim.node(node).addr;
-    let layer = PlanpLayer::new(image, config, addr)?;
+    let name = sim.node(node).name.clone();
+    let layer = PlanpLayer::new(image, config, addr, &name)?;
     let handle = layer.handle();
     sim.install_hook(node, Box::new(layer));
     Ok(handle)
@@ -379,10 +458,7 @@ mod tests {
     }
 
     /// host A — router R — host B, program installed on R.
-    fn triangle(
-        src: &str,
-        config: LayerConfig,
-    ) -> (Sim, PlanpHandle, Rc<RefCell<Vec<Packet>>>) {
+    fn triangle(src: &str, config: LayerConfig) -> (Sim, PlanpHandle, Rc<RefCell<Vec<Packet>>>) {
         let image = load(src, Policy::no_delivery()).expect("program loads");
         let mut sim = Sim::new(3);
         let a = sim.add_host("a", addr(10, 0, 0, 1));
@@ -394,7 +470,13 @@ mod tests {
         let handle = install_planp(&mut sim, r, &image, config).expect("install");
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
-        sim.add_app(a, Box::new(Blast { dst: addr(10, 0, 1, 1), n: 5 }));
+        sim.add_app(
+            a,
+            Box::new(Blast {
+                dst: addr(10, 0, 1, 1),
+                n: 5,
+            }),
+        );
         (sim, handle, got)
     }
 
@@ -413,7 +495,10 @@ mod tests {
     fn interp_engine_behaves_identically() {
         let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
                    (OnRemote(network, p); (ps + 1, ss))";
-        let cfg = LayerConfig { engine: Engine::Interp, ..LayerConfig::default() };
+        let cfg = LayerConfig {
+            engine: Engine::Interp,
+            ..LayerConfig::default()
+        };
         let (mut sim, handle, got) = triangle(src, cfg);
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got.borrow().len(), 5);
@@ -470,7 +555,13 @@ mod tests {
         let handle = install_planp(&mut sim, r, &image, LayerConfig::default()).unwrap();
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Sink { got: got.clone() }));
-        sim.add_app(a, Box::new(Blast { dst: addr(10, 0, 1, 1), n: 2 }));
+        sim.add_app(
+            a,
+            Box::new(Blast {
+                dst: addr(10, 0, 1, 1),
+                n: 2,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(handle.stats.borrow().errors, 2);
         assert_eq!(got.borrow().len(), 2, "fail-open forwarding");
@@ -499,12 +590,20 @@ mod tests {
         impl netsim::App for Tagged {
             fn on_start(&mut self, api: &mut NodeApi<'_>) {
                 let mut pkt = Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from_static(b"x"));
-                pkt.tag = Some(netsim::packet::ChannelTag { chan: "elsewhere".into(), overload: 0 });
+                pkt.tag = Some(netsim::packet::ChannelTag {
+                    chan: "elsewhere".into(),
+                    overload: 0,
+                });
                 api.send(pkt);
             }
             fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
         }
-        sim.add_app(a, Box::new(Tagged { dst: addr(10, 0, 1, 1) }));
+        sim.add_app(
+            a,
+            Box::new(Tagged {
+                dst: addr(10, 0, 1, 1),
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got.borrow().len(), 1, "tagged packet forwarded normally");
         assert_eq!(handle.stats.borrow().matched, 0);
@@ -548,7 +647,12 @@ channel network(ps : unit, ss : unit, p : ip*udp*char*bool) is
             }
             fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
         }
-        sim.add_app(a, Box::new(Two { dst: addr(10, 0, 1, 1) }));
+        sim.add_app(
+            a,
+            Box::new(Two {
+                dst: addr(10, 0, 1, 1),
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(&*handle.output.borrow(), "int:7bool:true");
         assert_eq!(got.borrow().len(), 2);
@@ -622,7 +726,12 @@ initstate mkTable(64) is
                     api.send(pkt);
                     // Second packet on the same connection must follow it.
                     let hdr2 = netsim::packet::TcpHdr::data(5000 + port, 80, 6);
-                    api.send(Packet::tcp(api.addr(), self.virt, hdr2, Bytes::from_static(b"more!")));
+                    api.send(Packet::tcp(
+                        api.addr(),
+                        self.virt,
+                        hdr2,
+                        Bytes::from_static(b"more!"),
+                    ));
                 }
             }
             fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
@@ -634,7 +743,11 @@ initstate mkTable(64) is
         assert_eq!(got0.borrow().len(), 4);
         assert_eq!(got1.borrow().len(), 4);
         // Both packets of one connection landed on the same server.
-        let ports0: Vec<u16> = got0.borrow().iter().map(|p| p.tcp_hdr().unwrap().sport).collect();
+        let ports0: Vec<u16> = got0
+            .borrow()
+            .iter()
+            .map(|p| p.tcp_hdr().unwrap().sport)
+            .collect();
         assert_eq!(ports0[0], ports0[1]);
     }
 }

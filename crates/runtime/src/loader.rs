@@ -122,7 +122,9 @@ mod tests {
     fn verifier_rejects_under_strict() {
         let dropper = "channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)";
         let err = load(dropper, Policy::strict()).unwrap_err();
-        let LoadError::Rejected(report) = err else { panic!() };
+        let LoadError::Rejected(report) = err else {
+            panic!()
+        };
         assert!(!report.accepted());
         // The same program loads under a monitor-friendly policy.
         assert!(load(dropper, Policy::no_delivery()).is_ok());

@@ -1,0 +1,741 @@
+//! Structured trace events and the bounded, deterministic event log.
+//!
+//! Events cover every observable action along the packet path. Hot-path
+//! discipline: the simulator guards each emission with
+//! [`TraceLog::wants`], so when a category is disabled no event value is
+//! ever constructed — tracing off costs one branch per site.
+
+use crate::json::{push_key, push_str, Seq};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// A set of trace-event categories (bit flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Category(pub u16);
+
+impl Category {
+    /// No categories.
+    pub const NONE: Category = Category(0);
+    /// Link-level transmission events (enqueue, tx-complete).
+    pub const LINK: Category = Category(1 << 0);
+    /// Hop-by-hop forwarding decisions at routers.
+    pub const HOP: Category = Category(1 << 1);
+    /// Local deliveries to applications.
+    pub const DELIVER: Category = Category(1 << 2);
+    /// Packet drops, at links or nodes.
+    pub const DROP: Category = Category(1 << 3);
+    /// PLAN-P channel dispatch outcomes.
+    pub const DISPATCH: Category = Category(1 << 4);
+    /// Uncaught ASP exceptions (fail-open to IP).
+    pub const EXCEPTION: Category = Category(1 << 5);
+    /// Application timer fires.
+    pub const TIMER: Category = Category(1 << 6);
+    /// Every category.
+    pub const ALL: Category = Category(0x7f);
+
+    /// Union of two sets.
+    pub const fn union(self, other: Category) -> Category {
+        Category(self.0 | other.0)
+    }
+
+    /// True if `self` includes every bit of `other`.
+    pub const fn contains(self, other: Category) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if no category is enabled.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The canonical (name, flag) table, used by parsers and help text.
+    pub const NAMES: [(&'static str, Category); 7] = [
+        ("link", Category::LINK),
+        ("hop", Category::HOP),
+        ("deliver", Category::DELIVER),
+        ("drop", Category::DROP),
+        ("dispatch", Category::DISPATCH),
+        ("exception", Category::EXCEPTION),
+        ("timer", Category::TIMER),
+    ];
+
+    /// Parses a single category name.
+    pub fn from_name(name: &str) -> Option<Category> {
+        match name {
+            "all" => return Some(Category::ALL),
+            "none" => return Some(Category::NONE),
+            _ => {}
+        }
+        Category::NAMES
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| *c)
+    }
+
+    /// Parses a comma-separated list, e.g. `"link,drop,dispatch"`.
+    pub fn from_list(list: &str) -> Result<Category, String> {
+        let mut cats = Category::NONE;
+        for part in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            match Category::from_name(part) {
+                Some(c) => cats = cats.union(c),
+                None => {
+                    return Err(format!(
+                        "unknown trace category {part:?} (known: all, none, {})",
+                        Category::NAMES.map(|(n, _)| n).join(", ")
+                    ))
+                }
+            }
+        }
+        Ok(cats)
+    }
+}
+
+/// Why a node (not a link queue) dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The node is administratively down.
+    NodeDown,
+    /// The per-node CPU queue overflowed.
+    CpuOverflow,
+    /// TTL reached zero while forwarding.
+    TtlExpired,
+    /// No route toward the destination.
+    NoRoute,
+    /// Arrived at a host it was not addressed to (and was not overheard).
+    NotAddressed,
+}
+
+impl DropReason {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::NodeDown => "node_down",
+            DropReason::CpuOverflow => "cpu_overflow",
+            DropReason::TtlExpired => "ttl_expired",
+            DropReason::NoRoute => "no_route",
+            DropReason::NotAddressed => "not_addressed",
+        }
+    }
+}
+
+/// The outcome of offering a packet to the PLAN-P layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchOutcome {
+    /// A channel ran and re-emitted (forward/deliver) the packet.
+    Matched,
+    /// A channel ran to completion but emitted nothing: the packet was
+    /// consumed (counted as a PLAN-P drop).
+    Consumed,
+    /// A channel raised an uncaught exception; the packet fell back to
+    /// plain IP forwarding (fail-open).
+    Error,
+    /// No channel matched; the packet passed to plain IP.
+    NoMatch,
+    /// Management traffic bypassed the layer.
+    Bypass,
+}
+
+impl DispatchOutcome {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchOutcome::Matched => "matched",
+            DispatchOutcome::Consumed => "consumed",
+            DispatchOutcome::Error => "error",
+            DispatchOutcome::NoMatch => "no_match",
+            DispatchOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+/// One structured trace event. Times are simulation nanoseconds; `node`
+/// and `link` are simulator indices; `pkt` is the monotonically assigned
+/// packet id (0 = never entered the simulator's send path).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A packet entered a link queue (`qlen` = depth after enqueue).
+    LinkEnqueue {
+        t_ns: u64,
+        link: u32,
+        from: u32,
+        pkt: u64,
+        bytes: u32,
+        qlen: u32,
+    },
+    /// A packet finished transmitting on a link.
+    LinkTx {
+        t_ns: u64,
+        link: u32,
+        from: u32,
+        pkt: u64,
+        bytes: u32,
+    },
+    /// A link queue overflowed and dropped the packet.
+    LinkDrop {
+        t_ns: u64,
+        link: u32,
+        from: u32,
+        pkt: u64,
+    },
+    /// A node chose an outgoing link for the packet (`ttl` = value after
+    /// decrement).
+    Forward {
+        t_ns: u64,
+        node: u32,
+        pkt: u64,
+        link: u32,
+        ttl: u8,
+    },
+    /// A node delivered the packet to local application `app`.
+    Deliver {
+        t_ns: u64,
+        node: u32,
+        pkt: u64,
+        app: u32,
+    },
+    /// A node dropped the packet.
+    NodeDrop {
+        t_ns: u64,
+        node: u32,
+        pkt: u64,
+        reason: DropReason,
+    },
+    /// The PLAN-P layer dispatched (or declined) the packet.
+    Dispatch {
+        t_ns: u64,
+        node: u32,
+        pkt: u64,
+        /// Matched channel name, if any.
+        chan: Option<Rc<str>>,
+        outcome: DispatchOutcome,
+    },
+    /// An ASP raised an uncaught exception (fail-open path).
+    Exception {
+        t_ns: u64,
+        node: u32,
+        pkt: u64,
+        chan: Rc<str>,
+        exn: Rc<str>,
+    },
+    /// An application timer fired.
+    TimerFire {
+        t_ns: u64,
+        node: u32,
+        app: u32,
+        key: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The category this event belongs to.
+    pub fn category(&self) -> Category {
+        match self {
+            TraceEvent::LinkEnqueue { .. } | TraceEvent::LinkTx { .. } => Category::LINK,
+            TraceEvent::LinkDrop { .. } | TraceEvent::NodeDrop { .. } => Category::DROP,
+            TraceEvent::Forward { .. } => Category::HOP,
+            TraceEvent::Deliver { .. } => Category::DELIVER,
+            TraceEvent::Dispatch { .. } => Category::DISPATCH,
+            TraceEvent::Exception { .. } => Category::EXCEPTION,
+            TraceEvent::TimerFire { .. } => Category::TIMER,
+        }
+    }
+
+    /// Simulation time of the event, in nanoseconds.
+    pub fn t_ns(&self) -> u64 {
+        match self {
+            TraceEvent::LinkEnqueue { t_ns, .. }
+            | TraceEvent::LinkTx { t_ns, .. }
+            | TraceEvent::LinkDrop { t_ns, .. }
+            | TraceEvent::Forward { t_ns, .. }
+            | TraceEvent::Deliver { t_ns, .. }
+            | TraceEvent::NodeDrop { t_ns, .. }
+            | TraceEvent::Dispatch { t_ns, .. }
+            | TraceEvent::Exception { t_ns, .. }
+            | TraceEvent::TimerFire { t_ns, .. } => *t_ns,
+        }
+    }
+
+    /// The packet id, if the event concerns a packet.
+    pub fn pkt(&self) -> Option<u64> {
+        match self {
+            TraceEvent::LinkEnqueue { pkt, .. }
+            | TraceEvent::LinkTx { pkt, .. }
+            | TraceEvent::LinkDrop { pkt, .. }
+            | TraceEvent::Forward { pkt, .. }
+            | TraceEvent::Deliver { pkt, .. }
+            | TraceEvent::NodeDrop { pkt, .. }
+            | TraceEvent::Dispatch { pkt, .. }
+            | TraceEvent::Exception { pkt, .. } => Some(*pkt),
+            TraceEvent::TimerFire { .. } => None,
+        }
+    }
+
+    /// Serializes the event as one JSON object, appended to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        let mut seq = Seq::new();
+        out.push('{');
+        let field = |out: &mut String, seq: &mut Seq, k: &str, v: u64| {
+            seq.sep(out);
+            push_key(out, k);
+            out.push_str(&v.to_string());
+        };
+        let tag = |out: &mut String, seq: &mut Seq, ty: &str| {
+            seq.sep(out);
+            push_key(out, "type");
+            push_str(out, ty);
+        };
+        match self {
+            TraceEvent::LinkEnqueue {
+                t_ns,
+                link,
+                from,
+                pkt,
+                bytes,
+                qlen,
+            } => {
+                tag(out, &mut seq, "link_enqueue");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "link", u64::from(*link));
+                field(out, &mut seq, "from", u64::from(*from));
+                field(out, &mut seq, "pkt", *pkt);
+                field(out, &mut seq, "bytes", u64::from(*bytes));
+                field(out, &mut seq, "qlen", u64::from(*qlen));
+            }
+            TraceEvent::LinkTx {
+                t_ns,
+                link,
+                from,
+                pkt,
+                bytes,
+            } => {
+                tag(out, &mut seq, "link_tx");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "link", u64::from(*link));
+                field(out, &mut seq, "from", u64::from(*from));
+                field(out, &mut seq, "pkt", *pkt);
+                field(out, &mut seq, "bytes", u64::from(*bytes));
+            }
+            TraceEvent::LinkDrop {
+                t_ns,
+                link,
+                from,
+                pkt,
+            } => {
+                tag(out, &mut seq, "link_drop");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "link", u64::from(*link));
+                field(out, &mut seq, "from", u64::from(*from));
+                field(out, &mut seq, "pkt", *pkt);
+            }
+            TraceEvent::Forward {
+                t_ns,
+                node,
+                pkt,
+                link,
+                ttl,
+            } => {
+                tag(out, &mut seq, "forward");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                field(out, &mut seq, "pkt", *pkt);
+                field(out, &mut seq, "link", u64::from(*link));
+                field(out, &mut seq, "ttl", u64::from(*ttl));
+            }
+            TraceEvent::Deliver {
+                t_ns,
+                node,
+                pkt,
+                app,
+            } => {
+                tag(out, &mut seq, "deliver");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                field(out, &mut seq, "pkt", *pkt);
+                field(out, &mut seq, "app", u64::from(*app));
+            }
+            TraceEvent::NodeDrop {
+                t_ns,
+                node,
+                pkt,
+                reason,
+            } => {
+                tag(out, &mut seq, "node_drop");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                field(out, &mut seq, "pkt", *pkt);
+                seq.sep(out);
+                push_key(out, "reason");
+                push_str(out, reason.name());
+            }
+            TraceEvent::Dispatch {
+                t_ns,
+                node,
+                pkt,
+                chan,
+                outcome,
+            } => {
+                tag(out, &mut seq, "dispatch");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                field(out, &mut seq, "pkt", *pkt);
+                seq.sep(out);
+                push_key(out, "chan");
+                match chan {
+                    Some(c) => push_str(out, c),
+                    None => out.push_str("null"),
+                }
+                seq.sep(out);
+                push_key(out, "outcome");
+                push_str(out, outcome.name());
+            }
+            TraceEvent::Exception {
+                t_ns,
+                node,
+                pkt,
+                chan,
+                exn,
+            } => {
+                tag(out, &mut seq, "exception");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                field(out, &mut seq, "pkt", *pkt);
+                seq.sep(out);
+                push_key(out, "chan");
+                push_str(out, chan);
+                seq.sep(out);
+                push_key(out, "exn");
+                push_str(out, exn);
+            }
+            TraceEvent::TimerFire {
+                t_ns,
+                node,
+                app,
+                key,
+            } => {
+                tag(out, &mut seq, "timer_fire");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                field(out, &mut seq, "app", u64::from(*app));
+                field(out, &mut seq, "key", *key);
+            }
+        }
+        out.push('}');
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// The human one-line form used by `planp-trace`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.t_ns() as f64 / 1e9;
+        match self {
+            TraceEvent::LinkEnqueue {
+                link,
+                from,
+                pkt,
+                bytes,
+                qlen,
+                ..
+            } => write!(
+                f,
+                "{t:12.6}  link{link:<3} enqueue  pkt={pkt} from=n{from} {bytes}B qlen={qlen}"
+            ),
+            TraceEvent::LinkTx {
+                link,
+                from,
+                pkt,
+                bytes,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  link{link:<3} tx       pkt={pkt} from=n{from} {bytes}B"
+                )
+            }
+            TraceEvent::LinkDrop {
+                link, from, pkt, ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  link{link:<3} DROP     pkt={pkt} from=n{from} (queue full)"
+                )
+            }
+            TraceEvent::Forward {
+                node,
+                pkt,
+                link,
+                ttl,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  n{node:<5} forward  pkt={pkt} via link{link} ttl={ttl}"
+                )
+            }
+            TraceEvent::Deliver { node, pkt, app, .. } => {
+                write!(f, "{t:12.6}  n{node:<5} deliver  pkt={pkt} app={app}")
+            }
+            TraceEvent::NodeDrop {
+                node, pkt, reason, ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  n{node:<5} DROP     pkt={pkt} ({})",
+                    reason.name()
+                )
+            }
+            TraceEvent::Dispatch {
+                node,
+                pkt,
+                chan,
+                outcome,
+                ..
+            } => write!(
+                f,
+                "{t:12.6}  n{node:<5} dispatch pkt={pkt} chan={} -> {}",
+                chan.as_deref().unwrap_or("-"),
+                outcome.name()
+            ),
+            TraceEvent::Exception {
+                node,
+                pkt,
+                chan,
+                exn,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  n{node:<5} EXN      pkt={pkt} chan={chan} exn={exn}"
+                )
+            }
+            TraceEvent::TimerFire { node, app, key, .. } => {
+                write!(f, "{t:12.6}  n{node:<5} timer    app={app} key={key}")
+            }
+        }
+    }
+}
+
+/// Configuration for a [`TraceLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Which event categories to record.
+    pub categories: Category,
+    /// Ring-buffer capacity; once full, the oldest events are evicted
+    /// (`TraceLog::evicted` counts them).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            categories: Category::NONE,
+            capacity: 65_536,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Records every category at the default capacity.
+    pub fn all() -> Self {
+        TraceConfig {
+            categories: Category::ALL,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// A bounded ring buffer of trace events.
+///
+/// Determinism contract: with the same configuration and the same
+/// deterministic event source, `to_jsonl` produces byte-identical
+/// output across runs. Nothing here reads the wall clock.
+#[derive(Debug)]
+pub struct TraceLog {
+    enabled: Category,
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    recorded: u64,
+    evicted: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::new(TraceConfig::default())
+    }
+}
+
+impl TraceLog {
+    /// A log with the given configuration.
+    pub fn new(cfg: TraceConfig) -> Self {
+        TraceLog {
+            enabled: cfg.categories,
+            capacity: cfg.capacity.max(1),
+            buf: VecDeque::new(),
+            recorded: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Replaces the configuration (keeps already-recorded events that
+    /// still fit).
+    pub fn configure(&mut self, cfg: TraceConfig) {
+        self.enabled = cfg.categories;
+        self.capacity = cfg.capacity.max(1);
+        while self.buf.len() > self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+    }
+
+    /// The enabled categories.
+    pub fn categories(&self) -> Category {
+        self.enabled
+    }
+
+    /// Hot-path guard: true if events of category `c` are recorded.
+    /// Call this *before* constructing an event so disabled tracing
+    /// costs one branch and no allocation.
+    #[inline]
+    pub fn wants(&self, c: Category) -> bool {
+        self.enabled.contains(c)
+    }
+
+    /// Records an event (if its category is enabled).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if !self.wants(ev.category()) {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(ev);
+        self.recorded += 1;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events recorded over the log's lifetime (including evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted by the ring buffer.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Serializes the held events as JSON Lines (one object per line,
+    /// trailing newline when non-empty). Byte-stable for identical logs.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.buf {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::Deliver {
+            t_ns: t,
+            node: 1,
+            pkt: t,
+            app: 0,
+        }
+    }
+
+    #[test]
+    fn categories_parse_and_combine() {
+        let c = Category::from_list("link, drop").unwrap();
+        assert!(c.contains(Category::LINK) && c.contains(Category::DROP));
+        assert!(!c.contains(Category::DISPATCH));
+        assert_eq!(Category::from_list("all").unwrap(), Category::ALL);
+        assert_eq!(Category::from_list("").unwrap(), Category::NONE);
+        assert!(Category::from_list("bogus").is_err());
+    }
+
+    #[test]
+    fn disabled_categories_are_not_recorded() {
+        let mut log = TraceLog::new(TraceConfig {
+            categories: Category::LINK,
+            capacity: 8,
+        });
+        assert!(!log.wants(Category::DELIVER));
+        log.push(ev(1));
+        assert_eq!(log.len(), 0);
+        log.push(TraceEvent::LinkTx {
+            t_ns: 2,
+            link: 0,
+            from: 0,
+            pkt: 1,
+            bytes: 64,
+        });
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = TraceLog::new(TraceConfig {
+            categories: Category::ALL,
+            capacity: 3,
+        });
+        for t in 0..5 {
+            log.push(ev(t));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.evicted(), 2);
+        let first = log.events().next().unwrap().t_ns();
+        assert_eq!(first, 2);
+    }
+
+    #[test]
+    fn jsonl_is_stable_and_escaped() {
+        let mut log = TraceLog::new(TraceConfig::all());
+        log.push(TraceEvent::Exception {
+            t_ns: 5,
+            node: 2,
+            pkt: 9,
+            chan: "net\"work".into(),
+            exn: "Div".into(),
+        });
+        let line = log.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"type\":\"exception\",\"t_ns\":5,\"node\":2,\"pkt\":9,\"chan\":\"net\\\"work\",\"exn\":\"Div\"}\n"
+        );
+        assert_eq!(line, log.to_jsonl());
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let e = TraceEvent::Forward {
+            t_ns: 1_500_000,
+            node: 3,
+            pkt: 7,
+            link: 2,
+            ttl: 63,
+        };
+        let s = e.to_string();
+        assert!(s.contains("forward") && s.contains("pkt=7") && !s.contains('\n'));
+    }
+}

@@ -1,0 +1,83 @@
+//! A tiny deterministic JSON writer.
+//!
+//! `serde_json` is unavailable offline, and determinism is a hard
+//! requirement here anyway: these helpers emit keys in the order the
+//! caller provides them (callers iterate `BTreeMap`s) and format numbers
+//! without any locale or float involvement, so the same data always
+//! serializes to the same bytes.
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `"key":` to `out`.
+pub fn push_key(out: &mut String, key: &str) {
+    push_str(out, key);
+    out.push(':');
+}
+
+/// A comma-separating helper for building objects and arrays.
+#[derive(Debug)]
+pub struct Seq {
+    first: bool,
+}
+
+impl Seq {
+    /// Starts a sequence.
+    pub fn new() -> Self {
+        Seq { first: true }
+    }
+
+    /// Appends a separator unless this is the first element.
+    pub fn sep(&mut self, out: &mut String) {
+        if self.first {
+            self.first = false;
+        } else {
+            out.push(',');
+        }
+    }
+}
+
+impl Default for Seq {
+    fn default() -> Self {
+        Seq::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn seq_separates() {
+        let mut out = String::new();
+        let mut seq = Seq::new();
+        for k in ["a", "b"] {
+            seq.sep(&mut out);
+            out.push_str(k);
+        }
+        assert_eq!(out, "a,b");
+    }
+}

@@ -1,0 +1,50 @@
+//! Deterministic observability for the PLAN-P stack.
+//!
+//! The paper's evaluation (Figures 6–8) is entirely measurement-driven:
+//! bandwidth observed at the IP layer, gap counts, request latency. This
+//! crate gives the reproduction a first-class measurement substrate with
+//! three pieces:
+//!
+//! * [`TraceLog`] — a bounded ring buffer of typed [`TraceEvent`]s
+//!   (link enqueue/tx/drop, hop-by-hop forwards, deliveries, channel
+//!   dispatch outcomes, ASP exceptions, timer fires), each stamped with
+//!   simulation time in nanoseconds, a node index, and a monotonically
+//!   assigned packet id. Per-[`Category`] enable flags keep the packet
+//!   hot path allocation-free when tracing is off: call sites guard with
+//!   [`TraceLog::wants`] before constructing an event.
+//! * [`MetricsRegistry`] — named counters and power-of-two-bucket
+//!   [`Histogram`]s, keyed by `BTreeMap` so every export is
+//!   deterministically ordered.
+//! * Exporters — [`MetricsSnapshot::to_json`] / [`TraceLog::to_jsonl`]
+//!   produce byte-stable JSON (same seed ⇒ identical bytes, asserted by
+//!   the workspace determinism tests), and [`MetricsSnapshot::render_table`]
+//!   produces the human `--report` form used by the bench bins.
+//!
+//! Everything here is simulation-clock based; no wall-clock reads, no
+//! hashing with randomized state, no platform-dependent formatting.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+
+pub use event::{Category, DispatchOutcome, DropReason, TraceConfig, TraceEvent, TraceLog};
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+
+/// The telemetry bundle a simulator instance carries: one event log and
+/// one metrics registry, both deterministic.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Structured event ring buffer.
+    pub trace: TraceLog,
+    /// Named counters and histograms.
+    pub metrics: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// A bundle with the given trace configuration.
+    pub fn with_trace(cfg: TraceConfig) -> Self {
+        let mut t = Telemetry::default();
+        t.trace.configure(cfg);
+        t
+    }
+}

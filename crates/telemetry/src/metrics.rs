@@ -1,0 +1,409 @@
+//! Named counters and histograms with deterministic export.
+//!
+//! The registry replaces ad-hoc counter structs: every layer records
+//! into the same namespace (`node.<name>.<what>`,
+//! `node.<name>.chan.<channel>.<what>`, `link<i>.<what>`), and a
+//! [`MetricsSnapshot`] serializes the whole thing as byte-stable JSON or
+//! a human table. `BTreeMap` keys make iteration order — and therefore
+//! export bytes — independent of insertion order.
+
+use crate::json::{push_key, push_str, Seq};
+use std::collections::BTreeMap;
+
+/// A power-of-two-bucket histogram over `u64` samples.
+///
+/// Bucket `0` holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. 64 buckets cover the full `u64` range, so
+/// `observe` never saturates or allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        match v {
+            0 => 0,
+            v => 64 - v.leading_zeros() as usize,
+        }
+    }
+
+    /// Upper bound (inclusive) of bucket `i`.
+    fn bucket_top(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// The approximate value at quantile `q` in `[0, 100]`: the upper
+    /// bound of the bucket containing the q-th percentile sample,
+    /// clamped to the observed max. Deterministic, integer-only.
+    pub fn percentile(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target sample, 1-based: ceil(count * q / 100),
+        // at least 1.
+        let rank = ((self.count.saturating_mul(q)).div_ceil(100)).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_top(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// A frozen summary for export.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.percentile(50),
+            p90: self.percentile(90),
+            p99: self.percentile(99),
+        }
+    }
+}
+
+/// The exported view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Approximate 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.count, self.sum, self.min, self.max, self.p50, self.p90, self.p99
+        ));
+    }
+}
+
+/// Named counters and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter (creating it at 0).
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a histogram sample under `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::new();
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Freezes the registry contents into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen, export-ready view of every counter and histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Sets (or overwrites) a counter — used by layers that keep their
+    /// own native counters and fold them in at snapshot time.
+    pub fn set_counter(&mut self, name: impl Into<String>, v: u64) {
+        self.counters.insert(name.into(), v);
+    }
+
+    /// Inserts a histogram summary.
+    pub fn set_histogram(&mut self, name: impl Into<String>, h: &Histogram) {
+        self.histograms.insert(name.into(), h.summary());
+    }
+
+    /// Merges `other` into `self` (counters add; histogram summaries
+    /// from `other` win on name collision).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.insert(k.clone(), *v);
+        }
+    }
+
+    /// Byte-stable JSON export:
+    /// `{"counters":{...},"histograms":{...}}` with keys in name order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut seq = Seq::new();
+        for (k, v) in &self.counters {
+            seq.sep(&mut out);
+            push_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        let mut seq = Seq::new();
+        for (k, h) in &self.histograms {
+            seq.sep(&mut out);
+            push_key(&mut out, k);
+            h.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// The human `--report` table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let w = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            out.push_str("counters\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<w$}  {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            let w = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            out.push_str("histograms\n");
+            out.push_str(&format!(
+                "  {:<w$}  {:>10} {:>12} {:>8} {:>8} {:>8} {:>8}\n",
+                "name", "count", "sum", "min", "p50", "p99", "max"
+            ));
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k:<w$}  {:>10} {:>12} {:>8} {:>8} {:>8} {:>8}\n",
+                    h.count, h.sum, h.min, h.p50, h.p99, h.max
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Writes a JSON object that embeds scalar fields alongside a metrics
+/// snapshot — the shape of every `BENCH_*.json` file:
+/// `{"bench":<name>,"scalars":{...},"metrics":<snapshot>}`.
+pub fn bench_json(bench: &str, scalars: &[(&str, f64)], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    push_key(&mut out, "bench");
+    push_str(&mut out, bench);
+    out.push(',');
+    push_key(&mut out, "scalars");
+    out.push('{');
+    let mut seq = Seq::new();
+    let mut sorted: Vec<&(&str, f64)> = scalars.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    for (k, v) in sorted {
+        seq.sep(&mut out);
+        push_key(&mut out, k);
+        // Fixed-precision decimal keeps the bytes stable and readable;
+        // six places is plenty for kbps / req/s / ms scalars.
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            out.push_str(&format!("{}", *v as i64));
+        } else {
+            out.push_str(&format!("{v:.6}"));
+        }
+    }
+    out.push_str("},");
+    push_key(&mut out, "metrics");
+    out.push_str(&metrics.to_json());
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 136);
+        let s = h.summary();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100);
+        assert!(s.p50 >= 3 && s.p50 <= 7, "p50 = {}", s.p50);
+        assert_eq!(s.p99, 100);
+    }
+
+    #[test]
+    fn histogram_empty_summary_is_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!((s.count, s.min, s.max, s.p50), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots_deterministically() {
+        let mut r = MetricsRegistry::new();
+        r.inc("z.second");
+        r.add("a.first", 41);
+        r.inc("a.first");
+        r.observe("lat", 10);
+        r.observe("lat", 20);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["a.first"], 42);
+        assert_eq!(snap.counters["z.second"], 1);
+        let json = snap.to_json();
+        // Name-ordered keys, independent of insertion order.
+        assert!(json.starts_with("{\"counters\":{\"a.first\":42,\"z.second\":1}"));
+        assert_eq!(json, r.snapshot().to_json());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters() {
+        let mut a = MetricsSnapshot::default();
+        a.set_counter("x", 1);
+        let mut b = MetricsSnapshot::default();
+        b.set_counter("x", 2);
+        b.set_counter("y", 3);
+        a.merge(&b);
+        assert_eq!(a.counters["x"], 3);
+        assert_eq!(a.counters["y"], 3);
+    }
+
+    #[test]
+    fn table_render_mentions_every_name() {
+        let mut r = MetricsRegistry::new();
+        r.inc("node.a.delivered");
+        r.observe("link0.queue_depth", 4);
+        let t = r.snapshot().render_table();
+        assert!(t.contains("node.a.delivered") && t.contains("link0.queue_depth"));
+    }
+
+    #[test]
+    fn bench_json_embeds_scalars_and_metrics() {
+        let mut r = MetricsRegistry::new();
+        r.inc("c");
+        let j = bench_json("fig6", &[("rx_kbps", 512.5), ("n", 3.0)], &r.snapshot());
+        assert!(j.starts_with("{\"bench\":\"fig6\",\"scalars\":{\"n\":3,\"rx_kbps\":512.500000}"));
+        assert!(j.contains("\"metrics\":{\"counters\":{\"c\":1}"));
+    }
+}

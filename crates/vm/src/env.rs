@@ -33,6 +33,12 @@ pub trait NetEnv {
     fn deliver(&mut self, pkt: Value);
     /// Effect of `print`/`println`.
     fn print(&mut self, text: &str);
+    /// Accounts `n` abstract VM execution steps (evaluated expression
+    /// nodes) to the current channel invocation. Both engines call this
+    /// once per `run_channel` with the steps that invocation consumed —
+    /// a deterministic, wall-clock-free cost measure. The default
+    /// discards the charge.
+    fn charge_steps(&mut self, _n: u64) {}
 }
 
 /// A recorded output effect (used by [`MockEnv`] and by tests).
@@ -79,6 +85,8 @@ pub struct MockEnv {
     pub effects: Vec<Effect>,
     /// Recorded print output (concatenated).
     pub output: String,
+    /// Total VM steps charged via [`NetEnv::charge_steps`].
+    pub steps: u64,
     rng_state: u64,
 }
 
@@ -93,6 +101,7 @@ impl MockEnv {
             queue: 0,
             effects: Vec::new(),
             output: String::new(),
+            steps: 0,
             rng_state: 0x9E3779B97F4A7C15,
         }
     }
@@ -171,6 +180,10 @@ impl NetEnv for MockEnv {
 
     fn print(&mut self, text: &str) {
         self.output.push_str(text);
+    }
+
+    fn charge_steps(&mut self, n: u64) {
+        self.steps += n;
     }
 }
 

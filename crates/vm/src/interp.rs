@@ -13,6 +13,7 @@ use crate::prims;
 use crate::value::{Value, VmError};
 use planp_lang::ast::BinOp;
 use planp_lang::tast::{TExpr, TExprKind, TProgram};
+use std::cell::Cell;
 
 /// Name → value bindings, innermost last (looked up linearly, as a
 /// portable C interpreter would).
@@ -24,7 +25,9 @@ pub struct NameEnv {
 impl NameEnv {
     /// An empty environment.
     pub fn new() -> Self {
-        NameEnv { bindings: Vec::new() }
+        NameEnv {
+            bindings: Vec::new(),
+        }
     }
 
     /// Pushes a binding.
@@ -47,15 +50,25 @@ impl NameEnv {
 }
 
 /// The interpreter, borrowing the typed program it executes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Interp<'p> {
     prog: &'p TProgram,
+    /// Expression nodes evaluated so far (the VM profiling step count).
+    steps: Cell<u64>,
 }
 
 impl<'p> Interp<'p> {
     /// Creates an interpreter for `prog`.
     pub fn new(prog: &'p TProgram) -> Self {
-        Interp { prog }
+        Interp {
+            prog,
+            steps: Cell::new(0),
+        }
+    }
+
+    /// Total expression nodes evaluated by this interpreter instance.
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
     }
 
     /// Evaluates the `val` globals in declaration order.
@@ -75,11 +88,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Evaluates the initial protocol state.
-    pub fn init_proto(
-        &self,
-        globals: &[Value],
-        net: &mut dyn NetEnv,
-    ) -> Result<Value, VmError> {
+    pub fn init_proto(&self, globals: &[Value], net: &mut dyn NetEnv) -> Result<Value, VmError> {
         match &self.prog.proto_init {
             Some(e) => {
                 let mut names = NameEnv::new();
@@ -126,11 +135,12 @@ impl<'p> Interp<'p> {
         names.push(&ch.ps_name, ps);
         names.push(&ch.ss_name, ss);
         names.push(&ch.pkt_name, pkt);
-        let out = self.eval(&ch.body, globals, &mut names, net)?;
+        let before = self.steps.get();
+        let out = self.eval(&ch.body, globals, &mut names, net);
+        net.charge_steps(self.steps.get() - before);
+        let out = out?;
         match out {
-            Value::Tuple(pair) if pair.len() == 2 => {
-                Ok((pair[0].clone(), pair[1].clone()))
-            }
+            Value::Tuple(pair) if pair.len() == 2 => Ok((pair[0].clone(), pair[1].clone())),
             other => Err(VmError::trap(format!(
                 "channel body returned non-pair {other:?}"
             ))),
@@ -149,6 +159,7 @@ impl<'p> Interp<'p> {
         names: &mut NameEnv,
         net: &mut dyn NetEnv,
     ) -> Result<Value, VmError> {
+        self.steps.set(self.steps.get() + 1);
         match &e.kind {
             TExprKind::Int(n) => Ok(Value::Int(*n)),
             TExprKind::Bool(b) => Ok(Value::Bool(*b)),
@@ -200,14 +211,14 @@ impl<'p> Interp<'p> {
                 }
                 prims::eval(*prim, &vals, net)
             }
-            TExprKind::If(c, t, f) => {
-                match self.eval(c, globals, names, net)? {
-                    Value::Bool(true) => self.eval(t, globals, names, net),
-                    Value::Bool(false) => self.eval(f, globals, names, net),
-                    other => Err(VmError::trap(format!("if condition {other:?}"))),
-                }
-            }
-            TExprKind::Let { name, init, body, .. } => {
+            TExprKind::If(c, t, f) => match self.eval(c, globals, names, net)? {
+                Value::Bool(true) => self.eval(t, globals, names, net),
+                Value::Bool(false) => self.eval(f, globals, names, net),
+                other => Err(VmError::trap(format!("if condition {other:?}"))),
+            },
+            TExprKind::Let {
+                name, init, body, ..
+            } => {
                 let v = self.eval(init, globals, names, net)?;
                 names.push(name, v);
                 let out = self.eval(body, globals, names, net);
@@ -243,14 +254,12 @@ impl<'p> Interp<'p> {
                 eval_unop(*op, &v)
             }
             TExprKind::Raise(id) => Err(VmError::Exn(*id)),
-            TExprKind::Handle(body, pat, handler) => {
-                match self.eval(body, globals, names, net) {
-                    Err(VmError::Exn(id)) if pat.is_none() || *pat == Some(id) => {
-                        self.eval(handler, globals, names, net)
-                    }
-                    other => other,
+            TExprKind::Handle(body, pat, handler) => match self.eval(body, globals, names, net) {
+                Err(VmError::Exn(id)) if pat.is_none() || *pat == Some(id) => {
+                    self.eval(handler, globals, names, net)
                 }
-            }
+                other => other,
+            },
             TExprKind::List(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for item in items {
@@ -258,12 +267,21 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Value::List(std::rc::Rc::new(out)))
             }
-            TExprKind::OnRemote { chan, overload, pkt } => {
+            TExprKind::OnRemote {
+                chan,
+                overload,
+                pkt,
+            } => {
                 let v = self.eval(pkt, globals, names, net)?;
                 net.send_remote(chan, *overload, v);
                 Ok(Value::Unit)
             }
-            TExprKind::OnNeighbor { chan, overload, host, pkt } => {
+            TExprKind::OnNeighbor {
+                chan,
+                overload,
+                host,
+                pkt,
+            } => {
                 let h = self.eval(host, globals, names, net)?;
                 let Value::Host(h) = h else {
                     return Err(VmError::trap("OnNeighbor host not a host"));
@@ -420,7 +438,14 @@ mod tests {
         let interp = Interp::new(&prog);
         let mut env = MockEnv::new(0);
         assert!(interp
-            .run_channel(0, &[], Value::Int(0), Value::Unit, udp_packet(1, 2, b""), &mut env)
+            .run_channel(
+                0,
+                &[],
+                Value::Int(0),
+                Value::Unit,
+                udp_packet(1, 2, b""),
+                &mut env
+            )
             .is_ok());
     }
 
@@ -435,7 +460,14 @@ mod tests {
         let interp = Interp::new(&prog);
         let mut env = MockEnv::new(0);
         let (ps, _) = interp
-            .run_channel(0, &[], Value::Int(0), Value::Unit, udp_packet(1, 2, b""), &mut env)
+            .run_channel(
+                0,
+                &[],
+                Value::Int(0),
+                Value::Unit,
+                udp_packet(1, 2, b""),
+                &mut env,
+            )
             .unwrap();
         assert_eq!(format!("{ps}"), "2");
     }
@@ -459,6 +491,38 @@ mod tests {
     }
 
     #[test]
+    fn steps_counted_and_charged_to_env() {
+        let prog = setup("channel network(ps : int, ss : unit, p : ip*udp*blob) is (ps + 1, ss)");
+        let interp = Interp::new(&prog);
+        let mut env = MockEnv::new(0);
+        interp
+            .run_channel(
+                0,
+                &[],
+                Value::Int(0),
+                Value::Unit,
+                udp_packet(1, 2, b""),
+                &mut env,
+            )
+            .unwrap();
+        assert!(interp.steps() > 0);
+        assert_eq!(env.steps, interp.steps());
+        // A second invocation charges the same amount again.
+        interp
+            .run_channel(
+                0,
+                &[],
+                Value::Int(1),
+                Value::Unit,
+                udp_packet(1, 2, b""),
+                &mut env,
+            )
+            .unwrap();
+        assert_eq!(env.steps, interp.steps());
+        assert_eq!(env.steps % 2, 0);
+    }
+
+    #[test]
     fn on_neighbor_effect_recorded() {
         let prog = setup(
             "channel mon(ps : unit, ss : unit, p : ip*udp*blob) is (deliver(p); (ps, ss))\n\
@@ -468,9 +532,18 @@ mod tests {
         let interp = Interp::new(&prog);
         let mut env = MockEnv::new(0);
         interp
-            .run_channel(1, &[], Value::Unit, Value::Unit, udp_packet(1, 2, b""), &mut env)
+            .run_channel(
+                1,
+                &[],
+                Value::Unit,
+                Value::Unit,
+                udp_packet(1, 2, b""),
+                &mut env,
+            )
             .unwrap();
-        let Effect::Neighbor { chan, host, .. } = &env.effects[0] else { panic!() };
+        let Effect::Neighbor { chan, host, .. } = &env.effects[0] else {
+            panic!()
+        };
         assert_eq!(chan, "mon");
         assert_eq!(*host, addr(10, 0, 0, 7));
     }

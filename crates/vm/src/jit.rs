@@ -28,6 +28,7 @@ use crate::prims::{self, PrimFn};
 use crate::value::{Value, VmError};
 use planp_lang::ast::BinOp;
 use planp_lang::tast::{TExpr, TExprKind, TProgram};
+use std::cell::Cell;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -68,6 +69,9 @@ pub struct CompiledProgram {
     pub channels: Vec<CompiledChannel>,
     /// The typed program (kept for state types and dispatch metadata).
     pub prog: Rc<TProgram>,
+    /// Step counter shared with every compiled closure (each executed
+    /// template bumps it once).
+    steps: Rc<Cell<u64>>,
 }
 
 /// Statistics from one compilation — the figure 3 measurement.
@@ -82,7 +86,12 @@ pub struct CodegenStats {
 /// Compiles a typed program.
 pub fn compile(prog: Rc<TProgram>) -> (CompiledProgram, CodegenStats) {
     let start = Instant::now();
-    let mut cx = Cx { funs: Vec::new(), nodes: 0 };
+    let steps = Rc::new(Cell::new(0u64));
+    let mut cx = Cx {
+        funs: Vec::new(),
+        nodes: 0,
+        steps: steps.clone(),
+    };
 
     let global_inits: Vec<(u32, Code)> = prog
         .globals
@@ -118,9 +127,18 @@ pub fn compile(prog: Rc<TProgram>) -> (CompiledProgram, CodegenStats) {
         })
         .collect();
 
-    let stats = CodegenStats { nodes: cx.nodes, elapsed: start.elapsed() };
+    let stats = CodegenStats {
+        nodes: cx.nodes,
+        elapsed: start.elapsed(),
+    };
     (
-        CompiledProgram { global_inits, proto_init, channels, prog },
+        CompiledProgram {
+            global_inits,
+            proto_init,
+            channels,
+            prog,
+            steps,
+        },
         stats,
     )
 }
@@ -148,7 +166,11 @@ impl CompiledProgram {
         for (nlocals, code) in &self.global_inits {
             let mut slots = vec![Value::Unit; *nlocals as usize];
             let v = {
-                let mut frame = Frame { slots: &mut slots, globals: &globals, net };
+                let mut frame = Frame {
+                    slots: &mut slots,
+                    globals: &globals,
+                    net,
+                };
                 code(&mut frame)?
             };
             globals.push(v);
@@ -157,15 +179,15 @@ impl CompiledProgram {
     }
 
     /// Evaluates the initial protocol state.
-    pub fn init_proto(
-        &self,
-        globals: &[Value],
-        net: &mut dyn NetEnv,
-    ) -> Result<Value, VmError> {
+    pub fn init_proto(&self, globals: &[Value], net: &mut dyn NetEnv) -> Result<Value, VmError> {
         match &self.proto_init {
             Some((nlocals, code)) => {
                 let mut slots = vec![Value::Unit; *nlocals as usize];
-                let mut frame = Frame { slots: &mut slots, globals, net };
+                let mut frame = Frame {
+                    slots: &mut slots,
+                    globals,
+                    net,
+                };
                 code(&mut frame)
             }
             None => Ok(Value::default_of(&self.prog.proto_ty)),
@@ -182,7 +204,11 @@ impl CompiledProgram {
         match &self.channels[idx].initstate {
             Some((nlocals, code)) => {
                 let mut slots = vec![Value::Unit; *nlocals as usize];
-                let mut frame = Frame { slots: &mut slots, globals, net };
+                let mut frame = Frame {
+                    slots: &mut slots,
+                    globals,
+                    net,
+                };
                 code(&mut frame)
             }
             None => Ok(Value::default_of(&self.prog.channels[idx].ss_ty)),
@@ -208,10 +234,17 @@ impl CompiledProgram {
         slots[0] = ps;
         slots[1] = ss;
         slots[2] = pkt;
+        let before = self.steps.get();
         let out = {
-            let mut frame = Frame { slots: &mut slots, globals, net };
-            (ch.code)(&mut frame)?
+            let mut frame = Frame {
+                slots: &mut slots,
+                globals,
+                net,
+            };
+            (ch.code)(&mut frame)
         };
+        net.charge_steps(self.steps.get() - before);
+        let out = out?;
         match out {
             Value::Tuple(pair) if pair.len() == 2 => Ok((pair[0].clone(), pair[1].clone())),
             other => Err(VmError::trap(format!(
@@ -219,11 +252,18 @@ impl CompiledProgram {
             ))),
         }
     }
+
+    /// Total templates executed by this program (the VM profiling step
+    /// count).
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
 }
 
 struct Cx {
     funs: Vec<Rc<CompiledFun>>,
     nodes: usize,
+    steps: Rc<Cell<u64>>,
 }
 
 impl Cx {
@@ -236,9 +276,7 @@ impl Cx {
             TExprKind::Char(c) => Some(Value::Char(*c)),
             TExprKind::Unit => Some(Value::Unit),
             TExprKind::Host(a) => Some(Value::Host(*a)),
-            TExprKind::Binop(op, a, b)
-                if !matches!(op, BinOp::And | BinOp::Or) =>
-            {
+            TExprKind::Binop(op, a, b) if !matches!(op, BinOp::And | BinOp::Or) => {
                 let va = self.const_of(a)?;
                 let vb = self.const_of(b)?;
                 eval_binop(*op, &va, &vb).ok()
@@ -251,7 +289,19 @@ impl Cx {
         }
     }
 
+    /// Compiles one node and wraps its template with the step-count
+    /// bump — one `Cell` increment per executed template, the hook the
+    /// telemetry layer reads through [`NetEnv::charge_steps`].
     fn compile(&mut self, e: &TExpr) -> Code {
+        let inner = self.compile_node(e);
+        let steps = self.steps.clone();
+        Rc::new(move |f| {
+            steps.set(steps.get() + 1);
+            inner(f)
+        })
+    }
+
+    fn compile_node(&mut self, e: &TExpr) -> Code {
         self.nodes += 1;
         if let Some(v) = self.const_of(e) {
             return Rc::new(move |_| Ok(v.clone()));
@@ -378,7 +428,9 @@ impl Cx {
                     other => Err(VmError::trap(format!("if condition {other:?}"))),
                 })
             }
-            TExprKind::Let { slot, init, body, .. } => {
+            TExprKind::Let {
+                slot, init, body, ..
+            } => {
                 let slot = *slot as usize;
                 let init = self.compile(init);
                 let body = self.compile(body);
@@ -453,7 +505,11 @@ impl Cx {
                     Ok(Value::List(Rc::new(out)))
                 })
             }
-            TExprKind::OnRemote { chan, overload, pkt } => {
+            TExprKind::OnRemote {
+                chan,
+                overload,
+                pkt,
+            } => {
                 let chan = chan.clone();
                 let overload = *overload;
                 let pkt = self.compile(pkt);
@@ -463,7 +519,12 @@ impl Cx {
                     Ok(Value::Unit)
                 })
             }
-            TExprKind::OnNeighbor { chan, overload, host, pkt } => {
+            TExprKind::OnNeighbor {
+                chan,
+                overload,
+                host,
+                pkt,
+            } => {
                 let chan = chan.clone();
                 let overload = *overload;
                 let host = self.compile(host);
@@ -471,11 +532,7 @@ impl Cx {
                 Rc::new(move |f| {
                     let h = match host(f)? {
                         Value::Host(h) => h,
-                        other => {
-                            return Err(VmError::trap(format!(
-                                "OnNeighbor host {other:?}"
-                            )))
-                        }
+                        other => return Err(VmError::trap(format!("OnNeighbor host {other:?}"))),
                     };
                     let v = pkt(f)?;
                     f.net.send_neighbor(&chan, overload, h, v);
@@ -573,6 +630,35 @@ mod tests {
     }
 
     #[test]
+    fn jit_steps_counted_and_charged_to_env() {
+        let (_, cp) = both("channel network(ps : int, ss : unit, p : ip*udp*blob) is (ps + 1, ss)");
+        let mut env = MockEnv::new(0);
+        cp.run_channel(
+            0,
+            &[],
+            Value::Int(0),
+            Value::Unit,
+            udp_packet(1, 2, b""),
+            &mut env,
+        )
+        .unwrap();
+        assert!(cp.steps() > 0);
+        assert_eq!(env.steps, cp.steps());
+        // Deterministic: running the same channel again doubles the count.
+        cp.run_channel(
+            0,
+            &[],
+            Value::Int(1),
+            Value::Unit,
+            udp_packet(1, 2, b""),
+            &mut env,
+        )
+        .unwrap();
+        assert_eq!(env.steps, cp.steps());
+        assert_eq!(env.steps % 2, 0);
+    }
+
+    #[test]
     fn constant_folding_produces_constant() {
         let (_, cp) = both(
             "val k : int = 2 + 3 * 4\n\
@@ -591,7 +677,14 @@ mod tests {
         );
         let mut env = MockEnv::new(0);
         let (ps, _) = cp
-            .run_channel(0, &[], Value::Int(5), Value::Unit, udp_packet(1, 2, b""), &mut env)
+            .run_channel(
+                0,
+                &[],
+                Value::Int(5),
+                Value::Unit,
+                udp_packet(1, 2, b""),
+                &mut env,
+            )
             .unwrap();
         assert_eq!(ps.display(), "-1");
     }
@@ -621,7 +714,14 @@ mod tests {
         );
         let mut env = MockEnv::new(0);
         let (ps, _) = cp
-            .run_channel(0, &[], Value::Int(0), Value::Unit, udp_packet(1, 2, b""), &mut env)
+            .run_channel(
+                0,
+                &[],
+                Value::Int(0),
+                Value::Unit,
+                udp_packet(1, 2, b""),
+                &mut env,
+            )
             .unwrap();
         assert_eq!(ps.display(), "1");
         let tcp_pkt = Value::tuple(vec![

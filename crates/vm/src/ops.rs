@@ -132,7 +132,10 @@ mod tests {
             eval_binop(BinOp::Mul, &Value::Int(i64::MAX), &Value::Int(2)),
             Ok(Value::Int(-2))
         );
-        assert_eq!(eval_unop(UnOp::Neg, &Value::Int(i64::MIN)), Ok(Value::Int(i64::MIN)));
+        assert_eq!(
+            eval_unop(UnOp::Neg, &Value::Int(i64::MIN)),
+            Ok(Value::Int(i64::MIN))
+        );
     }
 
     #[test]
@@ -177,7 +180,10 @@ mod tests {
 
     #[test]
     fn unops() {
-        assert_eq!(eval_unop(UnOp::Not, &Value::Bool(true)), Ok(Value::Bool(false)));
+        assert_eq!(
+            eval_unop(UnOp::Not, &Value::Bool(true)),
+            Ok(Value::Bool(false))
+        );
         assert_eq!(eval_unop(UnOp::Neg, &Value::Int(5)), Ok(Value::Int(-5)));
     }
 }

@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn tcp_flag_tests() {
-        let h = TcpHdr { flags: tcp_flags::SYN | tcp_flags::ACK, ..TcpHdr::data(1, 2, 0) };
+        let h = TcpHdr {
+            flags: tcp_flags::SYN | tcp_flags::ACK,
+            ..TcpHdr::data(1, 2, 0)
+        };
         assert!(h.has(tcp_flags::SYN));
         assert!(h.has(tcp_flags::ACK));
         assert!(!h.has(tcp_flags::FIN));
@@ -158,7 +161,9 @@ mod tests {
         let types = vec![Type::Char, Type::Blob];
         let bytes = encode_payload(&vals);
         let decoded = decode_payload(&types, &bytes).unwrap();
-        let Value::Blob(b) = &decoded[1] else { panic!() };
+        let Value::Blob(b) = &decoded[1] else {
+            panic!()
+        };
         assert_eq!(&b[..], b"rest");
     }
 
@@ -183,7 +188,9 @@ mod tests {
     fn blob_only_payload() {
         let b = Bytes::from_static(b"raw bytes");
         let decoded = decode_payload(&[Type::Blob], &b).unwrap();
-        let Value::Blob(out) = &decoded[0] else { panic!() };
+        let Value::Blob(out) = &decoded[0] else {
+            panic!()
+        };
         assert_eq!(out, &b);
     }
 }

@@ -163,10 +163,26 @@ fn impl_for(name: &'static str) -> PrimFn {
         },
         "tcpSeq" => |a, _| Ok(Value::Int(want_tcp(&a[0])?.seq as i64)),
         "tcpAck" => |a, _| Ok(Value::Int(want_tcp(&a[0])?.ack as i64)),
-        "tcpIsSyn" => |a, _| Ok(Value::Bool(want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::SYN))),
-        "tcpIsFin" => |a, _| Ok(Value::Bool(want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::FIN))),
-        "tcpIsAck" => |a, _| Ok(Value::Bool(want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::ACK))),
-        "tcpIsRst" => |a, _| Ok(Value::Bool(want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::RST))),
+        "tcpIsSyn" => |a, _| {
+            Ok(Value::Bool(
+                want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::SYN),
+            ))
+        },
+        "tcpIsFin" => |a, _| {
+            Ok(Value::Bool(
+                want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::FIN),
+            ))
+        },
+        "tcpIsAck" => |a, _| {
+            Ok(Value::Bool(
+                want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::ACK),
+            ))
+        },
+        "tcpIsRst" => |a, _| {
+            Ok(Value::Bool(
+                want_tcp(&a[0])?.has(crate::pkthdr::tcp_flags::RST),
+            ))
+        },
         // UDP header
         "udpSrc" => |a, _| Ok(Value::Int(want_udp(&a[0])?.sport as i64)),
         "udpDst" => |a, _| Ok(Value::Int(want_udp(&a[0])?.dport as i64)),
@@ -233,7 +249,9 @@ fn impl_for(name: &'static str) -> PrimFn {
             Ok(Value::Blob(Bytes::from(vec![fill as u8; len as usize])))
         },
         "blobFromString" => |a, _| {
-            Ok(Value::Blob(Bytes::copy_from_slice(want_str(&a[0])?.as_bytes())))
+            Ok(Value::Blob(Bytes::copy_from_slice(
+                want_str(&a[0])?.as_bytes(),
+            )))
         },
         "blobToString" => |a, _| {
             let b = want_blob(&a[0])?;
@@ -245,7 +263,9 @@ fn impl_for(name: &'static str) -> PrimFn {
             let s = want_str(&a[0])?;
             let chars: Vec<char> = s.chars().collect();
             let (off, len) = range(want_int(&a[1])?, want_int(&a[2])?, chars.len())?;
-            Ok(Value::Str(chars[off..off + len].iter().collect::<String>().into()))
+            Ok(Value::Str(
+                chars[off..off + len].iter().collect::<String>().into(),
+            ))
         },
         "strChar" => |a, _| {
             let s = want_str(&a[0])?;
@@ -388,7 +408,9 @@ mod tests {
     use crate::pkthdr::addr;
 
     fn run(name: &str, args: Vec<Value>) -> Result<Value, VmError> {
-        let (id, _) = sig_table().lookup(name).unwrap_or_else(|| panic!("{name}?"));
+        let (id, _) = sig_table()
+            .lookup(name)
+            .unwrap_or_else(|| panic!("{name}?"));
         let mut env = MockEnv::new(addr(10, 0, 0, 1));
         eval(id, &args, &mut env)
     }
@@ -414,12 +436,21 @@ mod tests {
     fn tcp_udp_ops() {
         let t = Value::Tcp(TcpHdr::data(1234, 80, 7));
         assert!(matches!(run("tcpDst", vec![t.clone()]), Ok(Value::Int(80))));
-        assert!(matches!(run("tcpIsAck", vec![t.clone()]), Ok(Value::Bool(true))));
-        assert!(matches!(run("tcpIsSyn", vec![t.clone()]), Ok(Value::Bool(false))));
+        assert!(matches!(
+            run("tcpIsAck", vec![t.clone()]),
+            Ok(Value::Bool(true))
+        ));
+        assert!(matches!(
+            run("tcpIsSyn", vec![t.clone()]),
+            Ok(Value::Bool(false))
+        ));
         let t2 = run("tcpDstSet", vec![t, Value::Int(8080)]).unwrap();
         assert!(matches!(run("tcpDst", vec![t2]), Ok(Value::Int(8080))));
         let u = Value::Udp(UdpHdr::new(5000, 6000));
-        assert!(matches!(run("udpSrc", vec![u.clone()]), Ok(Value::Int(5000))));
+        assert!(matches!(
+            run("udpSrc", vec![u.clone()]),
+            Ok(Value::Int(5000))
+        ));
         // Port out of range raises.
         let u2 = run("udpDstSet", vec![u, Value::Int(70000)]);
         assert_eq!(u2, Err(VmError::Exn(exn::OUT_OF_RANGE)));
@@ -428,11 +459,17 @@ mod tests {
     #[test]
     fn blob_ops() {
         let b = Value::Blob(Bytes::from_static(b"hello world"));
-        assert!(matches!(run("blobLen", vec![b.clone()]), Ok(Value::Int(11))));
+        assert!(matches!(
+            run("blobLen", vec![b.clone()]),
+            Ok(Value::Int(11))
+        ));
         let sub = run("blobSub", vec![b.clone(), Value::Int(6), Value::Int(5)]).unwrap();
         let Value::Blob(s) = &sub else { panic!() };
         assert_eq!(&s[..], b"world");
-        assert!(matches!(run("blobByte", vec![b.clone(), Value::Int(0)]), Ok(Value::Int(104))));
+        assert!(matches!(
+            run("blobByte", vec![b.clone(), Value::Int(0)]),
+            Ok(Value::Int(104))
+        ));
         assert_eq!(
             run("blobByte", vec![b.clone(), Value::Int(99)]),
             Err(VmError::Exn(exn::OUT_OF_RANGE))
@@ -472,7 +509,10 @@ mod tests {
         );
         assert_eq!(run("charPos", vec![Value::Char('A')]), Ok(Value::Int(65)));
         assert_eq!(run("chr", vec![Value::Int(66)]), Ok(Value::Char('B')));
-        assert_eq!(run("chr", vec![Value::Int(-1)]), Err(VmError::Exn(exn::OUT_OF_RANGE)));
+        assert_eq!(
+            run("chr", vec![Value::Int(-1)]),
+            Err(VmError::Exn(exn::OUT_OF_RANGE))
+        );
     }
 
     #[test]
@@ -485,7 +525,10 @@ mod tests {
         );
         run("tblSet", vec![t.clone(), k.clone(), Value::Int(1)]).unwrap();
         assert_eq!(run("tblGet", vec![t.clone(), k.clone()]), Ok(Value::Int(1)));
-        assert_eq!(run("tblHas", vec![t.clone(), k.clone()]), Ok(Value::Bool(true)));
+        assert_eq!(
+            run("tblHas", vec![t.clone(), k.clone()]),
+            Ok(Value::Bool(true))
+        );
         assert_eq!(run("tblSize", vec![t.clone()]), Ok(Value::Int(1)));
         run("tblDel", vec![t.clone(), k.clone()]).unwrap();
         assert_eq!(run("tblHas", vec![t, k]), Ok(Value::Bool(false)));
@@ -495,7 +538,10 @@ mod tests {
     fn list_ops() {
         let l = Value::List(Rc::new(vec![Value::Int(1), Value::Int(2)]));
         assert_eq!(run("listLen", vec![l.clone()]), Ok(Value::Int(2)));
-        assert_eq!(run("listGet", vec![l.clone(), Value::Int(1)]), Ok(Value::Int(2)));
+        assert_eq!(
+            run("listGet", vec![l.clone(), Value::Int(1)]),
+            Ok(Value::Int(2))
+        );
         assert_eq!(
             run("listGet", vec![l.clone(), Value::Int(5)]),
             Err(VmError::Exn(exn::OUT_OF_RANGE))
@@ -536,7 +582,10 @@ mod tests {
         let m = run("audioStereoToMono", vec![pcm.clone()]).unwrap();
         assert!(matches!(run("blobLen", vec![m]), Ok(Value::Int(200))));
         let d = run("audio16to8", vec![pcm]).unwrap();
-        assert!(matches!(run("blobLen", vec![d.clone()]), Ok(Value::Int(200))));
+        assert!(matches!(
+            run("blobLen", vec![d.clone()]),
+            Ok(Value::Int(200))
+        ));
         let u = run("audio8to16", vec![d]).unwrap();
         assert!(matches!(run("blobLen", vec![u]), Ok(Value::Int(400))));
     }

@@ -99,9 +99,7 @@ impl Value {
             Type::Unit => Value::Unit,
             Type::Host => Value::Host(0),
             Type::Blob => Value::Blob(Bytes::new()),
-            Type::Tuple(parts) => {
-                Value::tuple(parts.iter().map(Value::default_of).collect())
-            }
+            Type::Tuple(parts) => Value::tuple(parts.iter().map(Value::default_of).collect()),
             Type::List(_) => Value::List(Rc::new(Vec::new())),
             Type::Table(..) => Value::Table(new_table(16)),
             Type::Ip | Type::Tcp | Type::Udp => {
@@ -318,7 +316,9 @@ mod tests {
     fn default_values() {
         assert!(matches!(Value::default_of(&Type::Int), Value::Int(0)));
         let t = Type::Tuple(vec![Type::Int, Type::Bool]);
-        let Value::Tuple(items) = Value::default_of(&t) else { panic!() };
+        let Value::Tuple(items) = Value::default_of(&t) else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
         assert!(matches!(
             Value::default_of(&Type::Table(Box::new(Type::Int), Box::new(Type::Int))),
@@ -360,7 +360,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Value::Host(crate::pkthdr::addr(10, 0, 0, 1)).display(), "10.0.0.1");
+        assert_eq!(
+            Value::Host(crate::pkthdr::addr(10, 0, 0, 1)).display(),
+            "10.0.0.1"
+        );
         assert_eq!(
             Value::tuple(vec![Value::Int(1), Value::Bool(true)]).display(),
             "(1, true)"

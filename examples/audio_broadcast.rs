@@ -13,8 +13,16 @@ fn main() {
     let cfg = AudioConfig {
         adaptation: Adaptation::AspJit,
         phases: vec![
-            LoadPhase { from_s: 20.0, to_s: 50.0, kbps: 9450 },
-            LoadPhase { from_s: 50.0, to_s: 80.0, kbps: 6200 },
+            LoadPhase {
+                from_s: 20.0,
+                to_s: 50.0,
+                kbps: 9450,
+            },
+            LoadPhase {
+                from_s: 50.0,
+                to_s: 80.0,
+                kbps: 6200,
+            },
         ],
         jitter_pct: 4,
         duration_s: 100,

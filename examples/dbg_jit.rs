@@ -8,21 +8,44 @@ use std::time::Instant;
 fn bench(name: &str, src: &str, pkt: &Value, n: u32) {
     let lp = load(src, Policy::authenticated()).unwrap();
     let mut env = MockEnv::new(1);
-    env.load = 9500; env.capacity = 10000;
+    env.load = 9500;
+    env.capacity = 10000;
     let globals = lp.compiled.eval_globals(&mut env).unwrap();
-    let ss = lp.compiled.init_channel_state(0, &globals, &mut env).unwrap();
+    let ss = lp
+        .compiled
+        .init_channel_state(0, &globals, &mut env)
+        .unwrap();
     let interp = Interp::new(&lp.prog);
 
     let t = Instant::now();
     for _ in 0..n {
-        let r = lp.compiled.run_channel(0, &globals, Value::Int(0), ss.clone(), pkt.clone(), &mut env).unwrap();
+        let r = lp
+            .compiled
+            .run_channel(
+                0,
+                &globals,
+                Value::Int(0),
+                ss.clone(),
+                pkt.clone(),
+                &mut env,
+            )
+            .unwrap();
         std::hint::black_box(r);
         env.effects.clear();
     }
     let jit = t.elapsed().as_nanos() / n as u128;
     let t = Instant::now();
     for _ in 0..n {
-        let r = interp.run_channel(0, &globals, Value::Int(0), ss.clone(), pkt.clone(), &mut env).unwrap();
+        let r = interp
+            .run_channel(
+                0,
+                &globals,
+                Value::Int(0),
+                ss.clone(),
+                pkt.clone(),
+                &mut env,
+            )
+            .unwrap();
         std::hint::black_box(r);
         env.effects.clear();
     }
@@ -35,27 +58,51 @@ fn main() {
     payload.extend_from_slice(&5i64.to_be_bytes());
     payload.extend_from_slice(&vec![0x11u8; 1100]);
     let audio_pkt = Value::tuple(vec![
-        Value::Ip(IpHdr::new(addr(10,0,0,1), addr(224,1,2,3), IpHdr::PROTO_UDP)),
+        Value::Ip(IpHdr::new(
+            addr(10, 0, 0, 1),
+            addr(224, 1, 2, 3),
+            IpHdr::PROTO_UDP,
+        )),
         Value::Udp(UdpHdr::new(7777, 7777)),
         Value::Blob(Bytes::from(payload)),
     ]);
-    bench("full audio router", planp_apps::audio::AUDIO_ROUTER_ASP, &audio_pkt, 200_000);
-    bench("arith only",
+    bench(
+        "full audio router",
+        planp_apps::audio::AUDIO_ROUTER_ASP,
+        &audio_pkt,
+        200_000,
+    );
+    bench(
+        "arith only",
         "channel network(ps : int, ss : unit, p : ip*udp*blob) is ((ps*3+1) mod 97, ss)",
-        &audio_pkt, 500_000);
-    bench("blob ops only",
+        &audio_pkt,
+        500_000,
+    );
+    bench(
+        "blob ops only",
         "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
          (blobLen(blobCat(blobSub(#3 p, 0, 9), blobSub(#3 p, 9, blobLen(#3 p) - 9))), ss)",
-        &audio_pkt, 200_000);
-    bench("audio prims only",
+        &audio_pkt,
+        200_000,
+    );
+    bench(
+        "audio prims only",
         "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
          (blobLen(audio16to8(audioStereoToMono(#3 p))), ss)",
-        &audio_pkt, 200_000);
-    bench("fun call",
+        &audio_pkt,
+        200_000,
+    );
+    bench(
+        "fun call",
         "fun f(x : int) : int = x + 1\n\
          channel network(ps : int, ss : unit, p : ip*udp*blob) is (f(f(f(ps))), ss)",
-        &audio_pkt, 500_000);
-    bench("onremote",
+        &audio_pkt,
+        500_000,
+    );
+    bench(
+        "onremote",
         "channel network(ps : int, ss : unit, p : ip*udp*blob) is (OnRemote(network, p); (ps, ss))",
-        &audio_pkt, 500_000);
+        &audio_pkt,
+        500_000,
+    );
 }

@@ -29,7 +29,10 @@ impl App for Operator {
         api.set_timer(Duration::from_millis(50), 0);
     }
     fn on_packet(&mut self, _api: &mut NodeApi<'_>, pkt: Packet) {
-        if pkt.udp_hdr().is_some_and(|u| u.dport == planp::runtime::DEPLOY_PORT) {
+        if pkt
+            .udp_hdr()
+            .is_some_and(|u| u.dport == planp::runtime::DEPLOY_PORT)
+        {
             println!(
                 "operator: router replied {:?}",
                 String::from_utf8_lossy(&pkt.payload).trim()
@@ -89,7 +92,13 @@ fn main() {
     let svc = DeployService::new(Policy::strict(), LayerConfig::default());
     let log = svc.log.clone();
     sim.add_app(router, Box::new(svc));
-    sim.add_app(op, Box::new(Operator { target: addr(10, 0, 0, 254), step: 0 }));
+    sim.add_app(
+        op,
+        Box::new(Operator {
+            target: addr(10, 0, 0, 254),
+            step: 0,
+        }),
+    );
     sim.add_app(sink, Box::new(Sink));
 
     sim.run_until(SimTime::from_secs(1));

@@ -2,13 +2,31 @@ fn main() {
     let progs: &[(&str, &str)] = &[
         ("audio_router", planp::apps::audio::AUDIO_ROUTER_ASP),
         ("audio_client", planp::apps::audio::AUDIO_CLIENT_ASP),
-        ("audio_router_hysteresis", planp::apps::audio::AUDIO_ROUTER_HYSTERESIS_ASP),
-        ("audio_router_queue", planp::apps::audio::AUDIO_ROUTER_QUEUE_ASP),
+        (
+            "audio_router_hysteresis",
+            planp::apps::audio::AUDIO_ROUTER_HYSTERESIS_ASP,
+        ),
+        (
+            "audio_router_queue",
+            planp::apps::audio::AUDIO_ROUTER_QUEUE_ASP,
+        ),
         ("http_gateway", planp::apps::http::HTTP_GATEWAY_ASP),
-        ("http_gateway_3srv", planp::apps::http::HTTP_GATEWAY_3SRV_ASP),
-        ("http_gateway_random", planp::apps::http::HTTP_GATEWAY_RANDOM_ASP),
-        ("http_gateway_porthash", planp::apps::http::HTTP_GATEWAY_PORTHASH_ASP),
-        ("http_gateway_failover", planp::apps::http::HTTP_GATEWAY_FAILOVER_ASP),
+        (
+            "http_gateway_3srv",
+            planp::apps::http::HTTP_GATEWAY_3SRV_ASP,
+        ),
+        (
+            "http_gateway_random",
+            planp::apps::http::HTTP_GATEWAY_RANDOM_ASP,
+        ),
+        (
+            "http_gateway_porthash",
+            planp::apps::http::HTTP_GATEWAY_PORTHASH_ASP,
+        ),
+        (
+            "http_gateway_failover",
+            planp::apps::http::HTTP_GATEWAY_FAILOVER_ASP,
+        ),
         ("mpeg_monitor", planp::apps::mpeg::MPEG_MONITOR_ASP),
         ("mpeg_capture", planp::apps::mpeg::MPEG_CAPTURE_ASP),
     ];

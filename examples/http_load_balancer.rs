@@ -17,7 +17,10 @@ fn main() {
     for (name, mode) in [
         ("single server", ClusterMode::Single),
         ("ASP gateway over 2 servers", ClusterMode::AspGateway),
-        ("built-in gateway over 2 servers", ClusterMode::NativeGateway),
+        (
+            "built-in gateway over 2 servers",
+            ClusterMode::NativeGateway,
+        ),
         ("2 servers, disjoint clients", ClusterMode::Disjoint),
     ] {
         let mut cfg = HttpConfig::new(mode, 16);

@@ -12,7 +12,11 @@ fn main() {
         let r = run_mpeg(&MpegConfig::new(3, use_asps));
         println!(
             "{}: server opened {} stream(s), sent {:.1} MB of video",
-            if use_asps { "with ASPs   " } else { "without ASPs" },
+            if use_asps {
+                "with ASPs   "
+            } else {
+                "without ASPs"
+            },
             r.server.streams,
             r.server.video_bytes as f64 / 1e6
         );
@@ -20,7 +24,11 @@ fn main() {
             println!(
                 "  viewer {i}: {} frames ({}) setup={:?}",
                 c.frames,
-                if c.shared { "captured from a neighbor's stream" } else { "own connection" },
+                if c.shared {
+                    "captured from a neighbor's stream"
+                } else {
+                    "own connection"
+                },
                 c.setup
             );
         }

@@ -68,13 +68,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.compute_routes();
     let handle = install_planp(&mut sim, r, &image, LayerConfig::default())?;
 
-    sim.add_app(a, Box::new(Sender { dst: addr(10, 0, 1, 1) }));
+    sim.add_app(
+        a,
+        Box::new(Sender {
+            dst: addr(10, 0, 1, 1),
+        }),
+    );
     sim.add_app(b, Box::new(Receiver));
     sim.run_until(SimTime::from_secs(1));
 
     let stats = handle.stats.borrow();
     let stamped = sim.series.get("stamped").map(|s| s.len()).unwrap_or(0);
-    println!("router processed {} packets ({} errors)", stats.matched, stats.errors);
+    println!(
+        "router processed {} packets ({} errors)",
+        stats.matched, stats.errors
+    );
     println!("receiver saw {stamped} stamped packets");
     assert!(stamped > 90);
     Ok(())

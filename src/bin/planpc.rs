@@ -160,13 +160,25 @@ fn main() -> ExitCode {
                 }
                 fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
             }
-            sim.add_app(a, Box::new(Burst { dst: addr(10, 0, 1, 1) }));
+            sim.add_app(
+                a,
+                Box::new(Burst {
+                    dst: addr(10, 0, 1, 1),
+                }),
+            );
             sim.run_until(SimTime::from_secs(2));
 
             let stats = handle.stats.borrow();
             println!("topology: a (10.0.0.1) — router — b (10.0.1.1); 20 packets sent");
-            println!("router:   {} matched, {} passed, {} errors", stats.matched, stats.passed, stats.errors);
-            println!("b:        {} delivered, {} dropped", sim.node(b).delivered, sim.node(b).dropped);
+            println!(
+                "router:   {} matched, {} passed, {} errors",
+                stats.matched, stats.passed, stats.errors
+            );
+            println!(
+                "b:        {} delivered, {} dropped",
+                sim.node(b).delivered,
+                sim.node(b).dropped
+            );
             let output = handle.output.borrow();
             if !output.is_empty() {
                 println!("program output:\n{output}");

@@ -14,8 +14,16 @@ fn fig6_shape_bandwidth_staircase() {
     let cfg = AudioConfig {
         adaptation: Adaptation::AspJit,
         phases: vec![
-            LoadPhase { from_s: 20.0, to_s: 45.0, kbps: 9450 },
-            LoadPhase { from_s: 45.0, to_s: 70.0, kbps: 6200 },
+            LoadPhase {
+                from_s: 20.0,
+                to_s: 45.0,
+                kbps: 9450,
+            },
+            LoadPhase {
+                from_s: 45.0,
+                to_s: 70.0,
+                kbps: 6200,
+            },
         ],
         jitter_pct: 0,
         duration_s: 90,
@@ -34,7 +42,10 @@ fn fig6_shape_bandwidth_staircase() {
     assert!(recovered > 160.0, "recovered {recovered}");
     // Reaction is fast: within 3 s of load onset, the rate already fell.
     let onset = r.avg_kbps(21.0, 24.0);
-    assert!(onset < 120.0, "reaction too slow: {onset} kb/s right after onset");
+    assert!(
+        onset < 120.0,
+        "reaction too slow: {onset} kb/s right after onset"
+    );
 }
 
 /// Figure 7 shape: under the overload level, adaptation eliminates
@@ -44,7 +55,11 @@ fn fig7_shape_gaps_reduced_by_adaptation() {
     let mk = |adaptation| {
         run_audio(&AudioConfig {
             adaptation,
-            phases: vec![LoadPhase { from_s: 5.0, to_s: 60.0, kbps: 9560 }],
+            phases: vec![LoadPhase {
+                from_s: 5.0,
+                to_s: 60.0,
+                kbps: 9560,
+            }],
             jitter_pct: 0,
             duration_s: 60,
             seed: 7,
@@ -55,11 +70,25 @@ fn fig7_shape_gaps_reduced_by_adaptation() {
     let asp = mk(Adaptation::AspJit);
     let native = mk(Adaptation::Native);
     let off = mk(Adaptation::Off);
-    assert!(off.stats.gaps >= 20, "no-adaptation gaps {}", off.stats.gaps);
-    assert!(asp.stats.gaps * 5 < off.stats.gaps, "asp {} vs off {}", asp.stats.gaps, off.stats.gaps);
+    assert!(
+        off.stats.gaps >= 20,
+        "no-adaptation gaps {}",
+        off.stats.gaps
+    );
+    assert!(
+        asp.stats.gaps * 5 < off.stats.gaps,
+        "asp {} vs off {}",
+        asp.stats.gaps,
+        off.stats.gaps
+    );
     // The ASP and the built-in C adaptation behave alike.
     let diff = asp.stats.gaps.abs_diff(native.stats.gaps);
-    assert!(diff <= off.stats.gaps / 5, "asp {} native {}", asp.stats.gaps, native.stats.gaps);
+    assert!(
+        diff <= off.stats.gaps / 5,
+        "asp {} native {}",
+        asp.stats.gaps,
+        native.stats.gaps
+    );
 }
 
 /// Figure 8 shape: ASP gateway == built-in gateway; the cluster beats
@@ -78,11 +107,17 @@ fn fig8_shape_cluster_throughput() {
     let native = quick(ClusterMode::NativeGateway);
     let disjoint = quick(ClusterMode::Disjoint);
 
-    assert!((asp - native).abs() / native < 0.08, "asp {asp} vs native {native}");
+    assert!(
+        (asp - native).abs() / native < 0.08,
+        "asp {asp} vs native {native}"
+    );
     let speedup = asp / single;
     assert!((1.4..2.0).contains(&speedup), "cluster speedup {speedup}");
     let efficiency = asp / disjoint;
-    assert!((0.75..0.97).contains(&efficiency), "gateway efficiency {efficiency}");
+    assert!(
+        (0.75..0.97).contains(&efficiency),
+        "gateway efficiency {efficiency}"
+    );
 }
 
 /// Section 3.3 shape: server egress is flat in viewers with ASPs and

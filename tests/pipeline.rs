@@ -14,11 +14,31 @@ use std::rc::Rc;
 #[test]
 fn all_shipped_asps_load_and_verify() {
     let programs: Vec<(&str, &str, Policy)> = vec![
-        ("audio router", planp::apps::audio::AUDIO_ROUTER_ASP, Policy::strict()),
-        ("audio client", planp::apps::audio::AUDIO_CLIENT_ASP, Policy::strict()),
-        ("http gateway", planp::apps::http::HTTP_GATEWAY_ASP, Policy::strict()),
-        ("mpeg monitor", planp::apps::mpeg::MPEG_MONITOR_ASP, Policy::no_delivery()),
-        ("mpeg capture", planp::apps::mpeg::MPEG_CAPTURE_ASP, Policy::no_delivery()),
+        (
+            "audio router",
+            planp::apps::audio::AUDIO_ROUTER_ASP,
+            Policy::strict(),
+        ),
+        (
+            "audio client",
+            planp::apps::audio::AUDIO_CLIENT_ASP,
+            Policy::strict(),
+        ),
+        (
+            "http gateway",
+            planp::apps::http::HTTP_GATEWAY_ASP,
+            Policy::strict(),
+        ),
+        (
+            "mpeg monitor",
+            planp::apps::mpeg::MPEG_MONITOR_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "mpeg capture",
+            planp::apps::mpeg::MPEG_CAPTURE_ASP,
+            Policy::no_delivery(),
+        ),
     ];
     for (name, src, policy) in programs {
         let lp = load(src, policy).unwrap_or_else(|e| panic!("{name} failed to load: {e}"));
@@ -91,12 +111,21 @@ initstate mkTable(16) is
             &mut sim,
             r,
             &image,
-            LayerConfig { engine, ..LayerConfig::default() },
+            LayerConfig {
+                engine,
+                ..LayerConfig::default()
+            },
         )
         .expect("install");
         let got = Rc::new(RefCell::new(Vec::new()));
         sim.add_app(b, Box::new(Collector { got: got.clone() }));
-        sim.add_app(a, Box::new(Burst { dst: addr(10, 0, 1, 1), n: 10 }));
+        sim.add_app(
+            a,
+            Box::new(Burst {
+                dst: addr(10, 0, 1, 1),
+                n: 10,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         let n = got.borrow().len();
         let out = handle.output.borrow().clone();
@@ -143,7 +172,13 @@ channel network(ps : unit, ss : unit, p : ip*udp*blob) is
 
     let got = Rc::new(RefCell::new(Vec::new()));
     sim.add_app(b, Box::new(Collector { got: got.clone() }));
-    sim.add_app(a, Box::new(Burst { dst: addr(10, 0, 2, 1), n: 10 }));
+    sim.add_app(
+        a,
+        Box::new(Burst {
+            dst: addr(10, 0, 2, 1),
+            n: 10,
+        }),
+    );
     sim.run_until(SimTime::from_secs(1));
     // Tagger stamps 0..9; filter keeps even stamps: 5 packets.
     assert_eq!(got.borrow().len(), 5);
@@ -225,11 +260,22 @@ channel network(ps : unit, ss : unit, p : ip*udp*char*bool) is
             let mut p1 = vec![b'A'];
             p1.extend_from_slice(&123i64.to_be_bytes());
             api.send(Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from(p1)));
-            api.send(Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from(vec![b'B', 1u8])));
+            api.send(Packet::udp(
+                api.addr(),
+                self.dst,
+                1,
+                2,
+                Bytes::from(vec![b'B', 1u8]),
+            ));
         }
         fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
     }
-    sim.add_app(a, Box::new(TwoKinds { dst: addr(10, 0, 0, 2) }));
+    sim.add_app(
+        a,
+        Box::new(TwoKinds {
+            dst: addr(10, 0, 0, 2),
+        }),
+    );
     sim.run_until(SimTime::from_secs(1));
     assert_eq!(&*handle.output.borrow(), "CmdA: 123\nCmdB: true\n");
 }
@@ -301,14 +347,25 @@ fn in_band_deployment_end_to_end() {
     }
     let asp = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
                (OnRemote(network, p); (ps + 1, ss))";
-    sim.add_app(op, Box::new(Op { packets: deploy_packets(addr(10, 0, 0, 1), addr(10, 0, 0, 254), 1, asp) }));
+    sim.add_app(
+        op,
+        Box::new(Op {
+            packets: deploy_packets(addr(10, 0, 0, 1), addr(10, 0, 0, 254), 1, asp),
+        }),
+    );
     sim.run_until(SimTime::from_ms(200));
     assert_eq!(log.borrow().installed, 1);
 
     // Traffic now flows through the deployed program.
     let got = Rc::new(RefCell::new(Vec::new()));
     sim.add_app(b, Box::new(Collector { got: got.clone() }));
-    sim.add_app(op, Box::new(Burst { dst: addr(10, 0, 1, 1), n: 7 }));
+    sim.add_app(
+        op,
+        Box::new(Burst {
+            dst: addr(10, 0, 1, 1),
+            n: 7,
+        }),
+    );
     sim.run_until(SimTime::from_secs(1));
     assert_eq!(got.borrow().len(), 7);
     let handle = log.borrow().handle.clone().expect("handle");
@@ -322,13 +379,31 @@ fn asp_files_match_embedded_sources() {
     let progs: &[(&str, &str)] = &[
         ("audio_router", planp::apps::audio::AUDIO_ROUTER_ASP),
         ("audio_client", planp::apps::audio::AUDIO_CLIENT_ASP),
-        ("audio_router_hysteresis", planp::apps::audio::AUDIO_ROUTER_HYSTERESIS_ASP),
-        ("audio_router_queue", planp::apps::audio::AUDIO_ROUTER_QUEUE_ASP),
+        (
+            "audio_router_hysteresis",
+            planp::apps::audio::AUDIO_ROUTER_HYSTERESIS_ASP,
+        ),
+        (
+            "audio_router_queue",
+            planp::apps::audio::AUDIO_ROUTER_QUEUE_ASP,
+        ),
         ("http_gateway", planp::apps::http::HTTP_GATEWAY_ASP),
-        ("http_gateway_3srv", planp::apps::http::HTTP_GATEWAY_3SRV_ASP),
-        ("http_gateway_random", planp::apps::http::HTTP_GATEWAY_RANDOM_ASP),
-        ("http_gateway_porthash", planp::apps::http::HTTP_GATEWAY_PORTHASH_ASP),
-        ("http_gateway_failover", planp::apps::http::HTTP_GATEWAY_FAILOVER_ASP),
+        (
+            "http_gateway_3srv",
+            planp::apps::http::HTTP_GATEWAY_3SRV_ASP,
+        ),
+        (
+            "http_gateway_random",
+            planp::apps::http::HTTP_GATEWAY_RANDOM_ASP,
+        ),
+        (
+            "http_gateway_porthash",
+            planp::apps::http::HTTP_GATEWAY_PORTHASH_ASP,
+        ),
+        (
+            "http_gateway_failover",
+            planp::apps::http::HTTP_GATEWAY_FAILOVER_ASP,
+        ),
         ("mpeg_monitor", planp::apps::mpeg::MPEG_MONITOR_ASP),
         ("mpeg_capture", planp::apps::mpeg::MPEG_CAPTURE_ASP),
     ];
@@ -366,7 +441,13 @@ fn shared_image_has_independent_state_per_node() {
     let h1 = install_planp(&mut sim, r1, &image, LayerConfig::default()).unwrap();
     let h2 = install_planp(&mut sim, r2, &image, LayerConfig::default()).unwrap();
 
-    sim.add_app(a, Box::new(Burst { dst: addr(10, 0, 2, 1), n: 3 }));
+    sim.add_app(
+        a,
+        Box::new(Burst {
+            dst: addr(10, 0, 2, 1),
+            n: 3,
+        }),
+    );
     sim.run_until(SimTime::from_secs(1));
     // Each layer counted its own packets from its own zero.
     assert_eq!(&*h1.output.borrow(), "0\n1\n2\n");
@@ -410,7 +491,13 @@ fn asp_bridge_equivalent_to_builtin_forwarding() {
             }
             _ => sim.install_hook(bridge, Box::new(NativeNoop)),
         }
-        sim.add_app(a, Box::new(Burst { dst: addr(10, 0, 1, 1), n: 50 }));
+        sim.add_app(
+            a,
+            Box::new(Burst {
+                dst: addr(10, 0, 1, 1),
+                n: 50,
+            }),
+        );
         sim.run_until(SimTime::from_secs(2));
         sim.node(b).delivered
     };
@@ -427,7 +514,7 @@ fn asp_bridge_equivalent_to_builtin_forwarding() {
 /// bouncer ping-pongs until the TTL kills the packet — the network
 /// survives, the packet does not.
 #[test]
-fn ttl_backstop_catches_authenticated_bouncers()  {
+fn ttl_backstop_catches_authenticated_bouncers() {
     // Two routers, each redirecting every UDP packet at the *other*
     // end's host: the packet ping-pongs between them forever — except
     // for the TTL.
@@ -437,7 +524,10 @@ fn ttl_backstop_catches_authenticated_bouncers()  {
                 (OnRemote(network, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps + 1, ss))";
     let img_b = load(to_b, Policy::authenticated()).expect("authenticated download");
     let img_a = load(to_a, Policy::authenticated()).expect("authenticated download");
-    assert!(!img_b.report.termination.is_proved(), "correctly unprovable");
+    assert!(
+        !img_b.report.termination.is_proved(),
+        "correctly unprovable"
+    );
 
     let mut sim = Sim::new(2);
     let a = sim.add_host("a", addr(10, 0, 0, 1));
@@ -453,11 +543,21 @@ fn ttl_backstop_catches_authenticated_bouncers()  {
 
     let got = Rc::new(RefCell::new(Vec::new()));
     sim.add_app(b, Box::new(Collector { got: got.clone() }));
-    sim.add_app(a, Box::new(Burst { dst: addr(10, 0, 1, 1), n: 1 }));
+    sim.add_app(
+        a,
+        Box::new(Burst {
+            dst: addr(10, 0, 1, 1),
+            n: 1,
+        }),
+    );
     // The simulation must terminate (the bouncers cannot loop forever).
     sim.run_until(SimTime::from_secs(5));
 
-    assert_eq!(got.borrow().len(), 0, "the packet died of TTL, not delivery");
+    assert_eq!(
+        got.borrow().len(),
+        0,
+        "the packet died of TTL, not delivery"
+    );
     let bounces = h1.stats.borrow().matched + h2.stats.borrow().matched;
     assert!(
         (30..=64).contains(&bounces),
@@ -479,8 +579,17 @@ fn ttl_backstop_catches_authenticated_bouncers()  {
     install_planp(&mut sim, r, &fwd, LayerConfig::default()).unwrap();
     let got = Rc::new(RefCell::new(Vec::new()));
     sim.add_app(b, Box::new(Collector { got: got.clone() }));
-    sim.add_app(a, Box::new(Burst { dst: addr(10, 0, 1, 1), n: 1 }));
+    sim.add_app(
+        a,
+        Box::new(Burst {
+            dst: addr(10, 0, 1, 1),
+            n: 1,
+        }),
+    );
     sim.run_until(SimTime::from_secs(5));
     assert_eq!(got.borrow().len(), 1);
-    assert!(got.borrow()[0].ip.ttl > 60, "one hop consumed, TTL nearly full");
+    assert!(
+        got.borrow()[0].ip.ttl > 60,
+        "one hop consumed, TTL nearly full"
+    );
 }

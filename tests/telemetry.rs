@@ -1,0 +1,114 @@
+//! Determinism contract of the telemetry subsystem: the same seed must
+//! produce a byte-identical event log and metrics snapshot — across
+//! runs, with tracing on. This is what makes the trace a debugging tool
+//! rather than a sampling profiler: any run can be replayed exactly.
+
+use planp_apps::audio::{run_audio_traced, Adaptation, AudioConfig};
+use planp_apps::http::{run_http_traced, ClusterMode, HttpConfig};
+use planp_apps::mpeg::{run_mpeg_traced, MpegConfig};
+use planp_telemetry::{Category, TraceConfig};
+
+fn audio_cfg() -> AudioConfig {
+    AudioConfig::constant_load(Adaptation::AspJit, 9450, 15)
+}
+
+fn http_cfg() -> HttpConfig {
+    let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 8);
+    cfg.duration_s = 12;
+    cfg
+}
+
+#[test]
+fn audio_same_seed_same_event_log_and_metrics() {
+    let (_, t1, m1) = run_audio_traced(&audio_cfg(), TraceConfig::all());
+    let (_, t2, m2) = run_audio_traced(&audio_cfg(), TraceConfig::all());
+    assert!(
+        t1.trace.recorded() > 1000,
+        "tracing recorded {}",
+        t1.trace.recorded()
+    );
+    assert_eq!(t1.trace.recorded(), t2.trace.recorded());
+    assert_eq!(t1.trace.to_jsonl(), t2.trace.to_jsonl());
+    assert_eq!(m1.to_json(), m2.to_json());
+}
+
+#[test]
+fn http_same_seed_same_event_log_and_metrics() {
+    let (_, t1, m1) = run_http_traced(&http_cfg(), TraceConfig::all());
+    let (_, t2, m2) = run_http_traced(&http_cfg(), TraceConfig::all());
+    assert!(
+        t1.trace.recorded() > 1000,
+        "tracing recorded {}",
+        t1.trace.recorded()
+    );
+    assert_eq!(t1.trace.to_jsonl(), t2.trace.to_jsonl());
+    assert_eq!(m1.to_json(), m2.to_json());
+}
+
+#[test]
+fn mpeg_same_seed_same_event_log_and_metrics() {
+    let cfg = MpegConfig::new(2, true);
+    let (_, t1, m1) = run_mpeg_traced(&cfg, TraceConfig::all());
+    let (_, t2, m2) = run_mpeg_traced(&cfg, TraceConfig::all());
+    assert!(t1.trace.recorded() > 0);
+    assert_eq!(t1.trace.to_jsonl(), t2.trace.to_jsonl());
+    assert_eq!(m1.to_json(), m2.to_json());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut a = audio_cfg();
+    a.seed = 1;
+    let mut b = audio_cfg();
+    b.seed = 2;
+    let (_, ta, _) = run_audio_traced(&a, TraceConfig::all());
+    let (_, tb, _) = run_audio_traced(&b, TraceConfig::all());
+    assert_ne!(
+        ta.trace.to_jsonl(),
+        tb.trace.to_jsonl(),
+        "seeds must matter"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_behavior() {
+    // The hot-path guards must be observation-only: results with
+    // tracing fully on equal results with tracing off.
+    let (r_on, _, _) = run_audio_traced(&audio_cfg(), TraceConfig::all());
+    let (r_off, _, _) = run_audio_traced(&audio_cfg(), TraceConfig::default());
+    assert_eq!(r_on.stats.frames, r_off.stats.frames);
+    assert_eq!(r_on.stats.gaps, r_off.stats.gaps);
+    assert_eq!(r_on.segment_drops, r_off.segment_drops);
+    assert_eq!(r_on.rx_kbps, r_off.rx_kbps);
+}
+
+#[test]
+fn category_filter_limits_what_is_recorded() {
+    let trace = TraceConfig {
+        categories: Category::DISPATCH.union(Category::EXCEPTION),
+        ..TraceConfig::default()
+    };
+    let (_, t, _) = run_audio_traced(&audio_cfg(), trace);
+    assert!(t.trace.recorded() > 0);
+    for ev in t.trace.events() {
+        let c = ev.category();
+        assert!(
+            c == Category::DISPATCH || c == Category::EXCEPTION,
+            "unexpected category {c:?} recorded"
+        );
+    }
+}
+
+#[test]
+fn vm_step_metrics_are_recorded_and_deterministic() {
+    let (_, _, m1) = run_audio_traced(&audio_cfg(), TraceConfig::default());
+    let steps: u64 = m1
+        .counters
+        .iter()
+        .filter(|(k, _)| k.ends_with(".vm_steps"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(steps > 0, "ASP runs must charge VM steps");
+    let (_, _, m2) = run_audio_traced(&audio_cfg(), TraceConfig::default());
+    assert_eq!(m1.counters, m2.counters);
+}

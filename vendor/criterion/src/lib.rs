@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset of criterion's API the workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros) with a plain
+//! wall-clock measurement loop: per benchmark it warms up, picks a batch
+//! size targeting ~1 ms per sample, records `sample_size` samples, and
+//! prints min / median / mean per-iteration times.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in has no separate
+    /// warm-up phase (the calibration pass serves that purpose).
+    pub fn warm_up_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is bounded by
+    /// `sample_size`, not wall-clock time.
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Compatibility hook: the real crate writes reports on drop; the
+    /// stand-in prints as it goes, so this is a no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    /// (batch iterations, elapsed) samples collected by `iter`.
+    samples: Vec<(u64, Duration)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures the routine: warm-up, batch-size calibration, then
+    /// `sample_size` timed samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up (~20 ms cap) while estimating per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(20) && warmup_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        // Aim for ~1 ms per sample, at least one iteration.
+        let batch = ((1_000_000 / per_iter.max(1)) as u64).clamp(1, 10_000_000);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((batch, t0.elapsed()));
+        }
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:40} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(n, d)| d.as_nanos() as f64 / *n as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{id:40} min {} · median {} · mean {}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:7.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:7.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:7.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Re-export for code written against criterion's `black_box` path; the
+/// std implementation is what the real crate uses on recent toolchains.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group, in either criterion form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u64;
+        group.bench_function("incr", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+}
