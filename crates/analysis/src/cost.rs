@@ -1,0 +1,316 @@
+//! Static per-packet cost bounds.
+//!
+//! The paper's resource argument (section 2.1) is qualitative: no
+//! recursion and no unbounded loops, therefore bounded per-packet work.
+//! Local termination actually buys more than that — it makes the
+//! worst-case cost *computable* by structural induction over the typed
+//! AST. This module computes, for every channel overload, an upper bound
+//! on
+//!
+//! * the VM **steps** one packet can cost (the same step-charging model
+//!   the engines report through `NetEnv::charge_steps`; see
+//!   [`planp_vm::cost`]), and
+//! * the number of **send sites** (`OnRemote`/`OnNeighbor`) one packet
+//!   can execute.
+//!
+//! The recurrence charges [`STEPS_PER_NODE`] for every node on a path,
+//! sums sequential composition (`let`, tuples, arguments, sequencing),
+//! takes the maximum over `if` arms, and — because a `handle` body may
+//! run to its deepest `raise` before the handler runs — sums body and
+//! handler for `handle`. Function-call bounds are precomputed in
+//! declaration order, which terminates because bodies may call only
+//! earlier functions.
+//!
+//! The bound is sound for both engines: the interpreter charges exactly
+//! one step per node on the executed path (branches and short-circuit
+//! operators only skip nodes), and the JIT's constant folding means its
+//! template count never exceeds the interpreter's node count. The
+//! runtime layer cross-checks this claim on every dispatch (the
+//! `cost_bound_exceeded` counter), and the soundness test suite asserts
+//! the counter stays zero across all traced scenarios.
+
+use planp_lang::tast::{TExpr, TExprKind, TProgram};
+use planp_vm::cost::STEPS_PER_NODE;
+use std::fmt;
+
+/// Worst-case per-packet cost of one channel or function body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostBound {
+    /// Upper bound on VM steps charged per invocation.
+    pub steps: u64,
+    /// Upper bound on executed send sites (`OnRemote` + `OnNeighbor`)
+    /// per invocation.
+    pub sends: u64,
+}
+
+impl CostBound {
+    /// Sequential composition: both costs accrue.
+    fn then(self, other: CostBound) -> CostBound {
+        CostBound {
+            steps: self.steps.saturating_add(other.steps),
+            sends: self.sends.saturating_add(other.sends),
+        }
+    }
+
+    /// Branch merge: component-wise maximum (a sound upper bound even
+    /// when the step-heaviest and send-heaviest paths differ).
+    fn or(self, other: CostBound) -> CostBound {
+        CostBound {
+            steps: self.steps.max(other.steps),
+            sends: self.sends.max(other.sends),
+        }
+    }
+
+    /// The cost of evaluating one AST node, by itself.
+    fn node() -> CostBound {
+        CostBound {
+            steps: STEPS_PER_NODE,
+            sends: 0,
+        }
+    }
+}
+
+impl fmt::Display for CostBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<= {} steps, <= {} send(s)", self.steps, self.sends)
+    }
+}
+
+/// The bound of one channel overload.
+#[derive(Debug, Clone)]
+pub struct ChannelCost {
+    /// Channel name.
+    pub name: String,
+    /// Overload index within the name group.
+    pub overload: u32,
+    /// Worst-case per-packet cost of the body.
+    pub bound: CostBound,
+}
+
+/// Cost bounds for a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct CostReport {
+    /// Per-function bounds, parallel to `TProgram::funs`.
+    pub funs: Vec<CostBound>,
+    /// Per-channel bounds, parallel to `TProgram::channels`.
+    pub channels: Vec<ChannelCost>,
+}
+
+impl CostReport {
+    /// The worst per-packet step bound over all channels (0 when the
+    /// program has no channels).
+    pub fn max_steps(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.bound.steps)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The bound of the channel at `index` in `TProgram::channels`.
+    pub fn bound_for(&self, index: usize) -> CostBound {
+        self.channels
+            .get(index)
+            .map(|c| c.bound)
+            .unwrap_or_default()
+    }
+}
+
+/// Computes worst-case per-packet cost bounds for every function and
+/// channel of `prog`.
+pub fn cost_bounds(prog: &TProgram) -> CostReport {
+    let mut funs: Vec<CostBound> = Vec::with_capacity(prog.funs.len());
+    for f in &prog.funs {
+        let b = bound_expr(&f.body, &funs);
+        funs.push(b);
+    }
+    let channels = prog
+        .channels
+        .iter()
+        .map(|ch| ChannelCost {
+            name: ch.name.clone(),
+            overload: ch.overload,
+            bound: bound_expr(&ch.body, &funs),
+        })
+        .collect();
+    CostReport { funs, channels }
+}
+
+/// Structural worst-case bound of one expression; `funs` holds the
+/// precomputed bounds of all earlier function declarations.
+fn bound_expr(e: &TExpr, funs: &[CostBound]) -> CostBound {
+    use TExprKind::*;
+    let node = CostBound::node();
+    match &e.kind {
+        Int(_)
+        | Bool(_)
+        | Str(_)
+        | Char(_)
+        | Unit
+        | Host(_)
+        | Local { .. }
+        | Global { .. }
+        | Raise(_) => node,
+        Tuple(items) | Seq(items) | List(items) => items
+            .iter()
+            .fold(node, |acc, item| acc.then(bound_expr(item, funs))),
+        Proj(_, inner) | Unop(_, inner) => node.then(bound_expr(inner, funs)),
+        CallFun { index, args } => args
+            .iter()
+            .fold(node, |acc, a| acc.then(bound_expr(a, funs)))
+            .then(funs.get(*index as usize).copied().unwrap_or_default()),
+        CallPrim { args, .. } => args
+            .iter()
+            .fold(node, |acc, a| acc.then(bound_expr(a, funs))),
+        If(c, t, f) => node
+            .then(bound_expr(c, funs))
+            .then(bound_expr(t, funs).or(bound_expr(f, funs))),
+        Let { init, body, .. } => node
+            .then(bound_expr(init, funs))
+            .then(bound_expr(body, funs)),
+        // `andalso`/`orelse` may skip the right operand; the sum is a
+        // sound upper bound for the worst case.
+        Binop(_, a, b) => node.then(bound_expr(a, funs)).then(bound_expr(b, funs)),
+        // The body may run all the way to its deepest raise, and then
+        // the handler runs too.
+        Handle(body, _, handler) => node
+            .then(bound_expr(body, funs))
+            .then(bound_expr(handler, funs)),
+        OnRemote { pkt, .. } => {
+            let mut b = node.then(bound_expr(pkt, funs));
+            b.sends = b.sends.saturating_add(1);
+            b
+        }
+        OnNeighbor { host, pkt, .. } => {
+            let mut b = node
+                .then(bound_expr(host, funs))
+                .then(bound_expr(pkt, funs));
+            b.sends = b.sends.saturating_add(1);
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planp_lang::compile_front;
+    use planp_vm::env::MockEnv;
+    use planp_vm::interp::Interp;
+    use planp_vm::pkthdr::{addr, IpHdr, UdpHdr};
+    use planp_vm::value::Value;
+
+    fn bounds(src: &str) -> (TProgram, CostReport) {
+        let tp = compile_front(src).unwrap_or_else(|e| panic!("front: {e}\n{src}"));
+        let report = cost_bounds(&tp);
+        (tp, report)
+    }
+
+    fn udp_packet() -> Value {
+        Value::tuple(vec![
+            Value::Ip(IpHdr::new(
+                addr(10, 0, 0, 2),
+                addr(10, 0, 1, 1),
+                IpHdr::PROTO_UDP,
+            )),
+            Value::Udp(UdpHdr::new(1000, 2000)),
+            Value::Blob(bytes::Bytes::from_static(b"abcd")),
+        ])
+    }
+
+    /// Runs channel 0 under the interpreter and returns observed
+    /// (steps, sends).
+    fn observe(tp: &TProgram, ps: Value) -> (u64, u64) {
+        let interp = Interp::new(tp);
+        let mut env = MockEnv::new(addr(10, 0, 0, 1));
+        let globals = interp.eval_globals(&mut env).unwrap();
+        env.steps = 0;
+        interp
+            .run_channel(0, &globals, ps, Value::Unit, udp_packet(), &mut env)
+            .unwrap();
+        let sends = env
+            .effects
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    planp_vm::env::Effect::Remote { .. } | planp_vm::env::Effect::Neighbor { .. }
+                )
+            })
+            .count() as u64;
+        (env.steps, sends)
+    }
+
+    #[test]
+    fn straight_line_bound_is_exact() {
+        // No branches: the interpreter visits every node, so the bound
+        // is tight.
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(network, p); (ps + 1, ss))";
+        let (tp, report) = bounds(src);
+        let b = report.bound_for(0);
+        let (steps, sends) = observe(&tp, Value::Int(0));
+        assert_eq!(b.steps, steps, "structural count equals executed nodes");
+        assert_eq!(b.sends, 1);
+        assert_eq!(sends, 1);
+    }
+
+    #[test]
+    fn branch_takes_worst_arm() {
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   if ps > 0 then (OnRemote(network, p); (ps, ss))\n\
+                   else (OnRemote(network, p); OnRemote(network, p); (ps, ss))";
+        let (tp, report) = bounds(src);
+        let b = report.bound_for(0);
+        assert_eq!(b.sends, 2, "worst arm executes two sends");
+        for ps in [Value::Int(0), Value::Int(1)] {
+            let (steps, sends) = observe(&tp, ps);
+            assert!(steps <= b.steps, "observed {steps} > bound {}", b.steps);
+            assert!(sends <= b.sends);
+        }
+    }
+
+    #[test]
+    fn handle_sums_body_and_handler() {
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   ((ps div 0, ss) handle Div => (0, ss))";
+        let (tp, report) = bounds(src);
+        let b = report.bound_for(0);
+        let (steps, _) = observe(&tp, Value::Int(1));
+        assert!(steps <= b.steps, "raise+handle path within bound");
+    }
+
+    #[test]
+    fn function_calls_add_callee_bound() {
+        let src = "fun double(x : int) : int = x + x\n\
+                   channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(network, p); (double(double(ps)), ss))";
+        let (tp, report) = bounds(src);
+        // Two calls, each costing the callee bound on top of the call
+        // node and argument.
+        assert!(report.funs[0].steps > 0);
+        let (steps, _) = observe(&tp, Value::Int(3));
+        assert_eq!(
+            report.bound_for(0).steps,
+            steps,
+            "straight-line with calls is exact"
+        );
+    }
+
+    #[test]
+    fn report_max_and_names() {
+        let src = "channel relay(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)\n\
+                   channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(relay, p); (ps, ss))";
+        let (_, report) = bounds(src);
+        assert_eq!(report.channels.len(), 2);
+        assert_eq!(report.channels[0].name, "relay");
+        assert_eq!(report.channels[1].name, "network");
+        assert_eq!(
+            report.max_steps(),
+            report.bound_for(1).steps,
+            "network body is the heavier channel"
+        );
+        assert_eq!(report.bound_for(99), CostBound::default());
+    }
+}

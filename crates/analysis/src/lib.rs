@@ -11,7 +11,13 @@
 //! * **[guaranteed delivery](delivery)** — no cycles, no escaping
 //!   exceptions, and every path forwards or delivers;
 //! * **[linear duplication](duplication)** — a fix-point proof that
-//!   packet copies do not compound exponentially.
+//!   packet copies do not compound exponentially;
+//! * **[per-packet cost bounds](cost)** — a worst-case bound on VM steps
+//!   and send effects per packet, per channel overload, enforceable
+//!   against a step budget ([`Policy::with_step_budget`]);
+//! * **[lints](lint)** — advisory [diagnostics](diag) (unused bindings,
+//!   constant conditions, escaping exceptions, unreachable channels,
+//!   shadowing) with caret rendering and byte-stable JSON.
 //!
 //! The [`verifier`] module packages these behind a download [`Policy`],
 //! as the paper's late-checking router component does: unverifiable
@@ -32,13 +38,19 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod delivery;
+pub mod diag;
 pub mod duplication;
+pub mod lint;
 pub mod summary;
 pub mod termination;
 pub mod verifier;
 
+pub use cost::{cost_bounds, ChannelCost, CostBound, CostReport};
+pub use diag::{Diagnostic, Severity};
 pub use duplication::{compute_may_copy, DuplicationInfo};
+pub use lint::lint;
 pub use summary::{summarize, DestAbs, ProgramSummary, SendKind, SendSite};
 pub use termination::Outcome;
 pub use verifier::{verify, verify_with_summary, AnalysisStats, Policy, VerifyReport};

@@ -7,8 +7,11 @@
 //! paper's escape hatch for legitimate protocols (e.g. multicast) that
 //! the conservative analyses cannot prove.
 
+use crate::cost::{cost_bounds, CostReport};
 use crate::delivery::check_delivery;
+use crate::diag::Diagnostic;
 use crate::duplication::{check_duplication, compute_may_copy};
+use crate::lint::lint;
 use crate::summary::{summarize, ProgramSummary};
 use crate::termination::{check_termination, Outcome};
 use planp_lang::error::LangError;
@@ -30,6 +33,16 @@ pub struct AnalysisStats {
     pub dup_iterations: usize,
 }
 
+impl fmt::Display for AnalysisStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} channel(s), {} send site(s) ({} destination-changing), {} fix-point iteration(s)",
+            self.channels, self.send_sites, self.restart_sites, self.dup_iterations
+        )
+    }
+}
+
 /// Which properties a node demands before accepting a program.
 ///
 /// Network providers may require different properties (section 4); the
@@ -42,6 +55,10 @@ pub struct Policy {
     pub require_delivery: bool,
     /// Require the linear-duplication proof.
     pub require_linear_duplication: bool,
+    /// Reject programs whose statically bounded worst-case per-packet
+    /// cost exceeds this many VM steps on any channel (`None` disables
+    /// the budget). See [`crate::cost`].
+    pub max_steps_per_packet: Option<u64>,
 }
 
 impl Policy {
@@ -51,6 +68,7 @@ impl Policy {
             require_termination: true,
             require_delivery: true,
             require_linear_duplication: true,
+            max_steps_per_packet: None,
         }
     }
 
@@ -61,6 +79,7 @@ impl Policy {
             require_termination: true,
             require_delivery: false,
             require_linear_duplication: true,
+            max_steps_per_packet: None,
         }
     }
 
@@ -71,7 +90,14 @@ impl Policy {
             require_termination: false,
             require_delivery: false,
             require_linear_duplication: false,
+            max_steps_per_packet: None,
         }
+    }
+
+    /// Adds a per-packet step budget to this policy (builder style).
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.max_steps_per_packet = Some(steps);
+        self
     }
 }
 
@@ -90,6 +116,14 @@ pub struct VerifyReport {
     pub delivery: Outcome,
     /// Linear-duplication outcome.
     pub duplication: Outcome,
+    /// Step-budget outcome (always `Proved` when the policy sets no
+    /// budget).
+    pub budget: Outcome,
+    /// Static per-packet cost bounds (see [`crate::cost`]).
+    pub cost: CostReport,
+    /// Lint findings plus every policy-required rejection, as structured
+    /// diagnostics sorted by source position.
+    pub diagnostics: Vec<Diagnostic>,
     /// The policy the report was evaluated against.
     pub policy: Policy,
     /// Problem-size statistics.
@@ -102,6 +136,7 @@ impl VerifyReport {
         (!self.policy.require_termination || self.termination.is_proved())
             && (!self.policy.require_delivery || self.delivery.is_proved())
             && (!self.policy.require_linear_duplication || self.duplication.is_proved())
+            && self.budget.is_proved()
     }
 
     /// All diagnostics from analyses the policy requires.
@@ -117,9 +152,47 @@ impl VerifyReport {
         push(self.policy.require_termination, &self.termination);
         push(self.policy.require_delivery, &self.delivery);
         push(self.policy.require_linear_duplication, &self.duplication);
+        push(true, &self.budget);
         // Delivery subsumes termination diagnostics; dedup.
         out.dedup_by(|a, b| a == b);
         out
+    }
+
+    /// The warnings among [`VerifyReport::diagnostics`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == crate::diag::Severity::Warning)
+    }
+
+    /// Appends the byte-stable JSON form of the report to `out`:
+    /// `{"accepted":…,"channels":[{"name","overload","steps","sends"}…],
+    /// "diagnostics":[…]}`. `src` resolves diagnostic spans to
+    /// line/column positions.
+    pub fn write_json(&self, src: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{{\"accepted\":{}", self.accepted());
+        out.push_str(",\"channels\":[");
+        for (i, c) in self.cost.channels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            crate::diag::push_json_str(out, &c.name);
+            let _ = write!(
+                out,
+                ",\"overload\":{},\"steps\":{},\"sends\":{}}}",
+                c.overload, c.bound.steps, c.bound.sends
+            );
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            d.write_json(src, out);
+        }
+        out.push_str("]}");
     }
 }
 
@@ -135,6 +208,24 @@ impl fmt::Display for VerifyReport {
         writeln!(f, "termination:  {}", s(&self.termination))?;
         writeln!(f, "delivery:     {}", s(&self.delivery))?;
         writeln!(f, "duplication:  {}", s(&self.duplication))?;
+        match self.policy.max_steps_per_packet {
+            Some(limit) => writeln!(
+                f,
+                "step budget:  {} (worst case {} of {} allowed)",
+                if self.budget.is_proved() {
+                    "within"
+                } else {
+                    "EXCEEDED"
+                },
+                self.cost.max_steps(),
+                limit
+            )?,
+            None => writeln!(
+                f,
+                "step budget:  none (worst case {} steps/packet)",
+                self.cost.max_steps()
+            )?,
+        }
         writeln!(
             f,
             "verdict:      {}",
@@ -144,14 +235,10 @@ impl fmt::Display for VerifyReport {
                 "REJECTED"
             }
         )?;
-        write!(
-            f,
-            "problem size: {} channel(s), {} send site(s) ({} destination-changing), {} fix-point iteration(s)",
-            self.stats.channels,
-            self.stats.send_sites,
-            self.stats.restart_sites,
-            self.stats.dup_iterations
-        )
+        for c in &self.cost.channels {
+            writeln!(f, "cost bound:   {}#{}: {}", c.name, c.overload, c.bound)?;
+        }
+        write!(f, "problem size: {}", self.stats)
     }
 }
 
@@ -176,12 +263,80 @@ pub fn verify_with_summary(prog: &TProgram, sum: &ProgramSummary, policy: Policy
         restart_sites,
         dup_iterations: compute_may_copy(prog, sum).iterations,
     };
+    let cost = cost_bounds(prog);
+    let budget = check_budget(prog, &cost, policy.max_steps_per_packet);
+    let termination = check_termination(prog, sum);
+    let delivery = check_delivery(prog, sum);
+    let duplication = check_duplication(prog, sum);
+    let mut diagnostics = lint(prog, sum, policy);
+    let mut seen: Vec<(u32, u32, String)> = Vec::new();
+    let mut push_errs =
+        |code: &'static str, required: bool, outcome: &Outcome, out: &mut Vec<Diagnostic>| {
+            if !required {
+                return;
+            }
+            if let Outcome::Rejected(errs) = outcome {
+                for e in errs {
+                    let key = (e.span.start, e.span.end, e.message.clone());
+                    if seen.contains(&key) {
+                        continue;
+                    }
+                    seen.push(key);
+                    out.push(Diagnostic::error(code, e.span, e.message.clone()));
+                }
+            }
+        };
+    push_errs(
+        "E001",
+        policy.require_termination,
+        &termination,
+        &mut diagnostics,
+    );
+    push_errs("E002", policy.require_delivery, &delivery, &mut diagnostics);
+    push_errs(
+        "E003",
+        policy.require_linear_duplication,
+        &duplication,
+        &mut diagnostics,
+    );
+    push_errs("E004", true, &budget, &mut diagnostics);
+    diagnostics.sort_by_key(|d| (d.span.start, d.span.end, d.code));
     VerifyReport {
-        termination: check_termination(prog, sum),
-        delivery: check_delivery(prog, sum),
-        duplication: check_duplication(prog, sum),
+        termination,
+        delivery,
+        duplication,
+        budget,
+        cost,
+        diagnostics,
         policy,
         stats,
+    }
+}
+
+/// Evaluates the per-packet step budget against the static bounds.
+fn check_budget(prog: &TProgram, cost: &CostReport, limit: Option<u64>) -> Outcome {
+    let Some(limit) = limit else {
+        return Outcome::Proved;
+    };
+    let errs: Vec<LangError> = cost
+        .channels
+        .iter()
+        .zip(&prog.channels)
+        .filter(|(c, _)| c.bound.steps > limit)
+        .map(|(c, ch)| {
+            LangError::verify(
+                format!(
+                    "channel `{}` may cost {} steps per packet, exceeding the budget of {}",
+                    c.name, c.bound.steps, limit
+                ),
+                ch.span,
+            )
+        })
+        .collect();
+    if errs.is_empty() {
+        Outcome::Proved
+    } else {
+        Outcome::Rejected(errs)
     }
 }
 
@@ -234,9 +389,59 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("ACCEPTED"));
         assert!(s.contains("termination:  proved"));
+        assert!(s.contains("cost bound:   network#0: <="), "{s}");
         assert!(
             s.contains("problem size: 1 channel(s), 1 send site(s)"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let generous = report(GOOD, Policy::strict().with_step_budget(1_000));
+        assert!(generous.accepted(), "{generous}");
+        let tight = report(GOOD, Policy::strict().with_step_budget(1));
+        assert!(!tight.accepted());
+        assert!(tight.errors().iter().any(|e| e.message.contains("budget")));
+        assert!(tight.diagnostics.iter().any(|d| d.code == "E004"));
+        assert!(tight.to_string().contains("step budget:  EXCEEDED"));
+        // Even an authenticated download must respect an explicit budget.
+        let auth = report(GOOD, Policy::authenticated().with_step_budget(1));
+        assert!(!auth.accepted());
+    }
+
+    #[test]
+    fn report_carries_lint_diagnostics() {
+        let src = "val dead : int = 7\n\
+                   channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(network, p); (ps, ss))";
+        let r = report(src, Policy::strict());
+        assert!(r.accepted(), "warnings do not reject");
+        assert_eq!(r.warnings().count(), 1);
+        assert_eq!(r.diagnostics[0].code, "L001");
+    }
+
+    #[test]
+    fn rejections_become_error_diagnostics() {
+        let r = report(DROPPER, Policy::strict());
+        assert!(!r.accepted());
+        assert!(r.diagnostics.iter().any(|d| d.code == "E002"));
+        // The same rejection is not duplicated across codes.
+        let msgs: Vec<_> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.span.start, d.message.clone()))
+            .collect();
+        let mut deduped = msgs.clone();
+        deduped.dedup();
+        assert_eq!(msgs, deduped);
+    }
+
+    #[test]
+    fn analysis_stats_display() {
+        let r = report(GOOD, Policy::strict());
+        let s = r.stats.to_string();
+        assert!(s.contains("1 channel(s)"), "{s}");
+        assert!(s.contains("fix-point iteration(s)"), "{s}");
     }
 }

@@ -5,7 +5,9 @@
 //! cargo run --release -p planp-bench --bin fig3_codegen_table
 //! ```
 
-use planp_bench::{emit_bench, paper_programs, render_table, BenchOpts, PAPER_FIG3};
+use planp_bench::{
+    emit_bench, paper_programs, render_analysis_report, render_table, BenchOpts, PAPER_FIG3,
+};
 use planp_lang::{compile_front, count_lines};
 use planp_telemetry::MetricsSnapshot;
 use planp_vm::jit;
@@ -24,7 +26,8 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut ours = Vec::new();
-    for (i, (name, src, _policy)) in paper_programs().into_iter().enumerate() {
+    let mut analyses = Vec::new();
+    for (i, (name, src, policy)) in paper_programs().into_iter().enumerate() {
         let prog = Rc::new(compile_front(src).expect("front end"));
         // Median of repeated compilations.
         let codegen_us = median(
@@ -52,6 +55,12 @@ fn main() {
                 })
                 .collect(),
         );
+        if opts.report {
+            analyses.push(render_analysis_report(
+                name,
+                &planp_analysis::verify(&prog, policy),
+            ));
+        }
         let (_, paper_lines, paper_ms) = PAPER_FIG3[i];
         let lines = count_lines(src);
         ours.push((lines as f64, codegen_us));
@@ -91,6 +100,10 @@ fn main() {
     let vy: f64 = ours.iter().map(|&(_, y)| (y - my) * (y - my)).sum();
     let corr = cov / (vx.sqrt() * vy.sqrt());
     println!("lines-vs-time correlation: {corr:.2} (paper's table implies strong positive)");
+
+    for a in &analyses {
+        print!("{a}");
+    }
 
     // No simulator runs here — only wall-clock codegen scalars (which
     // vary by machine; the JSON is for trend tracking, not determinism).

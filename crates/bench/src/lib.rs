@@ -123,6 +123,18 @@ pub fn emit_bench(
     }
 }
 
+/// Renders a program's static-analysis summary — problem-size stats
+/// plus the verifier's per-channel worst-case cost bounds — for the
+/// `--report` output of the bench bins.
+pub fn render_analysis_report(name: &str, report: &planp_analysis::VerifyReport) -> String {
+    let mut out = format!("--- analysis: {name} ---\n");
+    out.push_str(&format!("problem size: {}\n", report.stats));
+    for c in &report.cost.channels {
+        out.push_str(&format!("channel {}#{}: {}\n", c.name, c.overload, c.bound));
+    }
+    out
+}
+
 /// Renders an aligned text table (simple two-space separation).
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -165,6 +177,17 @@ mod tests {
             let lp = load(src, policy).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(lp.lines > 10, "{name} suspiciously short");
         }
+    }
+
+    #[test]
+    fn analysis_report_shows_stats_and_bounds() {
+        let (name, src, policy) = paper_programs().remove(0);
+        let prog = planp_lang::compile_front(src).unwrap();
+        let report = planp_analysis::verify(&prog, policy);
+        let s = render_analysis_report(name, &report);
+        assert!(s.contains("problem size:"), "{s}");
+        assert!(s.contains("channel network#0: <="), "{s}");
+        assert!(s.contains("send site(s)"), "{s}");
     }
 
     #[test]

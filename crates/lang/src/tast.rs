@@ -63,6 +63,8 @@ pub struct TGlobal {
     pub ty: Type,
     /// Load-time initializer (pure).
     pub init: TExpr,
+    /// Source span of the declaration.
+    pub span: Span,
 }
 
 /// A `fun` definition.
@@ -78,6 +80,8 @@ pub struct TFun {
     pub body: TExpr,
     /// Total number of local slots the body needs (params + lets).
     pub nlocals: u32,
+    /// Source span of the declaration.
+    pub span: Span,
 }
 
 /// One channel overload instance.

@@ -207,6 +207,7 @@ impl<'a> Checker<'a> {
                         name: v.name.clone(),
                         ty: v.ty.clone(),
                         init,
+                        span: v.span,
                     });
                 }
                 Decl::Fun(f) => {
@@ -231,6 +232,7 @@ impl<'a> Checker<'a> {
                         ret: f.ret.clone(),
                         body,
                         nlocals: scope.max,
+                        span: f.span,
                     });
                 }
                 Decl::Proto(p) => {

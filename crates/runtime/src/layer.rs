@@ -49,6 +49,10 @@ pub struct LayerStats {
     /// Total VM execution steps charged by channel runs (interpreter
     /// nodes evaluated or JIT templates executed).
     pub vm_steps: u64,
+    /// Channel runs whose charged steps exceeded the verifier's static
+    /// per-packet bound — a soundness violation of the cost analysis,
+    /// expected to stay 0 (cross-checked by the test suite).
+    pub cost_bound_exceeded: u64,
 }
 
 /// UDP port reserved for the management plane (program deployment);
@@ -100,6 +104,11 @@ struct ChanMeta {
     m_errors: String,
     m_dropped: String,
     m_vm_steps: String,
+    m_bound_exceeded: String,
+    /// Static worst-case step bound of this overload's body, from the
+    /// verifier's cost analysis (u64::MAX when the image carries no
+    /// bound, disabling the cross-check).
+    static_bound: u64,
 }
 
 /// The installed PLAN-P layer for one node.
@@ -144,12 +153,19 @@ impl PlanpLayer {
             .prog
             .channels
             .iter()
-            .map(|ch| ChanMeta {
+            .enumerate()
+            .map(|(i, ch)| ChanMeta {
                 name: ch.name.as_str().into(),
                 m_dispatch: format!("node.{node_name}.chan.{}.dispatch", ch.name),
                 m_errors: format!("node.{node_name}.chan.{}.errors", ch.name),
                 m_dropped: format!("node.{node_name}.chan.{}.dropped", ch.name),
                 m_vm_steps: format!("node.{node_name}.chan.{}.vm_steps", ch.name),
+                m_bound_exceeded: format!("node.{node_name}.chan.{}.cost_bound_exceeded", ch.name),
+                static_bound: if image.report.cost.channels.is_empty() {
+                    u64::MAX
+                } else {
+                    image.report.cost.bound_for(i).steps
+                },
             })
             .collect();
         Ok(PlanpLayer {
@@ -239,6 +255,10 @@ impl PacketHook for PlanpLayer {
         let vm_steps = env.vm_steps;
         self.stats.borrow_mut().vm_steps += vm_steps;
         api.telemetry().metrics.add(&cm.m_vm_steps, vm_steps);
+        if vm_steps > cm.static_bound {
+            self.stats.borrow_mut().cost_bound_exceeded += 1;
+            api.telemetry().metrics.inc(&cm.m_bound_exceeded);
+        }
         match result {
             Ok((ps, ss)) => {
                 self.proto = ps;
@@ -413,6 +433,21 @@ pub fn install_planp(
     let name = sim.node(node).name.clone();
     let layer = PlanpLayer::new(image, config, addr, &name)?;
     let handle = layer.handle();
+    // Record the verifier's static per-packet step bound once per
+    // channel name (overloads share keys, so take the group maximum), so
+    // reports can compare it against the dynamic `vm_steps` counter.
+    let mut bounds: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for (i, ch) in image.prog.channels.iter().enumerate() {
+        let steps = image.report.cost.bound_for(i).steps;
+        let e = bounds.entry(ch.name.as_str()).or_insert(0);
+        *e = (*e).max(steps);
+    }
+    for (chan, steps) in bounds {
+        sim.telemetry.metrics.add(
+            &format!("node.{name}.chan.{chan}.static_bound_steps"),
+            steps,
+        );
+    }
     sim.install_hook(node, Box::new(layer));
     Ok(handle)
 }
@@ -489,6 +524,27 @@ mod tests {
         assert_eq!(got.borrow().len(), 5);
         assert_eq!(handle.stats.borrow().matched, 5);
         assert_eq!(handle.stats.borrow().errors, 0);
+    }
+
+    #[test]
+    fn static_bound_recorded_and_never_exceeded() {
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(network, p); (ps + 1, ss))";
+        let (mut sim, handle, _got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(handle.stats.borrow().cost_bound_exceeded, 0);
+        let snap = sim.telemetry.metrics.snapshot();
+        let bound = snap.counters["node.r.chan.network.static_bound_steps"];
+        let dispatch = snap.counters["node.r.chan.network.dispatch"];
+        let steps = snap.counters["node.r.chan.network.vm_steps"];
+        assert!(bound > 0, "install must record the static bound");
+        assert!(
+            steps <= dispatch * bound,
+            "dynamic steps {steps} exceed {dispatch} dispatches x bound {bound}"
+        );
+        assert!(!snap
+            .counters
+            .contains_key("node.r.chan.network.cost_bound_exceeded"));
     }
 
     #[test]

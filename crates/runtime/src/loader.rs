@@ -17,7 +17,9 @@ pub enum LoadError {
     /// Lexical, syntactic, or type error.
     Front(LangError),
     /// The verifier could not prove the properties the policy demands.
-    Rejected(VerifyReport),
+    /// Boxed: the report carries cost bounds and diagnostics, making it
+    /// much larger than the `Ok` path should pay for.
+    Rejected(Box<VerifyReport>),
 }
 
 impl fmt::Display for LoadError {
@@ -82,7 +84,7 @@ pub fn load(source: &str, policy: Policy) -> Result<LoadedProgram, LoadError> {
     let prog = Rc::new(compile_front(source)?);
     let report = verify(&prog, policy);
     if !report.accepted() {
-        return Err(LoadError::Rejected(report));
+        return Err(LoadError::Rejected(Box::new(report)));
     }
     let (compiled, codegen) = jit::compile(prog.clone());
     Ok(LoadedProgram {

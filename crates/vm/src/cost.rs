@@ -1,0 +1,22 @@
+//! The VM cost model shared by the interpreter, the JIT, and the static
+//! cost-bound analysis.
+//!
+//! Both engines account execution cost in abstract **steps** and report
+//! them through [`NetEnv::charge_steps`](crate::env::NetEnv::charge_steps):
+//!
+//! * the portable interpreter charges [`STEPS_PER_NODE`] for every
+//!   expression node it evaluates;
+//! * the JIT charges [`STEPS_PER_NODE`] for every compiled template it
+//!   executes. Constant folding collapses whole constant subtrees into a
+//!   single template, so for any program and input the JIT's step count
+//!   is **at most** the interpreter's.
+//!
+//! The static analysis in `planp-analysis` charges the same constant per
+//! AST node along the worst-case execution path, which is why its bound
+//! is sound for both engines: it over-approximates the interpreter
+//! (branches and short-circuit operators only ever *skip* nodes), and the
+//! interpreter dominates the JIT.
+
+/// Abstract VM steps charged per evaluated expression node (interpreter)
+/// or executed closure template (JIT).
+pub const STEPS_PER_NODE: u64 = 1;

@@ -159,7 +159,8 @@ impl<'p> Interp<'p> {
         names: &mut NameEnv,
         net: &mut dyn NetEnv,
     ) -> Result<Value, VmError> {
-        self.steps.set(self.steps.get() + 1);
+        self.steps
+            .set(self.steps.get() + crate::cost::STEPS_PER_NODE);
         match &e.kind {
             TExprKind::Int(n) => Ok(Value::Int(*n)),
             TExprKind::Bool(b) => Ok(Value::Bool(*b)),

@@ -296,7 +296,7 @@ impl Cx {
         let inner = self.compile_node(e);
         let steps = self.steps.clone();
         Rc::new(move |f| {
-            steps.set(steps.get() + 1);
+            steps.set(steps.get() + crate::cost::STEPS_PER_NODE);
             inner(f)
         })
     }

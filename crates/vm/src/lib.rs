@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod audio;
+pub mod cost;
 pub mod env;
 pub mod interp;
 pub mod jit;

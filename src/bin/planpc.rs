@@ -2,13 +2,18 @@
 //!
 //! ```text
 //! planpc check <file.planp> [--policy strict|no-delivery|authenticated]
+//!                           [--max-steps N] [--lint] [--json]
 //! planpc fmt   <file.planp>        # pretty-print to stdout
 //! planpc info  <file.planp>        # channels, state types, line counts
 //! planpc bench <file.planp>        # code generation + verification time
 //! planpc run   <file.planp>        # install on a simulated router, blast traffic
 //! ```
 //!
-//! Exit status: 0 on success/accepted, 1 on rejection or error.
+//! `check --lint` renders every diagnostic (lint warnings included) with
+//! a source snippet; `check --json` emits the report in the byte-stable
+//! machine form; `check --max-steps N` adds a per-packet step budget to
+//! the policy. Exit status: 0 on success/accepted, 1 on rejection or
+//! error — so `planpc check` works as a CI gate.
 
 use planp::analysis::{verify, Policy};
 use planp::lang::{self, count_lines};
@@ -19,21 +24,30 @@ use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: planpc <check|fmt|info|bench> <file.planp> [--policy strict|no-delivery|authenticated]"
+        "usage: planpc <check|fmt|info|bench|run> <file.planp> \
+         [--policy strict|no-delivery|authenticated] [--max-steps N] [--lint] [--json]"
     );
     ExitCode::FAILURE
 }
 
 fn parse_policy(args: &[String]) -> Result<Policy, String> {
-    match args.iter().position(|a| a == "--policy") {
-        None => Ok(Policy::strict()),
+    let mut policy = match args.iter().position(|a| a == "--policy") {
+        None => Policy::strict(),
         Some(i) => match args.get(i + 1).map(String::as_str) {
-            Some("strict") => Ok(Policy::strict()),
-            Some("no-delivery") => Ok(Policy::no_delivery()),
-            Some("authenticated") => Ok(Policy::authenticated()),
-            other => Err(format!("unknown policy {other:?}")),
+            Some("strict") => Policy::strict(),
+            Some("no-delivery") => Policy::no_delivery(),
+            Some("authenticated") => Policy::authenticated(),
+            other => return Err(format!("unknown policy {other:?}")),
         },
+    };
+    if let Some(i) = args.iter().position(|a| a == "--max-steps") {
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| "--max-steps needs a value".to_string())?;
+        let n: u64 = v.parse().map_err(|_| format!("bad step budget {v:?}"))?;
+        policy = policy.with_step_budget(n);
     }
+    Ok(policy)
 }
 
 fn main() -> ExitCode {
@@ -58,6 +72,8 @@ fn main() -> ExitCode {
 
     match cmd.as_str() {
         "check" => {
+            let lint = args.iter().any(|a| a == "--lint");
+            let json = args.iter().any(|a| a == "--json");
             let prog = match lang::compile_front(&src) {
                 Ok(p) => p,
                 Err(e) => {
@@ -66,9 +82,21 @@ fn main() -> ExitCode {
                 }
             };
             let report = verify(&prog, policy);
-            println!("{report}");
-            for err in report.errors() {
-                println!("  {}", err.render(&src));
+            if json {
+                let mut out = String::new();
+                report.write_json(&src, &mut out);
+                println!("{out}");
+            } else {
+                println!("{report}");
+                if lint {
+                    for d in &report.diagnostics {
+                        println!("{}", d.render(&src));
+                    }
+                } else {
+                    for err in report.errors() {
+                        println!("  {}", err.render(&src));
+                    }
+                }
             }
             if report.accepted() {
                 ExitCode::SUCCESS
