@@ -10,15 +10,17 @@
 //!    (`OnRemote`/`OnNeighbor`) or delivered (`deliver`) at least once —
 //!    i.e. the program never silently drops a packet.
 
+use crate::diag::Diagnostic;
 use crate::summary::ProgramSummary;
 use crate::termination::{check_termination, Outcome};
-use planp_lang::error::LangError;
 use planp_lang::tast::TProgram;
 
 /// Checks guaranteed delivery.
 pub fn check_delivery(prog: &TProgram, sum: &ProgramSummary) -> Outcome {
     let mut errors = Vec::new();
 
+    // Termination findings keep their own code (E001); the diagnostics
+    // below are delivery-specific (E002).
     if let Outcome::Rejected(errs) = check_termination(prog, sum) {
         errors.extend(errs);
     }
@@ -31,22 +33,24 @@ pub fn check_delivery(prog: &TProgram, sum: &ProgramSummary) -> Outcome {
                 .iter()
                 .map(|&i| prog.exns[i as usize].as_str())
                 .collect();
-            errors.push(LangError::verify(
+            errors.push(Diagnostic::error(
+                "E002",
+                ch.span,
                 format!(
                     "channel `{}` may terminate with unhandled exception(s): {}",
                     ch.name,
                     names.join(", ")
                 ),
-                ch.span,
             ));
         }
         if s.min_out == 0 {
-            errors.push(LangError::verify(
+            errors.push(Diagnostic::error(
+                "E002",
+                ch.span,
                 format!(
                     "channel `{}` has an execution path that neither forwards nor delivers the packet",
                     ch.name
                 ),
-                ch.span,
             ));
         }
     }

@@ -126,6 +126,15 @@ impl Diagnostic {
     }
 }
 
+/// The source-free rendering: `severity[code]: message`. Use
+/// [`Diagnostic::render`] when the source text is available — it adds
+/// the line/column position and a caret snippet.
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
 /// Renders the source line containing `span.start` with a caret line
 /// underneath; `None` when the span does not resolve into `src` (e.g. a
 /// dummy span against unrelated source).

@@ -19,9 +19,9 @@
 //! bound is `2^c` state explorations; ours is tighter because we iterate
 //! the vector directly).
 
+use crate::diag::Diagnostic;
 use crate::summary::{max_path_weight, DestAbs, ProgramSummary};
 use crate::termination::Outcome;
-use planp_lang::error::LangError;
 use planp_lang::tast::TProgram;
 
 /// Result of the fix-point: which channels may produce more than one
@@ -107,12 +107,13 @@ pub fn check_duplication(prog: &TProgram, sum: &ProgramSummary) -> Outcome {
     for (c, ch) in prog.channels.iter().enumerate() {
         let copying_sends = max_path_weight(prog, &ch.body, &fun_weights, &weigh);
         if copying_sends >= 2 {
-            errors.push(LangError::verify(
+            errors.push(Diagnostic::error(
+                "E003",
+                ch.span,
                 format!(
                     "channel `{}` can execute {copying_sends} sends to copying channels on one path — packet duplication may be exponential",
                     ch.name
                 ),
-                ch.span,
             ));
         }
         // A copying channel inside a cycle with itself compounds; the

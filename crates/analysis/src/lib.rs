@@ -17,7 +17,13 @@
 //!   against a step budget ([`Policy::with_step_budget`]);
 //! * **[lints](lint)** — advisory [diagnostics](diag) (unused bindings,
 //!   constant conditions, escaping exceptions, unreachable channels,
-//!   shadowing) with caret rendering and byte-stable JSON.
+//!   shadowing) with caret rendering and byte-stable JSON;
+//! * **[exhaustive model checking](modelcheck)** — an explicit-state
+//!   exploration of (channel × destination value × source-intact)
+//!   states that refines the SCC screen's termination/delivery
+//!   verdicts and reconstructs minimal counterexample
+//!   [witnesses](witness) (codes `E005`/`E006`), replayable through
+//!   the simulator.
 //!
 //! The [`verifier`] module packages these behind a download [`Policy`],
 //! as the paper's late-checking router component does: unverifiable
@@ -43,14 +49,18 @@ pub mod delivery;
 pub mod diag;
 pub mod duplication;
 pub mod lint;
+pub mod modelcheck;
 pub mod summary;
 pub mod termination;
 pub mod verifier;
+pub mod witness;
 
 pub use cost::{cost_bounds, ChannelCost, CostBound, CostReport};
 pub use diag::{Diagnostic, Severity};
 pub use duplication::{compute_may_copy, DuplicationInfo};
 pub use lint::lint;
+pub use modelcheck::{model_check, ModelCheckReport, Verdict, DEFAULT_STATE_BUDGET};
 pub use summary::{summarize, DestAbs, ProgramSummary, SendKind, SendSite};
 pub use termination::Outcome;
 pub use verifier::{verify, verify_with_summary, AnalysisStats, Policy, VerifyReport};
+pub use witness::{Witness, WitnessHop, WitnessKind};

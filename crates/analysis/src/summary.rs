@@ -77,6 +77,17 @@ pub struct SendSite {
     /// Destination abstraction (for `Neighbor` sends this abstracts the
     /// neighbor host argument).
     pub dest: DestAbs,
+    /// Destination abstraction of the *sent packet's own* IP header.
+    /// For `Remote` sends this equals [`SendSite::dest`]; for `Neighbor`
+    /// sends `dest` abstracts the neighbor-host argument while
+    /// `pkt_dest` tracks where the packet itself is addressed — which is
+    /// what the next hop's dispatch sees.
+    pub pkt_dest: DestAbs,
+    /// True if the sent packet's IP *source* field is provably still the
+    /// arriving packet's source. The model checker composes this across
+    /// hops to decide whether an `ipSrc`-derived destination is a fixed
+    /// address or an unknown one.
+    pub src_orig: bool,
     /// Send flavor.
     pub kind: SendKind,
     /// Source location, for diagnostics.
@@ -474,6 +485,8 @@ impl<'p> Cx<'p> {
                     chan: chan.clone(),
                     target: self.resolve_target(chan, *overload),
                     dest,
+                    pkt_dest: dest,
+                    src_orig: src_of(&pn.abs),
                     kind: SendKind::Remote,
                     span: e.span,
                 });
@@ -500,6 +513,8 @@ impl<'p> Cx<'p> {
                     chan: chan.clone(),
                     target: self.resolve_target(chan, *overload),
                     dest,
+                    pkt_dest: dest_of(&pn.abs),
+                    src_orig: src_of(&pn.abs),
                     kind: SendKind::Neighbor,
                     span: e.span,
                 });
@@ -515,6 +530,17 @@ impl<'p> Cx<'p> {
                 }
             }
         }
+    }
+}
+
+/// True if a sent packet expression provably carries the arriving
+/// packet's original source address in its IP source field.
+fn src_of(abs: &AbsVal) -> bool {
+    match abs {
+        AbsVal::Pkt => true,
+        AbsVal::Tup(parts) => matches!(parts.first(), Some(AbsVal::Ip { src_orig: true, .. })),
+        AbsVal::Ip { src_orig, .. } => *src_orig,
+        _ => false,
     }
 }
 

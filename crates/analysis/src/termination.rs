@@ -21,8 +21,8 @@
 //! the paper describes (size ~ r·d·2^d), collapsed onto channels with a
 //! progress/restart edge labelling.
 
+use crate::diag::Diagnostic;
 use crate::summary::ProgramSummary;
-use planp_lang::error::LangError;
 use planp_lang::tast::TProgram;
 
 /// Outcome of one analysis.
@@ -30,8 +30,9 @@ use planp_lang::tast::TProgram;
 pub enum Outcome {
     /// The property is proved.
     Proved,
-    /// The property could not be proved; diagnostics explain why.
-    Rejected(Vec<LangError>),
+    /// The property could not be proved; structured diagnostics (codes
+    /// `E001`–`E004`) explain why.
+    Rejected(Vec<Diagnostic>),
 }
 
 impl Outcome {
@@ -67,11 +68,12 @@ pub fn check_termination(prog: &TProgram, sum: &ProgramSummary) -> Outcome {
         if restart && comp[u] == comp[v] {
             let from = &prog.channels[u].name;
             let to = &prog.channels[v].name;
-            errors.push(LangError::verify(
+            errors.push(Diagnostic::error(
+                "E001",
+                span,
                 format!(
                     "possible packet cycle: destination-changing send from channel `{from}` reaches `{to}` which can send back to `{from}`"
                 ),
-                span,
             ));
         }
     }
@@ -86,8 +88,9 @@ pub fn check_termination(prog: &TProgram, sum: &ProgramSummary) -> Outcome {
 /// each node. A node is in the same component as another iff they lie on
 /// a common cycle (or are the same node). Self-loops put `u` on a cycle
 /// with itself, which the edge check above captures because
-/// `comp[u] == comp[u]`.
-fn scc(adj: &[Vec<usize>]) -> Vec<usize> {
+/// `comp[u] == comp[u]`. Shared with the explicit-state model checker
+/// ([`crate::modelcheck`]), which runs it over the explored state graph.
+pub(crate) fn scc(adj: &[Vec<usize>]) -> Vec<usize> {
     let n = adj.len();
     let mut order = Vec::with_capacity(n);
     let mut seen = vec![false; n];

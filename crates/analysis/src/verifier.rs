@@ -12,9 +12,9 @@ use crate::delivery::check_delivery;
 use crate::diag::Diagnostic;
 use crate::duplication::{check_duplication, compute_may_copy};
 use crate::lint::lint;
+use crate::modelcheck::{model_check, ModelCheckReport, Verdict, DEFAULT_STATE_BUDGET};
 use crate::summary::{summarize, ProgramSummary};
 use crate::termination::{check_termination, Outcome};
-use planp_lang::error::LangError;
 use planp_lang::tast::TProgram;
 use std::fmt;
 
@@ -59,6 +59,14 @@ pub struct Policy {
     /// cost exceeds this many VM steps on any channel (`None` disables
     /// the budget). See [`crate::cost`].
     pub max_steps_per_packet: Option<u64>,
+    /// Run the [explicit-state model checker](crate::modelcheck) as a
+    /// precision tier: the SCC screen stays the fast path, and the
+    /// exhaustive exploration re-judges its rejections (proving some of
+    /// them) and attaches counterexample witnesses to real violations.
+    pub exhaustive: bool,
+    /// State budget for the exhaustive exploration; exceeding it falls
+    /// back to the screening verdicts.
+    pub exhaustive_budget: usize,
 }
 
 impl Policy {
@@ -69,6 +77,8 @@ impl Policy {
             require_delivery: true,
             require_linear_duplication: true,
             max_steps_per_packet: None,
+            exhaustive: false,
+            exhaustive_budget: DEFAULT_STATE_BUDGET,
         }
     }
 
@@ -80,6 +90,8 @@ impl Policy {
             require_delivery: false,
             require_linear_duplication: true,
             max_steps_per_packet: None,
+            exhaustive: false,
+            exhaustive_budget: DEFAULT_STATE_BUDGET,
         }
     }
 
@@ -91,12 +103,28 @@ impl Policy {
             require_delivery: false,
             require_linear_duplication: false,
             max_steps_per_packet: None,
+            exhaustive: false,
+            exhaustive_budget: DEFAULT_STATE_BUDGET,
         }
     }
 
     /// Adds a per-packet step budget to this policy (builder style).
     pub fn with_step_budget(mut self, steps: u64) -> Self {
         self.max_steps_per_packet = Some(steps);
+        self
+    }
+
+    /// Enables the exhaustive model-checking tier (builder style).
+    pub fn with_exhaustive_check(mut self) -> Self {
+        self.exhaustive = true;
+        self
+    }
+
+    /// Enables the exhaustive tier with an explicit state budget
+    /// (builder style).
+    pub fn with_exhaustive_budget(mut self, states: usize) -> Self {
+        self.exhaustive = true;
+        self.exhaustive_budget = states;
         self
     }
 }
@@ -128,6 +156,14 @@ pub struct VerifyReport {
     pub policy: Policy,
     /// Problem-size statistics.
     pub stats: AnalysisStats,
+    /// The exhaustive model-checking report, when the policy enabled it
+    /// ([`Policy::with_exhaustive_check`]). Its verdicts have already
+    /// been folded into [`VerifyReport::termination`] and
+    /// [`VerifyReport::delivery`]: a proof overrides a screen
+    /// rejection, a violation replaces the screen findings with
+    /// counterexample witnesses (codes `E005`/`E006`), and an
+    /// inconclusive (budget-exhausted) run keeps the screen verdicts.
+    pub exhaustive: Option<ModelCheckReport>,
 }
 
 impl VerifyReport {
@@ -140,7 +176,7 @@ impl VerifyReport {
     }
 
     /// All diagnostics from analyses the policy requires.
-    pub fn errors(&self) -> Vec<LangError> {
+    pub fn errors(&self) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         let mut push = |required: bool, outcome: &Outcome| {
             if required {
@@ -166,12 +202,22 @@ impl VerifyReport {
     }
 
     /// Appends the byte-stable JSON form of the report to `out`:
-    /// `{"accepted":…,"channels":[{"name","overload","steps","sends"}…],
-    /// "diagnostics":[…]}`. `src` resolves diagnostic spans to
-    /// line/column positions.
+    /// `{"accepted":…,"verdicts":{"termination","delivery",
+    /// "duplication","budget"},"channels":[{"name","overload","steps",
+    /// "sends"}…],"diagnostics":[…],"exhaustive":null|{…}}`. `src`
+    /// resolves diagnostic spans to line/column positions.
     pub fn write_json(&self, src: &str, out: &mut String) {
         use std::fmt::Write as _;
+        let v = |o: &Outcome| if o.is_proved() { "proved" } else { "rejected" };
         let _ = write!(out, "{{\"accepted\":{}", self.accepted());
+        let _ = write!(
+            out,
+            ",\"verdicts\":{{\"termination\":\"{}\",\"delivery\":\"{}\",\"duplication\":\"{}\",\"budget\":\"{}\"}}",
+            v(&self.termination),
+            v(&self.delivery),
+            v(&self.duplication),
+            v(&self.budget)
+        );
         out.push_str(",\"channels\":[");
         for (i, c) in self.cost.channels.iter().enumerate() {
             if i > 0 {
@@ -192,7 +238,12 @@ impl VerifyReport {
             }
             d.write_json(src, out);
         }
-        out.push_str("]}");
+        out.push_str("],\"exhaustive\":");
+        match &self.exhaustive {
+            Some(mc) => mc.write_json(src, out),
+            None => out.push_str("null"),
+        }
+        out.push('}');
     }
 }
 
@@ -208,6 +259,21 @@ impl fmt::Display for VerifyReport {
         writeln!(f, "termination:  {}", s(&self.termination))?;
         writeln!(f, "delivery:     {}", s(&self.delivery))?;
         writeln!(f, "duplication:  {}", s(&self.duplication))?;
+        if let Some(mc) = &self.exhaustive {
+            writeln!(
+                f,
+                "exhaustive:   termination {}, delivery {} ({} state(s), {} transition(s){})",
+                mc.termination.as_str(),
+                mc.delivery.as_str(),
+                mc.states,
+                mc.transitions,
+                if mc.exhausted {
+                    ", budget exhausted"
+                } else {
+                    ""
+                }
+            )?;
+        }
         match self.policy.max_steps_per_packet {
             Some(limit) => writeln!(
                 f,
@@ -265,41 +331,63 @@ pub fn verify_with_summary(prog: &TProgram, sum: &ProgramSummary, policy: Policy
     };
     let cost = cost_bounds(prog);
     let budget = check_budget(prog, &cost, policy.max_steps_per_packet);
-    let termination = check_termination(prog, sum);
-    let delivery = check_delivery(prog, sum);
+    let mut termination = check_termination(prog, sum);
+    let mut delivery = check_delivery(prog, sum);
     let duplication = check_duplication(prog, sum);
+    // Precision tier: the SCC screen above stays the fast path; when the
+    // policy asks for it, the exhaustive exploration re-judges screen
+    // rejections (destination-value tracking proves some of them) and
+    // replaces confirmed violations with minimal counterexample
+    // witnesses. By construction the checker refines the screen — a
+    // screen accept is never overturned — so only the reject-side
+    // verdicts can change.
+    let exhaustive = if policy.exhaustive {
+        let mc = model_check(prog, sum, policy.exhaustive_budget);
+        let fold =
+            |verdict: Verdict, screen: &mut Outcome, witnesses: &[&crate::Witness]| match verdict {
+                Verdict::Proved => *screen = Outcome::Proved,
+                Verdict::Violated => {
+                    *screen =
+                        Outcome::Rejected(witnesses.iter().map(|w| w.to_diagnostic()).collect())
+                }
+                Verdict::Inconclusive => {}
+            };
+        let loops: Vec<&crate::Witness> = mc.loop_witnesses().collect();
+        let all: Vec<&crate::Witness> = mc.witnesses.iter().collect();
+        fold(mc.termination, &mut termination, &loops);
+        fold(mc.delivery, &mut delivery, &all);
+        Some(mc)
+    } else {
+        None
+    };
     let mut diagnostics = lint(prog, sum, policy);
     let mut seen: Vec<(u32, u32, String)> = Vec::new();
-    let mut push_errs =
-        |code: &'static str, required: bool, outcome: &Outcome, out: &mut Vec<Diagnostic>| {
-            if !required {
-                return;
-            }
-            if let Outcome::Rejected(errs) = outcome {
-                for e in errs {
-                    let key = (e.span.start, e.span.end, e.message.clone());
-                    if seen.contains(&key) {
-                        continue;
-                    }
-                    seen.push(key);
-                    out.push(Diagnostic::error(code, e.span, e.message.clone()));
+    // The analyses emit coded diagnostics directly (E001 termination,
+    // E002 delivery, E003 duplication, E004 budget); delivery embeds the
+    // termination findings, so dedup by position + message.
+    let mut push_errs = |required: bool, outcome: &Outcome, out: &mut Vec<Diagnostic>| {
+        if !required {
+            return;
+        }
+        if let Outcome::Rejected(errs) = outcome {
+            for d in errs {
+                let key = (d.span.start, d.span.end, d.message.clone());
+                if seen.contains(&key) {
+                    continue;
                 }
+                seen.push(key);
+                out.push(d.clone());
             }
-        };
+        }
+    };
+    push_errs(policy.require_termination, &termination, &mut diagnostics);
+    push_errs(policy.require_delivery, &delivery, &mut diagnostics);
     push_errs(
-        "E001",
-        policy.require_termination,
-        &termination,
-        &mut diagnostics,
-    );
-    push_errs("E002", policy.require_delivery, &delivery, &mut diagnostics);
-    push_errs(
-        "E003",
         policy.require_linear_duplication,
         &duplication,
         &mut diagnostics,
     );
-    push_errs("E004", true, &budget, &mut diagnostics);
+    push_errs(true, &budget, &mut diagnostics);
     diagnostics.sort_by_key(|d| (d.span.start, d.span.end, d.code));
     VerifyReport {
         termination,
@@ -310,6 +398,7 @@ pub fn verify_with_summary(prog: &TProgram, sum: &ProgramSummary, policy: Policy
         diagnostics,
         policy,
         stats,
+        exhaustive,
     }
 }
 
@@ -318,18 +407,19 @@ fn check_budget(prog: &TProgram, cost: &CostReport, limit: Option<u64>) -> Outco
     let Some(limit) = limit else {
         return Outcome::Proved;
     };
-    let errs: Vec<LangError> = cost
+    let errs: Vec<Diagnostic> = cost
         .channels
         .iter()
         .zip(&prog.channels)
         .filter(|(c, _)| c.bound.steps > limit)
         .map(|(c, ch)| {
-            LangError::verify(
+            Diagnostic::error(
+                "E004",
+                ch.span,
                 format!(
                     "channel `{}` may cost {} steps per packet, exceeding the budget of {}",
                     c.name, c.bound.steps, limit
                 ),
-                ch.span,
             )
         })
         .collect();
@@ -435,6 +525,67 @@ mod tests {
         let mut deduped = msgs.clone();
         deduped.dedup();
         assert_eq!(msgs, deduped);
+    }
+
+    const PINNED_RELAY: &str = "channel relay(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+         (OnRemote(relay, (ipDestSet(#1 p, 10.0.3.1), #2 p, #3 p)); (ps, ss))\n\
+         channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+         (OnRemote(relay, (ipDestSet(#1 p, 10.0.3.1), #2 p, #3 p)); (ps, ss))";
+
+    const PING_PONG: &str = "channel a(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+         (OnRemote(b, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))\n\
+         channel b(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+         (OnRemote(a, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps, ss))";
+
+    #[test]
+    fn exhaustive_tier_overturns_screen_rejection() {
+        let screened = report(PINNED_RELAY, Policy::strict());
+        assert!(!screened.accepted(), "screen alone rejects the re-pin");
+        let r = report(PINNED_RELAY, Policy::strict().with_exhaustive_check());
+        assert!(r.accepted(), "{r}");
+        assert!(r.errors().is_empty());
+        let mc = r.exhaustive.as_ref().unwrap();
+        assert!(mc.termination.is_proved());
+        assert!(r.to_string().contains("exhaustive:   termination proved"));
+    }
+
+    #[test]
+    fn exhaustive_tier_attaches_witness_diagnostics() {
+        let r = report(PING_PONG, Policy::strict().with_exhaustive_check());
+        assert!(!r.accepted());
+        let errs = r.errors();
+        assert!(errs.iter().any(|e| e.code == "E005"), "{errs:?}");
+        assert!(errs
+            .iter()
+            .any(|e| e.notes.iter().any(|n| n.starts_with("hop 1:"))));
+        assert!(r.diagnostics.iter().any(|d| d.code == "E005"));
+    }
+
+    #[test]
+    fn exhausted_budget_keeps_screen_verdicts() {
+        let r = report(PINNED_RELAY, Policy::strict().with_exhaustive_budget(1));
+        assert!(!r.accepted(), "fallback to the screen rejection");
+        assert!(r.exhaustive.as_ref().unwrap().exhausted);
+        assert!(r.errors().iter().any(|e| e.code == "E001"));
+    }
+
+    #[test]
+    fn report_json_carries_verdicts_and_exhaustive() {
+        let r = report(GOOD, Policy::strict());
+        let mut out = String::new();
+        r.write_json(GOOD, &mut out);
+        assert!(
+            out.contains("\"verdicts\":{\"termination\":\"proved\",\"delivery\":\"proved\",\"duplication\":\"proved\",\"budget\":\"proved\"}"),
+            "{out}"
+        );
+        assert!(out.ends_with("\"exhaustive\":null}"), "{out}");
+        let r = report(GOOD, Policy::strict().with_exhaustive_check());
+        let mut out = String::new();
+        r.write_json(GOOD, &mut out);
+        assert!(
+            out.contains("\"exhaustive\":{\"termination\":\"proved\""),
+            "{out}"
+        );
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! `planp-modelcheck` — run the explicit-state model checker over
+//! PLAN-P source files, render counterexample witnesses, optionally
+//! replay them through the simulator, and gate CI on a verdict
+//! baseline.
+//!
+//! ```text
+//! cargo run --release -p planp-bench --bin planp_modelcheck -- \
+//!     --replay --baseline asps/MODELCHECK_BASELINE.txt asps/*.planp
+//! ```
+//!
+//! With no files, the twelve bundled ASPs are checked. Options:
+//!
+//! * `--budget N` — state budget for the exploration (default 65536).
+//! * `--json` — one byte-stable JSON document on stdout.
+//! * `--replay` — replay each file with a violated property through
+//!   the two-router simulator and report whether the concrete traffic
+//!   exhibits the predicted loop/drop/exception.
+//! * `--baseline FILE` — compare each file's verdicts against the
+//!   checked-in baseline; exit 1 on any difference (the CI gate).
+//! * `--write-baseline FILE` — regenerate the baseline file instead.
+//!
+//! Exit status: 0 on success, 1 on baseline mismatch or a predicted
+//! violation that fails to replay, 2 on usage or I/O errors.
+
+use planp_analysis::diag::push_json_str;
+use planp_analysis::modelcheck::{model_check, ModelCheckReport, DEFAULT_STATE_BUDGET};
+use planp_analysis::summary::summarize;
+use planp_runtime::replay_asp;
+
+struct Args {
+    budget: usize,
+    json: bool,
+    replay: bool,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        budget: DEFAULT_STATE_BUDGET,
+        json: false,
+        replay: false,
+        baseline: None,
+        write_baseline: None,
+        files: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--budget" => {
+                let v = value(&argv, i, "--budget")?;
+                args.budget = v.parse().map_err(|_| format!("bad budget {v:?}"))?;
+                i += 1;
+            }
+            "--json" => args.json = true,
+            "--replay" => args.replay = true,
+            "--baseline" => {
+                args.baseline = Some(value(&argv, i, "--baseline")?);
+                i += 1;
+            }
+            "--write-baseline" => {
+                args.write_baseline = Some(value(&argv, i, "--write-baseline")?);
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument {flag:?} (try --help)"));
+            }
+            file => args.files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+const HELP: &str = "\
+planp-modelcheck: exhaustively model-check PLAN-P files, render witnesses
+usage: planp_modelcheck [options] [<file.planp>...]
+  (no files: check the twelve bundled ASPs)
+  --budget N             state budget (default 65536)
+  --json                 byte-stable machine output
+  --replay               replay violations through the simulator
+  --baseline FILE        fail if verdicts differ from FILE
+  --write-baseline FILE  regenerate FILE from current verdicts
+";
+
+/// Model-checking one source produced this.
+struct FileResult {
+    name: String,
+    src: String,
+    /// `Err` holds the front-end error (the file never reached the
+    /// checker).
+    report: Result<ModelCheckReport, planp_lang::error::LangError>,
+    replay: Option<planp_runtime::ReplayReport>,
+}
+
+impl FileResult {
+    /// Verdict pair as baseline text, `error error` for front-end
+    /// failures.
+    fn verdict_line(&self) -> String {
+        match &self.report {
+            Ok(r) => format!(
+                "{} termination={} delivery={}",
+                self.name,
+                r.termination.as_str(),
+                r.delivery.as_str()
+            ),
+            Err(_) => format!("{} termination=error delivery=error", self.name),
+        }
+    }
+}
+
+fn check_source(name: &str, src: &str, budget: usize, replay: bool) -> FileResult {
+    let report = match planp_lang::compile_front(src) {
+        Ok(prog) => {
+            let sum = summarize(&prog);
+            Ok(model_check(&prog, &sum, budget))
+        }
+        Err(e) => Err(e),
+    };
+    // Replay only when the checker predicts a violation: the report
+    // records whether the concrete traffic exhibits it.
+    let replay = match (&report, replay) {
+        (Ok(r), true) if !r.witnesses.is_empty() => replay_asp(src).ok(),
+        _ => None,
+    };
+    FileResult {
+        name: name.to_string(),
+        src: src.to_string(),
+        report,
+        replay,
+    }
+}
+
+fn print_human(r: &FileResult) {
+    match &r.report {
+        Ok(report) => {
+            println!(
+                "{}: termination {}, delivery {} ({} state(s), {} transition(s){})",
+                r.name,
+                report.termination.as_str(),
+                report.delivery.as_str(),
+                report.states,
+                report.transitions,
+                if report.exhausted {
+                    ", budget exhausted"
+                } else {
+                    ""
+                }
+            );
+            for w in &report.witnesses {
+                for line in w.render(&r.src).lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+        Err(e) => println!("{}: front-end error\n  {}", r.name, e.render(&r.src)),
+    }
+    if let Some(rep) = &r.replay {
+        println!(
+            "  replay: sent {} dispatched {} delivered {} dropped {} errors {} \
+             (loop {}, drop {}, exception {})",
+            rep.sent,
+            rep.dispatches,
+            rep.delivered,
+            rep.dropped,
+            rep.errors,
+            rep.confirmed_loop,
+            rep.confirmed_drop,
+            rep.confirmed_exception
+        );
+    }
+}
+
+fn write_json(results: &[FileResult], out: &mut String) {
+    use std::fmt::Write as _;
+    out.push_str("{\"files\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"path\":");
+        push_json_str(out, &r.name);
+        out.push_str(",\"modelcheck\":");
+        match &r.report {
+            Ok(report) => report.write_json(&r.src, out),
+            Err(e) => {
+                out.push_str("{\"error\":");
+                push_json_str(out, &e.message);
+                out.push('}');
+            }
+        }
+        match &r.replay {
+            Some(rep) => {
+                let _ = write!(
+                    out,
+                    ",\"replay\":{{\"sent\":{},\"dispatches\":{},\"delivered\":{},\"dropped\":{},\"errors\":{},\"confirmed_loop\":{},\"confirmed_drop\":{},\"confirmed_exception\":{}}}",
+                    rep.sent,
+                    rep.dispatches,
+                    rep.delivered,
+                    rep.dropped,
+                    rep.errors,
+                    rep.confirmed_loop,
+                    rep.confirmed_drop,
+                    rep.confirmed_exception
+                );
+            }
+            None => out.push_str(",\"replay\":null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// True if every predicted violation the replay ran for was exhibited
+/// by the concrete traffic.
+fn replays_confirm(r: &FileResult) -> bool {
+    let (Ok(report), Some(rep)) = (&r.report, &r.replay) else {
+        return true;
+    };
+    report.witnesses.iter().all(|w| rep.confirms(&w.kind))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("planp-modelcheck: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut results = Vec::new();
+    if args.files.is_empty() {
+        for (name, src, _policy) in planp_bench::bundled_asps() {
+            results.push(check_source(name, src, args.budget, args.replay));
+        }
+    } else {
+        for path in &args.files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("planp-modelcheck: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            results.push(check_source(path, &src, args.budget, args.replay));
+        }
+    }
+
+    if args.json {
+        let mut out = String::new();
+        write_json(&results, &mut out);
+        println!("{out}");
+    } else {
+        for r in &results {
+            print_human(r);
+        }
+    }
+
+    let mut failed = false;
+    for r in &results {
+        if !replays_confirm(r) {
+            eprintln!(
+                "planp-modelcheck: {}: predicted violation did not replay",
+                r.name
+            );
+            failed = true;
+        }
+    }
+
+    let baseline_text = || -> String {
+        let mut s: String = results
+            .iter()
+            .map(|r| r.verdict_line())
+            .collect::<Vec<_>>()
+            .join("\n");
+        s.push('\n');
+        s
+    };
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline_text()) {
+            eprintln!("planp-modelcheck: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
+    } else if let Some(path) = &args.baseline {
+        let expected = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("planp-modelcheck: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let actual = baseline_text();
+        if expected != actual {
+            eprintln!("planp-modelcheck: verdicts differ from {path}:");
+            for (e, a) in expected.lines().zip(actual.lines()) {
+                if e != a {
+                    eprintln!("  - {e}\n  + {a}");
+                }
+            }
+            let (en, an) = (expected.lines().count(), actual.lines().count());
+            if en != an {
+                eprintln!("  ({en} baseline line(s), {an} checked)");
+            }
+            failed = true;
+        }
+    }
+
+    let violated = results
+        .iter()
+        .filter(|r| {
+            r.report
+                .as_ref()
+                .map(|rep| !rep.witnesses.is_empty())
+                .unwrap_or(true)
+        })
+        .count();
+    eprintln!("{} file(s), {} with violations", results.len(), violated);
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -48,6 +48,75 @@ pub fn paper_programs() -> Vec<(&'static str, &'static str, Policy)> {
     ]
 }
 
+/// Every bundled ASP — the eleven embedded application programs plus
+/// the standalone forwarder — with the weakest policy each satisfies.
+/// This is the corpus the model-checking harness (`planp_modelcheck`)
+/// and the figure-3 `--report` sweep run over.
+pub fn bundled_asps() -> Vec<(&'static str, &'static str, Policy)> {
+    vec![
+        (
+            "audio_router",
+            planp_apps::audio::AUDIO_ROUTER_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "audio_client",
+            planp_apps::audio::AUDIO_CLIENT_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "audio_router_hysteresis",
+            planp_apps::audio::AUDIO_ROUTER_HYSTERESIS_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "audio_router_queue",
+            planp_apps::audio::AUDIO_ROUTER_QUEUE_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "http_gateway",
+            planp_apps::http::HTTP_GATEWAY_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "http_gateway_3srv",
+            planp_apps::http::HTTP_GATEWAY_3SRV_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "http_gateway_random",
+            planp_apps::http::HTTP_GATEWAY_RANDOM_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "http_gateway_porthash",
+            planp_apps::http::HTTP_GATEWAY_PORTHASH_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "http_gateway_failover",
+            planp_apps::http::HTTP_GATEWAY_FAILOVER_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "mpeg_monitor",
+            planp_apps::mpeg::MPEG_MONITOR_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "mpeg_capture",
+            planp_apps::mpeg::MPEG_CAPTURE_ASP,
+            Policy::no_delivery(),
+        ),
+        (
+            "forwarder",
+            include_str!("../../../asps/forwarder.planp"),
+            Policy::no_delivery(),
+        ),
+    ]
+}
+
 /// The paper's figure 3 reference values: (lines, codegen milliseconds)
 /// on a 1998 SPARC with Tempo's template assembler.
 pub const PAPER_FIG3: [(&str, u32, f64); 5] = [
@@ -129,6 +198,15 @@ pub fn emit_bench(
 pub fn render_analysis_report(name: &str, report: &planp_analysis::VerifyReport) -> String {
     let mut out = format!("--- analysis: {name} ---\n");
     out.push_str(&format!("problem size: {}\n", report.stats));
+    if let Some(mc) = &report.exhaustive {
+        out.push_str(&format!(
+            "exhaustive:   termination {}, delivery {} ({} state(s), {} transition(s))\n",
+            mc.termination.as_str(),
+            mc.delivery.as_str(),
+            mc.states,
+            mc.transitions
+        ));
+    }
     for c in &report.cost.channels {
         out.push_str(&format!("channel {}#{}: {}\n", c.name, c.overload, c.bound));
     }

@@ -9,7 +9,10 @@
 //! * [`layer`] — the [`netsim::PacketHook`] implementation: channel
 //!   dispatch (including overloaded channels), protocol/channel state,
 //!   and the `OnRemote`/`OnNeighbor`/`deliver` effects;
-//! * [`convert`] — packet ↔ PLAN-P value conversions.
+//! * [`convert`] — packet ↔ PLAN-P value conversions;
+//! * [`replay`] — runs a model-checker counterexample as concrete
+//!   packets through a two-router path and confirms the predicted
+//!   loop, drop, or exception.
 //!
 //! ## Example
 //!
@@ -39,9 +42,11 @@ pub mod convert;
 pub mod deploy;
 pub mod layer;
 pub mod loader;
+pub mod replay;
 
 pub use deploy::{deploy_packets, uninstall_packet, DeployLog, DeployService, DEPLOY_PORT};
 pub use layer::{
     install_planp, Engine, LayerConfig, LayerStats, PlanpHandle, PlanpLayer, MANAGEMENT_PORT,
 };
 pub use loader::{load, LoadError, LoadedProgram};
+pub use replay::{replay_asp, ReplayReport, LOOP_FACTOR, REPLAY_PACKETS};

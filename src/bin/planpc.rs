@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! planpc check <file.planp> [--policy strict|no-delivery|authenticated]
-//!                           [--max-steps N] [--lint] [--json]
+//!                           [--max-steps N] [--exhaustive] [--lint]
+//!                           [--json] [--witness-json]
 //! planpc fmt   <file.planp>        # pretty-print to stdout
 //! planpc info  <file.planp>        # channels, state types, line counts
 //! planpc bench <file.planp>        # code generation + verification time
@@ -12,8 +13,11 @@
 //! `check --lint` renders every diagnostic (lint warnings included) with
 //! a source snippet; `check --json` emits the report in the byte-stable
 //! machine form; `check --max-steps N` adds a per-packet step budget to
-//! the policy. Exit status: 0 on success/accepted, 1 on rejection or
-//! error — so `planpc check` works as a CI gate.
+//! the policy; `check --exhaustive` runs the model-checking precision
+//! tier, and `check --witness-json` prints its counterexample witnesses
+//! as one byte-stable JSON array (implies `--exhaustive`). Exit status:
+//! 0 on success/accepted, 1 on rejection or error — so `planpc check`
+//! works as a CI gate.
 
 use planp::analysis::{verify, Policy};
 use planp::lang::{self, count_lines};
@@ -25,7 +29,8 @@ use std::time::Instant;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: planpc <check|fmt|info|bench|run> <file.planp> \
-         [--policy strict|no-delivery|authenticated] [--max-steps N] [--lint] [--json]"
+         [--policy strict|no-delivery|authenticated] [--max-steps N] \
+         [--exhaustive] [--lint] [--json] [--witness-json]"
     );
     ExitCode::FAILURE
 }
@@ -46,6 +51,12 @@ fn parse_policy(args: &[String]) -> Result<Policy, String> {
             .ok_or_else(|| "--max-steps needs a value".to_string())?;
         let n: u64 = v.parse().map_err(|_| format!("bad step budget {v:?}"))?;
         policy = policy.with_step_budget(n);
+    }
+    if args
+        .iter()
+        .any(|a| a == "--exhaustive" || a == "--witness-json")
+    {
+        policy = policy.with_exhaustive_check();
     }
     Ok(policy)
 }
@@ -82,7 +93,22 @@ fn main() -> ExitCode {
                 }
             };
             let report = verify(&prog, policy);
-            if json {
+            if args.iter().any(|a| a == "--witness-json") {
+                let mut out = String::from("[");
+                let witnesses = report
+                    .exhaustive
+                    .as_ref()
+                    .map(|mc| mc.witnesses.as_slice())
+                    .unwrap_or(&[]);
+                for (i, w) in witnesses.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    w.write_json(&src, &mut out);
+                }
+                out.push(']');
+                println!("{out}");
+            } else if json {
                 let mut out = String::new();
                 report.write_json(&src, &mut out);
                 println!("{out}");

@@ -1,0 +1,158 @@
+//! Integration tests for the explicit-state model checker: the
+//! two-tier verifier, witness determinism, and simulator replay of
+//! counterexamples.
+
+use planp::analysis::modelcheck::{model_check, Verdict, DEFAULT_STATE_BUDGET};
+use planp::analysis::summary::summarize;
+use planp::analysis::termination::check_termination;
+use planp::analysis::{verify, Policy};
+use planp::runtime::replay_asp;
+
+fn asp_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/asps"))
+}
+
+fn read_asp(name: &str) -> String {
+    let path = asp_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The checked-in precision regression: the SCC screen rejects the
+/// destination-re-pinning relay, the exhaustive tier proves it. Both
+/// verdicts are pinned so neither tier silently changes.
+#[test]
+fn relay_pin_screen_rejects_exhaustive_proves() {
+    let src = read_asp("relay_pin.planp");
+    let prog = planp::lang::compile_front(&src).expect("relay_pin compiles");
+    let sum = summarize(&prog);
+
+    let screen = check_termination(&prog, &sum);
+    assert!(!screen.is_proved(), "the SCC screen must keep rejecting");
+
+    let mc = model_check(&prog, &sum, DEFAULT_STATE_BUDGET);
+    assert_eq!(mc.termination, Verdict::Proved);
+    assert_eq!(mc.delivery, Verdict::Proved);
+    assert!(mc.witnesses.is_empty());
+
+    // End to end through the two-tier verifier.
+    assert!(!verify(&prog, Policy::no_delivery()).accepted());
+    assert!(verify(&prog, Policy::no_delivery().with_exhaustive_check()).accepted());
+}
+
+/// Witness JSON is byte-identical across two independent runs
+/// (front end + summary + exploration + reconstruction repeated from
+/// scratch).
+#[test]
+fn witness_json_is_deterministic_across_runs() {
+    for name in [
+        "buggy/bounce_pingpong.planp",
+        "buggy/neighbor_pingpong.planp",
+        "buggy/silent_drop.planp",
+    ] {
+        let src = read_asp(name);
+        let render = || {
+            let prog = planp::lang::compile_front(&src).expect("buggy ASP compiles");
+            let sum = summarize(&prog);
+            let mc = model_check(&prog, &sum, DEFAULT_STATE_BUDGET);
+            assert!(!mc.witnesses.is_empty(), "{name} must have witnesses");
+            let mut out = String::new();
+            mc.write_json(&src, &mut out);
+            out
+        };
+        assert_eq!(render(), render(), "{name} witness JSON must be stable");
+    }
+}
+
+/// Every counterexample the checker predicts for the buggy ASPs is
+/// exhibited by concrete traffic in the simulator.
+#[test]
+fn buggy_asp_witnesses_replay_in_simulator() {
+    // Loop confirmation is exact; drops are asserted only positively —
+    // a looping packet that dies at TTL also registers a router drop.
+    for (name, want_loop, want_drop) in [
+        ("buggy/bounce_pingpong.planp", true, None),
+        ("buggy/neighbor_pingpong.planp", true, None),
+        ("buggy/silent_drop.planp", false, Some(true)),
+    ] {
+        let src = read_asp(name);
+        let prog = planp::lang::compile_front(&src).expect("buggy ASP compiles");
+        let sum = summarize(&prog);
+        let mc = model_check(&prog, &sum, DEFAULT_STATE_BUDGET);
+        let rep = replay_asp(&src).expect("buggy ASP replays");
+        for w in &mc.witnesses {
+            assert!(
+                rep.confirms(&w.kind),
+                "{name}: witness {} did not replay: {rep:?}",
+                w.code
+            );
+        }
+        assert_eq!(rep.confirmed_loop, want_loop, "{name}: {rep:?}");
+        if let Some(want) = want_drop {
+            assert_eq!(rep.confirmed_drop, want, "{name}: {rep:?}");
+        }
+    }
+}
+
+/// Refinement, cross-validated: on every bundled ASP, a screen accept
+/// implies an exhaustive accept — the model checker never overturns an
+/// acceptance, only rejections.
+#[test]
+fn exhaustive_agrees_with_every_screen_accept() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir(asp_dir()).expect("asps/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("planp") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let prog =
+            planp::lang::compile_front(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let sum = summarize(&prog);
+        let screen = check_termination(&prog, &sum);
+        let mc = model_check(&prog, &sum, DEFAULT_STATE_BUDGET);
+        assert!(
+            !mc.exhausted,
+            "{}: bundled ASPs fit the budget",
+            path.display()
+        );
+        if screen.is_proved() {
+            assert_eq!(
+                mc.termination,
+                Verdict::Proved,
+                "{}: screen accepted but the checker did not",
+                path.display()
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 13, "expected the bundled corpus, saw {checked}");
+}
+
+/// The baseline file in the repository matches what the checker
+/// produces today (same check CI runs, without spawning the binary).
+#[test]
+fn modelcheck_baseline_is_current() {
+    let baseline = read_asp("MODELCHECK_BASELINE.txt");
+    for line in baseline.lines() {
+        let mut parts = line.split_whitespace();
+        let path = parts.next().expect("baseline line has a path");
+        let want_term = parts
+            .next()
+            .and_then(|s| s.strip_prefix("termination="))
+            .expect("termination field");
+        let want_del = parts
+            .next()
+            .and_then(|s| s.strip_prefix("delivery="))
+            .expect("delivery field");
+        let src = std::fs::read_to_string(
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(path),
+        )
+        .unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let prog = planp::lang::compile_front(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let sum = summarize(&prog);
+        let mc = model_check(&prog, &sum, DEFAULT_STATE_BUDGET);
+        assert_eq!(mc.termination.as_str(), want_term, "{path}");
+        assert_eq!(mc.delivery.as_str(), want_del, "{path}");
+    }
+    assert_eq!(baseline.lines().count(), 16, "one line per checked ASP");
+}
