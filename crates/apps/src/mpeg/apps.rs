@@ -183,6 +183,7 @@ impl App for MpegServerApp {
                 payload,
                 tag: None,
                 id: 0,
+                lineage: Default::default(),
             };
             api.send(pkt);
         }

@@ -25,7 +25,7 @@
 use planp_analysis::diag::push_json_str;
 use planp_analysis::modelcheck::{model_check, ModelCheckReport, DEFAULT_STATE_BUDGET};
 use planp_analysis::summary::summarize;
-use planp_runtime::replay_asp;
+use planp_runtime::replay_asp_traced;
 
 struct Args {
     budget: usize,
@@ -102,6 +102,9 @@ struct FileResult {
     /// checker).
     report: Result<ModelCheckReport, planp_lang::error::LangError>,
     replay: Option<planp_runtime::ReplayReport>,
+    /// ASCII span trees of the replay's probe packets (`--replay` only):
+    /// the causal shape of the predicted loop/drop/exception.
+    replay_trees: Option<String>,
 }
 
 impl FileResult {
@@ -130,15 +133,20 @@ fn check_source(name: &str, src: &str, budget: usize, replay: bool) -> FileResul
     };
     // Replay only when the checker predicts a violation: the report
     // records whether the concrete traffic exhibits it.
-    let replay = match (&report, replay) {
-        (Ok(r), true) if !r.witnesses.is_empty() => replay_asp(src).ok(),
+    let traced = match (&report, replay) {
+        (Ok(r), true) if !r.witnesses.is_empty() => replay_asp_traced(src).ok(),
         _ => None,
+    };
+    let (replay, replay_trees) = match traced {
+        Some((rep, trees)) => (Some(rep), Some(trees)),
+        None => (None, None),
     };
     FileResult {
         name: name.to_string(),
         src: src.to_string(),
         report,
         replay,
+        replay_trees,
     }
 }
 
@@ -179,6 +187,11 @@ fn print_human(r: &FileResult) {
             rep.confirmed_drop,
             rep.confirmed_exception
         );
+    }
+    if let Some(trees) = &r.replay_trees {
+        for line in trees.lines() {
+            println!("    {line}");
+        }
     }
 }
 

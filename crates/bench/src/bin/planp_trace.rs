@@ -13,8 +13,8 @@
 //! * `--seed N` — simulation seed (default: the scenario's default).
 //! * `--duration N` — simulated seconds (default 20; mpeg always 22).
 //! * `--categories LIST` — comma-separated event categories to record
-//!   (`link,hop,deliver,drop,dispatch,exception,timer` or `all`;
-//!   default `all`).
+//!   (`link,hop,deliver,drop,dispatch,exception,timer,span,vm` or
+//!   `all`; default `all`).
 //! * `--limit N` — print at most the last N events (default: all held).
 //! * `--jsonl` — machine form: one JSON object per line instead of the
 //!   human table.
@@ -98,7 +98,7 @@ planp-trace: replay a scenario and dump its structured event log
   --scenario audio|http|mpeg   experiment to replay (default audio)
   --seed N                     simulation seed
   --duration N                 simulated seconds (default 20)
-  --categories LIST            link,hop,deliver,drop,dispatch,exception,timer|all
+  --categories LIST            link,hop,deliver,drop,dispatch,exception,timer,span,vm|all
   --limit N                    print at most the last N events
   --jsonl                      one JSON object per line (machine form)
   --metrics                    also dump the metrics snapshot as JSON

@@ -1,0 +1,284 @@
+//! `planp-trace-tree` — replay a scenario with causal tracing on and
+//! render its cross-node span trees, critical paths, and latency
+//! summaries; optionally export Chrome `trace_event` JSON (loadable in
+//! Perfetto / `chrome://tracing`) and Prometheus text exposition.
+//!
+//! ```text
+//! cargo run --release -p planp-bench --bin planp_trace_tree -- \
+//!     --scenario audio --limit 3 --chrome-json audio.trace.json --prom audio.prom
+//! ```
+//!
+//! Options:
+//!
+//! * `--scenario audio|http|mpeg` — which experiment to replay
+//!   (default `audio`, a short constant-load run).
+//! * `--seed N` — simulation seed (default: the scenario's default).
+//! * `--duration N` — simulated seconds (default 20; mpeg always 22).
+//! * `--limit N` — print at most the first N span trees (default 10;
+//!   `0` means all). The summary always covers every trace.
+//! * `--chrome-json FILE` — write the full forest as Chrome
+//!   `trace_event` JSON to FILE.
+//! * `--prom FILE` — write the scenario's metrics snapshot as
+//!   Prometheus text exposition to FILE.
+//!
+//! Same seed ⇒ byte-identical output and export files; CI re-runs each
+//! scenario twice and diffs the artifacts.
+
+use planp_apps::audio::{run_audio_traced, Adaptation, AudioConfig};
+use planp_apps::http::{run_http_traced, ClusterMode, HttpConfig};
+use planp_apps::mpeg::{run_mpeg_traced, MpegConfig};
+use planp_telemetry::{
+    chrome_trace, prometheus, Category, HistogramSummary, MetricsSnapshot, Telemetry, TraceConfig,
+    TraceForest,
+};
+
+struct Args {
+    scenario: String,
+    seed: Option<u64>,
+    duration_s: u64,
+    limit: usize,
+    chrome_json: Option<String>,
+    prom: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "audio".to_string(),
+        seed: None,
+        duration_s: 20,
+        limit: 10,
+        chrome_json: None,
+        prom: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scenario" => {
+                args.scenario = value(&argv, i, "--scenario")?;
+                i += 1;
+            }
+            "--seed" => {
+                let v = value(&argv, i, "--seed")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+                i += 1;
+            }
+            "--duration" => {
+                let v = value(&argv, i, "--duration")?;
+                args.duration_s = v.parse().map_err(|_| format!("bad duration {v:?}"))?;
+                i += 1;
+            }
+            "--limit" => {
+                let v = value(&argv, i, "--limit")?;
+                args.limit = v.parse().map_err(|_| format!("bad limit {v:?}"))?;
+                i += 1;
+            }
+            "--chrome-json" => {
+                args.chrome_json = Some(value(&argv, i, "--chrome-json")?);
+                i += 1;
+            }
+            "--prom" => {
+                args.prom = Some(value(&argv, i, "--prom")?);
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+const HELP: &str = "\
+planp-trace-tree: replay a scenario and render its causal span trees
+  --scenario audio|http|mpeg   experiment to replay (default audio)
+  --seed N                     simulation seed
+  --duration N                 simulated seconds (default 20)
+  --limit N                    span trees to print (default 10, 0 = all)
+  --chrome-json FILE           write Chrome trace_event JSON (Perfetto)
+  --prom FILE                  write Prometheus text exposition
+";
+
+fn replay(args: &Args) -> Result<(Telemetry, MetricsSnapshot), String> {
+    let trace = TraceConfig {
+        categories: Category::ALL,
+        ..TraceConfig::default()
+    };
+    match args.scenario.as_str() {
+        "audio" => {
+            let mut cfg = AudioConfig::constant_load(Adaptation::AspJit, 9450, args.duration_s);
+            if let Some(seed) = args.seed {
+                cfg.seed = seed;
+            }
+            let (_, telemetry, metrics) = run_audio_traced(&cfg, trace);
+            Ok((telemetry, metrics))
+        }
+        "http" => {
+            let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 8);
+            cfg.duration_s = args.duration_s;
+            if let Some(seed) = args.seed {
+                cfg.seed = seed;
+            }
+            let (_, telemetry, metrics) = run_http_traced(&cfg, trace);
+            Ok((telemetry, metrics))
+        }
+        "mpeg" => {
+            let mut cfg = MpegConfig::new(3, true);
+            if let Some(seed) = args.seed {
+                cfg.seed = seed;
+            }
+            let (_, telemetry, metrics) = run_mpeg_traced(&cfg, trace);
+            Ok((telemetry, metrics))
+        }
+        other => Err(format!("unknown scenario {other:?} (audio, http, mpeg)")),
+    }
+}
+
+fn ms(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+}
+
+fn latency_line(label: &str, s: &HistogramSummary) -> String {
+    format!(
+        "{label}: count {} p50 {} ms p90 {} ms p99 {} ms p999 {} ms max {} ms",
+        s.count,
+        ms(s.p50),
+        ms(s.p90),
+        ms(s.p99),
+        ms(s.p999),
+        ms(s.max),
+    )
+}
+
+/// The forest-wide summary: trace counts, latency distributions,
+/// fan-out, and the slowest trace's critical path hop by hop.
+fn print_summary(forest: &TraceForest, nodes: &[String]) {
+    let spans = forest.spans().count();
+    println!(
+        "{} trace(s), {} span(s), {} orphan(s)",
+        forest.roots().len(),
+        spans,
+        forest.orphans().len()
+    );
+    println!(
+        "{}",
+        latency_line("end-to-end", &forest.end_to_end().summary())
+    );
+    println!(
+        "{}",
+        latency_line("per-hop   ", &forest.hop_latency().summary())
+    );
+    let fan = forest.fanout().summary();
+    println!(
+        "fan-out   : p50 {} p99 {} max {}",
+        fan.p50, fan.p99, fan.max
+    );
+
+    // Critical path of the slowest trace — the chain an operator
+    // should look at first.
+    let slowest = forest.roots().iter().copied().max_by_key(|&r| {
+        let start = forest.span(r).map(|s| s.start_ns).unwrap_or(0);
+        (
+            forest.subtree_end(r).saturating_sub(start),
+            std::cmp::Reverse(r),
+        )
+    });
+    let Some(root) = slowest else { return };
+    let start = forest.span(root).map(|s| s.start_ns).unwrap_or(0);
+    println!(
+        "critical path of slowest trace {root} ({} ms):",
+        ms(forest.subtree_end(root).saturating_sub(start))
+    );
+    let name = |n: u32| -> String {
+        nodes
+            .get(n as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("n{n}"))
+    };
+    for hop in forest.critical_path(root) {
+        let chan = match &hop.chan {
+            Some(c) => format!(" chan={c}"),
+            None => String::new(),
+        };
+        println!(
+            "  span {} @{} {}{} [{}..{} ms]",
+            hop.span,
+            name(hop.node),
+            hop.origin.name(),
+            chan,
+            ms(hop.start_ns),
+            ms(hop.end_ns),
+        );
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("planp-trace-tree: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (telemetry, metrics) = match replay(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("planp-trace-tree: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let forest = TraceForest::from_log(&telemetry.trace);
+    let rendered = forest.render(&telemetry.nodes);
+    let mut printed = 0usize;
+    for block in rendered.split("\n\n") {
+        if args.limit != 0 && printed >= args.limit {
+            break;
+        }
+        if block.trim().is_empty() {
+            continue;
+        }
+        if printed > 0 {
+            println!();
+        }
+        println!("{block}");
+        printed += 1;
+    }
+    let total = forest.roots().len() + forest.orphans().len();
+    if args.limit != 0 && total > printed {
+        println!("... {} more trace(s) not shown (--limit)", total - printed);
+    }
+    println!();
+    print_summary(&forest, &telemetry.nodes);
+    if telemetry.trace.evicted() > 0 {
+        eprintln!(
+            "warning: {} event(s) evicted from the trace ring; trees may be partial",
+            telemetry.trace.evicted()
+        );
+    }
+
+    if let Some(path) = &args.chrome_json {
+        let json = chrome_trace(&forest, &telemetry.nodes);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("planp-trace-tree: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.prom {
+        let text = prometheus(&metrics);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("planp-trace-tree: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -144,6 +144,23 @@ pub struct ChannelTag {
     pub overload: u32,
 }
 
+/// Causal lineage a packet carries for tracing: which trace it belongs
+/// to and which packet identity (span) created it. Filled in by the
+/// PLAN-P layer when an ASP re-emits a packet; left at the default for
+/// application ingress, where the simulator roots a fresh trace at
+/// first stamp.
+#[derive(Debug, Clone, Default)]
+pub struct Lineage {
+    /// Trace (= root span) id; 0 until stamped.
+    pub trace: u64,
+    /// Parent span id; 0 for ingress roots.
+    pub parent: u64,
+    /// How this packet identity came to exist.
+    pub origin: planp_telemetry::SpanOrigin,
+    /// Channel the creating ASP sent it on, if any.
+    pub chan: Option<Rc<str>>,
+}
+
 /// A simulated packet.
 #[derive(Debug, Clone)]
 pub struct Packet {
@@ -160,11 +177,13 @@ pub struct Packet {
     /// assigned). Clones keep the id, so hop-by-hop trace events for one
     /// packet share it. Ignored by `PartialEq`.
     pub id: u64,
+    /// Causal lineage for span-tree tracing. Ignored by `PartialEq`.
+    pub lineage: Lineage,
 }
 
 /// Packet equality compares wire content (headers, payload, tag) and
-/// ignores the telemetry id, so a forwarded clone still equals the
-/// original.
+/// ignores the telemetry id and lineage, so a forwarded clone still
+/// equals the original.
 impl PartialEq for Packet {
     fn eq(&self, other: &Self) -> bool {
         self.ip == other.ip
@@ -183,6 +202,7 @@ impl Packet {
             payload,
             tag: None,
             id: 0,
+            lineage: Lineage::default(),
         }
     }
 
@@ -194,6 +214,7 @@ impl Packet {
             payload,
             tag: None,
             id: 0,
+            lineage: Lineage::default(),
         }
     }
 

@@ -116,10 +116,28 @@ impl Sim {
 
     /// Assigns the packet a fresh id on its first entry into a send
     /// path; clones made later (forwarding, multicast fan-out) keep it.
-    fn stamp(&mut self, pkt: &mut Packet) {
-        if pkt.id == 0 {
-            self.next_pkt_id += 1;
-            pkt.id = self.next_pkt_id;
+    /// The first stamp is also the span open: a packet with no lineage
+    /// roots a fresh trace here, one re-emitted by an ASP carries the
+    /// lineage the PLAN-P layer filled in.
+    fn stamp(&mut self, node: NodeId, pkt: &mut Packet) {
+        if pkt.id != 0 {
+            return;
+        }
+        self.next_pkt_id += 1;
+        pkt.id = self.next_pkt_id;
+        if pkt.lineage.trace == 0 {
+            pkt.lineage.trace = pkt.id;
+        }
+        if self.telemetry.trace.wants(Category::SPAN) {
+            self.telemetry.trace.push(TraceEvent::SpanStart {
+                t_ns: self.now.as_nanos(),
+                node: node.0 as u32,
+                pkt: pkt.id,
+                trace: pkt.lineage.trace,
+                parent: pkt.lineage.parent,
+                origin: pkt.lineage.origin,
+                chan: pkt.lineage.chan.clone(),
+            });
         }
     }
 
@@ -162,6 +180,7 @@ impl Sim {
         let seed = self.seed ^ (0xA5A5_0000_0000_0000 | id.0 as u64);
         self.nodes
             .push(Node::new(name.to_string(), addr, forwarding, seed));
+        self.telemetry.nodes.push(name.to_string());
         self.addr_map.insert(addr, id);
         id
     }
@@ -541,7 +560,7 @@ impl Sim {
     }
 
     pub(crate) fn deliver_local(&mut self, node: NodeId, mut pkt: Packet) {
-        self.stamp(&mut pkt);
+        self.stamp(node, &mut pkt);
         self.nodes[node.0].delivered += 1;
         for app in 0..self.nodes[node.0].apps.len() {
             if let Some(mut a) = self.nodes[node.0].apps[app].take() {
@@ -579,7 +598,7 @@ impl Sim {
 
     /// Sends `pkt` from `node`, routing by destination address.
     pub(crate) fn dispatch_send(&mut self, node: NodeId, mut pkt: Packet) {
-        self.stamp(&mut pkt);
+        self.stamp(node, &mut pkt);
         if pkt.ip.ttl == 0 {
             self.nodes[node.0].dropped += 1;
             self.trace_node_drop(node, pkt.id, DropReason::TtlExpired);
@@ -623,7 +642,7 @@ impl Sim {
     }
 
     pub(crate) fn send_to_neighbor(&mut self, node: NodeId, neighbor_addr: u32, mut pkt: Packet) {
-        self.stamp(&mut pkt);
+        self.stamp(node, &mut pkt);
         let Some(&neighbor) = self.addr_map.get(&neighbor_addr) else {
             self.nodes[node.0].dropped += 1;
             self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
@@ -862,6 +881,22 @@ impl NodeApi<'_> {
                 pkt: pkt.id,
                 chan,
                 exn,
+            };
+            self.sim.telemetry.trace.push(ev);
+        }
+    }
+
+    /// Emits a [`TraceEvent::VmRun`] attributing `steps` VM steps to
+    /// the channel run dispatched on `pkt` (cheap no-op when the `vm`
+    /// category is disabled).
+    pub fn trace_vm_run(&mut self, pkt: &Packet, chan: Rc<str>, steps: u64) {
+        if self.sim.telemetry.trace.wants(Category::VM) {
+            let ev = TraceEvent::VmRun {
+                t_ns: self.sim.now.as_nanos(),
+                node: self.node.0 as u32,
+                pkt: pkt.id,
+                chan,
+                steps,
             };
             self.sim.telemetry.trace.push(ev);
         }

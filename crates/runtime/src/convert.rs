@@ -67,6 +67,7 @@ pub fn value_to_packet(v: &Value, tag: Option<ChannelTag>) -> Result<Packet, VmE
         payload,
         tag,
         id: 0,
+        lineage: Default::default(),
     })
 }
 
@@ -148,6 +149,7 @@ mod tests {
             payload: Bytes::from_static(b"raw"),
             tag: None,
             id: 0,
+            lineage: Default::default(),
         };
         let sh = shape("ip*blob");
         let v = packet_to_value(&pkt, &sh).unwrap();

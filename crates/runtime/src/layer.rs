@@ -11,11 +11,11 @@
 
 use crate::convert::{packet_to_value, value_to_packet};
 use crate::loader::LoadedProgram;
-use netsim::packet::{ChannelTag, Packet};
+use netsim::packet::{ChannelTag, Lineage, Packet};
 use netsim::{ArrivalMeta, HookVerdict, NodeApi, PacketHook, Sim};
 use planp_lang::tast::TProgram;
-use planp_telemetry::DispatchOutcome;
-use planp_vm::env::NetEnv;
+use planp_telemetry::{DispatchOutcome, SpanOrigin};
+use planp_vm::env::{NetEnv, SendKind};
 use planp_vm::interp::Interp;
 use planp_vm::jit::CompiledProgram;
 use planp_vm::value::{Value, VmError};
@@ -242,6 +242,13 @@ impl PacketHook for PlanpLayer {
             output: &self.output,
             emitted: 0,
             vm_steps: 0,
+            cur_trace: if pkt.lineage.trace != 0 {
+                pkt.lineage.trace
+            } else {
+                pkt.id
+            },
+            cur_span: pkt.id,
+            pending_site: None,
         };
         let result = match self.config.engine {
             Engine::Jit => self
@@ -255,6 +262,7 @@ impl PacketHook for PlanpLayer {
         let vm_steps = env.vm_steps;
         self.stats.borrow_mut().vm_steps += vm_steps;
         api.telemetry().metrics.add(&cm.m_vm_steps, vm_steps);
+        api.trace_vm_run(&pkt, cm.name.clone(), vm_steps);
         if vm_steps > cm.static_bound {
             self.stats.borrow_mut().cost_bound_exceeded += 1;
             api.telemetry().metrics.inc(&cm.m_bound_exceeded);
@@ -314,6 +322,14 @@ struct SimNetEnv<'a, 'b> {
     emitted: u32,
     /// VM steps charged by the current channel run.
     vm_steps: u64,
+    /// Trace id of the packet being processed (causal lineage root).
+    cur_trace: u64,
+    /// Span (= packet) id of the packet being processed; children of
+    /// this run point back at it.
+    cur_span: u64,
+    /// The send site the VM announced via `note_send_site`, consumed by
+    /// the next outgoing packet so its lineage records how it was born.
+    pending_site: Option<(SpanOrigin, Option<Rc<str>>)>,
 }
 
 impl SimNetEnv<'_, '_> {
@@ -330,8 +346,29 @@ impl SimNetEnv<'_, '_> {
         }
     }
 
-    fn outgoing(&mut self, chan: &str, overload: u32, pkt: Value) -> Option<Packet> {
+    /// Lineage for the next child packet: the send site the VM just
+    /// announced (falling back to `origin` when running under an
+    /// environment path that never announced one), parented on the
+    /// packet being processed.
+    fn child_lineage(&mut self, origin: SpanOrigin) -> Lineage {
+        let (origin, chan) = self.pending_site.take().unwrap_or((origin, None));
+        Lineage {
+            trace: self.cur_trace,
+            parent: self.cur_span,
+            origin,
+            chan,
+        }
+    }
+
+    fn outgoing(
+        &mut self,
+        chan: &str,
+        overload: u32,
+        pkt: Value,
+        origin: SpanOrigin,
+    ) -> Option<Packet> {
         let tag = self.tag_for(chan, overload);
+        let lineage = self.child_lineage(origin);
         match value_to_packet(&pkt, tag) {
             Ok(mut p) => {
                 // Run-time safety net mirroring IP's TTL, as discussed in
@@ -340,6 +377,7 @@ impl SimNetEnv<'_, '_> {
                     return None;
                 }
                 p.ip.ttl -= 1;
+                p.lineage = lineage;
                 Some(p)
             }
             Err(_) => None,
@@ -378,7 +416,7 @@ impl NetEnv for SimNetEnv<'_, '_> {
 
     fn send_remote(&mut self, chan: &str, overload: u32, pkt: Value) {
         let _ = self.prog;
-        if let Some(p) = self.outgoing(chan, overload, pkt) {
+        if let Some(p) = self.outgoing(chan, overload, pkt, SpanOrigin::Remote) {
             self.emitted += 1;
             if p.ip.dst == self.api.addr() {
                 // Arrived: OnRemote at the destination delivers locally
@@ -391,7 +429,7 @@ impl NetEnv for SimNetEnv<'_, '_> {
     }
 
     fn send_neighbor(&mut self, chan: &str, overload: u32, host: u32, pkt: Value) {
-        if let Some(p) = self.outgoing(chan, overload, pkt) {
+        if let Some(p) = self.outgoing(chan, overload, pkt, SpanOrigin::Neighbor) {
             self.emitted += 1;
             if host == self.api.addr() {
                 self.api.deliver_local(p);
@@ -402,10 +440,21 @@ impl NetEnv for SimNetEnv<'_, '_> {
     }
 
     fn deliver(&mut self, pkt: Value) {
-        if let Ok(p) = value_to_packet(&pkt, None) {
+        let lineage = self.child_lineage(SpanOrigin::Deliver);
+        if let Ok(mut p) = value_to_packet(&pkt, None) {
+            p.lineage = lineage;
             self.emitted += 1;
             self.api.deliver_local(p);
         }
+    }
+
+    fn note_send_site(&mut self, kind: SendKind, chan: Option<&str>) {
+        let origin = match kind {
+            SendKind::Remote => SpanOrigin::Remote,
+            SendKind::Neighbor => SpanOrigin::Neighbor,
+            SendKind::Deliver => SpanOrigin::Deliver,
+        };
+        self.pending_site = Some((origin, chan.map(Into::into)));
     }
 
     fn print(&mut self, text: &str) {

@@ -49,4 +49,4 @@ pub use layer::{
     install_planp, Engine, LayerConfig, LayerStats, PlanpHandle, PlanpLayer, MANAGEMENT_PORT,
 };
 pub use loader::{load, LoadError, LoadedProgram};
-pub use replay::{replay_asp, ReplayReport, LOOP_FACTOR, REPLAY_PACKETS};
+pub use replay::{replay_asp, replay_asp_traced, ReplayReport, LOOP_FACTOR, REPLAY_PACKETS};

@@ -28,6 +28,7 @@ use bytes::Bytes;
 use netsim::packet::{addr, Packet};
 use netsim::{App, LinkSpec, NodeApi, Sim, SimTime};
 use planp_analysis::{Policy, WitnessKind};
+use planp_telemetry::{Category, TraceConfig, TraceForest};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -107,9 +108,26 @@ impl App for Count {
 /// routers of the two-router path, replays the probe burst, and reports
 /// what the simulated network observed.
 pub fn replay_asp(source: &str) -> Result<ReplayReport, LoadError> {
+    replay_asp_traced(source).map(|(report, _)| report)
+}
+
+/// Like [`replay_asp`], but also returns the probe packets' causal
+/// span trees rendered as ASCII — so a confirmed witness can be
+/// *inspected*, not just counted: a loop shows up as a deep chain of
+/// router-to-router spans, a drop as a root with no delivery, an
+/// exception as a span with no children.
+pub fn replay_asp_traced(source: &str) -> Result<(ReplayReport, String), LoadError> {
     let image = load(source, Policy::authenticated())?;
 
     let mut sim = Sim::new(7);
+    sim.telemetry.trace.configure(TraceConfig {
+        categories: Category::SPAN
+            .union(Category::VM)
+            .union(Category::LINK)
+            .union(Category::DELIVER)
+            .union(Category::DROP),
+        ..TraceConfig::default()
+    });
     let ha = sim.add_host("ha", addr(10, 0, 0, 1));
     let r1 = sim.add_router("r1", addr(10, 0, 0, 254));
     let r2 = sim.add_router("r2", addr(10, 0, 3, 254));
@@ -141,16 +159,21 @@ pub fn replay_asp(source: &str) -> Result<ReplayReport, LoadError> {
     let dropped = s1.dropped + s2.dropped;
     let errors = s1.errors + s2.errors;
     let delivered = *got.borrow();
-    Ok(ReplayReport {
-        sent: REPLAY_PACKETS,
-        dispatches,
-        delivered,
-        dropped,
-        errors,
-        confirmed_loop: dispatches >= LOOP_FACTOR * REPLAY_PACKETS,
-        confirmed_drop: delivered == 0 && dropped > 0,
-        confirmed_exception: errors > 0,
-    })
+    let forest = TraceForest::from_log(&sim.telemetry.trace);
+    let tree = forest.render(&sim.telemetry.nodes);
+    Ok((
+        ReplayReport {
+            sent: REPLAY_PACKETS,
+            dispatches,
+            delivered,
+            dropped,
+            errors,
+            confirmed_loop: dispatches >= LOOP_FACTOR * REPLAY_PACKETS,
+            confirmed_drop: delivered == 0 && dropped > 0,
+            confirmed_exception: errors > 0,
+        },
+        tree,
+    ))
 }
 
 #[cfg(test)]
@@ -192,6 +215,23 @@ mod tests {
         assert_eq!(r.delivered, 0, "{r:?}");
         assert!(r.confirmed_drop, "{r:?}");
         assert!(r.confirms(&WitnessKind::Drop));
+    }
+
+    #[test]
+    fn traced_replay_renders_probe_span_trees() {
+        let (r, tree) = replay_asp_traced(
+            "channel network(ps : unit, ss : unit, p : ip*udp*blob) is\n\
+             (OnRemote(network, p); (ps, ss))",
+        )
+        .unwrap();
+        assert_eq!(r.delivered, REPLAY_PACKETS);
+        // One span tree per probe packet, rooted at the `ha` ingress.
+        let forests = tree.matches("trace ").count();
+        assert_eq!(forests as u64, REPLAY_PACKETS, "{tree}");
+        assert!(tree.contains("@ha"), "{tree}");
+        // Each probe re-emission hops through both routers.
+        assert!(tree.contains("@r1") && tree.contains("@r2"), "{tree}");
+        assert!(tree.contains("remote"), "{tree}");
     }
 
     #[test]

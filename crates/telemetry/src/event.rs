@@ -31,8 +31,12 @@ impl Category {
     pub const EXCEPTION: Category = Category(1 << 5);
     /// Application timer fires.
     pub const TIMER: Category = Category(1 << 6);
+    /// Causal span starts (packet lineage: trace/parent ids).
+    pub const SPAN: Category = Category(1 << 7);
+    /// Per-dispatch VM execution (channel name + charged steps).
+    pub const VM: Category = Category(1 << 8);
     /// Every category.
-    pub const ALL: Category = Category(0x7f);
+    pub const ALL: Category = Category(0x1ff);
 
     /// Union of two sets.
     pub const fn union(self, other: Category) -> Category {
@@ -50,7 +54,7 @@ impl Category {
     }
 
     /// The canonical (name, flag) table, used by parsers and help text.
-    pub const NAMES: [(&'static str, Category); 7] = [
+    pub const NAMES: [(&'static str, Category); 9] = [
         ("link", Category::LINK),
         ("hop", Category::HOP),
         ("deliver", Category::DELIVER),
@@ -58,6 +62,8 @@ impl Category {
         ("dispatch", Category::DISPATCH),
         ("exception", Category::EXCEPTION),
         ("timer", Category::TIMER),
+        ("span", Category::SPAN),
+        ("vm", Category::VM),
     ];
 
     /// Parses a single category name.
@@ -149,6 +155,32 @@ impl DispatchOutcome {
     }
 }
 
+/// How a packet (= one causal span) came into existence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpanOrigin {
+    /// Injected by an application — the root of a trace.
+    #[default]
+    Ingress,
+    /// Re-emitted by an ASP's `OnRemote`.
+    Remote,
+    /// Re-emitted by an ASP's `OnNeighbor`.
+    Neighbor,
+    /// Handed to the local application by an ASP's `deliver`.
+    Deliver,
+}
+
+impl SpanOrigin {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanOrigin::Ingress => "ingress",
+            SpanOrigin::Remote => "remote",
+            SpanOrigin::Neighbor => "neighbor",
+            SpanOrigin::Deliver => "deliver",
+        }
+    }
+}
+
 /// One structured trace event. Times are simulation nanoseconds; `node`
 /// and `link` are simulator indices; `pkt` is the monotonically assigned
 /// packet id (0 = never entered the simulator's send path).
@@ -225,6 +257,27 @@ pub enum TraceEvent {
         app: u32,
         key: u64,
     },
+    /// A packet identity entered the send path for the first time: the
+    /// start of span `pkt` inside trace `trace` (`parent` = 0 for the
+    /// root span; `chan` = channel the creating ASP sent it on).
+    SpanStart {
+        t_ns: u64,
+        node: u32,
+        pkt: u64,
+        trace: u64,
+        parent: u64,
+        origin: SpanOrigin,
+        chan: Option<Rc<str>>,
+    },
+    /// A channel body ran for the packet, charging `steps` VM steps
+    /// (per-span VM cost attribution).
+    VmRun {
+        t_ns: u64,
+        node: u32,
+        pkt: u64,
+        chan: Rc<str>,
+        steps: u64,
+    },
 }
 
 impl TraceEvent {
@@ -238,6 +291,8 @@ impl TraceEvent {
             TraceEvent::Dispatch { .. } => Category::DISPATCH,
             TraceEvent::Exception { .. } => Category::EXCEPTION,
             TraceEvent::TimerFire { .. } => Category::TIMER,
+            TraceEvent::SpanStart { .. } => Category::SPAN,
+            TraceEvent::VmRun { .. } => Category::VM,
         }
     }
 
@@ -252,7 +307,9 @@ impl TraceEvent {
             | TraceEvent::NodeDrop { t_ns, .. }
             | TraceEvent::Dispatch { t_ns, .. }
             | TraceEvent::Exception { t_ns, .. }
-            | TraceEvent::TimerFire { t_ns, .. } => *t_ns,
+            | TraceEvent::TimerFire { t_ns, .. }
+            | TraceEvent::SpanStart { t_ns, .. }
+            | TraceEvent::VmRun { t_ns, .. } => *t_ns,
         }
     }
 
@@ -266,7 +323,9 @@ impl TraceEvent {
             | TraceEvent::Deliver { pkt, .. }
             | TraceEvent::NodeDrop { pkt, .. }
             | TraceEvent::Dispatch { pkt, .. }
-            | TraceEvent::Exception { pkt, .. } => Some(*pkt),
+            | TraceEvent::Exception { pkt, .. }
+            | TraceEvent::SpanStart { pkt, .. }
+            | TraceEvent::VmRun { pkt, .. } => Some(*pkt),
             TraceEvent::TimerFire { .. } => None,
         }
     }
@@ -419,6 +478,47 @@ impl TraceEvent {
                 field(out, &mut seq, "app", u64::from(*app));
                 field(out, &mut seq, "key", *key);
             }
+            TraceEvent::SpanStart {
+                t_ns,
+                node,
+                pkt,
+                trace,
+                parent,
+                origin,
+                chan,
+            } => {
+                tag(out, &mut seq, "span_start");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                field(out, &mut seq, "pkt", *pkt);
+                field(out, &mut seq, "trace", *trace);
+                field(out, &mut seq, "parent", *parent);
+                seq.sep(out);
+                push_key(out, "origin");
+                push_str(out, origin.name());
+                seq.sep(out);
+                push_key(out, "chan");
+                match chan {
+                    Some(c) => push_str(out, c),
+                    None => out.push_str("null"),
+                }
+            }
+            TraceEvent::VmRun {
+                t_ns,
+                node,
+                pkt,
+                chan,
+                steps,
+            } => {
+                tag(out, &mut seq, "vm_run");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                field(out, &mut seq, "pkt", *pkt);
+                seq.sep(out);
+                push_key(out, "chan");
+                push_str(out, chan);
+                field(out, &mut seq, "steps", *steps);
+            }
         }
         out.push('}');
     }
@@ -510,6 +610,33 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::TimerFire { node, app, key, .. } => {
                 write!(f, "{t:12.6}  n{node:<5} timer    app={app} key={key}")
+            }
+            TraceEvent::SpanStart {
+                node,
+                pkt,
+                trace,
+                parent,
+                origin,
+                chan,
+                ..
+            } => write!(
+                f,
+                "{t:12.6}  n{node:<5} span     pkt={pkt} trace={trace} parent={parent} \
+                 origin={} chan={}",
+                origin.name(),
+                chan.as_deref().unwrap_or("-")
+            ),
+            TraceEvent::VmRun {
+                node,
+                pkt,
+                chan,
+                steps,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  n{node:<5} vm       pkt={pkt} chan={chan} steps={steps}"
+                )
             }
         }
     }

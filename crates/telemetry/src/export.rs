@@ -1,0 +1,248 @@
+//! Byte-stable exporters: Chrome `trace_event` JSON and
+//! Prometheus-style text exposition.
+//!
+//! Both formats are produced with deterministic iteration (spans by
+//! packet id, metrics by name) and integer-derived decimal formatting,
+//! so two runs with the same seed emit identical bytes — asserted by
+//! the workspace tracing tests and diffed in CI.
+//!
+//! * [`chrome_trace`] writes one complete (`"ph":"X"`) event per span
+//!   plus flow arrows (`"s"`/`"f"`) along parent→child lineage edges.
+//!   Load the file in Perfetto or `chrome://tracing`: each trace id is
+//!   a process row, each node a thread row, and the flow arrows stitch
+//!   the cross-node span tree together.
+//! * [`prometheus`] renders a [`MetricsSnapshot`] in the text
+//!   exposition format: counters as `counter`, histograms as `summary`
+//!   quantiles (p50/p90/p99/p99.9) with `_sum`/`_count`, plus `_min` /
+//!   `_max` gauges.
+
+use crate::json::push_str;
+use crate::metrics::MetricsSnapshot;
+use crate::span::TraceForest;
+use std::fmt::Write as _;
+
+/// Nanoseconds rendered as microseconds with three decimals — Chrome's
+/// `ts`/`dur` unit — without going through floating point.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn node_name(nodes: &[String], i: u32) -> String {
+    nodes
+        .get(i as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("n{i}"))
+}
+
+/// Renders a span forest as a Chrome `trace_event` JSON document
+/// (`{"traceEvents":[...]}`): per-span complete events, lineage flow
+/// arrows, and process/thread name metadata. `nodes` supplies thread
+/// names by node index.
+pub fn chrome_trace(forest: &TraceForest, nodes: &[String]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+
+    // Metadata: one process row per trace, one thread row per node that
+    // appears in it.
+    let mut meta: Vec<(u64, Vec<u32>)> = Vec::new();
+    for s in forest.spans() {
+        match meta.iter_mut().find(|(t, _)| *t == s.trace) {
+            Some((_, ns)) => {
+                if !ns.contains(&s.node) {
+                    ns.push(s.node);
+                }
+            }
+            None => meta.push((s.trace, vec![s.node])),
+        }
+    }
+    for (trace, ns) in &mut meta {
+        ns.sort_unstable();
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{trace},\"tid\":0,\
+             \"args\":{{\"name\":\"trace {trace}\"}}}}"
+        );
+        for n in ns.iter() {
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{trace},\"tid\":{n},\"args\":{{\"name\":"
+            ));
+            push_str(&mut out, &node_name(nodes, *n));
+            out.push_str("}}");
+        }
+    }
+
+    for s in forest.spans() {
+        let dur = s.end_ns.saturating_sub(s.start_ns).max(1);
+        sep(&mut out);
+        out.push_str("{\"ph\":\"X\",\"name\":");
+        match &s.chan {
+            Some(c) => push_str(&mut out, &format!("{}:{c}", s.origin.name())),
+            None => push_str(&mut out, s.origin.name()),
+        }
+        let _ = write!(
+            out,
+            ",\"cat\":\"span\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+             \"args\":{{\"span\":{},\"parent\":{},\"vm_steps\":{},\"hops\":{},\
+             \"delivered\":{},\"drops\":{}}}}}",
+            s.trace,
+            s.node,
+            micros(s.start_ns),
+            micros(dur),
+            s.id,
+            s.parent,
+            s.vm_steps,
+            s.hops,
+            s.deliveries.len(),
+            s.drops
+        );
+        // Lineage flow arrow from the parent's row to this span's row.
+        if s.parent != 0 && forest.span(s.parent).is_some() {
+            let parent = forest.span(s.parent).unwrap();
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"s\",\"name\":\"lineage\",\"cat\":\"lineage\",\"id\":{},\
+                 \"pid\":{},\"tid\":{},\"ts\":{}}}",
+                s.id,
+                s.trace,
+                parent.node,
+                micros(s.start_ns)
+            );
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"lineage\",\"cat\":\"lineage\",\
+                 \"id\":{},\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                s.id,
+                s.trace,
+                s.node,
+                micros(s.start_ns)
+            );
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Maps a metric name to the Prometheus charset: `[a-zA-Z0-9_:]`, with
+/// a `planp_` prefix.
+fn prom_name(name: &str) -> String {
+    let mut s = String::from("planp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            s.push(c);
+        } else {
+            s.push('_');
+        }
+    }
+    s
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [
+            ("0.5", h.p50),
+            ("0.9", h.p90),
+            ("0.99", h.p99),
+            ("0.999", h.p999),
+        ] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "# TYPE {n}_min gauge");
+        let _ = writeln!(out, "{n}_min {}", h.min);
+        let _ = writeln!(out, "# TYPE {n}_max gauge");
+        let _ = writeln!(out, "{n}_max {}", h.max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SpanOrigin, TraceConfig, TraceEvent, TraceLog};
+    use crate::metrics::{Histogram, MetricsSnapshot};
+
+    fn forest() -> TraceForest {
+        let mut log = TraceLog::new(TraceConfig::all());
+        log.push(TraceEvent::SpanStart {
+            t_ns: 1_000,
+            node: 0,
+            pkt: 1,
+            trace: 1,
+            parent: 0,
+            origin: SpanOrigin::Ingress,
+            chan: None,
+        });
+        log.push(TraceEvent::SpanStart {
+            t_ns: 2_500,
+            node: 1,
+            pkt: 2,
+            trace: 1,
+            parent: 1,
+            origin: SpanOrigin::Remote,
+            chan: Some("network".into()),
+        });
+        log.push(TraceEvent::Deliver {
+            t_ns: 4_000,
+            node: 2,
+            pkt: 2,
+            app: 0,
+        });
+        TraceForest::from_log(&log)
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_flows_and_metadata() {
+        let nodes = vec!["src".into(), "router".into(), "client".into()];
+        let j = chrome_trace(&forest(), &nodes);
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(j.contains("\"name\":\"process_name\""));
+        assert!(j.contains("{\"name\":\"router\"}"));
+        // Span X events carry integer-derived µs timestamps.
+        assert!(j.contains("\"ts\":1.000"), "{j}");
+        assert!(j.contains("\"ts\":2.500"), "{j}");
+        assert!(j.contains("\"name\":\"remote:network\""));
+        // Lineage flow pair for the child span.
+        assert!(j.contains("\"ph\":\"s\"") && j.contains("\"ph\":\"f\""));
+        assert_eq!(j, chrome_trace(&forest(), &nodes));
+    }
+
+    #[test]
+    fn prometheus_renders_counters_and_summaries() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        let mut snap = MetricsSnapshot::default();
+        snap.set_counter("node.a.delivered", 7);
+        snap.set_histogram("lat/ns", &h);
+        let p = prometheus(&snap);
+        assert!(p.contains("# TYPE planp_node_a_delivered counter\nplanp_node_a_delivered 7\n"));
+        assert!(p.contains("# TYPE planp_lat_ns summary"));
+        assert!(p.contains("planp_lat_ns{quantile=\"0.999\"} 100"));
+        assert!(p.contains("planp_lat_ns_sum 110"));
+        assert!(p.contains("planp_lat_ns_count 5"));
+        assert!(p.contains("planp_lat_ns_max 100"));
+        assert_eq!(p, prometheus(&snap));
+    }
+}

@@ -24,11 +24,17 @@
 //! hashing with randomized state, no platform-dependent formatting.
 
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod span;
 
-pub use event::{Category, DispatchOutcome, DropReason, TraceConfig, TraceEvent, TraceLog};
+pub use event::{
+    Category, DispatchOutcome, DropReason, SpanOrigin, TraceConfig, TraceEvent, TraceLog,
+};
+pub use export::{chrome_trace, prometheus};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use span::{CriticalHop, Span, TraceForest};
 
 /// The telemetry bundle a simulator instance carries: one event log and
 /// one metrics registry, both deterministic.
@@ -38,6 +44,10 @@ pub struct Telemetry {
     pub trace: TraceLog,
     /// Named counters and histograms.
     pub metrics: MetricsRegistry,
+    /// Display names by node index, recorded as nodes are added — lets
+    /// span-tree renderers and the Chrome exporter name rows without
+    /// re-threading the topology.
+    pub nodes: Vec<String>,
 }
 
 impl Telemetry {

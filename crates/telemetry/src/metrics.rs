@@ -94,14 +94,30 @@ impl Histogram {
 
     /// The approximate value at quantile `q` in `[0, 100]`: the upper
     /// bound of the bucket containing the q-th percentile sample,
-    /// clamped to the observed max. Deterministic, integer-only.
+    /// clamped to `[min, max]`. Deterministic, integer-only.
+    ///
+    /// Edge behaviour (normative): an **empty** histogram returns `0`
+    /// for every `q`; `q = 0` returns the observed minimum; values of
+    /// `q` above 100 are clamped to 100 (the observed maximum).
     pub fn percentile(&self, q: u64) -> u64 {
+        self.percentile_permille(q.saturating_mul(10))
+    }
+
+    /// Like [`Histogram::percentile`] but in per-mille (`q_pm` in
+    /// `[0, 1000]`), so tail quantiles such as p99.9 (`q_pm = 999`) are
+    /// expressible. Same edge behaviour: empty → 0, `0` → min, values
+    /// above 1000 clamp to 1000.
+    pub fn percentile_permille(&self, q_pm: u64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        // Rank of the target sample, 1-based: ceil(count * q / 100),
+        if q_pm == 0 {
+            return self.min;
+        }
+        let q_pm = q_pm.min(1000);
+        // Rank of the target sample, 1-based: ceil(count * q / 1000),
         // at least 1.
-        let rank = ((self.count.saturating_mul(q)).div_ceil(100)).max(1);
+        let rank = ((self.count.saturating_mul(q_pm)).div_ceil(1000)).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -122,12 +138,13 @@ impl Histogram {
             p50: self.percentile(50),
             p90: self.percentile(90),
             p99: self.percentile(99),
+            p999: self.percentile_permille(999),
         }
     }
 }
 
 /// The exported view of a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HistogramSummary {
     /// Number of samples.
     pub count: u64,
@@ -143,14 +160,38 @@ pub struct HistogramSummary {
     pub p90: u64,
     /// Approximate 99th percentile.
     pub p99: u64,
+    /// Approximate 99.9th percentile.
+    pub p999: u64,
 }
 
 impl HistogramSummary {
     fn write_json(&self, out: &mut String) {
         out.push_str(&format!(
-            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
-            self.count, self.sum, self.min, self.max, self.p50, self.p90, self.p99
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+            self.count, self.sum, self.min, self.max, self.p50, self.p90, self.p99, self.p999
         ));
+    }
+
+    /// Field-wise merge used by [`MetricsSnapshot::merge`]: counts and
+    /// sums add, `min`/`max` widen, and each percentile takes the larger
+    /// of the two — a documented upper-bound approximation (the exact
+    /// quantile of the union is unrecoverable from two summaries).
+    pub fn absorb(&mut self, other: &HistogramSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.p50 = self.p50.max(other.p50);
+        self.p90 = self.p90.max(other.p90);
+        self.p99 = self.p99.max(other.p99);
+        self.p999 = self.p999.max(other.p999);
     }
 }
 
@@ -241,14 +282,19 @@ impl MetricsSnapshot {
         self.histograms.insert(name.into(), h.summary());
     }
 
-    /// Merges `other` into `self` (counters add; histogram summaries
-    /// from `other` win on name collision).
+    /// Merges `other` into `self`. **Contract:** on a name collision
+    /// nothing is silently overwritten — counters **sum** (so merging
+    /// per-node snapshots yields fleet totals), and histogram summaries
+    /// merge field-wise via [`HistogramSummary::absorb`]: `count`/`sum`
+    /// add, `min`/`max` widen, and each percentile takes the larger of
+    /// the two (a documented upper bound on the true union quantile).
+    /// Names present in only one side are carried over unchanged.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
         for (k, v) in &other.histograms {
-            self.histograms.insert(k.clone(), *v);
+            self.histograms.entry(k.clone()).or_default().absorb(v);
         }
     }
 
@@ -357,7 +403,43 @@ mod tests {
     #[test]
     fn histogram_empty_summary_is_zero() {
         let s = Histogram::new().summary();
-        assert_eq!((s.count, s.min, s.max, s.p50), (0, 0, 0, 0));
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p999), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn percentile_edge_behaviour_is_normalized() {
+        // Empty: every quantile is 0, including q=0 and out-of-range q.
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(0), 0);
+        assert_eq!(empty.percentile(50), 0);
+        assert_eq!(empty.percentile(1000), 0);
+
+        let mut h = Histogram::new();
+        for v in [5u64, 10, 2000] {
+            h.observe(v);
+        }
+        // q=0 is the observed minimum, not bucket 0.
+        assert_eq!(h.percentile(0), 5);
+        assert_eq!(h.percentile_permille(0), 5);
+        // q above the top clamps to the maximum.
+        assert_eq!(h.percentile(100), 2000);
+        assert_eq!(h.percentile(250), 2000);
+        assert_eq!(h.percentile_permille(5000), 2000);
+    }
+
+    #[test]
+    fn p999_tracks_the_tail() {
+        let mut h = Histogram::new();
+        for _ in 0..998 {
+            h.observe(10);
+        }
+        h.observe(100_000);
+        h.observe(100_000);
+        let s = h.summary();
+        // 2 outliers in 1000 samples: p99 stays in the body, p999 must
+        // land in the outlier's bucket (clamped to max).
+        assert!(s.p99 < 100, "p99 = {}", s.p99);
+        assert_eq!(s.p999, 100_000);
     }
 
     #[test]
@@ -387,6 +469,38 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counters["x"], 3);
         assert_eq!(a.counters["y"], 3);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_histogram_summaries() {
+        let mut ha = Histogram::new();
+        for v in [1u64, 2, 3] {
+            ha.observe(v);
+        }
+        let mut hb = Histogram::new();
+        for v in [500u64, 600] {
+            hb.observe(v);
+        }
+        let mut a = MetricsSnapshot::default();
+        a.set_histogram("lat", &ha);
+        let mut b = MetricsSnapshot::default();
+        b.set_histogram("lat", &hb);
+        b.set_histogram("only_b", &hb);
+        a.merge(&b);
+        let m = a.histograms["lat"];
+        // Counts and sums add; min/max widen; percentiles take the
+        // larger side (upper-bound approximation).
+        assert_eq!(m.count, 5);
+        assert_eq!(m.sum, 6 + 1100);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, 600);
+        assert_eq!(m.p99, hb.summary().p99);
+        // Names unique to one side carry over unchanged.
+        assert_eq!(a.histograms["only_b"], hb.summary());
+        // Merging an empty snapshot is a no-op.
+        let before = a.clone();
+        a.merge(&MetricsSnapshot::default());
+        assert_eq!(a, before);
     }
 
     #[test]

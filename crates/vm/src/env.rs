@@ -8,6 +8,20 @@
 
 use crate::value::Value;
 
+/// Which send primitive an ASP is about to execute. Both engines report
+/// this via [`NetEnv::note_send_site`] immediately before the effect
+/// call, so environments that tag causal lineage (the runtime's span
+/// tracing) know how the child packet came to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendKind {
+    /// `OnRemote(chan, pkt)` — route by the packet's destination.
+    Remote,
+    /// `OnNeighbor(chan, host, pkt)` — direct to a neighbor.
+    Neighbor,
+    /// `deliver(pkt)` — hand to the local application.
+    Deliver,
+}
+
 /// What a PLAN-P program can observe and effect on its node.
 pub trait NetEnv {
     /// The address of the node the program runs on.
@@ -39,6 +53,12 @@ pub trait NetEnv {
     /// a deterministic, wall-clock-free cost measure. The default
     /// discards the charge.
     fn charge_steps(&mut self, _n: u64) {}
+    /// Announces the send primitive about to run (both engines call
+    /// this right before `send_remote`/`send_neighbor`/`deliver`), with
+    /// the target channel when the primitive names one. Environments
+    /// that track packet lineage use it to tag the child packet's
+    /// origin; the default discards the note.
+    fn note_send_site(&mut self, _kind: SendKind, _chan: Option<&str>) {}
 }
 
 /// A recorded output effect (used by [`MockEnv`] and by tests).
@@ -87,6 +107,8 @@ pub struct MockEnv {
     pub output: String,
     /// Total VM steps charged via [`NetEnv::charge_steps`].
     pub steps: u64,
+    /// Send sites announced via [`NetEnv::note_send_site`], in order.
+    pub send_sites: Vec<(SendKind, Option<String>)>,
     rng_state: u64,
 }
 
@@ -102,6 +124,7 @@ impl MockEnv {
             effects: Vec::new(),
             output: String::new(),
             steps: 0,
+            send_sites: Vec::new(),
             rng_state: 0x9E3779B97F4A7C15,
         }
     }
@@ -184,6 +207,10 @@ impl NetEnv for MockEnv {
 
     fn charge_steps(&mut self, n: u64) {
         self.steps += n;
+    }
+
+    fn note_send_site(&mut self, kind: SendKind, chan: Option<&str>) {
+        self.send_sites.push((kind, chan.map(str::to_string)));
     }
 }
 

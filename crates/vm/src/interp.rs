@@ -274,6 +274,7 @@ impl<'p> Interp<'p> {
                 pkt,
             } => {
                 let v = self.eval(pkt, globals, names, net)?;
+                net.note_send_site(crate::env::SendKind::Remote, Some(chan));
                 net.send_remote(chan, *overload, v);
                 Ok(Value::Unit)
             }
@@ -288,6 +289,7 @@ impl<'p> Interp<'p> {
                     return Err(VmError::trap("OnNeighbor host not a host"));
                 };
                 let v = self.eval(pkt, globals, names, net)?;
+                net.note_send_site(crate::env::SendKind::Neighbor, Some(chan));
                 net.send_neighbor(chan, *overload, h, v);
                 Ok(Value::Unit)
             }

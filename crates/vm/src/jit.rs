@@ -515,6 +515,8 @@ impl Cx {
                 let pkt = self.compile(pkt);
                 Rc::new(move |f| {
                     let v = pkt(f)?;
+                    f.net
+                        .note_send_site(crate::env::SendKind::Remote, Some(&chan));
                     f.net.send_remote(&chan, overload, v);
                     Ok(Value::Unit)
                 })
@@ -535,6 +537,8 @@ impl Cx {
                         other => return Err(VmError::trap(format!("OnNeighbor host {other:?}"))),
                     };
                     let v = pkt(f)?;
+                    f.net
+                        .note_send_site(crate::env::SendKind::Neighbor, Some(&chan));
                     f.net.send_neighbor(&chan, overload, h, v);
                     Ok(Value::Unit)
                 })
@@ -594,6 +598,7 @@ mod tests {
         }
         assert_eq!(env_i.effects.len(), env_j.effects.len());
         assert_eq!(env_i.output, env_j.output);
+        assert_eq!(env_i.send_sites, env_j.send_sites, "send sites in {src}");
     }
 
     #[test]
@@ -627,6 +632,31 @@ mod tests {
              (if blobLen(#3 p) > 3 andalso ps < 100 then (ps * 2, ss) else (ps, ss))",
             Value::Int(7),
         );
+    }
+
+    #[test]
+    fn send_sites_noted_identically_by_both_engines() {
+        use crate::env::SendKind;
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (OnRemote(network, p); OnNeighbor(network, thisHost(), p);\n\
+                    deliver(p); (ps, ss))";
+        let (tp, cp) = both(src);
+        let interp = Interp::new(&tp);
+        let mut env_i = MockEnv::new(addr(10, 0, 0, 1));
+        let mut env_j = MockEnv::new(addr(10, 0, 0, 1));
+        let pkt = udp_packet(1, 2, b"x");
+        interp
+            .run_channel(0, &[], Value::Int(0), Value::Unit, pkt.clone(), &mut env_i)
+            .unwrap();
+        cp.run_channel(0, &[], Value::Int(0), Value::Unit, pkt, &mut env_j)
+            .unwrap();
+        let want = vec![
+            (SendKind::Remote, Some("network".to_string())),
+            (SendKind::Neighbor, Some("network".to_string())),
+            (SendKind::Deliver, None),
+        ];
+        assert_eq!(env_i.send_sites, want);
+        assert_eq!(env_j.send_sites, want);
     }
 
     #[test]

@@ -394,6 +394,7 @@ fn impl_for(name: &'static str) -> PrimFn {
             Ok(Value::Unit)
         },
         "deliver" => |a, env| {
+            env.note_send_site(crate::env::SendKind::Deliver, None);
             env.deliver(a[0].clone());
             Ok(Value::Unit)
         },

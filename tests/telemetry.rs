@@ -100,6 +100,43 @@ fn category_filter_limits_what_is_recorded() {
 }
 
 #[test]
+fn interp_and_jit_gateways_trace_identically() {
+    // The two engines are one semantic core: with the same CPU model
+    // (interp_slowdown = 1.0) they must produce byte-identical event
+    // streams. Only `vm_run` events are excluded — per-run step counts
+    // are the one place the engines legitimately differ.
+    let non_vm = Category(Category::ALL.0 & !Category::VM.0);
+    let trace = TraceConfig {
+        categories: non_vm,
+        ..TraceConfig::default()
+    };
+    let mk = |mode| {
+        let mut cfg = HttpConfig::new(mode, 8);
+        cfg.duration_s = 12;
+        cfg.interp_slowdown = 1.0;
+        cfg
+    };
+    let (_, ti, mi) = run_http_traced(&mk(ClusterMode::InterpGateway), trace);
+    let (_, tj, mj) = run_http_traced(&mk(ClusterMode::AspGateway), trace);
+    assert!(
+        ti.trace.recorded() > 1000,
+        "tracing recorded {}",
+        ti.trace.recorded()
+    );
+    assert_eq!(ti.trace.to_jsonl(), tj.trace.to_jsonl());
+    // Metrics agree too, once the engine-specific step counters are
+    // set aside.
+    let non_steps = |m: &planp_telemetry::MetricsSnapshot| {
+        m.counters
+            .iter()
+            .filter(|(k, _)| !k.ends_with(".vm_steps"))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(non_steps(&mi), non_steps(&mj));
+}
+
+#[test]
 fn vm_step_metrics_are_recorded_and_deterministic() {
     let (_, _, m1) = run_audio_traced(&audio_cfg(), TraceConfig::default());
     let steps: u64 = m1

@@ -1,0 +1,130 @@
+//! Causal-tracing contract across the three paper scenarios: every
+//! delivered packet belongs to exactly one span tree rooted at an
+//! application ingress, the observed fan-out never exceeds (and, for
+//! the audio router, exactly matches) the static duplication bound,
+//! and both exporters are byte-stable across same-seed runs.
+
+use planp_apps::audio::{run_audio_traced, Adaptation, AudioConfig, AUDIO_ROUTER_ASP};
+use planp_apps::http::{run_http_traced, ClusterMode, HttpConfig};
+use planp_apps::mpeg::{run_mpeg_traced, MpegConfig};
+use planp_runtime::load;
+use planp_telemetry::{chrome_trace, prometheus, SpanOrigin, Telemetry, TraceConfig, TraceForest};
+
+fn audio_cfg() -> AudioConfig {
+    AudioConfig::constant_load(Adaptation::AspJit, 9450, 15)
+}
+
+/// All categories, with a ring large enough that nothing is evicted
+/// (completeness needs every `span_start`).
+fn roomy() -> TraceConfig {
+    TraceConfig {
+        capacity: 1 << 19,
+        ..TraceConfig::all()
+    }
+}
+
+fn http_cfg() -> HttpConfig {
+    let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 8);
+    cfg.duration_s = 12;
+    cfg
+}
+
+/// Every span sits in exactly one tree (single parent by construction;
+/// no orphans), every tree's root is an application ingress, and every
+/// delivery happened inside such a tree.
+fn assert_forest_complete(telemetry: &Telemetry, what: &str) {
+    let forest = TraceForest::from_log(&telemetry.trace);
+    assert_eq!(
+        telemetry.trace.evicted(),
+        0,
+        "{what}: ring eviction would make trees partial"
+    );
+    assert!(!forest.roots().is_empty(), "{what}: no span trees at all");
+    assert!(
+        forest.orphans().is_empty(),
+        "{what}: {} orphan span(s)",
+        forest.orphans().len()
+    );
+    for &root in forest.roots() {
+        let s = forest.span(root).unwrap();
+        assert_eq!(s.parent, 0, "{what}: root {root} has a parent");
+        assert_eq!(
+            s.origin,
+            SpanOrigin::Ingress,
+            "{what}: root {root} not an ingress"
+        );
+    }
+    let mut deliveries = 0u64;
+    for s in forest.spans() {
+        let root = forest
+            .root_of(s.id)
+            .unwrap_or_else(|| panic!("{what}: span {} has no root", s.id));
+        assert_eq!(
+            root.id, s.trace,
+            "{what}: span {} rooted at {} but carries trace id {}",
+            s.id, root.id, s.trace
+        );
+        deliveries += s.deliveries.len() as u64;
+    }
+    assert!(deliveries > 0, "{what}: nothing was delivered");
+    assert_eq!(
+        deliveries,
+        forest.end_to_end().summary().count,
+        "{what}: every delivery measures one end-to-end latency"
+    );
+}
+
+#[test]
+fn audio_forest_is_complete() {
+    let (_, t, _) = run_audio_traced(&audio_cfg(), roomy());
+    assert_forest_complete(&t, "audio");
+}
+
+#[test]
+fn http_forest_is_complete() {
+    let (_, t, _) = run_http_traced(&http_cfg(), roomy());
+    assert_forest_complete(&t, "http");
+}
+
+#[test]
+fn mpeg_forest_is_complete() {
+    let (_, t, _) = run_mpeg_traced(&MpegConfig::new(2, true), roomy());
+    assert_forest_complete(&t, "mpeg");
+}
+
+#[test]
+fn audio_fanout_matches_static_duplication_bound() {
+    // The cost analysis bounds executed send sites per dispatch; the
+    // observed span fan-out is exactly that duplication, so the two
+    // must agree: no span has more children than the worst channel's
+    // bound, and the router's steady-state forwarding attains it.
+    let image = load(AUDIO_ROUTER_ASP, planp_analysis::Policy::strict()).unwrap();
+    let bound = (0..image.prog.channels.len())
+        .map(|i| image.report.cost.bound_for(i).sends)
+        .max()
+        .unwrap();
+    let (_, t, _) = run_audio_traced(&audio_cfg(), roomy());
+    let forest = TraceForest::from_log(&t.trace);
+    let fan = forest.fanout().summary();
+    assert!(fan.count > 0);
+    assert_eq!(
+        fan.max, bound,
+        "observed max fan-out {} vs static send bound {bound}",
+        fan.max
+    );
+}
+
+#[test]
+fn exports_are_byte_stable_across_same_seed_runs() {
+    let run = || {
+        let (_, t, m) = run_audio_traced(&audio_cfg(), roomy());
+        let forest = TraceForest::from_log(&t.trace);
+        (chrome_trace(&forest, &t.nodes), prometheus(&m))
+    };
+    let (chrome1, prom1) = run();
+    let (chrome2, prom2) = run();
+    assert!(chrome1.contains("\"traceEvents\""));
+    assert!(prom1.contains("planp_"));
+    assert_eq!(chrome1, chrome2, "Chrome export must be byte-stable");
+    assert_eq!(prom1, prom2, "Prometheus export must be byte-stable");
+}
