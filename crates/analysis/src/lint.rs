@@ -178,7 +178,10 @@ fn unhandled_exceptions(
 
 /// L006: user-defined channels (any name but `network`) that no send in
 /// the program targets — they can never receive a packet, because only
-/// `network` overloads match untagged traffic.
+/// `network` overloads match untagged traffic. The `timer` channel is
+/// exempt: the runtime dispatches synthetic self-addressed packets to
+/// it when a `setTimer` deadline fires, so it is reachable without any
+/// send targeting it.
 fn unreachable_channels(prog: &TProgram, sum: &ProgramSummary, out: &mut Vec<Diagnostic>) {
     let mut targeted: BTreeSet<usize> = BTreeSet::new();
     for s in sum.channels.iter().chain(sum.funs.iter()) {
@@ -187,7 +190,7 @@ fn unreachable_channels(prog: &TProgram, sum: &ProgramSummary, out: &mut Vec<Dia
         }
     }
     for (i, ch) in prog.channels.iter().enumerate() {
-        if ch.name != "network" && !targeted.contains(&i) {
+        if ch.name != "network" && ch.name != "timer" && !targeted.contains(&i) {
             out.push(
                 Diagnostic::warning(
                     "L006",
@@ -378,6 +381,11 @@ mod tests {
                    (OnRemote(relay, p); (ps, ss))\n\
                    channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
                    (OnRemote(relay, p); (ps, ss))";
+        assert!(lint_src(src, Policy::no_delivery()).is_empty());
+        // `timer` is runtime-dispatched (setTimer), never send-targeted.
+        let src = "channel timer(ps : int, ss : unit, p : ip*udp*blob) is (ps, ss)\n\
+                   channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (setTimer(10, 1); OnRemote(network, p); (ps, ss))";
         assert!(lint_src(src, Policy::no_delivery()).is_empty());
     }
 

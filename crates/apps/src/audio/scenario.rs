@@ -16,7 +16,7 @@ use super::apps::{AudioClient, AudioClientStats, AudioSource, LoadGen, LoadPhase
 use super::asp::{AUDIO_CLIENT_ASP, AUDIO_ROUTER_ASP};
 use super::native::{NativeAudioClient, NativeAudioRouter};
 use netsim::packet::addr;
-use netsim::{LinkSpec, Sim, SimTime};
+use netsim::{FaultAction, FaultPlan, LinkFaults, LinkSpec, Sim, SimTime};
 use planp_analysis::Policy;
 use planp_runtime::{install_planp, load, Engine, LayerConfig};
 use planp_telemetry::{MetricsSnapshot, Telemetry, TraceConfig};
@@ -57,6 +57,10 @@ pub struct AudioConfig {
     /// figure 5: "audio clients in IRISA may still receive high-quality
     /// audio" — adaptation is per segment).
     pub dual_segment: bool,
+    /// Fault injection on the shared 10 Mb/s segment: impairments
+    /// switched on at the given time (seconds). Seeded from the run
+    /// seed, so the whole run stays deterministic.
+    pub segment_faults: Option<(f64, LinkFaults)>,
 }
 
 impl AudioConfig {
@@ -88,6 +92,7 @@ impl AudioConfig {
             seed: 7,
             router_src: None,
             dual_segment: false,
+            segment_faults: None,
         }
     }
 
@@ -105,6 +110,7 @@ impl AudioConfig {
             seed: 7,
             router_src: None,
             dual_segment: false,
+            segment_faults: None,
         }
     }
 }
@@ -275,6 +281,16 @@ pub fn run_audio_traced(
     );
     sim.add_app(sink, Box::new(NullSink));
 
+    if let Some((from_s, faults)) = cfg.segment_faults {
+        sim.apply_fault_plan(FaultPlan::new().at(
+            from_s,
+            FaultAction::SetLinkFaults {
+                link: segment,
+                faults,
+            },
+        ));
+    }
+
     sim.run_until(SimTime::from_secs(cfg.duration_s));
 
     let rx_kbps = sim
@@ -325,6 +341,7 @@ mod tests {
             seed: 3,
             router_src: None,
             dual_segment: false,
+            segment_faults: None,
         };
         let r = run_audio(&cfg);
         let quiet = r.avg_kbps(3.0, 10.0);
@@ -347,6 +364,31 @@ mod tests {
         assert!(r.stats.frames > 520, "frames {}", r.stats.frames);
     }
 
+    /// Fault injection plugs into the audio harness: seeded Bernoulli
+    /// loss on the shared segment turns into audible gaps at the client,
+    /// and the same seed reproduces the same gap count.
+    #[test]
+    fn injected_segment_loss_causes_gaps() {
+        let mut cfg = AudioConfig::constant_load(Adaptation::AspJit, 1000, 20);
+        let clean = run_audio(&cfg);
+        cfg.segment_faults = Some((1.0, LinkFaults::loss(0.10)));
+        let lossy = run_audio(&cfg);
+        let lossy2 = run_audio(&cfg);
+        assert!(
+            lossy.stats.frames < clean.stats.frames,
+            "loss must eat frames: {} vs {}",
+            lossy.stats.frames,
+            clean.stats.frames
+        );
+        assert!(
+            lossy.stats.gaps > clean.stats.gaps,
+            "gaps: {} vs {}",
+            lossy.stats.gaps,
+            clean.stats.gaps
+        );
+        assert_eq!(lossy.stats.gaps, lossy2.stats.gaps, "seeded => repeatable");
+    }
+
     #[test]
     fn native_and_asp_agree_on_behavior() {
         let mk = |adaptation| {
@@ -362,6 +404,7 @@ mod tests {
                 seed: 3,
                 router_src: None,
                 dual_segment: false,
+                segment_faults: None,
             };
             run_audio(&cfg)
         };
@@ -390,6 +433,7 @@ mod tests {
                 seed: 7,
                 router_src: None,
                 dual_segment: false,
+                segment_faults: None,
             })
         };
         let on = mk(Adaptation::AspJit);
@@ -418,6 +462,7 @@ mod tests {
                 seed: 7,
                 router_src,
                 dual_segment: false,
+                segment_faults: None,
             })
         };
         let default = mk(None);
@@ -452,6 +497,7 @@ mod tests {
             seed: 3,
             router_src: None,
             dual_segment: true,
+            segment_faults: None,
         });
         let loaded = r.avg_kbps(12.0, 30.0);
         let b = r.stats_b.expect("second client");
@@ -486,6 +532,7 @@ mod tests {
             seed: 7,
             router_src: Some(crate::audio::AUDIO_ROUTER_QUEUE_ASP),
             dual_segment: false,
+            segment_faults: None,
         });
         // The queue policy degrades when the segment queue builds.
         assert!(

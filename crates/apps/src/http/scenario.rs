@@ -25,7 +25,7 @@ use super::native::NativeHttpGateway;
 use super::server::{HttpServerApp, ServerCfg};
 use super::trace::{Trace, TraceSpec};
 use netsim::packet::addr;
-use netsim::{CpuModel, LinkSpec, Sim, SimTime};
+use netsim::{CpuModel, FaultAction, FaultPlan, LinkSpec, Sim, SimTime};
 use planp_analysis::Policy;
 use planp_runtime::{install_planp, load, Engine, LayerConfig};
 use planp_telemetry::{MetricsSnapshot, Telemetry, TraceConfig};
@@ -79,6 +79,11 @@ pub struct HttpConfig {
     pub redeploy_at: Option<(f64, &'static str)>,
     /// Crash server 1 at this time (fault injection).
     pub fail_server1_at_s: Option<f64>,
+    /// Crash server 1 at this time through the seeded fault plan
+    /// ([`netsim::FaultAction::CrashNode`]): unlike `fail_server1_at_s`
+    /// the crash also flushes the server's CPU queue and is counted in
+    /// the `sim.fault_*` / `node.server1.crashes` telemetry.
+    pub crash_server1_at_s: Option<f64>,
 }
 
 impl HttpConfig {
@@ -98,6 +103,7 @@ impl HttpConfig {
             gateway_src: None,
             redeploy_at: None,
             fail_server1_at_s: None,
+            crash_server1_at_s: None,
         }
     }
 }
@@ -279,6 +285,10 @@ pub fn run_http_traced(
             host,
             Box::new(HttpClientApp::new(target, trace.clone(), port_base)),
         );
+    }
+
+    if let Some(at) = cfg.crash_server1_at_s {
+        sim.apply_fault_plan(FaultPlan::new().at(at, FaultAction::CrashNode { node: s1 }));
     }
 
     match cfg.fail_server1_at_s {
@@ -483,6 +493,43 @@ mod tests {
         // The failed server served nothing once it was down (its count
         // in the window only includes pre-crash completions).
         assert!(r.per_server[0].1 > 4.0 * r.per_server[1].1.max(1.0));
+    }
+
+    #[test]
+    fn failover_gateway_drains_to_fallback_after_backend_crash() {
+        // The failover gateway is active from the start; one backend is
+        // crashed mid-run by the fault plan. Every request must drain to
+        // the surviving server, and the dead backend must never be
+        // offered a packet after the failover program is in charge.
+        let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 16);
+        cfg.duration_s = 20;
+        cfg.warmup_s = 4.0;
+        cfg.gateway_src = Some(crate::http::HTTP_GATEWAY_FAILOVER_ASP);
+        cfg.crash_server1_at_s = Some(6.0);
+        let (r, _t, snap) = run_http_traced(&cfg, TraceConfig::default());
+        assert_eq!(snap.counters["node.server1.crashes"], 1);
+        assert_eq!(
+            snap.counters["node.server1.dropped"], 0,
+            "zero post-failover drops at the crashed backend"
+        );
+        assert!(
+            r.per_server[0].1 > 100.0 && r.per_server[1].1 == 0.0,
+            "requests drain to the fallback: {:?}",
+            r.per_server
+        );
+        assert!(r.req_per_sec > 100.0, "{} req/s", r.req_per_sec);
+
+        // Contrast: the modulo gateway keeps offering connections to the
+        // dead server, which shows up as drops there.
+        let mut naive = HttpConfig::new(ClusterMode::AspGateway, 16);
+        naive.duration_s = 20;
+        naive.warmup_s = 4.0;
+        naive.crash_server1_at_s = Some(6.0);
+        let (_r, _t, snap) = run_http_traced(&naive, TraceConfig::default());
+        assert!(
+            snap.counters["node.server1.dropped"] > 0,
+            "the naive gateway hammers the corpse"
+        );
     }
 
     #[test]

@@ -10,9 +10,15 @@
 //!   cluster (section 3.2, figure 8);
 //! * [`mpeg`] — a multipoint MPEG service derived from a point-to-point
 //!   server (section 3.3).
+//!
+//! Plus the robustness study that stresses all of it:
+//!
+//! * [`chaos`] — a relay chain under seeded fault injection, comparing
+//!   a NACK-driven reliable relay against a retransmission-free control.
 
 #![warn(missing_docs)]
 
 pub mod audio;
+pub mod chaos;
 pub mod http;
 pub mod mpeg;

@@ -14,7 +14,7 @@
 use super::apps::{MpegClientApp, MpegClientStats, MpegServerApp, MpegServerStats};
 use super::asp::{MPEG_CAPTURE_ASP, MPEG_MONITOR_ASP};
 use netsim::packet::addr;
-use netsim::{LinkSpec, Sim, SimTime};
+use netsim::{FaultAction, FaultPlan, LinkFaults, LinkSpec, Sim, SimTime};
 use planp_analysis::Policy;
 use planp_runtime::{install_planp, load, LayerConfig};
 use planp_telemetry::{MetricsSnapshot, Telemetry, TraceConfig};
@@ -38,6 +38,9 @@ pub struct MpegConfig {
     /// Which file each viewer requests (index-aligned; missing entries
     /// repeat the first, default file 7).
     pub files: Vec<u8>,
+    /// Fault injection on the shared viewer segment: impairments
+    /// switched on at the given time (seconds).
+    pub segment_faults: Option<(f64, LinkFaults)>,
 }
 
 impl MpegConfig {
@@ -50,6 +53,7 @@ impl MpegConfig {
             duration: Duration::from_secs(22),
             seed: 5,
             files: vec![7],
+            segment_faults: None,
         }
     }
 }
@@ -95,7 +99,7 @@ pub fn run_mpeg_traced(
     let uplink = sim.add_link(LinkSpec::ethernet_100(), &[server, router]);
     let mut seg = vec![router, monitor];
     seg.extend(&clients);
-    sim.add_link(
+    let segment = sim.add_link(
         LinkSpec {
             kbps: 10_000,
             delay: Duration::from_micros(100),
@@ -143,6 +147,16 @@ pub fn run_mpeg_traced(
                 Duration::from_millis(500 + 1500 * i as u64),
             )),
         );
+    }
+
+    if let Some((from_s, faults)) = cfg.segment_faults {
+        sim.apply_fault_plan(FaultPlan::new().at(
+            from_s,
+            FaultAction::SetLinkFaults {
+                link: segment,
+                faults,
+            },
+        ));
     }
 
     sim.run_until(SimTime::ZERO + cfg.duration);

@@ -30,6 +30,7 @@ fn run(
             seed: 7,
             router_src,
             dual_segment: false,
+            segment_faults: None,
         },
         TraceConfig::default(),
     );

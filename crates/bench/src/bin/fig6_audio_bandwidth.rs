@@ -78,6 +78,7 @@ fn main() {
         seed: 3,
         router_src: None,
         dual_segment: true,
+        segment_faults: None,
     });
     let quiet: Vec<f64> = r
         .rx_kbps_b

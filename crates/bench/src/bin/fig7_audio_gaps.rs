@@ -26,6 +26,7 @@ fn run(adaptation: Adaptation, kbps: u64) -> (u64, u64, f64, MetricsSnapshot) {
         seed: 7,
         router_src: None,
         dual_segment: false,
+        segment_faults: None,
     };
     let (r, _telemetry, metrics) = run_audio_traced(&cfg, TraceConfig::default());
     (

@@ -341,6 +341,11 @@ fn build_table() -> PrimTable {
         fixed("linkCapacity", Env, NONE, vec![Host], Int),
         fixed("queueLen", Env, NONE, vec![Host], Int),
         fixed("randInt", Env, NONE, vec![Int], Int),
+        // `setTimer(delay_ms, key)`: asks the node to re-dispatch a
+        // synthetic packet on the `timer` channel after `delay_ms`
+        // milliseconds, carrying `key` in its payload. Classed Io so it
+        // cannot appear in `val`/state initializers.
+        fixed("setTimer", Io, NONE, vec![Int, Int], Unit),
         // --- audio (section 3.1: 16-bit stereo → 8-bit monaural) ---------
         fixed("audio16to8", Pure, NONE, vec![Blob], Blob),
         fixed("audio8to16", Pure, NONE, vec![Blob], Blob),

@@ -19,6 +19,9 @@
 //!   *all* arriving traffic, including overheard segment traffic;
 //! * [`link::Link`] — windowed throughput measurement per link, backing
 //!   the PLAN-P `linkLoad` primitive;
+//! * [`fault::FaultPlan`] — seeded, schedule-driven fault injection:
+//!   link loss/corruption/duplication/jitter, down/up flaps, partitions,
+//!   and node crash/restart with protocol-state loss;
 //! * [`tcp`] — mini-TCP, enough for the HTTP cluster experiment;
 //! * [`stats`] — time series used by the figure-regeneration harnesses.
 //!
@@ -48,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -57,6 +61,7 @@ pub mod stats;
 pub mod tcp;
 pub mod time;
 
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultStats, LinkFaults};
 pub use link::{Link, LinkId, LinkSpec, NodeId};
 pub use node::{App, ArrivalMeta, CpuModel, HookVerdict, Node, PacketHook};
 pub use packet::{ChannelTag, Packet, Transport};

@@ -79,9 +79,19 @@ pub struct Link {
     pub nodes: Vec<NodeId>,
     pub(crate) queue: VecDeque<Queued>,
     pub(crate) transmitting: Option<Queued>,
+    /// True while fault injection has flapped the link down: packets
+    /// offered to it are dropped at enqueue.
+    pub(crate) fault_down: bool,
+    /// Continuous fault-injection impairments (loss, corruption,
+    /// duplication, jitter) applied to delivered copies.
+    pub(crate) faults: crate::fault::LinkFaults,
     // --- statistics ---
     /// Packets dropped at the queue tail.
     pub drops: u64,
+    /// Packet copies lost to fault injection on this link (down flaps,
+    /// Bernoulli loss, partitions) — kept separate from congestion
+    /// `drops`.
+    pub fault_drops: u64,
     /// Total packets transmitted.
     pub tx_packets: u64,
     /// Total bytes transmitted.
@@ -98,7 +108,10 @@ impl Link {
             nodes,
             queue: VecDeque::new(),
             transmitting: None,
+            fault_down: false,
+            faults: crate::fault::LinkFaults::default(),
             drops: 0,
+            fault_drops: 0,
             tx_packets: 0,
             tx_bytes: 0,
             window_start: SimTime::ZERO,

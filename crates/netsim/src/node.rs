@@ -45,8 +45,16 @@ pub struct Node {
     pub(crate) down: bool,
     pub(crate) cpu_queue: VecDeque<(Packet, Option<LinkId>, bool)>,
     pub(crate) cpu_busy: bool,
+    /// Bumped on crash so CPU-completion events scheduled before the
+    /// crash cannot touch work queued after the restart.
+    pub(crate) cpu_epoch: u64,
     /// Packets dropped because the CPU queue overflowed.
     pub cpu_drops: u64,
+    /// Times this node was crashed by fault injection.
+    pub crashes: u64,
+    /// Times a crash discarded an installed packet hook (protocol-state
+    /// loss).
+    pub state_lost: u64,
     /// Packets delivered to local applications.
     pub delivered: u64,
     /// Packets dropped at this node (no route, TTL expired, not for us).
@@ -84,7 +92,10 @@ impl Node {
             down: false,
             cpu_queue: VecDeque::new(),
             cpu_busy: false,
+            cpu_epoch: 0,
             cpu_drops: 0,
+            crashes: 0,
+            state_lost: 0,
             delivered: 0,
             dropped: 0,
         }
@@ -121,6 +132,15 @@ pub trait App {
     fn on_timer(&mut self, api: &mut NodeApi<'_>, key: u64) {
         let _ = (api, key);
     }
+
+    /// Called when the node comes back up after a fault-injected crash
+    /// (see [`Sim::restart_node`](crate::Sim::restart_node)). Timers
+    /// that fired while the node was down were swallowed, so periodic
+    /// applications should re-arm here; management applications can
+    /// start protocol recovery (e.g. re-deploying a lost ASP).
+    fn on_restart(&mut self, api: &mut NodeApi<'_>) {
+        let _ = api;
+    }
 }
 
 /// A hook's decision about an arriving packet.
@@ -140,4 +160,12 @@ pub enum HookVerdict {
 pub trait PacketHook {
     /// Inspects an arriving packet before normal IP processing.
     fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: Packet, meta: &ArrivalMeta) -> HookVerdict;
+
+    /// Called when a timer armed via [`NodeApi::set_hook_timer`] fires.
+    /// This is how an installed protocol gets a clock: the PLAN-P layer
+    /// turns these into synthetic timer-channel dispatches so ASPs can
+    /// schedule retransmissions.
+    fn on_timer(&mut self, api: &mut NodeApi<'_>, key: u64) {
+        let _ = (api, key);
+    }
 }

@@ -3,11 +3,14 @@
 //! Deterministic: events are ordered by `(time, sequence number)`, and
 //! all randomness flows from the seed given to [`Sim::new`].
 
+use crate::fault::{FaultAction, FaultPlan, FaultStats, LinkFaults};
 use crate::link::{Link, LinkId, LinkSpec, NodeId, Queued};
 use crate::node::{App, ArrivalMeta, HookVerdict, Node, PacketHook};
 use crate::packet::Packet;
+use crate::rng::SplitMix64;
 use crate::stats::SeriesStore;
 use crate::time::SimTime;
+use bytes::Bytes;
 use planp_telemetry::{
     Category, DispatchOutcome, DropReason, Histogram, MetricsSnapshot, Telemetry, TraceEvent,
 };
@@ -40,8 +43,16 @@ enum EvKind {
         app: usize,
         key: u64,
     },
+    HookTimer {
+        node: NodeId,
+        key: u64,
+    },
     CpuDone {
         node: NodeId,
+        epoch: u64,
+    },
+    Fault {
+        action: FaultAction,
     },
 }
 
@@ -91,6 +102,17 @@ pub struct Sim {
     /// every enqueue. Kept out of the registry so the hot path never
     /// formats a metric name.
     link_qdepth: Vec<Histogram>,
+    /// Dedicated randomness stream for fault injection, so configuring
+    /// faults never perturbs node or workload randomness.
+    fault_rng: SplitMix64,
+    /// Active partition: group id per node (`None` = unrestricted).
+    /// Empty when no partition is in force.
+    partition: Vec<Option<u32>>,
+    /// True once any fault has been configured; clean runs skip the
+    /// per-copy fault pipeline (and its rng) entirely.
+    faults_enabled: bool,
+    /// Aggregate fault-injection counters.
+    pub fault_stats: FaultStats,
 }
 
 impl Sim {
@@ -111,6 +133,10 @@ impl Sim {
             next_pkt_id: 0,
             events_processed: 0,
             link_qdepth: Vec::new(),
+            fault_rng: SplitMix64::new(seed ^ 0xFA01_7000_0000_0000),
+            partition: Vec::new(),
+            faults_enabled: false,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -335,6 +361,16 @@ impl Sim {
         &self.links[id.0]
     }
 
+    /// All links, in id order.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
     /// The node owning `addr`, if any.
     pub fn node_by_addr(&self, addr: u32) -> Option<NodeId> {
         self.addr_map.get(&addr).copied()
@@ -411,8 +447,23 @@ impl Sim {
                 via,
                 overheard,
             } => self.arrive(node, pkt, via, overheard),
-            EvKind::CpuDone { node } => self.cpu_done(node),
+            EvKind::CpuDone { node, epoch } => self.cpu_done(node, epoch),
             EvKind::TxDone { link } => self.tx_done(link),
+            EvKind::Fault { action } => self.apply_fault_action(action),
+            EvKind::HookTimer { node, key } => {
+                if self.nodes[node.0].down {
+                    return;
+                }
+                if let Some(mut hook) = self.nodes[node.0].hook.take() {
+                    let mut api = NodeApi {
+                        sim: self,
+                        node,
+                        app: None,
+                    };
+                    hook.on_timer(&mut api, key);
+                    self.nodes[node.0].hook = Some(hook);
+                }
+            }
             EvKind::Timer { node, app, key } => {
                 if self.nodes[node.0].down {
                     return;
@@ -458,7 +509,8 @@ impl Sim {
                 n.cpu_queue.push_back((pkt, via, overheard));
                 if !n.cpu_busy {
                     n.cpu_busy = true;
-                    self.push_event(self.now + cpu.per_packet, EvKind::CpuDone { node });
+                    let epoch = n.cpu_epoch;
+                    self.push_event(self.now + cpu.per_packet, EvKind::CpuDone { node, epoch });
                 }
                 return;
             }
@@ -466,7 +518,12 @@ impl Sim {
         self.process_arrival(node, pkt, via, overheard);
     }
 
-    fn cpu_done(&mut self, node: NodeId) {
+    fn cpu_done(&mut self, node: NodeId, epoch: u64) {
+        // A crash bumps the epoch; completions scheduled before it must
+        // not touch work queued after the restart.
+        if epoch != self.nodes[node.0].cpu_epoch {
+            return;
+        }
         let Some((pkt, via, overheard)) = self.nodes[node.0].cpu_queue.pop_front() else {
             self.nodes[node.0].cpu_busy = false;
             return;
@@ -475,7 +532,7 @@ impl Sim {
             self.nodes[node.0].cpu_busy = false;
         } else {
             let cpu = self.nodes[node.0].cpu.expect("cpu_done without cpu");
-            self.push_event(self.now + cpu.per_packet, EvKind::CpuDone { node });
+            self.push_event(self.now + cpu.per_packet, EvKind::CpuDone { node, epoch });
         }
         self.process_arrival(node, pkt, via, overheard);
     }
@@ -674,6 +731,14 @@ impl Sim {
     ) {
         let bytes = pkt.wire_size() as u32;
         let pid = pkt.id;
+        if self.links[link_id.0].fault_down {
+            self.links[link_id.0].fault_drops += 1;
+            self.total_link_drops += 1;
+            self.fault_stats.link_down_drops += 1;
+            self.trace_node_drop(from, pid, DropReason::LinkFaultDown);
+            self.trace_fault("link_down_drop", Some(from), Some(link_id), pid);
+            return;
+        }
         let q = Queued {
             pkt,
             from,
@@ -763,16 +828,216 @@ impl Sim {
                 bytes: q.pkt.wire_size() as u32,
             });
         }
+        let faults = self.links[link_id.0].faults;
         for (n, overheard) in receivers {
+            let mut pkt = q.pkt.clone();
+            let mut extra = Duration::ZERO;
+            let mut dup = false;
+            // Receiver-side fault pipeline, fixed order: partition →
+            // loss → corruption → duplication → jitter. Skipped entirely
+            // (no rng draws) until faults are configured.
+            if self.faults_enabled {
+                if self.partition_blocks(q.from, n) {
+                    self.fault_stats.partition_drops += 1;
+                    self.fault_copy_drop(link_id, n, pkt.id, DropReason::Partitioned, "partition");
+                    continue;
+                }
+                if !faults.is_clean() {
+                    if faults.loss > 0.0 && self.fault_rng.next_f64() < faults.loss {
+                        self.fault_stats.loss_drops += 1;
+                        self.fault_copy_drop(link_id, n, pkt.id, DropReason::FaultLoss, "loss");
+                        continue;
+                    }
+                    if faults.corrupt > 0.0
+                        && self.fault_rng.next_f64() < faults.corrupt
+                        && !pkt.payload.is_empty()
+                    {
+                        let mut bytes = pkt.payload.to_vec();
+                        let i = self.fault_rng.next_below(bytes.len() as u64) as usize;
+                        bytes[i] ^= 0xFF;
+                        pkt.payload = Bytes::from(bytes);
+                        self.fault_stats.corrupted += 1;
+                        self.trace_fault("corrupt", Some(n), Some(link_id), pkt.id);
+                    }
+                    if faults.duplicate > 0.0 && self.fault_rng.next_f64() < faults.duplicate {
+                        dup = true;
+                        self.fault_stats.duplicated += 1;
+                        self.trace_fault("duplicate", Some(n), Some(link_id), pkt.id);
+                    }
+                    if faults.jitter_ms > 0.0 {
+                        let ms = self.fault_rng.next_exp(faults.jitter_ms);
+                        extra = Duration::from_nanos((ms * 1e6) as u64);
+                        self.fault_stats.jittered += 1;
+                    }
+                }
+            }
+            if dup {
+                self.push_event(
+                    now + delay + extra,
+                    EvKind::Arrive {
+                        node: n,
+                        pkt: pkt.clone(),
+                        via: Some(link_id),
+                        overheard,
+                    },
+                );
+            }
             self.push_event(
-                now + delay,
+                now + delay + extra,
                 EvKind::Arrive {
                     node: n,
-                    pkt: q.pkt.clone(),
+                    pkt,
                     via: Some(link_id),
                     overheard,
                 },
             );
+        }
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Schedules every action in `plan` as ordinary simulation events.
+    /// Call any time (typically before the run); actions fire at their
+    /// scheduled times in plan order.
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults_enabled = true;
+        for ev in plan.events {
+            self.push_event(ev.at, EvKind::Fault { action: ev.action });
+        }
+    }
+
+    fn apply_fault_action(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::SetLinkFaults { link, faults } => self.set_link_faults(link, faults),
+            FaultAction::LinkDown { link } => self.set_link_down(link, true),
+            FaultAction::LinkUp { link } => self.set_link_down(link, false),
+            FaultAction::Partition { groups } => self.set_partition(&groups),
+            FaultAction::HealPartition => self.clear_partition(),
+            FaultAction::CrashNode { node } => self.crash_node(node),
+            FaultAction::RestartNode { node } => self.restart_node(node),
+        }
+    }
+
+    /// Replaces `link`'s continuous impairments (loss, corruption,
+    /// duplication, jitter), effective immediately.
+    pub fn set_link_faults(&mut self, link: LinkId, faults: LinkFaults) {
+        self.faults_enabled = true;
+        self.links[link.0].faults = faults;
+    }
+
+    /// Flaps the link down (packets offered to it are dropped at
+    /// enqueue; in-flight transmissions complete) or back up.
+    pub fn set_link_down(&mut self, link: LinkId, down: bool) {
+        self.faults_enabled = true;
+        self.links[link.0].fault_down = down;
+        let kind = if down { "link_down" } else { "link_up" };
+        self.trace_fault(kind, None, Some(link), 0);
+    }
+
+    /// Partitions the network: packet copies between nodes in different
+    /// groups are dropped in flight. Nodes not listed in any group keep
+    /// talking to everyone. Replaces any previous partition.
+    pub fn set_partition(&mut self, groups: &[Vec<NodeId>]) {
+        self.faults_enabled = true;
+        self.partition = vec![None; self.nodes.len()];
+        for (g, members) in groups.iter().enumerate() {
+            for &n in members {
+                self.partition[n.0] = Some(g as u32);
+            }
+        }
+        self.trace_fault("partition", None, None, 0);
+    }
+
+    /// Heals any active partition.
+    pub fn clear_partition(&mut self) {
+        self.partition.clear();
+        self.trace_fault("heal", None, None, 0);
+    }
+
+    fn partition_blocks(&self, a: NodeId, b: NodeId) -> bool {
+        match (
+            self.partition.get(a.0).copied().flatten(),
+            self.partition.get(b.0).copied().flatten(),
+        ) {
+            (Some(x), Some(y)) => x != y,
+            _ => false,
+        }
+    }
+
+    /// Crashes the node: it stops receiving, pending CPU work is lost,
+    /// and its packet hook — the installed protocol with all its state —
+    /// is discarded. Applications survive (they model the host's
+    /// software stack above the network layer) but their timers are
+    /// swallowed while the node is down.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.0];
+        n.down = true;
+        n.crashes += 1;
+        n.cpu_epoch += 1;
+        if n.hook.take().is_some() {
+            n.state_lost += 1;
+        }
+        let lost = n.cpu_queue.len() as u64;
+        n.cpu_queue.clear();
+        n.cpu_busy = false;
+        n.dropped += lost;
+        self.fault_stats.crashes += 1;
+        self.trace_fault("crash", Some(node), None, 0);
+    }
+
+    /// Restarts a crashed node and gives every application an
+    /// [`App::on_restart`] callback to re-arm timers and start protocol
+    /// recovery. The packet hook stays lost until something reinstalls
+    /// it (e.g. in-band redeployment).
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.nodes[node.0].down = false;
+        self.fault_stats.restarts += 1;
+        self.trace_fault("restart", Some(node), None, 0);
+        for app in 0..self.nodes[node.0].apps.len() {
+            if let Some(mut a) = self.nodes[node.0].apps[app].take() {
+                let mut api = NodeApi {
+                    sim: self,
+                    node,
+                    app: Some(app),
+                };
+                a.on_restart(&mut api);
+                self.nodes[node.0].apps[app] = Some(a);
+            }
+        }
+    }
+
+    /// Accounts one fault-induced in-flight copy loss: per-link
+    /// `fault_drops` (never `drops`), the engine-wide total, and both a
+    /// drop and a fault trace event at the would-be receiver.
+    fn fault_copy_drop(
+        &mut self,
+        link: LinkId,
+        to: NodeId,
+        pkt: u64,
+        reason: DropReason,
+        kind: &'static str,
+    ) {
+        self.links[link.0].fault_drops += 1;
+        self.total_link_drops += 1;
+        self.trace_node_drop(to, pkt, reason);
+        self.trace_fault(kind, Some(to), Some(link), pkt);
+    }
+
+    fn trace_fault(
+        &mut self,
+        kind: &'static str,
+        node: Option<NodeId>,
+        link: Option<LinkId>,
+        pkt: u64,
+    ) {
+        if self.telemetry.trace.wants(Category::FAULT) {
+            self.telemetry.trace.push(TraceEvent::Fault {
+                t_ns: self.now.as_nanos(),
+                kind: Rc::from(kind),
+                node: node.map(|n| n.0 as u32),
+                link: link.map(|l| l.0 as u32),
+                pkt,
+            });
         }
     }
 
@@ -786,21 +1051,34 @@ impl Sim {
     /// Key layout (all counters unless noted):
     ///
     /// - `node.<name>.delivered` / `.dropped` / `.cpu_drops`
+    /// - `node.<name>.crashes` / `.state_lost` — when nonzero
     /// - `link<i>.tx_packets` / `.tx_bytes` / `.drops`
+    /// - `link<i>.fault_drops` — when nonzero
     /// - `link<i>.queue_depth` — histogram of queue length at enqueue
     /// - `sim.link_drops_total`, `sim.events_processed`, `sim.packets`
     /// - `sim.trace_recorded`, `sim.trace_evicted`
+    /// - `sim.fault_*` — the [`FaultStats`] counters, once any fault has
+    ///   been configured (so clean runs keep their key set)
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.telemetry.metrics.snapshot();
         for node in &self.nodes {
             snap.set_counter(format!("node.{}.delivered", node.name), node.delivered);
             snap.set_counter(format!("node.{}.dropped", node.name), node.dropped);
             snap.set_counter(format!("node.{}.cpu_drops", node.name), node.cpu_drops);
+            if node.crashes > 0 {
+                snap.set_counter(format!("node.{}.crashes", node.name), node.crashes);
+            }
+            if node.state_lost > 0 {
+                snap.set_counter(format!("node.{}.state_lost", node.name), node.state_lost);
+            }
         }
         for (i, link) in self.links.iter().enumerate() {
             snap.set_counter(format!("link{i}.tx_packets"), link.tx_packets);
             snap.set_counter(format!("link{i}.tx_bytes"), link.tx_bytes);
             snap.set_counter(format!("link{i}.drops"), link.drops);
+            if link.fault_drops > 0 {
+                snap.set_counter(format!("link{i}.fault_drops"), link.fault_drops);
+            }
             let h = &self.link_qdepth[i];
             if h.count() > 0 {
                 snap.set_histogram(format!("link{i}.queue_depth"), h);
@@ -811,6 +1089,17 @@ impl Sim {
         snap.set_counter("sim.packets", self.next_pkt_id);
         snap.set_counter("sim.trace_recorded", self.telemetry.trace.recorded());
         snap.set_counter("sim.trace_evicted", self.telemetry.trace.evicted());
+        if self.faults_enabled {
+            let f = &self.fault_stats;
+            snap.set_counter("sim.fault_loss_drops", f.loss_drops);
+            snap.set_counter("sim.fault_corrupted", f.corrupted);
+            snap.set_counter("sim.fault_duplicated", f.duplicated);
+            snap.set_counter("sim.fault_jittered", f.jittered);
+            snap.set_counter("sim.fault_link_down_drops", f.link_down_drops);
+            snap.set_counter("sim.fault_partition_drops", f.partition_drops);
+            snap.set_counter("sim.fault_crashes", f.crashes);
+            snap.set_counter("sim.fault_restarts", f.restarts);
+        }
         snap
     }
 }
@@ -934,6 +1223,28 @@ impl NodeApi<'_> {
                 key,
             },
         );
+    }
+
+    /// Arms a timer for this node's packet hook;
+    /// [`PacketHook::on_timer`] fires with `key`. Unlike
+    /// [`set_timer`](Self::set_timer) this works from hook context —
+    /// it is how an installed protocol schedules retransmissions.
+    pub fn set_hook_timer(&mut self, delay: Duration, key: u64) {
+        let at = self.sim.now + delay;
+        self.sim.push_event(
+            at,
+            EvKind::HookTimer {
+                node: self.node,
+                key,
+            },
+        );
+    }
+
+    /// Assigns the packet a telemetry identity (rooting a span) as if
+    /// it had entered a send path here. For synthetic packets the
+    /// PLAN-P layer fabricates, such as timer dispatches.
+    pub fn stamp(&mut self, pkt: &mut Packet) {
+        self.sim.stamp(self.node, pkt);
     }
 
     /// Deterministic per-node randomness.
@@ -1504,6 +1815,326 @@ mod tests {
         );
         sim.run_until(SimTime::from_ms(200));
         assert_eq!(got.borrow().len(), 2);
+    }
+
+    #[test]
+    fn bernoulli_loss_drops_and_accounts_separately() {
+        let mut sim = Sim::new(3);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        let l = sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+        sim.compute_routes();
+        sim.set_link_faults(l, crate::fault::LinkFaults::loss(0.5));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 200,
+                size: 100,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let delivered = sim.node(b).delivered;
+        let lost = sim.fault_stats.loss_drops;
+        let congestion = sim.link(l).drops;
+        // The 200-packet burst overflows the 64-packet queue, so both
+        // congestion and fault losses occur — and stay separate.
+        assert_eq!(delivered + lost + congestion, 200);
+        assert!(lost > 10, "lost {lost}");
+        assert!(congestion > 0);
+        assert_eq!(sim.link(l).fault_drops, lost);
+        assert_eq!(sim.total_link_drops, congestion + lost);
+    }
+
+    #[test]
+    fn duplication_delivers_copies() {
+        let mut sim = Sim::new(4);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        let l = sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+        sim.compute_routes();
+        sim.set_link_faults(
+            l,
+            crate::fault::LinkFaults {
+                duplicate: 1.0,
+                ..Default::default()
+            },
+        );
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 5,
+                size: 50,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 10);
+        assert_eq!(sim.fault_stats.duplicated, 5);
+    }
+
+    #[test]
+    fn corruption_flips_payload_bytes() {
+        let mut sim = Sim::new(5);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        let l = sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+        sim.compute_routes();
+        sim.set_link_faults(
+            l,
+            crate::fault::LinkFaults {
+                corrupt: 1.0,
+                ..Default::default()
+            },
+        );
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 3,
+                size: 64,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 3);
+        assert_eq!(sim.fault_stats.corrupted, 3);
+        for p in got.borrow().iter() {
+            assert!(
+                p.payload.iter().any(|&b| b != 0),
+                "payload should have a flipped byte"
+            );
+        }
+    }
+
+    #[test]
+    fn link_flap_drops_then_recovers() {
+        let mut sim = Sim::new(6);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        let l = sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+        sim.compute_routes();
+        sim.apply_fault_plan(
+            crate::fault::FaultPlan::new()
+                .at(0.0, crate::fault::FaultAction::LinkDown { link: l })
+                .at(0.5, crate::fault::FaultAction::LinkUp { link: l }),
+        );
+        struct Pacer {
+            dst: u32,
+        }
+        impl App for Pacer {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                api.set_timer(Duration::from_millis(100), 0);
+            }
+            fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, api: &mut NodeApi<'_>, _key: u64) {
+                let pkt = Packet::udp(api.addr(), self.dst, 1, 2, Bytes::from(vec![0u8; 100]));
+                api.send(pkt);
+                api.set_timer(Duration::from_millis(100), 0);
+            }
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.add_app(a, Box::new(Pacer { dst: 2 }));
+        sim.run_until(SimTime::from_secs(1));
+        // Sends at 0.1..0.5s are dropped at the downed link; later ones pass.
+        assert!(sim.fault_stats.link_down_drops >= 3);
+        assert!(!got.borrow().is_empty());
+        assert_eq!(
+            sim.total_link_drops,
+            sim.link(l).drops + sim.link(l).fault_drops
+        );
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut sim = Sim::new(7);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        let c = sim.add_host("c", 3);
+        sim.add_link(LinkSpec::ethernet_10(), &[a, b, c]);
+        sim.compute_routes();
+        sim.set_partition(&[vec![a], vec![b]]);
+        let got_b = Rc::new(RefCell::new(Vec::new()));
+        let got_c = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got_b.clone() }));
+        sim.add_app(c, Box::new(Sink { got: got_c.clone() }));
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 2,
+                size: 10,
+            }),
+        );
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 3,
+                n: 2,
+                size: 10,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        // a → b crosses the partition; a → c is unrestricted (c unlisted).
+        assert_eq!(got_b.borrow().len(), 0);
+        assert_eq!(got_c.borrow().len(), 2);
+        assert!(sim.fault_stats.partition_drops >= 2);
+        sim.clear_partition();
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 1,
+                size: 10,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(got_b.borrow().len(), 1);
+    }
+
+    #[test]
+    fn crash_loses_hook_state_and_restart_notifies_apps() {
+        struct Tag;
+        impl PacketHook for Tag {
+            fn on_packet(
+                &mut self,
+                _api: &mut NodeApi<'_>,
+                pkt: Packet,
+                _meta: &ArrivalMeta,
+            ) -> HookVerdict {
+                HookVerdict::Pass(pkt)
+            }
+        }
+        struct Reviver {
+            restarted: Rc<RefCell<u32>>,
+        }
+        impl App for Reviver {
+            fn on_packet(&mut self, _api: &mut NodeApi<'_>, _pkt: Packet) {}
+            fn on_restart(&mut self, api: &mut NodeApi<'_>) {
+                *self.restarted.borrow_mut() += 1;
+                api.install_hook(Box::new(Tag));
+            }
+        }
+        let (mut sim, a, r, b) = two_hosts_one_router();
+        sim.install_hook(r, Box::new(Tag));
+        let restarted = Rc::new(RefCell::new(0));
+        sim.add_app(
+            r,
+            Box::new(Reviver {
+                restarted: restarted.clone(),
+            }),
+        );
+        sim.apply_fault_plan(crate::fault::FaultPlan::new().crash_restart(0.1, 0.3, r));
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(b, Box::new(Sink { got: got.clone() }));
+        sim.run_until(SimTime::from_ms(200));
+        assert!(sim.node(r).down);
+        assert_eq!(sim.node(r).crashes, 1);
+        assert_eq!(sim.node(r).state_lost, 1, "hook state must be lost");
+        assert!(sim.node(r).hook.is_none());
+        sim.run_until(SimTime::from_ms(400));
+        assert!(!sim.node(r).down);
+        assert_eq!(*restarted.borrow(), 1);
+        assert!(sim.node(r).hook.is_some(), "on_restart reinstalled hook");
+        // Traffic flows again after the restart.
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: addr(10, 0, 1, 1),
+                n: 2,
+                size: 50,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 2);
+        assert_eq!(sim.fault_stats.crashes, 1);
+        assert_eq!(sim.fault_stats.restarts, 1);
+    }
+
+    #[test]
+    fn hook_timers_fire_via_set_hook_timer() {
+        struct Ticker {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl PacketHook for Ticker {
+            fn on_packet(
+                &mut self,
+                api: &mut NodeApi<'_>,
+                pkt: Packet,
+                _meta: &ArrivalMeta,
+            ) -> HookVerdict {
+                api.set_hook_timer(Duration::from_millis(10), 7);
+                HookVerdict::Pass(pkt)
+            }
+            fn on_timer(&mut self, api: &mut NodeApi<'_>, key: u64) {
+                self.fired.borrow_mut().push(key);
+                if self.fired.borrow().len() < 3 {
+                    api.set_hook_timer(Duration::from_millis(10), key + 1);
+                }
+            }
+        }
+        let mut sim = Sim::new(8);
+        let a = sim.add_host("a", 1);
+        let b = sim.add_host("b", 2);
+        sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+        sim.compute_routes();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.install_hook(
+            b,
+            Box::new(Ticker {
+                fired: fired.clone(),
+            }),
+        );
+        sim.add_app(
+            a,
+            Box::new(Source {
+                dst: 2,
+                n: 1,
+                size: 10,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*fired.borrow(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = |seed: u64| -> (u64, u64, u64) {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_host("a", 1);
+            let b = sim.add_host("b", 2);
+            let l = sim.add_link(LinkSpec::ethernet_10(), &[a, b]);
+            sim.compute_routes();
+            sim.set_link_faults(
+                l,
+                crate::fault::LinkFaults {
+                    loss: 0.2,
+                    corrupt: 0.1,
+                    duplicate: 0.1,
+                    jitter_ms: 2.0,
+                },
+            );
+            sim.add_app(
+                a,
+                Box::new(Source {
+                    dst: 2,
+                    n: 100,
+                    size: 200,
+                }),
+            );
+            sim.run_until(SimTime::from_secs(5));
+            (
+                sim.node(b).delivered,
+                sim.fault_stats.loss_drops,
+                sim.fault_stats.corrupted,
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 
     #[test]

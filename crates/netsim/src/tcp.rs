@@ -617,6 +617,89 @@ mod tests {
         );
     }
 
+    /// Like [`shuttle`], but every in-flight segment is independently
+    /// lost with probability `loss` and duplicated with probability
+    /// `dup`, driven by a seeded [`SplitMix64`] — the same impairment
+    /// model the fault injector applies to simulator links.
+    fn shuttle_chaos(
+        a: &mut TcpSocket,
+        b: &mut TcpSocket,
+        first: Vec<Packet>,
+        loss: f64,
+        dup: f64,
+        seed: u64,
+        now: &mut SimTime,
+    ) {
+        let mut rng = crate::rng::SplitMix64::new(seed);
+        let mut inflight: Vec<(bool, Packet)> = first.into_iter().map(|p| (true, p)).collect();
+        let mut steps = 0;
+        while steps < 100_000 {
+            steps += 1;
+            if let Some((to_b, pkt)) = inflight.first().cloned() {
+                inflight.remove(0);
+                if rng.next_f64() < loss {
+                    continue; // lost on the wire
+                }
+                if rng.next_f64() < dup {
+                    inflight.push((to_b, pkt.clone())); // delivered twice
+                }
+                let ev = if to_b {
+                    b.on_segment(&pkt, *now)
+                } else {
+                    a.on_segment(&pkt, *now)
+                };
+                inflight.extend(ev.to_send.into_iter().map(|p| (!to_b, p)));
+            } else {
+                *now += Duration::from_millis(250);
+                let ea = a.on_tick(*now);
+                let eb = b.on_tick(*now);
+                if ea.to_send.is_empty() && eb.to_send.is_empty() {
+                    return;
+                }
+                inflight.extend(ea.to_send.into_iter().map(|p| (true, p)));
+                inflight.extend(eb.to_send.into_iter().map(|p| (false, p)));
+            }
+        }
+        panic!("chaotic shuttle did not settle");
+    }
+
+    /// Property: across many seeds, reassembly delivers the exact byte
+    /// stream despite 10% random segment loss in both directions.
+    #[test]
+    fn reassembly_survives_random_loss() {
+        for seed in 0..24u64 {
+            let mut now = SimTime::ZERO;
+            let (mut c, mut s) = pair(now);
+            let len = 1000 + (seed as usize * 733) % 9000;
+            let payload: Vec<u8> = (0..len).map(|i| (i as u64 * (seed + 3)) as u8).collect();
+            let ev = c.send(&payload, now);
+            shuttle_chaos(&mut c, &mut s, ev.to_send, 0.10, 0.0, seed, &mut now);
+            assert_eq!(s.take_received(), payload, "seed {seed}");
+            assert_eq!(c.in_flight(), 0, "seed {seed}");
+        }
+    }
+
+    /// Property: duplicated segments (alone and combined with loss)
+    /// never corrupt or double-deliver the reassembled stream.
+    #[test]
+    fn reassembly_survives_duplication_and_loss() {
+        for seed in 0..24u64 {
+            let mut now = SimTime::ZERO;
+            let (mut c, mut s) = pair(now);
+            let len = 1000 + (seed as usize * 977) % 9000;
+            let payload: Vec<u8> = (0..len).map(|i| (i as u64 ^ (seed * 17)) as u8).collect();
+            let ev = c.send(&payload, now);
+            let (loss, dup) = if seed % 2 == 0 {
+                (0.0, 0.2)
+            } else {
+                (0.08, 0.15)
+            };
+            shuttle_chaos(&mut c, &mut s, ev.to_send, loss, dup, seed, &mut now);
+            assert_eq!(s.take_received(), payload, "seed {seed}");
+            assert_eq!(c.in_flight(), 0, "seed {seed}");
+        }
+    }
+
     #[test]
     fn reordered_segments_reassemble() {
         let now = SimTime::ZERO;

@@ -11,6 +11,7 @@
 
 use crate::convert::{packet_to_value, value_to_packet};
 use crate::loader::LoadedProgram;
+use bytes::Bytes;
 use netsim::packet::{ChannelTag, Lineage, Packet};
 use netsim::{ArrivalMeta, HookVerdict, NodeApi, PacketHook, Sim};
 use planp_lang::tast::TProgram;
@@ -308,6 +309,32 @@ impl PacketHook for PlanpLayer {
             }
         }
     }
+
+    fn on_timer(&mut self, api: &mut NodeApi<'_>, key: u64) {
+        // A fired `setTimer` re-enters the program as a synthetic packet
+        // on the `timer` channel: UDP self→self whose payload is the key
+        // as an 8-byte big-endian integer (readable with `blobInt`).
+        // Programs that declare no `timer` channel ignore the wake-up.
+        if !self.prog.chan_groups.contains_key("timer") {
+            return;
+        }
+        let me = api.addr();
+        let payload = Bytes::from((key as i64).to_be_bytes().to_vec());
+        let mut pkt = Packet::udp(me, me, 0, 0, payload);
+        pkt.tag = Some(ChannelTag {
+            chan: "timer".into(),
+            overload: 0,
+        });
+        api.stamp(&mut pkt);
+        // Run the ordinary dispatch path. A `Pass` verdict means the
+        // program declined the synthetic packet; it has nowhere to go,
+        // so it is discarded.
+        let meta = ArrivalMeta {
+            via: None,
+            overheard: false,
+        };
+        let _ = self.on_packet(api, pkt, &meta);
+    }
 }
 
 /// The [`NetEnv`] a PLAN-P program sees while running on a simulated
@@ -461,6 +488,11 @@ impl NetEnv for SimNetEnv<'_, '_> {
         self.output.borrow_mut().push_str(text);
     }
 
+    fn set_timer(&mut self, delay_ms: i64, key: i64) {
+        let delay = std::time::Duration::from_millis(delay_ms.max(0) as u64);
+        self.api.set_hook_timer(delay, key as u64);
+    }
+
     fn charge_steps(&mut self, n: u64) {
         self.vm_steps += n;
     }
@@ -608,6 +640,38 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got.borrow().len(), 5);
         assert_eq!(handle.stats.borrow().matched, 5);
+    }
+
+    #[test]
+    fn set_timer_dispatches_synthetic_timer_channel() {
+        // Every data packet arms a timer; when it fires, the `timer`
+        // channel receives a synthetic self-addressed packet whose
+        // payload carries the key as an 8-byte integer.
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (setTimer(50, 40 + ps); OnRemote(network, p); (ps + 1, ss))\n\
+                   channel timer(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (println(blobInt(#3 p, 0)); (ps, ss))";
+        let (mut sim, handle, got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 5, "data traffic still forwarded");
+        assert_eq!(&*handle.output.borrow(), "40\n41\n42\n43\n44\n");
+        // Timer dispatches count as matched channel runs.
+        assert_eq!(handle.stats.borrow().matched, 10);
+        assert_eq!(handle.stats.borrow().errors, 0);
+    }
+
+    #[test]
+    fn timer_without_timer_channel_is_ignored() {
+        // setTimer in a program with no `timer` channel: the wake-up is
+        // discarded without error or fallback traffic.
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (setTimer(10, 1); OnRemote(network, p); (ps, ss))";
+        let (mut sim, handle, got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(got.borrow().len(), 5);
+        assert_eq!(handle.stats.borrow().matched, 5);
+        assert_eq!(handle.stats.borrow().passed, 0);
+        assert_eq!(handle.stats.borrow().errors, 0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   dispatch (including overloaded channels), protocol/channel state,
 //!   and the `OnRemote`/`OnNeighbor`/`deliver` effects;
 //! * [`convert`] — packet ↔ PLAN-P value conversions;
+//! * [`recovery`] — crash recovery: re-verify and reinstall a node's
+//!   ASP after a fault-injected restart;
 //! * [`replay`] — runs a model-checker counterexample as concrete
 //!   packets through a two-router path and confirms the predicted
 //!   loop, drop, or exception.
@@ -42,6 +44,7 @@ pub mod convert;
 pub mod deploy;
 pub mod layer;
 pub mod loader;
+pub mod recovery;
 pub mod replay;
 
 pub use deploy::{deploy_packets, uninstall_packet, DeployLog, DeployService, DEPLOY_PORT};
@@ -49,4 +52,5 @@ pub use layer::{
     install_planp, Engine, LayerConfig, LayerStats, PlanpHandle, PlanpLayer, MANAGEMENT_PORT,
 };
 pub use loader::{load, LoadError, LoadedProgram};
+pub use recovery::{RecoveryLog, RecoveryService};
 pub use replay::{replay_asp, replay_asp_traced, ReplayReport, LOOP_FACTOR, REPLAY_PACKETS};

@@ -35,8 +35,10 @@ impl Category {
     pub const SPAN: Category = Category(1 << 7);
     /// Per-dispatch VM execution (channel name + charged steps).
     pub const VM: Category = Category(1 << 8);
+    /// Injected faults (loss, corruption, flaps, partitions, crashes).
+    pub const FAULT: Category = Category(1 << 9);
     /// Every category.
-    pub const ALL: Category = Category(0x1ff);
+    pub const ALL: Category = Category(0x3ff);
 
     /// Union of two sets.
     pub const fn union(self, other: Category) -> Category {
@@ -54,7 +56,7 @@ impl Category {
     }
 
     /// The canonical (name, flag) table, used by parsers and help text.
-    pub const NAMES: [(&'static str, Category); 9] = [
+    pub const NAMES: [(&'static str, Category); 10] = [
         ("link", Category::LINK),
         ("hop", Category::HOP),
         ("deliver", Category::DELIVER),
@@ -64,6 +66,7 @@ impl Category {
         ("timer", Category::TIMER),
         ("span", Category::SPAN),
         ("vm", Category::VM),
+        ("fault", Category::FAULT),
     ];
 
     /// Parses a single category name.
@@ -110,6 +113,12 @@ pub enum DropReason {
     NoRoute,
     /// Arrived at a host it was not addressed to (and was not overheard).
     NotAddressed,
+    /// Lost to injected Bernoulli link loss (fault plan).
+    FaultLoss,
+    /// The carrying link was administratively down (fault plan flap).
+    LinkFaultDown,
+    /// Sender and receiver are in different partition groups.
+    Partitioned,
 }
 
 impl DropReason {
@@ -121,6 +130,9 @@ impl DropReason {
             DropReason::TtlExpired => "ttl_expired",
             DropReason::NoRoute => "no_route",
             DropReason::NotAddressed => "not_addressed",
+            DropReason::FaultLoss => "fault_loss",
+            DropReason::LinkFaultDown => "link_fault_down",
+            DropReason::Partitioned => "partitioned",
         }
     }
 }
@@ -278,6 +290,17 @@ pub enum TraceEvent {
         chan: Rc<str>,
         steps: u64,
     },
+    /// A scheduled fault fired (loss, corruption, duplication, jitter,
+    /// flap, partition, crash, restart). `node`/`link` identify the
+    /// afflicted element when the fault targets one; `pkt` is the
+    /// affected packet for per-packet faults (0 for plan-level events).
+    Fault {
+        t_ns: u64,
+        kind: Rc<str>,
+        node: Option<u32>,
+        link: Option<u32>,
+        pkt: u64,
+    },
 }
 
 impl TraceEvent {
@@ -293,6 +316,7 @@ impl TraceEvent {
             TraceEvent::TimerFire { .. } => Category::TIMER,
             TraceEvent::SpanStart { .. } => Category::SPAN,
             TraceEvent::VmRun { .. } => Category::VM,
+            TraceEvent::Fault { .. } => Category::FAULT,
         }
     }
 
@@ -309,7 +333,8 @@ impl TraceEvent {
             | TraceEvent::Exception { t_ns, .. }
             | TraceEvent::TimerFire { t_ns, .. }
             | TraceEvent::SpanStart { t_ns, .. }
-            | TraceEvent::VmRun { t_ns, .. } => *t_ns,
+            | TraceEvent::VmRun { t_ns, .. }
+            | TraceEvent::Fault { t_ns, .. } => *t_ns,
         }
     }
 
@@ -326,6 +351,7 @@ impl TraceEvent {
             | TraceEvent::Exception { pkt, .. }
             | TraceEvent::SpanStart { pkt, .. }
             | TraceEvent::VmRun { pkt, .. } => Some(*pkt),
+            TraceEvent::Fault { pkt, .. } => (*pkt != 0).then_some(*pkt),
             TraceEvent::TimerFire { .. } => None,
         }
     }
@@ -519,6 +545,32 @@ impl TraceEvent {
                 push_str(out, chan);
                 field(out, &mut seq, "steps", *steps);
             }
+            TraceEvent::Fault {
+                t_ns,
+                kind,
+                node,
+                link,
+                pkt,
+            } => {
+                tag(out, &mut seq, "fault");
+                field(out, &mut seq, "t_ns", *t_ns);
+                seq.sep(out);
+                push_key(out, "kind");
+                push_str(out, kind);
+                seq.sep(out);
+                push_key(out, "node");
+                match node {
+                    Some(n) => out.push_str(&n.to_string()),
+                    None => out.push_str("null"),
+                }
+                seq.sep(out);
+                push_key(out, "link");
+                match link {
+                    Some(l) => out.push_str(&l.to_string()),
+                    None => out.push_str("null"),
+                }
+                field(out, &mut seq, "pkt", *pkt);
+            }
         }
         out.push('}');
     }
@@ -637,6 +689,20 @@ impl fmt::Display for TraceEvent {
                     f,
                     "{t:12.6}  n{node:<5} vm       pkt={pkt} chan={chan} steps={steps}"
                 )
+            }
+            TraceEvent::Fault {
+                kind,
+                node,
+                link,
+                pkt,
+                ..
+            } => {
+                let site = match (node, link) {
+                    (Some(n), _) => format!("n{n}"),
+                    (None, Some(l)) => format!("link{l}"),
+                    (None, None) => "plan".to_string(),
+                };
+                write!(f, "{t:12.6}  {site:<6} FAULT    kind={kind} pkt={pkt}")
             }
         }
     }

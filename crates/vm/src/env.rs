@@ -47,6 +47,11 @@ pub trait NetEnv {
     fn deliver(&mut self, pkt: Value);
     /// Effect of `print`/`println`.
     fn print(&mut self, text: &str);
+    /// Effect of `setTimer(delay_ms, key)`: schedule a synthetic
+    /// timer-channel dispatch on this node after `delay_ms` milliseconds
+    /// carrying `key`. The default discards the request (environments
+    /// without a clock, such as the verifier's abstract ones).
+    fn set_timer(&mut self, _delay_ms: i64, _key: i64) {}
     /// Accounts `n` abstract VM execution steps (evaluated expression
     /// nodes) to the current channel invocation. Both engines call this
     /// once per `run_channel` with the steps that invocation consumed —
@@ -109,6 +114,8 @@ pub struct MockEnv {
     pub steps: u64,
     /// Send sites announced via [`NetEnv::note_send_site`], in order.
     pub send_sites: Vec<(SendKind, Option<String>)>,
+    /// Timers requested via [`NetEnv::set_timer`], as `(delay_ms, key)`.
+    pub timers: Vec<(i64, i64)>,
     rng_state: u64,
 }
 
@@ -125,6 +132,7 @@ impl MockEnv {
             output: String::new(),
             steps: 0,
             send_sites: Vec::new(),
+            timers: Vec::new(),
             rng_state: 0x9E3779B97F4A7C15,
         }
     }
@@ -211,6 +219,10 @@ impl NetEnv for MockEnv {
 
     fn note_send_site(&mut self, kind: SendKind, chan: Option<&str>) {
         self.send_sites.push((kind, chan.map(str::to_string)));
+    }
+
+    fn set_timer(&mut self, delay_ms: i64, key: i64) {
+        self.timers.push((delay_ms, key));
     }
 }
 

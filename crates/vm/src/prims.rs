@@ -312,6 +312,10 @@ fn impl_for(name: &'static str) -> PrimFn {
         "linkCapacity" => |a, env| Ok(Value::Int(env.link_capacity(want_host(&a[0])?))),
         "queueLen" => |a, env| Ok(Value::Int(env.queue_len(want_host(&a[0])?))),
         "randInt" => |a, env| Ok(Value::Int(env.rand_int(want_int(&a[0])?))),
+        "setTimer" => |a, env| {
+            env.set_timer(want_int(&a[0])?, want_int(&a[1])?);
+            Ok(Value::Unit)
+        },
         // Audio
         "audio16to8" => |a, _| Ok(Value::Blob(audio::pcm16_to_8(want_blob(&a[0])?))),
         "audio8to16" => |a, _| Ok(Value::Blob(audio::pcm8_to_16(want_blob(&a[0])?))),

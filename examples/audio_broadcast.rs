@@ -29,6 +29,7 @@ fn main() {
         seed: 7,
         router_src: None,
         dual_segment: false,
+        segment_faults: None,
     };
     println!("running 100 s of audio broadcast with in-router adaptation…\n");
     let r = run_audio(&cfg);

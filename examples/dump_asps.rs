@@ -29,6 +29,12 @@ fn main() {
         ),
         ("mpeg_monitor", planp::apps::mpeg::MPEG_MONITOR_ASP),
         ("mpeg_capture", planp::apps::mpeg::MPEG_CAPTURE_ASP),
+        ("reliable_relay", planp::apps::chaos::RELIABLE_RELAY_ASP),
+        ("buggy/fragile_relay", planp::apps::chaos::FRAGILE_RELAY_ASP),
+        (
+            "audio_router_chaos",
+            planp::apps::chaos::AUDIO_ROUTER_CHAOS_ASP,
+        ),
     ];
     for (name, src) in progs {
         std::fs::write(format!("asps/{name}.planp"), src.trim_start()).unwrap();

@@ -48,4 +48,5 @@ pub use planp_analysis as analysis;
 pub use planp_apps as apps;
 pub use planp_lang as lang;
 pub use planp_runtime as runtime;
+pub use planp_telemetry as telemetry;
 pub use planp_vm as vm;

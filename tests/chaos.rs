@@ -1,0 +1,149 @@
+//! Integration tests for the fault-injection subsystem: the
+//! drop-accounting identity across every traced scenario, the policy
+//! split between the reliable and fragile relays, and end-to-end
+//! determinism of chaos runs.
+
+use planp::analysis::Policy;
+use planp::apps::audio::{run_audio_traced, Adaptation, AudioConfig};
+use planp::apps::chaos::{
+    run_relay_chaos, RelayChaosConfig, RelayKind, FRAGILE_RELAY_ASP, RELIABLE_RELAY_ASP,
+};
+use planp::apps::http::{run_http_traced, ClusterMode, HttpConfig, HTTP_GATEWAY_FAILOVER_ASP};
+use planp::apps::mpeg::{run_mpeg_traced, MpegConfig};
+use planp::netsim::LinkFaults;
+use planp::runtime::load;
+use planp::telemetry::{MetricsSnapshot, TraceConfig};
+
+/// `sim.link_drops_total` must equal the sum of per-link congestion
+/// drops plus per-link fault drops — every lost packet is attributed to
+/// exactly one link and exactly one cause.
+fn assert_drop_identity(label: &str, snap: &MetricsSnapshot) {
+    let total = snap.counters["sim.link_drops_total"];
+    let mut congestion = 0;
+    let mut faults = 0;
+    for (key, v) in snap.counters.iter() {
+        if !key.starts_with("link") {
+            continue;
+        }
+        if key.ends_with(".fault_drops") {
+            faults += v;
+        } else if key.ends_with(".drops") {
+            congestion += v;
+        }
+    }
+    assert_eq!(
+        total,
+        congestion + faults,
+        "{label}: sim.link_drops_total {total} != congestion {congestion} + fault {faults}"
+    );
+    // When faults were enabled, the simulator-wide loss counter must
+    // also agree with the per-link attribution (loss is the only fault
+    // kind these scenarios drop packets with at the link layer, plus
+    // whatever a downed link refused to enqueue).
+    if let Some(loss) = snap.counters.get("sim.fault_loss_drops") {
+        let down = snap.counters.get("sim.fault_link_down_drops").unwrap_or(&0);
+        let partition = snap.counters.get("sim.fault_partition_drops").unwrap_or(&0);
+        assert_eq!(
+            faults,
+            loss + down + partition,
+            "{label}: per-link fault drops disagree with the fault-kind counters"
+        );
+    }
+}
+
+/// The identity holds across all three section 3 applications under
+/// injected loss, and in the relay chain with loss + duplication +
+/// a crash schedule — congestion and fault losses never cross-count.
+#[test]
+fn drop_accounting_identity_across_scenarios() {
+    let mut audio = AudioConfig::constant_load(Adaptation::AspJit, 1000, 15);
+    audio.segment_faults = Some((1.0, LinkFaults::loss(0.08)));
+    let (_, _, snap) = run_audio_traced(&audio, TraceConfig::default());
+    assert_drop_identity("audio", &snap);
+    assert!(
+        snap.counters["sim.fault_loss_drops"] > 0,
+        "audio: loss was configured but never fired"
+    );
+
+    let mut http = HttpConfig::new(ClusterMode::AspGateway, 8);
+    http.duration_s = 10;
+    http.gateway_src = Some(HTTP_GATEWAY_FAILOVER_ASP);
+    http.crash_server1_at_s = Some(4.0);
+    let (_, _, snap) = run_http_traced(&http, TraceConfig::default());
+    assert_drop_identity("http", &snap);
+
+    let mut mpeg = MpegConfig::new(3, true);
+    mpeg.segment_faults = Some((1.0, LinkFaults::loss(0.05)));
+    let (_, _, snap) = run_mpeg_traced(&mpeg, TraceConfig::default());
+    assert_drop_identity("mpeg", &snap);
+
+    let mut relay = RelayChaosConfig::new(
+        RelayKind::Reliable,
+        LinkFaults {
+            loss: 0.05,
+            duplicate: 0.05,
+            corrupt: 0.01,
+            ..LinkFaults::default()
+        },
+    );
+    relay.crash_relay = Some((0.25, 0.55));
+    let res = run_relay_chaos(&relay);
+    assert_drop_identity("relay", &res.snapshot);
+    assert!(res.drop_identity_holds(), "relay: result-level identity");
+}
+
+/// A clean run keeps the identity trivially (no fault counters at all)
+/// — the accounting does not depend on faults being enabled.
+#[test]
+fn drop_accounting_identity_without_faults() {
+    let audio = AudioConfig::constant_load(Adaptation::AspJit, 1000, 15);
+    let (_, _, snap) = run_audio_traced(&audio, TraceConfig::default());
+    assert_drop_identity("audio clean", &snap);
+    assert!(
+        !snap.counters.contains_key("sim.fault_loss_drops"),
+        "fault counters must not appear in a fault-free run"
+    );
+}
+
+/// The verifier's policy split for the relay pair: the reliable relay's
+/// retransmission cycle is unprovable, so it needs an authenticated
+/// download; the fragile relay proves everything — and still collapses
+/// under loss. Verification and robustness are orthogonal.
+#[test]
+fn relay_policies_match_their_documentation() {
+    assert!(
+        load(RELIABLE_RELAY_ASP, Policy::strict()).is_err(),
+        "reliable relay must not pass the strict policy"
+    );
+    let lp = load(RELIABLE_RELAY_ASP, Policy::authenticated())
+        .expect("reliable relay loads when authenticated");
+    assert!(
+        !lp.report.termination.is_proved(),
+        "the NACK/retransmit cycle is correctly unprovable"
+    );
+
+    let lp = load(FRAGILE_RELAY_ASP, Policy::no_delivery()).expect("fragile relay loads");
+    assert!(lp.report.accepted());
+    assert!(lp.report.termination.is_proved());
+    assert!(lp.report.duplication.is_proved());
+}
+
+/// Chaos runs are seeded end to end: identical configs give identical
+/// results, and changing the seed actually changes the fault schedule.
+#[test]
+fn chaos_runs_are_seeded() {
+    let cfg = RelayChaosConfig::loss(RelayKind::Fragile, 0.10);
+    let a = run_relay_chaos(&cfg);
+    let b = run_relay_chaos(&cfg);
+    assert_eq!(a.unique, b.unique);
+    assert_eq!(a.fault.loss_drops, b.fault.loss_drops);
+    assert_eq!(a.snapshot.render_table(), b.snapshot.render_table());
+
+    let mut other = RelayChaosConfig::loss(RelayKind::Fragile, 0.10);
+    other.seed = cfg.seed + 1;
+    let c = run_relay_chaos(&other);
+    assert_ne!(
+        a.fault.loss_drops, c.fault.loss_drops,
+        "a different seed must reshuffle the Bernoulli trials"
+    );
+}

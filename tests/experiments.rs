@@ -30,6 +30,7 @@ fn fig6_shape_bandwidth_staircase() {
         seed: 7,
         router_src: None,
         dual_segment: false,
+        segment_faults: None,
     };
     let r = run_audio(&cfg);
     let quiet = r.avg_kbps(5.0, 20.0);
@@ -65,6 +66,7 @@ fn fig7_shape_gaps_reduced_by_adaptation() {
             seed: 7,
             router_src: None,
             dual_segment: false,
+            segment_faults: None,
         })
     };
     let asp = mk(Adaptation::AspJit);

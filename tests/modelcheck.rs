@@ -93,6 +93,39 @@ fn buggy_asp_witnesses_replay_in_simulator() {
     }
 }
 
+/// The reliable relay's Violated verdict is a conservative
+/// over-approximation: the predicted NACK/retransmit loop needs the
+/// network to keep losing the retransmission, so it does *not* replay
+/// on a clean topology — and the baseline must carry the
+/// `witness=abstract` marker that tells the CI gate exactly that. If
+/// the checker ever learns to prove this cycle, or the replay starts
+/// confirming it, this pin flags the change.
+#[test]
+fn reliable_relay_witness_is_abstract() {
+    let src = read_asp("reliable_relay.planp");
+    let prog = planp::lang::compile_front(&src).expect("reliable_relay compiles");
+    let sum = summarize(&prog);
+    let mc = model_check(&prog, &sum, DEFAULT_STATE_BUDGET);
+    assert_eq!(mc.termination, Verdict::Violated);
+    assert!(!mc.witnesses.is_empty());
+
+    let rep = replay_asp(&src).expect("reliable_relay replays cleanly");
+    assert!(
+        !rep.confirmed_loop,
+        "the NACK cycle must not loop on a lossless network: {rep:?}"
+    );
+
+    let baseline = read_asp("MODELCHECK_BASELINE.txt");
+    let line = baseline
+        .lines()
+        .find(|l| l.starts_with("asps/reliable_relay.planp"))
+        .expect("reliable_relay is pinned in the baseline");
+    assert!(
+        line.ends_with("witness=abstract"),
+        "baseline must waive replay confirmation: {line}"
+    );
+}
+
 /// Refinement, cross-validated: on every bundled ASP, a screen accept
 /// implies an exhaustive accept — the model checker never overturns an
 /// acceptance, only rejections.
@@ -154,5 +187,5 @@ fn modelcheck_baseline_is_current() {
         assert_eq!(mc.termination.as_str(), want_term, "{path}");
         assert_eq!(mc.delivery.as_str(), want_del, "{path}");
     }
-    assert_eq!(baseline.lines().count(), 16, "one line per checked ASP");
+    assert_eq!(baseline.lines().count(), 19, "one line per checked ASP");
 }

@@ -406,6 +406,12 @@ fn asp_files_match_embedded_sources() {
         ),
         ("mpeg_monitor", planp::apps::mpeg::MPEG_MONITOR_ASP),
         ("mpeg_capture", planp::apps::mpeg::MPEG_CAPTURE_ASP),
+        ("reliable_relay", planp::apps::chaos::RELIABLE_RELAY_ASP),
+        ("buggy/fragile_relay", planp::apps::chaos::FRAGILE_RELAY_ASP),
+        (
+            "audio_router_chaos",
+            planp::apps::chaos::AUDIO_ROUTER_CHAOS_ASP,
+        ),
     ];
     let root = env!("CARGO_MANIFEST_DIR");
     for (name, src) in progs {
