@@ -1,15 +1,27 @@
 //! Rust traffic applications for the chaos experiments: a paced
 //! sequence-stamped source that answers NACKs with retransmissions,
 //! and a collector that counts unique and duplicated deliveries.
+//!
+//! Both apps mirror their headline counters into the shared metrics
+//! registry (`chaos.sent`, `chaos.unique`) through pre-registered
+//! [`CounterId`] handles, so windowed SLO rules (the delivery-floor
+//! rule of the health monitor) can watch the stream live without any
+//! per-event string hashing.
 
 use super::asp::{DATA_PORT, NACK_PORT};
 use bytes::Bytes;
 use netsim::packet::Packet;
 use netsim::{App, NodeApi};
+use planp_telemetry::CounterId;
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
 use std::time::Duration;
+
+/// Registry counter for first transmissions from the source.
+pub const SENT_COUNTER: &str = "chaos.sent";
+/// Registry counter for distinct sequences the collector received.
+pub const UNIQUE_COUNTER: &str = "chaos.unique";
 
 /// Bytes of filler after the 8-byte sequence number.
 const FILLER: usize = 56;
@@ -46,6 +58,7 @@ pub struct SeqSource {
     interval: Duration,
     tail_resends: u32,
     next: u64,
+    c_sent: Option<CounterId>,
     /// Shared counters.
     pub stats: Rc<RefCell<SeqSourceStats>>,
 }
@@ -59,6 +72,7 @@ impl SeqSource {
             interval,
             tail_resends: 4,
             next: 0,
+            c_sent: None,
             stats: Rc::new(RefCell::new(SeqSourceStats::default())),
         }
     }
@@ -66,6 +80,7 @@ impl SeqSource {
 
 impl App for SeqSource {
     fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.c_sent = Some(api.telemetry().metrics.register_counter(SENT_COUNTER));
         api.set_timer(self.interval, 0);
     }
 
@@ -87,6 +102,9 @@ impl App for SeqSource {
             api.send(data_packet(api.addr(), self.dst, self.next));
             self.next += 1;
             self.stats.borrow_mut().sent += 1;
+            if let Some(id) = self.c_sent {
+                api.telemetry().metrics.inc_id(id);
+            }
             api.set_timer(self.interval, 0);
         } else if self.tail_resends > 0 && self.count > 0 {
             self.tail_resends -= 1;
@@ -119,6 +137,7 @@ pub struct SeqCollectorStats {
 /// duplicates, and corrupted payloads.
 pub struct SeqCollector {
     seen: HashSet<u64>,
+    c_unique: Option<CounterId>,
     /// Shared counters.
     pub stats: Rc<RefCell<SeqCollectorStats>>,
 }
@@ -128,6 +147,7 @@ impl SeqCollector {
     pub fn new() -> Self {
         SeqCollector {
             seen: HashSet::new(),
+            c_unique: None,
             stats: Rc::new(RefCell::new(SeqCollectorStats::default())),
         }
     }
@@ -140,7 +160,11 @@ impl Default for SeqCollector {
 }
 
 impl App for SeqCollector {
-    fn on_packet(&mut self, _api: &mut NodeApi<'_>, pkt: Packet) {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.c_unique = Some(api.telemetry().metrics.register_counter(UNIQUE_COUNTER));
+    }
+
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: Packet) {
         let is_data = pkt
             .udp_hdr()
             .is_some_and(|u| u.dport == DATA_PORT && pkt.payload.len() >= 8);
@@ -154,6 +178,10 @@ impl App for SeqCollector {
         }
         if self.seen.insert(seq) {
             stats.unique += 1;
+            drop(stats);
+            if let Some(id) = self.c_unique {
+                api.telemetry().metrics.inc_id(id);
+            }
         } else {
             stats.duplicates += 1;
         }

@@ -11,4 +11,6 @@ pub use apps::{SeqCollector, SeqCollectorStats, SeqSource, SeqSourceStats};
 pub use asp::{
     AUDIO_ROUTER_CHAOS_ASP, DATA_PORT, FRAGILE_RELAY_ASP, NACK_PORT, RELIABLE_RELAY_ASP,
 };
-pub use scenario::{run_relay_chaos, RelayChaosConfig, RelayChaosResult, RelayKind};
+pub use scenario::{
+    chaos_slo_rules, run_relay_chaos, ChaosHealth, RelayChaosConfig, RelayChaosResult, RelayKind,
+};

@@ -25,7 +25,7 @@ use planp_analysis::cost::cost_bounds;
 use planp_analysis::Policy;
 use planp_lang::compile_front;
 use planp_runtime::{LayerConfig, RecoveryService};
-use planp_telemetry::MetricsSnapshot;
+use planp_telemetry::{CounterSel, HealthMonitor, MetricsSnapshot, SloRule, TraceConfig};
 use std::time::Duration;
 
 /// Number of relays between the source and the destination.
@@ -91,6 +91,14 @@ pub struct RelayChaosConfig {
     pub duration_s: u64,
     /// Random seed (drives load jitter *and* every fault coin flip).
     pub seed: u64,
+    /// Trace configuration (off by default; the health monitor and
+    /// flight recorder do not depend on it).
+    pub trace: TraceConfig,
+    /// Health-monitor window in milliseconds. `Some(ms)` installs the
+    /// standard SLO rule set ([`chaos_slo_rules`]) evaluated every `ms`
+    /// of simulation time, with the middle relay's flight-recorder
+    /// window frozen on the first breach.
+    pub monitor_ms: Option<u64>,
 }
 
 impl RelayChaosConfig {
@@ -106,6 +114,8 @@ impl RelayChaosConfig {
             interval_ms: 2,
             duration_s: 5,
             seed: 7,
+            trace: TraceConfig::default(),
+            monitor_ms: None,
         }
     }
 
@@ -113,6 +123,66 @@ impl RelayChaosConfig {
     pub fn loss(kind: RelayKind, p: f64) -> Self {
         RelayChaosConfig::new(kind, LinkFaults::loss(p))
     }
+}
+
+/// The standard chaos SLO rule set, windowed over the monitor interval:
+///
+/// * `delivery_floor` — distinct sequences reaching the collector per
+///   first transmission must stay ≥ 95% per window (the PR 5 headline:
+///   the reliable relay holds this under 5% per-link loss, the fragile
+///   one violates it at 10%).
+/// * `hop_p99` — 99th-percentile link hop latency (enqueue →
+///   tx-complete) per window, capped at 50 ms.
+/// * `queue_p99` — 99th-percentile link queue depth at enqueue, capped
+///   at 48 packets (the chain's queues hold 64).
+/// * `fault_drop_burst` — fault-injected link drops per window, capped
+///   at 200 (a whole-window partition trips it; steady Bernoulli loss
+///   does not).
+pub fn chaos_slo_rules() -> Vec<SloRule> {
+    vec![
+        SloRule::RatioFloor {
+            name: "delivery_floor".into(),
+            num: CounterSel::exact(super::apps::UNIQUE_COUNTER),
+            den: CounterSel::exact(super::apps::SENT_COUNTER),
+            floor_ppm: 950_000,
+            min_den: 20,
+        },
+        SloRule::QuantileCeiling {
+            name: "hop_p99".into(),
+            hist: "sim.hop_latency_ns".into(),
+            q_pm: 990,
+            ceiling: 50_000_000,
+        },
+        SloRule::QuantileCeiling {
+            name: "queue_p99".into(),
+            hist: "sim.queue_depth".into(),
+            q_pm: 990,
+            ceiling: 48,
+        },
+        SloRule::CounterCeiling {
+            name: "fault_drop_burst".into(),
+            sel: CounterSel::wildcard("link", ".fault_drops"),
+            ceiling: 200,
+        },
+    ]
+}
+
+/// What the health monitor saw during a chaos run (present when
+/// [`RelayChaosConfig::monitor_ms`] was set).
+#[derive(Debug, Clone)]
+pub struct ChaosHealth {
+    /// The monitor's byte-stable windowed report.
+    pub report: String,
+    /// Breached windows across every rule.
+    pub breaches: u64,
+    /// Breached windows of the `delivery_floor` rule alone.
+    pub delivery_breaches: u64,
+    /// Whether the last judged delivery window was back above the
+    /// floor — the recovery signal after an outage.
+    pub delivery_recovered: Option<bool>,
+    /// Flight-recorder dumps (crashes and the first SLO breach),
+    /// rendered byte-stably.
+    pub flight: String,
 }
 
 /// What one chaos run produced.
@@ -153,6 +223,8 @@ pub struct RelayChaosResult {
     pub sends_bound: u64,
     /// Final metrics snapshot (byte-stable for a given seed + plan).
     pub snapshot: MetricsSnapshot,
+    /// Health-monitor outcome, when one was configured.
+    pub health: Option<ChaosHealth>,
 }
 
 impl RelayChaosResult {
@@ -183,6 +255,7 @@ impl RelayChaosResult {
 /// computed from its front-end output).
 pub fn run_relay_chaos(cfg: &RelayChaosConfig) -> RelayChaosResult {
     let mut sim = Sim::new(cfg.seed);
+    sim.telemetry.trace.configure(cfg.trace);
 
     let source = sim.add_host("source", addr(10, 0, 0, 1));
     let mut relays = Vec::with_capacity(RELAYS);
@@ -237,7 +310,26 @@ pub fn run_relay_chaos(cfg: &RelayChaosConfig) -> RelayChaosResult {
     }
     sim.apply_fault_plan(plan);
 
+    if let Some(ms) = cfg.monitor_ms {
+        let mut mon = HealthMonitor::new(ms.max(1) * 1_000_000);
+        for rule in chaos_slo_rules() {
+            mon = mon.rule(rule);
+        }
+        // The crash schedule targets the middle relay; freeze its
+        // recent flight-recorder window on the first breached rule.
+        mon.dump_on_breach = vec![relays[RELAYS / 2].0 as u32];
+        sim.monitor = Some(mon);
+    }
+
     sim.run_until(SimTime::from_secs(cfg.duration_s));
+
+    let health = sim.monitor.take().map(|mon| ChaosHealth {
+        report: mon.render_report(),
+        breaches: mon.breaches(),
+        delivery_breaches: mon.breaches_of("delivery_floor"),
+        delivery_recovered: mon.last_ok("delivery_floor"),
+        flight: sim.telemetry.flight.render_dumps(&sim.telemetry.nodes),
+    });
 
     // Static linearity bound of the data path ("network" channel): the
     // cap on how far an injected duplicate can amplify.
@@ -277,6 +369,7 @@ pub fn run_relay_chaos(cfg: &RelayChaosConfig) -> RelayChaosResult {
         sum_fault_drops: sim.links().map(|l| l.fault_drops).sum(),
         sends_bound,
         snapshot: sim.metrics_snapshot(),
+        health,
     }
 }
 

@@ -14,7 +14,9 @@
 //! Plus the robustness study that stresses all of it:
 //!
 //! * [`chaos`] — a relay chain under seeded fault injection, comparing
-//!   a NACK-driven reliable relay against a retransmission-free control.
+//!   a NACK-driven reliable relay against a retransmission-free control;
+//! * [`obs`] — a ≥1k-node grid of parallel relay chains for measuring
+//!   telemetry overhead under deterministic trace sampling and budgets.
 
 #![warn(missing_docs)]
 
@@ -22,3 +24,4 @@ pub mod audio;
 pub mod chaos;
 pub mod http;
 pub mod mpeg;
+pub mod obs;

@@ -22,6 +22,10 @@
 //! Every stage also asserts the run's invariants (delivery thresholds,
 //! the drop-accounting identity, the static duplicate-amplification
 //! bound, recovery counts); a violated invariant aborts the binary.
+//!
+//! `--sample 1/N` turns on causal tracing with deterministic head
+//! sampling across every stage (default: tracing off). Sampling never
+//! perturbs the runs — the invariants hold at any rate.
 
 use netsim::LinkFaults;
 use planp_apps::audio::{run_audio, Adaptation, AudioConfig};
@@ -54,8 +58,37 @@ fn check_common(label: &str, res: &RelayChaosResult) {
     );
 }
 
+/// Parses `--sample 1/N` from the raw arguments (every other flag is
+/// handled by [`BenchOpts`]); exits on a malformed rate.
+fn sample_arg() -> u32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    for i in 0..argv.len() {
+        if argv[i] == "--sample" {
+            let spec = argv.get(i + 1).map(String::as_str).unwrap_or("");
+            match TraceConfig::parse_sample(spec) {
+                Ok(n) => return n,
+                Err(e) => {
+                    eprintln!("planp_chaos: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    1
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
+    let sample_n = sample_arg();
+    let trace = if sample_n > 1 {
+        TraceConfig::sampled(sample_n)
+    } else {
+        TraceConfig::default()
+    };
+    let traced = |mut cfg: RelayChaosConfig| {
+        cfg.trace = trace;
+        cfg
+    };
     let mut scalars: Vec<(String, f64)> = Vec::new();
 
     // --- 1. relay loss sweep -------------------------------------------
@@ -64,7 +97,7 @@ fn main() {
     for loss in [0.0, 0.05, 0.10, 0.20] {
         let mut row = vec![format!("{:.0}%", loss * 100.0)];
         for kind in [RelayKind::Reliable, RelayKind::Fragile] {
-            let res = run_relay_chaos(&RelayChaosConfig::loss(kind, loss));
+            let res = run_relay_chaos(&traced(RelayChaosConfig::loss(kind, loss)));
             check_common(&format!("loss {loss} {}", kind.name()), &res);
             let pct = (loss * 100.0) as u64;
             scalars.push((
@@ -123,7 +156,7 @@ fn main() {
             },
         );
         cfg.seed = 11;
-        let res = run_relay_chaos(&cfg);
+        let res = run_relay_chaos(&traced(cfg));
         check_common(&format!("dup {}", kind.name()), &res);
         scalars.push((
             format!("relay_{}_dup_duplicates", kind.name()),
@@ -145,7 +178,7 @@ fn main() {
     // --- 2. crash schedule ---------------------------------------------
     let mut cfg = RelayChaosConfig::loss(RelayKind::Reliable, 0.02);
     cfg.crash_relay = Some((0.25, 0.55));
-    let crash = run_relay_chaos(&cfg);
+    let crash = run_relay_chaos(&traced(cfg));
     check_common("crash", &crash);
     assert!(crash.redeploys >= 1, "crash run must redeploy");
     assert!(
@@ -167,7 +200,7 @@ fn main() {
     cfg.warmup_s = 4.0;
     cfg.gateway_src = Some(HTTP_GATEWAY_FAILOVER_ASP);
     cfg.crash_server1_at_s = Some(6.0);
-    let (http, _t, snap) = run_http_traced(&cfg, TraceConfig::default());
+    let (http, _t, snap) = run_http_traced(&cfg, trace);
     let corpse_drops = snap.counters["node.server1.dropped"];
     assert_eq!(corpse_drops, 0, "failover gateway leaked to dead backend");
     println!(

@@ -1,0 +1,135 @@
+//! `planp-health` — the live SLO health monitor over the chaos relay
+//! chain: windowed delivery-floor / latency / queue / fault-burst
+//! rules, with flight-recorder dumps frozen at crashes and at the
+//! first breached window.
+//!
+//! ```text
+//! cargo run --release -p planp-bench --bin planp_health -- --json
+//! ```
+//!
+//! Three monitored stages, all seeded (two runs of this binary produce
+//! byte-identical output; CI runs it twice and diffs):
+//!
+//! 1. **Fragile relay at 10% loss** — the delivery floor (95% per
+//!    window) breaches; the monitor freezes the middle relay's flight
+//!    recorder at the first breached window.
+//! 2. **Reliable relay at 5% loss** — NACK repair holds every window
+//!    above the floor: zero delivery breaches.
+//! 3. **Crash schedule** — the middle relay crashes mid-stream under
+//!    the reliable relay; the windows spanning the outage breach, the
+//!    post-restart windows recover, and the report carries the crashed
+//!    node's flight-recorder window (cause `crash`).
+//!
+//! Each stage asserts its verdict; a violated invariant aborts the
+//! binary.
+
+use planp_apps::chaos::{run_relay_chaos, RelayChaosConfig, RelayChaosResult, RelayKind};
+use planp_bench::{emit_bench, BenchOpts};
+
+/// Monitor window used by every stage (milliseconds of sim time).
+const WINDOW_MS: u64 = 250;
+
+fn monitored(mut cfg: RelayChaosConfig) -> RelayChaosConfig {
+    cfg.monitor_ms = Some(WINDOW_MS);
+    cfg
+}
+
+fn print_stage(title: &str, res: &RelayChaosResult) {
+    let health = res.health.as_ref().expect("monitored run");
+    println!("=== {title} ===");
+    print!("{}", health.report);
+    if health.flight.is_empty() {
+        println!("flight dumps: none");
+    } else {
+        print!("{}", health.flight);
+    }
+    println!(
+        "delivery {:.3}  breaches={} (delivery={})  recovered={}",
+        res.delivery_ratio,
+        health.breaches,
+        health.delivery_breaches,
+        match health.delivery_recovered {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "n/a",
+        }
+    );
+    println!();
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut scalars: Vec<(String, f64)> = Vec::new();
+
+    // --- 1. fragile relay: the floor must breach ------------------------
+    let fragile = run_relay_chaos(&monitored(RelayChaosConfig::loss(RelayKind::Fragile, 0.10)));
+    print_stage("fragile relay, 10% per-link loss", &fragile);
+    let fh = fragile.health.as_ref().unwrap();
+    assert!(
+        fh.delivery_breaches >= 1,
+        "fragile relay must violate the delivery floor: {}",
+        fh.report
+    );
+    assert!(
+        fh.flight.contains("node=r3"),
+        "first breach must freeze the middle relay's flight window:\n{}",
+        fh.flight
+    );
+    scalars.push((
+        "fragile_delivery_breaches".into(),
+        fh.delivery_breaches as f64,
+    ));
+    scalars.push(("fragile_breaches".into(), fh.breaches as f64));
+
+    // --- 2. reliable relay: every window healthy ------------------------
+    let reliable = run_relay_chaos(&monitored(RelayChaosConfig::loss(
+        RelayKind::Reliable,
+        0.05,
+    )));
+    print_stage("reliable relay, 5% per-link loss", &reliable);
+    let rh = reliable.health.as_ref().unwrap();
+    assert_eq!(
+        rh.delivery_breaches, 0,
+        "NACK repair must hold the floor: {}",
+        rh.report
+    );
+    assert_eq!(rh.delivery_recovered, Some(true));
+    scalars.push((
+        "reliable_delivery_breaches".into(),
+        rh.delivery_breaches as f64,
+    ));
+
+    // --- 3. crash schedule: breach during the outage, recover after ----
+    let mut cfg = RelayChaosConfig::loss(RelayKind::Reliable, 0.02);
+    cfg.crash_relay = Some((0.25, 0.55));
+    let crash = run_relay_chaos(&monitored(cfg));
+    print_stage("crash schedule (middle relay down 0.25-0.55 s)", &crash);
+    let ch = crash.health.as_ref().unwrap();
+    assert!(
+        ch.delivery_breaches >= 1,
+        "the outage windows must breach: {}",
+        ch.report
+    );
+    assert_eq!(
+        ch.delivery_recovered,
+        Some(true),
+        "post-restart windows must recover: {}",
+        ch.report
+    );
+    assert!(
+        ch.flight.contains("cause=crash") && ch.flight.contains("node=r3"),
+        "the crashed node's flight window must be in the report:\n{}",
+        ch.flight
+    );
+    assert!(crash.delivery_ratio >= 0.99, "repair covers the outage");
+    scalars.push((
+        "crash_delivery_breaches".into(),
+        ch.delivery_breaches as f64,
+    ));
+    scalars.push(("crash_breaches".into(), ch.breaches as f64));
+    scalars.push(("crash_delivery".into(), crash.delivery_ratio));
+
+    println!("all health invariants hold");
+    let scalar_refs: Vec<(&str, f64)> = scalars.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_bench(opts, "planp_health", &scalar_refs, &crash.snapshot);
+}

@@ -15,6 +15,8 @@
 //! * `--categories LIST` — comma-separated event categories to record
 //!   (`link,hop,deliver,drop,dispatch,exception,timer,span,vm` or
 //!   `all`; default `all`).
+//! * `--sample 1/N` — deterministic head sampling: keep 1 of every N
+//!   traces, whole lineages at a time (default `1/1`, keep all).
 //! * `--limit N` — print at most the last N events (default: all held).
 //! * `--jsonl` — machine form: one JSON object per line instead of the
 //!   human table.
@@ -33,6 +35,7 @@ struct Args {
     seed: Option<u64>,
     duration_s: u64,
     categories: Category,
+    sample_n: u32,
     limit: Option<usize>,
     jsonl: bool,
     metrics: bool,
@@ -44,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         duration_s: 20,
         categories: Category::ALL,
+        sample_n: 1,
         limit: None,
         jsonl: false,
         metrics: false,
@@ -75,6 +79,10 @@ fn parse_args() -> Result<Args, String> {
                 args.categories = Category::from_list(&value(&argv, i, "--categories")?)?;
                 i += 1;
             }
+            "--sample" => {
+                args.sample_n = TraceConfig::parse_sample(&value(&argv, i, "--sample")?)?;
+                i += 1;
+            }
             "--limit" => {
                 let v = value(&argv, i, "--limit")?;
                 args.limit = Some(v.parse().map_err(|_| format!("bad limit {v:?}"))?);
@@ -99,6 +107,7 @@ planp-trace: replay a scenario and dump its structured event log
   --seed N                     simulation seed
   --duration N                 simulated seconds (default 20)
   --categories LIST            link,hop,deliver,drop,dispatch,exception,timer,span,vm|all
+  --sample 1/N                 keep 1 of every N traces (whole lineages)
   --limit N                    print at most the last N events
   --jsonl                      one JSON object per line (machine form)
   --metrics                    also dump the metrics snapshot as JSON
@@ -107,6 +116,7 @@ planp-trace: replay a scenario and dump its structured event log
 fn replay(args: &Args) -> Result<(Telemetry, MetricsSnapshot), String> {
     let trace = TraceConfig {
         categories: args.categories,
+        sample_n: args.sample_n,
         ..TraceConfig::default()
     };
     match args.scenario.as_str() {
@@ -177,6 +187,13 @@ fn main() {
         held,
         held - skip
     );
+    if args.sample_n > 1 {
+        eprintln!(
+            "sampling 1/{}: {} event(s) of sampled-out traces suppressed",
+            telemetry.trace.sample_n(),
+            telemetry.trace.sampled_out()
+        );
+    }
     if args.metrics {
         println!("{}", metrics.to_json());
     }

@@ -14,6 +14,8 @@
 //!   (default `audio`, a short constant-load run).
 //! * `--seed N` — simulation seed (default: the scenario's default).
 //! * `--duration N` — simulated seconds (default 20; mpeg always 22).
+//! * `--sample 1/N` — deterministic head sampling: keep 1 of every N
+//!   traces (default `1/1`). Kept traces still render complete trees.
 //! * `--limit N` — print at most the first N span trees (default 10;
 //!   `0` means all). The summary always covers every trace.
 //! * `--chrome-json FILE` — write the full forest as Chrome
@@ -36,6 +38,7 @@ struct Args {
     scenario: String,
     seed: Option<u64>,
     duration_s: u64,
+    sample_n: u32,
     limit: usize,
     chrome_json: Option<String>,
     prom: Option<String>,
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         scenario: "audio".to_string(),
         seed: None,
         duration_s: 20,
+        sample_n: 1,
         limit: 10,
         chrome_json: None,
         prom: None,
@@ -71,6 +75,10 @@ fn parse_args() -> Result<Args, String> {
             "--duration" => {
                 let v = value(&argv, i, "--duration")?;
                 args.duration_s = v.parse().map_err(|_| format!("bad duration {v:?}"))?;
+                i += 1;
+            }
+            "--sample" => {
+                args.sample_n = TraceConfig::parse_sample(&value(&argv, i, "--sample")?)?;
                 i += 1;
             }
             "--limit" => {
@@ -102,6 +110,7 @@ planp-trace-tree: replay a scenario and render its causal span trees
   --scenario audio|http|mpeg   experiment to replay (default audio)
   --seed N                     simulation seed
   --duration N                 simulated seconds (default 20)
+  --sample 1/N                 keep 1 of every N traces (whole lineages)
   --limit N                    span trees to print (default 10, 0 = all)
   --chrome-json FILE           write Chrome trace_event JSON (Perfetto)
   --prom FILE                  write Prometheus text exposition
@@ -110,6 +119,7 @@ planp-trace-tree: replay a scenario and render its causal span trees
 fn replay(args: &Args) -> Result<(Telemetry, MetricsSnapshot), String> {
     let trace = TraceConfig {
         categories: Category::ALL,
+        sample_n: args.sample_n,
         ..TraceConfig::default()
     };
     match args.scenario.as_str() {

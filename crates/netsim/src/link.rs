@@ -65,6 +65,9 @@ pub(crate) struct Queued {
     /// Addressed receiver; `None` broadcasts to every other attached node
     /// (multicast on a segment).
     pub next_hop: Option<NodeId>,
+    /// Enqueue time in simulation nanoseconds; the hop-latency
+    /// histogram observes `tx_done - enq_ns` per transmitted packet.
+    pub enq_ns: u64,
 }
 
 /// Throughput measurement window.

@@ -149,7 +149,7 @@ pub struct ChannelTag {
 /// PLAN-P layer when an ASP re-emits a packet; left at the default for
 /// application ingress, where the simulator roots a fresh trace at
 /// first stamp.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Lineage {
     /// Trace (= root span) id; 0 until stamped.
     pub trace: u64,
@@ -159,6 +159,23 @@ pub struct Lineage {
     pub origin: planp_telemetry::SpanOrigin,
     /// Channel the creating ASP sent it on, if any.
     pub chan: Option<Rc<str>>,
+    /// Whether this trace was kept by the head sampler. Decided once at
+    /// the root stamp and inherited by every descendant packet, so a
+    /// kept trace keeps its *complete* span tree. Defaults to `true`
+    /// (unstamped packets are presumed kept until the root decision).
+    pub sampled: bool,
+}
+
+impl Default for Lineage {
+    fn default() -> Self {
+        Lineage {
+            trace: 0,
+            parent: 0,
+            origin: planp_telemetry::SpanOrigin::default(),
+            chan: None,
+            sampled: true,
+        }
+    }
 }
 
 /// A simulated packet.

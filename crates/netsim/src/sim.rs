@@ -12,7 +12,8 @@ use crate::stats::SeriesStore;
 use crate::time::SimTime;
 use bytes::Bytes;
 use planp_telemetry::{
-    Category, DispatchOutcome, DropReason, Histogram, MetricsSnapshot, Telemetry, TraceEvent,
+    Category, DispatchOutcome, DropReason, FlightEvent, FlightKind, HealthMonitor, Histogram,
+    MetricsSnapshot, ShardedCounterSet, Telemetry, TraceEvent,
 };
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -113,6 +114,23 @@ pub struct Sim {
     faults_enabled: bool,
     /// Aggregate fault-injection counters.
     pub fault_stats: FaultStats,
+    /// Hop latency (link enqueue → transmit complete) in nanoseconds,
+    /// across every link. Kept out of the registry so the hot path
+    /// never formats a metric name; exported as `sim.hop_latency_ns`.
+    hop_latency: Histogram,
+    /// Live SLO monitor, evaluated at its sim-time boundaries inside
+    /// `run_until` / `run_to_idle`. `None` (the default) costs one
+    /// branch per event.
+    pub monitor: Option<HealthMonitor>,
+    /// Set once the first SLO breach has frozen the monitor's
+    /// `dump_on_breach` flight windows — only the first breach dumps,
+    /// keeping post-mortem reports bounded under sustained outages.
+    breach_dumped: bool,
+    /// Above this many nodes `metrics_snapshot` folds per-node and
+    /// per-link counters into aggregate `nodes.*` / `links.*` totals
+    /// instead of one key per node, keeping snapshots O(1) at 100k+
+    /// nodes.
+    compact_metrics_threshold: usize,
 }
 
 impl Sim {
@@ -137,7 +155,23 @@ impl Sim {
             partition: Vec::new(),
             faults_enabled: false,
             fault_stats: FaultStats::default(),
+            hop_latency: Histogram::new(),
+            monitor: None,
+            breach_dumped: false,
+            compact_metrics_threshold: 512,
         }
+    }
+
+    /// Sets the node count above which [`Sim::metrics_snapshot`]
+    /// switches to the compact aggregate layout (default 512).
+    pub fn set_compact_metrics_threshold(&mut self, n: usize) {
+        self.compact_metrics_threshold = n;
+    }
+
+    /// The engine-wide hop-latency histogram (link enqueue → transmit
+    /// complete, nanoseconds).
+    pub fn hop_latency(&self) -> &Histogram {
+        &self.hop_latency
     }
 
     /// Assigns the packet a fresh id on its first entry into a send
@@ -152,9 +186,17 @@ impl Sim {
         self.next_pkt_id += 1;
         pkt.id = self.next_pkt_id;
         if pkt.lineage.trace == 0 {
+            // Root of a fresh trace: the head-sampling decision is made
+            // exactly once, here, and inherited by every descendant
+            // packet — a kept trace keeps its complete span tree.
             pkt.lineage.trace = pkt.id;
+            pkt.lineage.sampled = self.telemetry.trace.keep_trace(pkt.lineage.trace);
         }
-        if self.telemetry.trace.wants(Category::SPAN) {
+        if self
+            .telemetry
+            .trace
+            .wants_pkt(Category::SPAN, pkt.lineage.sampled)
+        {
             self.telemetry.trace.push(TraceEvent::SpanStart {
                 t_ns: self.now.as_nanos(),
                 node: node.0 as u32,
@@ -168,8 +210,19 @@ impl Sim {
     }
 
     #[inline]
-    fn trace_node_drop(&mut self, node: NodeId, pkt: u64, reason: DropReason) {
-        if self.telemetry.trace.wants(Category::DROP) {
+    fn trace_node_drop(&mut self, node: NodeId, pkt: u64, sampled: bool, reason: DropReason) {
+        // The flight recorder is always on: a drop lands in the node's
+        // post-mortem ring even when tracing is off or sampled out.
+        self.telemetry.flight.record(
+            node.0 as u32,
+            FlightEvent {
+                t_ns: self.now.as_nanos(),
+                kind: FlightKind::Drop,
+                pkt,
+                detail: reason.index(),
+            },
+        );
+        if self.telemetry.trace.wants_pkt(Category::DROP, sampled) {
             self.telemetry.trace.push(TraceEvent::NodeDrop {
                 t_ns: self.now.as_nanos(),
                 node: node.0 as u32,
@@ -394,8 +447,10 @@ impl Sim {
             let ev = self.queue.pop().expect("peeked");
             self.now = ev.at;
             self.process(ev.kind);
+            self.monitor_tick();
         }
         self.now = self.now.max(t);
+        self.monitor_tick();
     }
 
     /// Runs for `d` more simulated time.
@@ -413,9 +468,69 @@ impl Sim {
             let Some(ev) = self.queue.pop() else { break };
             self.now = ev.at;
             self.process(ev.kind);
+            self.monitor_tick();
             n += 1;
         }
         n
+    }
+
+    /// Evaluates the health monitor at every boundary `now` has
+    /// reached: emits `health` trace events for judged windows and, on
+    /// the first breach, freezes the flight-recorder windows of the
+    /// monitor's `dump_on_breach` nodes.
+    fn monitor_tick(&mut self) {
+        let due = self
+            .monitor
+            .as_ref()
+            .is_some_and(|m| m.due(self.now.as_nanos()));
+        if !due {
+            return;
+        }
+        let Some(mut mon) = self.monitor.take() else {
+            return;
+        };
+        while mon.due(self.now.as_nanos()) {
+            let snap = self.metrics_snapshot();
+            let mut qdepth = Histogram::new();
+            for h in &self.link_qdepth {
+                qdepth.merge(h);
+            }
+            let samples = mon.evaluate(
+                &snap,
+                &[
+                    ("sim.hop_latency_ns", &self.hop_latency),
+                    ("sim.queue_depth", &qdepth),
+                ],
+            );
+            let mut breach: Option<String> = None;
+            for s in &samples {
+                if s.skipped {
+                    continue;
+                }
+                if self.telemetry.trace.wants(Category::HEALTH) {
+                    self.telemetry.trace.push(TraceEvent::Health {
+                        t_ns: s.t_ns,
+                        rule: Rc::from(s.rule.as_str()),
+                        ok: s.ok,
+                        value: s.value,
+                        threshold: s.threshold,
+                    });
+                }
+                if !s.ok && breach.is_none() {
+                    breach = Some(s.rule.clone());
+                }
+            }
+            if let Some(cause) = breach {
+                if !self.breach_dumped && !mon.dump_on_breach.is_empty() {
+                    self.breach_dumped = true;
+                    let t = samples.first().map_or(self.now.as_nanos(), |s| s.t_ns);
+                    for &n in &mon.dump_on_breach {
+                        self.telemetry.flight.dump(n, t, &cause);
+                    }
+                }
+            }
+        }
+        self.monitor = Some(mon);
     }
 
     fn ensure_started(&mut self) {
@@ -492,7 +607,7 @@ impl Sim {
     fn arrive(&mut self, node: NodeId, pkt: Packet, via: Option<LinkId>, overheard: bool) {
         if self.nodes[node.0].down {
             self.nodes[node.0].dropped += 1;
-            self.trace_node_drop(node, pkt.id, DropReason::NodeDown);
+            self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NodeDown);
             return;
         }
         // CPU model: non-overheard packets queue for processing time.
@@ -502,8 +617,8 @@ impl Sim {
                 let n = &mut self.nodes[node.0];
                 if n.cpu_queue.len() >= cpu.queue_cap {
                     n.cpu_drops += 1;
-                    let pkt_id = pkt.id;
-                    self.trace_node_drop(node, pkt_id, DropReason::CpuOverflow);
+                    let (pkt_id, sampled) = (pkt.id, pkt.lineage.sampled);
+                    self.trace_node_drop(node, pkt_id, sampled, DropReason::CpuOverflow);
                     return;
                 }
                 n.cpu_queue.push_back((pkt, via, overheard));
@@ -571,7 +686,7 @@ impl Sim {
                 let mut fwd = pkt;
                 if fwd.ip.ttl <= 1 {
                     self.nodes[node.0].dropped += 1;
-                    self.trace_node_drop(node, fwd.id, DropReason::TtlExpired);
+                    self.trace_node_drop(node, fwd.id, fwd.lineage.sampled, DropReason::TtlExpired);
                     return;
                 }
                 fwd.ip.ttl -= 1;
@@ -596,7 +711,7 @@ impl Sim {
             let mut fwd = pkt;
             if fwd.ip.ttl <= 1 {
                 self.nodes[node.0].dropped += 1;
-                self.trace_node_drop(node, fwd.id, DropReason::TtlExpired);
+                self.trace_node_drop(node, fwd.id, fwd.lineage.sampled, DropReason::TtlExpired);
                 return;
             }
             fwd.ip.ttl -= 1;
@@ -607,12 +722,12 @@ impl Sim {
                 }
                 None => {
                     self.nodes[node.0].dropped += 1;
-                    self.trace_node_drop(node, fwd.id, DropReason::NoRoute);
+                    self.trace_node_drop(node, fwd.id, fwd.lineage.sampled, DropReason::NoRoute);
                 }
             }
         } else {
             self.nodes[node.0].dropped += 1;
-            self.trace_node_drop(node, pkt.id, DropReason::NotAddressed);
+            self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NotAddressed);
         }
     }
 
@@ -621,7 +736,20 @@ impl Sim {
         self.nodes[node.0].delivered += 1;
         for app in 0..self.nodes[node.0].apps.len() {
             if let Some(mut a) = self.nodes[node.0].apps[app].take() {
-                if self.telemetry.trace.wants(Category::DELIVER) {
+                self.telemetry.flight.record(
+                    node.0 as u32,
+                    FlightEvent {
+                        t_ns: self.now.as_nanos(),
+                        kind: FlightKind::Deliver,
+                        pkt: pkt.id,
+                        detail: app as u32,
+                    },
+                );
+                if self
+                    .telemetry
+                    .trace
+                    .wants_pkt(Category::DELIVER, pkt.lineage.sampled)
+                {
                     self.telemetry.trace.push(TraceEvent::Deliver {
                         t_ns: self.now.as_nanos(),
                         node: node.0 as u32,
@@ -642,7 +770,11 @@ impl Sim {
 
     #[inline]
     fn trace_forward(&mut self, node: NodeId, pkt: &Packet, link: LinkId) {
-        if self.telemetry.trace.wants(Category::HOP) {
+        if self
+            .telemetry
+            .trace
+            .wants_pkt(Category::HOP, pkt.lineage.sampled)
+        {
             self.telemetry.trace.push(TraceEvent::Forward {
                 t_ns: self.now.as_nanos(),
                 node: node.0 as u32,
@@ -658,7 +790,7 @@ impl Sim {
         self.stamp(node, &mut pkt);
         if pkt.ip.ttl == 0 {
             self.nodes[node.0].dropped += 1;
-            self.trace_node_drop(node, pkt.id, DropReason::TtlExpired);
+            self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::TtlExpired);
             return;
         }
         if pkt.ip.is_multicast() {
@@ -669,7 +801,7 @@ impl Sim {
                 .unwrap_or_default();
             if links.is_empty() {
                 self.nodes[node.0].dropped += 1;
-                self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
+                self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
             }
             for l in links {
                 self.enqueue_on_link(l, node, None, pkt.clone());
@@ -693,7 +825,7 @@ impl Sim {
             Some((link, next_hop)) => self.enqueue_on_link(link, node, Some(next_hop), pkt),
             None => {
                 self.nodes[node.0].dropped += 1;
-                self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
+                self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
             }
         }
     }
@@ -702,14 +834,14 @@ impl Sim {
         self.stamp(node, &mut pkt);
         let Some(&neighbor) = self.addr_map.get(&neighbor_addr) else {
             self.nodes[node.0].dropped += 1;
-            self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
+            self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
             return;
         };
         match self.common_link(node, neighbor) {
             Some(link) => self.enqueue_on_link(link, node, Some(neighbor), pkt),
             None => {
                 self.nodes[node.0].dropped += 1;
-                self.trace_node_drop(node, pkt.id, DropReason::NoRoute);
+                self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
             }
         }
     }
@@ -731,11 +863,12 @@ impl Sim {
     ) {
         let bytes = pkt.wire_size() as u32;
         let pid = pkt.id;
+        let sampled = pkt.lineage.sampled;
         if self.links[link_id.0].fault_down {
             self.links[link_id.0].fault_drops += 1;
             self.total_link_drops += 1;
             self.fault_stats.link_down_drops += 1;
-            self.trace_node_drop(from, pid, DropReason::LinkFaultDown);
+            self.trace_node_drop(from, pid, sampled, DropReason::LinkFaultDown);
             self.trace_fault("link_down_drop", Some(from), Some(link_id), pid);
             return;
         }
@@ -743,6 +876,7 @@ impl Sim {
             pkt,
             from,
             next_hop,
+            enq_ns: self.now.as_nanos(),
         };
         let now = self.now;
         let link = &mut self.links[link_id.0];
@@ -761,7 +895,7 @@ impl Sim {
         let qlen = self.links[link_id.0].queue_len() as u64;
         self.link_qdepth[link_id.0].observe(qlen);
         if link_dropped {
-            if self.telemetry.trace.wants(Category::DROP) {
+            if self.telemetry.trace.wants_pkt(Category::DROP, sampled) {
                 self.telemetry.trace.push(TraceEvent::LinkDrop {
                     t_ns: now.as_nanos(),
                     link: link_id.0 as u32,
@@ -769,7 +903,7 @@ impl Sim {
                     pkt: pid,
                 });
             }
-        } else if self.telemetry.trace.wants(Category::LINK) {
+        } else if self.telemetry.trace.wants_pkt(Category::LINK, sampled) {
             self.telemetry.trace.push(TraceEvent::LinkEnqueue {
                 t_ns: now.as_nanos(),
                 link: link_id.0 as u32,
@@ -789,6 +923,9 @@ impl Sim {
             .take()
             .expect("TxDone without transmission");
         link.account(now, q.pkt.wire_size());
+        self.hop_latency
+            .observe(now.as_nanos().saturating_sub(q.enq_ns));
+        let link = &mut self.links[link_id.0];
         let delay = link.spec.delay;
         let receivers: Vec<(NodeId, bool)> = match q.next_hop {
             Some(nh) => {
@@ -819,7 +956,11 @@ impl Sim {
             link.transmitting = Some(next);
             self.push_event(now + dur, EvKind::TxDone { link: link_id });
         }
-        if self.telemetry.trace.wants(Category::LINK) {
+        if self
+            .telemetry
+            .trace
+            .wants_pkt(Category::LINK, q.pkt.lineage.sampled)
+        {
             self.telemetry.trace.push(TraceEvent::LinkTx {
                 t_ns: now.as_nanos(),
                 link: link_id.0 as u32,
@@ -839,13 +980,27 @@ impl Sim {
             if self.faults_enabled {
                 if self.partition_blocks(q.from, n) {
                     self.fault_stats.partition_drops += 1;
-                    self.fault_copy_drop(link_id, n, pkt.id, DropReason::Partitioned, "partition");
+                    self.fault_copy_drop(
+                        link_id,
+                        n,
+                        pkt.id,
+                        pkt.lineage.sampled,
+                        DropReason::Partitioned,
+                        "partition",
+                    );
                     continue;
                 }
                 if !faults.is_clean() {
                     if faults.loss > 0.0 && self.fault_rng.next_f64() < faults.loss {
                         self.fault_stats.loss_drops += 1;
-                        self.fault_copy_drop(link_id, n, pkt.id, DropReason::FaultLoss, "loss");
+                        self.fault_copy_drop(
+                            link_id,
+                            n,
+                            pkt.id,
+                            pkt.lineage.sampled,
+                            DropReason::FaultLoss,
+                            "loss",
+                        );
                         continue;
                     }
                     if faults.corrupt > 0.0
@@ -983,6 +1138,11 @@ impl Sim {
         n.dropped += lost;
         self.fault_stats.crashes += 1;
         self.trace_fault("crash", Some(node), None, 0);
+        // Freeze the node's post-mortem window: what it saw in its
+        // final moments, even when tracing was off.
+        self.telemetry
+            .flight
+            .dump(node.0 as u32, self.now.as_nanos(), "crash");
     }
 
     /// Restarts a crashed node and gives every application an
@@ -1014,12 +1174,13 @@ impl Sim {
         link: LinkId,
         to: NodeId,
         pkt: u64,
+        sampled: bool,
         reason: DropReason,
         kind: &'static str,
     ) {
         self.links[link.0].fault_drops += 1;
         self.total_link_drops += 1;
-        self.trace_node_drop(to, pkt, reason);
+        self.trace_node_drop(to, pkt, sampled, reason);
         self.trace_fault(kind, Some(to), Some(link), pkt);
     }
 
@@ -1030,6 +1191,27 @@ impl Sim {
         link: Option<LinkId>,
         pkt: u64,
     ) {
+        if let Some(n) = node {
+            // Always-on flight recording; drop kinds skip the extra
+            // entry because trace_node_drop already recorded the drop.
+            let fk = match kind {
+                "crash" => Some(FlightKind::Crash),
+                "restart" => Some(FlightKind::Restart),
+                "partition" | "loss" | "link_down_drop" => None,
+                _ => Some(FlightKind::Fault),
+            };
+            if let Some(fk) = fk {
+                self.telemetry.flight.record(
+                    n.0 as u32,
+                    FlightEvent {
+                        t_ns: self.now.as_nanos(),
+                        kind: fk,
+                        pkt,
+                        detail: 0,
+                    },
+                );
+            }
+        }
         if self.telemetry.trace.wants(Category::FAULT) {
             self.telemetry.trace.push(TraceEvent::Fault {
                 t_ns: self.now.as_nanos(),
@@ -1061,27 +1243,31 @@ impl Sim {
     ///   been configured (so clean runs keep their key set)
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.telemetry.metrics.snapshot();
-        for node in &self.nodes {
-            snap.set_counter(format!("node.{}.delivered", node.name), node.delivered);
-            snap.set_counter(format!("node.{}.dropped", node.name), node.dropped);
-            snap.set_counter(format!("node.{}.cpu_drops", node.name), node.cpu_drops);
-            if node.crashes > 0 {
-                snap.set_counter(format!("node.{}.crashes", node.name), node.crashes);
+        if self.nodes.len() > self.compact_metrics_threshold {
+            self.compact_counters(&mut snap);
+        } else {
+            for node in &self.nodes {
+                snap.set_counter(format!("node.{}.delivered", node.name), node.delivered);
+                snap.set_counter(format!("node.{}.dropped", node.name), node.dropped);
+                snap.set_counter(format!("node.{}.cpu_drops", node.name), node.cpu_drops);
+                if node.crashes > 0 {
+                    snap.set_counter(format!("node.{}.crashes", node.name), node.crashes);
+                }
+                if node.state_lost > 0 {
+                    snap.set_counter(format!("node.{}.state_lost", node.name), node.state_lost);
+                }
             }
-            if node.state_lost > 0 {
-                snap.set_counter(format!("node.{}.state_lost", node.name), node.state_lost);
-            }
-        }
-        for (i, link) in self.links.iter().enumerate() {
-            snap.set_counter(format!("link{i}.tx_packets"), link.tx_packets);
-            snap.set_counter(format!("link{i}.tx_bytes"), link.tx_bytes);
-            snap.set_counter(format!("link{i}.drops"), link.drops);
-            if link.fault_drops > 0 {
-                snap.set_counter(format!("link{i}.fault_drops"), link.fault_drops);
-            }
-            let h = &self.link_qdepth[i];
-            if h.count() > 0 {
-                snap.set_histogram(format!("link{i}.queue_depth"), h);
+            for (i, link) in self.links.iter().enumerate() {
+                snap.set_counter(format!("link{i}.tx_packets"), link.tx_packets);
+                snap.set_counter(format!("link{i}.tx_bytes"), link.tx_bytes);
+                snap.set_counter(format!("link{i}.drops"), link.drops);
+                if link.fault_drops > 0 {
+                    snap.set_counter(format!("link{i}.fault_drops"), link.fault_drops);
+                }
+                let h = &self.link_qdepth[i];
+                if h.count() > 0 {
+                    snap.set_histogram(format!("link{i}.queue_depth"), h);
+                }
             }
         }
         snap.set_counter("sim.link_drops_total", self.total_link_drops);
@@ -1089,6 +1275,17 @@ impl Sim {
         snap.set_counter("sim.packets", self.next_pkt_id);
         snap.set_counter("sim.trace_recorded", self.telemetry.trace.recorded());
         snap.set_counter("sim.trace_evicted", self.telemetry.trace.evicted());
+        if self.hop_latency.count() > 0 {
+            snap.set_histogram("sim.hop_latency_ns", &self.hop_latency);
+        }
+        let oh = self.telemetry.trace.overhead();
+        if oh.sample_n > 1 || oh.sampled_out > 0 || oh.rate_limited > 0 || oh.downgrades > 0 {
+            snap.set_counter("sim.trace_sampled_out", oh.sampled_out);
+            snap.set_counter("sim.trace_rate_limited", oh.rate_limited);
+            snap.set_counter("sim.trace_downgrades", u64::from(oh.downgrades));
+            snap.set_counter("sim.trace_sample_n", u64::from(oh.sample_n));
+            snap.set_counter("sim.trace_est_bytes", oh.est_bytes);
+        }
         if self.faults_enabled {
             let f = &self.fault_stats;
             snap.set_counter("sim.fault_loss_drops", f.loss_drops);
@@ -1101,6 +1298,49 @@ impl Sim {
             snap.set_counter("sim.fault_restarts", f.restarts);
         }
         snap
+    }
+
+    /// The compact snapshot layout used past the node-count threshold:
+    /// per-node and per-link counters fold — via a deterministic
+    /// sharded merge — into `nodes.*` / `links.*` aggregates, so a
+    /// 100k-node snapshot stays a handful of keys instead of 500k.
+    fn compact_counters(&self, snap: &mut MetricsSnapshot) {
+        const NODE_KEYS: [&str; 5] = ["delivered", "dropped", "cpu_drops", "crashes", "state_lost"];
+        let mut nodes = ShardedCounterSet::new(16, NODE_KEYS.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            nodes.add(i, 0, node.delivered);
+            nodes.add(i, 1, node.dropped);
+            nodes.add(i, 2, node.cpu_drops);
+            nodes.add(i, 3, node.crashes);
+            nodes.add(i, 4, node.state_lost);
+        }
+        snap.set_counter("nodes.count", self.nodes.len() as u64);
+        for (k, v) in NODE_KEYS.iter().zip(nodes.merged()) {
+            // Rare-event totals keep the sparse convention: present
+            // only when nonzero, like their per-node counterparts.
+            if v > 0 || matches!(*k, "delivered" | "dropped" | "cpu_drops") {
+                snap.set_counter(format!("nodes.{k}"), v);
+            }
+        }
+        const LINK_KEYS: [&str; 4] = ["tx_packets", "tx_bytes", "drops", "fault_drops"];
+        let mut links = ShardedCounterSet::new(16, LINK_KEYS.len());
+        let mut qdepth = Histogram::new();
+        for (i, link) in self.links.iter().enumerate() {
+            links.add(i, 0, link.tx_packets);
+            links.add(i, 1, link.tx_bytes);
+            links.add(i, 2, link.drops);
+            links.add(i, 3, link.fault_drops);
+            qdepth.merge(&self.link_qdepth[i]);
+        }
+        snap.set_counter("links.count", self.links.len() as u64);
+        for (k, v) in LINK_KEYS.iter().zip(links.merged()) {
+            if v > 0 || *k != "fault_drops" {
+                snap.set_counter(format!("links.{k}"), v);
+            }
+        }
+        if qdepth.count() > 0 {
+            snap.set_histogram("links.queue_depth", &qdepth);
+        }
     }
 }
 
@@ -1148,7 +1388,12 @@ impl NodeApi<'_> {
         chan: Option<Rc<str>>,
         outcome: DispatchOutcome,
     ) {
-        if self.sim.telemetry.trace.wants(Category::DISPATCH) {
+        if self
+            .sim
+            .telemetry
+            .trace
+            .wants_pkt(Category::DISPATCH, pkt.lineage.sampled)
+        {
             let ev = TraceEvent::Dispatch {
                 t_ns: self.sim.now.as_nanos(),
                 node: self.node.0 as u32,
@@ -1163,7 +1408,21 @@ impl NodeApi<'_> {
     /// Emits a [`TraceEvent::Exception`] for this node (cheap no-op when
     /// the `exception` category is disabled).
     pub fn trace_exception(&mut self, pkt: &Packet, chan: Rc<str>, exn: Rc<str>) {
-        if self.sim.telemetry.trace.wants(Category::EXCEPTION) {
+        self.sim.telemetry.flight.record(
+            self.node.0 as u32,
+            FlightEvent {
+                t_ns: self.sim.now.as_nanos(),
+                kind: FlightKind::Exception,
+                pkt: pkt.id,
+                detail: 0,
+            },
+        );
+        if self
+            .sim
+            .telemetry
+            .trace
+            .wants_pkt(Category::EXCEPTION, pkt.lineage.sampled)
+        {
             let ev = TraceEvent::Exception {
                 t_ns: self.sim.now.as_nanos(),
                 node: self.node.0 as u32,
@@ -1179,7 +1438,12 @@ impl NodeApi<'_> {
     /// the channel run dispatched on `pkt` (cheap no-op when the `vm`
     /// category is disabled).
     pub fn trace_vm_run(&mut self, pkt: &Packet, chan: Rc<str>, steps: u64) {
-        if self.sim.telemetry.trace.wants(Category::VM) {
+        if self
+            .sim
+            .telemetry
+            .trace
+            .wants_pkt(Category::VM, pkt.lineage.sampled)
+        {
             let ev = TraceEvent::VmRun {
                 t_ns: self.sim.now.as_nanos(),
                 node: self.node.0 as u32,

@@ -15,7 +15,7 @@ use bytes::Bytes;
 use netsim::packet::{ChannelTag, Lineage, Packet};
 use netsim::{ArrivalMeta, HookVerdict, NodeApi, PacketHook, Sim};
 use planp_lang::tast::TProgram;
-use planp_telemetry::{DispatchOutcome, SpanOrigin};
+use planp_telemetry::{CounterId, DispatchOutcome, MetricsRegistry, SpanOrigin};
 use planp_vm::env::{NetEnv, SendKind};
 use planp_vm::interp::Interp;
 use planp_vm::jit::CompiledProgram;
@@ -96,16 +96,17 @@ pub struct PlanpHandle {
     pub output: Rc<RefCell<String>>,
 }
 
-/// Per-channel telemetry names, precomputed at install time so the
-/// packet path never formats a string. Channel overloads sharing a name
+/// Per-channel telemetry handles, resolved once at install time so the
+/// packet path never formats or hashes a metric name — each count is an
+/// array add through a [`CounterId`]. Channel overloads sharing a name
 /// share the same metric keys (per-channel = per channel *name*).
 struct ChanMeta {
     name: Rc<str>,
-    m_dispatch: String,
-    m_errors: String,
-    m_dropped: String,
-    m_vm_steps: String,
-    m_bound_exceeded: String,
+    c_dispatch: CounterId,
+    c_errors: CounterId,
+    c_dropped: CounterId,
+    c_vm_steps: CounterId,
+    c_bound_exceeded: CounterId,
     /// Static worst-case step bound of this overload's body, from the
     /// verifier's cost analysis (u64::MAX when the image carries no
     /// bound, disabling the cross-check).
@@ -123,8 +124,8 @@ pub struct PlanpLayer {
     stats: Rc<RefCell<LayerStats>>,
     output: Rc<RefCell<String>>,
     chan_meta: Vec<ChanMeta>,
-    /// Metric key for packets falling back to standard IP processing.
-    m_fallback: String,
+    /// Handle for packets falling back to standard IP processing.
+    c_fallback: CounterId,
 }
 
 impl PlanpLayer {
@@ -139,6 +140,7 @@ impl PlanpLayer {
         config: LayerConfig,
         node_addr: u32,
         node_name: &str,
+        metrics: &mut MetricsRegistry,
     ) -> Result<Self, VmError> {
         // Initializers are pure (enforced by the checker); a mock
         // environment satisfies the interface.
@@ -157,11 +159,18 @@ impl PlanpLayer {
             .enumerate()
             .map(|(i, ch)| ChanMeta {
                 name: ch.name.as_str().into(),
-                m_dispatch: format!("node.{node_name}.chan.{}.dispatch", ch.name),
-                m_errors: format!("node.{node_name}.chan.{}.errors", ch.name),
-                m_dropped: format!("node.{node_name}.chan.{}.dropped", ch.name),
-                m_vm_steps: format!("node.{node_name}.chan.{}.vm_steps", ch.name),
-                m_bound_exceeded: format!("node.{node_name}.chan.{}.cost_bound_exceeded", ch.name),
+                c_dispatch: metrics
+                    .register_counter(&format!("node.{node_name}.chan.{}.dispatch", ch.name)),
+                c_errors: metrics
+                    .register_counter(&format!("node.{node_name}.chan.{}.errors", ch.name)),
+                c_dropped: metrics
+                    .register_counter(&format!("node.{node_name}.chan.{}.dropped", ch.name)),
+                c_vm_steps: metrics
+                    .register_counter(&format!("node.{node_name}.chan.{}.vm_steps", ch.name)),
+                c_bound_exceeded: metrics.register_counter(&format!(
+                    "node.{node_name}.chan.{}.cost_bound_exceeded",
+                    ch.name
+                )),
                 static_bound: if image.report.cost.channels.is_empty() {
                     u64::MAX
                 } else {
@@ -179,7 +188,7 @@ impl PlanpLayer {
             stats: Rc::new(RefCell::new(LayerStats::default())),
             output: Rc::new(RefCell::new(String::new())),
             chan_meta,
-            m_fallback: format!("node.{node_name}.planp.fallback_ip"),
+            c_fallback: metrics.register_counter(&format!("node.{node_name}.planp.fallback_ip")),
         })
     }
 
@@ -228,12 +237,12 @@ impl PacketHook for PlanpLayer {
         let Some((idx, value)) = self.dispatch(&pkt) else {
             self.stats.borrow_mut().passed += 1;
             api.trace_dispatch(&pkt, None, DispatchOutcome::NoMatch);
-            api.telemetry().metrics.inc(&self.m_fallback);
+            api.telemetry().metrics.inc_id(self.c_fallback);
             return HookVerdict::Pass(pkt);
         };
         self.stats.borrow_mut().matched += 1;
         let cm = &self.chan_meta[idx];
-        api.telemetry().metrics.inc(&cm.m_dispatch);
+        api.telemetry().metrics.inc_id(cm.c_dispatch);
 
         let ps = self.proto.clone();
         let ss = self.chan_states[idx].clone();
@@ -249,6 +258,7 @@ impl PacketHook for PlanpLayer {
                 pkt.id
             },
             cur_span: pkt.id,
+            cur_sampled: pkt.lineage.sampled,
             pending_site: None,
         };
         let result = match self.config.engine {
@@ -262,11 +272,11 @@ impl PacketHook for PlanpLayer {
         let emitted = env.emitted;
         let vm_steps = env.vm_steps;
         self.stats.borrow_mut().vm_steps += vm_steps;
-        api.telemetry().metrics.add(&cm.m_vm_steps, vm_steps);
+        api.telemetry().metrics.add_id(cm.c_vm_steps, vm_steps);
         api.trace_vm_run(&pkt, cm.name.clone(), vm_steps);
         if vm_steps > cm.static_bound {
             self.stats.borrow_mut().cost_bound_exceeded += 1;
-            api.telemetry().metrics.inc(&cm.m_bound_exceeded);
+            api.telemetry().metrics.inc_id(cm.c_bound_exceeded);
         }
         match result {
             Ok((ps, ss)) => {
@@ -276,7 +286,7 @@ impl PacketHook for PlanpLayer {
                     // The channel ate the packet without re-emitting or
                     // delivering anything: an intentional drop.
                     self.stats.borrow_mut().dropped += 1;
-                    api.telemetry().metrics.inc(&cm.m_dropped);
+                    api.telemetry().metrics.inc_id(cm.c_dropped);
                     api.trace_dispatch(&pkt, Some(cm.name.clone()), DispatchOutcome::Consumed);
                 } else {
                     api.trace_dispatch(&pkt, Some(cm.name.clone()), DispatchOutcome::Matched);
@@ -285,7 +295,7 @@ impl PacketHook for PlanpLayer {
             }
             Err(e) => {
                 self.stats.borrow_mut().errors += 1;
-                api.telemetry().metrics.inc(&cm.m_errors);
+                api.telemetry().metrics.inc_id(cm.c_errors);
                 api.trace_dispatch(&pkt, Some(cm.name.clone()), DispatchOutcome::Error);
                 let exn: Rc<str> = match &e {
                     VmError::Exn(id) => match self.prog.exns.get(id.0 as usize) {
@@ -303,7 +313,7 @@ impl PacketHook for PlanpLayer {
                 } else {
                     // Fail open: a misbehaving program must not take the
                     // router down; the packet gets standard processing.
-                    api.telemetry().metrics.inc(&self.m_fallback);
+                    api.telemetry().metrics.inc_id(self.c_fallback);
                     HookVerdict::Pass(pkt)
                 }
             }
@@ -354,6 +364,9 @@ struct SimNetEnv<'a, 'b> {
     /// Span (= packet) id of the packet being processed; children of
     /// this run point back at it.
     cur_span: u64,
+    /// Head-sampling decision of the packet being processed; inherited
+    /// by every packet this run emits, so sampled traces stay complete.
+    cur_sampled: bool,
     /// The send site the VM announced via `note_send_site`, consumed by
     /// the next outgoing packet so its lineage records how it was born.
     pending_site: Option<(SpanOrigin, Option<Rc<str>>)>,
@@ -384,6 +397,7 @@ impl SimNetEnv<'_, '_> {
             parent: self.cur_span,
             origin,
             chan,
+            sampled: self.cur_sampled,
         }
     }
 
@@ -512,7 +526,7 @@ pub fn install_planp(
 ) -> Result<PlanpHandle, VmError> {
     let addr = sim.node(node).addr;
     let name = sim.node(node).name.clone();
-    let layer = PlanpLayer::new(image, config, addr, &name)?;
+    let layer = PlanpLayer::new(image, config, addr, &name, &mut sim.telemetry.metrics)?;
     let handle = layer.handle();
     // Record the verifier's static per-packet step bound once per
     // channel name (overloads share keys, so take the group maximum), so

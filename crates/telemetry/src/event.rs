@@ -37,8 +37,12 @@ impl Category {
     pub const VM: Category = Category(1 << 8);
     /// Injected faults (loss, corruption, flaps, partitions, crashes).
     pub const FAULT: Category = Category(1 << 9);
+    /// SLO health-monitor rule evaluations.
+    pub const HEALTH: Category = Category(1 << 10);
+    /// Telemetry self-accounting (sampler downgrades).
+    pub const META: Category = Category(1 << 11);
     /// Every category.
-    pub const ALL: Category = Category(0x3ff);
+    pub const ALL: Category = Category(0xfff);
 
     /// Union of two sets.
     pub const fn union(self, other: Category) -> Category {
@@ -56,7 +60,7 @@ impl Category {
     }
 
     /// The canonical (name, flag) table, used by parsers and help text.
-    pub const NAMES: [(&'static str, Category); 10] = [
+    pub const NAMES: [(&'static str, Category); 12] = [
         ("link", Category::LINK),
         ("hop", Category::HOP),
         ("deliver", Category::DELIVER),
@@ -67,6 +71,8 @@ impl Category {
         ("span", Category::SPAN),
         ("vm", Category::VM),
         ("fault", Category::FAULT),
+        ("health", Category::HEALTH),
+        ("meta", Category::META),
     ];
 
     /// Parses a single category name.
@@ -122,6 +128,18 @@ pub enum DropReason {
 }
 
 impl DropReason {
+    /// All reasons, in [`DropReason::index`] order.
+    pub const ALL: [DropReason; 8] = [
+        DropReason::NodeDown,
+        DropReason::CpuOverflow,
+        DropReason::TtlExpired,
+        DropReason::NoRoute,
+        DropReason::NotAddressed,
+        DropReason::FaultLoss,
+        DropReason::LinkFaultDown,
+        DropReason::Partitioned,
+    ];
+
     /// Stable lowercase name used in exports.
     pub fn name(self) -> &'static str {
         match self {
@@ -134,6 +152,16 @@ impl DropReason {
             DropReason::LinkFaultDown => "link_fault_down",
             DropReason::Partitioned => "partitioned",
         }
+    }
+
+    /// Stable small integer, used as the flight-recorder detail code.
+    pub fn index(self) -> u32 {
+        DropReason::ALL.iter().position(|r| *r == self).unwrap() as u32
+    }
+
+    /// Inverse of [`DropReason::index`].
+    pub fn from_index(i: u32) -> Option<DropReason> {
+        DropReason::ALL.get(i as usize).copied()
     }
 }
 
@@ -301,6 +329,24 @@ pub enum TraceEvent {
         link: Option<u32>,
         pkt: u64,
     },
+    /// The sampler stepped its rate down (1/`from_n` → 1/`to_n`)
+    /// because the kept-event budget was crossed at `kept` events.
+    SampleDowngrade {
+        t_ns: u64,
+        from_n: u32,
+        to_n: u32,
+        kept: u64,
+    },
+    /// A health-monitor rule was evaluated over the window ending at
+    /// `t_ns`. `value`/`threshold` share the rule's unit (ppm for
+    /// ratios, raw deltas or nanoseconds otherwise).
+    Health {
+        t_ns: u64,
+        rule: Rc<str>,
+        ok: bool,
+        value: u64,
+        threshold: u64,
+    },
 }
 
 impl TraceEvent {
@@ -317,6 +363,8 @@ impl TraceEvent {
             TraceEvent::SpanStart { .. } => Category::SPAN,
             TraceEvent::VmRun { .. } => Category::VM,
             TraceEvent::Fault { .. } => Category::FAULT,
+            TraceEvent::SampleDowngrade { .. } => Category::META,
+            TraceEvent::Health { .. } => Category::HEALTH,
         }
     }
 
@@ -334,7 +382,9 @@ impl TraceEvent {
             | TraceEvent::TimerFire { t_ns, .. }
             | TraceEvent::SpanStart { t_ns, .. }
             | TraceEvent::VmRun { t_ns, .. }
-            | TraceEvent::Fault { t_ns, .. } => *t_ns,
+            | TraceEvent::Fault { t_ns, .. }
+            | TraceEvent::SampleDowngrade { t_ns, .. }
+            | TraceEvent::Health { t_ns, .. } => *t_ns,
         }
     }
 
@@ -352,8 +402,43 @@ impl TraceEvent {
             | TraceEvent::SpanStart { pkt, .. }
             | TraceEvent::VmRun { pkt, .. } => Some(*pkt),
             TraceEvent::Fault { pkt, .. } => (*pkt != 0).then_some(*pkt),
-            TraceEvent::TimerFire { .. } => None,
+            TraceEvent::TimerFire { .. }
+            | TraceEvent::SampleDowngrade { .. }
+            | TraceEvent::Health { .. } => None,
         }
+    }
+
+    /// Estimated JSONL size of the event in bytes — the currency of the
+    /// telemetry overhead meter. A fixed per-variant cost plus the
+    /// lengths of embedded strings; close enough to the real serialized
+    /// size to budget against, cheap enough for the hot path.
+    pub fn est_bytes(&self) -> u64 {
+        let strings = match self {
+            TraceEvent::Dispatch { chan, .. } => chan.as_ref().map_or(4, |c| c.len()) as u64,
+            TraceEvent::Exception { chan, exn, .. } => (chan.len() + exn.len()) as u64,
+            TraceEvent::SpanStart { chan, .. } => chan.as_ref().map_or(4, |c| c.len()) as u64,
+            TraceEvent::VmRun { chan, .. } => chan.len() as u64,
+            TraceEvent::Fault { kind, .. } => kind.len() as u64,
+            TraceEvent::Health { rule, .. } => rule.len() as u64,
+            _ => 0,
+        };
+        let base = match self {
+            TraceEvent::LinkEnqueue { .. } => 88,
+            TraceEvent::LinkTx { .. } => 72,
+            TraceEvent::LinkDrop { .. } => 60,
+            TraceEvent::Forward { .. } => 70,
+            TraceEvent::Deliver { .. } => 62,
+            TraceEvent::NodeDrop { .. } => 76,
+            TraceEvent::Dispatch { .. } => 84,
+            TraceEvent::Exception { .. } => 76,
+            TraceEvent::TimerFire { .. } => 64,
+            TraceEvent::SpanStart { .. } => 110,
+            TraceEvent::VmRun { .. } => 74,
+            TraceEvent::Fault { .. } => 72,
+            TraceEvent::SampleDowngrade { .. } => 70,
+            TraceEvent::Health { .. } => 78,
+        };
+        base + strings
     }
 
     /// Serializes the event as one JSON object, appended to `out`.
@@ -571,6 +656,36 @@ impl TraceEvent {
                 }
                 field(out, &mut seq, "pkt", *pkt);
             }
+            TraceEvent::SampleDowngrade {
+                t_ns,
+                from_n,
+                to_n,
+                kept,
+            } => {
+                tag(out, &mut seq, "sample_downgrade");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "from_n", u64::from(*from_n));
+                field(out, &mut seq, "to_n", u64::from(*to_n));
+                field(out, &mut seq, "kept", *kept);
+            }
+            TraceEvent::Health {
+                t_ns,
+                rule,
+                ok,
+                value,
+                threshold,
+            } => {
+                tag(out, &mut seq, "health");
+                field(out, &mut seq, "t_ns", *t_ns);
+                seq.sep(out);
+                push_key(out, "rule");
+                push_str(out, rule);
+                seq.sep(out);
+                push_key(out, "ok");
+                out.push_str(if *ok { "true" } else { "false" });
+                field(out, &mut seq, "value", *value);
+                field(out, &mut seq, "threshold", *threshold);
+            }
         }
         out.push('}');
     }
@@ -704,6 +819,27 @@ impl fmt::Display for TraceEvent {
                 };
                 write!(f, "{t:12.6}  {site:<6} FAULT    kind={kind} pkt={pkt}")
             }
+            TraceEvent::SampleDowngrade {
+                from_n, to_n, kept, ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  meta   SAMPLE   rate 1/{from_n} -> 1/{to_n} (kept={kept})"
+                )
+            }
+            TraceEvent::Health {
+                rule,
+                ok,
+                value,
+                threshold,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  slo    {}   rule={rule} value={value} threshold={threshold}",
+                    if *ok { "ok    " } else { "BREACH" }
+                )
+            }
         }
     }
 }
@@ -716,6 +852,23 @@ pub struct TraceConfig {
     /// Ring-buffer capacity; once full, the oldest events are evicted
     /// (`TraceLog::evicted` counts them).
     pub capacity: usize,
+    /// Head-sampling rate: keep 1 of every `sample_n` traces (0 or 1 =
+    /// keep all). The decision is made once per trace id, so the kept
+    /// traces retain their *complete* span trees — children inherit the
+    /// root's verdict, never re-roll.
+    pub sample_n: u32,
+    /// Seed mixed into the trace-id hash for the keep decision. Two
+    /// logs with the same seed and rate keep the same traces.
+    pub sample_seed: u64,
+    /// Per-category rate limit: at most this many kept events per
+    /// category per simulated second (0 = unlimited). Suppressed events
+    /// are counted in [`TraceLog::rate_limited`].
+    pub category_rate_limit: u64,
+    /// Kept-event budget (0 = unlimited): every time the number of kept
+    /// events crosses another multiple of the budget, the sampling rate
+    /// deterministically doubles (`sample_n *= 2`, capped at 2^20) and
+    /// a [`TraceEvent::SampleDowngrade`] is recorded.
+    pub budget: u64,
 }
 
 impl Default for TraceConfig {
@@ -723,6 +876,10 @@ impl Default for TraceConfig {
         TraceConfig {
             categories: Category::NONE,
             capacity: 65_536,
+            sample_n: 1,
+            sample_seed: 0,
+            category_rate_limit: 0,
+            budget: 0,
         }
     }
 }
@@ -735,6 +892,59 @@ impl TraceConfig {
             ..TraceConfig::default()
         }
     }
+
+    /// Records every category, head-sampling 1 of every `n` traces.
+    pub fn sampled(n: u32) -> Self {
+        TraceConfig {
+            sample_n: n.max(1),
+            ..TraceConfig::all()
+        }
+    }
+
+    /// Parses a `--sample` argument: `1/N` or a bare `N` (keep 1 of
+    /// every N traces). `1`, `1/1`, and `0` mean "keep everything".
+    pub fn parse_sample(s: &str) -> Result<u32, String> {
+        let body = s.strip_prefix("1/").unwrap_or(s);
+        match body.parse::<u32>() {
+            Ok(n) => Ok(n.max(1)),
+            Err(_) => Err(format!("bad sample rate {s:?} (expected 1/N or N)")),
+        }
+    }
+}
+
+/// The SplitMix64 finalizer, applied to `seed ^ trace_id` for the keep
+/// decision — the same mix the simulator's RNG uses, so the sampler
+/// inherits its avalanche quality without depending on the netsim
+/// crate.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The telemetry overhead meter: what tracing kept, what the sampler
+/// and rate limiter suppressed, and what the kept events cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceOverhead {
+    /// Events kept (recorded into the ring, including later-evicted).
+    pub kept: u64,
+    /// Events suppressed by the trace sampler.
+    pub sampled_out: u64,
+    /// Events suppressed by the per-category rate limit.
+    pub rate_limited: u64,
+    /// Kept events later evicted by the ring.
+    pub evicted: u64,
+    /// Estimated serialized bytes of the kept events.
+    pub est_bytes: u64,
+    /// Estimated record cost of the kept events, in nanoseconds
+    /// (`kept × EST_RECORD_NS` — a fixed per-event estimate, not a
+    /// wall-clock measurement, so it is deterministic).
+    pub est_cost_ns: u64,
+    /// Budget downgrades applied so far.
+    pub downgrades: u32,
+    /// The current (possibly budget-degraded) sampling denominator.
+    pub sample_n: u32,
 }
 
 /// A bounded ring buffer of trace events.
@@ -749,6 +959,20 @@ pub struct TraceLog {
     buf: VecDeque<TraceEvent>,
     recorded: u64,
     evicted: u64,
+    /// Current sampling denominator (doubles on budget downgrades).
+    sample_n: u32,
+    sample_seed: u64,
+    category_rate_limit: u64,
+    budget: u64,
+    next_budget_mark: u64,
+    sampled_out: u64,
+    rate_limited: u64,
+    est_bytes: u64,
+    downgrades: u32,
+    /// Kept-event counts per category for the current sim-second
+    /// window (rate limiting). Indexed by the category's bit position.
+    cat_window: [u64; 16],
+    window: u64,
 }
 
 impl Default for TraceLog {
@@ -756,6 +980,11 @@ impl Default for TraceLog {
         TraceLog::new(TraceConfig::default())
     }
 }
+
+/// Estimated cost of recording one kept event, in nanoseconds. A fixed
+/// constant (construct + ring push + amortized serialization), so the
+/// overhead meter stays deterministic.
+pub const EST_RECORD_NS: u64 = 120;
 
 impl TraceLog {
     /// A log with the given configuration.
@@ -766,14 +995,30 @@ impl TraceLog {
             buf: VecDeque::new(),
             recorded: 0,
             evicted: 0,
+            sample_n: cfg.sample_n.max(1),
+            sample_seed: cfg.sample_seed,
+            category_rate_limit: cfg.category_rate_limit,
+            budget: cfg.budget,
+            next_budget_mark: cfg.budget,
+            sampled_out: 0,
+            rate_limited: 0,
+            est_bytes: 0,
+            downgrades: 0,
+            cat_window: [0; 16],
+            window: 0,
         }
     }
 
     /// Replaces the configuration (keeps already-recorded events that
-    /// still fit).
+    /// still fit). Resets the sampler to the configured rate.
     pub fn configure(&mut self, cfg: TraceConfig) {
         self.enabled = cfg.categories;
         self.capacity = cfg.capacity.max(1);
+        self.sample_n = cfg.sample_n.max(1);
+        self.sample_seed = cfg.sample_seed;
+        self.category_rate_limit = cfg.category_rate_limit;
+        self.budget = cfg.budget;
+        self.next_budget_mark = self.recorded + cfg.budget;
         while self.buf.len() > self.capacity {
             self.buf.pop_front();
             self.evicted += 1;
@@ -793,11 +1038,82 @@ impl TraceLog {
         self.enabled.contains(c)
     }
 
-    /// Records an event (if its category is enabled).
+    /// Hot-path guard for packet-path events: category enabled *and*
+    /// the packet's trace was kept by the sampler. When the category is
+    /// on but the trace was sampled out, the suppression is counted —
+    /// that is the sampler's half of the overhead meter.
+    #[inline]
+    pub fn wants_pkt(&mut self, c: Category, sampled: bool) -> bool {
+        if !self.enabled.contains(c) {
+            return false;
+        }
+        if !sampled {
+            self.sampled_out += 1;
+            return false;
+        }
+        true
+    }
+
+    /// The whole-lineage head-sampling decision for a new trace root:
+    /// keep iff the seeded hash of the trace id lands below
+    /// `u64::MAX / sample_n`. Thresholds nest — every trace kept at
+    /// 1/2N is also kept at 1/N — so budget downgrades shrink the kept
+    /// set without orphaning already-kept lineages' siblings.
+    #[inline]
+    pub fn keep_trace(&self, trace: u64) -> bool {
+        let n = u64::from(self.sample_n.max(1));
+        if n <= 1 {
+            return true;
+        }
+        mix64(self.sample_seed ^ trace) <= u64::MAX / n
+    }
+
+    /// Records an event (if its category is enabled and the per-category
+    /// rate limit has headroom). Sampling decisions happen upstream via
+    /// [`TraceLog::keep_trace`] / [`TraceLog::wants_pkt`].
     pub fn push(&mut self, ev: TraceEvent) {
         if !self.wants(ev.category()) {
             return;
         }
+        if self.category_rate_limit > 0 {
+            let w = ev.t_ns() / 1_000_000_000;
+            if w != self.window {
+                self.window = w;
+                self.cat_window = [0; 16];
+            }
+            let idx = (ev.category().0.trailing_zeros() as usize).min(15);
+            if self.cat_window[idx] >= self.category_rate_limit {
+                self.rate_limited += 1;
+                return;
+            }
+            self.cat_window[idx] += 1;
+        }
+        let t_ns = ev.t_ns();
+        self.record(ev);
+        // Budget check: each crossing of another `budget` kept events
+        // doubles the sampling denominator, recorded as a meta event.
+        if self.budget > 0 && self.recorded >= self.next_budget_mark {
+            self.next_budget_mark += self.budget;
+            let from_n = self.sample_n.max(1);
+            if from_n < (1 << 20) {
+                let to_n = from_n * 2;
+                self.sample_n = to_n;
+                self.downgrades += 1;
+                if self.wants(Category::META) {
+                    self.record(TraceEvent::SampleDowngrade {
+                        t_ns,
+                        from_n,
+                        to_n,
+                        kept: self.recorded,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Unconditional ring insert with accounting.
+    fn record(&mut self, ev: TraceEvent) {
+        self.est_bytes += ev.est_bytes();
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
             self.evicted += 1;
@@ -829,6 +1145,41 @@ impl TraceLog {
     /// Events evicted by the ring buffer.
     pub fn evicted(&self) -> u64 {
         self.evicted
+    }
+
+    /// Events suppressed by the trace sampler.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// Events suppressed by the per-category rate limit.
+    pub fn rate_limited(&self) -> u64 {
+        self.rate_limited
+    }
+
+    /// The current sampling denominator (1 = keep everything); grows
+    /// when budget downgrades fire.
+    pub fn sample_n(&self) -> u32 {
+        self.sample_n
+    }
+
+    /// Budget downgrades applied so far.
+    pub fn downgrades(&self) -> u32 {
+        self.downgrades
+    }
+
+    /// The telemetry self-accounting meter.
+    pub fn overhead(&self) -> TraceOverhead {
+        TraceOverhead {
+            kept: self.recorded,
+            sampled_out: self.sampled_out,
+            rate_limited: self.rate_limited,
+            evicted: self.evicted,
+            est_bytes: self.est_bytes,
+            est_cost_ns: self.recorded * EST_RECORD_NS,
+            downgrades: self.downgrades,
+            sample_n: self.sample_n,
+        }
     }
 
     /// Serializes the held events as JSON Lines (one object per line,
@@ -871,6 +1222,7 @@ mod tests {
         let mut log = TraceLog::new(TraceConfig {
             categories: Category::LINK,
             capacity: 8,
+            ..TraceConfig::default()
         });
         assert!(!log.wants(Category::DELIVER));
         log.push(ev(1));
@@ -890,6 +1242,7 @@ mod tests {
         let mut log = TraceLog::new(TraceConfig {
             categories: Category::ALL,
             capacity: 3,
+            ..TraceConfig::default()
         });
         for t in 0..5 {
             log.push(ev(t));
@@ -917,6 +1270,131 @@ mod tests {
             "{\"type\":\"exception\",\"t_ns\":5,\"node\":2,\"pkt\":9,\"chan\":\"net\\\"work\",\"exn\":\"Div\"}\n"
         );
         assert_eq!(line, log.to_jsonl());
+    }
+
+    #[test]
+    fn keep_trace_is_deterministic_and_nested() {
+        // Same seed + rate → same verdicts; every trace kept at 1/2N is
+        // kept at 1/N (thresholds nest), so downgrades only shrink the
+        // kept set.
+        let mk = |n: u32| {
+            TraceLog::new(TraceConfig {
+                sample_n: n,
+                sample_seed: 42,
+                ..TraceConfig::all()
+            })
+        };
+        let (l1, l4, l8) = (mk(1), mk(4), mk(8));
+        let mut kept4 = 0u64;
+        for trace in 1..4000u64 {
+            assert!(l1.keep_trace(trace), "1/1 keeps everything");
+            assert_eq!(l4.keep_trace(trace), mk(4).keep_trace(trace));
+            if l8.keep_trace(trace) {
+                assert!(l4.keep_trace(trace), "1/8 set must nest in 1/4 set");
+            }
+            kept4 += u64::from(l4.keep_trace(trace));
+        }
+        // ~1/4 of 4k traces, generous tolerance.
+        assert!((700..1300).contains(&kept4), "kept4 = {kept4}");
+        // A different seed keeps a different set.
+        let other = TraceLog::new(TraceConfig {
+            sample_n: 4,
+            sample_seed: 43,
+            ..TraceConfig::all()
+        });
+        assert!((1..4000u64).any(|t| l4.keep_trace(t) != other.keep_trace(t)));
+    }
+
+    #[test]
+    fn wants_pkt_counts_sampled_out() {
+        let mut log = TraceLog::new(TraceConfig::all());
+        assert!(log.wants_pkt(Category::DELIVER, true));
+        assert!(!log.wants_pkt(Category::DELIVER, false));
+        assert_eq!(log.sampled_out(), 1);
+        // Disabled category: suppressed by the filter, not the sampler.
+        let mut off = TraceLog::new(TraceConfig::default());
+        assert!(!off.wants_pkt(Category::DELIVER, false));
+        assert_eq!(off.sampled_out(), 0);
+    }
+
+    #[test]
+    fn budget_crossing_downgrades_and_emits_meta_event() {
+        let mut log = TraceLog::new(TraceConfig {
+            budget: 10,
+            ..TraceConfig::all()
+        });
+        for t in 0..25 {
+            log.push(ev(t));
+        }
+        let oh = log.overhead();
+        assert_eq!(oh.downgrades, 2, "two budget crossings");
+        assert_eq!(oh.sample_n, 4, "1 -> 2 -> 4");
+        let downs: Vec<_> = log
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::SampleDowngrade { from_n, to_n, .. } => Some((*from_n, *to_n)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(downs, vec![(1, 2), (2, 4)]);
+        assert!(oh.est_bytes > 0 && oh.est_cost_ns == oh.kept * EST_RECORD_NS);
+    }
+
+    #[test]
+    fn category_rate_limit_caps_events_per_sim_second() {
+        let mut log = TraceLog::new(TraceConfig {
+            category_rate_limit: 3,
+            ..TraceConfig::all()
+        });
+        // 5 delivers in second 0: only 3 kept.
+        for t in 0..5 {
+            log.push(ev(t));
+        }
+        assert_eq!(log.recorded(), 3);
+        assert_eq!(log.rate_limited(), 2);
+        // The window resets at the next sim-second.
+        log.push(ev(1_000_000_001));
+        assert_eq!(log.recorded(), 4);
+    }
+
+    #[test]
+    fn parse_sample_accepts_fraction_and_bare_n() {
+        assert_eq!(TraceConfig::parse_sample("1/16"), Ok(16));
+        assert_eq!(TraceConfig::parse_sample("16"), Ok(16));
+        assert_eq!(TraceConfig::parse_sample("1"), Ok(1));
+        assert_eq!(TraceConfig::parse_sample("0"), Ok(1));
+        assert!(TraceConfig::parse_sample("x/y").is_err());
+    }
+
+    #[test]
+    fn new_events_serialize_and_display() {
+        let mut log = TraceLog::new(TraceConfig::all());
+        log.push(TraceEvent::Health {
+            t_ns: 7,
+            rule: "delivery_floor".into(),
+            ok: false,
+            value: 912_000,
+            threshold: 950_000,
+        });
+        let line = log.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"type\":\"health\",\"t_ns\":7,\"rule\":\"delivery_floor\",\"ok\":false,\
+             \"value\":912000,\"threshold\":950000}\n"
+        );
+        let d = TraceEvent::SampleDowngrade {
+            t_ns: 9,
+            from_n: 4,
+            to_n: 8,
+            kept: 100,
+        };
+        let mut js = String::new();
+        d.write_json(&mut js);
+        assert_eq!(
+            js,
+            "{\"type\":\"sample_downgrade\",\"t_ns\":9,\"from_n\":4,\"to_n\":8,\"kept\":100}"
+        );
+        assert!(d.to_string().contains("1/4 -> 1/8"));
     }
 
     #[test]

@@ -132,47 +132,210 @@ pub fn chrome_trace(forest: &TraceForest, nodes: &[String]) -> String {
     out
 }
 
-/// Maps a metric name to the Prometheus charset: `[a-zA-Z0-9_:]`, with
-/// a `planp_` prefix.
-fn prom_name(name: &str) -> String {
-    let mut s = String::from("planp_");
-    for c in name.chars() {
-        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
-            s.push(c);
-        } else {
-            s.push('_');
+/// Maps a raw segment to the Prometheus metric-name charset
+/// `[a-zA-Z0-9_:]` (dots and anything else become underscores).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            c => s.push(c),
         }
     }
     s
 }
 
-/// Renders a snapshot in the Prometheus text exposition format.
-pub fn prometheus(snap: &MetricsSnapshot) -> String {
-    let mut out = String::new();
-    for (name, v) in &snap.counters {
-        let n = prom_name(name);
-        let _ = writeln!(out, "# TYPE {n} counter");
-        let _ = writeln!(out, "{n} {v}");
-    }
-    for (name, h) in &snap.histograms {
-        let n = prom_name(name);
-        let _ = writeln!(out, "# TYPE {n} summary");
-        for (q, v) in [
-            ("0.5", h.p50),
-            ("0.9", h.p90),
-            ("0.99", h.p99),
-            ("0.999", h.p999),
-        ] {
-            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+/// Splits a registry name into a scrape-valid metric name plus labels:
+///
+/// * `node.<n>.chan.<c>.<what>` → `planp_chan_<what>{chan="<c>",node="<n>"}`
+/// * `node.<n>.<what>`          → `planp_node_<what>{node="<n>"}`
+/// * `link<i>.<what>`           → `planp_link_<what>{link="<i>"}`
+/// * anything else              → `planp_<sanitized>` (no labels)
+///
+/// The per-element identity moves into labels so a 100k-node fleet
+/// yields a handful of metric families instead of 100k metric names —
+/// and dotted tails like `recovery.redeploys` sanitize to underscores,
+/// which is what makes the output scrape-valid.
+fn prom_series(name: &str) -> (String, Vec<(&'static str, String)>) {
+    if let Some(rest) = name.strip_prefix("node.") {
+        if let Some((node, what)) = rest.split_once('.') {
+            if let Some(chan_rest) = what.strip_prefix("chan.") {
+                if let Some((chan, leaf)) = chan_rest.split_once('.') {
+                    return (
+                        format!("planp_chan_{}", sanitize(leaf)),
+                        vec![("chan", chan.to_string()), ("node", node.to_string())],
+                    );
+                }
+            }
+            return (
+                format!("planp_node_{}", sanitize(what)),
+                vec![("node", node.to_string())],
+            );
         }
-        let _ = writeln!(out, "{n}_sum {}", h.sum);
-        let _ = writeln!(out, "{n}_count {}", h.count);
-        let _ = writeln!(out, "# TYPE {n}_min gauge");
-        let _ = writeln!(out, "{n}_min {}", h.min);
-        let _ = writeln!(out, "# TYPE {n}_max gauge");
-        let _ = writeln!(out, "{n}_max {}", h.max);
+    }
+    if let Some(rest) = name.strip_prefix("link") {
+        if let Some((idx, what)) = rest.split_once('.') {
+            if !idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()) {
+                return (
+                    format!("planp_link_{}", sanitize(what)),
+                    vec![("link", idx.to_string())],
+                );
+            }
+        }
+    }
+    (format!("planp_{}", sanitize(name)), Vec::new())
+}
+
+/// The label set of one exported series.
+type LabelSet = Vec<(&'static str, String)>;
+
+fn render_labels(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Series are grouped into metric families (one `# TYPE` line per
+/// family, series sorted by label set) and every name is mapped through
+/// [`prom_series`], so the output is scrape-valid: metric names match
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` and per-node / per-link / per-channel
+/// identity lives in labels. Byte-stable for identical snapshots.
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+
+    // Counters: family → (label string → value).
+    let mut families: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for (name, v) in &snap.counters {
+        let (metric, labels) = prom_series(name);
+        families
+            .entry(metric)
+            .or_default()
+            .insert(render_labels(&labels, None), *v);
+    }
+    for (metric, series) in &families {
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        for (labels, v) in series {
+            let _ = writeln!(out, "{metric}{labels} {v}");
+        }
+    }
+
+    // Histograms: family → (sorted label vec → summary).
+    type HistFamily<'a> = Vec<(LabelSet, &'a crate::metrics::HistogramSummary)>;
+    let mut hfams: BTreeMap<String, HistFamily<'_>> = BTreeMap::new();
+    for (name, h) in &snap.histograms {
+        let (metric, labels) = prom_series(name);
+        hfams.entry(metric).or_default().push((labels, h));
+    }
+    for (metric, series) in &mut hfams {
+        series.sort_by_key(|(labels, _)| render_labels(labels, None));
+        let _ = writeln!(out, "# TYPE {metric} summary");
+        for (labels, h) in series.iter() {
+            for (q, v) in [
+                ("0.5", h.p50),
+                ("0.9", h.p90),
+                ("0.99", h.p99),
+                ("0.999", h.p999),
+            ] {
+                let l = render_labels(labels, Some(("quantile", q)));
+                let _ = writeln!(out, "{metric}{l} {v}");
+            }
+            let l = render_labels(labels, None);
+            let _ = writeln!(out, "{metric}_sum{l} {}", h.sum);
+            let _ = writeln!(out, "{metric}_count{l} {}", h.count);
+        }
+        let _ = writeln!(out, "# TYPE {metric}_min gauge");
+        for (labels, h) in series.iter() {
+            let l = render_labels(labels, None);
+            let _ = writeln!(out, "{metric}_min{l} {}", h.min);
+        }
+        let _ = writeln!(out, "# TYPE {metric}_max gauge");
+        for (labels, h) in series.iter() {
+            let l = render_labels(labels, None);
+            let _ = writeln!(out, "{metric}_max{l} {}", h.max);
+        }
     }
     out
+}
+
+/// One parsed exposition sample: metric name, sorted `(key, value)`
+/// labels, value.
+pub type PromSample = (String, Vec<(String, String)>, u64);
+
+/// Parses exposition-format text back into
+/// `(metric, sorted labels, value)` triples — the round-trip half of
+/// the exporter contract, used by tests and CI to prove the output is
+/// scrape-valid. Rejects names and label keys outside the Prometheus
+/// charset and unparsable values.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let name_ok = |s: &str| {
+        !s.is_empty()
+            && !s.starts_with(|c: char| c.is_ascii_digit())
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut out = Vec::new();
+    for (lno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line:?}", lno + 1);
+        let (series, value) = line.rsplit_once(' ').ok_or_else(|| err("missing value"))?;
+        let value: u64 = value.parse().map_err(|_| err("bad value"))?;
+        let (metric, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((m, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unclosed labels"))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=').ok_or_else(|| err("bad label"))?;
+                    if !name_ok(k) {
+                        return Err(err("bad label key"));
+                    }
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err("unquoted label value"))?;
+                    labels.push((k.to_string(), v.replace("\\\"", "\"").replace("\\\\", "\\")));
+                }
+                labels.sort();
+                (m.to_string(), labels)
+            }
+        };
+        if !name_ok(&metric) {
+            return Err(err("metric name outside [a-zA-Z0-9_:]"));
+        }
+        out.push((metric, labels, value));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -237,12 +400,88 @@ mod tests {
         snap.set_counter("node.a.delivered", 7);
         snap.set_histogram("lat/ns", &h);
         let p = prometheus(&snap);
-        assert!(p.contains("# TYPE planp_node_a_delivered counter\nplanp_node_a_delivered 7\n"));
+        assert!(
+            p.contains("# TYPE planp_node_delivered counter\nplanp_node_delivered{node=\"a\"} 7\n")
+        );
         assert!(p.contains("# TYPE planp_lat_ns summary"));
         assert!(p.contains("planp_lat_ns{quantile=\"0.999\"} 100"));
         assert!(p.contains("planp_lat_ns_sum 110"));
         assert!(p.contains("planp_lat_ns_count 5"));
         assert!(p.contains("planp_lat_ns_max 100"));
         assert_eq!(p, prometheus(&snap));
+    }
+
+    #[test]
+    fn prometheus_groups_families_and_extracts_labels() {
+        let mut snap = MetricsSnapshot::default();
+        snap.set_counter("node.a.delivered", 1);
+        snap.set_counter("node.b.delivered", 2);
+        snap.set_counter("node.r2.recovery.redeploys", 3);
+        snap.set_counter("link3.fault_drops", 4);
+        snap.set_counter("node.gw.chan.network.dispatch", 5);
+        snap.set_counter("sim.packets", 6);
+        let p = prometheus(&snap);
+        // One TYPE line per family, not per series.
+        assert_eq!(p.matches("# TYPE planp_node_delivered counter").count(), 1);
+        assert!(p.contains("planp_node_delivered{node=\"a\"} 1"));
+        assert!(p.contains("planp_node_delivered{node=\"b\"} 2"));
+        // Dotted tails sanitize to underscores.
+        assert!(p.contains("planp_node_recovery_redeploys{node=\"r2\"} 3"));
+        assert!(p.contains("planp_link_fault_drops{link=\"3\"} 4"));
+        assert!(p.contains("planp_chan_dispatch{chan=\"network\",node=\"gw\"} 5"));
+        assert!(p.contains("planp_sim_packets 6"));
+        assert!(!p.contains("planp_node_a_"), "identity must be a label");
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_the_parser() {
+        // The exposition output must parse back into exactly the series
+        // we put in — scrape-valid names, labels carrying the identity.
+        let mut h = Histogram::new();
+        h.observe(9);
+        let mut snap = MetricsSnapshot::default();
+        snap.set_counter("node.r2.recovery.redeploys", 3);
+        snap.set_counter("link3.fault_drops", 4);
+        snap.set_counter("node.gw.chan.network.vm_steps", 11);
+        snap.set_counter("sim.link_drops_total", 2);
+        snap.set_histogram("link0.queue_depth", &h);
+        let text = prometheus(&snap);
+        let series = parse_prometheus(&text).expect("output must be scrape-valid");
+        let find = |m: &str, ls: &[(&str, &str)]| {
+            series
+                .iter()
+                .find(|(name, labels, _)| {
+                    name == m
+                        && labels.len() == ls.len()
+                        && ls
+                            .iter()
+                            .all(|(k, v)| labels.iter().any(|(lk, lv)| lk == k && lv == v))
+                })
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(
+            find("planp_node_recovery_redeploys", &[("node", "r2")]),
+            Some(3)
+        );
+        assert_eq!(find("planp_link_fault_drops", &[("link", "3")]), Some(4));
+        assert_eq!(
+            find(
+                "planp_chan_vm_steps",
+                &[("chan", "network"), ("node", "gw")]
+            ),
+            Some(11)
+        );
+        assert_eq!(find("planp_sim_link_drops_total", &[]), Some(2));
+        assert_eq!(
+            find("planp_link_queue_depth_count", &[("link", "0")]),
+            Some(1)
+        );
+        assert_eq!(
+            find(
+                "planp_link_queue_depth",
+                &[("link", "0"), ("quantile", "0.99")]
+            ),
+            Some(9)
+        );
     }
 }

@@ -1,0 +1,252 @@
+//! Always-on per-node flight recorder: a bounded ring of the most
+//! recent notable events at every node, kept regardless of trace
+//! configuration. When a node crashes — or an SLO rule breaches — the
+//! ring is frozen into a [`FlightDump`]: the post-mortem window that
+//! tells you what the node saw in its final moments, even when tracing
+//! was off or the trace was sampled out.
+//!
+//! Events are deliberately compact (32 bytes, `Copy`, no strings): the
+//! recorder runs on every packet at 100k+ nodes, so the per-event cost
+//! must stay at a ring push. Detail codes are small integers decoded at
+//! render time ([`DropReason::from_index`] for drops).
+
+use crate::event::DropReason;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// What kind of moment a flight-recorder entry captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A local delivery (`detail` = app index).
+    Deliver,
+    /// A node-level drop (`detail` = [`DropReason::index`]).
+    Drop,
+    /// An uncaught ASP exception (fail-open).
+    Exception,
+    /// An injected fault touched this node.
+    Fault,
+    /// The node crashed (soft-state lost).
+    Crash,
+    /// The node restarted.
+    Restart,
+}
+
+impl FlightKind {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Deliver => "deliver",
+            FlightKind::Drop => "drop",
+            FlightKind::Exception => "exception",
+            FlightKind::Fault => "fault",
+            FlightKind::Crash => "crash",
+            FlightKind::Restart => "restart",
+        }
+    }
+}
+
+/// One compact flight-recorder entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Simulation time, nanoseconds.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// The packet involved (0 = none).
+    pub pkt: u64,
+    /// Kind-specific detail code (see [`FlightKind`]).
+    pub detail: u32,
+}
+
+impl FlightEvent {
+    /// The human decoding of the detail code.
+    pub fn detail_name(&self) -> String {
+        match self.kind {
+            FlightKind::Drop => DropReason::from_index(self.detail)
+                .map(|r| r.name().to_string())
+                .unwrap_or_else(|| self.detail.to_string()),
+            FlightKind::Deliver => format!("app{}", self.detail),
+            _ => String::from("-"),
+        }
+    }
+}
+
+/// A frozen post-mortem window for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// The node whose ring was frozen.
+    pub node: u32,
+    /// When the dump was taken.
+    pub t_ns: u64,
+    /// Why ("crash", or the breaching rule's name).
+    pub cause: String,
+    /// The ring contents, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+/// Per-node rings plus the dumps taken so far.
+///
+/// Rings grow lazily with the highest node index seen; capacity is
+/// fixed per node (default 32 events) so total memory is
+/// `nodes × capacity × 32 B` — 100 MB at 100k nodes and the default
+/// capacity, linear and bounded.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    rings: Vec<VecDeque<FlightEvent>>,
+    dumps: Vec<FlightDump>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    /// Default per-node window of 32 events.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// A recorder with the default per-node capacity.
+    pub fn new() -> Self {
+        FlightRecorder {
+            cap: Self::DEFAULT_CAPACITY,
+            rings: Vec::new(),
+            dumps: Vec::new(),
+        }
+    }
+
+    /// Changes the per-node ring capacity (existing rings are trimmed
+    /// to the new bound, oldest first).
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        for r in &mut self.rings {
+            while r.len() > self.cap {
+                r.pop_front();
+            }
+        }
+    }
+
+    /// Appends one entry to `node`'s ring, evicting the oldest when
+    /// full.
+    #[inline]
+    pub fn record(&mut self, node: u32, ev: FlightEvent) {
+        let i = node as usize;
+        if i >= self.rings.len() {
+            self.rings.resize_with(i + 1, VecDeque::new);
+        }
+        let r = &mut self.rings[i];
+        if r.len() == self.cap {
+            r.pop_front();
+        }
+        r.push_back(ev);
+    }
+
+    /// The current ring contents for `node`, oldest first.
+    pub fn window(&self, node: u32) -> impl Iterator<Item = &FlightEvent> {
+        self.rings
+            .get(node as usize)
+            .into_iter()
+            .flat_map(|r| r.iter())
+    }
+
+    /// Freezes `node`'s current window into a dump.
+    pub fn dump(&mut self, node: u32, t_ns: u64, cause: &str) {
+        let events = self.window(node).copied().collect();
+        self.dumps.push(FlightDump {
+            node,
+            t_ns,
+            cause: cause.to_string(),
+            events,
+        });
+    }
+
+    /// The dumps taken so far, in capture order.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Renders every dump as a byte-stable text block. `nodes` supplies
+    /// display names by node index.
+    pub fn render_dumps(&self, nodes: &[String]) -> String {
+        let mut out = String::new();
+        for d in &self.dumps {
+            let name = nodes
+                .get(d.node as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("n{}", d.node));
+            let _ = writeln!(
+                out,
+                "flight dump  node={name} t_us={} cause={} events={}",
+                d.t_ns / 1000,
+                d.cause,
+                d.events.len()
+            );
+            for e in &d.events {
+                let _ = writeln!(
+                    out,
+                    "  {:>12}  {:<9} pkt={} {}",
+                    e.t_ns / 1000,
+                    e.kind.name(),
+                    e.pkt,
+                    e.detail_name()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: FlightKind) -> FlightEvent {
+        FlightEvent {
+            t_ns: t,
+            kind,
+            pkt: t,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_per_node() {
+        let mut f = FlightRecorder::new();
+        f.set_capacity(3);
+        for t in 0..10 {
+            f.record(2, ev(t, FlightKind::Deliver));
+        }
+        let w: Vec<u64> = f.window(2).map(|e| e.t_ns).collect();
+        assert_eq!(w, vec![7, 8, 9]);
+        assert_eq!(f.window(0).count(), 0, "untouched node has empty window");
+    }
+
+    #[test]
+    fn dump_freezes_the_window() {
+        let mut f = FlightRecorder::new();
+        f.record(1, ev(5, FlightKind::Drop));
+        f.record(1, ev(6, FlightKind::Crash));
+        f.dump(1, 7, "crash");
+        // Later traffic doesn't alter the frozen dump.
+        f.record(1, ev(8, FlightKind::Restart));
+        assert_eq!(f.dumps().len(), 1);
+        let d = &f.dumps()[0];
+        assert_eq!((d.node, d.t_ns, d.cause.as_str()), (1, 7, "crash"));
+        assert_eq!(d.events.len(), 2);
+        let text = f.render_dumps(&["a".into(), "relay".into()]);
+        assert!(text.contains("node=relay") && text.contains("crash"));
+        assert_eq!(text, f.render_dumps(&["a".into(), "relay".into()]));
+    }
+
+    #[test]
+    fn drop_details_decode() {
+        let e = FlightEvent {
+            t_ns: 1,
+            kind: FlightKind::Drop,
+            pkt: 9,
+            detail: DropReason::TtlExpired.index(),
+        };
+        assert_eq!(e.detail_name(), "ttl_expired");
+    }
+}

@@ -25,25 +25,34 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod span;
 
 pub use event::{
     Category, DispatchOutcome, DropReason, SpanOrigin, TraceConfig, TraceEvent, TraceLog,
+    TraceOverhead,
 };
 pub use export::{chrome_trace, prometheus};
-pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use flight::{FlightDump, FlightEvent, FlightKind, FlightRecorder};
+pub use metrics::{
+    CounterId, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot, ShardedCounterSet,
+};
+pub use monitor::{CounterSel, HealthMonitor, HealthSample, SloRule};
 pub use span::{CriticalHop, Span, TraceForest};
 
-/// The telemetry bundle a simulator instance carries: one event log and
-/// one metrics registry, both deterministic.
+/// The telemetry bundle a simulator instance carries: one event log,
+/// one metrics registry, and one flight recorder, all deterministic.
 #[derive(Debug, Default)]
 pub struct Telemetry {
     /// Structured event ring buffer.
     pub trace: TraceLog,
     /// Named counters and histograms.
     pub metrics: MetricsRegistry,
+    /// Always-on per-node post-mortem rings.
+    pub flight: FlightRecorder,
     /// Display names by node index, recorded as nodes are added — lets
     /// span-tree renderers and the Chrome exporter name rows without
     /// re-threading the topology.

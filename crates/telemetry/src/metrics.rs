@@ -92,6 +92,31 @@ impl Histogram {
         }
     }
 
+    /// The window between `earlier` (a previous cumulative snapshot of
+    /// the same series) and `self`: bucket counts, count, and sum
+    /// subtract. The windowed extrema are unrecoverable from cumulative
+    /// state, so `min`/`max` are re-derived from the surviving buckets'
+    /// bounds (clamped to the cumulative `max`) — exactly what the
+    /// windowed quantiles need.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut w = Histogram::new();
+        w.count = self.count.saturating_sub(earlier.count);
+        if w.count == 0 {
+            return w;
+        }
+        w.sum = self.sum.saturating_sub(earlier.sum);
+        for (i, (b, e)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            w.buckets[i] = b.saturating_sub(*e);
+            if w.buckets[i] > 0 {
+                // Lower bound of bucket i: 0 for bucket 0, else 2^(i-1).
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                w.min = w.min.min(lo);
+                w.max = w.max.max(Histogram::bucket_top(i).min(self.max));
+            }
+        }
+        w
+    }
+
     /// The approximate value at quantile `q` in `[0, 100]`: the upper
     /// bound of the bucket containing the q-th percentile sample,
     /// clamped to `[min, max]`. Deterministic, integer-only.
@@ -195,17 +220,60 @@ impl HistogramSummary {
     }
 }
 
+/// A pre-registered counter handle: the name → slot resolution happens
+/// once at registration, so hot-path increments are a bounds-checked
+/// array add with **no per-event string hashing** — the property that
+/// lets the registry scale to 100k+ nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
 /// Named counters and histograms.
+///
+/// Two counter stores share one namespace: ad-hoc string-keyed counters
+/// (`add`/`inc`) and pre-registered integer-id slots
+/// (`register_counter`/`add_id`). [`MetricsRegistry::counter`] and
+/// [`MetricsRegistry::snapshot`] present the merged view; a name that
+/// exists in both stores sums.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    id_names: Vec<String>,
+    id_values: Vec<u64>,
+    id_index: BTreeMap<String, u32>,
 }
 
 impl MetricsRegistry {
     /// A fresh, empty registry.
     pub fn new() -> Self {
         MetricsRegistry::default()
+    }
+
+    /// Resolves `name` to a stable integer handle, registering it at 0
+    /// on first use. Call once at install time; increment through the
+    /// handle on the hot path.
+    pub fn register_counter(&mut self, name: &str) -> CounterId {
+        if let Some(&i) = self.id_index.get(name) {
+            return CounterId(i);
+        }
+        let i = self.id_names.len() as u32;
+        self.id_names.push(name.to_string());
+        self.id_values.push(0);
+        self.id_index.insert(name.to_string(), i);
+        CounterId(i)
+    }
+
+    /// Adds `n` to a pre-registered counter (saturating).
+    #[inline]
+    pub fn add_id(&mut self, id: CounterId, n: u64) {
+        let v = &mut self.id_values[id.0 as usize];
+        *v = v.saturating_add(n);
+    }
+
+    /// Increments a pre-registered counter by one.
+    #[inline]
+    pub fn inc_id(&mut self, id: CounterId) {
+        self.add_id(id, 1);
     }
 
     /// Adds `n` to the named counter (creating it at 0).
@@ -222,9 +290,15 @@ impl MetricsRegistry {
         self.add(name, 1);
     }
 
-    /// Current value of a counter (0 if never touched).
+    /// Current value of a counter (0 if never touched). Sees both the
+    /// string-keyed and the id-registered stores.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        let s = self.counters.get(name).copied().unwrap_or(0);
+        let i = self
+            .id_index
+            .get(name)
+            .map_or(0, |&i| self.id_values[i as usize]);
+        s.saturating_add(i)
     }
 
     /// Records a histogram sample under `name`.
@@ -248,16 +322,82 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Freezes the registry contents into a snapshot.
+    /// Freezes the registry contents into a snapshot. Id-registered
+    /// counters fold into the name-keyed map (zero-valued slots are
+    /// skipped so unexercised registrations don't widen the export).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        for (name, &i) in &self.id_index {
+            let v = self.id_values[i as usize];
+            if v > 0 {
+                let c = counters.entry(name.clone()).or_insert(0);
+                *c = c.saturating_add(v);
+            }
+        }
         MetricsSnapshot {
-            counters: self.counters.clone(),
+            counters,
             histograms: self
                 .histograms
                 .iter()
                 .map(|(k, h)| (k.clone(), h.summary()))
                 .collect(),
         }
+    }
+}
+
+/// Striped counters: `shards × width` lanes of saturating `u64`.
+///
+/// Saturating addition of non-negative values computes
+/// `min(u64::MAX, Σ)` regardless of association order, so merging the
+/// shards is **order-independent** — any merge schedule (sequential,
+/// tree, reversed) produces the same totals. This is what makes a
+/// sharded layout safe for deterministic exports: the simulator can
+/// stripe writes by node index and still emit byte-stable totals.
+#[derive(Debug, Clone)]
+pub struct ShardedCounterSet {
+    shards: Vec<Vec<u64>>,
+}
+
+impl ShardedCounterSet {
+    /// `n_shards` stripes of `width` counters, all zero.
+    pub fn new(n_shards: usize, width: usize) -> Self {
+        ShardedCounterSet {
+            shards: vec![vec![0; width]; n_shards.max(1)],
+        }
+    }
+
+    /// Number of stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of counters per stripe.
+    pub fn width(&self) -> usize {
+        self.shards[0].len()
+    }
+
+    /// Adds `v` (saturating) to counter `c` of stripe `shard`.
+    #[inline]
+    pub fn add(&mut self, shard: usize, c: usize, v: u64) {
+        let n = self.shards.len();
+        let s = &mut self.shards[shard % n][c];
+        *s = s.saturating_add(v);
+    }
+
+    /// One stripe's lanes.
+    pub fn shard_totals(&self, shard: usize) -> &[u64] {
+        &self.shards[shard]
+    }
+
+    /// Folds every stripe into per-counter totals (saturating).
+    pub fn merged(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.width()];
+        for s in &self.shards {
+            for (o, v) in out.iter_mut().zip(s.iter()) {
+                *o = o.saturating_add(*v);
+            }
+        }
+        out
     }
 }
 
@@ -283,15 +423,20 @@ impl MetricsSnapshot {
     }
 
     /// Merges `other` into `self`. **Contract:** on a name collision
-    /// nothing is silently overwritten — counters **sum** (so merging
-    /// per-node snapshots yields fleet totals), and histogram summaries
-    /// merge field-wise via [`HistogramSummary::absorb`]: `count`/`sum`
-    /// add, `min`/`max` widen, and each percentile takes the larger of
-    /// the two (a documented upper bound on the true union quantile).
-    /// Names present in only one side are carried over unchanged.
+    /// nothing is silently overwritten — counters **sum, saturating at
+    /// `u64::MAX`** (so merging per-node snapshots yields fleet totals
+    /// and overflow pins to the ceiling instead of wrapping or
+    /// panicking; saturating addition of non-negative values is
+    /// associative and commutative, so any merge order agrees), and
+    /// histogram summaries merge field-wise via
+    /// [`HistogramSummary::absorb`]: `count`/`sum` add, `min`/`max`
+    /// widen, and each percentile takes the larger of the two (a
+    /// documented upper bound on the true union quantile). Names
+    /// present in only one side are carried over unchanged.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            let c = self.counters.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         for (k, v) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().absorb(v);
@@ -501,6 +646,111 @@ mod tests {
         let before = a.clone();
         a.merge(&MetricsSnapshot::default());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn snapshot_merge_counters_saturate() {
+        // Overflow pins to u64::MAX — never wraps, never panics — and
+        // the result is independent of merge order.
+        let mut a = MetricsSnapshot::default();
+        a.set_counter("x", u64::MAX - 5);
+        let mut b = MetricsSnapshot::default();
+        b.set_counter("x", 10);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.counters["x"], u64::MAX);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba.counters["x"], u64::MAX);
+        // Merging more on top stays pinned.
+        ab.merge(&b);
+        assert_eq!(ab.counters["x"], u64::MAX);
+    }
+
+    #[test]
+    fn counter_ids_resolve_once_and_fold_into_snapshots() {
+        let mut r = MetricsRegistry::new();
+        let a = r.register_counter("node.a.delivered");
+        let a2 = r.register_counter("node.a.delivered");
+        assert_eq!(a, a2, "same name resolves to the same handle");
+        let b = r.register_counter("node.b.delivered");
+        r.inc_id(a);
+        r.add_id(a, 4);
+        r.inc_id(b);
+        // Merged view through both accessors.
+        assert_eq!(r.counter("node.a.delivered"), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["node.a.delivered"], 5);
+        assert_eq!(snap.counters["node.b.delivered"], 1);
+        // A name used by both stores sums.
+        r.add("node.a.delivered", 2);
+        assert_eq!(r.counter("node.a.delivered"), 7);
+        assert_eq!(r.snapshot().counters["node.a.delivered"], 7);
+        // Registered-but-untouched slots don't widen the export.
+        r.register_counter("node.c.delivered");
+        assert!(!r.snapshot().counters.contains_key("node.c.delivered"));
+        // Saturation at the slot level.
+        r.add_id(a, u64::MAX);
+        assert_eq!(r.counter("node.a.delivered"), u64::MAX);
+    }
+
+    #[test]
+    fn sharded_counter_merge_is_order_independent() {
+        // Seeded pseudo-random fills, folded in three different shard
+        // orders: totals must agree bit-for-bit (associativity +
+        // commutativity of saturating add).
+        let mut set = ShardedCounterSet::new(8, 4);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let r = next();
+            set.add(
+                (r >> 8) as usize % 8,
+                (r >> 3) as usize % 4,
+                // Large addends so saturation actually occurs.
+                if r % 10 == 0 { u64::MAX / 2 } else { r % 1000 },
+            );
+        }
+        let forward = set.merged();
+        let fold = |order: &[usize]| {
+            let mut out = vec![0u64; set.width()];
+            for &s in order {
+                for (o, v) in out.iter_mut().zip(set.shard_totals(s)) {
+                    *o = o.saturating_add(*v);
+                }
+            }
+            out
+        };
+        assert_eq!(forward, fold(&[0, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(forward, fold(&[7, 6, 5, 4, 3, 2, 1, 0]));
+        assert_eq!(forward, fold(&[3, 0, 7, 1, 6, 2, 5, 4]));
+    }
+
+    #[test]
+    fn histogram_diff_recovers_the_window() {
+        let mut cum = Histogram::new();
+        for v in [10u64, 20, 30] {
+            cum.observe(v);
+        }
+        let earlier = cum.clone();
+        for v in [1000u64, 2000, 4000] {
+            cum.observe(v);
+        }
+        let w = cum.diff(&earlier);
+        assert_eq!(w.count(), 3);
+        assert_eq!(w.sum(), 7000);
+        // Window quantiles come from the window's buckets only.
+        assert!(w.percentile(99) >= 2000, "p99 = {}", w.percentile(99));
+        assert!(w.percentile(0) >= 512, "min bound = {}", w.percentile(0));
+        // Empty window.
+        let e = cum.diff(&cum);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.percentile(99), 0);
     }
 
     #[test]

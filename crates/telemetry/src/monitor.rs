@@ -1,0 +1,506 @@
+//! Live SLO health monitoring over windowed metric deltas.
+//!
+//! A [`HealthMonitor`] carries a set of [`SloRule`]s and an evaluation
+//! interval in simulation time. The simulator calls
+//! [`HealthMonitor::evaluate`] at each due boundary with a cumulative
+//! [`MetricsSnapshot`] (and the cumulative histograms the quantile
+//! rules need); the monitor differences against the previous boundary
+//! and judges each rule on the *window*, not the lifetime totals — a
+//! delivery-rate dip during a fault burst is visible even when the
+//! run-wide average still looks healthy.
+//!
+//! Everything is integer arithmetic on simulation-clock state, so two
+//! same-seed runs produce byte-identical reports.
+
+use crate::metrics::{Histogram, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Selects counters from a snapshot: an exact name, or every name with
+/// a given prefix and suffix (`node.*.delivered` style), summed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterSel {
+    /// One counter by exact name.
+    Exact(String),
+    /// The sum of every counter matching `prefix…suffix`.
+    Wildcard {
+        /// Required name prefix (e.g. `"node."`).
+        prefix: String,
+        /// Required name suffix (e.g. `".delivered"`).
+        suffix: String,
+    },
+}
+
+impl CounterSel {
+    /// Selects one counter by exact name.
+    pub fn exact(name: &str) -> Self {
+        CounterSel::Exact(name.to_string())
+    }
+
+    /// Selects (and sums) every counter with the given prefix + suffix.
+    pub fn wildcard(prefix: &str, suffix: &str) -> Self {
+        CounterSel::Wildcard {
+            prefix: prefix.to_string(),
+            suffix: suffix.to_string(),
+        }
+    }
+
+    fn sum(&self, snap: &MetricsSnapshot) -> u64 {
+        match self {
+            CounterSel::Exact(n) => snap.counters.get(n).copied().unwrap_or(0),
+            CounterSel::Wildcard { prefix, suffix } => snap
+                .counters
+                .range(prefix.clone()..)
+                .take_while(|(k, _)| k.starts_with(prefix.as_str()))
+                .filter(|(k, _)| k.ends_with(suffix.as_str()))
+                .fold(0u64, |a, (_, v)| a.saturating_add(*v)),
+        }
+    }
+}
+
+/// One windowed SLO rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SloRule {
+    /// `num/den` (window deltas) must stay ≥ `floor_ppm` parts per
+    /// million. Windows where the denominator delta is below `min_den`
+    /// carry no signal and are skipped (recorded, not judged).
+    RatioFloor {
+        /// Rule name, used in events and reports.
+        name: String,
+        /// Numerator counter(s).
+        num: CounterSel,
+        /// Denominator counter(s).
+        den: CounterSel,
+        /// Floor in parts per million (950_000 = 95%).
+        floor_ppm: u64,
+        /// Minimum denominator delta for the window to count.
+        min_den: u64,
+    },
+    /// The counter's window delta must stay ≤ `ceiling`.
+    CounterCeiling {
+        /// Rule name.
+        name: String,
+        /// The counter(s) to watch.
+        sel: CounterSel,
+        /// Max allowed delta per window.
+        ceiling: u64,
+    },
+    /// The windowed quantile of a named histogram must stay ≤
+    /// `ceiling`. Windows with no samples are skipped.
+    QuantileCeiling {
+        /// Rule name.
+        name: String,
+        /// Histogram name (resolved against the `hists` argument of
+        /// [`HealthMonitor::evaluate`]).
+        hist: String,
+        /// Quantile in per-mille (990 = p99).
+        q_pm: u64,
+        /// Max allowed quantile value.
+        ceiling: u64,
+    },
+}
+
+impl SloRule {
+    /// The rule's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            SloRule::RatioFloor { name, .. }
+            | SloRule::CounterCeiling { name, .. }
+            | SloRule::QuantileCeiling { name, .. } => name,
+        }
+    }
+}
+
+/// One rule judgement at one window boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSample {
+    /// Window end, simulation nanoseconds.
+    pub t_ns: u64,
+    /// The rule's name.
+    pub rule: String,
+    /// True unless the rule breached (skipped windows are `ok`).
+    pub ok: bool,
+    /// True when the window carried no signal for this rule.
+    pub skipped: bool,
+    /// Observed value (ppm for ratio rules, raw otherwise).
+    pub value: u64,
+    /// The rule's threshold, same unit as `value`.
+    pub threshold: u64,
+}
+
+/// Windowed SLO evaluation state: rules, interval, per-rule cumulative
+/// baselines, and the judged samples.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    interval_ns: u64,
+    rules: Vec<SloRule>,
+    next_ns: u64,
+    prev_counters: Vec<(u64, u64)>,
+    prev_hists: Vec<Histogram>,
+    samples: Vec<HealthSample>,
+    breaches: u64,
+    /// Nodes whose flight-recorder windows should be dumped when a
+    /// rule breaches (the simulator honours this).
+    pub dump_on_breach: Vec<u32>,
+}
+
+impl HealthMonitor {
+    /// A monitor evaluating every `interval_ns`, first boundary at
+    /// `interval_ns`.
+    pub fn new(interval_ns: u64) -> Self {
+        HealthMonitor {
+            interval_ns: interval_ns.max(1),
+            rules: Vec::new(),
+            next_ns: interval_ns.max(1),
+            prev_counters: Vec::new(),
+            prev_hists: Vec::new(),
+            samples: Vec::new(),
+            breaches: 0,
+            dump_on_breach: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn rule(mut self, r: SloRule) -> Self {
+        self.rules.push(r);
+        self.prev_counters.push((0, 0));
+        self.prev_hists.push(Histogram::new());
+        self
+    }
+
+    /// The rules, in evaluation order.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// True when simulation time has reached the next boundary.
+    pub fn due(&self, now_ns: u64) -> bool {
+        !self.rules.is_empty() && now_ns >= self.next_ns
+    }
+
+    /// The next boundary, in simulation nanoseconds.
+    pub fn next_ns(&self) -> u64 {
+        self.next_ns
+    }
+
+    /// The evaluation interval.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// Evaluates every rule over the window ending at the current
+    /// boundary and advances to the next one. `snap` is the cumulative
+    /// snapshot; `hists` supplies cumulative histograms by name for
+    /// quantile rules. Returns the new samples (also retained
+    /// internally for the report).
+    pub fn evaluate(
+        &mut self,
+        snap: &MetricsSnapshot,
+        hists: &[(&str, &Histogram)],
+    ) -> Vec<HealthSample> {
+        let t_ns = self.next_ns;
+        self.next_ns += self.interval_ns;
+        let mut out = Vec::with_capacity(self.rules.len());
+        for (i, rule) in self.rules.iter().enumerate() {
+            let sample = match rule {
+                SloRule::RatioFloor {
+                    name,
+                    num,
+                    den,
+                    floor_ppm,
+                    min_den,
+                } => {
+                    let (n_cum, d_cum) = (num.sum(snap), den.sum(snap));
+                    let (pn, pd) = self.prev_counters[i];
+                    self.prev_counters[i] = (n_cum, d_cum);
+                    let dn = n_cum.saturating_sub(pn);
+                    let dd = d_cum.saturating_sub(pd);
+                    if dd < (*min_den).max(1) {
+                        HealthSample {
+                            t_ns,
+                            rule: name.clone(),
+                            ok: true,
+                            skipped: true,
+                            value: 0,
+                            threshold: *floor_ppm,
+                        }
+                    } else {
+                        let ppm = dn.saturating_mul(1_000_000) / dd;
+                        HealthSample {
+                            t_ns,
+                            rule: name.clone(),
+                            ok: ppm >= *floor_ppm,
+                            skipped: false,
+                            value: ppm,
+                            threshold: *floor_ppm,
+                        }
+                    }
+                }
+                SloRule::CounterCeiling { name, sel, ceiling } => {
+                    let cum = sel.sum(snap);
+                    let (p, _) = self.prev_counters[i];
+                    self.prev_counters[i] = (cum, 0);
+                    let delta = cum.saturating_sub(p);
+                    HealthSample {
+                        t_ns,
+                        rule: name.clone(),
+                        ok: delta <= *ceiling,
+                        skipped: false,
+                        value: delta,
+                        threshold: *ceiling,
+                    }
+                }
+                SloRule::QuantileCeiling {
+                    name,
+                    hist,
+                    q_pm,
+                    ceiling,
+                } => {
+                    let cur = hists
+                        .iter()
+                        .find(|(n, _)| *n == hist.as_str())
+                        .map(|(_, h)| *h);
+                    match cur {
+                        Some(cur) => {
+                            let window = cur.diff(&self.prev_hists[i]);
+                            self.prev_hists[i] = cur.clone();
+                            if window.count() == 0 {
+                                HealthSample {
+                                    t_ns,
+                                    rule: name.clone(),
+                                    ok: true,
+                                    skipped: true,
+                                    value: 0,
+                                    threshold: *ceiling,
+                                }
+                            } else {
+                                let v = window.percentile_permille(*q_pm);
+                                HealthSample {
+                                    t_ns,
+                                    rule: name.clone(),
+                                    ok: v <= *ceiling,
+                                    skipped: false,
+                                    value: v,
+                                    threshold: *ceiling,
+                                }
+                            }
+                        }
+                        None => HealthSample {
+                            t_ns,
+                            rule: name.clone(),
+                            ok: true,
+                            skipped: true,
+                            value: 0,
+                            threshold: *ceiling,
+                        },
+                    }
+                }
+            };
+            if !sample.ok {
+                self.breaches += 1;
+            }
+            out.push(sample.clone());
+            self.samples.push(sample);
+        }
+        out
+    }
+
+    /// Every judged sample, in time order.
+    pub fn samples(&self) -> &[HealthSample] {
+        &self.samples
+    }
+
+    /// Total breached windows across all rules.
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+
+    /// Windows (boundary × rule) that breached for the named rule.
+    pub fn breaches_of(&self, rule: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.rule == rule && !s.ok)
+            .count() as u64
+    }
+
+    /// True if the named rule's *last judged* (non-skipped) window was
+    /// healthy — the "recovered" signal after a breach.
+    pub fn last_ok(&self, rule: &str) -> Option<bool> {
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.rule == rule && !s.skipped)
+            .map(|s| s.ok)
+    }
+
+    /// A byte-stable text report: one line per (boundary, rule), then a
+    /// per-rule breach summary.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "health report  interval_us={}  windows={}  breaches={}",
+            self.interval_ns / 1000,
+            self.samples.len() / self.rules.len().max(1),
+            self.breaches
+        );
+        let w = self.rules.iter().map(|r| r.name().len()).max().unwrap_or(4);
+        let _ = writeln!(
+            out,
+            "  {:>10}  {:<w$}  {:<6}  {:>12} {:>12}",
+            "t_us", "rule", "state", "value", "threshold"
+        );
+        for s in &self.samples {
+            let state = if s.skipped {
+                "skip"
+            } else if s.ok {
+                "ok"
+            } else {
+                "BREACH"
+            };
+            let _ = writeln!(
+                out,
+                "  {:>10}  {:<w$}  {:<6}  {:>12} {:>12}",
+                s.t_ns / 1000,
+                s.rule,
+                state,
+                s.value,
+                s.threshold
+            );
+        }
+        for r in &self.rules {
+            let _ = writeln!(
+                out,
+                "rule {:<w$}  breaches={}  last_ok={}",
+                r.name(),
+                self.breaches_of(r.name()),
+                match self.last_ok(r.name()) {
+                    Some(true) => "true",
+                    Some(false) => "false",
+                    None => "n/a",
+                }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, u64)]) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        for (k, v) in pairs {
+            s.set_counter(*k, *v);
+        }
+        s
+    }
+
+    fn delivery_monitor() -> HealthMonitor {
+        HealthMonitor::new(1_000_000).rule(SloRule::RatioFloor {
+            name: "delivery".into(),
+            num: CounterSel::wildcard("node.", ".delivered"),
+            den: CounterSel::exact("app.sent"),
+            floor_ppm: 900_000,
+            min_den: 5,
+        })
+    }
+
+    #[test]
+    fn ratio_floor_judges_window_deltas_not_lifetime() {
+        let mut m = delivery_monitor();
+        assert!(m.due(1_000_000) && !m.due(999_999));
+        // Window 1: 10 sent, 10 delivered across two nodes → ok.
+        let s1 = m.evaluate(
+            &snap(&[
+                ("app.sent", 10),
+                ("node.a.delivered", 6),
+                ("node.b.delivered", 4),
+            ]),
+            &[],
+        );
+        assert!(s1[0].ok && !s1[0].skipped && s1[0].value == 1_000_000);
+        // Window 2: 10 more sent, only 5 more delivered → 50% → breach,
+        // even though the lifetime ratio (15/20) is still 75%.
+        let s2 = m.evaluate(
+            &snap(&[
+                ("app.sent", 20),
+                ("node.a.delivered", 9),
+                ("node.b.delivered", 6),
+            ]),
+            &[],
+        );
+        assert!(!s2[0].ok);
+        assert_eq!(s2[0].value, 500_000);
+        assert_eq!(m.breaches(), 1);
+        // Window 3: back above floor → recovery visible via last_ok.
+        let s3 = m.evaluate(
+            &snap(&[
+                ("app.sent", 30),
+                ("node.a.delivered", 19),
+                ("node.b.delivered", 6),
+            ]),
+            &[],
+        );
+        assert!(s3[0].ok);
+        assert_eq!(m.last_ok("delivery"), Some(true));
+        assert_eq!(m.breaches_of("delivery"), 1);
+    }
+
+    #[test]
+    fn quiet_windows_are_skipped_not_judged() {
+        let mut m = delivery_monitor();
+        let s = m.evaluate(&snap(&[("app.sent", 2)]), &[]);
+        assert!(s[0].ok && s[0].skipped, "below min_den: no judgement");
+        assert_eq!(m.breaches(), 0);
+    }
+
+    #[test]
+    fn counter_ceiling_and_quantile_ceiling() {
+        let mut m = HealthMonitor::new(1_000_000)
+            .rule(SloRule::CounterCeiling {
+                name: "fault_drops".into(),
+                sel: CounterSel::wildcard("link", ".fault_drops"),
+                ceiling: 3,
+            })
+            .rule(SloRule::QuantileCeiling {
+                name: "hop_p99".into(),
+                hist: "sim.hop_latency_ns".into(),
+                q_pm: 990,
+                ceiling: 1_000_000,
+            });
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(10_000);
+        }
+        let s1 = m.evaluate(
+            &snap(&[("link0.fault_drops", 2), ("link1.fault_drops", 1)]),
+            &[("sim.hop_latency_ns", &h)],
+        );
+        assert!(s1[0].ok, "3 fault drops ≤ ceiling 3");
+        assert!(s1[1].ok, "p99 10µs ≤ 1ms");
+        // Window 2: 5 more fault drops; latency spikes into the ms.
+        for _ in 0..50 {
+            h.observe(8_000_000);
+        }
+        let s2 = m.evaluate(
+            &snap(&[("link0.fault_drops", 6), ("link1.fault_drops", 2)]),
+            &[("sim.hop_latency_ns", &h)],
+        );
+        assert!(!s2[0].ok, "5 fault drops > 3");
+        assert!(!s2[1].ok, "windowed p99 must see the spike");
+        assert!(s2[1].value >= 8_000_000, "p99 = {}", s2[1].value);
+        assert_eq!(m.breaches(), 2);
+    }
+
+    #[test]
+    fn report_is_byte_stable() {
+        let mut m = delivery_monitor();
+        m.evaluate(&snap(&[("app.sent", 10), ("node.a.delivered", 9)]), &[]);
+        m.evaluate(&snap(&[("app.sent", 20), ("node.a.delivered", 10)]), &[]);
+        let r = m.render_report();
+        assert!(r.contains("BREACH") && r.contains("rule delivery"));
+        assert!(r.contains("last_ok=false"));
+        assert_eq!(r, m.render_report());
+    }
+}

@@ -511,6 +511,7 @@ mod tests {
         let mut log = TraceLog::new(TraceConfig {
             categories: Category::ALL,
             capacity: 64,
+            ..TraceConfig::default()
         });
         log.push(start(10, 1, 5, 1, 4, SpanOrigin::Remote));
         let f = TraceForest::from_log(&log);

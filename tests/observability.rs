@@ -1,0 +1,221 @@
+//! The scale-ready telemetry contract: deterministic whole-lineage
+//! head sampling (same seed + rate ⇒ byte-identical exports; rate 1/1
+//! ⇒ identical to the unsampled path; kept traces always complete),
+//! the ≥ 8× overhead cut of 1/16 sampling on the 1k-node grid, the
+//! deterministic budget downgrade path, and the live SLO health
+//! monitor catching the chaos delivery-floor breach, the recovery
+//! window, and the crashed relay's flight-recorder dump.
+
+use planp::apps::audio::{run_audio_traced, Adaptation, AudioConfig};
+use planp::apps::chaos::{run_relay_chaos, RelayChaosConfig, RelayKind};
+use planp::apps::obs::{run_obs_grid, ObsGridConfig};
+use planp::telemetry::{chrome_trace, prometheus, Category, TraceConfig, TraceForest};
+
+fn audio_cfg() -> AudioConfig {
+    AudioConfig::constant_load(Adaptation::AspJit, 9450, 10)
+}
+
+fn roomy(sample_n: u32) -> TraceConfig {
+    TraceConfig {
+        capacity: 1 << 19,
+        ..TraceConfig::sampled(sample_n)
+    }
+}
+
+// ---- sampler determinism ----------------------------------------------
+
+/// Same seed + same rate ⇒ byte-identical JSONL, Chrome, and
+/// Prometheus exports across two independent runs.
+#[test]
+fn sampled_exports_are_byte_stable_across_same_seed_runs() {
+    let run = || {
+        let (_, t, m) = run_audio_traced(&audio_cfg(), roomy(8));
+        let forest = TraceForest::from_log(&t.trace);
+        (
+            t.trace.to_jsonl(),
+            chrome_trace(&forest, &t.nodes),
+            prometheus(&m),
+        )
+    };
+    let (jsonl_a, chrome_a, prom_a) = run();
+    let (jsonl_b, chrome_b, prom_b) = run();
+    assert_eq!(jsonl_a, jsonl_b, "sampled JSONL must be deterministic");
+    assert_eq!(chrome_a, chrome_b);
+    assert_eq!(prom_a, prom_b);
+}
+
+/// Rate 1/1 must take the identical code path as no sampling at all:
+/// the recorded event stream is byte-for-byte the unsampled one.
+#[test]
+fn rate_one_is_byte_identical_to_unsampled() {
+    let (_, unsampled, _) = run_audio_traced(
+        &audio_cfg(),
+        TraceConfig {
+            capacity: 1 << 19,
+            ..TraceConfig::all()
+        },
+    );
+    let (_, rate_one, _) = run_audio_traced(&audio_cfg(), roomy(1));
+    assert_eq!(unsampled.trace.to_jsonl(), rate_one.trace.to_jsonl());
+    assert_eq!(rate_one.trace.sampled_out(), 0);
+}
+
+/// Whole-lineage sampling: whatever the rate, a kept trace keeps every
+/// span — the forest has no orphans, and every root is an ingress.
+#[test]
+fn sampled_forests_have_no_orphans() {
+    for n in [2, 8, 32] {
+        let (_, t, _) = run_audio_traced(&audio_cfg(), roomy(n));
+        assert_eq!(t.trace.evicted(), 0);
+        let forest = TraceForest::from_log(&t.trace);
+        assert_eq!(
+            forest.orphans().len(),
+            0,
+            "1/{n}: sampling must keep whole lineages"
+        );
+        assert!(t.trace.sampled_out() > 0, "1/{n}: the sampler must bite");
+    }
+}
+
+// ---- overhead at scale -------------------------------------------------
+
+fn grid(trace: TraceConfig) -> ObsGridConfig {
+    ObsGridConfig::new(TraceConfig {
+        capacity: 1 << 17,
+        ..trace
+    })
+}
+
+/// The acceptance headline: on the 1024-node grid, 1/16 sampling cuts
+/// recorded trace events ≥ 8× against full tracing, while every
+/// retained trace still reconstructs a complete span tree and the
+/// simulation itself is untouched.
+#[test]
+fn grid_sampling_cuts_overhead_eightfold_with_complete_trees() {
+    let full = run_obs_grid(&grid(TraceConfig::all()));
+    let s16 = run_obs_grid(&grid(TraceConfig::sampled(16)));
+    assert!(full.nodes >= 1000, "grid is {} nodes", full.nodes);
+    for (label, r) in [("full", &full), ("1/16", &s16)] {
+        assert_eq!(r.unique, r.expected, "{label}: every datagram delivered");
+        assert_eq!(r.overhead.evicted, 0, "{label}");
+        assert_eq!(r.orphans, 0, "{label}: kept traces stay complete");
+    }
+    assert!(
+        full.overhead.kept >= 8 * s16.overhead.kept,
+        "1/16 sampling kept {} of {} events (< 8x cut)",
+        s16.overhead.kept,
+        full.overhead.kept
+    );
+    assert!(s16.overhead.sampled_out > 0);
+    // The sampled snapshot self-accounts: the overhead counters are in.
+    assert_eq!(
+        s16.snapshot.counters["sim.trace_sample_n"], 16,
+        "snapshot must carry the sampling rate"
+    );
+    assert_eq!(
+        s16.snapshot.counters["sim.trace_sampled_out"],
+        s16.overhead.sampled_out
+    );
+}
+
+/// The kept-event budget deterministically steps the sampling rate
+/// down (doubling `sample_n`, one `sample_downgrade` event per step),
+/// and two same-seed budget runs are byte-identical.
+#[test]
+fn budget_downgrade_is_deterministic() {
+    let cfg = grid(TraceConfig {
+        budget: 4_000,
+        ..TraceConfig::all()
+    });
+    let a = run_obs_grid(&cfg);
+    let b = run_obs_grid(&cfg);
+    assert!(
+        a.overhead.downgrades >= 1,
+        "budget must bite: {:?}",
+        a.overhead
+    );
+    assert!(a.overhead.sample_n > 1, "rate stepped down");
+    assert_eq!(
+        a.overhead, b.overhead,
+        "downgrade schedule is deterministic"
+    );
+    assert_eq!(a.telemetry.trace.to_jsonl(), b.telemetry.trace.to_jsonl());
+    assert_eq!(a.orphans, 0, "downgrades never orphan kept lineages");
+    let downgrade_events = a
+        .telemetry
+        .trace
+        .events()
+        .filter(|e| e.category() == Category::META)
+        .count() as u32;
+    assert_eq!(downgrade_events, a.overhead.downgrades);
+    assert_eq!(
+        a.snapshot.counters["sim.trace_downgrades"],
+        u64::from(a.overhead.downgrades)
+    );
+}
+
+// ---- live SLO health monitoring ---------------------------------------
+
+fn monitored(mut cfg: RelayChaosConfig) -> RelayChaosConfig {
+    cfg.monitor_ms = Some(250);
+    cfg
+}
+
+/// The monitor catches the PR 5 chaos SLO breach: the fragile relay at
+/// 10% per-link loss violates the windowed 95% delivery floor, and the
+/// first breach freezes the middle relay's flight-recorder window.
+#[test]
+fn health_monitor_detects_fragile_delivery_breach() {
+    let res = run_relay_chaos(&monitored(RelayChaosConfig::loss(RelayKind::Fragile, 0.10)));
+    let h = res.health.expect("monitored run");
+    assert!(h.delivery_breaches >= 1, "{}", h.report);
+    assert!(h.report.contains("BREACH"));
+    assert!(
+        h.flight.contains("node=r3") && h.flight.contains("cause=delivery_floor"),
+        "breach must freeze the middle relay's window:\n{}",
+        h.flight
+    );
+}
+
+/// The reliable relay under the same monitor holds every delivery
+/// window above the floor — the recovery side of the acceptance
+/// criterion — and the report is byte-stable across same-seed runs.
+#[test]
+fn health_monitor_reliable_recovery_and_byte_stability() {
+    let cfg = monitored(RelayChaosConfig::loss(RelayKind::Reliable, 0.05));
+    let a = run_relay_chaos(&cfg);
+    let b = run_relay_chaos(&cfg);
+    let (ha, hb) = (a.health.expect("monitored"), b.health.expect("monitored"));
+    assert_eq!(ha.delivery_breaches, 0, "{}", ha.report);
+    assert_eq!(ha.delivery_recovered, Some(true));
+    assert_eq!(ha.report, hb.report, "health report must be byte-stable");
+    assert_eq!(ha.flight, hb.flight);
+}
+
+/// A crash mid-stream: the outage windows breach, the post-restart
+/// windows recover, and the byte-stable report carries the crashed
+/// node's flight-recorder window with the crash itself in it.
+#[test]
+fn health_monitor_crash_flight_recorder_dump() {
+    let mut cfg = RelayChaosConfig::loss(RelayKind::Reliable, 0.02);
+    cfg.crash_relay = Some((0.25, 0.55));
+    let cfg = monitored(cfg);
+    let a = run_relay_chaos(&cfg);
+    let h = a.health.as_ref().expect("monitored");
+    assert!(
+        h.delivery_breaches >= 1,
+        "outage windows breach: {}",
+        h.report
+    );
+    assert_eq!(h.delivery_recovered, Some(true), "{}", h.report);
+    assert!(
+        h.flight.contains("node=r3") && h.flight.contains("cause=crash"),
+        "crash dump missing:\n{}",
+        h.flight
+    );
+    assert!(a.delivery_ratio >= 0.99, "NACK repair covers the outage");
+    let b = run_relay_chaos(&cfg);
+    let hb = b.health.expect("monitored");
+    assert_eq!(h.report, hb.report);
+    assert_eq!(h.flight, hb.flight);
+}
