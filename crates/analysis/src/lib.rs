@@ -23,7 +23,13 @@
 //!   states that refines the SCC screen's termination/delivery
 //!   verdicts and reconstructs minimal counterexample
 //!   [witnesses](witness) (codes `E005`/`E006`), replayable through
-//!   the simulator.
+//!   the simulator;
+//! * **[deployment plans](plan)** — placement of ASPs over named
+//!   topologies with compositional guarantees: a [product model
+//!   check](compose) of co-deployed ASPs catching joint forwarding
+//!   loops no single-program check sees (`E007`), composed per-path
+//!   CPU budgets (`E008`), and plan-scope lints (`P001`–`P004`,
+//!   `L008`).
 //!
 //! The [`verifier`] module packages these behind a download [`Policy`],
 //! as the paper's late-checking router component does: unverifiable
@@ -44,22 +50,28 @@
 
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod cost;
 pub mod delivery;
 pub mod diag;
 pub mod duplication;
 pub mod lint;
 pub mod modelcheck;
+pub mod plan;
 pub mod summary;
 pub mod termination;
 pub mod verifier;
 pub mod witness;
 
+pub use compose::{product_check, ComposeResult};
 pub use cost::{cost_bounds, ChannelCost, CostBound, CostReport};
 pub use diag::{Diagnostic, Severity};
 pub use duplication::{compute_may_copy, DuplicationInfo};
 pub use lint::lint;
 pub use modelcheck::{model_check, ModelCheckReport, Verdict, DEFAULT_STATE_BUDGET};
+pub use plan::{
+    Install, PathBudget, PlanAsp, PlanCheck, PlanNode, PlanPolicy, PlanReport, PlanTopology,
+};
 pub use summary::{summarize, DestAbs, ProgramSummary, SendKind, SendSite};
 pub use termination::Outcome;
 pub use verifier::{verify, verify_with_summary, AnalysisStats, Policy, VerifyReport};

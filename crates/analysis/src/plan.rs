@@ -1,0 +1,1008 @@
+//! Plan-level static verification: placement, composition, budgets,
+//! and lints over a whole deployment.
+//!
+//! A deployment plan (parsed by `planp_lang::plan`) names a topology,
+//! maps traffic classes to ASPs, and targets topology *slices*. This
+//! module turns that description into checked facts **before** anything
+//! installs:
+//!
+//! * **placement** — [`PlanCheck::new`] resolves every `deploy` to
+//!   concrete install points over a [`PlanTopology`] (`on <slice>`
+//!   installs everywhere in the slice; `on one(<slice>)` picks the
+//!   slice node covering the most plan paths);
+//! * **cross-ASP interaction** — [`PlanCheck::verify`] runs the
+//!   [product model check](crate::compose) over the co-deployed ASPs'
+//!   send-site summaries, rejecting joint forwarding loops (`E007`)
+//!   that no single-program check can see, with minimal witnesses;
+//! * **path CPU budgets** — per-channel worst-case step bounds
+//!   ([`crate::cost`]) compose along every plan path into a
+//!   network-wide per-packet budget, enforced against the plan's
+//!   `budget steps` line (`E008`);
+//! * **plan lints** — `P001` unreachable deploy, `P002` shadowed
+//!   traffic class, `P003` uncovered class, `P004` dead install point,
+//!   and `L008` (a send to a channel no co-deployed ASP handles).
+//!
+//! The result is a [`PlanReport`] with byte-stable JSON, mirroring the
+//! per-program [`crate::verifier`] report shape.
+
+use crate::compose::product_check;
+use crate::cost::{cost_bounds, CostReport};
+use crate::diag::{Diagnostic, Severity};
+use crate::modelcheck::{Verdict, DEFAULT_STATE_BUDGET};
+use crate::summary::{summarize, ProgramSummary};
+use crate::witness::Witness;
+use planp_lang::plan::{PlanAst, SliceMode};
+use planp_lang::span::Span;
+use planp_lang::{LangError, TProgram};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One node of the plan-level topology model.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// Node name.
+    pub name: String,
+    /// IPv4 address.
+    pub addr: u32,
+    /// Slice names this node belongs to.
+    pub slices: Vec<String>,
+}
+
+/// The static topology a plan is verified against: nodes, adjacency,
+/// and the expected end-to-end paths. Runtime bridges
+/// `netsim::TopoSpec` into this shape (analysis stays simulator-free).
+#[derive(Debug, Clone)]
+pub struct PlanTopology {
+    /// Topology registry name; must match the plan's `topology` line.
+    pub name: String,
+    /// Nodes in simulator creation order.
+    pub nodes: Vec<PlanNode>,
+    /// Undirected adjacency over node indices.
+    pub adj: Vec<Vec<usize>>,
+    /// Expected `(ingress, egress)` traffic paths.
+    pub paths: Vec<(usize, usize)>,
+}
+
+impl PlanTopology {
+    /// Assembles a topology model from parts.
+    pub fn new(
+        name: impl Into<String>,
+        nodes: Vec<PlanNode>,
+        adj: Vec<Vec<usize>>,
+        paths: Vec<(usize, usize)>,
+    ) -> Self {
+        PlanTopology {
+            name: name.into(),
+            nodes,
+            adj,
+            paths,
+        }
+    }
+
+    /// The node holding address `a`, if any.
+    pub fn node_by_addr(&self, a: u32) -> Option<usize> {
+        self.nodes.iter().position(|n| n.addr == a)
+    }
+
+    /// Node indices in slice `slice`; a node's own name doubles as a
+    /// singleton slice (matching `TopoSpec::slice`).
+    pub fn slice(&self, slice: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.name == slice || n.slices.iter().any(|s| s == slice))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-node next hop toward `target` under shortest-path (BFS)
+    /// routing — `None` for unreachable nodes and for `target` itself.
+    pub fn toward(&self, target: usize) -> Vec<Option<usize>> {
+        let mut next = vec![None; self.nodes.len()];
+        let mut seen = vec![false; self.nodes.len()];
+        let mut q = VecDeque::new();
+        seen[target] = true;
+        q.push_back(target);
+        while let Some(u) = q.pop_front() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    next[v] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        next
+    }
+
+    /// The next hop from `from` toward `to`.
+    pub fn next_hop(&self, from: usize, to: usize) -> Option<usize> {
+        self.toward(to)[from]
+    }
+
+    /// The full route `from → … → to` (inclusive), or `None` if
+    /// unreachable.
+    pub fn route(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let next = self.toward(to);
+        let mut route = vec![from];
+        let mut at = from;
+        while at != to {
+            at = next[at]?;
+            route.push(at);
+        }
+        Some(route)
+    }
+}
+
+/// Plan-scope acceptance policy, the plan-level analogue of the
+/// per-program download [`crate::Policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanPolicy {
+    /// Reject the plan unless joint termination is proved (`E007`).
+    pub require_joint_termination: bool,
+    /// Reject any path whose composed worst-case step budget exceeds
+    /// this (`E008`). Set by the plan's `budget steps` line.
+    pub max_path_steps: Option<u64>,
+    /// Product-state exploration budget.
+    pub product_budget: usize,
+}
+
+impl PlanPolicy {
+    /// The default: joint termination must be proved.
+    pub fn strict() -> Self {
+        PlanPolicy {
+            require_joint_termination: true,
+            max_path_steps: None,
+            product_budget: DEFAULT_STATE_BUDGET,
+        }
+    }
+
+    /// Authenticated deployments: joint loops are reported but do not
+    /// reject (explicit step budgets still do, as for `E004`).
+    pub fn authenticated() -> Self {
+        PlanPolicy {
+            require_joint_termination: false,
+            ..PlanPolicy::strict()
+        }
+    }
+
+    /// Resolves a plan-source policy name.
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "strict" => Some(PlanPolicy::strict()),
+            "authenticated" => Some(PlanPolicy::authenticated()),
+            _ => None,
+        }
+    }
+}
+
+/// One compiled ASP as the plan verifier sees it: channel names, the
+/// send-site summary, and the per-channel cost bounds.
+#[derive(Debug, Clone)]
+pub struct PlanAsp {
+    /// ASP name (as referenced by the plan's `deploy` lines).
+    pub name: String,
+    /// `(channel name, overload index)` per channel, parallel to the
+    /// summary.
+    pub channels: Vec<(String, u32)>,
+    /// Send-site abstraction per channel.
+    pub summary: ProgramSummary,
+    /// Worst-case step/send bounds per channel.
+    pub cost: CostReport,
+}
+
+impl PlanAsp {
+    /// Summarizes a compiled program for plan-level checking.
+    pub fn from_program(name: impl Into<String>, prog: &TProgram) -> Self {
+        PlanAsp {
+            name: name.into(),
+            channels: prog
+                .channels
+                .iter()
+                .map(|c| (c.name.clone(), c.overload))
+                .collect(),
+            summary: summarize(prog),
+            cost: cost_bounds(prog),
+        }
+    }
+
+    /// The worst-case single-dispatch step bound over all channels.
+    pub fn max_steps(&self) -> u64 {
+        self.cost.max_steps()
+    }
+}
+
+/// One resolved install point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Install {
+    /// Index into the plan's `deploys` (and into the aligned ASP list).
+    pub deploy: usize,
+    /// Topology node index the ASP installs on.
+    pub node: usize,
+}
+
+/// The composed worst-case budget of one plan path.
+#[derive(Debug, Clone)]
+pub struct PathBudget {
+    /// Ingress node name.
+    pub from: String,
+    /// Egress node name.
+    pub to: String,
+    /// Route length in links.
+    pub hops: usize,
+    /// Worst-case VM steps a packet can cost along the route (the
+    /// per-node max over co-resident ASP bounds, summed over every
+    /// node past the ingress).
+    pub steps: u64,
+}
+
+/// A placed, verifiable deployment: the output of [`PlanCheck::new`],
+/// ready for (repeatable) [`PlanCheck::verify`] runs.
+#[derive(Debug, Clone)]
+pub struct PlanCheck {
+    /// The parsed plan.
+    pub plan: PlanAst,
+    /// The topology model it deploys over.
+    pub topo: PlanTopology,
+    /// Compiled ASPs, aligned with `plan.deploys`.
+    pub asps: Vec<PlanAsp>,
+    /// Resolved install points.
+    pub installs: Vec<Install>,
+    /// Resolved plan policy.
+    pub policy: PlanPolicy,
+}
+
+impl PlanCheck {
+    /// Resolves placement: checks the topology matches the plan, the
+    /// ASP list is aligned with the deploys, and maps every `deploy`
+    /// onto concrete install points.
+    ///
+    /// # Errors
+    ///
+    /// Rejects topology/plan name mismatches, misaligned ASP lists,
+    /// and unknown policy names.
+    pub fn new(plan: PlanAst, topo: PlanTopology, asps: Vec<PlanAsp>) -> Result<Self, LangError> {
+        if topo.name != plan.topology {
+            return Err(LangError::verify(
+                format!(
+                    "plan `{}` targets topology `{}` but was given `{}`",
+                    plan.name, plan.topology, topo.name
+                ),
+                Span::dummy(),
+            ));
+        }
+        if asps.len() != plan.deploys.len() {
+            return Err(LangError::verify(
+                format!(
+                    "plan `{}` has {} deploy(s) but {} compiled ASP(s) were supplied",
+                    plan.name,
+                    plan.deploys.len(),
+                    asps.len()
+                ),
+                Span::dummy(),
+            ));
+        }
+        for (d, a) in plan.deploys.iter().zip(&asps) {
+            if d.asp != a.name {
+                return Err(LangError::verify(
+                    format!("deploy expects ASP `{}` but got `{}`", d.asp, a.name),
+                    d.span,
+                ));
+            }
+        }
+        let mut policy = match plan.policy.as_deref() {
+            None => PlanPolicy::strict(),
+            Some(name) => PlanPolicy::named(name).ok_or_else(|| {
+                LangError::verify(format!("unknown plan policy `{name}`"), Span::dummy())
+            })?,
+        };
+        if plan.budget_steps.is_some() {
+            policy.max_path_steps = plan.budget_steps;
+        }
+
+        // Route coverage: how many plan paths route *through* each node
+        // (ingress excluded — a node's hook never sees the traffic it
+        // originates).
+        let mut coverage = vec![0usize; topo.nodes.len()];
+        for &(a, b) in &topo.paths {
+            if let Some(route) = topo.route(a, b) {
+                for &n in &route[1..] {
+                    coverage[n] += 1;
+                }
+            }
+        }
+
+        let mut installs = Vec::new();
+        for (di, d) in plan.deploys.iter().enumerate() {
+            let nodes = topo.slice(&d.slice);
+            match d.mode {
+                SliceMode::All => {
+                    installs.extend(nodes.into_iter().map(|n| Install {
+                        deploy: di,
+                        node: n,
+                    }));
+                }
+                SliceMode::One => {
+                    // The slice node covering the most plan paths;
+                    // ties break toward the lowest node index.
+                    if let Some(&n) = nodes
+                        .iter()
+                        .max_by_key(|&&n| (coverage[n], std::cmp::Reverse(n)))
+                    {
+                        installs.push(Install {
+                            deploy: di,
+                            node: n,
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(PlanCheck {
+            plan,
+            topo,
+            asps,
+            installs,
+            policy,
+        })
+    }
+
+    /// Runs the plan-level verification: product model check, path
+    /// budget composition, and the plan lints.
+    pub fn verify(&self) -> PlanReport {
+        let spans: Vec<Span> = self
+            .installs
+            .iter()
+            .map(|i| self.plan.deploys[i.deploy].span)
+            .collect();
+        let compose = product_check(
+            &self.topo,
+            &self.asps,
+            &self.installs,
+            &spans,
+            self.policy.product_budget,
+        );
+
+        let mut diagnostics = Vec::new();
+
+        // --- path budgets (E008) ---------------------------------
+        let mut budgets = Vec::new();
+        for &(a, b) in &self.topo.paths {
+            let Some(route) = self.topo.route(a, b) else {
+                continue;
+            };
+            let mut steps = 0u64;
+            let mut worst: Option<(u64, usize)> = None;
+            for &n in &route[1..] {
+                let node_worst = self
+                    .installs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ins)| ins.node == n)
+                    .map(|(ii, ins)| (self.asps[ins.deploy].max_steps(), ii))
+                    .max();
+                if let Some((c, ii)) = node_worst {
+                    steps = steps.saturating_add(c);
+                    if worst.is_none_or(|(w, _)| c > w) {
+                        worst = Some((c, ii));
+                    }
+                }
+            }
+            budgets.push(PathBudget {
+                from: self.topo.nodes[a].name.clone(),
+                to: self.topo.nodes[b].name.clone(),
+                hops: route.len() - 1,
+                steps,
+            });
+            if let Some(limit) = self.policy.max_path_steps {
+                if steps > limit {
+                    let span = worst.map(|(_, ii)| spans[ii]).unwrap_or_else(Span::dummy);
+                    diagnostics.push(
+                        Diagnostic::error(
+                            "E008",
+                            span,
+                            format!(
+                                "path {} -> {} composes a worst-case budget of {steps} steps, \
+                                 exceeding the plan budget of {limit}",
+                                self.topo.nodes[a].name, self.topo.nodes[b].name
+                            ),
+                        )
+                        .note(format!(
+                            "the budget sums, per node past the ingress, the costliest \
+                             co-resident channel bound ({} node(s) on this route)",
+                            route.len() - 1
+                        )),
+                    );
+                }
+            }
+        }
+
+        // --- joint-loop rejection (E007) --------------------------
+        if self.policy.require_joint_termination {
+            for w in &compose.witnesses {
+                diagnostics.push(w.to_diagnostic());
+            }
+            if compose.exhausted {
+                diagnostics.push(Diagnostic::error(
+                    "E007",
+                    Span::dummy(),
+                    format!(
+                        "joint exploration exhausted its {}-state budget before proving \
+                         termination",
+                        self.policy.product_budget
+                    ),
+                ));
+            }
+        }
+
+        self.lint_into(&mut diagnostics);
+
+        diagnostics.sort_by_key(|d| (d.span.start, d.span.end, d.code));
+
+        PlanReport {
+            plan: self.plan.name.clone(),
+            topology: self.topo.name.clone(),
+            policy: self.policy,
+            joint: compose.verdict,
+            states: compose.states,
+            transitions: compose.transitions,
+            budget: self.policy.product_budget,
+            exhausted: compose.exhausted,
+            witnesses: compose.witnesses,
+            budgets,
+            installs: self
+                .installs
+                .iter()
+                .map(|i| {
+                    (
+                        self.topo.nodes[i.node].name.clone(),
+                        self.asps[i.deploy].name.clone(),
+                    )
+                })
+                .collect(),
+            diagnostics,
+        }
+    }
+
+    /// The plan lints: P001 unreachable deploy, P002 shadowed class,
+    /// P003 uncovered class, P004 dead install point, L008 unhandled
+    /// cross-channel send.
+    fn lint_into(&self, diagnostics: &mut Vec<Diagnostic>) {
+        let covered: Vec<bool> = {
+            let mut c = vec![false; self.topo.nodes.len()];
+            for &(a, b) in &self.topo.paths {
+                if let Some(route) = self.topo.route(a, b) {
+                    for &n in &route[1..] {
+                        c[n] = true;
+                    }
+                }
+            }
+            c
+        };
+
+        // P002: a class whose match duplicates an earlier one never
+        // sees traffic.
+        for (j, cj) in self.plan.classes.iter().enumerate() {
+            if let Some(ci) = self.plan.classes[..j].iter().find(|ci| ci.port == cj.port) {
+                let what = match cj.port {
+                    Some(p) => format!("port {p}"),
+                    None => "the wildcard match".to_string(),
+                };
+                diagnostics.push(
+                    Diagnostic::warning(
+                        "P002",
+                        cj.span,
+                        format!(
+                            "class `{}` is shadowed by earlier class `{}` ({what})",
+                            cj.name, ci.name
+                        ),
+                    )
+                    .note("traffic matches the first class declared; this one is dead"),
+                );
+            }
+        }
+
+        // P003: a class no deploy references.
+        for c in &self.plan.classes {
+            if !self.plan.deploys.iter().any(|d| d.class == c.name) {
+                diagnostics.push(
+                    Diagnostic::warning(
+                        "P003",
+                        c.span,
+                        format!("traffic class `{}` is not covered by any deploy", c.name),
+                    )
+                    .note("its traffic crosses the network with no ASP attached"),
+                );
+            }
+        }
+
+        for (di, d) in self.plan.deploys.iter().enumerate() {
+            let my_installs: Vec<&Install> =
+                self.installs.iter().filter(|i| i.deploy == di).collect();
+
+            // P001: the deploy resolves to nothing reachable.
+            if my_installs.is_empty() {
+                diagnostics.push(
+                    Diagnostic::warning(
+                        "P001",
+                        d.span,
+                        format!(
+                            "deploy of `{}` targets slice `{}`, which has no nodes in \
+                             topology `{}`",
+                            d.asp, d.slice, self.topo.name
+                        ),
+                    )
+                    .note("the ASP installs nowhere"),
+                );
+                continue;
+            }
+            if my_installs.iter().all(|i| !covered[i.node]) {
+                diagnostics.push(
+                    Diagnostic::warning(
+                        "P001",
+                        d.span,
+                        format!(
+                            "deploy of `{}` is unreachable: no install point of slice `{}` \
+                             lies on any plan path",
+                            d.asp, d.slice
+                        ),
+                    )
+                    .note("the ASP installs, but no planned traffic ever reaches it"),
+                );
+                continue;
+            }
+
+            // P004: individual install points off every path.
+            let dead: Vec<&str> = my_installs
+                .iter()
+                .filter(|i| !covered[i.node])
+                .map(|i| self.topo.nodes[i.node].name.as_str())
+                .collect();
+            if !dead.is_empty() {
+                diagnostics.push(
+                    Diagnostic::warning(
+                        "P004",
+                        d.span,
+                        format!(
+                            "dead install point(s) for `{}`: {} not on any plan path",
+                            d.asp,
+                            dead.join(", ")
+                        ),
+                    )
+                    .note("shrink the slice or add paths through these nodes"),
+                );
+            }
+
+            // L008: a send targeting a channel no co-deployed ASP
+            // handles. `network` is the IP layer itself and `timer`
+            // the runtime's timer queue, so both always have a
+            // handler; a class with an `app` endpoint consumes
+            // whatever reaches the application.
+            let has_app = self
+                .plan
+                .classes
+                .iter()
+                .find(|c| c.name == d.class)
+                .is_some_and(|c| c.app.is_some());
+            if has_app {
+                continue;
+            }
+            let mut warned: BTreeSet<&str> = BTreeSet::new();
+            for es in &self.asps[di].summary.channels {
+                for site in &es.sites {
+                    let t = site.chan.as_str();
+                    if t == "network" || t == "timer" || warned.contains(t) {
+                        continue;
+                    }
+                    let handled = self.installs.iter().any(|ins| {
+                        let defines = self.asps[ins.deploy].channels.iter().any(|(n, _)| n == t);
+                        defines && (ins.deploy != di || my_installs.len() >= 2)
+                    });
+                    if !handled {
+                        warned.insert(t);
+                        diagnostics.push(
+                            Diagnostic::warning(
+                                "L008",
+                                d.span,
+                                format!(
+                                    "ASP `{}` sends on channel `{t}`, which no co-deployed \
+                                     ASP handles in this plan",
+                                    d.asp
+                                ),
+                            )
+                            .note(format!(
+                                "packets tagged `{t}` fall through to plain IP delivery; \
+                                 deploy a handler or give class `{}` an app endpoint",
+                                d.class
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The result of one plan-level verification run.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// Plan name.
+    pub plan: String,
+    /// Topology name.
+    pub topology: String,
+    /// The policy the plan was judged under.
+    pub policy: PlanPolicy,
+    /// Joint-termination verdict from the product check.
+    pub joint: Verdict,
+    /// Product states explored.
+    pub states: usize,
+    /// Product transitions explored.
+    pub transitions: usize,
+    /// The exploration's state budget.
+    pub budget: usize,
+    /// True if the budget stopped exploration early.
+    pub exhausted: bool,
+    /// Minimal `E007` witnesses (empty when proved).
+    pub witnesses: Vec<Witness>,
+    /// Composed worst-case budget per plan path.
+    pub budgets: Vec<PathBudget>,
+    /// Resolved `(node, asp)` install points.
+    pub installs: Vec<(String, String)>,
+    /// Errors and lint warnings, sorted by span then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl PlanReport {
+    /// Whether the deployment may proceed: joint termination holds
+    /// when required, and nothing raised an error-severity diagnostic.
+    pub fn accepted(&self) -> bool {
+        (!self.policy.require_joint_termination || self.joint.is_proved())
+            && !self
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The worst composed path budget, in VM steps.
+    pub fn max_budget(&self) -> u64 {
+        self.budgets.iter().map(|b| b.steps).max().unwrap_or(0)
+    }
+
+    /// Errors only.
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    /// Appends the byte-stable JSON form to `out`. Key order is fixed:
+    /// `plan`, `topology`, `accepted`, `joint`, `states`,
+    /// `transitions`, `budget`, `exhausted`, `installs`, `paths`,
+    /// `witnesses`, `diagnostics`.
+    pub fn write_json(&self, src: &str, out: &mut String) {
+        use crate::diag::push_json_str;
+        out.push_str("{\"plan\":");
+        push_json_str(out, &self.plan);
+        out.push_str(",\"topology\":");
+        push_json_str(out, &self.topology);
+        out.push_str(&format!(
+            ",\"accepted\":{},\"joint\":\"{}\",\"states\":{},\"transitions\":{},\
+             \"budget\":{},\"exhausted\":{}",
+            self.accepted(),
+            self.joint.as_str(),
+            self.states,
+            self.transitions,
+            self.budget,
+            self.exhausted
+        ));
+        out.push_str(",\"installs\":[");
+        for (i, (node, asp)) in self.installs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"node\":");
+            push_json_str(out, node);
+            out.push_str(",\"asp\":");
+            push_json_str(out, asp);
+            out.push('}');
+        }
+        out.push_str("],\"paths\":[");
+        for (i, b) in self.budgets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"from\":");
+            push_json_str(out, &b.from);
+            out.push_str(",\"to\":");
+            push_json_str(out, &b.to);
+            out.push_str(&format!(",\"hops\":{},\"steps\":{}}}", b.hops, b.steps));
+        }
+        out.push_str("],\"witnesses\":[");
+        for (i, w) in self.witnesses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            w.write_json(src, out);
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            d.write_json(src, out);
+        }
+        out.push_str("]}");
+    }
+
+    /// Renders a human-readable summary; witnesses and diagnostics are
+    /// resolved against the plan source `src`.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!(
+            "plan {} over {}: {}\n  joint termination: {} ({} states, {} transitions{})\n",
+            self.plan,
+            self.topology,
+            if self.accepted() {
+                "accepted"
+            } else {
+                "REJECTED"
+            },
+            self.joint.as_str(),
+            self.states,
+            self.transitions,
+            if self.exhausted {
+                ", budget exhausted"
+            } else {
+                ""
+            }
+        );
+        out.push_str("  installs:");
+        for (node, asp) in &self.installs {
+            out.push_str(&format!(" {node}:{asp}"));
+        }
+        out.push('\n');
+        for b in &self.budgets {
+            out.push_str(&format!(
+                "  path {} -> {}: {} hop(s), worst-case {} steps\n",
+                b.from, b.to, b.hops, b.steps
+            ));
+        }
+        for w in &self.witnesses {
+            out.push_str(&w.render(src));
+            out.push('\n');
+        }
+        for d in &self.diagnostics {
+            out.push_str(&d.render(src));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelcheck::model_check;
+    use planp_lang::{compile_front, parse_plan};
+
+    /// Each of these proves termination + delivery on its own (it
+    /// re-pins the destination to one fixed host, which the single
+    /// checker treats as progress once pinned) — yet deployed on
+    /// opposite relays they bounce packets between each other forever.
+    const BOUNCE_A: &str = "channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  if ipDst(#1 p) = thisHost()
+  then (deliver(p); (ps, ss))
+  else (OnRemote(network, (ipDestSet(#1 p, 10.0.3.1), #2 p, #3 p)); (ps + 1, ss))
+";
+    const BOUNCE_B: &str = "channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  if ipDst(#1 p) = thisHost()
+  then (deliver(p); (ps, ss))
+  else (OnRemote(network, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps + 1, ss))
+";
+    const FORWARDER: &str = "channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + 1, ss))
+";
+
+    fn ip(a: u32, b: u32, c: u32, d: u32) -> u32 {
+        (a << 24) | (b << 16) | (c << 8) | d
+    }
+
+    fn node(name: &str, addr: u32, slices: &[&str]) -> PlanNode {
+        PlanNode {
+            name: name.to_string(),
+            addr,
+            slices: slices.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// ha — r1 — r2 — hb, paths both ways.
+    fn relay_pair() -> PlanTopology {
+        PlanTopology::new(
+            "relay_pair",
+            vec![
+                node("ha", ip(10, 0, 0, 1), &["src"]),
+                node("r1", ip(10, 0, 0, 254), &["relays"]),
+                node("r2", ip(10, 0, 3, 254), &["relays"]),
+                node("hb", ip(10, 0, 3, 1), &["dst"]),
+            ],
+            vec![vec![1], vec![0, 2], vec![1, 3], vec![2]],
+            vec![(0, 3), (3, 0)],
+        )
+    }
+
+    fn asp(name: &str, src: &str) -> PlanAsp {
+        PlanAsp::from_program(name, &compile_front(src).unwrap())
+    }
+
+    fn check(plan_src: &str, topo: PlanTopology, asps: Vec<PlanAsp>) -> PlanCheck {
+        PlanCheck::new(parse_plan(plan_src).unwrap(), topo, asps).unwrap()
+    }
+
+    #[test]
+    fn bounce_asps_prove_alone() {
+        for src in [BOUNCE_A, BOUNCE_B] {
+            let prog = compile_front(src).unwrap();
+            let sum = summarize(&prog);
+            let r = model_check(&prog, &sum, DEFAULT_STATE_BUDGET);
+            assert!(r.termination.is_proved(), "single-program termination");
+            assert!(r.delivery.is_proved(), "single-program delivery");
+        }
+    }
+
+    #[test]
+    fn bounce_pair_jointly_loops() {
+        let plan = "plan buggy_bounce
+topology relay_pair
+class data
+deploy bounce_a for data on r1
+deploy bounce_b for data on r2
+";
+        let pc = check(
+            plan,
+            relay_pair(),
+            vec![asp("bounce_a", BOUNCE_A), asp("bounce_b", BOUNCE_B)],
+        );
+        assert_eq!(pc.installs.len(), 2);
+        let report = pc.verify();
+        assert_eq!(report.joint, Verdict::Violated);
+        assert!(!report.accepted());
+        assert_eq!(report.witnesses.len(), 1);
+        let w = &report.witnesses[0];
+        assert_eq!(w.code, "E007");
+        // The cycle alternates between the two relays.
+        let froms: Vec<&str> = w.hops.iter().map(|h| h.from.as_str()).collect();
+        assert!(
+            froms.iter().any(|f| f.starts_with("r1/network")),
+            "{froms:?}"
+        );
+        assert!(
+            froms.iter().any(|f| f.starts_with("r2/network")),
+            "{froms:?}"
+        );
+        // Witness hop spans point at the plan's deploy lines.
+        assert!(plan[w.span.start as usize..]
+            .split('\n')
+            .next()
+            .unwrap()
+            .starts_with("deploy"));
+        // E007 also lands in the diagnostics under the strict policy.
+        assert!(report.errors().iter().any(|d| d.code == "E007"));
+    }
+
+    #[test]
+    fn forwarder_plan_proves_with_finite_budgets() {
+        let plan = "plan relay
+topology relay_pair
+class data
+deploy forwarder for data on relays
+";
+        let report = check(plan, relay_pair(), vec![asp("forwarder", FORWARDER)]).verify();
+        assert_eq!(report.joint, Verdict::Proved);
+        assert!(report.accepted(), "{}", report.render(plan));
+        assert_eq!(report.budgets.len(), 2);
+        assert!(report.max_budget() > 0);
+        // Each direction crosses both relays plus the egress host.
+        assert_eq!(report.budgets[0].hops, 3);
+    }
+
+    #[test]
+    fn budget_line_rejects_with_e008() {
+        let plan = "plan relay
+topology relay_pair
+budget steps 1
+class data
+deploy forwarder for data on relays
+";
+        let report = check(plan, relay_pair(), vec![asp("forwarder", FORWARDER)]).verify();
+        assert!(!report.accepted());
+        assert!(report.errors().iter().any(|d| d.code == "E008"));
+        // The verdict itself is still proved — only the budget failed.
+        assert_eq!(report.joint, Verdict::Proved);
+    }
+
+    #[test]
+    fn one_mode_picks_most_covered_node() {
+        let plan = "plan relay
+topology relay_pair
+class data
+deploy forwarder for data on one(relays)
+";
+        let pc = check(plan, relay_pair(), vec![asp("forwarder", FORWARDER)]);
+        // Both relays cover both paths; the tie breaks to r1.
+        assert_eq!(pc.installs, vec![Install { deploy: 0, node: 1 }]);
+    }
+
+    #[test]
+    fn plan_lints_fire() {
+        let plan = "plan lints
+topology relay_pair
+class data port 80
+class dup port 80
+class uncovered port 81
+deploy forwarder for data on relays
+deploy forwarder for data on nosuch
+deploy forwarder for data on src
+";
+        let fw = || asp("forwarder", FORWARDER);
+        let report = check(plan, relay_pair(), vec![fw(), fw(), fw()]).verify();
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"P002"), "{codes:?}"); // dup shadows data
+        assert!(codes.contains(&"P003"), "{codes:?}"); // uncovered has no deploy
+        assert!(codes.contains(&"P001"), "{codes:?}"); // nosuch + src both unreachable
+                                                       // src (the ingress) is never on a path route past the ingress.
+        assert!(report.accepted(), "lints are warnings");
+    }
+
+    #[test]
+    fn l008_flags_unhandled_channel_send() {
+        // A single-node deploy that tags packets onto a channel nobody
+        // else handles.
+        let tagger = "channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(orphan, p); (ps + 1, ss))
+channel orphan(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(orphan, p); (ps + 1, ss))
+";
+        let plan = "plan orphaned
+topology relay_pair
+class data
+deploy tagger for data on r1
+";
+        let report = check(plan, relay_pair(), vec![asp("tagger", tagger)]).verify();
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "L008"),
+            "{}",
+            report.render(plan)
+        );
+
+        // The same ASP on *both* relays handles its own channel.
+        let plan2 = "plan paired
+topology relay_pair
+class data
+deploy tagger for data on relays
+";
+        let report2 = check(plan2, relay_pair(), vec![asp("tagger", tagger)]).verify();
+        assert!(!report2.diagnostics.iter().any(|d| d.code == "L008"));
+    }
+
+    #[test]
+    fn json_is_byte_stable() {
+        let plan = "plan buggy_bounce
+topology relay_pair
+class data
+deploy bounce_a for data on r1
+deploy bounce_b for data on r2
+";
+        let pc = check(
+            plan,
+            relay_pair(),
+            vec![asp("bounce_a", BOUNCE_A), asp("bounce_b", BOUNCE_B)],
+        );
+        let mut a = String::new();
+        pc.verify().write_json(plan, &mut a);
+        let mut b = String::new();
+        pc.verify().write_json(plan, &mut b);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"plan\":\"buggy_bounce\""));
+        assert!(a.contains("\"accepted\":false"));
+        assert!(a.contains("\"joint\":\"violated\""));
+    }
+}

@@ -7,9 +7,15 @@
 //!   source ── r1 ── r2 ── r3 ── r4 ── dst      (10 Mb/s links)
 //! ```
 //!
-//! Every relay and the destination run the same PLAN-P program through a
-//! [`RecoveryService`], so a crashed node re-downloads — and re-verifies
-//! — its ASP when it restarts. The program is either the NACK-driven
+//! The chain is the registry's `relay_chain` [`TopoSpec`], and the ASP
+//! reaches every forwarder through a verified **deployment plan**
+//! (`asps/plans/relay_chain_*.plan`): [`planp_runtime::load_plan`] runs
+//! the plan-level product check and composes the path CPU budget before
+//! anything installs, and [`planp_runtime::install_plan`] wires one
+//! [`RecoveryService`](planp_runtime::RecoveryService) per install
+//! point whose preflight re-verifies the *plan* — so a crashed node
+//! re-downloads, and the whole composition re-proves, when it restarts.
+//! The program is either the NACK-driven
 //! [`reliable relay`](super::asp::RELIABLE_RELAY_ASP) (loaded under the
 //! `authenticated` policy, since its retransmission cycle defeats the
 //! termination screen) or its statically spotless, retransmission-free
@@ -19,13 +25,15 @@
 
 use super::apps::{SeqCollector, SeqSource};
 use super::asp::{FRAGILE_RELAY_ASP, RELIABLE_RELAY_ASP};
-use netsim::packet::addr;
-use netsim::{FaultAction, FaultPlan, FaultStats, LinkFaults, LinkId, LinkSpec, Sim, SimTime};
+use crate::plans::{resolve_asp, RELAY_CHAIN_FRAGILE_PLAN, RELAY_CHAIN_RELIABLE_PLAN};
+use netsim::{FaultAction, FaultPlan, FaultStats, LinkFaults, LinkId, Sim, SimTime, TopoSpec};
 use planp_analysis::cost::cost_bounds;
 use planp_analysis::Policy;
 use planp_lang::compile_front;
-use planp_runtime::{LayerConfig, RecoveryService};
-use planp_telemetry::{CounterSel, HealthMonitor, MetricsSnapshot, SloRule, TraceConfig};
+use planp_runtime::{install_plan, load_plan, Engine, LayerConfig};
+use planp_telemetry::{
+    CounterSel, HealthMonitor, MetricsSnapshot, SloRule, TraceConfig, TraceForest,
+};
 use std::time::Duration;
 
 /// Number of relays between the source and the destination.
@@ -68,6 +76,15 @@ impl RelayKind {
             RelayKind::Fragile => "fragile",
         }
     }
+
+    /// The bundled deployment plan that carries this relay across the
+    /// chain (see `asps/plans/`).
+    pub fn plan(self) -> &'static str {
+        match self {
+            RelayKind::Reliable => RELAY_CHAIN_RELIABLE_PLAN,
+            RelayKind::Fragile => RELAY_CHAIN_FRAGILE_PLAN,
+        }
+    }
 }
 
 /// One chaos run's configuration.
@@ -91,6 +108,9 @@ pub struct RelayChaosConfig {
     pub duration_s: u64,
     /// Random seed (drives load jitter *and* every fault coin flip).
     pub seed: u64,
+    /// Execution engine for every installed hook (JIT by default; the
+    /// interpreter is the conservative fallback the budgets also cover).
+    pub engine: Engine,
     /// Trace configuration (off by default; the health monitor and
     /// flight recorder do not depend on it).
     pub trace: TraceConfig,
@@ -114,6 +134,7 @@ impl RelayChaosConfig {
             interval_ms: 2,
             duration_s: 5,
             seed: 7,
+            engine: Engine::Jit,
             trace: TraceConfig::default(),
             monitor_ms: None,
         }
@@ -221,6 +242,14 @@ pub struct RelayChaosResult {
     /// Static per-packet send bound of the program's data path — the
     /// linearity bound that caps duplicate amplification.
     pub sends_bound: u64,
+    /// The plan verifier's composed worst-case per-packet VM budget
+    /// over the chain's declared path (source → dst).
+    pub plan_budget: u64,
+    /// Costliest traced causal chain in VM steps (max root-to-leaf sum
+    /// of per-span `vm_steps`; 0 when tracing was off). For plain
+    /// forwarding this is bounded by the composed plan budget above by
+    /// construction.
+    pub max_path_vm_steps: u64,
     /// Final metrics snapshot (byte-stable for a given seed + plan).
     pub snapshot: MetricsSnapshot,
     /// Health-monitor outcome, when one was configured.
@@ -257,30 +286,32 @@ pub fn run_relay_chaos(cfg: &RelayChaosConfig) -> RelayChaosResult {
     let mut sim = Sim::new(cfg.seed);
     sim.telemetry.trace.configure(cfg.trace);
 
-    let source = sim.add_host("source", addr(10, 0, 0, 1));
-    let mut relays = Vec::with_capacity(RELAYS);
-    let mut prev = source;
-    for i in 0..RELAYS {
-        let r = sim.add_router(&format!("r{}", i + 1), addr(10, 0, i as u8 + 1, 254));
-        sim.add_link(LinkSpec::ethernet_10(), &[prev, r]);
-        relays.push(r);
-        prev = r;
-    }
-    let dst_addr = addr(10, 0, RELAYS as u8 + 1, 1);
-    let dst = sim.add_host("dst", dst_addr);
-    sim.add_link(LinkSpec::ethernet_10(), &[prev, dst]);
-    sim.compute_routes();
-    let link_count = RELAYS + 1;
+    // The chain is the registry's canonical `relay_chain` topology —
+    // the same structure the deployment plan was verified over.
+    let topo = TopoSpec::named("relay_chain").expect("registered topology");
+    let ids = topo.build(&mut sim);
+    let source = ids[0];
+    let relays = &ids[1..=RELAYS];
+    let dst = ids[RELAYS + 1];
+    let dst_addr = topo.nodes[RELAYS + 1].addr;
+    let link_count = topo.links.len();
 
-    // The ASP, installed through the recovery service on every relay and
-    // on the destination so crash/restart re-runs the verified download.
-    let mut logs = Vec::new();
-    for &node in relays.iter().chain([&dst]) {
-        let svc =
-            RecoveryService::new(cfg.kind.source(), cfg.kind.policy(), LayerConfig::default());
-        logs.push(svc.log.clone());
-        sim.add_app(node, Box::new(svc));
-    }
+    // The ASP reaches every forwarder through the verified deployment
+    // plan: the plan-level product check and composed path budget ran
+    // in `load_plan`, and each install point's recovery preflight
+    // re-verifies the plan on crash/restart before re-downloading.
+    let image = load_plan(cfg.kind.plan(), &resolve_asp).expect("bundled plan loads");
+    let plan_budget = image.report.max_budget();
+    let logs = install_plan(
+        &mut sim,
+        &image,
+        &ids,
+        LayerConfig {
+            engine: cfg.engine,
+            ..LayerConfig::default()
+        },
+    )
+    .expect("verified plan installs");
 
     let src_app = SeqSource::new(
         dst_addr,
@@ -349,6 +380,10 @@ pub fn run_relay_chaos(cfg: &RelayChaosConfig) -> RelayChaosResult {
         redeploys += log.redeploys;
         recovery_failures += log.failures;
     }
+    // Observed counterpart of the composed plan budget: the costliest
+    // traced causal chain (0 when tracing was off).
+    let max_path_vm_steps = TraceForest::from_log(&sim.telemetry.trace).max_path_vm_steps();
+
     let src_stats = src_stats.borrow();
     let col = col_stats.borrow();
     RelayChaosResult {
@@ -368,6 +403,8 @@ pub fn run_relay_chaos(cfg: &RelayChaosConfig) -> RelayChaosResult {
         sum_link_drops: sim.links().map(|l| l.drops).sum(),
         sum_fault_drops: sim.links().map(|l| l.fault_drops).sum(),
         sends_bound,
+        plan_budget,
+        max_path_vm_steps,
         snapshot: sim.metrics_snapshot(),
         health,
     }
@@ -376,6 +413,8 @@ pub fn run_relay_chaos(cfg: &RelayChaosConfig) -> RelayChaosResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::packet::addr;
+    use netsim::LinkSpec;
 
     /// The headline robustness number: hop-by-hop NACK repair holds
     /// delivery at ≥ 99% even though raw loss compounds to ~23% across

@@ -199,6 +199,11 @@ pub fn run_http_traced(
     match cfg.mode {
         ClusterMode::AspGateway | ClusterMode::InterpGateway => {
             let src = cfg.gateway_src.unwrap_or(HTTP_GATEWAY_ASP);
+            // Plan-scope gate: the gateway must verify as a deployment
+            // over the canonical `http_cluster` topology (cross-ASP
+            // product check, composed path budgets, plan lints) before
+            // the per-program download below even starts.
+            crate::plans::verify_http_gateway(src).expect("gateway verifies at plan scope");
             let image = load(src, Policy::strict()).expect("gateway ASP verifies");
             let engine = if cfg.mode == ClusterMode::AspGateway {
                 Engine::Jit

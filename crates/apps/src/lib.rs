@@ -16,7 +16,9 @@
 //! * [`chaos`] — a relay chain under seeded fault injection, comparing
 //!   a NACK-driven reliable relay against a retransmission-free control;
 //! * [`obs`] — a ≥1k-node grid of parallel relay chains for measuring
-//!   telemetry overhead under deterministic trace sampling and budgets.
+//!   telemetry overhead under deterministic trace sampling and budgets;
+//! * [`plans`] — the bundled deployment plans (`asps/plans/`) plus the
+//!   ASP resolver mapping plan-level names onto the embedded sources.
 
 #![warn(missing_docs)]
 
@@ -25,3 +27,4 @@ pub mod chaos;
 pub mod http;
 pub mod mpeg;
 pub mod obs;
+pub mod plans;

@@ -1,0 +1,70 @@
+//! Plan-budget soundness, observed end to end: the plan verifier's
+//! statically composed per-packet path budget (`E008`'s quantity) must
+//! dominate the costliest VM chain any traced packet actually accrues —
+//! the maximum over root-to-leaf span chains of summed per-span
+//! `vm_steps`. Checked for the chaos relay chain and the HTTP failover
+//! cluster, under both execution engines.
+
+use netsim::LinkFaults;
+use planp_apps::chaos::{run_relay_chaos, RelayChaosConfig, RelayKind};
+use planp_apps::http::{run_http_traced, ClusterMode, HttpConfig, HTTP_GATEWAY_FAILOVER_ASP};
+use planp_apps::plans::verify_http_gateway;
+use planp_runtime::Engine;
+use planp_telemetry::{TraceConfig, TraceForest};
+
+#[test]
+fn chaos_plan_budget_dominates_traced_vm_cost_on_both_engines() {
+    for engine in [Engine::Jit, Engine::Interp] {
+        // The fragile relay under real chaos: every traced chain is a
+        // sub-path of the plan's declared source → dst path, so the
+        // composed budget bounds it by construction.
+        let mut cfg = RelayChaosConfig::loss(RelayKind::Fragile, 0.10);
+        cfg.engine = engine;
+        cfg.trace = TraceConfig::all();
+        let res = run_relay_chaos(&cfg);
+        assert!(res.max_path_vm_steps > 0, "{engine:?}: no VM cost traced");
+        assert!(
+            res.plan_budget >= res.max_path_vm_steps,
+            "{engine:?}: fragile composed budget {} < observed chain {}",
+            res.plan_budget,
+            res.max_path_vm_steps
+        );
+
+        // The reliable relay on clean links (no NACK control traffic,
+        // which rides paths the plan does not declare): same property,
+        // much pricier per-dispatch program.
+        let mut cfg = RelayChaosConfig::new(RelayKind::Reliable, LinkFaults::default());
+        cfg.engine = engine;
+        cfg.trace = TraceConfig::all();
+        let res = run_relay_chaos(&cfg);
+        assert!(res.max_path_vm_steps > 0, "{engine:?}: no VM cost traced");
+        assert!(
+            res.plan_budget >= res.max_path_vm_steps,
+            "{engine:?}: reliable composed budget {} < observed chain {}",
+            res.plan_budget,
+            res.max_path_vm_steps
+        );
+    }
+}
+
+#[test]
+fn http_failover_plan_budget_dominates_traced_vm_cost_on_both_engines() {
+    let image = verify_http_gateway(HTTP_GATEWAY_FAILOVER_ASP).expect("failover gateway verifies");
+    let budget = image.report.max_budget();
+    assert!(budget > 0, "composed budget is finite and positive");
+
+    for mode in [ClusterMode::AspGateway, ClusterMode::InterpGateway] {
+        let mut cfg = HttpConfig::new(mode, 4);
+        cfg.duration_s = 10;
+        cfg.warmup_s = 2.0;
+        cfg.gateway_src = Some(HTTP_GATEWAY_FAILOVER_ASP);
+        cfg.crash_server1_at_s = Some(4.0);
+        let (_res, telemetry, _snap) = run_http_traced(&cfg, TraceConfig::all());
+        let observed = TraceForest::from_log(&telemetry.trace).max_path_vm_steps();
+        assert!(observed > 0, "{mode:?}: no VM cost traced");
+        assert!(
+            budget >= observed,
+            "{mode:?}: composed budget {budget} < observed chain {observed}"
+        );
+    }
+}

@@ -277,6 +277,34 @@ fn verdict_triple(line: &str) -> String {
         .join(" ")
 }
 
+/// Renders the baseline file for `results`: one verdict line per ASP,
+/// **sorted by name** — so the emitted file never depends on the argv
+/// or shell-glob order the sources arrived in — with the
+/// `witness=abstract` markers from `abstract_names` re-applied.
+fn baseline_text(
+    results: &[FileResult],
+    abstract_names: &std::collections::HashSet<String>,
+) -> String {
+    let mut entries: Vec<(&str, String)> = results
+        .iter()
+        .map(|r| {
+            let mut line = r.verdict_line();
+            if abstract_names.contains(&r.name) {
+                line.push_str(" witness=abstract");
+            }
+            (r.name.as_str(), line)
+        })
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let mut s: String = entries
+        .into_iter()
+        .map(|(_, line)| line)
+        .collect::<Vec<_>>()
+        .join("\n");
+    s.push('\n');
+    s
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -348,21 +376,6 @@ fn main() {
         }
     }
 
-    let baseline_text = |abstract_names: &std::collections::HashSet<String>| -> String {
-        let mut s: String = results
-            .iter()
-            .map(|r| {
-                let mut line = r.verdict_line();
-                if abstract_names.contains(&r.name) {
-                    line.push_str(" witness=abstract");
-                }
-                line
-            })
-            .collect::<Vec<_>>()
-            .join("\n");
-        s.push('\n');
-        s
-    };
     if let Some(path) = &args.write_baseline {
         // Preserve the previous file's witness=abstract markers: the
         // checker cannot tell an abstract witness from a concrete one,
@@ -370,13 +383,13 @@ fn main() {
         let old_abstract = std::fs::read_to_string(path)
             .map(|s| abstract_witness_names(&s))
             .unwrap_or_default();
-        if let Err(e) = std::fs::write(path, baseline_text(&old_abstract)) {
+        if let Err(e) = std::fs::write(path, baseline_text(&results, &old_abstract)) {
             eprintln!("planp-modelcheck: cannot write {path}: {e}");
             std::process::exit(2);
         }
         eprintln!("wrote {path}");
     } else if let (Some(path), Some(expected)) = (&args.baseline, &baseline) {
-        let actual = baseline_text(&abstract_names);
+        let actual = baseline_text(&results, &abstract_names);
         let expected_lines: Vec<String> = expected.lines().map(verdict_triple).collect();
         let actual_lines: Vec<String> = actual.lines().map(verdict_triple).collect();
         if expected_lines != actual_lines {
@@ -406,5 +419,33 @@ fn main() {
     eprintln!("{} file(s), {} with violations", results.len(), violated);
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const FWD: &str = "channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + 1, ss))";
+
+    #[test]
+    fn baseline_text_is_sorted_by_name_regardless_of_input_order() {
+        let results: Vec<FileResult> = ["z.planp", "asps/a.planp", "asps/buggy/k.planp"]
+            .iter()
+            .map(|n| check_source(n, FWD, 1024, false))
+            .collect();
+        let text = baseline_text(&results, &HashSet::new());
+        let names: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(names, vec!["asps/a.planp", "asps/buggy/k.planp", "z.planp"]);
+
+        // `witness=abstract` markers survive regeneration, still sorted.
+        let marked: HashSet<String> = std::iter::once("z.planp".to_string()).collect();
+        let text = baseline_text(&results, &marked);
+        assert!(text.ends_with("z.planp termination=proved delivery=proved witness=abstract\n"));
     }
 }

@@ -1,0 +1,312 @@
+//! `planp-plan` — verify the bundled deployment plans, render their
+//! reports (joint product verdicts, composed path budgets, plan lints),
+//! optionally replay plan-level witnesses over each plan's own
+//! topology, and gate CI on a verdict baseline.
+//!
+//! ```text
+//! cargo run --release -p planp-bench --bin planp_plan -- \
+//!     --replay --baseline asps/PLAN_BASELINE.txt
+//! ```
+//!
+//! With no names, every bundled plan (`asps/plans/`) is verified.
+//! Options:
+//!
+//! * `--json` — one byte-stable JSON document on stdout.
+//! * `--replay` — replay each *rejected* plan concretely over its own
+//!   topology and require the predicted joint loop to reproduce.
+//!   Accepted plans are not replayed: a plan may record a conservative
+//!   joint violation yet be accepted under the `authenticated` plan
+//!   policy (`relay_chain_reliable` — its NACK cycle only recurs under
+//!   loss), and clean replay traffic cannot confirm those.
+//! * `--baseline FILE` — compare each plan's verdict line against the
+//!   checked-in baseline; exit 1 on any difference (the CI gate).
+//! * `--write-baseline FILE` — regenerate the baseline (sorted by plan
+//!   name) instead.
+//!
+//! Baseline lines read `<name> joint=<verdict> budget=<steps>
+//! accepted=<yes|no>`.
+//!
+//! Exit status: 0 on success, 1 on baseline mismatch or a rejecting
+//! witness that fails to replay, 2 on usage or I/O errors.
+
+use planp_analysis::diag::push_json_str;
+use planp_apps::plans::{bundled_plans, resolve_asp};
+use planp_runtime::{load_plan, replay_plan, PlanImage, ReplayReport};
+
+struct Args {
+    json: bool,
+    replay: bool,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        replay: false,
+        baseline: None,
+        write_baseline: None,
+        names: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => args.json = true,
+            "--replay" => args.replay = true,
+            "--baseline" => {
+                args.baseline = Some(value(&argv, i, "--baseline")?);
+                i += 1;
+            }
+            "--write-baseline" => {
+                args.write_baseline = Some(value(&argv, i, "--write-baseline")?);
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument {flag:?} (try --help)"));
+            }
+            name => args.names.push(name.to_string()),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+const HELP: &str = "\
+planp-plan: statically verify the bundled deployment plans
+usage: planp_plan [options] [<plan name>...]
+  (no names: verify every bundled plan)
+  --json                 byte-stable machine output
+  --replay               replay rejected plans over their own topology
+  --baseline FILE        fail if verdict lines differ from FILE
+  --write-baseline FILE  regenerate FILE (sorted by plan name)
+";
+
+/// Verifying one plan produced this.
+struct PlanResult {
+    name: &'static str,
+    src: &'static str,
+    image: PlanImage,
+    replay: Option<ReplayReport>,
+}
+
+impl PlanResult {
+    /// `<name> joint=<verdict> budget=<steps> accepted=<yes|no>`.
+    fn verdict_line(&self) -> String {
+        let r = &self.image.report;
+        format!(
+            "{} joint={} budget={} accepted={}",
+            self.name,
+            r.joint.as_str(),
+            r.max_budget(),
+            if r.accepted() { "yes" } else { "no" }
+        )
+    }
+}
+
+/// Baseline text: one verdict line per plan, sorted by name.
+fn baseline_text(results: &[PlanResult]) -> String {
+    let mut lines: Vec<String> = results.iter().map(PlanResult::verdict_line).collect();
+    lines.sort();
+    let mut s = lines.join("\n");
+    s.push('\n');
+    s
+}
+
+fn write_json(results: &[PlanResult], out: &mut String) {
+    use std::fmt::Write as _;
+    out.push_str("{\"plans\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(out, r.name);
+        out.push_str(",\"report\":");
+        r.image.report.write_json(r.src, out);
+        out.push_str(",\"replay\":");
+        match &r.replay {
+            None => out.push_str("null"),
+            Some(rep) => {
+                let _ = write!(
+                    out,
+                    "{{\"sent\":{},\"dispatches\":{},\"delivered\":{},\"dropped\":{},\
+                     \"errors\":{},\"confirmed_loop\":{}}}",
+                    rep.sent,
+                    rep.dispatches,
+                    rep.delivered,
+                    rep.dropped,
+                    rep.errors,
+                    rep.confirmed_loop
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn print_human(r: &PlanResult) {
+    print!("{}", r.image.report.render(r.src));
+    if let Some(rep) = &r.replay {
+        println!(
+            "  replay: sent {} dispatched {} delivered {} dropped {} errors {} (loop {})",
+            rep.sent, rep.dispatches, rep.delivered, rep.dropped, rep.errors, rep.confirmed_loop
+        );
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("planp-plan: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let all = bundled_plans();
+    let selected: Vec<(&'static str, &'static str)> = if args.names.is_empty() {
+        all
+    } else {
+        let mut sel = Vec::new();
+        for want in &args.names {
+            match all.iter().find(|(n, _)| n == want) {
+                Some(&p) => sel.push(p),
+                None => {
+                    eprintln!("planp-plan: no bundled plan {want:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        sel
+    };
+
+    let mut failed = false;
+    let mut results = Vec::new();
+    for (name, src) in selected {
+        let image = match load_plan(src, &resolve_asp) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("planp-plan: {name}: {e}");
+                std::process::exit(2);
+            }
+        };
+        // Rejected plans carry witnesses that must reproduce concretely;
+        // accepted ones are never replayed (see module docs).
+        let replay = if args.replay && !image.report.accepted() {
+            match replay_plan(&image) {
+                Ok(rep) => {
+                    if !rep.confirmed_loop {
+                        eprintln!("planp-plan: {name}: predicted joint loop did not replay");
+                        failed = true;
+                    }
+                    Some(rep)
+                }
+                Err(e) => {
+                    eprintln!("planp-plan: {name}: replay failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            None
+        };
+        results.push(PlanResult {
+            name,
+            src,
+            image,
+            replay,
+        });
+    }
+
+    if args.json {
+        let mut out = String::new();
+        write_json(&results, &mut out);
+        println!("{out}");
+    } else {
+        for r in &results {
+            print_human(r);
+        }
+    }
+
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline_text(&results)) {
+            eprintln!("planp-plan: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
+    } else if let Some(path) = &args.baseline {
+        let expected = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("planp-plan: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let actual = baseline_text(&results);
+        if expected != actual {
+            eprintln!("planp-plan: verdicts differ from {path}:");
+            for (e, a) in expected.lines().zip(actual.lines()) {
+                if e != a {
+                    eprintln!("  - {e}\n  + {a}");
+                }
+            }
+            let (en, an) = (expected.lines().count(), actual.lines().count());
+            if en != an {
+                eprintln!("  ({en} baseline line(s), {an} checked)");
+            }
+            failed = true;
+        }
+    }
+
+    let rejected = results
+        .iter()
+        .filter(|r| !r.image.report.accepted())
+        .count();
+    eprintln!("{} plan(s), {} rejected", results.len(), rejected);
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_text_is_sorted_and_stable() {
+        let mut results: Vec<PlanResult> = bundled_plans()
+            .into_iter()
+            .map(|(name, src)| PlanResult {
+                name,
+                src,
+                image: load_plan(src, &resolve_asp).expect("bundled plan loads"),
+                replay: None,
+            })
+            .collect();
+        let sorted = baseline_text(&results);
+        results.reverse();
+        assert_eq!(
+            sorted,
+            baseline_text(&results),
+            "baseline order must not depend on verification order"
+        );
+        let names: Vec<&str> = sorted
+            .lines()
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        let mut expect = names.clone();
+        expect.sort_unstable();
+        assert_eq!(names, expect);
+    }
+}

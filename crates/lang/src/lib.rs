@@ -42,6 +42,7 @@ pub mod ast;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod pretty;
 pub mod prims;
 pub mod span;
@@ -53,6 +54,7 @@ pub mod types;
 pub use ast::Program;
 pub use error::LangError;
 pub use parser::{parse_expr, parse_program};
+pub use plan::{parse_plan, PlanAst};
 pub use span::Span;
 pub use tast::TProgram;
 pub use typeck::typecheck;

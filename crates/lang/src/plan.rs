@@ -1,0 +1,371 @@
+//! The deployment-plan surface syntax.
+//!
+//! A *plan* is the network-wide counterpart of a single PLAN-P program:
+//! it names a topology, declares the traffic classes the network
+//! carries, and maps each class to an ASP deployed over a topology
+//! *slice* (a named group of nodes, e.g. `relays` or `gateway`). The
+//! plan layer in `planp-analysis` verifies the resulting *composition*
+//! before anything installs; this module only owns the text format.
+//!
+//! The syntax is line-based, with the same `--` comments as PLAN-P:
+//!
+//! ```text
+//! -- forward the relay chain's datagrams through the fragile relay
+//! plan relay_chain_fragile
+//! topology relay_chain
+//! policy strict
+//! budget steps 4096
+//!
+//! class data port 9000
+//! deploy fragile_relay for data on relays
+//! ```
+//!
+//! Directives:
+//!
+//! * `plan <name>` / `topology <name>` — required, once each;
+//! * `policy <name>` — optional plan-level policy (`strict` |
+//!   `authenticated`);
+//! * `budget steps <n>` — optional network-wide per-packet step budget
+//!   composed along every plan path;
+//! * `class <name> [port <n>] [app <slice>]` — a traffic class; `app`
+//!   names a slice whose local applications consume the class's
+//!   traffic (so sends to unhandled channels toward it are expected);
+//! * `deploy <asp> for <class> on <slice>` — install `<asp>` on every
+//!   node of `<slice>`; `on one(<slice>)` lets the placement pass pick
+//!   a single install point, and a trailing `policy <name>` overrides
+//!   the per-node download policy for this deploy.
+
+use crate::error::LangError;
+use crate::span::Span;
+
+/// How a deploy maps onto its slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceMode {
+    /// Install on every node of the slice.
+    All,
+    /// Install on one slice node chosen by the placement pass.
+    One,
+}
+
+/// One `class` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// UDP/TCP destination port selecting the class (None = wildcard).
+    pub port: Option<u16>,
+    /// Slice whose node-local applications consume this class's
+    /// traffic.
+    pub app: Option<String>,
+    /// Source location of the declaration line.
+    pub span: Span,
+}
+
+/// One `deploy` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployDecl {
+    /// ASP name, resolved against the deployment's program library.
+    pub asp: String,
+    /// Traffic class the ASP serves.
+    pub class: String,
+    /// Target slice name.
+    pub slice: String,
+    /// Whole slice or one chosen node.
+    pub mode: SliceMode,
+    /// Per-deploy download-policy override (`strict`, `no_delivery`,
+    /// `authenticated`).
+    pub policy: Option<String>,
+    /// Source location of the declaration line.
+    pub span: Span,
+}
+
+/// A parsed deployment plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanAst {
+    /// Plan name.
+    pub name: String,
+    /// Named topology the plan deploys over.
+    pub topology: String,
+    /// Plan-level verification policy (None = strict).
+    pub policy: Option<String>,
+    /// Network-wide per-packet step budget (None = unlimited).
+    pub budget_steps: Option<u64>,
+    /// Traffic classes, in declaration order.
+    pub classes: Vec<ClassDecl>,
+    /// Deploys, in declaration order.
+    pub deploys: Vec<DeployDecl>,
+}
+
+/// Parses plan source text.
+///
+/// # Errors
+///
+/// Returns a parse-phase [`LangError`] pointing at the offending line
+/// for unknown directives, malformed fields, duplicate headers, or a
+/// deploy referencing an undeclared class.
+pub fn parse_plan(src: &str) -> Result<PlanAst, LangError> {
+    let mut name: Option<String> = None;
+    let mut topology: Option<String> = None;
+    let mut policy: Option<String> = None;
+    let mut budget_steps: Option<u64> = None;
+    let mut classes: Vec<ClassDecl> = Vec::new();
+    let mut deploys: Vec<DeployDecl> = Vec::new();
+
+    let mut offset = 0usize;
+    for raw in src.split_inclusive('\n') {
+        let line_start = offset;
+        offset += raw.len();
+        let line = raw.trim_end_matches('\n').trim_end_matches('\r');
+        // Strip `--` comments (PLAN-P style).
+        let code = match line.find("--") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let trimmed = code.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let start = line_start + code.len() - code.trim_start().len();
+        let span = Span::new(start as u32, (start + trimmed.len()) as u32);
+        let words: Vec<&str> = trimmed.split_whitespace().collect();
+        match words[0] {
+            "plan" => set_once(&mut name, one_name(&words, span)?, "plan", span)?,
+            "topology" => set_once(&mut topology, one_name(&words, span)?, "topology", span)?,
+            "policy" => set_once(&mut policy, one_name(&words, span)?, "policy", span)?,
+            "budget" => {
+                if words.len() != 3 || words[1] != "steps" {
+                    return Err(LangError::parse("expected `budget steps <n>`", span));
+                }
+                let n: u64 = words[2]
+                    .parse()
+                    .map_err(|_| LangError::parse("budget is not a number", span))?;
+                set_once(&mut budget_steps, n, "budget", span)?;
+            }
+            "class" => classes.push(parse_class(&words, span, &classes)?),
+            "deploy" => deploys.push(parse_deploy(&words, span)?),
+            other => {
+                return Err(LangError::parse(
+                    format!("unknown plan directive `{other}`"),
+                    span,
+                ))
+            }
+        }
+    }
+
+    let name = name.ok_or_else(|| LangError::parse("plan has no `plan <name>` line", end(src)))?;
+    let topology =
+        topology.ok_or_else(|| LangError::parse("plan has no `topology <name>` line", end(src)))?;
+    for d in &deploys {
+        if !classes.iter().any(|c| c.name == d.class) {
+            return Err(LangError::parse(
+                format!("deploy references undeclared class `{}`", d.class),
+                d.span,
+            ));
+        }
+    }
+    if deploys.is_empty() {
+        return Err(LangError::parse("plan deploys nothing", end(src)));
+    }
+    Ok(PlanAst {
+        name,
+        topology,
+        policy,
+        budget_steps,
+        classes,
+        deploys,
+    })
+}
+
+fn end(src: &str) -> Span {
+    Span::new(src.len() as u32, src.len() as u32)
+}
+
+fn one_name(words: &[&str], span: Span) -> Result<String, LangError> {
+    if words.len() != 2 {
+        return Err(LangError::parse(
+            format!("expected `{} <name>`", words[0]),
+            span,
+        ));
+    }
+    Ok(words[1].to_string())
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, what: &str, span: Span) -> Result<(), LangError> {
+    if slot.is_some() {
+        return Err(LangError::parse(format!("duplicate `{what}` line"), span));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn parse_class(words: &[&str], span: Span, seen: &[ClassDecl]) -> Result<ClassDecl, LangError> {
+    if words.len() < 2 {
+        return Err(LangError::parse("expected `class <name> ...`", span));
+    }
+    let name = words[1].to_string();
+    if seen.iter().any(|c| c.name == name) {
+        return Err(LangError::parse(format!("duplicate class `{name}`"), span));
+    }
+    let mut port = None;
+    let mut app = None;
+    let mut i = 2;
+    while i < words.len() {
+        match words[i] {
+            "port" if i + 1 < words.len() => {
+                port = Some(
+                    words[i + 1]
+                        .parse::<u16>()
+                        .map_err(|_| LangError::parse("port is not a number", span))?,
+                );
+                i += 2;
+            }
+            "app" if i + 1 < words.len() => {
+                app = Some(words[i + 1].to_string());
+                i += 2;
+            }
+            other => {
+                return Err(LangError::parse(
+                    format!("unexpected `{other}` in class declaration"),
+                    span,
+                ))
+            }
+        }
+    }
+    Ok(ClassDecl {
+        name,
+        port,
+        app,
+        span,
+    })
+}
+
+fn parse_deploy(words: &[&str], span: Span) -> Result<DeployDecl, LangError> {
+    // deploy <asp> for <class> on <slice>|one(<slice>) [policy <name>]
+    if words.len() < 6 || words[2] != "for" || words[4] != "on" {
+        return Err(LangError::parse(
+            "expected `deploy <asp> for <class> on <slice>`",
+            span,
+        ));
+    }
+    let (slice, mode) = match words[5].strip_prefix("one(") {
+        Some(rest) => {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| LangError::parse("expected `one(<slice>)` to end with `)`", span))?;
+            (inner.to_string(), SliceMode::One)
+        }
+        None => (words[5].to_string(), SliceMode::All),
+    };
+    let policy = match words.len() {
+        6 => None,
+        8 if words[6] == "policy" => Some(words[7].to_string()),
+        _ => {
+            return Err(LangError::parse(
+                "expected `policy <name>` after the slice",
+                span,
+            ))
+        }
+    };
+    if slice.is_empty() {
+        return Err(LangError::parse("empty slice name", span));
+    }
+    Ok(DeployDecl {
+        asp: words[1].to_string(),
+        class: words[3].to_string(),
+        slice,
+        mode,
+        policy,
+        span,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = "-- a test plan\n\
+                        plan demo\n\
+                        topology relay_chain\n\
+                        policy authenticated\n\
+                        budget steps 4096\n\
+                        \n\
+                        class data port 9000\n\
+                        class web port 80 app servers\n\
+                        deploy fragile_relay for data on relays\n\
+                        deploy http_gateway for web on one(gateway) policy strict\n";
+
+    #[test]
+    fn full_plan_parses() {
+        let p = parse_plan(FULL).unwrap();
+        assert_eq!(p.name, "demo");
+        assert_eq!(p.topology, "relay_chain");
+        assert_eq!(p.policy.as_deref(), Some("authenticated"));
+        assert_eq!(p.budget_steps, Some(4096));
+        assert_eq!(p.classes.len(), 2);
+        assert_eq!(p.classes[0].port, Some(9000));
+        assert_eq!(p.classes[1].app.as_deref(), Some("servers"));
+        assert_eq!(p.deploys.len(), 2);
+        assert_eq!(p.deploys[0].mode, SliceMode::All);
+        assert_eq!(p.deploys[1].mode, SliceMode::One);
+        assert_eq!(p.deploys[1].slice, "gateway");
+        assert_eq!(p.deploys[1].policy.as_deref(), Some("strict"));
+    }
+
+    #[test]
+    fn spans_point_at_lines() {
+        let p = parse_plan(FULL).unwrap();
+        assert_eq!(
+            p.deploys[0].span.slice(FULL),
+            "deploy fragile_relay for data on relays"
+        );
+        assert_eq!(p.classes[0].span.slice(FULL), "class data port 9000");
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = parse_plan("topology t\nclass c\ndeploy a for c on s\n").unwrap_err();
+        assert!(err.message.contains("no `plan"), "{err}");
+        let err = parse_plan("plan p\nclass c\ndeploy a for c on s\n").unwrap_err();
+        assert!(err.message.contains("no `topology"), "{err}");
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = parse_plan("plan p\ntopology t\ninstall x\n").unwrap_err();
+        assert!(err.message.contains("unknown plan directive"), "{err}");
+        assert_eq!(
+            err.span.slice("plan p\ntopology t\ninstall x\n"),
+            "install x"
+        );
+    }
+
+    #[test]
+    fn undeclared_class_rejected() {
+        let err = parse_plan("plan p\ntopology t\ndeploy a for ghost on s\n").unwrap_err();
+        assert!(err.message.contains("undeclared class `ghost`"), "{err}");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err = parse_plan("plan p\nplan q\n").unwrap_err();
+        assert!(err.message.contains("duplicate `plan`"), "{err}");
+        let err =
+            parse_plan("plan p\ntopology t\nclass c\nclass c\ndeploy a for c on s\n").unwrap_err();
+        assert!(err.message.contains("duplicate class"), "{err}");
+    }
+
+    #[test]
+    fn empty_plan_rejected() {
+        let err = parse_plan("plan p\ntopology t\nclass c\n").unwrap_err();
+        assert!(err.message.contains("deploys nothing"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_budget_errors() {
+        assert!(parse_plan("-- only comments\n").is_err());
+        let err = parse_plan("plan p\ntopology t\nbudget steps many\n").unwrap_err();
+        assert!(err.message.contains("not a number"), "{err}");
+        let err = parse_plan("plan p\ntopology t\nbudget 12\n").unwrap_err();
+        assert!(err.message.contains("budget steps"), "{err}");
+    }
+}

@@ -60,6 +60,7 @@ pub mod sim;
 pub mod stats;
 pub mod tcp;
 pub mod time;
+pub mod topo;
 
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultStats, LinkFaults};
 pub use link::{Link, LinkId, LinkSpec, NodeId};
@@ -68,3 +69,4 @@ pub use packet::{ChannelTag, Packet, Transport};
 pub use sim::{NodeApi, Sim};
 pub use stats::{SeriesStore, TimeSeries};
 pub use time::SimTime;
+pub use topo::{TopoLink, TopoNode, TopoSpec};

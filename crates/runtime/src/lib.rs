@@ -14,7 +14,11 @@
 //!   ASP after a fault-injected restart;
 //! * [`replay`] — runs a model-checker counterexample as concrete
 //!   packets through a two-router path and confirms the predicted
-//!   loop, drop, or exception.
+//!   loop, drop, or exception;
+//! * [`plan`] — plan-driven deployment: load and statically verify a
+//!   whole deployment plan (placement, cross-ASP product check,
+//!   composed path budgets), install exactly what was verified, and
+//!   replay plan-level witnesses over the plan's own topology.
 //!
 //! ## Example
 //!
@@ -44,6 +48,7 @@ pub mod convert;
 pub mod deploy;
 pub mod layer;
 pub mod loader;
+pub mod plan;
 pub mod recovery;
 pub mod replay;
 
@@ -52,5 +57,8 @@ pub use layer::{
     install_planp, Engine, LayerConfig, LayerStats, PlanpHandle, PlanpLayer, MANAGEMENT_PORT,
 };
 pub use loader::{load, LoadError, LoadedProgram};
+pub use plan::{
+    install_plan, load_plan, plan_topology, replay_plan, Placement, PlanError, PlanImage,
+};
 pub use recovery::{RecoveryLog, RecoveryService};
 pub use replay::{replay_asp, replay_asp_traced, ReplayReport, LOOP_FACTOR, REPLAY_PACKETS};

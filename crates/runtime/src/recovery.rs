@@ -42,6 +42,9 @@ pub struct RecoveryService {
     source: String,
     policy: Policy,
     config: LayerConfig,
+    /// Plan-scope gate run before every (re)install — see
+    /// [`RecoveryService::with_preflight`].
+    preflight: Option<Rc<dyn Fn() -> Result<(), String>>>,
     /// Shared log.
     pub log: Rc<RefCell<RecoveryLog>>,
 }
@@ -54,11 +57,24 @@ impl RecoveryService {
             source: source.into(),
             policy,
             config,
+            preflight: None,
             log: Rc::new(RefCell::new(RecoveryLog::default())),
         }
     }
 
+    /// Adds a gate that must pass before any install or crash-redeploy
+    /// proceeds. Plan-driven deployments hang the *plan-level*
+    /// verifier here, so a restarted node re-verifies at plan scope —
+    /// composition included — not just its own program.
+    pub fn with_preflight(mut self, preflight: Rc<dyn Fn() -> Result<(), String>>) -> Self {
+        self.preflight = Some(preflight);
+        self
+    }
+
     fn install(&mut self, api: &mut NodeApi<'_>) -> Result<(), String> {
+        if let Some(preflight) = &self.preflight {
+            preflight()?;
+        }
         let image = load(&self.source, self.policy).map_err(|e| e.to_string())?;
         let name = api.node_name().to_string();
         let addr = api.addr();
@@ -191,6 +207,43 @@ mod tests {
         // Initial install and the recovery both fail verification.
         assert_eq!(log.borrow().redeploys, 0);
         assert_eq!(log.borrow().failures, 2);
+        let snap = sim.telemetry.metrics.snapshot();
+        assert_eq!(snap.counters["node.r.recovery.failures"], 1);
+    }
+
+    #[test]
+    fn preflight_gates_every_install() {
+        // The preflight passes at simulation start but fails at the
+        // crash-redeploy — the plan-scope situation where a deployment
+        // stopped verifying while the node was down. The program itself
+        // still verifies; only the gate changed its mind.
+        let calls = Rc::new(RefCell::new(0u32));
+        let gate = {
+            let calls = calls.clone();
+            Rc::new(move || {
+                *calls.borrow_mut() += 1;
+                if *calls.borrow() == 1 {
+                    Ok(())
+                } else {
+                    Err("plan no longer verifies at plan scope".to_string())
+                }
+            })
+        };
+        let mut sim = Sim::new(11);
+        let a = sim.add_host("a", addr(10, 0, 0, 1));
+        let r = sim.add_router("r", addr(10, 0, 0, 254));
+        sim.add_link(LinkSpec::ethernet_10(), &[a, r]);
+        sim.compute_routes();
+        let svc = RecoveryService::new(COUNTER, Policy::no_delivery(), LayerConfig::default())
+            .with_preflight(gate);
+        let log = svc.log.clone();
+        sim.add_app(r, Box::new(svc));
+        sim.apply_fault_plan(FaultPlan::new().crash_restart(0.2, 0.4, r));
+        sim.run_until(SimTime::from_secs(1));
+
+        assert_eq!(*calls.borrow(), 2, "initial install + crash-redeploy");
+        assert_eq!(log.borrow().redeploys, 0, "the redeploy was refused");
+        assert_eq!(log.borrow().failures, 1);
         let snap = sim.telemetry.metrics.snapshot();
         assert_eq!(snap.counters["node.r.recovery.failures"], 1);
     }

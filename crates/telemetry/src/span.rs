@@ -239,6 +239,34 @@ impl TraceForest {
             .fold(s.end_ns, u64::max)
     }
 
+    /// Largest VM cost along the chain rooted at `id`: the maximum over
+    /// its root-to-leaf span chains of the summed per-span `vm_steps`.
+    pub fn chain_vm_steps(&self, id: u64) -> u64 {
+        let Some(s) = self.spans.get(&id) else {
+            return 0;
+        };
+        s.vm_steps
+            + s.children
+                .iter()
+                .map(|c| self.chain_vm_steps(*c))
+                .max()
+                .unwrap_or(0)
+    }
+
+    /// The costliest traced causal chain, in VM steps, across every
+    /// tree (roots and orphans): the observed counterpart of a
+    /// deployment plan's statically composed per-packet path budget,
+    /// which must dominate it. 0 when the `span`/`vm` categories were
+    /// off.
+    pub fn max_path_vm_steps(&self) -> u64 {
+        self.roots
+            .iter()
+            .chain(self.orphans.iter())
+            .map(|&r| self.chain_vm_steps(r))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Per-hop (link enqueue → tx-complete) latency over all packets.
     pub fn hop_latency(&self) -> &Histogram {
         &self.hop_latency
