@@ -18,6 +18,12 @@
 //! * **[lints](lint)** — advisory [diagnostics](diag) (unused bindings,
 //!   constant conditions, escaping exceptions, unreachable channels,
 //!   shadowing) with caret rendering and byte-stable JSON;
+//! * **[state effects](state)** — an abstract interpretation bounding
+//!   table growth: which tables are written, whether key domains are
+//!   finite or packet-derived, max inserts per dispatch, and per-table
+//!   entry bounds. Feeds the `E009`/`E010` state-safety verdicts
+//!   ([`Policy::with_state_budget`]), the plan-level `budget state`
+//!   composition, and the `S001`–`S004` state lints;
 //! * **[exhaustive model checking](modelcheck)** — an explicit-state
 //!   exploration of (channel × destination value × source-intact)
 //!   states that refines the SCC screen's termination/delivery
@@ -58,6 +64,7 @@ pub mod duplication;
 pub mod lint;
 pub mod modelcheck;
 pub mod plan;
+pub mod state;
 pub mod summary;
 pub mod termination;
 pub mod verifier;
@@ -70,7 +77,12 @@ pub use duplication::{compute_may_copy, DuplicationInfo};
 pub use lint::lint;
 pub use modelcheck::{model_check, ModelCheckReport, Verdict, DEFAULT_STATE_BUDGET};
 pub use plan::{
-    Install, PathBudget, PlanAsp, PlanCheck, PlanNode, PlanPolicy, PlanReport, PlanTopology,
+    Install, NodeState, PathBudget, PlanAsp, PlanCheck, PlanNode, PlanPolicy, PlanReport,
+    PlanTopology,
+};
+pub use state::{
+    state_effects, state_lints, ChannelState, EntryBound, StateCounts, StateReport, StateRoot,
+    TableState,
 };
 pub use summary::{summarize, DestAbs, ProgramSummary, SendKind, SendSite};
 pub use termination::Outcome;

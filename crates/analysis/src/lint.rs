@@ -14,6 +14,7 @@
 //! | L005 | exceptions may escape a channel (only when the policy does not require delivery) |
 //! | L006 | channel never targeted by any send |
 //! | L007 | binding shadows an enclosing binding |
+//! | S001–S004 | state lints — see [`crate::state::state_lints`] |
 //!
 //! Channel parameters are exempt from L003: `ps`/`ss`/`p` are fixed by
 //! the channel signature, and ignoring e.g. the channel state is
@@ -36,6 +37,7 @@ pub fn lint(prog: &TProgram, sum: &ProgramSummary, policy: Policy) -> Vec<Diagno
     unhandled_exceptions(prog, sum, policy, &mut out);
     unreachable_channels(prog, sum, &mut out);
     shadowed_bindings(prog, &mut out);
+    out.extend(crate::state::state_lints(prog, sum));
     out.sort_by_key(|d| (d.span.start, d.span.end, d.code));
     out
 }
@@ -358,14 +360,16 @@ mod tests {
 
     #[test]
     fn unhandled_exception_only_without_delivery() {
+        // The never-written table also draws S002, under every policy.
         let src = "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob) is\n\
                    (OnRemote(network, p); (tblGet(ss, ipSrc(#1 p)), ss))";
-        assert!(
-            lint_src(src, Policy::strict()).is_empty(),
-            "delivery analysis owns it"
+        assert_eq!(
+            codes(&lint_src(src, Policy::strict())),
+            vec!["S002"],
+            "delivery analysis owns the escaping exception"
         );
         let d = lint_src(src, Policy::no_delivery());
-        assert_eq!(codes(&d), vec!["L005"]);
+        assert_eq!(codes(&d), vec!["L005", "S002"]);
         assert!(d[0].message.contains("NotFound"));
     }
 

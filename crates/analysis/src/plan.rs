@@ -18,6 +18,10 @@
 //!   ([`crate::cost`]) compose along every plan path into a
 //!   network-wide per-packet budget, enforced against the plan's
 //!   `budget steps` line (`E008`);
+//! * **node state budgets** — per-ASP table-entry bounds
+//!   ([`crate::state`]) compose *per node* across co-resident ASPs,
+//!   enforced against the plan's `budget state` line (`E010`; an ASP
+//!   with unbounded state always rejects under a state budget);
 //! * **plan lints** — `P001` unreachable deploy, `P002` shadowed
 //!   traffic class, `P003` uncovered class, `P004` dead install point,
 //!   and `L008` (a send to a channel no co-deployed ASP handles).
@@ -142,6 +146,9 @@ pub struct PlanPolicy {
     /// Reject any path whose composed worst-case step budget exceeds
     /// this (`E008`). Set by the plan's `budget steps` line.
     pub max_path_steps: Option<u64>,
+    /// Reject any node whose co-resident ASPs compose a table-entry
+    /// bound over this (`E010`). Set by the plan's `budget state` line.
+    pub max_node_state_entries: Option<u64>,
     /// Product-state exploration budget.
     pub product_budget: usize,
 }
@@ -152,6 +159,7 @@ impl PlanPolicy {
         PlanPolicy {
             require_joint_termination: true,
             max_path_steps: None,
+            max_node_state_entries: None,
             product_budget: DEFAULT_STATE_BUDGET,
         }
     }
@@ -209,6 +217,12 @@ impl PlanAsp {
     pub fn max_steps(&self) -> u64 {
         self.cost.max_steps()
     }
+
+    /// The composed table-entry bound over all of this ASP's tables
+    /// (`None` means some table is unbounded). See [`crate::state`].
+    pub fn entry_bound(&self) -> Option<u64> {
+        self.summary.state.entry_bound()
+    }
 }
 
 /// One resolved install point.
@@ -233,6 +247,16 @@ pub struct PathBudget {
     /// per-node max over co-resident ASP bounds, summed over every
     /// node past the ingress).
     pub steps: u64,
+}
+
+/// The composed worst-case table-entry footprint of one node.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Topology node name.
+    pub node: String,
+    /// Sum of the co-resident ASPs' composed per-table entry bounds,
+    /// or `None` when some resident ASP's state growth is unbounded.
+    pub entries: Option<u64>,
 }
 
 /// A placed, verifiable deployment: the output of [`PlanCheck::new`],
@@ -297,6 +321,9 @@ impl PlanCheck {
         };
         if plan.budget_steps.is_some() {
             policy.max_path_steps = plan.budget_steps;
+        }
+        if plan.budget_state.is_some() {
+            policy.max_node_state_entries = plan.budget_state;
         }
 
         // Route coverage: how many plan paths route *through* each node
@@ -416,6 +443,82 @@ impl PlanCheck {
             }
         }
 
+        // --- node state budgets (E010) ----------------------------
+        let mut node_state = Vec::new();
+        for (n, nd) in self.topo.nodes.iter().enumerate() {
+            let resident: Vec<usize> = (0..self.installs.len())
+                .filter(|&ii| self.installs[ii].node == n)
+                .collect();
+            if resident.is_empty() {
+                continue;
+            }
+            let mut entries = Some(0u64);
+            let mut worst: Option<(u64, usize)> = None;
+            let mut unbounded: Option<usize> = None;
+            for &ii in &resident {
+                match self.asps[self.installs[ii].deploy].entry_bound() {
+                    Some(e) => {
+                        entries = entries.map(|t| t.saturating_add(e));
+                        if worst.is_none_or(|(w, _)| e > w) {
+                            worst = Some((e, ii));
+                        }
+                    }
+                    None => {
+                        entries = None;
+                        unbounded.get_or_insert(ii);
+                    }
+                }
+            }
+            node_state.push(NodeState {
+                node: nd.name.clone(),
+                entries,
+            });
+            if let Some(limit) = self.policy.max_node_state_entries {
+                match entries {
+                    None => {
+                        let ii = unbounded.expect("entries is None only via an unbounded ASP");
+                        diagnostics.push(
+                            Diagnostic::error(
+                                "E010",
+                                spans[ii],
+                                format!(
+                                    "node {} installs `{}`, whose table growth is unbounded, \
+                                     under a plan state budget of {limit} entries",
+                                    nd.name, self.asps[self.installs[ii].deploy].name
+                                ),
+                            )
+                            .note(
+                                "an ASP without a finite entry bound cannot satisfy any state \
+                                 budget; evict with a constant capacity or key its tables on \
+                                 a finite domain",
+                            ),
+                        );
+                    }
+                    Some(total) if total > limit => {
+                        let span = worst.map(|(_, ii)| spans[ii]).unwrap_or_else(Span::dummy);
+                        diagnostics.push(
+                            Diagnostic::error(
+                                "E010",
+                                span,
+                                format!(
+                                    "node {} composes a worst-case state footprint of {total} \
+                                     table entries across {} co-resident install(s), exceeding \
+                                     the plan budget of {limit}",
+                                    nd.name,
+                                    resident.len()
+                                ),
+                            )
+                            .note(
+                                "the budget sums each co-resident ASP's composed per-table \
+                                 entry bound",
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+
         // --- joint-loop rejection (E007) --------------------------
         if self.policy.require_joint_termination {
             for w in &compose.witnesses {
@@ -449,6 +552,7 @@ impl PlanCheck {
             exhausted: compose.exhausted,
             witnesses: compose.witnesses,
             budgets,
+            node_state,
             installs: self
                 .installs
                 .iter()
@@ -645,6 +749,8 @@ pub struct PlanReport {
     pub witnesses: Vec<Witness>,
     /// Composed worst-case budget per plan path.
     pub budgets: Vec<PathBudget>,
+    /// Composed worst-case state footprint per node with installs.
+    pub node_state: Vec<NodeState>,
     /// Resolved `(node, asp)` install points.
     pub installs: Vec<(String, String)>,
     /// Errors and lint warnings, sorted by span then code.
@@ -678,7 +784,7 @@ impl PlanReport {
     /// Appends the byte-stable JSON form to `out`. Key order is fixed:
     /// `plan`, `topology`, `accepted`, `joint`, `states`,
     /// `transitions`, `budget`, `exhausted`, `installs`, `paths`,
-    /// `witnesses`, `diagnostics`.
+    /// `state`, `witnesses`, `diagnostics`.
     pub fn write_json(&self, src: &str, out: &mut String) {
         use crate::diag::push_json_str;
         out.push_str("{\"plan\":");
@@ -716,6 +822,18 @@ impl PlanReport {
             out.push_str(",\"to\":");
             push_json_str(out, &b.to);
             out.push_str(&format!(",\"hops\":{},\"steps\":{}}}", b.hops, b.steps));
+        }
+        out.push_str("],\"state\":[");
+        for (i, ns) in self.node_state.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"node\":");
+            push_json_str(out, &ns.node);
+            match ns.entries {
+                Some(e) => out.push_str(&format!(",\"entries\":{e}}}")),
+                None => out.push_str(",\"entries\":null}"),
+            }
         }
         out.push_str("],\"witnesses\":[");
         for (i, w) in self.witnesses.iter().enumerate() {
@@ -765,6 +883,15 @@ impl PlanReport {
                 "  path {} -> {}: {} hop(s), worst-case {} steps\n",
                 b.from, b.to, b.hops, b.steps
             ));
+        }
+        for ns in &self.node_state {
+            match ns.entries {
+                Some(e) => out.push_str(&format!(
+                    "  node {}: worst-case state <= {e} entries\n",
+                    ns.node
+                )),
+                None => out.push_str(&format!("  node {}: state unbounded\n", ns.node)),
+            }
         }
         for w in &self.witnesses {
             out.push_str(&w.render(src));
@@ -917,6 +1044,82 @@ deploy forwarder for data on relays
         assert!(report.errors().iter().any(|d| d.code == "E008"));
         // The verdict itself is still proved — only the budget failed.
         assert_eq!(report.joint, Verdict::Proved);
+    }
+
+    /// Packet-keyed but evicting with a declared capacity: the state
+    /// analysis gives it a Declared(32) entry bound.
+    const STATEFUL: &str = "channel network(ps : int, ss : (host, int) hash_table, \
+                            p : ip*udp*blob)\n\
+                            initstate mkTable(32) is\n\
+                            (tblSet(ss, ipSrc(#1 p), 1); tblDel(ss, ipSrc(#1 p));\n\
+                             OnRemote(network, p); (ps + 1, ss))";
+
+    /// Packet-keyed with no eviction anywhere: unbounded growth.
+    const LEAKY: &str = "channel network(ps : int, ss : (host, int) hash_table, \
+                         p : ip*udp*blob) is\n\
+                         (tblSet(ss, ipSrc(#1 p), 1); OnRemote(network, p); (ps + 1, ss))";
+
+    #[test]
+    fn budget_state_line_rejects_with_e010() {
+        let plan = "plan relay
+topology relay_pair
+budget state 1
+class data
+deploy stateful for data on relays
+";
+        let report = check(plan, relay_pair(), vec![asp("stateful", STATEFUL)]).verify();
+        assert!(!report.accepted(), "{}", report.render(plan));
+        assert!(report.errors().iter().any(|d| d.code == "E010"));
+        // Both relays carry the install, each composing 32 entries.
+        assert_eq!(report.node_state.len(), 2);
+        assert!(report.node_state.iter().all(|ns| ns.entries == Some(32)));
+        // The verdict itself is still proved — only the state budget failed.
+        assert_eq!(report.joint, Verdict::Proved);
+    }
+
+    #[test]
+    fn budget_state_within_budget_accepts() {
+        let plan = "plan relay
+topology relay_pair
+budget state 64
+class data
+deploy stateful for data on relays
+";
+        let report = check(plan, relay_pair(), vec![asp("stateful", STATEFUL)]).verify();
+        assert!(report.accepted(), "{}", report.render(plan));
+        assert!(!report.diagnostics.iter().any(|d| d.code == "E010"));
+        let rendered = report.render(plan);
+        assert!(
+            rendered.contains("node r1: worst-case state <= 32 entries"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn unbounded_asp_rejects_under_any_state_budget() {
+        let plan = "plan relay
+topology relay_pair
+budget state 1000000
+class data
+deploy leaky for data on relays
+";
+        let report = check(plan, relay_pair(), vec![asp("leaky", LEAKY)]).verify();
+        assert!(!report.accepted());
+        let errs = report.errors();
+        let e = errs.iter().find(|d| d.code == "E010").expect("E010");
+        assert!(e.message.contains("unbounded"), "{}", e.message);
+        assert!(report.node_state.iter().all(|ns| ns.entries.is_none()));
+
+        // Without a `budget state` line the footprint is still reported
+        // but nothing rejects.
+        let lax = "plan relay
+topology relay_pair
+class data
+deploy leaky for data on relays
+";
+        let report = check(lax, relay_pair(), vec![asp("leaky", LEAKY)]).verify();
+        assert!(report.accepted(), "{}", report.render(lax));
+        assert!(report.render(lax).contains("node r1: state unbounded"));
     }
 
     #[test]

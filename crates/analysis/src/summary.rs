@@ -124,6 +124,9 @@ pub struct ProgramSummary {
     pub funs: Vec<ExprSummary>,
     /// Parallel to [`TProgram::channels`].
     pub channels: Vec<ExprSummary>,
+    /// The state-effect analysis: tables written, key-domain finiteness,
+    /// per-dispatch insert bounds (see [`crate::state`]).
+    pub state: crate::state::StateReport,
 }
 
 /// Computes summaries for every function and channel of `prog`.
@@ -148,7 +151,11 @@ pub fn summarize(prog: &TProgram) -> ProgramSummary {
         env.insert(2, AbsVal::Pkt); // the packet parameter
         channels.push(cx.walk_root(&ch.body, env));
     }
-    ProgramSummary { funs, channels }
+    ProgramSummary {
+        funs,
+        channels,
+        state: crate::state::state_effects(prog),
+    }
 }
 
 /// Saturating cap for send counts; 3 is enough to distinguish 0, 1, and

@@ -67,6 +67,15 @@ pub struct Policy {
     /// State budget for the exhaustive exploration; exceeding it falls
     /// back to the screening verdicts.
     pub exhaustive_budget: usize,
+    /// Reject programs with a table whose growth the [state
+    /// analysis](crate::state) cannot bound: a packet-derived key with
+    /// no eviction on any path (`E009`).
+    pub require_bounded_state: bool,
+    /// Reject programs whose composed per-node entry bound (summed over
+    /// all tables) exceeds this many entries (`E010`); `None` disables
+    /// the budget. Implies [`Policy::require_bounded_state`] in effect:
+    /// an unbounded table trivially exceeds any budget.
+    pub max_state_entries: Option<u64>,
 }
 
 impl Policy {
@@ -79,6 +88,8 @@ impl Policy {
             max_steps_per_packet: None,
             exhaustive: false,
             exhaustive_budget: DEFAULT_STATE_BUDGET,
+            require_bounded_state: false,
+            max_state_entries: None,
         }
     }
 
@@ -92,6 +103,8 @@ impl Policy {
             max_steps_per_packet: None,
             exhaustive: false,
             exhaustive_budget: DEFAULT_STATE_BUDGET,
+            require_bounded_state: false,
+            max_state_entries: None,
         }
     }
 
@@ -105,6 +118,8 @@ impl Policy {
             max_steps_per_packet: None,
             exhaustive: false,
             exhaustive_budget: DEFAULT_STATE_BUDGET,
+            require_bounded_state: false,
+            max_state_entries: None,
         }
     }
 
@@ -127,6 +142,23 @@ impl Policy {
         self.exhaustive_budget = states;
         self
     }
+
+    /// Requires every table's growth to be statically bounded or
+    /// runtime-monitorable: packet-keyed tables with no eviction are
+    /// rejected with `E009` (builder style).
+    pub fn with_bounded_state(mut self) -> Self {
+        self.require_bounded_state = true;
+        self
+    }
+
+    /// Adds a per-node state budget: the composed entry bound over all
+    /// tables must stay within `entries` (`E010`), and unbounded tables
+    /// are rejected (`E009`). Builder style.
+    pub fn with_state_budget(mut self, entries: u64) -> Self {
+        self.require_bounded_state = true;
+        self.max_state_entries = Some(entries);
+        self
+    }
 }
 
 impl Default for Policy {
@@ -147,6 +179,18 @@ pub struct VerifyReport {
     /// Step-budget outcome (always `Proved` when the policy sets no
     /// budget).
     pub budget: Outcome,
+    /// State-safety outcome: `E009` (unbounded table growth) and `E010`
+    /// (composed entry bound over the state budget). Always `Proved`
+    /// when the policy demands neither.
+    pub state: Outcome,
+    /// The composed per-node entry bound over all tables (`None` means
+    /// some table is unbounded). See [`crate::state`].
+    pub state_bound: Option<u64>,
+    /// The full state-effect analysis (per-channel insert counts,
+    /// per-table growth bounds) — kept on the report so the runtime can
+    /// cross-check live table telemetry against the static bounds, the
+    /// way [`VerifyReport::cost`] backs the step-bound check.
+    pub state_effects: crate::state::StateReport,
     /// Static per-packet cost bounds (see [`crate::cost`]).
     pub cost: CostReport,
     /// Lint findings plus every policy-required rejection, as structured
@@ -173,6 +217,7 @@ impl VerifyReport {
             && (!self.policy.require_delivery || self.delivery.is_proved())
             && (!self.policy.require_linear_duplication || self.duplication.is_proved())
             && self.budget.is_proved()
+            && self.state.is_proved()
     }
 
     /// All diagnostics from analyses the policy requires.
@@ -189,6 +234,7 @@ impl VerifyReport {
         push(self.policy.require_delivery, &self.delivery);
         push(self.policy.require_linear_duplication, &self.duplication);
         push(true, &self.budget);
+        push(true, &self.state);
         // Delivery subsumes termination diagnostics; dedup.
         out.dedup_by(|a, b| a == b);
         out
@@ -203,21 +249,29 @@ impl VerifyReport {
 
     /// Appends the byte-stable JSON form of the report to `out`:
     /// `{"accepted":…,"verdicts":{"termination","delivery",
-    /// "duplication","budget"},"channels":[{"name","overload","steps",
-    /// "sends"}…],"diagnostics":[…],"exhaustive":null|{…}}`. `src`
-    /// resolves diagnostic spans to line/column positions.
+    /// "duplication","budget","state"},"state_bound":n|null,
+    /// "channels":[{"name","overload","steps","sends"}…],
+    /// "diagnostics":[…],"exhaustive":null|{…}}`. `src` resolves
+    /// diagnostic spans to line/column positions.
     pub fn write_json(&self, src: &str, out: &mut String) {
         use std::fmt::Write as _;
         let v = |o: &Outcome| if o.is_proved() { "proved" } else { "rejected" };
         let _ = write!(out, "{{\"accepted\":{}", self.accepted());
         let _ = write!(
             out,
-            ",\"verdicts\":{{\"termination\":\"{}\",\"delivery\":\"{}\",\"duplication\":\"{}\",\"budget\":\"{}\"}}",
+            ",\"verdicts\":{{\"termination\":\"{}\",\"delivery\":\"{}\",\"duplication\":\"{}\",\"budget\":\"{}\",\"state\":\"{}\"}}",
             v(&self.termination),
             v(&self.delivery),
             v(&self.duplication),
-            v(&self.budget)
+            v(&self.budget),
+            v(&self.state)
         );
+        match self.state_bound {
+            Some(n) => {
+                let _ = write!(out, ",\"state_bound\":{n}");
+            }
+            None => out.push_str(",\"state_bound\":null"),
+        }
         out.push_str(",\"channels\":[");
         for (i, c) in self.cost.channels.iter().enumerate() {
             if i > 0 {
@@ -292,6 +346,33 @@ impl fmt::Display for VerifyReport {
                 self.cost.max_steps()
             )?,
         }
+        let bound = match self.state_bound {
+            Some(n) => format!("<= {n} entries"),
+            None => "unbounded".to_string(),
+        };
+        match self.policy.max_state_entries {
+            Some(limit) => writeln!(
+                f,
+                "state budget: {} ({} of {} allowed)",
+                if self.state.is_proved() {
+                    "within"
+                } else {
+                    "EXCEEDED"
+                },
+                bound,
+                limit
+            )?,
+            None => writeln!(
+                f,
+                "state bound:  {}{}",
+                bound,
+                if self.state.is_proved() {
+                    ""
+                } else {
+                    " (REJECTED)"
+                }
+            )?,
+        }
         writeln!(
             f,
             "verdict:      {}",
@@ -331,6 +412,8 @@ pub fn verify_with_summary(prog: &TProgram, sum: &ProgramSummary, policy: Policy
     };
     let cost = cost_bounds(prog);
     let budget = check_budget(prog, &cost, policy.max_steps_per_packet);
+    let state = check_state(prog, sum, policy);
+    let state_bound = sum.state.entry_bound();
     let mut termination = check_termination(prog, sum);
     let mut delivery = check_delivery(prog, sum);
     let duplication = check_duplication(prog, sum);
@@ -388,17 +471,88 @@ pub fn verify_with_summary(prog: &TProgram, sum: &ProgramSummary, policy: Policy
         &mut diagnostics,
     );
     push_errs(true, &budget, &mut diagnostics);
+    push_errs(true, &state, &mut diagnostics);
     diagnostics.sort_by_key(|d| (d.span.start, d.span.end, d.code));
     VerifyReport {
         termination,
         delivery,
         duplication,
         budget,
+        state,
+        state_bound,
+        state_effects: sum.state.clone(),
         cost,
         diagnostics,
         policy,
         stats,
         exhaustive,
+    }
+}
+
+/// Evaluates state safety: `E009` for tables the analysis cannot bound,
+/// `E010` for a composed entry bound over the policy's state budget.
+fn check_state(prog: &TProgram, sum: &ProgramSummary, policy: Policy) -> Outcome {
+    if !policy.require_bounded_state && policy.max_state_entries.is_none() {
+        return Outcome::Proved;
+    }
+    let st = &sum.state;
+    let mut errs = Vec::new();
+    for t in st.unbounded_tables() {
+        let span = t
+            .first_packet_write
+            .or(t.first_write)
+            .unwrap_or_else(|| prog.channels[0].span);
+        let mut d = Diagnostic::error(
+            "E009",
+            span,
+            format!(
+                "table `{}` grows without bound: packet-derived key with no eviction on any path",
+                t.display
+            ),
+        )
+        .note("every new key inserts an entry that is never removed");
+        if t.eviction {
+            d = d.note(
+                "the program evicts, but the table's capacity could not be resolved to a \
+                 constant `mkTable(n)`",
+            );
+        } else {
+            d = d.note(
+                "evict with `tblDel`/`tblClear` on some path (and declare a capacity with \
+                 `mkTable(n)`), or key the table on a finite domain",
+            );
+        }
+        errs.push(d);
+    }
+    if let (Some(limit), Some(total)) = (policy.max_state_entries, st.entry_bound()) {
+        if total > limit {
+            // Point at the biggest contributor.
+            let worst = st
+                .tables
+                .iter()
+                .max_by_key(|t| t.bound.entries().unwrap_or(0))
+                .expect("a positive bound implies at least one table");
+            let span = worst.first_write.unwrap_or_else(|| prog.channels[0].span);
+            errs.push(
+                Diagnostic::error(
+                    "E010",
+                    span,
+                    format!(
+                        "composed state bound of {total} entries exceeds the budget of {limit}"
+                    ),
+                )
+                .note(format!(
+                    "largest contributor: table `{}` with up to {} entries",
+                    worst.display,
+                    worst.bound.entries().unwrap_or(0)
+                )),
+            );
+        }
+    }
+    if errs.is_empty() {
+        Outcome::Proved
+    } else {
+        Outcome::Rejected(errs)
     }
 }
 
@@ -500,6 +654,53 @@ mod tests {
         assert!(!auth.accepted());
     }
 
+    const LEAKY: &str = "channel network(ps : unit, ss : (host, int) hash_table, \
+                         p : ip*udp*blob) is\n\
+                         (tblSet(ss, ipSrc(#1 p), 1); OnRemote(network, p); (ps, ss))";
+
+    const EVICTING: &str = "channel network(ps : unit, ss : (host, int) hash_table, \
+                            p : ip*udp*blob)\n\
+                            initstate mkTable(32) is\n\
+                            (tblSet(ss, ipSrc(#1 p), 1); tblDel(ss, ipSrc(#1 p));\n\
+                             OnRemote(network, p); (ps, ss))";
+
+    #[test]
+    fn unbounded_state_rejected_only_under_bounded_state_policy() {
+        let lax = report(LEAKY, Policy::no_delivery());
+        assert!(lax.accepted(), "{lax}");
+        assert_eq!(lax.state_bound, None);
+        let r = report(LEAKY, Policy::no_delivery().with_bounded_state());
+        assert!(!r.accepted());
+        assert!(r.diagnostics.iter().any(|d| d.code == "E009"), "{r}");
+        assert!(r.errors().iter().any(|e| e.code == "E009"));
+        assert!(r.to_string().contains("state bound:  unbounded (REJECTED)"));
+    }
+
+    #[test]
+    fn declared_capacity_with_eviction_passes_bounded_state() {
+        let r = report(EVICTING, Policy::no_delivery().with_bounded_state());
+        assert!(r.accepted(), "{r}");
+        assert_eq!(r.state_bound, Some(32));
+    }
+
+    #[test]
+    fn state_budget_enforced() {
+        let generous = report(EVICTING, Policy::no_delivery().with_state_budget(100));
+        assert!(generous.accepted(), "{generous}");
+        assert!(generous.to_string().contains("state budget: within"));
+        let tight = report(EVICTING, Policy::no_delivery().with_state_budget(8));
+        assert!(!tight.accepted());
+        assert!(
+            tight.diagnostics.iter().any(|d| d.code == "E010"),
+            "{tight}"
+        );
+        assert!(tight.to_string().contains("state budget: EXCEEDED"));
+        // Even an authenticated download must respect an explicit budget.
+        let auth = report(LEAKY, Policy::authenticated().with_state_budget(8));
+        assert!(!auth.accepted());
+        assert!(auth.diagnostics.iter().any(|d| d.code == "E009"));
+    }
+
     #[test]
     fn report_carries_lint_diagnostics() {
         let src = "val dead : int = 7\n\
@@ -575,9 +776,10 @@ mod tests {
         let mut out = String::new();
         r.write_json(GOOD, &mut out);
         assert!(
-            out.contains("\"verdicts\":{\"termination\":\"proved\",\"delivery\":\"proved\",\"duplication\":\"proved\",\"budget\":\"proved\"}"),
+            out.contains("\"verdicts\":{\"termination\":\"proved\",\"delivery\":\"proved\",\"duplication\":\"proved\",\"budget\":\"proved\",\"state\":\"proved\"}"),
             "{out}"
         );
+        assert!(out.contains("\"state_bound\":0"), "{out}");
         assert!(out.ends_with("\"exhaustive\":null}"), "{out}");
         let r = report(GOOD, Policy::strict().with_exhaustive_check());
         let mut out = String::new();

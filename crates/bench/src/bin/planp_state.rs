@@ -1,0 +1,369 @@
+//! `planp-state` — run the state-effect analysis over the checked-in
+//! ASP corpus and the bundled deployment plans, render per-table
+//! growth bounds, and gate CI on a verdict baseline.
+//!
+//! ```text
+//! cargo run --release -p planp-bench --bin planp_state -- \
+//!     --baseline asps/STATE_BASELINE.txt asps/*.planp asps/buggy/*.planp
+//! ```
+//!
+//! Every ASP file named on the command line is compiled and summarized;
+//! the bundled plans (`asps/plans/`) are always verified in addition.
+//! Options:
+//!
+//! * `--json` — one byte-stable JSON document on stdout.
+//! * `--baseline FILE` — compare each verdict line against the
+//!   checked-in baseline; exit 1 on any difference (the CI gate).
+//! * `--write-baseline FILE` — regenerate the baseline (sorted) instead.
+//!
+//! ASP lines read `<path> tables=<t> inserts=<i> bound=<n|unbounded>
+//! verdict=<bounded|waived>` — `waived` marks corpus ASPs that ship
+//! with packet-keyed, never-evicted tables and are accepted only
+//! because their download policies do not demand bounded state. Plan
+//! lines read `plan <name> nodes=<n> state=<entries|unbounded>
+//! budget=<n|none> verdict=<within|exceeded|unchecked>`.
+//!
+//! Exit status: 0 on success, 1 on baseline mismatch, 2 on usage or
+//! I/O errors.
+
+use planp_analysis::diag::push_json_str;
+use planp_analysis::summarize;
+use planp_apps::plans::{bundled_plans, resolve_asp};
+use planp_runtime::{load_plan, PlanImage};
+
+struct Args {
+    json: bool,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        baseline: None,
+        write_baseline: None,
+        files: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => args.json = true,
+            "--baseline" => {
+                args.baseline = Some(value(&argv, i, "--baseline")?);
+                i += 1;
+            }
+            "--write-baseline" => {
+                args.write_baseline = Some(value(&argv, i, "--write-baseline")?);
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument {flag:?} (try --help)"));
+            }
+            file => args.files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+const HELP: &str = "\
+planp-state: state-effect bounds for the ASP corpus and bundled plans
+usage: planp_state [options] <file.planp>...
+  (the bundled plans are always verified in addition to the files)
+  --json                 byte-stable machine output
+  --baseline FILE        fail if verdict lines differ from FILE
+  --write-baseline FILE  regenerate FILE (sorted)
+";
+
+/// The state analysis of one ASP file.
+struct AspResult {
+    path: String,
+    tables: usize,
+    max_inserts: u64,
+    /// `None` when some table's growth is unbounded.
+    bound: Option<u64>,
+}
+
+impl AspResult {
+    fn verdict_line(&self) -> String {
+        match self.bound {
+            Some(n) => format!(
+                "{} tables={} inserts={} bound={} verdict=bounded",
+                self.path, self.tables, self.max_inserts, n
+            ),
+            None => format!(
+                "{} tables={} inserts={} bound=unbounded verdict=waived",
+                self.path, self.tables, self.max_inserts
+            ),
+        }
+    }
+}
+
+/// The plan-level state composition of one bundled plan.
+struct PlanStateResult {
+    name: &'static str,
+    image: PlanImage,
+}
+
+impl PlanStateResult {
+    /// Worst per-node composed entry bound (`None` = some node hosts
+    /// an unbounded ASP; nodes without installs are not reported).
+    fn worst(&self) -> Option<u64> {
+        let ns = &self.image.report.node_state;
+        if ns.iter().any(|n| n.entries.is_none()) {
+            return None;
+        }
+        Some(ns.iter().filter_map(|n| n.entries).max().unwrap_or(0))
+    }
+
+    fn verdict_line(&self) -> String {
+        let r = &self.image.report;
+        let state = match self.worst() {
+            Some(n) => n.to_string(),
+            None => "unbounded".to_string(),
+        };
+        let budget = match r.policy.max_node_state_entries {
+            Some(n) => n.to_string(),
+            None => "none".to_string(),
+        };
+        let verdict = match r.policy.max_node_state_entries {
+            None => "unchecked",
+            Some(_) if r.diagnostics.iter().any(|d| d.code == "E010") => "exceeded",
+            Some(_) => "within",
+        };
+        format!(
+            "plan {} nodes={} state={state} budget={budget} verdict={verdict}",
+            self.name,
+            r.node_state.len()
+        )
+    }
+}
+
+/// Baseline text: one verdict line per ASP and per plan, sorted.
+fn baseline_text(asps: &[AspResult], plans: &[PlanStateResult]) -> String {
+    let mut lines: Vec<String> = asps.iter().map(AspResult::verdict_line).collect();
+    lines.extend(plans.iter().map(PlanStateResult::verdict_line));
+    lines.sort();
+    let mut s = lines.join("\n");
+    s.push('\n');
+    s
+}
+
+fn write_json(asps: &[AspResult], plans: &[PlanStateResult], out: &mut String) {
+    use std::fmt::Write as _;
+    out.push_str("{\"asps\":[");
+    for (i, a) in asps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"path\":");
+        push_json_str(out, &a.path);
+        let _ = write!(
+            out,
+            ",\"tables\":{},\"inserts\":{}",
+            a.tables, a.max_inserts
+        );
+        match a.bound {
+            Some(n) => {
+                let _ = write!(out, ",\"bound\":{n}}}");
+            }
+            None => out.push_str(",\"bound\":null}"),
+        }
+    }
+    out.push_str("],\"plans\":[");
+    for (i, p) in plans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(out, p.name);
+        out.push_str(",\"nodes\":[");
+        for (j, ns) in p.image.report.node_state.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"node\":");
+            push_json_str(out, &ns.node);
+            match ns.entries {
+                Some(e) => {
+                    let _ = write!(out, ",\"entries\":{e}}}");
+                }
+                None => out.push_str(",\"entries\":null}"),
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+fn analyze_asp(path: &str) -> Result<AspResult, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let prog =
+        planp_lang::compile_front(&src).map_err(|e| format!("{path}: {}", e.render(&src)))?;
+    let sum = summarize(&prog);
+    Ok(AspResult {
+        path: path.to_string(),
+        tables: sum.state.tables.len(),
+        max_inserts: sum.state.max_inserts(),
+        bound: sum.state.entry_bound(),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("planp-state: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut asps = Vec::new();
+    for path in &args.files {
+        match analyze_asp(path) {
+            Ok(a) => asps.push(a),
+            Err(e) => {
+                eprintln!("planp-state: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut plans = Vec::new();
+    for (name, src) in bundled_plans() {
+        match load_plan(src, &resolve_asp) {
+            Ok(image) => plans.push(PlanStateResult { name, image }),
+            Err(e) => {
+                eprintln!("planp-state: {name}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args.json {
+        let mut out = String::new();
+        write_json(&asps, &plans, &mut out);
+        println!("{out}");
+    } else {
+        for a in &asps {
+            println!("{}", a.verdict_line());
+        }
+        for p in &plans {
+            println!("{}", p.verdict_line());
+        }
+    }
+
+    let mut failed = false;
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline_text(&asps, &plans)) {
+            eprintln!("planp-state: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
+    } else if let Some(path) = &args.baseline {
+        let expected = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("planp-state: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let actual = baseline_text(&asps, &plans);
+        if expected != actual {
+            eprintln!("planp-state: verdicts differ from {path}:");
+            for (e, a) in expected.lines().zip(actual.lines()) {
+                if e != a {
+                    eprintln!("  - {e}\n  + {a}");
+                }
+            }
+            let (en, an) = (expected.lines().count(), actual.lines().count());
+            if en != an {
+                eprintln!("  ({en} baseline line(s), {an} checked)");
+            }
+            failed = true;
+        }
+    }
+
+    let unbounded = asps.iter().filter(|a| a.bound.is_none()).count();
+    eprintln!(
+        "{} ASP(s) ({} waived unbounded), {} plan(s)",
+        asps.len(),
+        unbounded,
+        plans.len()
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<AspResult> {
+        let root = std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../asps"));
+        let mut out = Vec::new();
+        for dir in [root.clone(), root.join("buggy")] {
+            for entry in std::fs::read_dir(&dir).expect("asps dir") {
+                let path = entry.unwrap().path();
+                if path.extension().and_then(|e| e.to_str()) != Some("planp") {
+                    continue;
+                }
+                let rel = format!("asps/{}", path.strip_prefix(&root).unwrap().display());
+                let mut a = analyze_asp(path.to_str().unwrap()).expect("corpus ASP analyzes");
+                a.path = rel;
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn baseline_text_is_sorted_and_stable() {
+        let mut asps = corpus();
+        let mut plans: Vec<PlanStateResult> = bundled_plans()
+            .into_iter()
+            .map(|(name, src)| PlanStateResult {
+                name,
+                image: load_plan(src, &resolve_asp).expect("bundled plan loads"),
+            })
+            .collect();
+        let sorted = baseline_text(&asps, &plans);
+        asps.reverse();
+        plans.reverse();
+        assert_eq!(
+            sorted,
+            baseline_text(&asps, &plans),
+            "baseline order must not depend on analysis order"
+        );
+        let keys: Vec<&str> = sorted.lines().collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn bounded_gateway_and_leak_pin_their_verdicts() {
+        let asps = corpus();
+        let find = |p: &str| {
+            asps.iter()
+                .find(|a| a.path == p)
+                .unwrap_or_else(|| panic!("{p} in corpus"))
+        };
+        assert_eq!(find("asps/http_gateway_bounded.planp").bound, Some(256));
+        assert_eq!(find("asps/http_gateway.planp").bound, None);
+        assert_eq!(find("asps/buggy/state_leak.planp").bound, None);
+        assert_eq!(find("asps/forwarder.planp").bound, Some(0));
+    }
+}

@@ -27,6 +27,9 @@
 //!   `authenticated`);
 //! * `budget steps <n>` — optional network-wide per-packet step budget
 //!   composed along every plan path;
+//! * `budget state <n>` — optional per-node state budget: on every
+//!   node, the co-resident ASPs' composed table-entry bounds must fit
+//!   within `<n>` entries;
 //! * `class <name> [port <n>] [app <slice>]` — a traffic class; `app`
 //!   names a slice whose local applications consume the class's
 //!   traffic (so sends to unhandled channels toward it are expected);
@@ -90,6 +93,8 @@ pub struct PlanAst {
     pub policy: Option<String>,
     /// Network-wide per-packet step budget (None = unlimited).
     pub budget_steps: Option<u64>,
+    /// Per-node state-entry budget (None = unlimited).
+    pub budget_state: Option<u64>,
     /// Traffic classes, in declaration order.
     pub classes: Vec<ClassDecl>,
     /// Deploys, in declaration order.
@@ -108,6 +113,7 @@ pub fn parse_plan(src: &str) -> Result<PlanAst, LangError> {
     let mut topology: Option<String> = None;
     let mut policy: Option<String> = None;
     let mut budget_steps: Option<u64> = None;
+    let mut budget_state: Option<u64> = None;
     let mut classes: Vec<ClassDecl> = Vec::new();
     let mut deploys: Vec<DeployDecl> = Vec::new();
 
@@ -133,13 +139,20 @@ pub fn parse_plan(src: &str) -> Result<PlanAst, LangError> {
             "topology" => set_once(&mut topology, one_name(&words, span)?, "topology", span)?,
             "policy" => set_once(&mut policy, one_name(&words, span)?, "policy", span)?,
             "budget" => {
-                if words.len() != 3 || words[1] != "steps" {
-                    return Err(LangError::parse("expected `budget steps <n>`", span));
+                if words.len() != 3 || (words[1] != "steps" && words[1] != "state") {
+                    return Err(LangError::parse(
+                        "expected `budget steps <n>` or `budget state <n>`",
+                        span,
+                    ));
                 }
                 let n: u64 = words[2]
                     .parse()
                     .map_err(|_| LangError::parse("budget is not a number", span))?;
-                set_once(&mut budget_steps, n, "budget", span)?;
+                if words[1] == "steps" {
+                    set_once(&mut budget_steps, n, "budget steps", span)?;
+                } else {
+                    set_once(&mut budget_state, n, "budget state", span)?;
+                }
             }
             "class" => classes.push(parse_class(&words, span, &classes)?),
             "deploy" => deploys.push(parse_deploy(&words, span)?),
@@ -171,6 +184,7 @@ pub fn parse_plan(src: &str) -> Result<PlanAst, LangError> {
         topology,
         policy,
         budget_steps,
+        budget_state,
         classes,
         deploys,
     })
@@ -288,6 +302,7 @@ mod tests {
                         topology relay_chain\n\
                         policy authenticated\n\
                         budget steps 4096\n\
+                        budget state 2048\n\
                         \n\
                         class data port 9000\n\
                         class web port 80 app servers\n\
@@ -301,6 +316,7 @@ mod tests {
         assert_eq!(p.topology, "relay_chain");
         assert_eq!(p.policy.as_deref(), Some("authenticated"));
         assert_eq!(p.budget_steps, Some(4096));
+        assert_eq!(p.budget_state, Some(2048));
         assert_eq!(p.classes.len(), 2);
         assert_eq!(p.classes[0].port, Some(9000));
         assert_eq!(p.classes[1].app.as_deref(), Some("servers"));
@@ -367,5 +383,12 @@ mod tests {
         assert!(err.message.contains("not a number"), "{err}");
         let err = parse_plan("plan p\ntopology t\nbudget 12\n").unwrap_err();
         assert!(err.message.contains("budget steps"), "{err}");
+        assert!(err.message.contains("budget state"), "{err}");
+        let err = parse_plan("plan p\ntopology t\nbudget state 1\nbudget state 2\n").unwrap_err();
+        assert!(err.message.contains("duplicate `budget state`"), "{err}");
+        let p = parse_plan("plan p\ntopology t\nbudget state 64\nclass c\ndeploy a for c on s\n")
+            .unwrap();
+        assert_eq!(p.budget_state, Some(64));
+        assert_eq!(p.budget_steps, None);
     }
 }

@@ -152,11 +152,15 @@ impl PrimSig {
                 }
                 Ok(Type::Unit)
             }
-            "tblSize" => {
+            "tblSize" | "tblClear" => {
                 if !matches!(args[0], Type::Table(..)) {
-                    return Err("`tblSize` takes a hash_table".into());
+                    return Err(format!("`{}` takes a hash_table", self.name));
                 }
-                Ok(Type::Int)
+                Ok(if self.name == "tblSize" {
+                    Type::Int
+                } else {
+                    Type::Unit
+                })
             }
             "listLen" | "listRev" => {
                 let Type::List(t) = &args[0] else {
@@ -357,6 +361,7 @@ fn build_table() -> PrimTable {
         special("tblSet", StateWrite, NONE, 3),
         special("tblHas", Pure, NONE, 2),
         special("tblDel", StateWrite, NONE, 2),
+        special("tblClear", StateWrite, NONE, 1),
         special("tblSize", Pure, NONE, 1),
         // --- lists ---------------------------------------------------------
         special("listLen", Pure, NONE, 1),

@@ -54,6 +54,16 @@ pub struct LayerStats {
     /// per-packet bound — a soundness violation of the cost analysis,
     /// expected to stay 0 (cross-checked by the test suite).
     pub cost_bound_exceeded: u64,
+    /// `tblSet` calls that created a new key, across all channel runs.
+    pub state_inserts: u64,
+    /// Live total table entries across the program's tables (fresh
+    /// inserts minus evictions, tracked through every channel run).
+    pub state_entries: u64,
+    /// Soundness violations of the state analysis: channel runs whose
+    /// fresh inserts exceeded the static per-dispatch bound, or that
+    /// pushed the live entry total past the static entry bound.
+    /// Expected to stay 0 (cross-checked by the test suite).
+    pub state_bound_exceeded: u64,
 }
 
 /// UDP port reserved for the management plane (program deployment);
@@ -111,6 +121,12 @@ struct ChanMeta {
     /// verifier's cost analysis (u64::MAX when the image carries no
     /// bound, disabling the cross-check).
     static_bound: u64,
+    c_state_inserts: CounterId,
+    c_state_exceeded: CounterId,
+    /// Static worst-case fresh inserts per dispatch of this overload,
+    /// from the verifier's state analysis (u64::MAX when the image
+    /// carries no state report, disabling the cross-check).
+    static_insert_bound: u64,
 }
 
 /// The installed PLAN-P layer for one node.
@@ -126,6 +142,14 @@ pub struct PlanpLayer {
     chan_meta: Vec<ChanMeta>,
     /// Handle for packets falling back to standard IP processing.
     c_fallback: CounterId,
+    /// High-water mark of the live entry total already published to the
+    /// `state_entries` metric (counters are monotonic, so the metric
+    /// tracks the peak).
+    state_entries_peak: u64,
+    c_state_entries: CounterId,
+    /// Static composed entry bound over every table (u64::MAX when some
+    /// table is unbounded or the image carries no state report).
+    static_entry_bound: u64,
 }
 
 impl PlanpLayer {
@@ -176,6 +200,17 @@ impl PlanpLayer {
                 } else {
                     image.report.cost.bound_for(i).steps
                 },
+                c_state_inserts: metrics
+                    .register_counter(&format!("node.{node_name}.chan.{}.state_inserts", ch.name)),
+                c_state_exceeded: metrics.register_counter(&format!(
+                    "node.{node_name}.chan.{}.state_bound_exceeded",
+                    ch.name
+                )),
+                static_insert_bound: if image.report.state_effects.channels.is_empty() {
+                    u64::MAX
+                } else {
+                    image.report.state_effects.inserts_for(i)
+                },
             })
             .collect();
         Ok(PlanpLayer {
@@ -189,6 +224,14 @@ impl PlanpLayer {
             output: Rc::new(RefCell::new(String::new())),
             chan_meta,
             c_fallback: metrics.register_counter(&format!("node.{node_name}.planp.fallback_ip")),
+            state_entries_peak: 0,
+            c_state_entries: metrics
+                .register_counter(&format!("node.{node_name}.planp.state_entries")),
+            static_entry_bound: if image.report.state_effects.channels.is_empty() {
+                u64::MAX
+            } else {
+                image.report.state_effects.entry_bound().unwrap_or(u64::MAX)
+            },
         })
     }
 
@@ -260,6 +303,8 @@ impl PacketHook for PlanpLayer {
             cur_span: pkt.id,
             cur_sampled: pkt.lineage.sampled,
             pending_site: None,
+            inserts: 0,
+            entries_delta: 0,
         };
         let result = match self.config.engine {
             Engine::Jit => self
@@ -271,12 +316,35 @@ impl PacketHook for PlanpLayer {
         };
         let emitted = env.emitted;
         let vm_steps = env.vm_steps;
+        let inserts = env.inserts;
+        let entries_delta = env.entries_delta;
         self.stats.borrow_mut().vm_steps += vm_steps;
         api.telemetry().metrics.add_id(cm.c_vm_steps, vm_steps);
         api.trace_vm_run(&pkt, cm.name.clone(), vm_steps);
         if vm_steps > cm.static_bound {
             self.stats.borrow_mut().cost_bound_exceeded += 1;
             api.telemetry().metrics.inc_id(cm.c_bound_exceeded);
+        }
+        // State accounting mirrors the step accounting: table mutations
+        // already happened (tables are shared cells), so they count on
+        // error paths too. The live entry total and per-run inserts are
+        // cross-checked against the static state bounds.
+        let entries = {
+            let mut st = self.stats.borrow_mut();
+            st.state_inserts += inserts;
+            st.state_entries = st.state_entries.saturating_add_signed(entries_delta);
+            st.state_entries
+        };
+        api.telemetry().metrics.add_id(cm.c_state_inserts, inserts);
+        if entries > self.state_entries_peak {
+            api.telemetry()
+                .metrics
+                .add_id(self.c_state_entries, entries - self.state_entries_peak);
+            self.state_entries_peak = entries;
+        }
+        if inserts > cm.static_insert_bound || entries > self.static_entry_bound {
+            self.stats.borrow_mut().state_bound_exceeded += 1;
+            api.telemetry().metrics.inc_id(cm.c_state_exceeded);
         }
         match result {
             Ok((ps, ss)) => {
@@ -370,6 +438,11 @@ struct SimNetEnv<'a, 'b> {
     /// The send site the VM announced via `note_send_site`, consumed by
     /// the next outgoing packet so its lineage records how it was born.
     pending_site: Option<(SpanOrigin, Option<Rc<str>>)>,
+    /// Fresh-key `tblSet` inserts performed by the current channel run.
+    inserts: u64,
+    /// Net table-entry change of the current channel run (fresh inserts
+    /// minus evicted entries).
+    entries_delta: i64,
 }
 
 impl SimNetEnv<'_, '_> {
@@ -510,6 +583,13 @@ impl NetEnv for SimNetEnv<'_, '_> {
     fn charge_steps(&mut self, n: u64) {
         self.vm_steps += n;
     }
+
+    fn note_table_write(&mut self, inserted: i64, _entries: u64) {
+        if inserted > 0 {
+            self.inserts += 1;
+        }
+        self.entries_delta += inserted;
+    }
 }
 
 /// Loads an already-verified program onto a node of the simulator.
@@ -542,6 +622,26 @@ pub fn install_planp(
             &format!("node.{name}.chan.{chan}.static_bound_steps"),
             steps,
         );
+    }
+    // Likewise for the state analysis: the per-dispatch fresh-insert
+    // bound per channel name, and the composed entry bound for the whole
+    // program (omitted when some table is unbounded).
+    let mut insert_bounds: std::collections::BTreeMap<&str, u64> =
+        std::collections::BTreeMap::new();
+    for (i, ch) in image.prog.channels.iter().enumerate() {
+        let n = image.report.state_effects.inserts_for(i);
+        let e = insert_bounds.entry(ch.name.as_str()).or_insert(0);
+        *e = (*e).max(n);
+    }
+    for (chan, n) in insert_bounds {
+        sim.telemetry
+            .metrics
+            .add(&format!("node.{name}.chan.{chan}.static_state_bound"), n);
+    }
+    if let Some(bound) = image.report.state_effects.entry_bound() {
+        sim.telemetry
+            .metrics
+            .add(&format!("node.{name}.planp.static_state_entries"), bound);
     }
     sim.install_hook(node, Box::new(layer));
     Ok(handle)
@@ -640,6 +740,34 @@ mod tests {
         assert!(!snap
             .counters
             .contains_key("node.r.chan.network.cost_bound_exceeded"));
+    }
+
+    #[test]
+    fn state_bounds_recorded_and_never_exceeded() {
+        // Per-source pin with periodic clear: packet-keyed but evicting,
+        // so the verifier proves a finite entry bound (the mkTable(8)
+        // capacity) that the live telemetry is checked against.
+        let src = "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob)\n\
+                   initstate mkTable(8) is\n\
+                   (tblSet(ss, ipSrc(#1 p), 1);\n\
+                    (if tblSize(ss) > 4 then tblClear(ss) else ());\n\
+                    OnRemote(network, p); (ps + 1, ss))";
+        let (mut sim, handle, _got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        let st = handle.stats.borrow();
+        // One source, five packets: the first insert is fresh, the rest
+        // overwrite the same key.
+        assert_eq!(st.state_inserts, 1);
+        assert_eq!(st.state_entries, 1);
+        assert_eq!(st.state_bound_exceeded, 0, "state analysis is sound");
+        let snap = sim.telemetry.metrics.snapshot();
+        assert_eq!(snap.counters["node.r.chan.network.static_state_bound"], 1);
+        assert_eq!(snap.counters["node.r.chan.network.state_inserts"], 1);
+        assert_eq!(snap.counters["node.r.planp.state_entries"], 1);
+        assert_eq!(snap.counters["node.r.planp.static_state_entries"], 8);
+        assert!(!snap
+            .counters
+            .contains_key("node.r.chan.network.state_bound_exceeded"));
     }
 
     #[test]

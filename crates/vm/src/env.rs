@@ -64,6 +64,14 @@ pub trait NetEnv {
     /// that track packet lineage use it to tag the child packet's
     /// origin; the default discards the note.
     fn note_send_site(&mut self, _kind: SendKind, _chan: Option<&str>) {}
+    /// Accounts a table mutation (both engines call this from the
+    /// `tblSet`/`tblDel`/`tblClear` primitives). `inserted` is `1` when
+    /// a `tblSet` created a new key, `0` on an overwrite, and `-n` when
+    /// an eviction removed `n` entries; `entries` is the mutated
+    /// table's size after the write. Environments that enforce the
+    /// static state bounds (the runtime's telemetry) use it as a live
+    /// soundness cross-check; the default discards the note.
+    fn note_table_write(&mut self, _inserted: i64, _entries: u64) {}
 }
 
 /// A recorded output effect (used by [`MockEnv`] and by tests).
@@ -116,6 +124,9 @@ pub struct MockEnv {
     pub send_sites: Vec<(SendKind, Option<String>)>,
     /// Timers requested via [`NetEnv::set_timer`], as `(delay_ms, key)`.
     pub timers: Vec<(i64, i64)>,
+    /// Table mutations noted via [`NetEnv::note_table_write`], as
+    /// `(inserted, entries_after)`.
+    pub table_writes: Vec<(i64, u64)>,
     rng_state: u64,
 }
 
@@ -133,6 +144,7 @@ impl MockEnv {
             steps: 0,
             send_sites: Vec::new(),
             timers: Vec::new(),
+            table_writes: Vec::new(),
             rng_state: 0x9E3779B97F4A7C15,
         }
     }
@@ -143,6 +155,11 @@ impl MockEnv {
             .iter()
             .filter(|e| matches!(e, Effect::Remote { .. }))
             .count()
+    }
+
+    /// Number of `tblSet` mutations that created a new key.
+    pub fn insert_count(&self) -> u64 {
+        self.table_writes.iter().filter(|(i, _)| *i > 0).count() as u64
     }
 
     /// Number of recorded deliveries.
@@ -223,6 +240,10 @@ impl NetEnv for MockEnv {
 
     fn set_timer(&mut self, delay_ms: i64, key: i64) {
         self.timers.push((delay_ms, key));
+    }
+
+    fn note_table_write(&mut self, inserted: i64, entries: u64) {
+        self.table_writes.push((inserted, entries));
     }
 }
 

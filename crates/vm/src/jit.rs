@@ -599,6 +599,10 @@ mod tests {
         assert_eq!(env_i.effects.len(), env_j.effects.len());
         assert_eq!(env_i.output, env_j.output);
         assert_eq!(env_i.send_sites, env_j.send_sites, "send sites in {src}");
+        assert_eq!(
+            env_i.table_writes, env_j.table_writes,
+            "table writes in {src}"
+        );
     }
 
     #[test]
@@ -632,6 +636,46 @@ mod tests {
              (if blobLen(#3 p) > 3 andalso ps < 100 then (ps * 2, ss) else (ps, ss))",
             Value::Int(7),
         );
+    }
+
+    #[test]
+    fn table_eviction_prims_agree_and_account_identically() {
+        // Insert (fresh), overwrite (not fresh), delete one key, then
+        // clear the rest — the channel returns the final table size.
+        let src = "channel network(ps : int, ss : (host, int) hash_table, p : ip*udp*blob)\n\
+                   initstate mkTable(8) is\n\
+                   (tblSet(ss, ipSrc(#1 p), 1);\n\
+                    tblSet(ss, ipSrc(#1 p), 2);\n\
+                    tblSet(ss, ipDst(#1 p), 3);\n\
+                    tblDel(ss, ipSrc(#1 p));\n\
+                    tblDel(ss, ipSrc(#1 p));\n\
+                    tblClear(ss);\n\
+                    (tblSize(ss), ss))";
+        differential(src, Value::Int(-1));
+
+        // The recorded mutation trail is exact, not just engine-equal.
+        let (tp, cp) = both(src);
+        let interp = Interp::new(&tp);
+        let mut env = MockEnv::new(addr(10, 0, 0, 1));
+        let ss = interp.init_channel_state(0, &[], &mut env).unwrap();
+        let pkt = udp_packet(addr(1, 1, 1, 1), addr(2, 2, 2, 2), b"x");
+        let (ps, _) = interp
+            .run_channel(0, &[], Value::Int(0), ss, pkt.clone(), &mut env)
+            .unwrap();
+        assert_eq!(ps.display(), "0", "table is empty after tblClear");
+        assert_eq!(
+            env.table_writes,
+            vec![(1, 1), (0, 1), (1, 2), (-1, 1), (0, 1), (-1, 0)],
+            "insert, overwrite, insert, delete, no-op delete, clear"
+        );
+        assert_eq!(env.insert_count(), 2);
+
+        // And the JIT leaves the same trail.
+        let mut env_j = MockEnv::new(addr(10, 0, 0, 1));
+        let ssj = cp.init_channel_state(0, &[], &mut env_j).unwrap();
+        cp.run_channel(0, &[], Value::Int(0), ssj, pkt, &mut env_j)
+            .unwrap();
+        assert_eq!(env_j.table_writes, env.table_writes);
     }
 
     #[test]

@@ -335,11 +335,15 @@ fn impl_for(name: &'static str) -> PrimFn {
                 .cloned()
                 .ok_or(VmError::Exn(exn::NOT_FOUND))
         },
-        "tblSet" => |a, _| {
+        "tblSet" => |a, env| {
             let Value::Table(t) = &a[0] else {
                 return Err(VmError::trap("tblSet on non-table"));
             };
-            t.borrow_mut().insert(Key(a[1].clone()), a[2].clone());
+            let mut m = t.borrow_mut();
+            let fresh = m.insert(Key(a[1].clone()), a[2].clone()).is_none();
+            let entries = m.len() as u64;
+            drop(m);
+            env.note_table_write(i64::from(fresh), entries);
             Ok(Value::Unit)
         },
         "tblHas" => |a, _| {
@@ -348,11 +352,26 @@ fn impl_for(name: &'static str) -> PrimFn {
             };
             Ok(Value::Bool(t.borrow().contains_key(&Key(a[1].clone()))))
         },
-        "tblDel" => |a, _| {
+        "tblDel" => |a, env| {
             let Value::Table(t) = &a[0] else {
                 return Err(VmError::trap("tblDel on non-table"));
             };
-            t.borrow_mut().remove(&Key(a[1].clone()));
+            let mut m = t.borrow_mut();
+            let removed = m.remove(&Key(a[1].clone())).is_some();
+            let entries = m.len() as u64;
+            drop(m);
+            env.note_table_write(-i64::from(removed), entries);
+            Ok(Value::Unit)
+        },
+        "tblClear" => |a, env| {
+            let Value::Table(t) = &a[0] else {
+                return Err(VmError::trap("tblClear on non-table"));
+            };
+            let mut m = t.borrow_mut();
+            let dropped = m.len() as i64;
+            m.clear();
+            drop(m);
+            env.note_table_write(-dropped, 0);
             Ok(Value::Unit)
         },
         "tblSize" => |a, _| {

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! planpc check <file.planp> [--policy strict|no-delivery|authenticated]
-//!                           [--max-steps N] [--exhaustive] [--lint]
-//!                           [--json] [--witness-json]
+//!                           [--max-steps N] [--state] [--exhaustive]
+//!                           [--lint] [--json] [--witness-json]
 //! planpc fmt   <file.planp>        # pretty-print to stdout
 //! planpc info  <file.planp>        # channels, state types, line counts
 //! planpc bench <file.planp>        # code generation + verification time
@@ -13,7 +13,9 @@
 //! `check --lint` renders every diagnostic (lint warnings included) with
 //! a source snippet; `check --json` emits the report in the byte-stable
 //! machine form; `check --max-steps N` adds a per-packet step budget to
-//! the policy; `check --exhaustive` runs the model-checking precision
+//! the policy; `check --state` additionally requires every table's
+//! growth to be statically bounded (rejecting unbounded state with
+//! `E009`); `check --exhaustive` runs the model-checking precision
 //! tier, and `check --witness-json` prints its counterexample witnesses
 //! as one byte-stable JSON array (implies `--exhaustive`). Exit status:
 //! 0 on success/accepted, 1 on rejection or error — so `planpc check`
@@ -30,7 +32,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: planpc <check|fmt|info|bench|run> <file.planp> \
          [--policy strict|no-delivery|authenticated] [--max-steps N] \
-         [--exhaustive] [--lint] [--json] [--witness-json]"
+         [--state] [--exhaustive] [--lint] [--json] [--witness-json]"
     );
     ExitCode::FAILURE
 }
@@ -51,6 +53,9 @@ fn parse_policy(args: &[String]) -> Result<Policy, String> {
             .ok_or_else(|| "--max-steps needs a value".to_string())?;
         let n: u64 = v.parse().map_err(|_| format!("bad step budget {v:?}"))?;
         policy = policy.with_step_budget(n);
+    }
+    if args.iter().any(|a| a == "--state") {
+        policy = policy.with_bounded_state();
     }
     if args
         .iter()

@@ -187,5 +187,5 @@ fn modelcheck_baseline_is_current() {
         assert_eq!(mc.termination.as_str(), want_term, "{path}");
         assert_eq!(mc.delivery.as_str(), want_del, "{path}");
     }
-    assert_eq!(baseline.lines().count(), 23, "one line per checked ASP");
+    assert_eq!(baseline.lines().count(), 25, "one line per checked ASP");
 }

@@ -1,0 +1,316 @@
+//! Soundness of the static state-growth bounds (PR: state analysis).
+//!
+//! The state analysis claims two runtime facts per channel: no dispatch
+//! performs more fresh `tblSet` inserts than the static per-dispatch
+//! insert bound, and a program with a finite composed entry bound never
+//! holds more live table entries than that bound. Three independent
+//! checks:
+//!
+//! * **Scenario telemetry** — across the traced HTTP and MPEG paper
+//!   scenarios (clean *and* under the seeded chaos fault plans: 10%
+//!   loss + 10% duplication on the MPEG viewer segment, a server crash
+//!   in the HTTP cluster), every `state_bound_exceeded` counter must
+//!   stay absent and aggregate `state_inserts` must fit inside
+//!   `dispatch × static_state_bound`.
+//! * **Seeded property test** — random packets through the bounded
+//!   HTTP gateway, run under both the interpreter and the JIT, must
+//!   stay within the per-dispatch insert bound and the 256-entry table
+//!   bound, and both engines must produce the identical table-write
+//!   trail.
+//! * **Verdict pins** — the bundled `state_leak` negative control is
+//!   rejected with `E009` under a bounded-state policy, and the
+//!   evicting gateway variant verifies with a finite bound.
+
+use netsim::LinkFaults;
+use planp::analysis::{summarize, verify, Policy};
+use planp::lang::compile_front;
+use planp::vm::env::MockEnv;
+use planp::vm::interp::Interp;
+use planp::vm::jit;
+use planp::vm::pkthdr::{addr, tcp_flags, IpHdr, TcpHdr};
+use planp::vm::value::Value;
+use planp_apps::http::{run_http_traced, ClusterMode, HttpConfig};
+use planp_apps::mpeg::{run_mpeg_traced, MpegConfig};
+use planp_telemetry::{MetricsSnapshot, TraceConfig};
+
+/// Asserts the layer's static state cross-check held for a whole run.
+fn assert_state_bounds_hold(m: &MetricsSnapshot, scenario: &str) {
+    for (k, v) in &m.counters {
+        assert!(
+            !k.ends_with(".state_bound_exceeded") || *v == 0,
+            "{scenario}: {k} = {v} (static state bound violated at runtime)"
+        );
+    }
+    let mut checked = 0;
+    for (k, inserts) in &m.counters {
+        let Some(prefix) = k.strip_suffix(".state_inserts") else {
+            continue;
+        };
+        let dispatch = m
+            .counters
+            .get(&format!("{prefix}.dispatch"))
+            .copied()
+            .unwrap_or(0);
+        let bound = m
+            .counters
+            .get(&format!("{prefix}.static_state_bound"))
+            .copied()
+            .unwrap_or_else(|| panic!("{scenario}: no static state bound recorded for {prefix}"));
+        assert!(
+            *inserts <= dispatch.saturating_mul(bound),
+            "{scenario}: {prefix} performed {inserts} fresh inserts over {dispatch} \
+             dispatches, bound {bound}/packet"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > 0,
+        "{scenario}: no per-channel state_inserts recorded"
+    );
+    // Where the program's composed entry bound is finite, the live-entry
+    // peak the layer published must sit inside it.
+    for (k, bound) in &m.counters {
+        let Some(prefix) = k.strip_suffix(".planp.static_state_entries") else {
+            continue;
+        };
+        let peak = m
+            .counters
+            .get(&format!("{prefix}.planp.state_entries"))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            peak <= *bound,
+            "{scenario}: {prefix} peaked at {peak} live entries, static bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn http_scenario_state_stays_within_static_bounds() {
+    let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 8);
+    cfg.duration_s = 10;
+    let (_, _, m) = run_http_traced(&cfg, TraceConfig::default());
+    assert_state_bounds_hold(&m, "http");
+}
+
+#[test]
+fn http_scenario_state_holds_under_server_crash() {
+    let mut cfg = HttpConfig::new(ClusterMode::AspGateway, 8);
+    cfg.duration_s = 10;
+    cfg.crash_server1_at_s = Some(6.0);
+    let (_, _, m) = run_http_traced(&cfg, TraceConfig::default());
+    assert!(
+        m.counters.get("sim.fault_crashes").copied().unwrap_or(0) > 0,
+        "http-crash: the fault plan never fired"
+    );
+    assert_state_bounds_hold(&m, "http-crash");
+}
+
+#[test]
+fn mpeg_scenario_state_stays_within_static_bounds() {
+    let cfg = MpegConfig::new(2, true);
+    let (_, _, m) = run_mpeg_traced(&cfg, TraceConfig::default());
+    assert_state_bounds_hold(&m, "mpeg");
+}
+
+#[test]
+fn mpeg_scenario_state_holds_under_chaos_loss_and_duplication() {
+    let mut cfg = MpegConfig::new(2, true);
+    cfg.segment_faults = Some((
+        2.0,
+        LinkFaults {
+            loss: 0.1,
+            duplicate: 0.1,
+            ..LinkFaults::default()
+        },
+    ));
+    let (_, _, m) = run_mpeg_traced(&cfg, TraceConfig::default());
+    let lost = m.counters.get("sim.fault_loss_drops").copied().unwrap_or(0);
+    let duped = m.counters.get("sim.fault_duplicated").copied().unwrap_or(0);
+    assert!(
+        lost > 0 && duped > 0,
+        "mpeg-chaos: impairments never fired (lost {lost}, duplicated {duped})"
+    );
+    assert_state_bounds_hold(&m, "mpeg-chaos");
+}
+
+/// SplitMix64 — a tiny deterministic generator for the property test.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One engine's threaded execution state during the property test.
+struct Run {
+    env: MockEnv,
+    ps: Value,
+    ss: Value,
+}
+
+/// Property: for random packets through the bounded gateway's `network`
+/// channel — mixing fresh connections, repeat traffic, FIN/RST
+/// evictions, result rewrites, and pass-through — the observed fresh
+/// inserts per dispatch never exceed the static per-dispatch bound, the
+/// live entry count never exceeds the 256-entry table bound, and both
+/// engines record the identical table-write trail.
+#[test]
+fn bounded_gateway_random_packets_within_state_bound() {
+    let src = std::fs::read_to_string("asps/http_gateway_bounded.planp").expect("asp source");
+    let prog = std::rc::Rc::new(compile_front(&src).expect("front end"));
+    let idx = prog.chan_groups["network"][0];
+    let state = summarize(&prog).state;
+    let insert_bound = state.inserts_for(idx);
+    let entry_bound = state
+        .entry_bound()
+        .expect("bounded gateway has a finite bound");
+    assert_eq!(entry_bound, 256);
+
+    let (compiled, _) = jit::compile(prog.clone());
+    let interp = Interp::new(&prog);
+
+    let mut irun = {
+        let mut env = MockEnv::new(addr(10, 0, 0, 254));
+        let g = interp.eval_globals(&mut env).unwrap();
+        let ps = interp.init_proto(&g, &mut env).unwrap();
+        let ss = interp.init_channel_state(idx, &g, &mut env).unwrap();
+        env.table_writes.clear();
+        (g, Run { env, ps, ss })
+    };
+    let mut jrun = {
+        let mut env = MockEnv::new(addr(10, 0, 0, 254));
+        let g = compiled.eval_globals(&mut env).unwrap();
+        let ps = compiled.init_proto(&g, &mut env).unwrap();
+        let ss = compiled.init_channel_state(idx, &g, &mut env).unwrap();
+        env.table_writes.clear();
+        (g, Run { env, ps, ss })
+    };
+
+    let (srv0, srv1, virt) = (addr(10, 0, 2, 1), addr(10, 0, 3, 1), addr(10, 9, 9, 9));
+    let mut rng = SplitMix64(0x57A7_EB0C);
+    let mut live: i64 = 0;
+    for i in 0..300 {
+        let r = rng.next();
+        // A small pool of client endpoints so repeat traffic hits the
+        // connection table and FIN/RST segments actually evict.
+        let client = addr(10, 0, 0, (r >> 4) as u8 % 12 + 1);
+        let cport = 1024 + (r >> 8) as u16 % 4;
+        let pkt = match r % 8 {
+            // New-or-known connection traffic toward the virtual server.
+            0..=3 => {
+                let mut tcph = TcpHdr::data(cport, 80, (r >> 16) as u32);
+                if r % 8 == 3 {
+                    tcph.flags |= if r & 1 == 0 {
+                        tcp_flags::FIN
+                    } else {
+                        tcp_flags::RST
+                    };
+                }
+                Value::tuple(vec![
+                    Value::Ip(IpHdr::new(client, virt, IpHdr::PROTO_TCP)),
+                    Value::Tcp(tcph),
+                    Value::Blob(bytes::Bytes::from_static(b"req")),
+                ])
+            }
+            // Result traffic from either physical server.
+            4 | 5 => Value::tuple(vec![
+                Value::Ip(IpHdr::new(
+                    if r.is_multiple_of(2) { srv0 } else { srv1 },
+                    client,
+                    IpHdr::PROTO_TCP,
+                )),
+                Value::Tcp(TcpHdr::data(80, cport, (r >> 16) as u32)),
+                Value::Blob(bytes::Bytes::from_static(b"resp")),
+            ]),
+            // Unrelated pass-through traffic.
+            _ => Value::tuple(vec![
+                Value::Ip(IpHdr::new(client, addr(10, 0, 1, 7), IpHdr::PROTO_TCP)),
+                Value::Tcp(TcpHdr::data((r >> 16) as u16, (r >> 24) as u16, 0)),
+                Value::Blob(bytes::Bytes::from_static(b"other")),
+            ]),
+        };
+
+        let before = irun.1.env.table_writes.len();
+        let (ps, ss) = interp
+            .run_channel(
+                idx,
+                &irun.0,
+                irun.1.ps.clone(),
+                irun.1.ss.clone(),
+                pkt.clone(),
+                &mut irun.1.env,
+            )
+            .expect("interp run");
+        irun.1.ps = ps;
+        irun.1.ss = ss;
+        let (ps, ss) = compiled
+            .run_channel(
+                idx,
+                &jrun.0,
+                jrun.1.ps.clone(),
+                jrun.1.ss.clone(),
+                pkt,
+                &mut jrun.1.env,
+            )
+            .expect("jit run");
+        jrun.1.ps = ps;
+        jrun.1.ss = ss;
+
+        let writes = &irun.1.env.table_writes[before..];
+        let fresh: u64 = writes.iter().map(|(ins, _)| (*ins).max(0) as u64).sum();
+        assert!(
+            fresh <= insert_bound,
+            "packet {i}: {fresh} fresh inserts > static bound {insert_bound}"
+        );
+        for (ins, entries) in writes {
+            live += ins;
+            assert_eq!(
+                live as u64, *entries,
+                "packet {i}: live-entry bookkeeping drifted"
+            );
+            assert!(
+                *entries <= entry_bound,
+                "packet {i}: table grew to {entries} entries > bound {entry_bound}"
+            );
+        }
+    }
+    assert_eq!(
+        irun.1.env.table_writes, jrun.1.env.table_writes,
+        "engines disagree on the table-write trail"
+    );
+    assert!(
+        irun.1.env.insert_count() > 0 && live < irun.1.env.insert_count() as i64,
+        "trace never exercised both insertion and eviction \
+         (inserted {}, live {live})",
+        irun.1.env.insert_count()
+    );
+}
+
+#[test]
+fn state_leak_rejected_and_bounded_gateway_accepted() {
+    let leak = std::fs::read_to_string("asps/buggy/state_leak.planp").expect("asp source");
+    let prog = compile_front(&leak).expect("front end");
+    let r = verify(&prog, Policy::strict().with_bounded_state());
+    assert!(!r.accepted(), "state_leak must fail a bounded-state policy");
+    assert!(
+        r.diagnostics.iter().any(|d| d.code == "E009"),
+        "expected E009, got {:?}",
+        r.diagnostics.iter().map(|d| &d.code).collect::<Vec<_>>()
+    );
+
+    let ok = std::fs::read_to_string("asps/http_gateway_bounded.planp").expect("asp source");
+    let prog = compile_front(&ok).expect("front end");
+    let r = verify(&prog, Policy::strict().with_bounded_state());
+    assert!(
+        r.accepted(),
+        "bounded gateway must verify: {:?}",
+        r.diagnostics
+    );
+    assert_eq!(r.state_bound, Some(256));
+}
