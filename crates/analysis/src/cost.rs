@@ -23,8 +23,9 @@
 //!
 //! The bound is sound for both engines: the interpreter charges exactly
 //! one step per node on the executed path (branches and short-circuit
-//! operators only skip nodes), and the JIT's constant folding means its
-//! template count never exceeds the interpreter's node count. The
+//! operators only skip nodes), and the JIT charges exactly the same —
+//! its folded constant templates charge every node of the folded
+//! subtree, so the two engines' step counts are byte-identical. The
 //! runtime layer cross-checks this claim on every dispatch (the
 //! `cost_bound_exceeded` counter), and the soundness test suite asserts
 //! the counter stays zero across all traced scenarios.

@@ -15,6 +15,11 @@
 //! * **[per-packet cost bounds](cost)** — a worst-case bound on VM steps
 //!   and send effects per packet, per channel overload, enforceable
 //!   against a step budget ([`Policy::with_step_budget`]);
+//! * **[per-site bounds](profile)** — the cost bound refined to
+//!   individual expression sites, joined by the telemetry profiler
+//!   against observed per-site steps (the utilization heatmap), plus
+//!   static superinstruction-candidate detection for the future
+//!   compilation tier;
 //! * **[lints](lint)** — advisory [diagnostics](diag) (unused bindings,
 //!   constant conditions, escaping exceptions, unreachable channels,
 //!   shadowing) with caret rendering and byte-stable JSON;
@@ -64,6 +69,7 @@ pub mod duplication;
 pub mod lint;
 pub mod modelcheck;
 pub mod plan;
+pub mod profile;
 pub mod state;
 pub mod summary;
 pub mod termination;
@@ -79,6 +85,10 @@ pub use modelcheck::{model_check, ModelCheckReport, Verdict, DEFAULT_STATE_BUDGE
 pub use plan::{
     Install, NodeState, PathBudget, PlanAsp, PlanCheck, PlanNode, PlanPolicy, PlanReport,
     PlanTopology,
+};
+pub use profile::{
+    site_bounds, superinstruction_candidates, ChannelSites, SiteInfo, SiteReport,
+    SuperinstructionCandidate,
 };
 pub use state::{
     state_effects, state_lints, ChannelState, EntryBound, StateCounts, StateReport, StateRoot,

@@ -32,7 +32,7 @@ use planp_apps::audio::{run_audio, Adaptation, AudioConfig};
 use planp_apps::chaos::{run_relay_chaos, RelayChaosConfig, RelayChaosResult, RelayKind};
 use planp_apps::http::{run_http_traced, ClusterMode, HttpConfig, HTTP_GATEWAY_FAILOVER_ASP};
 use planp_apps::mpeg::{run_mpeg, MpegConfig};
-use planp_bench::{emit_bench, render_table, BenchOpts};
+use planp_bench::{emit_bench, render_table, sample_from_args, BenchOpts};
 use planp_telemetry::TraceConfig;
 
 /// The invariants every relay run must satisfy, whatever its config.
@@ -58,28 +58,9 @@ fn check_common(label: &str, res: &RelayChaosResult) {
     );
 }
 
-/// Parses `--sample 1/N` from the raw arguments (every other flag is
-/// handled by [`BenchOpts`]); exits on a malformed rate.
-fn sample_arg() -> u32 {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    for i in 0..argv.len() {
-        if argv[i] == "--sample" {
-            let spec = argv.get(i + 1).map(String::as_str).unwrap_or("");
-            match TraceConfig::parse_sample(spec) {
-                Ok(n) => return n,
-                Err(e) => {
-                    eprintln!("planp_chaos: {e}");
-                    std::process::exit(2);
-                }
-            }
-        }
-    }
-    1
-}
-
 fn main() {
     let opts = BenchOpts::from_args();
-    let sample_n = sample_arg();
+    let sample_n = sample_from_args("planp_chaos");
     let trace = if sample_n > 1 {
         TraceConfig::sampled(sample_n)
     } else {

@@ -21,16 +21,23 @@
 //!    node's flight-recorder window (cause `crash`).
 //!
 //! Each stage asserts its verdict; a violated invariant aborts the
-//! binary.
+//! binary. `--sample 1/N` turns on head-sampled causal tracing for
+//! every stage (the monitor's verdicts do not depend on the rate).
 
 use planp_apps::chaos::{run_relay_chaos, RelayChaosConfig, RelayChaosResult, RelayKind};
-use planp_bench::{emit_bench, BenchOpts};
+use planp_bench::{emit_bench, sample_from_args, BenchOpts};
+use planp_telemetry::TraceConfig;
 
 /// Monitor window used by every stage (milliseconds of sim time).
 const WINDOW_MS: u64 = 250;
 
-fn monitored(mut cfg: RelayChaosConfig) -> RelayChaosConfig {
+fn monitored(mut cfg: RelayChaosConfig, sample_n: u32) -> RelayChaosConfig {
     cfg.monitor_ms = Some(WINDOW_MS);
+    // `--sample 1/N` turns on deterministic head-sampled tracing; the
+    // monitor's windowed counters are unaffected by the rate.
+    if sample_n > 1 {
+        cfg.trace = TraceConfig::sampled(sample_n);
+    }
     cfg
 }
 
@@ -59,10 +66,14 @@ fn print_stage(title: &str, res: &RelayChaosResult) {
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let sample_n = sample_from_args("planp_health");
     let mut scalars: Vec<(String, f64)> = Vec::new();
 
     // --- 1. fragile relay: the floor must breach ------------------------
-    let fragile = run_relay_chaos(&monitored(RelayChaosConfig::loss(RelayKind::Fragile, 0.10)));
+    let fragile = run_relay_chaos(&monitored(
+        RelayChaosConfig::loss(RelayKind::Fragile, 0.10),
+        sample_n,
+    ));
     print_stage("fragile relay, 10% per-link loss", &fragile);
     let fh = fragile.health.as_ref().unwrap();
     assert!(
@@ -82,10 +93,10 @@ fn main() {
     scalars.push(("fragile_breaches".into(), fh.breaches as f64));
 
     // --- 2. reliable relay: every window healthy ------------------------
-    let reliable = run_relay_chaos(&monitored(RelayChaosConfig::loss(
-        RelayKind::Reliable,
-        0.05,
-    )));
+    let reliable = run_relay_chaos(&monitored(
+        RelayChaosConfig::loss(RelayKind::Reliable, 0.05),
+        sample_n,
+    ));
     print_stage("reliable relay, 5% per-link loss", &reliable);
     let rh = reliable.health.as_ref().unwrap();
     assert_eq!(
@@ -102,7 +113,7 @@ fn main() {
     // --- 3. crash schedule: breach during the outage, recover after ----
     let mut cfg = RelayChaosConfig::loss(RelayKind::Reliable, 0.02);
     cfg.crash_relay = Some((0.25, 0.55));
-    let crash = run_relay_chaos(&monitored(cfg));
+    let crash = run_relay_chaos(&monitored(cfg, sample_n));
     print_stage("crash schedule (middle relay down 0.25-0.55 s)", &crash);
     let ch = crash.health.as_ref().unwrap();
     assert!(

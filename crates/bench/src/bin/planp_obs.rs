@@ -23,10 +23,12 @@
 //!   budget run reproduces the identical JSONL byte-for-byte.
 //!
 //! Two runs of this binary produce byte-identical output; CI runs it
-//! twice and diffs.
+//! twice and diffs. `--sample 1/N` appends a user-chosen head-sampling
+//! rate to the sweep (the default rows are unchanged, so the flagless
+//! output stays byte-identical).
 
 use planp_apps::obs::{run_obs_grid, ObsGridConfig, ObsGridResult};
-use planp_bench::{emit_bench, render_table, BenchOpts};
+use planp_bench::{emit_bench, render_table, sample_from_args, BenchOpts};
 use planp_telemetry::TraceConfig;
 
 /// Ring capacity for the sweep: the full-tracing run of the 1024-node
@@ -45,6 +47,7 @@ fn grid(trace: TraceConfig) -> ObsGridResult {
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let sample_n = sample_from_args("planp_obs");
 
     let full = grid(TraceConfig::all());
     let s4 = grid(TraceConfig::sampled(4));
@@ -53,6 +56,9 @@ fn main() {
         budget: BUDGET,
         ..TraceConfig::all()
     });
+    // `--sample 1/N` appends a user-chosen rate to the sweep; the
+    // default output stays byte-identical when the flag is absent.
+    let extra = (sample_n > 1).then(|| grid(TraceConfig::sampled(sample_n)));
 
     println!(
         "Trace sampling on the {}-node grid ({} datagrams end-to-end)",
@@ -72,12 +78,15 @@ fn main() {
             format!("{:.1}x", full.overhead.kept as f64 / oh.kept.max(1) as f64),
         ]
     };
-    let rows = vec![
+    let mut rows = vec![
         row("full", &full),
         row("1/4", &s4),
         row("1/16", &s16),
         row(&format!("budget {BUDGET}"), &budget),
     ];
+    if let Some(r) = &extra {
+        rows.push(row(&format!("1/{sample_n} (--sample)"), r));
+    }
     println!(
         "{}",
         render_table(
@@ -97,12 +106,16 @@ fn main() {
     );
 
     assert!(full.nodes >= 1000, "the grid must be 1k+ nodes");
-    for (label, r) in [
+    let mut runs = vec![
         ("full", &full),
         ("1/4", &s4),
         ("1/16", &s16),
         ("budget", &budget),
-    ] {
+    ];
+    if let Some(r) = &extra {
+        runs.push(("--sample", r));
+    }
+    for (label, r) in runs {
         assert_eq!(
             r.unique, r.expected,
             "{label}: sampling must never perturb the simulation"

@@ -31,56 +31,15 @@
 
 use planp_analysis::diag::push_json_str;
 use planp_apps::plans::{bundled_plans, resolve_asp};
+use planp_bench::{baseline_gate, Cli};
 use planp_runtime::{load_plan, replay_plan, PlanImage, ReplayReport};
 
-struct Args {
-    json: bool,
-    replay: bool,
-    baseline: Option<String>,
-    write_baseline: Option<String>,
-    names: Vec<String>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        json: false,
-        replay: false,
-        baseline: None,
-        write_baseline: None,
-        names: Vec::new(),
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
-        argv.get(i + 1)
-            .cloned()
-            .ok_or_else(|| format!("{flag} needs a value"))
-    };
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--json" => args.json = true,
-            "--replay" => args.replay = true,
-            "--baseline" => {
-                args.baseline = Some(value(&argv, i, "--baseline")?);
-                i += 1;
-            }
-            "--write-baseline" => {
-                args.write_baseline = Some(value(&argv, i, "--write-baseline")?);
-                i += 1;
-            }
-            "--help" | "-h" => {
-                print!("{HELP}");
-                std::process::exit(0);
-            }
-            flag if flag.starts_with("--") => {
-                return Err(format!("unknown argument {flag:?} (try --help)"));
-            }
-            name => args.names.push(name.to_string()),
-        }
-        i += 1;
-    }
-    Ok(args)
-}
+const CLI: Cli = Cli {
+    bin: "planp-plan",
+    help: HELP,
+    flags: &["--replay"],
+    value_flags: &[],
+};
 
 const HELP: &str = "\
 planp-plan: statically verify the bundled deployment plans
@@ -167,20 +126,15 @@ fn print_human(r: &PlanResult) {
 }
 
 fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("planp-plan: {e}");
-            std::process::exit(2);
-        }
-    };
+    let args = CLI.parse_or_exit();
+    let replay_rejected = args.flag("--replay");
 
     let all = bundled_plans();
-    let selected: Vec<(&'static str, &'static str)> = if args.names.is_empty() {
+    let selected: Vec<(&'static str, &'static str)> = if args.positionals.is_empty() {
         all
     } else {
         let mut sel = Vec::new();
-        for want in &args.names {
+        for want in &args.positionals {
             match all.iter().find(|(n, _)| n == want) {
                 Some(&p) => sel.push(p),
                 None => {
@@ -204,7 +158,7 @@ fn main() {
         };
         // Rejected plans carry witnesses that must reproduce concretely;
         // accepted ones are never replayed (see module docs).
-        let replay = if args.replay && !image.report.accepted() {
+        let replay = if replay_rejected && !image.report.accepted() {
             match replay_plan(&image) {
                 Ok(rep) => {
                     if !rep.confirmed_loop {
@@ -239,35 +193,7 @@ fn main() {
         }
     }
 
-    if let Some(path) = &args.write_baseline {
-        if let Err(e) = std::fs::write(path, baseline_text(&results)) {
-            eprintln!("planp-plan: cannot write {path}: {e}");
-            std::process::exit(2);
-        }
-        eprintln!("wrote {path}");
-    } else if let Some(path) = &args.baseline {
-        let expected = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("planp-plan: cannot read {path}: {e}");
-                std::process::exit(2);
-            }
-        };
-        let actual = baseline_text(&results);
-        if expected != actual {
-            eprintln!("planp-plan: verdicts differ from {path}:");
-            for (e, a) in expected.lines().zip(actual.lines()) {
-                if e != a {
-                    eprintln!("  - {e}\n  + {a}");
-                }
-            }
-            let (en, an) = (expected.lines().count(), actual.lines().count());
-            if en != an {
-                eprintln!("  ({en} baseline line(s), {an} checked)");
-            }
-            failed = true;
-        }
-    }
+    failed |= baseline_gate("planp-plan", &args, &baseline_text(&results));
 
     let rejected = results
         .iter()

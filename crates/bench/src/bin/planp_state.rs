@@ -29,53 +29,15 @@
 use planp_analysis::diag::push_json_str;
 use planp_analysis::summarize;
 use planp_apps::plans::{bundled_plans, resolve_asp};
+use planp_bench::{baseline_gate, Cli};
 use planp_runtime::{load_plan, PlanImage};
 
-struct Args {
-    json: bool,
-    baseline: Option<String>,
-    write_baseline: Option<String>,
-    files: Vec<String>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        json: false,
-        baseline: None,
-        write_baseline: None,
-        files: Vec::new(),
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
-        argv.get(i + 1)
-            .cloned()
-            .ok_or_else(|| format!("{flag} needs a value"))
-    };
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--json" => args.json = true,
-            "--baseline" => {
-                args.baseline = Some(value(&argv, i, "--baseline")?);
-                i += 1;
-            }
-            "--write-baseline" => {
-                args.write_baseline = Some(value(&argv, i, "--write-baseline")?);
-                i += 1;
-            }
-            "--help" | "-h" => {
-                print!("{HELP}");
-                std::process::exit(0);
-            }
-            flag if flag.starts_with("--") => {
-                return Err(format!("unknown argument {flag:?} (try --help)"));
-            }
-            file => args.files.push(file.to_string()),
-        }
-        i += 1;
-    }
-    Ok(args)
-}
+const CLI: Cli = Cli {
+    bin: "planp-state",
+    help: HELP,
+    flags: &[],
+    value_flags: &[],
+};
 
 const HELP: &str = "\
 planp-state: state-effect bounds for the ASP corpus and bundled plans
@@ -221,16 +183,10 @@ fn analyze_asp(path: &str) -> Result<AspResult, String> {
 }
 
 fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("planp-state: {e}");
-            std::process::exit(2);
-        }
-    };
+    let args = CLI.parse_or_exit();
 
     let mut asps = Vec::new();
-    for path in &args.files {
+    for path in &args.positionals {
         match analyze_asp(path) {
             Ok(a) => asps.push(a),
             Err(e) => {
@@ -264,36 +220,7 @@ fn main() {
         }
     }
 
-    let mut failed = false;
-    if let Some(path) = &args.write_baseline {
-        if let Err(e) = std::fs::write(path, baseline_text(&asps, &plans)) {
-            eprintln!("planp-state: cannot write {path}: {e}");
-            std::process::exit(2);
-        }
-        eprintln!("wrote {path}");
-    } else if let Some(path) = &args.baseline {
-        let expected = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("planp-state: cannot read {path}: {e}");
-                std::process::exit(2);
-            }
-        };
-        let actual = baseline_text(&asps, &plans);
-        if expected != actual {
-            eprintln!("planp-state: verdicts differ from {path}:");
-            for (e, a) in expected.lines().zip(actual.lines()) {
-                if e != a {
-                    eprintln!("  - {e}\n  + {a}");
-                }
-            }
-            let (en, an) = (expected.lines().count(), actual.lines().count());
-            if en != an {
-                eprintln!("  ({en} baseline line(s), {an} checked)");
-            }
-            failed = true;
-        }
-    }
+    let failed = baseline_gate("planp-state", &args, &baseline_text(&asps, &plans));
 
     let unbounded = asps.iter().filter(|a| a.bound.is_none()).count();
     eprintln!(

@@ -1,0 +1,225 @@
+//! Shared command-line plumbing for the baseline-gated bench bins.
+//!
+//! `planp_state`, `planp_plan`, and `planp_profile` all follow the same
+//! conventions: `--json` for byte-stable machine output, `--baseline
+//! FILE` to gate CI on a checked-in verdict file, `--write-baseline
+//! FILE` to regenerate it, exit status 2 on usage or I/O errors and 1
+//! on a baseline mismatch. This module holds the argument parser and
+//! the baseline compare/write logic once, so the bins only declare
+//! their extra flags and their verdict text.
+
+/// A bin's argument vocabulary: the shared flags plus its extras.
+pub struct Cli {
+    /// Bin name used as the prefix of error messages (`planp-state:`).
+    pub bin: &'static str,
+    /// Full `--help` text, printed verbatim.
+    pub help: &'static str,
+    /// Extra boolean flags beyond `--json` (e.g. `--replay`).
+    pub flags: &'static [&'static str],
+    /// Extra value-taking flags beyond `--baseline` /
+    /// `--write-baseline` (e.g. `--flame`).
+    pub value_flags: &'static [&'static str],
+}
+
+/// A parsed command line.
+#[derive(Debug, Default)]
+pub struct CliArgs {
+    /// `--json`: byte-stable machine output.
+    pub json: bool,
+    /// `--baseline FILE`: compare verdicts, exit 1 on difference.
+    pub baseline: Option<String>,
+    /// `--write-baseline FILE`: regenerate the baseline instead.
+    pub write_baseline: Option<String>,
+    /// Extra boolean flags that were present.
+    flags: Vec<&'static str>,
+    /// Extra value flags with their values.
+    values: Vec<(&'static str, String)>,
+    /// Everything that was not a flag, in order.
+    pub positionals: Vec<String>,
+}
+
+impl CliArgs {
+    /// Was the extra boolean flag present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains(&name)
+    }
+
+    /// The extra value flag's value, if given (last occurrence wins).
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(f, _)| *f == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl Cli {
+    /// Parses the process arguments; prints `--help` and exits 0, or
+    /// prints the parse error and exits 2.
+    pub fn parse_or_exit(&self) -> CliArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", self.help);
+            std::process::exit(0);
+        }
+        match self.parse_from(&argv) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{}: {e}", self.bin);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The pure parse (no process exit), for the bins' own tests.
+    pub fn parse_from(&self, argv: &[String]) -> Result<CliArgs, String> {
+        let mut args = CliArgs::default();
+        let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = argv[i].as_str();
+            if arg == "--json" {
+                args.json = true;
+            } else if arg == "--baseline" {
+                args.baseline = Some(value(argv, i, "--baseline")?);
+                i += 1;
+            } else if arg == "--write-baseline" {
+                args.write_baseline = Some(value(argv, i, "--write-baseline")?);
+                i += 1;
+            } else if let Some(f) = self.flags.iter().find(|f| **f == arg) {
+                args.flags.push(f);
+            } else if let Some(f) = self.value_flags.iter().find(|f| **f == arg) {
+                args.values.push((f, value(argv, i, f)?));
+                i += 1;
+            } else if arg.starts_with("--") {
+                return Err(format!("unknown argument {arg:?} (try --help)"));
+            } else {
+                args.positionals.push(arg.to_string());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+}
+
+/// Applies the `--write-baseline` / `--baseline` convention to the
+/// byte-stable verdict text `actual`. Returns `true` when the compare
+/// failed (the caller exits 1 after its summary line); exits 2 on I/O
+/// errors.
+pub fn baseline_gate(bin: &str, args: &CliArgs, actual: &str) -> bool {
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, actual) {
+            eprintln!("{bin}: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
+        return false;
+    }
+    let Some(path) = &args.baseline else {
+        return false;
+    };
+    let expected = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{bin}: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if expected == actual {
+        return false;
+    }
+    eprintln!("{bin}: verdicts differ from {path}:");
+    eprint!("{}", render_diff(&expected, actual));
+    true
+}
+
+/// The pairwise line diff the baseline gate prints on a mismatch.
+pub fn render_diff(expected: &str, actual: &str) -> String {
+    let mut out = String::new();
+    for (e, a) in expected.lines().zip(actual.lines()) {
+        if e != a {
+            out.push_str(&format!("  - {e}\n  + {a}\n"));
+        }
+    }
+    let (en, an) = (expected.lines().count(), actual.lines().count());
+    if en != an {
+        out.push_str(&format!("  ({en} baseline line(s), {an} checked)\n"));
+    }
+    out
+}
+
+/// Parses `--sample 1/N` from the raw process arguments (every other
+/// flag is handled by the caller's [`Cli`] or `BenchOpts`); returns 1
+/// when absent and exits 2 on a malformed rate.
+pub fn sample_from_args(bin: &str) -> u32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    for i in 0..argv.len() {
+        if argv[i] == "--sample" {
+            let spec = argv.get(i + 1).map(String::as_str).unwrap_or("");
+            match planp_telemetry::TraceConfig::parse_sample(spec) {
+                Ok(n) => return n,
+                Err(e) => {
+                    eprintln!("{bin}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    const CLI: Cli = Cli {
+        bin: "planp-test",
+        help: "help\n",
+        flags: &["--replay"],
+        value_flags: &["--flame"],
+    };
+
+    #[test]
+    fn parses_shared_and_extra_flags() {
+        let a = CLI
+            .parse_from(&argv(&[
+                "--json",
+                "--replay",
+                "--flame",
+                "out.txt",
+                "--baseline",
+                "B",
+                "x.planp",
+            ]))
+            .unwrap();
+        assert!(a.json);
+        assert!(a.flag("--replay"));
+        assert_eq!(a.value("--flame"), Some("out.txt"));
+        assert_eq!(a.baseline.as_deref(), Some("B"));
+        assert!(a.write_baseline.is_none());
+        assert_eq!(a.positionals, vec!["x.planp"]);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(CLI.parse_from(&argv(&["--bogus"])).is_err());
+        assert!(CLI.parse_from(&argv(&["--baseline"])).is_err());
+        assert!(CLI.parse_from(&argv(&["--flame"])).is_err());
+    }
+
+    #[test]
+    fn diff_renders_changed_pairs_and_length_mismatch() {
+        let d = render_diff("a\nb\n", "a\nc\nd\n");
+        assert_eq!(d, "  - b\n  + c\n  (2 baseline line(s), 3 checked)\n");
+        assert_eq!(render_diff("a\n", "a\n"), "");
+    }
+}

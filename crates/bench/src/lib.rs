@@ -13,6 +13,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
+pub use cli::{baseline_gate, sample_from_args, Cli, CliArgs};
+
 use planp_analysis::Policy;
 use planp_telemetry::MetricsSnapshot;
 

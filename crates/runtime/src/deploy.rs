@@ -137,14 +137,8 @@ impl DeployService {
         let image = load(source, self.policy).map_err(|e| e.to_string())?;
         let name = api.node_name().to_string();
         let addr = api.addr();
-        let layer = PlanpLayer::new(
-            &image,
-            self.config,
-            addr,
-            &name,
-            &mut api.telemetry().metrics,
-        )
-        .map_err(|e| e.to_string())?;
+        let layer = PlanpLayer::new(&image, self.config, addr, &name, api.telemetry())
+            .map_err(|e| e.to_string())?;
         let handle = layer.handle();
         api.install_hook(Box::new(layer));
         self.log.borrow_mut().handle = Some(handle);

@@ -15,7 +15,7 @@ use bytes::Bytes;
 use netsim::packet::{ChannelTag, Lineage, Packet};
 use netsim::{ArrivalMeta, HookVerdict, NodeApi, PacketHook, Sim};
 use planp_lang::tast::TProgram;
-use planp_telemetry::{CounterId, DispatchOutcome, MetricsRegistry, SpanOrigin};
+use planp_telemetry::{CounterId, DispatchOutcome, ScopeId, SpanOrigin, Telemetry};
 use planp_vm::env::{NetEnv, SendKind};
 use planp_vm::interp::Interp;
 use planp_vm::jit::CompiledProgram;
@@ -127,6 +127,12 @@ struct ChanMeta {
     /// from the verifier's state analysis (u64::MAX when the image
     /// carries no state report, disabling the cross-check).
     static_insert_bound: u64,
+    /// Dispatches whose per-site charge vector was recorded into the
+    /// profile registry / skipped by its sampling.
+    c_profiled: CounterId,
+    c_profile_skipped: CounterId,
+    /// This overload's scope in the telemetry profile registry.
+    profile_scope: ScopeId,
 }
 
 /// The installed PLAN-P layer for one node.
@@ -164,7 +170,7 @@ impl PlanpLayer {
         config: LayerConfig,
         node_addr: u32,
         node_name: &str,
-        metrics: &mut MetricsRegistry,
+        telemetry: &mut Telemetry,
     ) -> Result<Self, VmError> {
         // Initializers are pure (enforced by the checker); a mock
         // environment satisfies the interface.
@@ -176,6 +182,13 @@ impl PlanpLayer {
         for i in 0..image.prog.channels.len() {
             chan_states.push(compiled.init_channel_state(i, &globals, &mut env)?);
         }
+        // Static per-site step bounds and superinstruction candidates,
+        // declared into the profile registry once per channel overload
+        // (idempotent by scope key, so redeploys keep their profiles).
+        let site_report = planp_analysis::site_bounds(&image.prog, &image.source);
+        let candidates = planp_analysis::superinstruction_candidates(&image.prog, &image.source);
+        let metrics = &mut telemetry.metrics;
+        let profile = &mut telemetry.profile;
         let chan_meta = image
             .prog
             .channels
@@ -211,6 +224,25 @@ impl PlanpLayer {
                 } else {
                     image.report.state_effects.inserts_for(i)
                 },
+                c_profiled: metrics
+                    .register_counter(&format!("node.{node_name}.chan.{}.profiled", ch.name)),
+                c_profile_skipped: metrics.register_counter(&format!(
+                    "node.{node_name}.chan.{}.profile_skipped",
+                    ch.name
+                )),
+                profile_scope: profile.declare(
+                    node_name,
+                    &ch.name,
+                    ch.overload,
+                    site_report.channels[i]
+                        .sites
+                        .iter()
+                        .map(|s| (s.site, s.label.clone(), s.bound_steps)),
+                    candidates
+                        .iter()
+                        .filter(|c| c.chan == ch.name && c.overload == ch.overload)
+                        .map(|c| (c.pattern.to_string(), c.sites.clone(), c.label.clone())),
+                ),
             })
             .collect();
         Ok(PlanpLayer {
@@ -289,12 +321,17 @@ impl PacketHook for PlanpLayer {
 
         let ps = self.proto.clone();
         let ss = self.chan_states[idx].clone();
+        // The profiler's sampling decision also counts the dispatch, so
+        // skipped work is accounted rather than silently dropped.
+        let profiling = api.telemetry().profile.should_profile(cm.profile_scope);
         let mut env = SimNetEnv {
             api,
             prog: &self.prog,
             output: &self.output,
             emitted: 0,
             vm_steps: 0,
+            profiling,
+            site_steps: Vec::new(),
             cur_trace: if pkt.lineage.trace != 0 {
                 pkt.lineage.trace
             } else {
@@ -318,9 +355,21 @@ impl PacketHook for PlanpLayer {
         let vm_steps = env.vm_steps;
         let inserts = env.inserts;
         let entries_delta = env.entries_delta;
+        let site_steps = env.site_steps;
         self.stats.borrow_mut().vm_steps += vm_steps;
         api.telemetry().metrics.add_id(cm.c_vm_steps, vm_steps);
         api.trace_vm_run(&pkt, cm.name.clone(), vm_steps);
+        // Per-site attribution: record the charge vector (VM errors
+        // included — both engines charge the aggregate on error paths
+        // too, so the Σ per-site == aggregate invariant still holds).
+        if profiling {
+            api.telemetry()
+                .profile
+                .record(cm.profile_scope, &site_steps, vm_steps);
+            api.telemetry().metrics.inc_id(cm.c_profiled);
+        } else {
+            api.telemetry().metrics.inc_id(cm.c_profile_skipped);
+        }
         if vm_steps > cm.static_bound {
             self.stats.borrow_mut().cost_bound_exceeded += 1;
             api.telemetry().metrics.inc_id(cm.c_bound_exceeded);
@@ -443,6 +492,12 @@ struct SimNetEnv<'a, 'b> {
     /// Net table-entry change of the current channel run (fresh inserts
     /// minus evicted entries).
     entries_delta: i64,
+    /// Whether this dispatch was selected by the profiler's sampler;
+    /// gates `site_steps` collection so skipped runs stay allocation-free.
+    profiling: bool,
+    /// Per-site step charges of the current channel run, in engine
+    /// charge order (only populated when `profiling`).
+    site_steps: Vec<(u32, u64)>,
 }
 
 impl SimNetEnv<'_, '_> {
@@ -584,6 +639,12 @@ impl NetEnv for SimNetEnv<'_, '_> {
         self.vm_steps += n;
     }
 
+    fn charge_site(&mut self, site: u32, n: u64) {
+        if self.profiling {
+            self.site_steps.push((site, n));
+        }
+    }
+
     fn note_table_write(&mut self, inserted: i64, _entries: u64) {
         if inserted > 0 {
             self.inserts += 1;
@@ -606,7 +667,7 @@ pub fn install_planp(
 ) -> Result<PlanpHandle, VmError> {
     let addr = sim.node(node).addr;
     let name = sim.node(node).name.clone();
-    let layer = PlanpLayer::new(image, config, addr, &name, &mut sim.telemetry.metrics)?;
+    let layer = PlanpLayer::new(image, config, addr, &name, &mut sim.telemetry)?;
     let handle = layer.handle();
     // Record the verifier's static per-packet step bound once per
     // channel name (overloads share keys, so take the group maximum), so
@@ -740,6 +801,38 @@ mod tests {
         assert!(!snap
             .counters
             .contains_key("node.r.chan.network.cost_bound_exceeded"));
+    }
+
+    #[test]
+    fn profiler_attributes_every_dispatch_within_static_bounds() {
+        let src = "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n\
+                   (if udpDst(#2 p) = 2000 then OnRemote(network, p) else ();\n\
+                    (ps + 1, ss))";
+        let (mut sim, handle, _got) = triangle(src, LayerConfig::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(handle.stats.borrow().matched, 5);
+        let reg = &sim.telemetry.profile;
+        assert_eq!(reg.mismatches(), 0, "Σ per-site == aggregate per dispatch");
+        let scope = reg.scopes().next().expect("one scope declared");
+        assert_eq!(scope.key(), "node.r.chan.network#0");
+        assert_eq!(scope.dispatches, 5);
+        assert_eq!(scope.steps, scope.sites.values().sum::<u64>());
+        assert_eq!(scope.unknown_sites(), 0, "all sites have bounds");
+        for row in reg.heatmap() {
+            assert!(
+                row.permille <= 1000,
+                "site {} observed over its static bound ({}‰)",
+                row.site,
+                row.permille
+            );
+        }
+        // The if-on-header-compare shape is a superinstruction candidate.
+        assert!(reg.superinstruction_report().contains("hdr_compare_branch"));
+        let snap = sim.telemetry.metrics.snapshot();
+        assert_eq!(snap.counters["node.r.chan.network.profiled"], 5);
+        assert!(!snap
+            .counters
+            .contains_key("node.r.chan.network.profile_skipped"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`MetricsRegistry`] — named counters and power-of-two-bucket
 //!   [`Histogram`]s, keyed by `BTreeMap` so every export is
 //!   deterministically ordered.
+//! * [`ProfileRegistry`] — per-site VM step profiles joined against the
+//!   static per-site cost bounds: collapsed-flame, utilization-heatmap,
+//!   Chrome-trace, and superinstruction-candidate exports, with `1/N`
+//!   sampling and a step budget for graceful degradation at scale.
 //! * Exporters — [`MetricsSnapshot::to_json`] / [`TraceLog::to_jsonl`]
 //!   produce byte-stable JSON (same seed ⇒ identical bytes, asserted by
 //!   the workspace determinism tests), and [`MetricsSnapshot::render_table`]
@@ -29,18 +33,20 @@ pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod monitor;
+pub mod profile;
 pub mod span;
 
 pub use event::{
     Category, DispatchOutcome, DropReason, SpanOrigin, TraceConfig, TraceEvent, TraceLog,
     TraceOverhead,
 };
-pub use export::{chrome_trace, prometheus};
+pub use export::{chrome_profile, chrome_trace, prometheus};
 pub use flight::{FlightDump, FlightEvent, FlightKind, FlightRecorder};
 pub use metrics::{
     CounterId, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot, ShardedCounterSet,
 };
 pub use monitor::{CounterSel, HealthMonitor, HealthSample, SloRule};
+pub use profile::{HeatmapRow, PatternMeta, ProfileRegistry, ScopeId, ScopeProfile, SiteMeta};
 pub use span::{CriticalHop, Span, TraceForest};
 
 /// The telemetry bundle a simulator instance carries: one event log,
@@ -57,6 +63,8 @@ pub struct Telemetry {
     /// span-tree renderers and the Chrome exporter name rows without
     /// re-threading the topology.
     pub nodes: Vec<String>,
+    /// Per-site execution profiles (the always-on VM profiler).
+    pub profile: ProfileRegistry,
 }
 
 impl Telemetry {

@@ -1,0 +1,647 @@
+//! Per-site execution profiles: the always-on VM profiler.
+//!
+//! Both engines attribute every charged VM step to an expression
+//! **site** (`NetEnv::charge_site`; a site id is the node's source
+//! span start offset). The runtime layer feeds those per-dispatch
+//! charge vectors into a [`ProfileRegistry`] scope — one scope per
+//! `node × channel overload` — together with the static per-site step
+//! bounds and superinstruction candidates computed by
+//! `planp-analysis::profile`. Everything downstream is a deterministic
+//! join of the two:
+//!
+//! * [`ProfileRegistry::collapsed_flame`] — flamegraph collapsed-stack
+//!   lines (`planp;node;chan#ov;site-label count`);
+//! * [`ProfileRegistry::heatmap`] — per-site **utilization** rows,
+//!   `observed / (bound × dispatches)` in permille, flagging sites at
+//!   ≥ 80% of their bound (`hot`) and sites with ≥ 10× slack
+//!   (`slack`);
+//! * [`ProfileRegistry::superinstruction_report`] — the static
+//!   candidates ranked by observed steps, the input artifact for the
+//!   future compilation tier (ROADMAP item 2);
+//! * [`ProfileRegistry::to_json`] — the whole registry, byte-stable.
+//!
+//! Soundness is checked live: [`ProfileRegistry::record`] verifies
+//! Σ per-site == aggregate on every recorded dispatch and counts
+//! violations in [`ScopeProfile::mismatches`] (asserted zero by the
+//! test suite and the `planp_profile` baseline).
+//!
+//! Scale degradation mirrors the trace sampler (PR 6): a registry-wide
+//! `1/N` dispatch sampling rate ([`ProfileRegistry::set_sample`], the
+//! same dialect as `TraceConfig::parse_sample`), plus an optional
+//! recorded-step budget that deterministically doubles the sampling
+//! denominator each time it is crossed
+//! ([`ProfileRegistry::set_step_budget`]). Skipped dispatches are
+//! counted, never silently dropped.
+
+use crate::json::{push_key, push_str};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Static metadata of one site within a scope.
+#[derive(Debug, Clone)]
+pub struct SiteMeta {
+    /// Human label, `line:col:kind` (flame-frame safe).
+    pub label: String,
+    /// Static step bound per dispatch.
+    pub bound: u64,
+}
+
+/// A static superinstruction candidate attached to a scope.
+#[derive(Debug, Clone)]
+pub struct PatternMeta {
+    /// Pattern tag (`hdr_compare_branch`, `table_forward`).
+    pub pattern: String,
+    /// Participating site ids, ascending.
+    pub sites: Vec<u32>,
+    /// `line:col` of the anchoring node.
+    pub label: String,
+}
+
+/// Handle to a declared profile scope (pre-resolved, cheap to copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeId(usize);
+
+/// The accumulated profile of one `node × channel overload`.
+#[derive(Debug, Clone)]
+pub struct ScopeProfile {
+    /// Node display name.
+    pub node: String,
+    /// Channel name.
+    pub chan: String,
+    /// Overload index.
+    pub overload: u32,
+    /// Dispatches recorded into this profile.
+    pub dispatches: u64,
+    /// Dispatches skipped by sampling.
+    pub skipped: u64,
+    /// Aggregate steps over recorded dispatches.
+    pub steps: u64,
+    /// Observed steps per site (recorded dispatches only).
+    pub sites: BTreeMap<u32, u64>,
+    /// Static per-site metadata (label + per-dispatch bound).
+    pub meta: BTreeMap<u32, SiteMeta>,
+    /// Static superinstruction candidates in this scope.
+    pub patterns: Vec<PatternMeta>,
+    /// Recorded dispatches where Σ per-site ≠ aggregate (soundness
+    /// violations; must stay zero).
+    pub mismatches: u64,
+}
+
+impl ScopeProfile {
+    /// The registry key of this scope.
+    pub fn key(&self) -> String {
+        scope_key(&self.node, &self.chan, self.overload)
+    }
+
+    /// Observed sites missing from the static site table (must stay
+    /// zero: every site a dispatch can charge is statically known).
+    pub fn unknown_sites(&self) -> u64 {
+        self.sites
+            .keys()
+            .filter(|s| !self.meta.contains_key(s))
+            .count() as u64
+    }
+}
+
+fn scope_key(node: &str, chan: &str, overload: u32) -> String {
+    format!("node.{node}.chan.{chan}#{overload}")
+}
+
+/// One row of the utilization heatmap.
+#[derive(Debug, Clone)]
+pub struct HeatmapRow {
+    /// Scope key (`node.<n>.chan.<c>#<ov>`).
+    pub scope: String,
+    /// Site id.
+    pub site: u32,
+    /// Site label.
+    pub label: String,
+    /// Observed steps (recorded dispatches only).
+    pub observed: u64,
+    /// Static per-dispatch bound.
+    pub bound: u64,
+    /// Recorded dispatches of the owning scope.
+    pub dispatches: u64,
+    /// `observed × 1000 / (bound × dispatches)` (0 when unbounded or
+    /// undispatched). Sound profiles never exceed 1000.
+    pub permille: u64,
+    /// Utilization ≥ 80% of the bound — a tight bound, and a hot site.
+    pub hot: bool,
+    /// Bound ≥ 10× observed on a dispatched scope — static slack worth
+    /// tightening.
+    pub slack: bool,
+}
+
+/// The per-site profile registry (one per [`crate::Telemetry`]).
+#[derive(Debug)]
+pub struct ProfileRegistry {
+    scopes: Vec<ScopeProfile>,
+    index: BTreeMap<String, usize>,
+    /// Current sampling denominator (1 = record every dispatch).
+    sample_n: u32,
+    /// Recorded-step budget (0 = unlimited).
+    step_budget: u64,
+    next_budget_mark: u64,
+    downgrades: u32,
+    steps_total: u64,
+}
+
+impl Default for ProfileRegistry {
+    fn default() -> Self {
+        ProfileRegistry {
+            scopes: Vec::new(),
+            index: BTreeMap::new(),
+            sample_n: 1,
+            step_budget: 0,
+            next_budget_mark: 0,
+            downgrades: 0,
+            steps_total: 0,
+        }
+    }
+}
+
+impl ProfileRegistry {
+    /// Declares (or re-resolves) the scope `node.<node>.chan.<chan>#<ov>`.
+    ///
+    /// Idempotent by key: a redeploy or crash-restart re-declares the
+    /// same scope and keeps the accumulated profile — static metadata
+    /// is refreshed from the (identical) analysis.
+    pub fn declare(
+        &mut self,
+        node: &str,
+        chan: &str,
+        overload: u32,
+        sites: impl IntoIterator<Item = (u32, String, u64)>,
+        patterns: impl IntoIterator<Item = (String, Vec<u32>, String)>,
+    ) -> ScopeId {
+        let key = scope_key(node, chan, overload);
+        let meta: BTreeMap<u32, SiteMeta> = sites
+            .into_iter()
+            .map(|(site, label, bound)| (site, SiteMeta { label, bound }))
+            .collect();
+        let patterns: Vec<PatternMeta> = patterns
+            .into_iter()
+            .map(|(pattern, sites, label)| PatternMeta {
+                pattern,
+                sites,
+                label,
+            })
+            .collect();
+        if let Some(&i) = self.index.get(&key) {
+            self.scopes[i].meta = meta;
+            self.scopes[i].patterns = patterns;
+            return ScopeId(i);
+        }
+        let i = self.scopes.len();
+        self.scopes.push(ScopeProfile {
+            node: node.to_string(),
+            chan: chan.to_string(),
+            overload,
+            dispatches: 0,
+            skipped: 0,
+            steps: 0,
+            sites: BTreeMap::new(),
+            meta,
+            patterns,
+            mismatches: 0,
+        });
+        self.index.insert(key, i);
+        ScopeId(i)
+    }
+
+    /// Sets the sampling denominator: record 1 of every `n` dispatches
+    /// per scope (0 and 1 both mean every dispatch). Same dialect as
+    /// `TraceConfig::parse_sample`.
+    pub fn set_sample(&mut self, n: u32) {
+        self.sample_n = n.max(1);
+    }
+
+    /// Sets a recorded-step budget: each time the total recorded steps
+    /// cross another multiple of `budget`, the sampling denominator
+    /// deterministically doubles (capped at 2^20), so profiling
+    /// degrades gracefully instead of growing without bound. 0 removes
+    /// the budget.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.step_budget = budget;
+        self.next_budget_mark = budget;
+    }
+
+    /// Decides (and counts) whether the next dispatch of `id` is
+    /// profiled: deterministic per-scope `1/N` — the first dispatch is
+    /// always kept, then every `N`th.
+    pub fn should_profile(&mut self, id: ScopeId) -> bool {
+        let n = self.sample_n as u64;
+        let s = &mut self.scopes[id.0];
+        let seq = s.dispatches + s.skipped;
+        if n <= 1 || seq.is_multiple_of(n) {
+            true
+        } else {
+            s.skipped += 1;
+            false
+        }
+    }
+
+    /// Records one profiled dispatch: the per-site charge vector and
+    /// the `charge_steps` aggregate. Verifies Σ per-site == aggregate
+    /// (counting violations in [`ScopeProfile::mismatches`]) and
+    /// applies the step-budget downgrade.
+    pub fn record(&mut self, id: ScopeId, site_steps: &[(u32, u64)], steps: u64) {
+        let s = &mut self.scopes[id.0];
+        s.dispatches += 1;
+        s.steps += steps;
+        let mut sum = 0u64;
+        for &(site, n) in site_steps {
+            *s.sites.entry(site).or_insert(0) += n;
+            sum += n;
+        }
+        if sum != steps {
+            s.mismatches += 1;
+        }
+        self.steps_total += steps;
+        if self.step_budget > 0 {
+            while self.steps_total >= self.next_budget_mark {
+                self.sample_n = (self.sample_n.saturating_mul(2)).min(1 << 20);
+                self.downgrades += 1;
+                self.next_budget_mark += self.step_budget;
+            }
+        }
+    }
+
+    /// All scopes, in key order (deterministic).
+    pub fn scopes(&self) -> impl Iterator<Item = &ScopeProfile> {
+        self.index.values().map(|&i| &self.scopes[i])
+    }
+
+    /// The scope behind `id`.
+    pub fn scope(&self, id: ScopeId) -> &ScopeProfile {
+        &self.scopes[id.0]
+    }
+
+    /// Total soundness violations across all scopes (must stay zero).
+    pub fn mismatches(&self) -> u64 {
+        self.scopes.iter().map(|s| s.mismatches).sum()
+    }
+
+    /// `(current sample_n, budget downgrades applied)` — the profiler's
+    /// self-accounting.
+    pub fn overhead(&self) -> (u32, u32) {
+        (self.sample_n, self.downgrades)
+    }
+
+    /// Flamegraph collapsed-stack lines, one per observed site:
+    /// `planp;<node>;<chan>#<ov>;<site-label> <steps>`. Scopes in key
+    /// order, sites ascending — byte-stable. Feed to
+    /// `flamegraph.pl` / speedscope / inferno unchanged.
+    pub fn collapsed_flame(&self) -> String {
+        let mut out = String::new();
+        for s in self.scopes() {
+            for (site, steps) in &s.sites {
+                let label = s
+                    .meta
+                    .get(site)
+                    .map(|m| m.label.as_str())
+                    .unwrap_or("unknown");
+                let _ = writeln!(
+                    out,
+                    "planp;{};{}#{};{label} {steps}",
+                    s.node, s.chan, s.overload
+                );
+            }
+        }
+        out
+    }
+
+    /// The utilization heatmap: one row per `scope × observed-or-bound
+    /// site`, in (scope key, site) order.
+    pub fn heatmap(&self) -> Vec<HeatmapRow> {
+        let mut rows = Vec::new();
+        for s in self.scopes() {
+            // Every statically known site appears, observed or not;
+            // observed-but-unknown sites appear with bound 0.
+            let mut sites: Vec<u32> = s.meta.keys().copied().collect();
+            for site in s.sites.keys() {
+                if !s.meta.contains_key(site) {
+                    sites.push(*site);
+                }
+            }
+            sites.sort_unstable();
+            for site in sites {
+                let observed = s.sites.get(&site).copied().unwrap_or(0);
+                let (label, bound) = match s.meta.get(&site) {
+                    Some(m) => (m.label.clone(), m.bound),
+                    None => ("unknown".to_string(), 0),
+                };
+                let denom = bound.saturating_mul(s.dispatches);
+                let permille = observed
+                    .saturating_mul(1000)
+                    .checked_div(denom)
+                    .unwrap_or(0);
+                rows.push(HeatmapRow {
+                    scope: s.key(),
+                    site,
+                    label,
+                    observed,
+                    bound,
+                    dispatches: s.dispatches,
+                    permille,
+                    hot: denom > 0 && permille >= 800,
+                    slack: s.dispatches > 0 && denom > 0 && permille <= 100,
+                });
+            }
+        }
+        rows
+    }
+
+    /// The heatmap as a human table (fixed-width, byte-stable).
+    pub fn render_heatmap(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>10} {:>10} {:>6}  label",
+            "scope", "site", "observed", "bound/d", "util"
+        );
+        for r in self.heatmap() {
+            let flags = match (r.hot, r.slack) {
+                (true, _) => " HOT",
+                (_, true) => " SLACK",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>8} {:>10} {:>10} {:>4}.{}%  {}{flags}",
+                r.scope,
+                r.site,
+                r.observed,
+                r.bound,
+                r.permille / 10,
+                r.permille % 10,
+                r.label
+            );
+        }
+        out
+    }
+
+    /// The superinstruction candidates of every scope, ranked by
+    /// observed steps over their participating sites (descending; ties
+    /// by scope key, then anchor label). The input artifact for the
+    /// bytecode/superinstruction tier.
+    pub fn superinstruction_report(&self) -> String {
+        let mut ranked: Vec<(u64, String, String, String)> = Vec::new();
+        for s in self.scopes() {
+            for p in &s.patterns {
+                let observed: u64 = p
+                    .sites
+                    .iter()
+                    .map(|site| s.sites.get(site).copied().unwrap_or(0))
+                    .sum();
+                ranked.push((observed, s.key(), p.label.clone(), p.pattern.clone()));
+            }
+        }
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut out = String::new();
+        for (i, (observed, scope, label, pattern)) in ranked.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>3}. {pattern:<20} {scope} @{label} steps={observed}",
+                i + 1
+            );
+        }
+        out
+    }
+
+    /// Per-node rollup next to the plan layer's `node_state`:
+    /// `(node, recorded dispatches, recorded steps)`, sorted by node.
+    pub fn node_rollup(&self) -> Vec<(String, u64, u64)> {
+        let mut by_node: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for s in self.scopes.iter() {
+            let e = by_node.entry(s.node.clone()).or_insert((0, 0));
+            e.0 += s.dispatches;
+            e.1 += s.steps;
+        }
+        by_node.into_iter().map(|(n, (d, st))| (n, d, st)).collect()
+    }
+
+    /// The whole registry as one byte-stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"sample_n\":");
+        let _ = write!(out, "{}", self.sample_n);
+        let _ = write!(out, ",\"downgrades\":{}", self.downgrades);
+        let _ = write!(out, ",\"mismatches\":{}", self.mismatches());
+        out.push_str(",\"scopes\":[");
+        for (i, s) in self.scopes().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_key(&mut out, "scope");
+            push_str(&mut out, &s.key());
+            let _ = write!(
+                out,
+                ",\"dispatches\":{},\"skipped\":{},\"steps\":{},\"mismatches\":{}",
+                s.dispatches, s.skipped, s.steps, s.mismatches
+            );
+            out.push_str(",\"sites\":[");
+            let mut sites: Vec<u32> = s.meta.keys().copied().collect();
+            for site in s.sites.keys() {
+                if !s.meta.contains_key(site) {
+                    sites.push(*site);
+                }
+            }
+            sites.sort_unstable();
+            for (j, site) in sites.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let observed = s.sites.get(site).copied().unwrap_or(0);
+                let (label, bound) = match s.meta.get(site) {
+                    Some(m) => (m.label.as_str(), m.bound),
+                    None => ("unknown", 0),
+                };
+                let _ = write!(
+                    out,
+                    "{{\"site\":{site},\"observed\":{observed},\"bound\":{bound}"
+                );
+                out.push(',');
+                push_key(&mut out, "label");
+                push_str(&mut out, label);
+                out.push('}');
+            }
+            out.push_str("],\"patterns\":[");
+            for (j, p) in s.patterns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                push_key(&mut out, "pattern");
+                push_str(&mut out, &p.pattern);
+                out.push(',');
+                push_key(&mut out, "label");
+                push_str(&mut out, &p.label);
+                out.push_str(",\"sites\":[");
+                for (k, site) in p.sites.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{site}");
+                }
+                let observed: u64 = p
+                    .sites
+                    .iter()
+                    .map(|site| s.sites.get(site).copied().unwrap_or(0))
+                    .sum();
+                let _ = write!(out, "],\"observed\":{observed}}}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn declared(reg: &mut ProfileRegistry) -> ScopeId {
+        reg.declare(
+            "gw",
+            "network",
+            0,
+            [
+                (10, "1:1:if".to_string(), 2),
+                (20, "2:3:prim.tcpDst".to_string(), 1),
+            ],
+            [(
+                "hdr_compare_branch".to_string(),
+                vec![10, 20],
+                "1:1".to_string(),
+            )],
+        )
+    }
+
+    #[test]
+    fn declare_is_idempotent_and_keeps_observations() {
+        let mut reg = ProfileRegistry::default();
+        let a = declared(&mut reg);
+        assert!(reg.should_profile(a));
+        reg.record(a, &[(10, 2), (20, 1)], 3);
+        let b = declared(&mut reg);
+        assert_eq!(a, b);
+        assert_eq!(reg.scope(b).dispatches, 1);
+        assert_eq!(reg.scope(b).steps, 3);
+        assert_eq!(reg.mismatches(), 0);
+    }
+
+    #[test]
+    fn record_detects_aggregate_mismatch() {
+        let mut reg = ProfileRegistry::default();
+        let id = declared(&mut reg);
+        reg.record(id, &[(10, 2)], 3);
+        assert_eq!(reg.mismatches(), 1);
+    }
+
+    #[test]
+    fn sampling_keeps_first_then_every_nth() {
+        let mut reg = ProfileRegistry::default();
+        let id = declared(&mut reg);
+        reg.set_sample(4);
+        let mut kept = 0;
+        for _ in 0..8 {
+            if reg.should_profile(id) {
+                reg.record(id, &[(10, 1)], 1);
+                kept += 1;
+            }
+        }
+        assert_eq!(kept, 2, "1/4 sampling keeps dispatches 0 and 4");
+        assert_eq!(reg.scope(id).skipped, 6);
+    }
+
+    #[test]
+    fn step_budget_downgrades_deterministically() {
+        let mut reg = ProfileRegistry::default();
+        let id = declared(&mut reg);
+        reg.set_step_budget(10);
+        for _ in 0..4 {
+            if reg.should_profile(id) {
+                reg.record(id, &[(10, 5)], 5);
+            }
+        }
+        let (n, downgrades) = reg.overhead();
+        assert!(downgrades >= 1, "budget crossing must downgrade");
+        assert!(n > 1, "sample_n doubled");
+    }
+
+    #[test]
+    fn exports_are_byte_stable_and_ranked() {
+        let build = || {
+            let mut reg = ProfileRegistry::default();
+            let id = declared(&mut reg);
+            let other = reg.declare(
+                "gw",
+                "mon",
+                0,
+                [(30, "3:1:seq".to_string(), 5)],
+                [("table_forward".to_string(), vec![30], "3:1".to_string())],
+            );
+            for _ in 0..3 {
+                assert!(reg.should_profile(id));
+                reg.record(id, &[(10, 2), (20, 1)], 3);
+            }
+            assert!(reg.should_profile(other));
+            reg.record(other, &[(30, 1)], 1);
+            reg
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.collapsed_flame(), b.collapsed_flame());
+        assert_eq!(a.render_heatmap(), b.render_heatmap());
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.collapsed_flame().contains("planp;gw;network#0;1:1:if 6"));
+        let report = a.superinstruction_report();
+        let first = report.lines().next().unwrap();
+        assert!(
+            first.contains("hdr_compare_branch") && first.contains("steps=9"),
+            "hottest candidate ranks first: {report}"
+        );
+        assert_eq!(a.mismatches(), 0);
+    }
+
+    #[test]
+    fn heatmap_flags_hot_and_slack() {
+        let mut reg = ProfileRegistry::default();
+        let id = reg.declare(
+            "n0",
+            "c",
+            0,
+            [(1, "1:1:if".to_string(), 1), (2, "1:4:int".to_string(), 50)],
+            [],
+        );
+        assert!(reg.should_profile(id));
+        // Site 1 fully used (1000‰, hot); site 2 uses 1 of 50 (20‰, slack).
+        reg.record(id, &[(1, 1), (2, 1)], 2);
+        let rows = reg.heatmap();
+        let r1 = rows.iter().find(|r| r.site == 1).unwrap();
+        let r2 = rows.iter().find(|r| r.site == 2).unwrap();
+        assert!(r1.hot && !r1.slack && r1.permille == 1000);
+        assert!(r2.slack && !r2.hot && r2.permille == 20);
+        assert!(rows.iter().all(|r| r.permille <= 1000), "soundness");
+    }
+
+    #[test]
+    fn node_rollup_aggregates_per_node() {
+        let mut reg = ProfileRegistry::default();
+        let a = reg.declare("n0", "c", 0, [(1, "l".to_string(), 1)], []);
+        let b = reg.declare("n0", "d", 0, [(2, "l".to_string(), 1)], []);
+        let c = reg.declare("n1", "c", 0, [(3, "l".to_string(), 1)], []);
+        for id in [a, b, c] {
+            assert!(reg.should_profile(id));
+        }
+        reg.record(a, &[(1, 1)], 1);
+        reg.record(b, &[(2, 2)], 2);
+        reg.record(c, &[(3, 3)], 3);
+        assert_eq!(
+            reg.node_rollup(),
+            vec![("n0".to_string(), 2, 3), ("n1".to_string(), 1, 3)]
+        );
+    }
+}

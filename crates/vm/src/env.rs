@@ -58,6 +58,15 @@ pub trait NetEnv {
     /// a deterministic, wall-clock-free cost measure. The default
     /// discards the charge.
     fn charge_steps(&mut self, _n: u64) {}
+    /// Attributes `n` VM steps to the expression **site** being
+    /// evaluated (a site id is the node's source span start offset —
+    /// stable across engines, runs, and recompiles of the same source).
+    /// Both engines call this once per charged node, so per dispatch
+    /// the per-site charges sum exactly to the `charge_steps`
+    /// aggregate. Environments that build execution profiles (the
+    /// runtime's telemetry) consume it; the default discards the
+    /// charge.
+    fn charge_site(&mut self, _site: u32, _n: u64) {}
     /// Announces the send primitive about to run (both engines call
     /// this right before `send_remote`/`send_neighbor`/`deliver`), with
     /// the target channel when the primitive names one. Environments
@@ -120,6 +129,9 @@ pub struct MockEnv {
     pub output: String,
     /// Total VM steps charged via [`NetEnv::charge_steps`].
     pub steps: u64,
+    /// Per-site step charges via [`NetEnv::charge_site`], in charge
+    /// order (one entry per charged node — raw trail, not aggregated).
+    pub site_steps: Vec<(u32, u64)>,
     /// Send sites announced via [`NetEnv::note_send_site`], in order.
     pub send_sites: Vec<(SendKind, Option<String>)>,
     /// Timers requested via [`NetEnv::set_timer`], as `(delay_ms, key)`.
@@ -142,6 +154,7 @@ impl MockEnv {
             effects: Vec::new(),
             output: String::new(),
             steps: 0,
+            site_steps: Vec::new(),
             send_sites: Vec::new(),
             timers: Vec::new(),
             table_writes: Vec::new(),
@@ -160,6 +173,16 @@ impl MockEnv {
     /// Number of `tblSet` mutations that created a new key.
     pub fn insert_count(&self) -> u64 {
         self.table_writes.iter().filter(|(i, _)| *i > 0).count() as u64
+    }
+
+    /// The recorded site charges aggregated per site (site → total
+    /// steps), for order-insensitive profile comparisons.
+    pub fn site_profile(&self) -> std::collections::BTreeMap<u32, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        for &(site, n) in &self.site_steps {
+            *out.entry(site).or_insert(0) += n;
+        }
+        out
     }
 
     /// Number of recorded deliveries.
@@ -232,6 +255,10 @@ impl NetEnv for MockEnv {
 
     fn charge_steps(&mut self, n: u64) {
         self.steps += n;
+    }
+
+    fn charge_site(&mut self, site: u32, n: u64) {
+        self.site_steps.push((site, n));
     }
 
     fn note_send_site(&mut self, kind: SendKind, chan: Option<&str>) {

@@ -161,6 +161,7 @@ impl<'p> Interp<'p> {
     ) -> Result<Value, VmError> {
         self.steps
             .set(self.steps.get() + crate::cost::STEPS_PER_NODE);
+        net.charge_site(e.span.start, crate::cost::STEPS_PER_NODE);
         match &e.kind {
             TExprKind::Int(n) => Ok(Value::Int(*n)),
             TExprKind::Bool(b) => Ok(Value::Bool(*b)),
@@ -523,6 +524,9 @@ mod tests {
             .unwrap();
         assert_eq!(env.steps, interp.steps());
         assert_eq!(env.steps % 2, 0);
+        // Every aggregate step was also attributed to a site.
+        let attributed: u64 = env.site_steps.iter().map(|(_, n)| n).sum();
+        assert_eq!(attributed, env.steps);
     }
 
     #[test]

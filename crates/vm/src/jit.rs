@@ -10,7 +10,9 @@
 //!
 //! * variable references become direct slot loads (no name lookup);
 //! * primitive calls become pre-resolved function pointers;
-//! * constant subexpressions are folded at compile time;
+//! * constant subexpressions are folded at compile time (the folded
+//!   template still charges every node of the subtree, so step counts
+//!   and per-site profiles stay byte-identical with the interpreter);
 //! * user-function calls bind directly to the callee's compiled body
 //!   (call graphs are acyclic, so callees are always compiled first).
 //!
@@ -141,6 +143,23 @@ pub fn compile(prog: Rc<TProgram>) -> (CompiledProgram, CodegenStats) {
         },
         stats,
     )
+}
+
+/// The sites of a constant-foldable subtree in the interpreter's
+/// evaluation order (pre-order: a node charges on eval entry, then its
+/// operands left to right). Only the shapes [`Cx::const_of`] accepts
+/// appear here — leaves, strict `Binop`, and `Unop` — all branch-free,
+/// so this order is exactly what the interpreter charges.
+fn collect_const_sites(e: &TExpr, out: &mut Vec<u32>) {
+    out.push(e.span.start);
+    match &e.kind {
+        TExprKind::Binop(_, a, b) => {
+            collect_const_sites(a, out);
+            collect_const_sites(b, out);
+        }
+        TExprKind::Unop(_, a) => collect_const_sites(a, out),
+        _ => {}
+    }
 }
 
 /// Number of local slots an initializer expression needs (initializers
@@ -290,22 +309,46 @@ impl Cx {
     }
 
     /// Compiles one node and wraps its template with the step-count
-    /// bump — one `Cell` increment per executed template, the hook the
-    /// telemetry layer reads through [`NetEnv::charge_steps`].
+    /// bump — a `Cell` increment per evaluated node, the hook the
+    /// telemetry layer reads through [`NetEnv::charge_steps`] — plus
+    /// the per-site attribution via [`NetEnv::charge_site`].
+    ///
+    /// A constant-foldable subtree becomes a single template, but it
+    /// still charges every node of the folded subtree (in the
+    /// interpreter's evaluation order), so both the aggregate step
+    /// count and the per-site profile are byte-identical between
+    /// engines. That is safe because foldable subtrees are branch-free
+    /// (no `andalso`/`orelse`, no `if`) — the interpreter always
+    /// evaluates all of their nodes — and a subtree whose folding
+    /// would trap (e.g. `1 div 0`) fails [`Cx::const_of`] and compiles
+    /// normally, preserving the error path's charge order.
     fn compile(&mut self, e: &TExpr) -> Code {
+        if let Some(v) = self.const_of(e) {
+            self.nodes += 1;
+            let mut sites = Vec::new();
+            collect_const_sites(e, &mut sites);
+            let total = sites.len() as u64 * crate::cost::STEPS_PER_NODE;
+            let steps = self.steps.clone();
+            return Rc::new(move |f| {
+                steps.set(steps.get() + total);
+                for &s in &sites {
+                    f.net.charge_site(s, crate::cost::STEPS_PER_NODE);
+                }
+                Ok(v.clone())
+            });
+        }
         let inner = self.compile_node(e);
         let steps = self.steps.clone();
+        let site = e.span.start;
         Rc::new(move |f| {
             steps.set(steps.get() + crate::cost::STEPS_PER_NODE);
+            f.net.charge_site(site, crate::cost::STEPS_PER_NODE);
             inner(f)
         })
     }
 
     fn compile_node(&mut self, e: &TExpr) -> Code {
         self.nodes += 1;
-        if let Some(v) = self.const_of(e) {
-            return Rc::new(move |_| Ok(v.clone()));
-        }
         match &e.kind {
             TExprKind::Int(n) => {
                 let n = *n;
@@ -603,6 +646,11 @@ mod tests {
             env_i.table_writes, env_j.table_writes,
             "table writes in {src}"
         );
+        assert_eq!(
+            env_i.site_steps, env_j.site_steps,
+            "site charge trail in {src}"
+        );
+        assert_eq!(env_i.steps, env_j.steps, "aggregate steps in {src}");
     }
 
     #[test]
@@ -730,6 +778,9 @@ mod tests {
         .unwrap();
         assert_eq!(env.steps, cp.steps());
         assert_eq!(env.steps % 2, 0);
+        // Every aggregate step was also attributed to a site.
+        let attributed: u64 = env.site_steps.iter().map(|(_, n)| n).sum();
+        assert_eq!(attributed, env.steps);
     }
 
     #[test]
