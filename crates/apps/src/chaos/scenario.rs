@@ -239,6 +239,10 @@ pub struct RelayChaosResult {
     pub sum_link_drops: u64,
     /// Σ per-link fault-injected drops.
     pub sum_fault_drops: u64,
+    /// Engine-wide node drop total (policy + CPU overflow + shed).
+    pub total_node_drops: u64,
+    /// Σ per-node `dropped + cpu_drops + shed`.
+    pub sum_node_drops: u64,
     /// Static per-packet send bound of the program's data path — the
     /// linearity bound that caps duplicate amplification.
     pub sends_bound: u64,
@@ -261,6 +265,13 @@ impl RelayChaosResult {
     /// congestion drop or a fault drop, counted exactly once.
     pub fn drop_identity_holds(&self) -> bool {
         self.total_link_drops == self.sum_link_drops + self.sum_fault_drops
+    }
+
+    /// The node-side companion identity: every drop charged to a node is
+    /// a policy drop, a CPU-queue overflow, or an admission shed at that
+    /// node — counted once, never folded into the link accounting.
+    pub fn node_drop_identity_holds(&self) -> bool {
+        self.total_node_drops == self.sum_node_drops
     }
 
     /// The duplicate-amplification invariant: the program's data path
@@ -402,6 +413,8 @@ pub fn run_relay_chaos(cfg: &RelayChaosConfig) -> RelayChaosResult {
         total_link_drops: sim.total_link_drops,
         sum_link_drops: sim.links().map(|l| l.drops).sum(),
         sum_fault_drops: sim.links().map(|l| l.fault_drops).sum(),
+        total_node_drops: sim.total_node_drops,
+        sum_node_drops: sim.nodes().map(|n| n.dropped + n.cpu_drops + n.shed).sum(),
         sends_bound,
         plan_budget,
         max_path_vm_steps,
@@ -431,6 +444,7 @@ mod tests {
         assert_eq!(res.duplicates, 0, "receiver-side dedup");
         assert_eq!(res.recovery_failures, 0);
         assert!(res.drop_identity_holds(), "{res:?}");
+        assert!(res.node_drop_identity_holds(), "{res:?}");
     }
 
     /// The negative control: a statically spotless program (termination
@@ -446,6 +460,7 @@ mod tests {
         assert!(res.delivery_ratio > 0.3, "sanity: the chain still works");
         assert_eq!(res.retransmits, 0, "nobody NACKs");
         assert!(res.drop_identity_holds(), "{res:?}");
+        assert!(res.node_drop_identity_holds(), "{res:?}");
     }
 
     /// Injected duplication never amplifies beyond the statically proved
@@ -490,6 +505,7 @@ mod tests {
             "repair should cover the outage: {res:?}"
         );
         assert!(res.drop_identity_holds(), "{res:?}");
+        assert!(res.node_drop_identity_holds(), "{res:?}");
     }
 
     /// The chaos-hardened audio router clamps and re-stamps a poisoned

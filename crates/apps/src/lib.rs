@@ -15,6 +15,9 @@
 //!
 //! * [`chaos`] — a relay chain under seeded fault injection, comparing
 //!   a NACK-driven reliable relay against a retransmission-free control;
+//! * [`cluster`] — the overload-robust HTTP cluster: a bounded-load
+//!   consistent-hash gateway with per-backend circuit breakers and a
+//!   brownout controller, under a Zipf flash crowd with rolling crashes;
 //! * [`obs`] — a ≥1k-node grid of parallel relay chains for measuring
 //!   telemetry overhead under deterministic trace sampling and budgets;
 //! * [`plans`] — the bundled deployment plans (`asps/plans/`) plus the
@@ -24,6 +27,7 @@
 
 pub mod audio;
 pub mod chaos;
+pub mod cluster;
 pub mod http;
 pub mod mpeg;
 pub mod obs;

@@ -32,8 +32,25 @@ use planp_apps::audio::{run_audio, Adaptation, AudioConfig};
 use planp_apps::chaos::{run_relay_chaos, RelayChaosConfig, RelayChaosResult, RelayKind};
 use planp_apps::http::{run_http_traced, ClusterMode, HttpConfig, HTTP_GATEWAY_FAILOVER_ASP};
 use planp_apps::mpeg::{run_mpeg, MpegConfig};
-use planp_bench::{emit_bench, render_table, sample_from_args, BenchOpts};
+use planp_bench::{emit_bench, render_table, sample_from_cli, BenchOpts, Cli};
 use planp_telemetry::TraceConfig;
+
+const HELP: &str = "planp-chaos: seeded fault-injection sweep over the section 3 apps
+
+usage: planp_chaos [--json] [--report] [--sample 1/N]
+
+  --json        write BENCH_planp_chaos.json
+  --report      print the final metrics table
+  --sample 1/N  head-sampled causal tracing (default off)
+  -h, --help    this text
+";
+
+const CLI: Cli = Cli {
+    bin: "planp-chaos",
+    help: HELP,
+    flags: &["--report"],
+    value_flags: &["--sample"],
+};
 
 /// The invariants every relay run must satisfy, whatever its config.
 fn check_common(label: &str, res: &RelayChaosResult) {
@@ -43,6 +60,12 @@ fn check_common(label: &str, res: &RelayChaosResult) {
         res.total_link_drops,
         res.sum_link_drops,
         res.sum_fault_drops
+    );
+    assert!(
+        res.node_drop_identity_holds(),
+        "{label}: total_node_drops {} != per-node policy + cpu + shed {}",
+        res.total_node_drops,
+        res.sum_node_drops
     );
     assert!(
         res.duplicates_within_bound(),
@@ -59,8 +82,13 @@ fn check_common(label: &str, res: &RelayChaosResult) {
 }
 
 fn main() {
-    let opts = BenchOpts::from_args();
-    let sample_n = sample_from_args("planp_chaos");
+    let args = CLI.parse_or_exit();
+    if args.baseline.is_some() || args.write_baseline.is_some() {
+        eprintln!("planp-chaos: no baseline gate; CI diffs two runs instead");
+        std::process::exit(2);
+    }
+    let opts = BenchOpts::from_cli(&args);
+    let sample_n = sample_from_cli("planp-chaos", &args);
     let trace = if sample_n > 1 {
         TraceConfig::sampled(sample_n)
     } else {

@@ -25,8 +25,25 @@
 //! every stage (the monitor's verdicts do not depend on the rate).
 
 use planp_apps::chaos::{run_relay_chaos, RelayChaosConfig, RelayChaosResult, RelayKind};
-use planp_bench::{emit_bench, sample_from_args, BenchOpts};
+use planp_bench::{emit_bench, sample_from_cli, BenchOpts, Cli};
 use planp_telemetry::TraceConfig;
+
+const HELP: &str = "planp-health: live SLO monitor over the chaos relay chain
+
+usage: planp_health [--json] [--report] [--sample 1/N]
+
+  --json        write BENCH_planp_health.json
+  --report      print the final metrics table
+  --sample 1/N  head-sampled causal tracing (default off)
+  -h, --help    this text
+";
+
+const CLI: Cli = Cli {
+    bin: "planp-health",
+    help: HELP,
+    flags: &["--report"],
+    value_flags: &["--sample"],
+};
 
 /// Monitor window used by every stage (milliseconds of sim time).
 const WINDOW_MS: u64 = 250;
@@ -65,8 +82,13 @@ fn print_stage(title: &str, res: &RelayChaosResult) {
 }
 
 fn main() {
-    let opts = BenchOpts::from_args();
-    let sample_n = sample_from_args("planp_health");
+    let args = CLI.parse_or_exit();
+    if args.baseline.is_some() || args.write_baseline.is_some() {
+        eprintln!("planp-health: no baseline gate; CI diffs two runs instead");
+        std::process::exit(2);
+    }
+    let opts = BenchOpts::from_cli(&args);
+    let sample_n = sample_from_cli("planp-health", &args);
     let mut scalars: Vec<(String, f64)> = Vec::new();
 
     // --- 1. fragile relay: the floor must breach ------------------------

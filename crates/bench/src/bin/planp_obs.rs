@@ -28,8 +28,25 @@
 //! output stays byte-identical).
 
 use planp_apps::obs::{run_obs_grid, ObsGridConfig, ObsGridResult};
-use planp_bench::{emit_bench, render_table, sample_from_args, BenchOpts};
+use planp_bench::{emit_bench, render_table, sample_from_cli, BenchOpts, Cli};
 use planp_telemetry::TraceConfig;
+
+const HELP: &str = "planp-obs: telemetry overhead sweep on the 1024-node grid
+
+usage: planp_obs [--json] [--report] [--sample 1/N]
+
+  --json        write BENCH_planp_obs.json
+  --report      print the final metrics table
+  --sample 1/N  append a user-chosen rate to the sampling sweep
+  -h, --help    this text
+";
+
+const CLI: Cli = Cli {
+    bin: "planp-obs",
+    help: HELP,
+    flags: &["--report"],
+    value_flags: &["--sample"],
+};
 
 /// Ring capacity for the sweep: the full-tracing run of the 1024-node
 /// grid must not evict (evictions would understate overhead).
@@ -46,8 +63,13 @@ fn grid(trace: TraceConfig) -> ObsGridResult {
 }
 
 fn main() {
-    let opts = BenchOpts::from_args();
-    let sample_n = sample_from_args("planp_obs");
+    let args = CLI.parse_or_exit();
+    if args.baseline.is_some() || args.write_baseline.is_some() {
+        eprintln!("planp-obs: no baseline gate; CI diffs two runs instead");
+        std::process::exit(2);
+    }
+    let opts = BenchOpts::from_cli(&args);
+    let sample_n = sample_from_cli("planp-obs", &args);
 
     let full = grid(TraceConfig::all());
     let s4 = grid(TraceConfig::sampled(4));

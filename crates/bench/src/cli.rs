@@ -153,24 +153,20 @@ pub fn render_diff(expected: &str, actual: &str) -> String {
     out
 }
 
-/// Parses `--sample 1/N` from the raw process arguments (every other
-/// flag is handled by the caller's [`Cli`] or `BenchOpts`); returns 1
-/// when absent and exits 2 on a malformed rate.
-pub fn sample_from_args(bin: &str) -> u32 {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    for i in 0..argv.len() {
-        if argv[i] == "--sample" {
-            let spec = argv.get(i + 1).map(String::as_str).unwrap_or("");
-            match planp_telemetry::TraceConfig::parse_sample(spec) {
-                Ok(n) => return n,
-                Err(e) => {
-                    eprintln!("{bin}: {e}");
-                    std::process::exit(2);
-                }
-            }
+/// Resolves a parsed `--sample 1/N` value flag (declared in the bin's
+/// [`Cli::value_flags`]); returns 1 when absent and exits 2 on a
+/// malformed rate.
+pub fn sample_from_cli(bin: &str, args: &CliArgs) -> u32 {
+    let Some(spec) = args.value("--sample") else {
+        return 1;
+    };
+    match planp_telemetry::TraceConfig::parse_sample(spec) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            std::process::exit(2);
         }
     }
-    1
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 
 pub mod cli;
 
-pub use cli::{baseline_gate, sample_from_args, Cli, CliArgs};
+pub use cli::{baseline_gate, sample_from_cli, Cli, CliArgs};
 
 use planp_analysis::Policy;
 use planp_telemetry::MetricsSnapshot;
@@ -163,6 +163,17 @@ impl BenchOpts {
             opts.json = true;
         }
         opts
+    }
+
+    /// Builds the options from an already-parsed shared [`cli::Cli`]
+    /// command line (`--json` is a shared flag; `--report` must be in
+    /// the bin's `flags`). `PLANP_BENCH_JSON=1` still enables `json`.
+    pub fn from_cli(args: &cli::CliArgs) -> Self {
+        BenchOpts {
+            json: args.json
+                || std::env::var("PLANP_BENCH_JSON").as_deref() == Ok("1"),
+            report: args.flag("--report"),
+        }
     }
 }
 

@@ -50,6 +50,9 @@ pub struct Node {
     pub(crate) cpu_epoch: u64,
     /// Packets dropped because the CPU queue overflowed.
     pub cpu_drops: u64,
+    /// Packets deliberately shed here: admission control, brownout
+    /// class shedding, and deadline-expired drops.
+    pub shed: u64,
     /// Times this node was crashed by fault injection.
     pub crashes: u64,
     /// Times a crash discarded an installed packet hook (protocol-state
@@ -94,6 +97,7 @@ impl Node {
             cpu_busy: false,
             cpu_epoch: 0,
             cpu_drops: 0,
+            shed: 0,
             crashes: 0,
             state_lost: 0,
             delivered: 0,

@@ -164,6 +164,10 @@ pub struct Lineage {
     /// kept trace keeps its *complete* span tree. Defaults to `true`
     /// (unstamped packets are presumed kept until the root decision).
     pub sampled: bool,
+    /// Absolute simulation-time deadline in nanoseconds (0 = none).
+    /// Propagated to every descendant packet an ASP emits, so expired
+    /// work is dropped at ingress instead of burning further hops.
+    pub deadline_ns: u64,
 }
 
 impl Default for Lineage {
@@ -174,6 +178,7 @@ impl Default for Lineage {
             origin: planp_telemetry::SpanOrigin::default(),
             chan: None,
             sampled: true,
+            deadline_ns: 0,
         }
     }
 }

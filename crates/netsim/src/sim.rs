@@ -12,8 +12,8 @@ use crate::stats::SeriesStore;
 use crate::time::SimTime;
 use bytes::Bytes;
 use planp_telemetry::{
-    Category, DispatchOutcome, DropReason, FlightEvent, FlightKind, HealthMonitor, Histogram,
-    MetricsSnapshot, ShardedCounterSet, Telemetry, TraceEvent,
+    BrownoutController, Category, DispatchOutcome, DropReason, FlightEvent, FlightKind,
+    HealthMonitor, Histogram, MetricsSnapshot, ShardedCounterSet, Telemetry, TraceEvent,
 };
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -92,6 +92,9 @@ pub struct Sim {
     seed: u64,
     /// Total packets dropped at link queues (convenience aggregate).
     pub total_link_drops: u64,
+    /// Total packets dropped at nodes (convenience aggregate covering
+    /// `dropped` + `cpu_drops` + `shed` across every node).
+    pub total_node_drops: u64,
     /// Structured event log and metrics registry. Trace categories are
     /// off by default; enable with `telemetry.trace.configure(..)`.
     pub telemetry: Telemetry,
@@ -122,6 +125,10 @@ pub struct Sim {
     /// `run_until` / `run_to_idle`. `None` (the default) costs one
     /// branch per event.
     pub monitor: Option<HealthMonitor>,
+    /// Deterministic brownout controller, fed one observation per
+    /// monitor evaluation window; level transitions are emitted as
+    /// `TraceEvent::Brownout` and mirrored into `telemetry.overload`.
+    pub brownout: Option<BrownoutController>,
     /// Set once the first SLO breach has frozen the monitor's
     /// `dump_on_breach` flight windows — only the first breach dumps,
     /// keeping post-mortem reports bounded under sustained outages.
@@ -147,6 +154,7 @@ impl Sim {
             started: false,
             seed,
             total_link_drops: 0,
+            total_node_drops: 0,
             telemetry: Telemetry::default(),
             next_pkt_id: 0,
             events_processed: 0,
@@ -157,6 +165,7 @@ impl Sim {
             fault_stats: FaultStats::default(),
             hop_latency: Histogram::new(),
             monitor: None,
+            brownout: None,
             breach_dumped: false,
             compact_metrics_threshold: 512,
         }
@@ -230,6 +239,23 @@ impl Sim {
                 reason,
             });
         }
+    }
+
+    /// Counts and traces one node-level drop: routes the count to the
+    /// reason's bucket (`cpu_drops` for CPU-queue overflow, `shed` for
+    /// deliberate shedding and deadline expiry, `dropped` otherwise),
+    /// bumps the `sim.node_drops_total` aggregate, and records the
+    /// flight/trace events. Every node-level drop site goes through
+    /// here so the drop-accounting identity holds by construction.
+    pub(crate) fn drop_at_node(&mut self, node: NodeId, pkt: u64, sampled: bool, reason: DropReason) {
+        let n = &mut self.nodes[node.0];
+        match reason {
+            DropReason::CpuOverflow => n.cpu_drops += 1,
+            DropReason::Shed | DropReason::DeadlineExpired => n.shed += 1,
+            _ => n.dropped += 1,
+        }
+        self.total_node_drops += 1;
+        self.trace_node_drop(node, pkt, sampled, reason);
     }
 
     /// Current simulated time.
@@ -520,12 +546,29 @@ impl Sim {
                     breach = Some(s.rule.clone());
                 }
             }
+            let t = samples.first().map_or(self.now.as_nanos(), |s| s.t_ns);
+            // The brownout controller sees one observation per window:
+            // the first breached rule, or a clean bill of health.
+            if let Some(mut bc) = self.brownout.take() {
+                if let Some((from, to, rule)) = bc.observe_window(t, breach.as_deref()) {
+                    self.telemetry.overload.brownout_level = to;
+                    if self.telemetry.trace.wants(Category::HEALTH) {
+                        self.telemetry.trace.push(TraceEvent::Brownout {
+                            t_ns: t,
+                            from_level: from,
+                            to_level: to,
+                            rule: Rc::from(rule.as_str()),
+                        });
+                    }
+                }
+                self.brownout = Some(bc);
+            }
             if let Some(cause) = breach {
                 if !self.breach_dumped && !mon.dump_on_breach.is_empty() {
                     self.breach_dumped = true;
-                    let t = samples.first().map_or(self.now.as_nanos(), |s| s.t_ns);
+                    let state = self.telemetry.overload.summary();
                     for &n in &mon.dump_on_breach {
-                        self.telemetry.flight.dump(n, t, &cause);
+                        self.telemetry.flight.dump_with_state(n, t, &cause, &state);
                     }
                 }
             }
@@ -606,8 +649,16 @@ impl Sim {
 
     fn arrive(&mut self, node: NodeId, pkt: Packet, via: Option<LinkId>, overheard: bool) {
         if self.nodes[node.0].down {
-            self.nodes[node.0].dropped += 1;
-            self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NodeDown);
+            self.drop_at_node(node, pkt.id, pkt.lineage.sampled, DropReason::NodeDown);
+            return;
+        }
+        // Deadline propagation: an already-expired packet is dropped at
+        // ingress — before it costs CPU-queue slots or further hops.
+        if !overheard
+            && pkt.lineage.deadline_ns != 0
+            && self.now.as_nanos() > pkt.lineage.deadline_ns
+        {
+            self.drop_at_node(node, pkt.id, pkt.lineage.sampled, DropReason::DeadlineExpired);
             return;
         }
         // CPU model: non-overheard packets queue for processing time.
@@ -616,9 +667,8 @@ impl Sim {
             if !overheard {
                 let n = &mut self.nodes[node.0];
                 if n.cpu_queue.len() >= cpu.queue_cap {
-                    n.cpu_drops += 1;
                     let (pkt_id, sampled) = (pkt.id, pkt.lineage.sampled);
-                    self.trace_node_drop(node, pkt_id, sampled, DropReason::CpuOverflow);
+                    self.drop_at_node(node, pkt_id, sampled, DropReason::CpuOverflow);
                     return;
                 }
                 n.cpu_queue.push_back((pkt, via, overheard));
@@ -685,8 +735,7 @@ impl Sim {
             if self.nodes[node.0].forwarding {
                 let mut fwd = pkt;
                 if fwd.ip.ttl <= 1 {
-                    self.nodes[node.0].dropped += 1;
-                    self.trace_node_drop(node, fwd.id, fwd.lineage.sampled, DropReason::TtlExpired);
+                    self.drop_at_node(node, fwd.id, fwd.lineage.sampled, DropReason::TtlExpired);
                     return;
                 }
                 fwd.ip.ttl -= 1;
@@ -710,8 +759,7 @@ impl Sim {
         } else if self.nodes[node.0].forwarding {
             let mut fwd = pkt;
             if fwd.ip.ttl <= 1 {
-                self.nodes[node.0].dropped += 1;
-                self.trace_node_drop(node, fwd.id, fwd.lineage.sampled, DropReason::TtlExpired);
+                self.drop_at_node(node, fwd.id, fwd.lineage.sampled, DropReason::TtlExpired);
                 return;
             }
             fwd.ip.ttl -= 1;
@@ -721,13 +769,11 @@ impl Sim {
                     self.enqueue_on_link(link, node, Some(next_hop), fwd)
                 }
                 None => {
-                    self.nodes[node.0].dropped += 1;
-                    self.trace_node_drop(node, fwd.id, fwd.lineage.sampled, DropReason::NoRoute);
+                    self.drop_at_node(node, fwd.id, fwd.lineage.sampled, DropReason::NoRoute);
                 }
             }
         } else {
-            self.nodes[node.0].dropped += 1;
-            self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NotAddressed);
+            self.drop_at_node(node, pkt.id, pkt.lineage.sampled, DropReason::NotAddressed);
         }
     }
 
@@ -789,8 +835,7 @@ impl Sim {
     pub(crate) fn dispatch_send(&mut self, node: NodeId, mut pkt: Packet) {
         self.stamp(node, &mut pkt);
         if pkt.ip.ttl == 0 {
-            self.nodes[node.0].dropped += 1;
-            self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::TtlExpired);
+            self.drop_at_node(node, pkt.id, pkt.lineage.sampled, DropReason::TtlExpired);
             return;
         }
         if pkt.ip.is_multicast() {
@@ -800,8 +845,7 @@ impl Sim {
                 .cloned()
                 .unwrap_or_default();
             if links.is_empty() {
-                self.nodes[node.0].dropped += 1;
-                self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
+                self.drop_at_node(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
             }
             for l in links {
                 self.enqueue_on_link(l, node, None, pkt.clone());
@@ -824,8 +868,7 @@ impl Sim {
         match self.nodes[node.0].routes.get(&pkt.ip.dst).copied() {
             Some((link, next_hop)) => self.enqueue_on_link(link, node, Some(next_hop), pkt),
             None => {
-                self.nodes[node.0].dropped += 1;
-                self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
+                self.drop_at_node(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
             }
         }
     }
@@ -833,15 +876,13 @@ impl Sim {
     pub(crate) fn send_to_neighbor(&mut self, node: NodeId, neighbor_addr: u32, mut pkt: Packet) {
         self.stamp(node, &mut pkt);
         let Some(&neighbor) = self.addr_map.get(&neighbor_addr) else {
-            self.nodes[node.0].dropped += 1;
-            self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
+            self.drop_at_node(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
             return;
         };
         match self.common_link(node, neighbor) {
             Some(link) => self.enqueue_on_link(link, node, Some(neighbor), pkt),
             None => {
-                self.nodes[node.0].dropped += 1;
-                self.trace_node_drop(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
+                self.drop_at_node(node, pkt.id, pkt.lineage.sampled, DropReason::NoRoute);
             }
         }
     }
@@ -1136,13 +1177,16 @@ impl Sim {
         n.cpu_queue.clear();
         n.cpu_busy = false;
         n.dropped += lost;
+        self.total_node_drops += lost;
         self.fault_stats.crashes += 1;
         self.trace_fault("crash", Some(node), None, 0);
-        // Freeze the node's post-mortem window: what it saw in its
-        // final moments, even when tracing was off.
+        // Freeze the node's post-mortem window — stamped with the
+        // overload posture so the post-mortem shows what degradation
+        // stage the cluster was in when the node died.
+        let state = self.telemetry.overload.summary();
         self.telemetry
             .flight
-            .dump(node.0 as u32, self.now.as_nanos(), "crash");
+            .dump_with_state(node.0 as u32, self.now.as_nanos(), "crash", &state);
     }
 
     /// Restarts a crashed node and gives every application an
@@ -1233,11 +1277,12 @@ impl Sim {
     /// Key layout (all counters unless noted):
     ///
     /// - `node.<name>.delivered` / `.dropped` / `.cpu_drops`
-    /// - `node.<name>.crashes` / `.state_lost` — when nonzero
+    /// - `node.<name>.crashes` / `.state_lost` / `.shed` — when nonzero
     /// - `link<i>.tx_packets` / `.tx_bytes` / `.drops`
     /// - `link<i>.fault_drops` — when nonzero
     /// - `link<i>.queue_depth` — histogram of queue length at enqueue
-    /// - `sim.link_drops_total`, `sim.events_processed`, `sim.packets`
+    /// - `sim.link_drops_total`, `sim.node_drops_total`,
+    ///   `sim.events_processed`, `sim.packets`
     /// - `sim.trace_recorded`, `sim.trace_evicted`
     /// - `sim.fault_*` — the [`FaultStats`] counters, once any fault has
     ///   been configured (so clean runs keep their key set)
@@ -1256,6 +1301,9 @@ impl Sim {
                 if node.state_lost > 0 {
                     snap.set_counter(format!("node.{}.state_lost", node.name), node.state_lost);
                 }
+                if node.shed > 0 {
+                    snap.set_counter(format!("node.{}.shed", node.name), node.shed);
+                }
             }
             for (i, link) in self.links.iter().enumerate() {
                 snap.set_counter(format!("link{i}.tx_packets"), link.tx_packets);
@@ -1271,6 +1319,7 @@ impl Sim {
             }
         }
         snap.set_counter("sim.link_drops_total", self.total_link_drops);
+        snap.set_counter("sim.node_drops_total", self.total_node_drops);
         snap.set_counter("sim.events_processed", self.events_processed);
         snap.set_counter("sim.packets", self.next_pkt_id);
         snap.set_counter("sim.trace_recorded", self.telemetry.trace.recorded());
@@ -1305,7 +1354,14 @@ impl Sim {
     /// sharded merge — into `nodes.*` / `links.*` aggregates, so a
     /// 100k-node snapshot stays a handful of keys instead of 500k.
     fn compact_counters(&self, snap: &mut MetricsSnapshot) {
-        const NODE_KEYS: [&str; 5] = ["delivered", "dropped", "cpu_drops", "crashes", "state_lost"];
+        const NODE_KEYS: [&str; 6] = [
+            "delivered",
+            "dropped",
+            "cpu_drops",
+            "crashes",
+            "state_lost",
+            "shed",
+        ];
         let mut nodes = ShardedCounterSet::new(16, NODE_KEYS.len());
         for (i, node) in self.nodes.iter().enumerate() {
             nodes.add(i, 0, node.delivered);
@@ -1313,6 +1369,7 @@ impl Sim {
             nodes.add(i, 2, node.cpu_drops);
             nodes.add(i, 3, node.crashes);
             nodes.add(i, 4, node.state_lost);
+            nodes.add(i, 5, node.shed);
         }
         snap.set_counter("nodes.count", self.nodes.len() as u64);
         for (k, v) in NODE_KEYS.iter().zip(nodes.merged()) {
@@ -1583,6 +1640,28 @@ impl NodeApi<'_> {
     /// processing.
     pub fn remove_hook(&mut self) {
         self.sim.nodes[self.node.0].hook = None;
+    }
+
+    /// Current occupancy of this node's CPU queue (0 without a CPU
+    /// model) — the congestion signal admission control keys on.
+    pub fn cpu_queue_len(&self) -> usize {
+        self.sim.nodes[self.node.0].cpu_queue.len()
+    }
+
+    /// Capacity of this node's CPU queue (0 without a CPU model).
+    pub fn cpu_queue_cap(&self) -> usize {
+        self.sim.nodes[self.node.0]
+            .cpu
+            .map_or(0, |c| c.queue_cap)
+    }
+
+    /// Counts and traces a node-level drop decided by a hook or
+    /// application (admission shedding, deadline expiry): routes the
+    /// count to the reason's bucket and keeps the node-drop accounting
+    /// identity intact.
+    pub fn node_drop(&mut self, pkt: &Packet, reason: DropReason) {
+        self.sim
+            .drop_at_node(self.node, pkt.id, pkt.lineage.sampled, reason);
     }
 }
 

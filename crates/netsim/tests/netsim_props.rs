@@ -8,7 +8,8 @@ use bytes::Bytes;
 use netsim::packet::{addr, Packet};
 use netsim::rng::SplitMix64;
 use netsim::tcp::{TcpConfig, TcpSocket};
-use netsim::{App, LinkSpec, NodeApi, Sim, SimTime};
+use netsim::{App, ArrivalMeta, CpuModel, HookVerdict, LinkSpec, NodeApi, PacketHook, Sim, SimTime};
+use planp_telemetry::DropReason;
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -113,6 +114,126 @@ fn packet_conservation_on_a_chain() {
             sim.total_link_drops,
             node_drops,
             n
+        );
+    }
+}
+
+/// A hook that sheds a deterministic subset of the packets it sees:
+/// every `shed_mod`-th as an admission [`DropReason::Shed`], every
+/// `expire_mod`-th as [`DropReason::DeadlineExpired`].
+struct Shedder {
+    seen: u64,
+    shed_mod: u64,
+    expire_mod: u64,
+}
+impl PacketHook for Shedder {
+    fn on_packet(&mut self, api: &mut NodeApi<'_>, pkt: Packet, meta: &ArrivalMeta) -> HookVerdict {
+        if meta.overheard {
+            return HookVerdict::Pass(pkt);
+        }
+        self.seen += 1;
+        if self.seen % self.shed_mod == 0 {
+            api.node_drop(&pkt, DropReason::Shed);
+            return HookVerdict::Handled;
+        }
+        if self.seen % self.expire_mod == 0 {
+            api.node_drop(&pkt, DropReason::DeadlineExpired);
+            return HookVerdict::Handled;
+        }
+        HookVerdict::Pass(pkt)
+    }
+}
+
+/// The node-level drop-accounting identity: every drop charged to a
+/// node lands in exactly one of its three buckets — policy drops
+/// (`dropped`), CPU-queue overflows (`cpu_drops`), or admission sheds
+/// (`shed`) — and the engine-wide total is their sum. Each case forces
+/// all three kinds at once: a slow router CPU with a tiny queue
+/// overflows, its hook sheds and expires a deterministic subset, and a
+/// second flow aims at an unroutable address.
+#[test]
+fn node_drop_identity_across_all_buckets() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0xC0DE_3000 + case);
+        let n = 80 + rng.next_below(120) as u32;
+        let gap_us = 30 + rng.next_below(120);
+        let queue_cap = 1 + rng.next_below(3) as usize;
+        let shed_mod = 2 + rng.next_below(4);
+        let expire_mod = 3 + rng.next_below(4);
+
+        let mut sim = Sim::new(0xBADD + case);
+        let src = sim.add_host("src", addr(10, 0, 0, 1));
+        let r = sim.add_router("r", addr(10, 0, 1, 1));
+        let dst = sim.add_host("dst", addr(10, 0, 2, 1));
+        for ends in [[src, r], [r, dst]] {
+            sim.add_link(
+                LinkSpec {
+                    kbps: 100_000,
+                    delay: Duration::from_micros(100),
+                    queue_pkts: 256,
+                },
+                &ends,
+            );
+        }
+        sim.compute_routes();
+        sim.set_cpu(
+            r,
+            CpuModel {
+                per_packet: Duration::from_micros(200),
+                queue_cap,
+            },
+        );
+        sim.install_hook(
+            r,
+            Box::new(Shedder {
+                seen: 0,
+                shed_mod,
+                expire_mod,
+            }),
+        );
+        let got = Rc::new(RefCell::new(0u64));
+        sim.add_app(dst, Box::new(Counter { got: got.clone() }));
+        sim.add_app(
+            src,
+            Box::new(Blaster {
+                dst: addr(10, 0, 2, 1),
+                n,
+                size: 64,
+                gap_us,
+            }),
+        );
+        // A second flow into the void: no route, so every send is a
+        // policy drop at the source.
+        sim.add_app(
+            src,
+            Box::new(Blaster {
+                dst: addr(10, 9, 9, 9),
+                n: 8,
+                size: 64,
+                gap_us: 500,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(60));
+
+        let nodes = [src, r, dst];
+        let policy: u64 = nodes.iter().map(|&i| sim.node(i).dropped).sum();
+        let cpu: u64 = nodes.iter().map(|&i| sim.node(i).cpu_drops).sum();
+        let shed: u64 = nodes.iter().map(|&i| sim.node(i).shed).sum();
+        assert_eq!(policy, 8, "case {case}: exactly the unroutable flow");
+        assert!(cpu > 0, "case {case}: the router CPU queue must overflow");
+        assert!(shed > 0, "case {case}: the hook must shed");
+        assert_eq!(
+            sim.total_node_drops,
+            policy + cpu + shed,
+            "case {case}: total {} != policy {policy} + cpu {cpu} + shed {shed}",
+            sim.total_node_drops
+        );
+        // Conservation still closes for the routable flow: every
+        // datagram was delivered or charged to exactly one bucket.
+        assert_eq!(
+            *got.borrow() + sim.total_link_drops + cpu + shed,
+            u64::from(n),
+            "case {case}: conservation"
         );
     }
 }

@@ -1,0 +1,133 @@
+//! Per-channel admission control for the PLAN-P layer.
+//!
+//! Overload protection has to be *explicit and analyzable*, not an
+//! emergent property of full queues: when more work arrives than a node
+//! can serve, the layer decides deterministically which packets to shed
+//! — before they cost a VM dispatch — instead of letting the CPU queue
+//! tail-drop whatever happens to arrive last. Three gates compose, all
+//! driven by simulation time and packet bytes only (no wall clock, no
+//! randomness), so two runs shed byte-identical packet sets:
+//!
+//! 1. **Deadline** — a packet whose [`Lineage::deadline_ns`] has passed
+//!    is dropped at ingress rather than burning a VM run and further
+//!    hops ([`DropReason::DeadlineExpired`]).
+//! 2. **Brownout priority** — under degradation, priority classes below
+//!    the current brownout level are shed first
+//!    ([`DropReason::Shed`]). The priority is a payload byte, so it
+//!    travels with the packet and survives forwarding.
+//! 3. **Bounded in-flight** — a sliding-window cap on admissions per
+//!    channel sheds the excess of a flash crowd at the first hop.
+//!
+//! [`Lineage::deadline_ns`]: netsim::packet::Lineage
+//! [`DropReason::DeadlineExpired`]: planp_telemetry::DropReason
+//! [`DropReason::Shed`]: planp_telemetry::DropReason
+
+use netsim::packet::Packet;
+use std::collections::VecDeque;
+
+/// Lowest (shed-first) priority class.
+pub const PRIORITY_MIN: u8 = 0;
+/// Highest (shed-last) priority class; packets without a readable
+/// priority byte default here, so admission is opt-in per workload.
+pub const PRIORITY_MAX: u8 = 255;
+
+/// Admission policy for one installed layer (applies per channel).
+/// All-zero (the default) disables every gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Admission {
+    /// Maximum admissions per channel within `window_ns` (0 = no cap).
+    pub max_in_flight: u32,
+    /// Sliding window over which `max_in_flight` is counted.
+    pub window_ns: u64,
+    /// Payload byte index carrying the packet's priority class
+    /// (`None` = every packet is top priority).
+    pub priority_byte: Option<usize>,
+    /// Drop packets whose lineage deadline has already passed.
+    pub enforce_deadline: bool,
+}
+
+impl Admission {
+    /// The priority class of `pkt` under this policy.
+    pub fn priority_of(&self, pkt: &Packet) -> u8 {
+        match self.priority_byte {
+            Some(i) => pkt.payload.get(i).copied().unwrap_or(PRIORITY_MAX),
+            None => PRIORITY_MAX,
+        }
+    }
+}
+
+/// Per-channel sliding-window admission counter: timestamps of recent
+/// admissions, expired entries popped on each decision. Deterministic —
+/// the decision depends only on sim time and prior admissions.
+#[derive(Debug, Default)]
+pub struct AdmissionGate {
+    admitted: VecDeque<u64>,
+}
+
+impl AdmissionGate {
+    /// Decides one admission at `now_ns` under a cap of `max` per
+    /// `window_ns`. `max == 0` always admits (and keeps no state).
+    pub fn admit(&mut self, now_ns: u64, max: u32, window_ns: u64) -> bool {
+        if max == 0 {
+            return true;
+        }
+        while self
+            .admitted
+            .front()
+            .is_some_and(|&t| t.saturating_add(window_ns) <= now_ns)
+        {
+            self.admitted.pop_front();
+        }
+        if self.admitted.len() >= max as usize {
+            return false;
+        }
+        self.admitted.push_back(now_ns);
+        true
+    }
+
+    /// Admissions currently inside the window.
+    pub fn in_flight(&self) -> usize {
+        self.admitted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn gate_caps_a_sliding_window() {
+        let mut g = AdmissionGate::default();
+        assert!(g.admit(0, 2, 100));
+        assert!(g.admit(10, 2, 100));
+        assert!(!g.admit(20, 2, 100), "third inside the window is shed");
+        assert_eq!(g.in_flight(), 2);
+        // At t=100 the t=0 admission has aged out.
+        assert!(g.admit(100, 2, 100));
+        assert!(!g.admit(105, 2, 100));
+    }
+
+    #[test]
+    fn zero_cap_disables_the_gate() {
+        let mut g = AdmissionGate::default();
+        for t in 0..1000 {
+            assert!(g.admit(t, 0, 10));
+        }
+        assert_eq!(g.in_flight(), 0, "disabled gate keeps no state");
+    }
+
+    #[test]
+    fn priority_reads_the_configured_payload_byte() {
+        let adm = Admission {
+            priority_byte: Some(1),
+            ..Default::default()
+        };
+        let pkt = Packet::udp(1, 2, 10, 20, Bytes::from(vec![9u8, 3u8]));
+        assert_eq!(adm.priority_of(&pkt), 3);
+        let short = Packet::udp(1, 2, 10, 20, Bytes::from(vec![9u8]));
+        assert_eq!(adm.priority_of(&short), PRIORITY_MAX, "missing byte = gold");
+        let none = Admission::default();
+        assert_eq!(none.priority_of(&pkt), PRIORITY_MAX);
+    }
+}

@@ -9,13 +9,14 @@
 //! decode) runs. If nothing matches, standard IP processing continues —
 //! a PLAN-P router "operates seamlessly within existing networks".
 
+use crate::admission::{Admission, AdmissionGate};
 use crate::convert::{packet_to_value, value_to_packet};
 use crate::loader::LoadedProgram;
 use bytes::Bytes;
 use netsim::packet::{ChannelTag, Lineage, Packet};
 use netsim::{ArrivalMeta, HookVerdict, NodeApi, PacketHook, Sim};
 use planp_lang::tast::TProgram;
-use planp_telemetry::{CounterId, DispatchOutcome, ScopeId, SpanOrigin, Telemetry};
+use planp_telemetry::{CounterId, DispatchOutcome, DropReason, ScopeId, SpanOrigin, Telemetry};
 use planp_vm::env::{NetEnv, SendKind};
 use planp_vm::interp::Interp;
 use planp_vm::jit::CompiledProgram;
@@ -64,6 +65,12 @@ pub struct LayerStats {
     /// pushed the live entry total past the static entry bound.
     /// Expected to stay 0 (cross-checked by the test suite).
     pub state_bound_exceeded: u64,
+    /// Packets shed by admission control (in-flight cap or brownout
+    /// priority) before a channel ran.
+    pub shed: u64,
+    /// Packets dropped at ingress because their lineage deadline had
+    /// already passed.
+    pub deadline_expired: u64,
 }
 
 /// UDP port reserved for the management plane (program deployment);
@@ -84,6 +91,10 @@ pub struct LayerConfig {
     /// processing, keeping the deployment plane out of the program's
     /// reach (default: true).
     pub bypass_management: bool,
+    /// Per-channel admission control (deadline enforcement, brownout
+    /// priority shedding, bounded in-flight). `None` (the default)
+    /// admits everything.
+    pub admission: Option<Admission>,
 }
 
 impl Default for LayerConfig {
@@ -92,6 +103,7 @@ impl Default for LayerConfig {
             engine: Engine::default(),
             process_overheard: false,
             bypass_management: true,
+            admission: None,
         }
     }
 }
@@ -121,6 +133,8 @@ struct ChanMeta {
     /// verifier's cost analysis (u64::MAX when the image carries no
     /// bound, disabling the cross-check).
     static_bound: u64,
+    c_shed: CounterId,
+    c_expired: CounterId,
     c_state_inserts: CounterId,
     c_state_exceeded: CounterId,
     /// Static worst-case fresh inserts per dispatch of this overload,
@@ -146,6 +160,9 @@ pub struct PlanpLayer {
     stats: Rc<RefCell<LayerStats>>,
     output: Rc<RefCell<String>>,
     chan_meta: Vec<ChanMeta>,
+    /// Per-channel sliding-window admission state (indexed like
+    /// `chan_meta`); empty vectors cost nothing when admission is off.
+    gates: Vec<AdmissionGate>,
     /// Handle for packets falling back to standard IP processing.
     c_fallback: CounterId,
     /// High-water mark of the live entry total already published to the
@@ -213,6 +230,12 @@ impl PlanpLayer {
                 } else {
                     image.report.cost.bound_for(i).steps
                 },
+                c_shed: metrics
+                    .register_counter(&format!("node.{node_name}.chan.{}.shed", ch.name)),
+                c_expired: metrics.register_counter(&format!(
+                    "node.{node_name}.chan.{}.deadline_expired",
+                    ch.name
+                )),
                 c_state_inserts: metrics
                     .register_counter(&format!("node.{node_name}.chan.{}.state_inserts", ch.name)),
                 c_state_exceeded: metrics.register_counter(&format!(
@@ -245,6 +268,7 @@ impl PlanpLayer {
                 ),
             })
             .collect();
+        let n_chans = image.prog.channels.len();
         Ok(PlanpLayer {
             prog: image.prog.clone(),
             compiled,
@@ -255,6 +279,7 @@ impl PlanpLayer {
             stats: Rc::new(RefCell::new(LayerStats::default())),
             output: Rc::new(RefCell::new(String::new())),
             chan_meta,
+            gates: (0..n_chans).map(|_| AdmissionGate::default()).collect(),
             c_fallback: metrics.register_counter(&format!("node.{node_name}.planp.fallback_ip")),
             state_entries_peak: 0,
             c_state_entries: metrics
@@ -315,6 +340,30 @@ impl PacketHook for PlanpLayer {
             api.telemetry().metrics.inc_id(self.c_fallback);
             return HookVerdict::Pass(pkt);
         };
+        // Admission control runs after channel match (so only ASP
+        // traffic is gated) but before the engine dispatch: shed and
+        // expired packets never cost a VM run, on either engine.
+        if let Some(adm) = self.config.admission {
+            let now_ns = api.now().as_nanos();
+            let cm = &self.chan_meta[idx];
+            if adm.enforce_deadline
+                && pkt.lineage.deadline_ns != 0
+                && now_ns > pkt.lineage.deadline_ns
+            {
+                self.stats.borrow_mut().deadline_expired += 1;
+                api.telemetry().metrics.inc_id(cm.c_expired);
+                api.node_drop(&pkt, DropReason::DeadlineExpired);
+                return HookVerdict::Handled;
+            }
+            let priority = adm.priority_of(&pkt);
+            let browned_out = u32::from(priority) < api.telemetry().overload.brownout_level;
+            if browned_out || !self.gates[idx].admit(now_ns, adm.max_in_flight, adm.window_ns) {
+                self.stats.borrow_mut().shed += 1;
+                api.telemetry().metrics.inc_id(cm.c_shed);
+                api.node_drop(&pkt, DropReason::Shed);
+                return HookVerdict::Handled;
+            }
+        }
         self.stats.borrow_mut().matched += 1;
         let cm = &self.chan_meta[idx];
         api.telemetry().metrics.inc_id(cm.c_dispatch);
@@ -339,6 +388,7 @@ impl PacketHook for PlanpLayer {
             },
             cur_span: pkt.id,
             cur_sampled: pkt.lineage.sampled,
+            cur_deadline: pkt.lineage.deadline_ns,
             pending_site: None,
             inserts: 0,
             entries_delta: 0,
@@ -484,6 +534,10 @@ struct SimNetEnv<'a, 'b> {
     /// Head-sampling decision of the packet being processed; inherited
     /// by every packet this run emits, so sampled traces stay complete.
     cur_sampled: bool,
+    /// Deadline of the packet being processed (0 = none); inherited by
+    /// every packet this run emits, so expiry is enforceable at any
+    /// later hop.
+    cur_deadline: u64,
     /// The send site the VM announced via `note_send_site`, consumed by
     /// the next outgoing packet so its lineage records how it was born.
     pending_site: Option<(SpanOrigin, Option<Rc<str>>)>,
@@ -526,6 +580,7 @@ impl SimNetEnv<'_, '_> {
             origin,
             chan,
             sampled: self.cur_sampled,
+            deadline_ns: self.cur_deadline,
         }
     }
 

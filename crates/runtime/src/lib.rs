@@ -9,6 +9,9 @@
 //! * [`layer`] — the [`netsim::PacketHook`] implementation: channel
 //!   dispatch (including overloaded channels), protocol/channel state,
 //!   and the `OnRemote`/`OnNeighbor`/`deliver` effects;
+//! * [`admission`] — per-channel admission control: deterministic
+//!   bounded in-flight, brownout priority shedding, and deadline
+//!   enforcement at the layer's ingress;
 //! * [`convert`] — packet ↔ PLAN-P value conversions;
 //! * [`recovery`] — crash recovery: re-verify and reinstall a node's
 //!   ASP after a fault-injected restart;
@@ -44,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod convert;
 pub mod deploy;
 pub mod layer;
@@ -52,6 +56,7 @@ pub mod plan;
 pub mod recovery;
 pub mod replay;
 
+pub use admission::{Admission, AdmissionGate, PRIORITY_MAX, PRIORITY_MIN};
 pub use deploy::{deploy_packets, uninstall_packet, DeployLog, DeployService, DEPLOY_PORT};
 pub use layer::{
     install_planp, Engine, LayerConfig, LayerStats, PlanpHandle, PlanpLayer, MANAGEMENT_PORT,

@@ -125,11 +125,19 @@ pub enum DropReason {
     LinkFaultDown,
     /// Sender and receiver are in different partition groups.
     Partitioned,
+    /// Deliberately shed by admission control, a brownout level, or a
+    /// bounded-load gateway — a *decision*, kept separate from the tail
+    /// drops that happen when queues silently overflow.
+    Shed,
+    /// The packet's lineage deadline had already passed at ingress, so
+    /// it was dropped before burning further hops or CPU.
+    DeadlineExpired,
 }
 
 impl DropReason {
-    /// All reasons, in [`DropReason::index`] order.
-    pub const ALL: [DropReason; 8] = [
+    /// All reasons, in [`DropReason::index`] order. New reasons are
+    /// appended so existing flight-recorder detail codes stay stable.
+    pub const ALL: [DropReason; 10] = [
         DropReason::NodeDown,
         DropReason::CpuOverflow,
         DropReason::TtlExpired,
@@ -138,6 +146,8 @@ impl DropReason {
         DropReason::FaultLoss,
         DropReason::LinkFaultDown,
         DropReason::Partitioned,
+        DropReason::Shed,
+        DropReason::DeadlineExpired,
     ];
 
     /// Stable lowercase name used in exports.
@@ -151,6 +161,8 @@ impl DropReason {
             DropReason::FaultLoss => "fault_loss",
             DropReason::LinkFaultDown => "link_fault_down",
             DropReason::Partitioned => "partitioned",
+            DropReason::Shed => "shed",
+            DropReason::DeadlineExpired => "deadline_expired",
         }
     }
 
@@ -162,6 +174,31 @@ impl DropReason {
     /// Inverse of [`DropReason::index`].
     pub fn from_index(i: u32) -> Option<DropReason> {
         DropReason::ALL.get(i as usize).copied()
+    }
+}
+
+/// A circuit breaker's position in the closed → open → half-open cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Healthy: traffic flows normally.
+    #[default]
+    Closed,
+    /// Tripped: all traffic is diverted; only the probe schedule may
+    /// touch the backend.
+    Open,
+    /// Probing: a deterministic trickle tests whether the backend
+    /// recovered.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
     }
 }
 
@@ -347,6 +384,23 @@ pub enum TraceEvent {
         value: u64,
         threshold: u64,
     },
+    /// The brownout controller stepped its degradation level, either up
+    /// on a rule breach (`rule` = the breaching rule) or down after the
+    /// hysteretic clean streak (`rule` = `"recovered"`).
+    Brownout {
+        t_ns: u64,
+        from_level: u32,
+        to_level: u32,
+        rule: Rc<str>,
+    },
+    /// A per-backend circuit breaker at `node` changed state.
+    Breaker {
+        t_ns: u64,
+        node: u32,
+        backend: Rc<str>,
+        from: BreakerState,
+        to: BreakerState,
+    },
 }
 
 impl TraceEvent {
@@ -364,7 +418,9 @@ impl TraceEvent {
             TraceEvent::VmRun { .. } => Category::VM,
             TraceEvent::Fault { .. } => Category::FAULT,
             TraceEvent::SampleDowngrade { .. } => Category::META,
-            TraceEvent::Health { .. } => Category::HEALTH,
+            TraceEvent::Health { .. }
+            | TraceEvent::Brownout { .. }
+            | TraceEvent::Breaker { .. } => Category::HEALTH,
         }
     }
 
@@ -384,7 +440,9 @@ impl TraceEvent {
             | TraceEvent::VmRun { t_ns, .. }
             | TraceEvent::Fault { t_ns, .. }
             | TraceEvent::SampleDowngrade { t_ns, .. }
-            | TraceEvent::Health { t_ns, .. } => *t_ns,
+            | TraceEvent::Health { t_ns, .. }
+            | TraceEvent::Brownout { t_ns, .. }
+            | TraceEvent::Breaker { t_ns, .. } => *t_ns,
         }
     }
 
@@ -404,7 +462,9 @@ impl TraceEvent {
             TraceEvent::Fault { pkt, .. } => (*pkt != 0).then_some(*pkt),
             TraceEvent::TimerFire { .. }
             | TraceEvent::SampleDowngrade { .. }
-            | TraceEvent::Health { .. } => None,
+            | TraceEvent::Health { .. }
+            | TraceEvent::Brownout { .. }
+            | TraceEvent::Breaker { .. } => None,
         }
     }
 
@@ -420,6 +480,8 @@ impl TraceEvent {
             TraceEvent::VmRun { chan, .. } => chan.len() as u64,
             TraceEvent::Fault { kind, .. } => kind.len() as u64,
             TraceEvent::Health { rule, .. } => rule.len() as u64,
+            TraceEvent::Brownout { rule, .. } => rule.len() as u64,
+            TraceEvent::Breaker { backend, .. } => backend.len() as u64,
             _ => 0,
         };
         let base = match self {
@@ -437,6 +499,8 @@ impl TraceEvent {
             TraceEvent::Fault { .. } => 72,
             TraceEvent::SampleDowngrade { .. } => 70,
             TraceEvent::Health { .. } => 78,
+            TraceEvent::Brownout { .. } => 80,
+            TraceEvent::Breaker { .. } => 92,
         };
         base + strings
     }
@@ -686,6 +750,40 @@ impl TraceEvent {
                 field(out, &mut seq, "value", *value);
                 field(out, &mut seq, "threshold", *threshold);
             }
+            TraceEvent::Brownout {
+                t_ns,
+                from_level,
+                to_level,
+                rule,
+            } => {
+                tag(out, &mut seq, "brownout");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "from_level", u64::from(*from_level));
+                field(out, &mut seq, "to_level", u64::from(*to_level));
+                seq.sep(out);
+                push_key(out, "rule");
+                push_str(out, rule);
+            }
+            TraceEvent::Breaker {
+                t_ns,
+                node,
+                backend,
+                from,
+                to,
+            } => {
+                tag(out, &mut seq, "breaker");
+                field(out, &mut seq, "t_ns", *t_ns);
+                field(out, &mut seq, "node", u64::from(*node));
+                seq.sep(out);
+                push_key(out, "backend");
+                push_str(out, backend);
+                seq.sep(out);
+                push_key(out, "from");
+                push_str(out, from.name());
+                seq.sep(out);
+                push_key(out, "to");
+                push_str(out, to.name());
+            }
         }
         out.push('}');
     }
@@ -838,6 +936,31 @@ impl fmt::Display for TraceEvent {
                     f,
                     "{t:12.6}  slo    {}   rule={rule} value={value} threshold={threshold}",
                     if *ok { "ok    " } else { "BREACH" }
+                )
+            }
+            TraceEvent::Brownout {
+                from_level,
+                to_level,
+                rule,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  slo    BROWNOUT level {from_level} -> {to_level} rule={rule}"
+                )
+            }
+            TraceEvent::Breaker {
+                node,
+                backend,
+                from,
+                to,
+                ..
+            } => {
+                write!(
+                    f,
+                    "{t:12.6}  n{node:<5} BREAKER  backend={backend} {} -> {}",
+                    from.name(),
+                    to.name()
                 )
             }
         }

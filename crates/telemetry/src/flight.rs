@@ -80,6 +80,9 @@ pub struct FlightDump {
     pub t_ns: u64,
     /// Why ("crash", or the breaching rule's name).
     pub cause: String,
+    /// Overload posture at dump time (brownout level, non-closed
+    /// breakers), empty when the owner has no overload machinery.
+    pub state: String,
     /// The ring contents, oldest first.
     pub events: Vec<FlightEvent>,
 }
@@ -152,11 +155,19 @@ impl FlightRecorder {
 
     /// Freezes `node`'s current window into a dump.
     pub fn dump(&mut self, node: u32, t_ns: u64, cause: &str) {
+        self.dump_with_state(node, t_ns, cause, "");
+    }
+
+    /// Freezes `node`'s current window into a dump stamped with the
+    /// overload posture (brownout level / breaker states) at dump time,
+    /// so post-mortems show what degradation stage the node was in.
+    pub fn dump_with_state(&mut self, node: u32, t_ns: u64, cause: &str, state: &str) {
         let events = self.window(node).copied().collect();
         self.dumps.push(FlightDump {
             node,
             t_ns,
             cause: cause.to_string(),
+            state: state.to_string(),
             events,
         });
     }
@@ -175,9 +186,14 @@ impl FlightRecorder {
                 .get(d.node as usize)
                 .cloned()
                 .unwrap_or_else(|| format!("n{}", d.node));
+            let state = if d.state.is_empty() {
+                String::new()
+            } else {
+                format!(" state={}", d.state)
+            };
             let _ = writeln!(
                 out,
-                "flight dump  node={name} t_us={} cause={} events={}",
+                "flight dump  node={name} t_us={} cause={} events={}{state}",
                 d.t_ns / 1000,
                 d.cause,
                 d.events.len()
@@ -237,6 +253,17 @@ mod tests {
         let text = f.render_dumps(&["a".into(), "relay".into()]);
         assert!(text.contains("node=relay") && text.contains("crash"));
         assert_eq!(text, f.render_dumps(&["a".into(), "relay".into()]));
+    }
+
+    #[test]
+    fn state_stamp_renders_only_when_present() {
+        let mut f = FlightRecorder::new();
+        f.record(0, ev(1, FlightKind::Crash));
+        f.dump_with_state(0, 2, "crash", "brownout=2 breakers=b1:open");
+        f.dump(0, 3, "slo");
+        let text = f.render_dumps(&["gw".into()]);
+        assert!(text.contains("cause=crash events=1 state=brownout=2 breakers=b1:open"));
+        assert!(text.contains("cause=slo events=1\n"));
     }
 
     #[test]

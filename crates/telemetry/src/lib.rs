@@ -33,12 +33,13 @@ pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod monitor;
+pub mod overload;
 pub mod profile;
 pub mod span;
 
 pub use event::{
-    Category, DispatchOutcome, DropReason, SpanOrigin, TraceConfig, TraceEvent, TraceLog,
-    TraceOverhead,
+    BreakerState, Category, DispatchOutcome, DropReason, SpanOrigin, TraceConfig, TraceEvent,
+    TraceLog, TraceOverhead,
 };
 pub use export::{chrome_profile, chrome_trace, prometheus};
 pub use flight::{FlightDump, FlightEvent, FlightKind, FlightRecorder};
@@ -46,6 +47,7 @@ pub use metrics::{
     CounterId, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot, ShardedCounterSet,
 };
 pub use monitor::{CounterSel, HealthMonitor, HealthSample, SloRule};
+pub use overload::{BrownoutConfig, BrownoutController, OverloadState};
 pub use profile::{HeatmapRow, PatternMeta, ProfileRegistry, ScopeId, ScopeProfile, SiteMeta};
 pub use span::{CriticalHop, Span, TraceForest};
 
@@ -65,6 +67,8 @@ pub struct Telemetry {
     pub nodes: Vec<String>,
     /// Per-site execution profiles (the always-on VM profiler).
     pub profile: ProfileRegistry,
+    /// Current overload posture: brownout level + breaker states.
+    pub overload: OverloadState,
 }
 
 impl Telemetry {
